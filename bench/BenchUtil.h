@@ -1,0 +1,80 @@
+//===--- BenchUtil.h - Shared helpers for the experiment harness -*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).  Each bench binary regenerates one table or
+// figure of the paper's evaluation; these helpers keep them short.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_BENCH_BENCHUTIL_H
+#define C4B_BENCH_BENCHUTIL_H
+
+#include "c4b/analysis/Analyzer.h"
+#include "c4b/ast/Parser.h"
+#include "c4b/baseline/Ranking.h"
+#include "c4b/corpus/Corpus.h"
+#include "c4b/sem/Interp.h"
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace c4b::bench {
+
+inline std::optional<IRProgram> lower(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = parseString(Src, D);
+  if (!P) {
+    std::fprintf(stderr, "parse error:\n%s", D.toString().c_str());
+    return std::nullopt;
+  }
+  auto IR = lowerProgram(*P, D);
+  if (!IR)
+    std::fprintf(stderr, "lowering error:\n%s", D.toString().c_str());
+  return IR;
+}
+
+/// Analyzes a corpus entry under a metric; returns the printable bound
+/// ("-" on failure) and fills the timing/result out-params when given.
+inline std::string
+boundString(const CorpusEntry &E,
+            const ResourceMetric &M = ResourceMetric::ticks(),
+            const AnalysisOptions &O = {}, double *Seconds = nullptr,
+            AnalysisResult *Out = nullptr) {
+  auto IR = lower(E.Source);
+  if (!IR)
+    return "-";
+  AnalysisResult R = analyzeProgram(*IR, M, O, E.Function);
+  if (Seconds)
+    *Seconds = R.AnalysisSeconds;
+  if (Out)
+    *Out = R;
+  if (!R.Success)
+    return "-";
+  return R.Bounds.at(E.Function).toString();
+}
+
+inline std::string baselineString(const CorpusEntry &E,
+                                  const ResourceMetric &M =
+                                      ResourceMetric::ticks()) {
+  auto IR = lower(E.Source);
+  if (!IR)
+    return "-";
+  RankingResult R = analyzeRanking(*IR, E.Function, M);
+  return R.Found ? R.Expr : "-";
+}
+
+inline void hr(int Width = 100) {
+  for (int I = 0; I < Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void header(const char *Title, const char *Paper) {
+  std::printf("\n== %s ==\n   reproduces: %s\n", Title, Paper);
+  hr();
+}
+
+} // namespace c4b::bench
+
+#endif // C4B_BENCH_BENCHUTIL_H

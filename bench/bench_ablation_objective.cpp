@@ -1,0 +1,33 @@
+//===--- bench_ablation_objective.cpp - LP objective ablation --------------===//
+//
+// Section 5 uses a two-stage lexicographic objective: minimize penalized
+// interval coefficients first, pin the optimum, then minimize constant
+// potential.  This ablation shows what the second stage buys: with a
+// single stage the constant part of the bound is unconstrained garbage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace c4b;
+using namespace c4b::bench;
+
+int main() {
+  header("Ablation: two-stage vs single-stage LP objective", "Section 5");
+  const char *Names[] = {"fig5_loop", "t08a", "t19", "t37", "t47", "t61"};
+  std::printf("%-12s | %-34s | %-34s\n", "program", "two-stage (paper)",
+              "stage 1 only");
+  hr(90);
+  for (const char *N : Names) {
+    const CorpusEntry *E = findEntry(N);
+    AnalysisOptions Two, One;
+    One.TwoStageObjective = false;
+    std::string B2 = boundString(*E, ResourceMetric::ticks(), Two);
+    std::string B1 = boundString(*E, ResourceMetric::ticks(), One);
+    std::printf("%-12s | %-34s | %-34s\n", N, B2.c_str(), B1.c_str());
+  }
+  hr(90);
+  std::printf("both stages produce the same interval coefficients (stage 1 "
+              "is pinned); stage 2 shrinks the constants.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+//===--- bench_fig7_bsearch.cpp - Figure 7 reproduction --------------------===//
+//
+// Figure 7: a logarithmic bound on the recursion depth of binary search,
+// derived through the logical variable lg with invariant lg > log2(h-l).
+// The tick(1)/tick(-1) bracket makes the peak cost the recursion depth, so
+// the derived |[0,lg]| is a stack bound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace c4b;
+using namespace c4b::bench;
+
+int main() {
+  header("Figure 7: logarithmic stack bound for binary search",
+         "Fig. 7 (bsearch)");
+  const CorpusEntry *E = findEntry("fig7_bsearch");
+  auto IR = lower(E->Source);
+  AnalysisResult R =
+      analyzeProgram(*IR, ResourceMetric::ticks(), {}, "bsearch");
+  std::printf("derived: %s   (paper: %s)\n\n",
+              R.Success ? R.Bounds.at("bsearch").toString().c_str() : "-",
+              E->PaperC4B);
+
+  std::printf("%-8s %-8s %-12s %-14s %s\n", "h-l", "lg", "peak depth",
+              "bound |[0,lg]|", "");
+  hr(60);
+  bool Ok = R.Success;
+  for (std::int64_t H : {4, 16, 64, 128}) {
+    std::int64_t Lg = 1;
+    while ((std::int64_t(1) << Lg) <= H)
+      ++Lg;
+    Interpreter I(*IR, ResourceMetric::ticks());
+    std::vector<std::int64_t> Data;
+    for (int Idx = 0; Idx < 128; ++Idx)
+      Data.push_back(2 * Idx);
+    I.setGlobalArray("a", Data);
+    ExecResult Ex = I.run("bsearch", {H + 3, 0, H, Lg});
+    Rational BV =
+        R.Success ? R.Bounds.at("bsearch").evaluate(
+                        {{"x", H + 3}, {"l", 0}, {"h", H}, {"lg", Lg}})
+                  : Rational(0);
+    bool Sound = Ex.finished() && BV >= Ex.PeakCost;
+    Ok = Ok && Sound;
+    std::printf("%-8lld %-8lld %-12s %-14s %s\n", (long long)H,
+                (long long)Lg, Ex.PeakCost.toString().c_str(),
+                BV.toString().c_str(), Sound ? "sound" : "UNSOUND");
+  }
+  hr(60);
+  std::printf("depth grows as log2(h-l); the bound tracks it through lg\n");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+//===--- bench_fig9_gap.cpp - Figure 9 reproduction ------------------------===//
+//
+// Figure 9 plots the derived bound 1.33|[x,y]| + 0.33|[0,x]| for t08
+// against the measured cost over a grid of inputs, showing tightness for
+// x >= 0.  This bench regenerates the series: for the same grid
+// (x, y in [-100, 100], step 20) it prints measured cost, bound value, and
+// slack, asserting soundness at every point and tightness on the x >= 0
+// diagonal band.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace c4b;
+using namespace c4b::bench;
+
+int main() {
+  header("Figure 9: bound vs. measured cost for t08", "Fig. 9");
+  const CorpusEntry *E = findEntry("t08");
+  auto IR = lower(E->Source);
+  AnalysisResult R = analyzeProgram(*IR, ResourceMetric::ticks(), {}, "f");
+  if (!R.Success) {
+    std::printf("analysis failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  const Bound &B = R.Bounds.at("f");
+  std::printf("derived: %s   (paper: 1.33|[x,y]| + 0.33|[0,x]|)\n\n",
+              B.toString().c_str());
+  std::printf("%6s %6s | %10s %10s %10s\n", "x", "y", "measured", "bound",
+              "slack");
+  hr(52);
+  Interpreter I(*IR, ResourceMetric::ticks());
+  bool Sound = true;
+  Rational MaxSlackNonNeg(0);
+  for (std::int64_t X = -100; X <= 100; X += 20)
+    for (std::int64_t Y = -100; Y <= 100; Y += 20) {
+      ExecResult Ex = I.run("f", {X, Y});
+      Rational BV = B.evaluate({{"x", X}, {"y", Y}});
+      Rational Slack = BV - Ex.NetCost;
+      Sound = Sound && Slack.sign() >= 0;
+      if (X >= 0 && Slack > MaxSlackNonNeg)
+        MaxSlackNonNeg = Slack;
+      if ((X % 40 == 0) && (Y % 40 == 0)) // Print a sparser grid.
+        std::printf("%6lld %6lld | %10s %10s %10s\n", (long long)X,
+                    (long long)Y, Ex.NetCost.toString().c_str(),
+                    BV.toString().c_str(), Slack.toString().c_str());
+    }
+  hr(52);
+  std::printf("sound on the full grid: %s; max slack for x >= 0: %s "
+              "(paper: tight for x >= 0)\n",
+              Sound ? "yes" : "NO", MaxSlackNonNeg.toString().c_str());
+  return Sound && MaxSlackNonNeg <= Rational(2) ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+//===--- bench_throughput.cpp - Analyzer phase micro-benchmarks ------------===//
+//
+// Google-benchmark timings for the pipeline phases (parse+lower, abstract
+// interpretation + constraint generation + LP, certificate check, and the
+// reference interpreter), supporting the Table 2 claim that analyses
+// finish in fractions of a second.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/analysis/Analyzer.h"
+#include "c4b/ast/Parser.h"
+#include "c4b/cert/Certificate.h"
+#include "c4b/corpus/Corpus.h"
+#include "c4b/sem/Interp.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace c4b;
+
+namespace {
+
+const CorpusEntry &entry(const char *Name) {
+  const CorpusEntry *E = findEntry(Name);
+  if (!E)
+    std::abort();
+  return *E;
+}
+
+IRProgram lowered(const char *Name) {
+  DiagnosticEngine D;
+  auto P = parseString(entry(Name).Source, D);
+  auto IR = lowerProgram(*P, D);
+  return std::move(*IR);
+}
+
+void BM_ParseAndLower(benchmark::State &State) {
+  const CorpusEntry &E = entry("t27");
+  for (auto _ : State) {
+    DiagnosticEngine D;
+    auto P = parseString(E.Source, D);
+    auto IR = lowerProgram(*P, D);
+    benchmark::DoNotOptimize(IR);
+  }
+}
+BENCHMARK(BM_ParseAndLower);
+
+void analyzeEntry(benchmark::State &State, const char *Name) {
+  const CorpusEntry &E = entry(Name);
+  IRProgram IR = lowered(Name);
+  for (auto _ : State) {
+    AnalysisResult R =
+        analyzeProgram(IR, ResourceMetric::ticks(), {}, E.Function);
+    benchmark::DoNotOptimize(R.Success);
+  }
+}
+
+void BM_Analyze_Example1(benchmark::State &S) { analyzeEntry(S, "example1"); }
+void BM_Analyze_T08a(benchmark::State &S) { analyzeEntry(S, "t08a"); }
+void BM_Analyze_T27_Nested(benchmark::State &S) { analyzeEntry(S, "t27"); }
+void BM_Analyze_T39_Recursion(benchmark::State &S) { analyzeEntry(S, "t39"); }
+void BM_Analyze_ShaUpdate(benchmark::State &S) { analyzeEntry(S, "sha_update"); }
+BENCHMARK(BM_Analyze_Example1);
+BENCHMARK(BM_Analyze_T08a);
+BENCHMARK(BM_Analyze_T27_Nested);
+BENCHMARK(BM_Analyze_T39_Recursion);
+BENCHMARK(BM_Analyze_ShaUpdate);
+
+void BM_CertificateCheck_T08a(benchmark::State &State) {
+  IRProgram IR = lowered("t08a");
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), {}, "f");
+  Certificate C =
+      Certificate::fromResult(R, ResourceMetric::ticks(), AnalysisOptions{});
+  for (auto _ : State) {
+    CheckReport Rep = checkCertificate(IR, C);
+    benchmark::DoNotOptimize(Rep.Valid);
+  }
+}
+BENCHMARK(BM_CertificateCheck_T08a);
+
+void BM_Interpreter_T08_Grid(benchmark::State &State) {
+  IRProgram IR = lowered("t08");
+  Interpreter I(IR, ResourceMetric::ticks());
+  for (auto _ : State) {
+    Rational Total(0);
+    for (std::int64_t X = -40; X <= 40; X += 20)
+      for (std::int64_t Y = -40; Y <= 40; Y += 20)
+        Total += I.run("f", {X, Y}).NetCost;
+    benchmark::DoNotOptimize(Total);
+  }
+}
+BENCHMARK(BM_Interpreter_T08_Grid);
+
+} // namespace
+
+BENCHMARK_MAIN();

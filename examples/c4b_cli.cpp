@@ -1,0 +1,195 @@
+//===--- c4b_cli.cpp - Command-line driver for the analyzer ----------------===//
+//
+// The tool-shaped entry point, mirroring how the paper's C4B is used:
+//
+//   c4b [options] file.c4b
+//     --metric ticks|backedges|steps|stackdepth   (default ticks)
+//     --weaken minimal|normal|aggressive          (default normal)
+//     --monomorphic                               share one spec per function
+//     --baseline                                  also run the ranking baseline
+//     --cert FILE                                 write a certificate
+//     --check FILE                                validate a certificate
+//     --dump-ir                                   print the normalized IR
+//     --name NAME                                 analyze a corpus program
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/analysis/Analyzer.h"
+#include "c4b/ast/Parser.h"
+#include "c4b/baseline/Ranking.h"
+#include "c4b/cert/Certificate.h"
+#include "c4b/corpus/Corpus.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace c4b;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: c4b [--metric M] [--weaken W] [--monomorphic] [--baseline]\n"
+      "           [--cert FILE | --check FILE] [--dump-ir]\n"
+      "           (FILE.c4b | --name CORPUS_ENTRY | --list)\n");
+  return 2;
+}
+
+std::string readFile(const char *Path, bool &Ok) {
+  std::ifstream In(Path);
+  if (!In) {
+    Ok = false;
+    return "";
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Ok = true;
+  return SS.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string MetricName = "ticks";
+  AnalysisOptions Opts;
+  bool RunBaseline = false, DumpIR = false;
+  const char *CertOut = nullptr, *CertIn = nullptr;
+  const char *InputFile = nullptr, *CorpusName = nullptr;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto needArg = [&](const char *&Slot) {
+      if (I + 1 >= Argc)
+        return false;
+      Slot = Argv[++I];
+      return true;
+    };
+    if (!std::strcmp(A, "--metric")) {
+      const char *V = nullptr;
+      if (!needArg(V))
+        return usage();
+      MetricName = V;
+    } else if (!std::strcmp(A, "--weaken")) {
+      const char *V = nullptr;
+      if (!needArg(V))
+        return usage();
+      if (!std::strcmp(V, "minimal"))
+        Opts.Weaken = WeakenPlacement::Minimal;
+      else if (!std::strcmp(V, "normal"))
+        Opts.Weaken = WeakenPlacement::Normal;
+      else if (!std::strcmp(V, "aggressive"))
+        Opts.Weaken = WeakenPlacement::Aggressive;
+      else
+        return usage();
+    } else if (!std::strcmp(A, "--monomorphic")) {
+      Opts.PolymorphicCalls = false;
+    } else if (!std::strcmp(A, "--baseline")) {
+      RunBaseline = true;
+    } else if (!std::strcmp(A, "--dump-ir")) {
+      DumpIR = true;
+    } else if (!std::strcmp(A, "--cert")) {
+      if (!needArg(CertOut))
+        return usage();
+    } else if (!std::strcmp(A, "--check")) {
+      if (!needArg(CertIn))
+        return usage();
+    } else if (!std::strcmp(A, "--name")) {
+      if (!needArg(CorpusName))
+        return usage();
+    } else if (!std::strcmp(A, "--list")) {
+      for (const CorpusEntry &E : corpus())
+        std::printf("%-30s %-8s %s\n", E.Name, E.Category, E.PaperC4B);
+      return 0;
+    } else if (A[0] == '-') {
+      return usage();
+    } else {
+      InputFile = A;
+    }
+  }
+
+  std::optional<ResourceMetric> M = metricByName(MetricName);
+  if (!M) {
+    std::fprintf(stderr, "unknown metric '%s'\n", MetricName.c_str());
+    return 2;
+  }
+
+  std::string Source;
+  if (CorpusName) {
+    const CorpusEntry *E = findEntry(CorpusName);
+    if (!E) {
+      std::fprintf(stderr, "no corpus entry named '%s' (try --list)\n",
+                   CorpusName);
+      return 2;
+    }
+    Source = E->Source;
+  } else if (InputFile) {
+    bool Ok = false;
+    Source = readFile(InputFile, Ok);
+    if (!Ok) {
+      std::fprintf(stderr, "cannot read '%s'\n", InputFile);
+      return 2;
+    }
+  } else {
+    return usage();
+  }
+
+  DiagnosticEngine Diags;
+  auto Ast = parseString(Source, Diags);
+  std::optional<IRProgram> IR;
+  if (Ast)
+    IR = lowerProgram(*Ast, Diags);
+  if (!IR) {
+    std::fprintf(stderr, "%s", Diags.toString().c_str());
+    return 1;
+  }
+  if (DumpIR)
+    std::printf("%s\n", printIR(*IR).c_str());
+
+  if (CertIn) {
+    bool Ok = false;
+    std::string Text = readFile(CertIn, Ok);
+    auto C = Ok ? Certificate::deserialize(Text) : std::nullopt;
+    if (!C) {
+      std::fprintf(stderr, "cannot parse certificate '%s'\n", CertIn);
+      return 1;
+    }
+    CheckReport Rep = checkCertificate(*IR, *C);
+    std::printf("certificate: %s (%d rule instances)\n",
+                Rep.Valid ? "VALID" : "INVALID", Rep.ConstraintsChecked);
+    for (const std::string &V : Rep.Violations)
+      std::printf("  violation: %s\n", V.c_str());
+    return Rep.Valid ? 0 : 1;
+  }
+
+  AnalysisResult R = analyzeProgram(*IR, *M, Opts);
+  if (!R.Success) {
+    std::fprintf(stderr, "no bound: %s\n", R.Error.c_str());
+    return 1;
+  }
+  for (const auto &[Fn, B] : R.Bounds)
+    std::printf("%-24s %s\n", (Fn + ":").c_str(), B.toString().c_str());
+  std::fprintf(stderr,
+               "; metric=%s vars=%d constraints=%d eliminated=%d "
+               "time=%.3fs\n",
+               MetricName.c_str(), R.NumVars, R.NumConstraints,
+               R.NumEliminated, R.AnalysisSeconds);
+
+  if (RunBaseline)
+    for (const IRFunction &F : IR->Functions) {
+      RankingResult RR = analyzeRanking(*IR, F.Name, *M);
+      std::printf("%-24s [baseline] %s\n", (F.Name + ":").c_str(),
+                  RR.Found ? RR.Expr.c_str()
+                           : ("- (" + RR.FailureReason + ")").c_str());
+    }
+
+  if (CertOut) {
+    Certificate C = Certificate::fromResult(R, *M, Opts);
+    std::ofstream Out(CertOut);
+    Out << C.serialize();
+    std::printf("certificate written to %s\n", CertOut);
+  }
+  return 0;
+}

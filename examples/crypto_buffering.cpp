@@ -1,0 +1,93 @@
+//===--- crypto_buffering.cpp - Bounding block-cipher buffering code -------===//
+//
+// The scenario that motivates Figure 3's t61: block-based cryptographic
+// primitives consume data in fixed-size blocks and stash the leftover for
+// the next call (the paper found the pattern in PGP, libtiff, and MAD).
+// This example models a CFB-style encryptor with an explicit buffer
+// counter plus a message pump that calls it, derives tick bounds (per-byte
+// work) and back-edge bounds (loop iterations), and validates them on a
+// traffic simulation driven by the cost semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/analysis/Analyzer.h"
+#include "c4b/ast/Parser.h"
+#include "c4b/sem/Interp.h"
+
+#include <cstdio>
+
+using namespace c4b;
+
+static const char *Source =
+    "int buffered;\n"
+    "\n"
+    "int cfb_encrypt(int n) {\n"
+    "  // Consume n bytes; run the block cipher whenever 8 are buffered.\n"
+    "  // The buffer invariant is the qualitative obligation the caller\n"
+    "  // maintains (Section 6); it is what lets the tick(8) amortize.\n"
+    "  assert(buffered >= 0);\n"
+    "  assert(buffered <= 7);\n"
+    "  while (n > 0) {\n"
+    "    n--;\n"
+    "    buffered++;\n"
+    "    if (buffered >= 8) {\n"
+    "      buffered = 0;\n"
+    "      tick(8);   // One block-cipher invocation.\n"
+    "    }\n"
+    "    tick(1);     // Per-byte XOR and copy.\n"
+    "  }\n"
+    "  return buffered;\n"
+    "}\n"
+    "\n"
+    "void pump(int total) {\n"
+    "  int left;\n"
+    "  // Stream a byte budget in 8-byte frames plus one leftover call --\n"
+    "  // the t61 block/leftover pattern from PGP.\n"
+    "  while (total >= 8) {\n"
+    "    total -= 8;\n"
+    "    left = cfb_encrypt(8);\n"
+    "    tick(1);     // Per-frame framing.\n"
+    "  }\n"
+    "  left = cfb_encrypt(total);\n"
+    "}\n";
+
+int main() {
+  DiagnosticEngine Diags;
+  auto Ast = parseString(Source, Diags);
+  auto IR = lowerProgram(*Ast, Diags);
+  if (!IR) {
+    std::printf("%s", Diags.toString().c_str());
+    return 1;
+  }
+
+  for (const char *Metric : {"ticks", "backedges"}) {
+    ResourceMetric M = Metric == std::string("ticks")
+                           ? ResourceMetric::ticks()
+                           : ResourceMetric::backEdges();
+    AnalysisResult R = analyzeProgram(*IR, M, {});
+    std::printf("metric %-10s cfb_encrypt(n): %-28s pump(total): %s\n",
+                Metric,
+                R.Success ? R.Bounds.at("cfb_encrypt").toString().c_str()
+                          : "-",
+                R.Success ? R.Bounds.at("pump").toString().c_str() : "-");
+  }
+
+  // The function abstraction at work: pump's bound was derived from
+  // cfb_encrypt's specification, not its body.  Validate on traffic.
+  AnalysisResult R = analyzeProgram(*IR, ResourceMetric::ticks(), {});
+  if (!R.Success)
+    return 1;
+  const Bound &B = R.Bounds.at("pump");
+  std::printf("\nsimulated traffic (bound is per whole pump call):\n");
+  std::printf("%8s | %10s %10s\n", "total", "measured", "bound");
+  Interpreter I(*IR, ResourceMetric::ticks());
+  I.setFuel(100'000'000);
+  for (std::int64_t Total : {0, 7, 64, 1000, 65536}) {
+    ExecResult E = I.run("pump", {Total});
+    Rational BV = B.evaluate({{"total", Total}});
+    std::printf("%8lld | %10s %10s %s\n", (long long)Total,
+                E.NetCost.toString().c_str(), BV.toString().c_str(),
+                BV >= E.NetCost ? "" : "  <-- UNSOUND");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===--- memory_amortization.cpp - Heap high-water-mark bounds -------------===//
+//
+// The introduction motivates resources "that may become available during
+// execution (e.g., when freeing memory)".  This example models a
+// producer/consumer over a work queue: enqueue costs one cell (tick(1)),
+// dequeue returns it (tick(-1)).  The derived bound is on the *high-water
+// mark* of live cells, not the total allocation count -- the quantity that
+// sizes a static arena.  The interpreter's peak-cost tracking plays the
+// part of the heap meter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/analysis/Analyzer.h"
+#include "c4b/ast/Parser.h"
+#include "c4b/sem/Interp.h"
+
+#include <cstdio>
+
+using namespace c4b;
+
+static const char *Source =
+    "void produce(int n) {\n"
+    "  while (n > 0) { n--; tick(1); }    // Allocate one cell per item.\n"
+    "}\n"
+    "void consume(int n) {\n"
+    "  while (n > 0) { n--; tick(-1); }   // Free it.\n"
+    "}\n"
+    "void bursty(int rounds) {\n"
+    "  int k;\n"
+    "  // Allocate a fixed 8-cell burst, then drain it, every round.\n"
+    "  while (rounds > 0) {\n"
+    "    rounds--;\n"
+    "    k = 8;\n"
+    "    while (k > 0) { k--; tick(1); }\n"
+    "    k = 8;\n"
+    "    while (k > 0) { k--; tick(-1); }\n"
+    "  }\n"
+    "}\n"
+    "void leaky(int rounds) {\n"
+    "  int k;\n"
+    "  // Same, but one cell per round is never freed.\n"
+    "  while (rounds > 0) {\n"
+    "    rounds--;\n"
+    "    k = 8;\n"
+    "    while (k > 0) { k--; tick(1); }\n"
+    "    k = 7;\n"
+    "    while (k > 0) { k--; tick(-1); }\n"
+    "  }\n"
+    "}\n";
+
+int main() {
+  DiagnosticEngine Diags;
+  auto Ast = parseString(Source, Diags);
+  auto IR = lowerProgram(*Ast, Diags);
+  if (!IR) {
+    std::printf("%s", Diags.toString().c_str());
+    return 1;
+  }
+  AnalysisResult R = analyzeProgram(*IR, ResourceMetric::ticks(), {});
+  if (!R.Success) {
+    std::printf("analysis failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("arena bounds (cells):\n");
+  for (const char *Fn : {"produce", "consume", "bursty", "leaky"})
+    std::printf("  %-8s %s\n", Fn, R.Bounds.at(Fn).toString().c_str());
+  std::printf("\nbursty drains every burst, so its arena bound is a "
+              "constant;\nleaky keeps one cell per round, so rounds enter "
+              "the bound.\n\n");
+
+  Interpreter I(*IR, ResourceMetric::ticks());
+  std::printf("%-8s %7s | %10s %12s %10s\n", "fn", "rounds", "peak live",
+              "total alloc", "bound");
+  for (const char *Fn : {"bursty", "leaky"})
+    for (std::int64_t Rounds : {10, 100, 1000}) {
+      ExecResult E = I.run(Fn, {Rounds});
+      Rational BV = R.Bounds.at(Fn).evaluate({{"rounds", Rounds}});
+      std::printf("%-8s %7lld | %10s %12lld %10s %s\n", Fn,
+                  (long long)Rounds, E.PeakCost.toString().c_str(),
+                  (long long)(Rounds * 8), BV.toString().c_str(),
+                  BV >= E.PeakCost ? "" : " <-- UNSOUND");
+    }
+  std::printf("\nnote how bursty's peak stays at one burst while its total "
+              "allocation grows with rounds * 8.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===--- Analyzer.h - Public bound-inference API ----------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level entry point of the library: parse / lower a program, run
+/// the automatic amortized analysis under a resource metric, and obtain
+/// symbolic bounds plus a checkable certificate (the full rational
+/// solution of the constraint system).
+///
+/// \code
+///   auto R = c4b::analyzeSource(Src, c4b::ResourceMetric::ticks());
+///   if (R.Success)
+///     llvm-style-print(R.Bounds.at("f").toString());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_ANALYSIS_ANALYZER_H
+#define C4B_ANALYSIS_ANALYZER_H
+
+#include "c4b/analysis/ConstraintGen.h"
+#include "c4b/ir/IR.h"
+#include "c4b/sem/Metric.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// Everything the analysis produced for one program.
+struct AnalysisResult {
+  bool Success = false;
+  /// Human-readable failure reason when !Success.
+  std::string Error;
+  /// Inferred bound of every function (entry potential of its spec).
+  std::map<std::string, Bound> Bounds;
+  /// The full rational solution: a proof certificate for the bounds.
+  std::vector<Rational> Solution;
+
+  // Statistics.
+  int NumVars = 0;
+  int NumConstraints = 0;
+  int NumEliminated = 0;
+  int NumWeakenPoints = 0;
+  int NumCallInstantiations = 0;
+  double AnalysisSeconds = 0.0;
+
+  const Bound *boundFor(const std::string &Fn) const {
+    auto It = Bounds.find(Fn);
+    return It == Bounds.end() ? nullptr : &It->second;
+  }
+};
+
+/// Runs the automatic amortized analysis on a lowered program.
+/// When \p Focus names a function, the LP objective prioritizes the
+/// tightness of that function's bound.
+AnalysisResult analyzeProgram(const IRProgram &P, const ResourceMetric &M,
+                              const AnalysisOptions &O = {},
+                              const std::string &Focus = "");
+
+/// Convenience: parse + lower + analyze a source string.  Parse and
+/// lowering diagnostics are reported through the Error field.
+AnalysisResult analyzeSource(const std::string &Source,
+                             const ResourceMetric &M,
+                             const AnalysisOptions &O = {},
+                             const std::string &Focus = "");
+
+} // namespace c4b
+
+#endif // C4B_ANALYSIS_ANALYZER_H

@@ -1,0 +1,140 @@
+//===--- ConstraintGen.h - Derivation rules as LP constraints ---*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The derivation system of Figure 4, implemented as a single walker over
+/// the IR that emits linear constraints through a ConstraintSink.  Two
+/// sinks exist:
+///
+///   * EmitSink feeds the presolving LP solver (bound inference), and
+///   * the certificate checker re-runs the same walk with a sink that
+///     evaluates every constraint against solved rational values
+///     (Section 5: "a satisfying assignment is a proof certificate ...
+///     checked in linear time by a simple validator").
+///
+/// Because both paths execute the identical deterministic walk, variable
+/// ids line up and a solution vector *is* the certificate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_ANALYSIS_CONSTRAINTGEN_H
+#define C4B_ANALYSIS_CONSTRAINTGEN_H
+
+#include "c4b/analysis/Potential.h"
+#include "c4b/logic/Context.h"
+#include "c4b/lp/Solver.h"
+#include "c4b/sem/Metric.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// Where the constraint stream goes (LP solver or certificate validator).
+class ConstraintSink {
+public:
+  virtual ~ConstraintSink() = default;
+  /// Allocates a coefficient variable (implicitly >= 0).
+  virtual int addVar(const std::string &Name) = 0;
+  /// Emits `sum Terms R Rhs`.
+  virtual void addConstraint(std::vector<LinTerm> Terms, Rel R,
+                             Rational Rhs) = 0;
+};
+
+/// How many weakening (RELAX) points the generator inserts; the ablation
+/// benchmark sweeps this.
+enum class WeakenPlacement {
+  Minimal,    ///< Only the merges required by the rules (joins, back edges,
+              ///< breaks, returns).
+  Normal,     ///< + branch entries, before tick and call statements.
+  Aggressive, ///< + before every potential-relevant assignment.
+};
+
+/// Knobs for the analysis.
+struct AnalysisOptions {
+  WeakenPlacement Weaken = WeakenPlacement::Normal;
+  /// Re-instantiate callee constraints per call site (resource
+  /// polymorphism) instead of sharing one specification.
+  bool PolymorphicCalls = true;
+  /// Use the two-stage lexicographic objective of Section 5.
+  bool TwoStageObjective = true;
+  /// Guard against pathological call-chain blowup.
+  int MaxCallDepth = 32;
+};
+
+/// A function specification (Gamma_f; Q_f, Gamma'_f; Q'_f): potential over
+/// the formals (pre) and over the return value (post), plus the program's
+/// constant atoms on both sides.
+struct FuncSpec {
+  IndexSet PreIS;   ///< Atoms: formals + constants.
+  Annotation Pre;
+  IndexSet PostIS;  ///< Atoms: `$ret` (for int functions) + constants.
+  Annotation Post;
+  bool ReturnsValue = false;
+};
+
+/// Runs the derivation over a whole program, bottom-up over call-graph
+/// SCCs, writing constraints into the sink.
+class ProgramAnalyzer {
+public:
+  ProgramAnalyzer(const IRProgram &P, const ResourceMetric &M,
+                  const AnalysisOptions &O, ConstraintSink &Sink);
+
+  /// Emits all constraints.  Returns false on structural failure (e.g.
+  /// call-depth blowout); LP infeasibility is discovered later by the
+  /// solver.
+  bool run();
+
+  /// The canonical (non-cloned) spec of each function.
+  const std::map<std::string, FuncSpec> &specs() const { return Specs; }
+
+  /// Stage-1 objective: interval coefficients of every canonical spec
+  /// precondition, weighted by the Section 5 penalty scheme.  When
+  /// \p Focus is non-empty that function's terms dominate.
+  std::vector<LinTerm> stage1Objective(const std::string &Focus = "") const;
+  /// Stage-2 objective: constant potential of every canonical spec.
+  std::vector<LinTerm> stage2Objective(const std::string &Focus = "") const;
+
+  /// Reconstructs the bound of \p Function from a solved value vector.
+  std::optional<Bound> boundOf(const std::string &Function,
+                               const std::vector<Rational> &Values) const;
+
+  /// Statistics.
+  int numWeakenPoints() const { return WeakenPoints; }
+  int numCallInstantiations() const { return CallInstantiations; }
+
+private:
+  const IRProgram &Prog;
+  const ResourceMetric &Metric;
+  AnalysisOptions Opts;
+  ConstraintSink &Sink;
+  CallGraph CG;
+  std::map<std::string, std::set<std::string>> ModGlobals;
+  std::map<std::string, FuncSpec> Specs;
+  std::vector<Atom> ConstAtoms; ///< Program-wide constant atoms.
+  int WeakenPoints = 0;
+  int CallInstantiations = 0;
+  bool Failed = false;
+
+  friend class FunctionWalker;
+
+  FuncSpec makeSpec(const IRFunction &F);
+  void analyzeFunctionBody(const IRFunction &F, const FuncSpec &Spec,
+                           const std::set<std::string> &CurrentSCC, int Depth);
+  /// Instantiates a fresh spec for a cross-SCC callee (polymorphic mode) or
+  /// returns the canonical one (monomorphic / in-SCC).
+  const FuncSpec *specForCall(const std::string &Callee,
+                              const std::set<std::string> &CurrentSCC,
+                              int Depth, FuncSpec &Storage);
+  void collectConstAtoms();
+};
+
+} // namespace c4b
+
+#endif // C4B_ANALYSIS_CONSTRAINTGEN_H

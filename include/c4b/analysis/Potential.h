@@ -1,0 +1,114 @@
+//===--- Potential.h - Potential indices and annotations --------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linear potential functions of Section 3:
+///
+///   Phi(sigma) = q0 + sum_{x != y} q_(x,y) * |[sigma(x), sigma(y)]|
+///
+/// where |[a,b]| = max(0, b - a) and the endpoints range over *atoms*:
+/// program variables plus the integer constants occurring in the program
+/// (the paper models constants as read-only globals like c1988).  An
+/// IndexSet fixes the atom universe of one function; an Annotation maps
+/// each index to an LP variable holding its coefficient.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_ANALYSIS_POTENTIAL_H
+#define C4B_ANALYSIS_POTENTIAL_H
+
+#include "c4b/ir/IR.h"
+#include "c4b/support/Rational.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// The universe of potential indices for one function: index 0 is the
+/// constant, the rest are ordered pairs of distinct atoms.
+class IndexSet {
+public:
+  IndexSet() = default;
+
+  /// Builds the universe from atom lists.  Duplicate atoms are merged.
+  static IndexSet fromAtoms(const std::vector<Atom> &Atoms);
+
+  int numAtoms() const { return static_cast<int>(Atoms.size()); }
+  int numIndices() const { return 1 + static_cast<int>(Pairs.size()); }
+
+  const std::vector<Atom> &atoms() const { return Atoms; }
+
+  /// Index id of the constant coefficient q0.
+  static constexpr int ConstIdx = 0;
+
+  /// Interval endpoints of index \p I (I >= 1).
+  const std::pair<Atom, Atom> &pair(int I) const { return Pairs[I - 1]; }
+
+  /// Id of the interval index (A,B); -1 when A==B or either atom is
+  /// outside the universe.
+  int indexOf(const Atom &A, const Atom &B) const;
+
+  bool containsAtom(const Atom &A) const { return AtomIds.count(A) != 0; }
+
+  /// True when index \p I has at least one variable endpoint.
+  bool hasVarEndpoint(int I) const;
+
+  /// Pretty name: "const" or "|[a,b]|".
+  std::string indexName(int I) const;
+
+private:
+  std::vector<Atom> Atoms;
+  std::map<Atom, int> AtomIds;
+  std::vector<std::pair<Atom, Atom>> Pairs;
+  std::map<std::pair<Atom, Atom>, int> PairIds;
+};
+
+/// One quantitative annotation Q: an LP variable per potential index.
+/// Entry -1 denotes the literal coefficient 0 (used for indices a function
+/// entry has no potential on).
+struct Annotation {
+  std::vector<int> Vars;
+
+  int at(int Index) const { return Vars[static_cast<std::size_t>(Index)]; }
+  int constVar() const { return Vars[IndexSet::ConstIdx]; }
+  int size() const { return static_cast<int>(Vars.size()); }
+};
+
+/// A symbolic resource bound: the entry potential with solved coefficients.
+struct Bound {
+  /// Constant part (q0 plus constant-constant interval contributions).
+  Rational Const;
+  /// Interval terms with at least one variable endpoint.
+  struct Term {
+    Rational Coef;
+    Atom Lo, Hi;
+  };
+  std::vector<Term> Terms;
+
+  bool isConstant() const { return Terms.empty(); }
+
+  /// Degree in the sense of Table 1: 0 for constant, 1 for linear.
+  int degree() const { return Terms.empty() ? 0 : 1; }
+
+  /// Renders e.g. "1/3 + 2/3*|[y, x]|".
+  std::string toString() const;
+
+  /// Evaluates the bound on concrete variable values.
+  Rational evaluate(const std::map<std::string, std::int64_t> &Env) const;
+};
+
+/// The LP objective weight of an interval index, following the penalty
+/// scheme of Section 5 (Figure 5's example uses 1, 11, 9990, 10000):
+/// narrower intervals are preferred over wider ones.
+Rational stage1Weight(const Atom &A, const Atom &B);
+
+} // namespace c4b
+
+#endif // C4B_ANALYSIS_POTENTIAL_H

@@ -1,0 +1,175 @@
+//===--- AST.h - Abstract syntax of the C4B language ------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax tree produced by the parser.  Expressions are
+/// side-effect free (as in Clight); assignments, calls, `tick`, and
+/// `assert` are statements.  The tree is deliberately small: the analysis
+/// operates on the normalized IR (see c4b/ir/IR.h), and this layer only
+/// exists so inputs can be written in familiar C notation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_AST_AST_H
+#define C4B_AST_AST_H
+
+#include "c4b/support/Diagnostics.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binary operators (arithmetic, comparison, and short-circuit logic).
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,
+};
+
+/// Unary operators.
+enum class UnOp { Neg, Not };
+
+/// Discriminator for Expr.
+enum class ExprKind {
+  IntLit,    ///< Integer constant.
+  Var,       ///< Scalar variable reference.
+  ArrayElem, ///< a[index].
+  Unary,     ///< UnOp applied to Sub[0].
+  Binary,    ///< BinOp applied to Sub[0], Sub[1].
+  Nondet,    ///< The paper's `*`: an arbitrary boolean.
+};
+
+/// A side-effect-free expression.
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+  std::int64_t IntValue = 0;              // IntLit.
+  std::string Name;                       // Var / ArrayElem base.
+  BinOp Bin = BinOp::Add;                 // Binary.
+  UnOp Un = UnOp::Neg;                    // Unary.
+  std::vector<std::unique_ptr<Expr>> Sub; // Operands; index of ArrayElem.
+
+  explicit Expr(ExprKind K) : Kind(K) {}
+
+  static std::unique_ptr<Expr> makeInt(std::int64_t V, SourceLoc Loc = {});
+  static std::unique_ptr<Expr> makeVar(std::string Name, SourceLoc Loc = {});
+  static std::unique_ptr<Expr> makeBinary(BinOp Op, std::unique_ptr<Expr> L,
+                                          std::unique_ptr<Expr> R);
+  static std::unique_ptr<Expr> makeUnary(UnOp Op, std::unique_ptr<Expr> E);
+
+  std::unique_ptr<Expr> clone() const;
+
+  /// True for comparison and logical operators (boolean-valued trees).
+  bool isBoolean() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for Stmt.
+enum class StmtKind {
+  Skip,
+  Block,    ///< { s1; ...; sn }
+  VarDecl,  ///< int x; / int x = e; / int a[n];
+  Assign,   ///< x = e;  or  a[i] = e;
+  Call,     ///< x = f(args);  or  f(args);
+  If,
+  While,
+  DoWhile,
+  For,
+  Break,
+  Return,   ///< return;  or  return e;
+  Tick,     ///< tick(n);
+  Assert,   ///< assert(e);
+};
+
+/// A statement.
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+
+  std::vector<std::unique_ptr<Stmt>> Body; // Block: children; loops/if: below.
+
+  // VarDecl.
+  std::string DeclName;
+  std::int64_t ArraySize = 0; ///< > 0 when declaring an array.
+  std::unique_ptr<Expr> Init; ///< Optional initializer.
+
+  // Assign: either a scalar target (TargetName) or an array element
+  // (TargetName with TargetIndex).
+  std::string TargetName;
+  std::unique_ptr<Expr> TargetIndex;
+  std::unique_ptr<Expr> Value;
+
+  // Call.
+  std::string Callee;
+  std::vector<std::unique_ptr<Expr>> Args;
+  std::string ResultVar; ///< Empty for a procedure call.
+
+  // If / While / DoWhile / For.
+  std::unique_ptr<Expr> Cond;          ///< Null means `true` (for(;;)).
+  std::unique_ptr<Stmt> Then, Else;    ///< If branches / loop body in Then.
+  std::unique_ptr<Stmt> ForInit, ForStep;
+
+  // Return.
+  std::unique_ptr<Expr> RetValue;
+
+  // Tick amount (integer; negative releases resources).
+  std::int64_t TickAmount = 0;
+
+  // Assert condition in Cond.
+
+  explicit Stmt(StmtKind K) : Kind(K) {}
+
+  static std::unique_ptr<Stmt> makeBlock();
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A function definition.
+struct FunctionDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  bool ReturnsValue = false; ///< int (true) vs void (false).
+  std::unique_ptr<Stmt> Body;
+  SourceLoc Loc;
+};
+
+/// A global scalar or array declaration.
+struct GlobalDecl {
+  std::string Name;
+  std::int64_t ArraySize = 0; ///< 0 for a scalar.
+  std::int64_t InitValue = 0;
+  SourceLoc Loc;
+};
+
+/// A whole translation unit.
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+
+  const FunctionDecl *findFunction(const std::string &Name) const;
+};
+
+/// Renders the AST back to C4B source (tests round-trip through this).
+std::string printExpr(const Expr &E);
+std::string printStmt(const Stmt &S, int Indent = 0);
+std::string printProgram(const Program &P);
+
+} // namespace c4b
+
+#endif // C4B_AST_AST_H

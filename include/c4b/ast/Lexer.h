@@ -1,0 +1,111 @@
+//===--- Lexer.h - Tokens and lexer for the C4B language --------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the C-like input language of the analyzer.  The language
+/// covers the fragment of Clight the paper's derivation system operates on:
+/// integer variables and arrays, structured control flow, `tick(n)` resource
+/// annotations, `assert`, and the `*` non-deterministic condition used in
+/// the paper's examples (t27, t13, t62, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_AST_LEXER_H
+#define C4B_AST_LEXER_H
+
+#include "c4b/support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// Token kinds of the C4B language.
+enum class TokKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwInt,
+  KwVoid,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwIf,
+  KwElse,
+  KwBreak,
+  KwReturn,
+  KwAssert,
+  KwTick,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Assign,     // =
+  PlusAssign, // +=
+  MinusAssign,// -=
+  PlusPlus,   // ++
+  MinusMinus, // --
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+  Not,
+};
+
+/// Returns a human-readable spelling for diagnostics.
+const char *tokKindName(TokKind K);
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;        // Identifier spelling.
+  std::int64_t IntValue = 0; // IntLiteral value.
+};
+
+/// Converts a source buffer into a token stream.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the whole buffer.  The last token is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  std::string Src;
+  DiagnosticEngine &Diags;
+  std::size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+
+  char peek(int Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  void skipTrivia();
+  Token makeToken(TokKind K, SourceLoc Loc) const;
+  Token lexOne();
+};
+
+} // namespace c4b
+
+#endif // C4B_AST_LEXER_H

@@ -1,0 +1,76 @@
+//===--- Parser.h - Recursive-descent parser for C4B ------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser building the AST of AST.h.  The grammar is a
+/// C subset: global int/array declarations, functions over int parameters,
+/// structured statements, comma-sequenced simple statements
+/// (`t=x, x=y, y=t;` from the paper's t30), `tick`, `assert`, and the `*`
+/// non-deterministic condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_AST_PARSER_H
+#define C4B_AST_PARSER_H
+
+#include "c4b/ast/AST.h"
+#include "c4b/ast/Lexer.h"
+
+#include <optional>
+
+namespace c4b {
+
+/// Parses one translation unit.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Returns the parsed program, or nullopt when errors were reported.
+  std::optional<Program> parseProgram();
+
+private:
+  std::vector<Token> Toks;
+  DiagnosticEngine &Diags;
+  std::size_t Pos = 0;
+
+  const Token &peek(int Ahead = 0) const;
+  const Token &advance();
+  bool check(TokKind K) const { return peek().Kind == K; }
+  bool accept(TokKind K);
+  bool expect(TokKind K, const char *Context);
+
+  void parseTopLevel(Program &P);
+  void parseFunction(Program &P, bool ReturnsValue);
+  std::unique_ptr<Stmt> parseBlock();
+  std::unique_ptr<Stmt> parseStmt();
+  std::unique_ptr<Stmt> parseSimpleStmtList();
+  std::unique_ptr<Stmt> parseSimpleStmt();
+  std::unique_ptr<Stmt> parseVarDecl();
+
+  std::unique_ptr<Expr> parseExpr();
+  std::unique_ptr<Expr> parseOr();
+  std::unique_ptr<Expr> parseAnd();
+  std::unique_ptr<Expr> parseComparison();
+  std::unique_ptr<Expr> parseAdditive();
+  std::unique_ptr<Expr> parseMultiplicative();
+  std::unique_ptr<Expr> parseUnary();
+  std::unique_ptr<Expr> parsePrimary();
+
+  /// Parses the argument list of a call (after the callee identifier).
+  bool parseCallArgs(Stmt &Call);
+
+  std::unique_ptr<Stmt> errorStmt(const char *Msg);
+  std::unique_ptr<Expr> errorExpr(const char *Msg);
+};
+
+/// Convenience: lex + parse a source string.
+std::optional<Program> parseString(const std::string &Source,
+                                   DiagnosticEngine &Diags);
+
+} // namespace c4b
+
+#endif // C4B_AST_PARSER_H

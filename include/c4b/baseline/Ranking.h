@@ -1,0 +1,50 @@
+//===--- Ranking.h - Classical ranking-function baseline --------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately classical bound analyzer in the style the paper
+/// attributes to Rank/KoAT/LOOPUS (Sections 1 and 3): one linear ranking
+/// function per loop taken from the loop guard, additive composition of
+/// sequenced loops, multiplicative composition of nested loops, and no
+/// function abstraction (callees are inlined).  It exists as the
+/// comparison point for the Figure 8 / Table 1 / Table 3 benchmarks: it
+/// succeeds on regular counting loops but loses precision (or fails) on
+/// amortized, sequenced-interaction, and recursion patterns -- which is
+/// exactly the gap the amortized analysis closes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_BASELINE_RANKING_H
+#define C4B_BASELINE_RANKING_H
+
+#include "c4b/ir/IR.h"
+#include "c4b/sem/Metric.h"
+
+#include <string>
+
+namespace c4b {
+
+/// Result of the classical analysis on one function.
+struct RankingResult {
+  bool Found = false;
+  /// Polynomial degree of the bound (1 = linear, 2 = quadratic, ...).
+  int Degree = 0;
+  /// Human-readable bound expression over the function inputs, e.g.
+  /// "41*max(0, x - j) * max(0, y)".
+  std::string Expr;
+  /// Why the analysis failed, when it did.
+  std::string FailureReason;
+};
+
+/// Runs the ranking-function baseline on \p Fn under metric \p M
+/// (tick costs and back-edge costs are supported).
+RankingResult analyzeRanking(const IRProgram &P, const std::string &Fn,
+                             const ResourceMetric &M);
+
+} // namespace c4b
+
+#endif // C4B_BASELINE_RANKING_H

@@ -1,0 +1,69 @@
+//===--- Certificate.h - Checkable bound certificates -----------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Proof certificates for derived bounds.  Section 5 of the paper: "a
+/// satisfying assignment is a proof certificate ... this certificate can
+/// be checked in linear time by a simple validator."
+///
+/// A certificate is the full rational solution of the constraint system.
+/// The validator re-runs the deterministic derivation walk with a sink
+/// that, instead of solving, *evaluates* every emitted constraint against
+/// the certified values -- one pass, one arithmetic check per rule
+/// instance, no LP.  Because generator and checker share the walker, the
+/// checker verifies exactly the rules the inference used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_CERT_CERTIFICATE_H
+#define C4B_CERT_CERTIFICATE_H
+
+#include "c4b/analysis/Analyzer.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// A certified analysis: metric + options pin down the derivation walk,
+/// Values certify it, Bounds are the claims being certified.
+struct Certificate {
+  std::string MetricName; ///< One of the preset metric names.
+  AnalysisOptions Options;
+  std::vector<Rational> Values;
+  std::map<std::string, Bound> Bounds;
+
+  /// Builds the certificate of a successful analysis.
+  static Certificate fromResult(const AnalysisResult &R,
+                                const ResourceMetric &M,
+                                const AnalysisOptions &O);
+
+  /// Line-oriented text form (round-trips through parse).
+  std::string serialize() const;
+  static std::optional<Certificate> deserialize(const std::string &Text);
+};
+
+/// Outcome of validating a certificate.
+struct CheckReport {
+  bool Valid = false;
+  int ConstraintsChecked = 0;
+  std::vector<std::string> Violations;
+};
+
+/// Validates \p C against \p P: replays the derivation deterministically,
+/// checks every constraint, non-negativity of all coefficients, and that
+/// the claimed bounds equal the entry potentials of the certified values.
+CheckReport checkCertificate(const IRProgram &P, const Certificate &C);
+
+/// Resolves a preset metric by name ("ticks", "backedges", "steps",
+/// "stackdepth").
+std::optional<ResourceMetric> metricByName(const std::string &Name);
+
+} // namespace c4b
+
+#endif // C4B_CERT_CERTIFICATE_H

@@ -1,0 +1,60 @@
+//===--- Corpus.h - The paper's example programs ----------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every program analyzed in the paper, as C4B-language sources, together
+/// with the published bounds of C4B and of the compared tools (KoAT, Rank,
+/// LOOPUS, SPEED) where the paper reports them.  The test suite, the
+/// benchmark harness, and the examples all draw from this single corpus.
+///
+/// Where the paper does not print a program (most of the Table 3 suite and
+/// the cBench functions), the source is a reconstruction faithful to the
+/// name, the published bound, and the loop/recursion pattern the paper
+/// describes; DESIGN.md documents this substitution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_CORPUS_CORPUS_H
+#define C4B_CORPUS_CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// Reference value of a tool column in the paper's tables.
+/// "-" = tool failed; "?" = not tested / not reported.
+struct CorpusEntry {
+  const char *Name;       ///< e.g. "t09".
+  const char *Category;   ///< "intro", "fig2", "fig3", "fig8", "table3",
+                          ///< "sect6", "cbench".
+  const char *Function;   ///< Entry function whose bound the paper reports.
+  const char *Source;     ///< C4B-language program text.
+  const char *PaperC4B;   ///< Bound the paper reports for C4B.
+  const char *PaperRank;  ///< Rank column (Table 3 / Figure 8).
+  const char *PaperLoopus;///< LOOPUS column.
+  const char *PaperKoat;  ///< KoAT column.
+  const char *PaperSpeed; ///< SPEED column.
+  /// True when the program carries logical-state instrumentation
+  /// (Section 6): soundness runs must seed consistent inputs.
+  bool LogicalState = false;
+  /// Paper's LoC figure for the cBench rows (0 elsewhere).
+  int PaperLoC = 0;
+};
+
+/// All corpus entries.
+const std::vector<CorpusEntry> &corpus();
+
+/// Entry by name; null when absent.
+const CorpusEntry *findEntry(const std::string &Name);
+
+/// All entries of one category, in corpus order.
+std::vector<const CorpusEntry *> entriesIn(const std::string &Category);
+
+} // namespace c4b
+
+#endif // C4B_CORPUS_CORPUS_H

@@ -1,0 +1,260 @@
+//===--- IR.h - Normalized Clight-like intermediate form --------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intermediate representation the derivation system of the paper
+/// (Figure 4) operates on:
+///
+///   * a single unified `loop S` construct exited by `break` (Clight style);
+///   * assignments restricted to `x <- a` and `x <- x ± a` for an atom `a`
+///     (variable or integer constant); anything non-linear becomes a `Kill`
+///     assignment that the analysis treats as producing an unknown value;
+///   * side-effect-free conditions normalized to a single comparison (with
+///     a linear form when one exists), the non-deterministic `*`, or `true`;
+///   * calls whose arguments are atoms, `tick(q)`, `assert`.
+///
+/// Lowering from the AST introduces cost-free temporaries exactly as the
+/// paper describes ("a Clight program is converted into this form prior to
+/// analysis without changing the resource cost").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_IR_IR_H
+#define C4B_IR_IR_H
+
+#include "c4b/ast/AST.h"
+#include "c4b/support/Rational.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+//===----------------------------------------------------------------------===//
+// Atoms and linear forms
+//===----------------------------------------------------------------------===//
+
+/// A variable or an integer constant; the operands of normalized
+/// assignments and calls, and the endpoints of potential intervals.
+struct Atom {
+  enum class Kind { Var, Const } K = Kind::Const;
+  std::string Name;         // Var.
+  std::int64_t Value = 0;   // Const.
+
+  static Atom makeVar(std::string N) {
+    Atom A;
+    A.K = Kind::Var;
+    A.Name = std::move(N);
+    return A;
+  }
+  static Atom makeConst(std::int64_t V) {
+    Atom A;
+    A.K = Kind::Const;
+    A.Value = V;
+    return A;
+  }
+
+  bool isVar() const { return K == Kind::Var; }
+  bool isConst() const { return K == Kind::Const; }
+
+  bool operator==(const Atom &B) const {
+    return K == B.K && Name == B.Name && Value == B.Value;
+  }
+  bool operator<(const Atom &B) const {
+    if (K != B.K)
+      return K < B.K;
+    if (K == Kind::Var)
+      return Name < B.Name;
+    return Value < B.Value;
+  }
+
+  std::string toString() const {
+    return isVar() ? Name : std::to_string(Value);
+  }
+};
+
+/// An integer affine form `sum Coeffs[v]*v + Const` over variable names.
+struct LinExprInt {
+  std::map<std::string, std::int64_t> Coeffs;
+  std::int64_t Const = 0;
+
+  bool isConstant() const { return Coeffs.empty(); }
+  void add(const std::string &V, std::int64_t C) {
+    auto It = Coeffs.emplace(V, 0).first;
+    It->second += C;
+    if (It->second == 0)
+      Coeffs.erase(It);
+  }
+  std::string toString() const;
+};
+
+/// Attempts to view \p E as an affine integer form (fails on `*`, `/`, `%`,
+/// array reads, and non-constant products).
+std::optional<LinExprInt> linearizeExpr(const Expr &E);
+
+/// A normalized linear comparison `E <op> 0`.
+struct LinCmp {
+  enum class Op { Le0, Eq0, Ne0 } O = Op::Le0;
+  LinExprInt E;
+
+  /// The logical negation, when representable (`Le0` negates to a `Le0`
+  /// over integers; `Eq0`/`Ne0` swap).
+  LinCmp negated() const;
+  std::string toString() const;
+};
+
+/// A normalized condition: `true`, the non-deterministic `*`, or a single
+/// comparison that carries an evaluable expression plus an optional linear
+/// form for the abstract interpreter.
+struct SimpleCond {
+  enum class Kind { True, Nondet, Cmp } K = Kind::True;
+  std::unique_ptr<Expr> E;    ///< Cmp only: the expression to evaluate.
+  std::optional<LinCmp> Lin;  ///< Cmp only: linear form when one exists.
+
+  static SimpleCond makeTrue() { return SimpleCond{}; }
+  static SimpleCond makeNondet() {
+    SimpleCond C;
+    C.K = Kind::Nondet;
+    return C;
+  }
+
+  SimpleCond clone() const;
+  std::string toString() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for IRStmt.
+enum class IRStmtKind {
+  Skip,
+  Block,   ///< Sequencing.
+  Assign,  ///< Normalized assignment (see AssignKind).
+  Store,   ///< a[i] <- v (no potential effect; evaluated by the semantics).
+  If,      ///< if (SimpleCond) Children[0] else Children[1].
+  Loop,    ///< loop Children[0]; exits via Break.
+  Break,
+  Return,  ///< With optional atom value.
+  Tick,
+  Assert,  ///< assert(SimpleCond): runtime-checked, assumed by the analysis.
+  Call,    ///< [r =] f(atoms...).
+};
+
+/// The shapes of normalized assignments.
+enum class AssignKind {
+  Set,  ///< x <- a.
+  Inc,  ///< x <- x + a.
+  Dec,  ///< x <- x - a.
+  Kill, ///< x <- (non-linear expression); value unknown to the analysis.
+};
+
+/// One IR statement.  A single tagged struct in the LLVM tradition of
+/// kind-discriminated nodes; only the fields of the active kind are
+/// meaningful.
+struct IRStmt {
+  IRStmtKind Kind;
+  SourceLoc Loc;
+
+  std::vector<std::unique_ptr<IRStmt>> Children;
+
+  // Assign.
+  AssignKind Asg = AssignKind::Set;
+  std::string Target;
+  Atom Operand;                    ///< Set/Inc/Dec.
+  std::unique_ptr<Expr> KillValue; ///< Kill: evaluated by the semantics.
+  bool CostFree = false;           ///< Lowering temp: exempt from Mu/Me.
+
+  // Store.
+  std::string ArrayName;
+  std::unique_ptr<Expr> Index, StoreValue;
+
+  // If / Assert.
+  SimpleCond Cond;
+
+  // Return.
+  bool HasRetValue = false;
+  Atom RetValue;
+
+  // Tick.
+  Rational TickAmount;
+
+  // Call.
+  std::string Callee;
+  std::vector<Atom> Args;
+  std::string ResultVar; ///< Empty when the result is discarded.
+
+  explicit IRStmt(IRStmtKind K) : Kind(K) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and programs
+//===----------------------------------------------------------------------===//
+
+/// A lowered function.
+struct IRFunction {
+  std::string Name;
+  std::vector<std::string> Params;
+  bool ReturnsValue = false;
+  std::vector<std::string> Locals; ///< Declared locals plus lowering temps.
+  std::map<std::string, std::int64_t> LocalArrays; ///< name -> size.
+  std::unique_ptr<IRStmt> Body;
+  SourceLoc Loc;
+
+  bool isLocalScalar(const std::string &N) const;
+};
+
+/// A lowered program.
+struct IRProgram {
+  std::map<std::string, std::int64_t> Globals;      ///< name -> init value.
+  std::map<std::string, std::int64_t> GlobalArrays; ///< name -> size.
+  std::vector<IRFunction> Functions;
+
+  const IRFunction *findFunction(const std::string &Name) const;
+};
+
+/// Lowers a parsed program.  Reports problems (unknown callee, bad arity,
+/// assignments to undeclared variables, ...) through \p Diags and returns
+/// nullopt when any error was raised.
+std::optional<IRProgram> lowerProgram(const Program &P,
+                                      DiagnosticEngine &Diags);
+
+/// Renders the IR for debugging and golden tests.
+std::string printIR(const IRStmt &S, int Indent = 0);
+std::string printIR(const IRFunction &F);
+std::string printIR(const IRProgram &P);
+
+//===----------------------------------------------------------------------===//
+// Call graph
+//===----------------------------------------------------------------------===//
+
+/// Call-graph SCCs in bottom-up (callee-first) topological order, computed
+/// with Tarjan's algorithm.  The analysis processes one SCC at a time and
+/// treats calls within an SCC as (mutually) recursive.
+struct CallGraph {
+  /// SCCs in bottom-up order; entries are function names.
+  std::vector<std::vector<std::string>> SCCs;
+  /// Direct callees of each function.
+  std::map<std::string, std::set<std::string>> Callees;
+
+  /// Index of the SCC containing each function.
+  std::map<std::string, int> SCCOf;
+
+  /// True when \p Caller and \p Callee belong to the same SCC.
+  bool inSameSCC(const std::string &Caller, const std::string &Callee) const;
+};
+
+CallGraph buildCallGraph(const IRProgram &P);
+
+} // namespace c4b
+
+#endif // C4B_IR_IR_H

@@ -1,0 +1,148 @@
+//===--- Context.h - Logical contexts of linear inequalities ----*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract program state of Section 3: a logical context Gamma is a
+/// conjunction of linear inequalities over program variables (or bottom for
+/// unreachable points).  The derivation rules consult Gamma for
+///
+///   * operand signs (Q:INCP/Q:DECP vs. their negative duals),
+///   * the U sets of the increment/decrement rules, and
+///   * constant interval bounds for the RELAX weakening.
+///
+/// Entailment and optimization queries are answered with the exact LP
+/// solver; rational reasoning is sound for the integer-valued programs
+/// (rational entailment implies integer entailment), and integer-valued
+/// objectives are tightened by flooring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_LOGIC_CONTEXT_H
+#define C4B_LOGIC_CONTEXT_H
+
+#include "c4b/ir/IR.h"
+#include "c4b/support/Rational.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// A linear fact `sum Coeffs[v]*v + Const <= 0` (or `== 0`).
+struct LinFact {
+  std::map<std::string, Rational> Coeffs;
+  Rational Const;
+  bool IsEquality = false;
+
+  void add(const std::string &V, const Rational &C);
+  bool mentions(const std::string &V) const { return Coeffs.count(V) != 0; }
+  std::string toString() const;
+};
+
+/// A rational affine objective used in bound queries.
+struct AffineQ {
+  std::map<std::string, Rational> Coeffs;
+  Rational Const;
+
+  void add(const std::string &V, const Rational &C);
+};
+
+/// A conjunction of LinFacts, or bottom.
+class LogicContext {
+public:
+  static LogicContext top() { return LogicContext(); }
+  static LogicContext bottom() {
+    LogicContext C;
+    C.Bottom = true;
+    return C;
+  }
+
+  bool isBottom() const;
+
+  const std::vector<LinFact> &facts() const { return Facts; }
+
+  /// Conjoins a fact.
+  void assume(LinFact F);
+  /// Conjoins a normalized guard; `Ne0` adds nothing (disjunctive).
+  void assumeCmp(const LinCmp &C);
+
+  /// Existentially projects \p Var out (Fourier-Motzkin, with a size cap
+  /// beyond which facts mentioning Var are simply dropped).
+  void havoc(const std::string &Var);
+
+  /// Transfer of `x <- a`.
+  void applySet(const std::string &X, const Atom &A);
+  /// Transfer of `x <- x ± a`.
+  void applyIncDec(const std::string &X, const Atom &A, bool Inc);
+  /// Transfer of a call: havocs the result variable and modified globals.
+  void applyCall(const std::string &ResultVar,
+                 const std::set<std::string> &ModifiedGlobals);
+
+  /// True when every model of this context satisfies `F` (rational
+  /// entailment; sound for integers).
+  bool entails(const LinFact &F) const;
+
+  /// Supremum of the objective over the context; nullopt when unbounded
+  /// (or when the context is bottom, where any bound holds -- callers get
+  /// Rational 0 via entails-style special casing; see implementation).
+  std::optional<Rational> maxOf(const AffineQ &Obj) const;
+  std::optional<Rational> minOf(const AffineQ &Obj) const;
+
+  /// Join: keeps facts entailed by both sides.
+  static LogicContext join(const LogicContext &A, const LogicContext &B);
+
+  /// The "rough loop invariant" of the paper: drops every fact mentioning a
+  /// variable in \p Modified.
+  LogicContext dropMentioning(const std::set<std::string> &Modified) const;
+
+  /// A content stamp: two contexts with the same version have identical
+  /// facts (copies share the version; any mutation refreshes it).  Used to
+  /// memoize interval-bound queries.
+  long version() const { return Version; }
+
+  /// True when no fact mentions \p V (fast path for bound queries).
+  bool mentionsVar(const std::string &V) const;
+
+  std::string toString() const;
+
+private:
+  std::vector<LinFact> Facts;
+  bool Bottom = false;
+  long Version = 0;
+  // Lazily computed feasibility cache (mutable: isBottom is logically const).
+  mutable bool FeasChecked = false;
+  mutable bool FeasResult = true;
+
+  void invalidate();
+  void pruneTrivial();
+};
+
+/// The difference `val(B) - val(A)` of two atoms as an LP objective
+/// (constant atoms contribute constants).
+AffineQ intervalObjective(const Atom &A, const Atom &B);
+
+/// Constant bounds on the interval size `|[A,B]| = max(0, B - A)` derivable
+/// from a context.  `Lo` is always present (at least 0); `Hi` may be absent.
+struct IntervalBounds {
+  Rational Lo;
+  std::optional<Rational> Hi;
+};
+
+IntervalBounds intervalBoundsIn(const LogicContext &Ctx, const Atom &A,
+                                const Atom &B);
+
+/// Globals (transitively) written by each function; used by the call
+/// transfer and the Q:CALL rule.
+std::map<std::string, std::set<std::string>>
+computeModifiedGlobals(const IRProgram &P, const CallGraph &G);
+
+} // namespace c4b
+
+#endif // C4B_LOGIC_CONTEXT_H

@@ -1,0 +1,95 @@
+//===--- Solver.h - Exact-rational linear programming -----------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained linear-programming layer playing the role of the
+/// off-the-shelf CLP solver used by the paper (Section 5): a dense
+/// two-phase primal simplex over exact rationals with Bland's anti-cycling
+/// rule.  Exactness matters here because an LP solution *is* the proof
+/// certificate; there is no tolerance to hide behind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_LP_SOLVER_H
+#define C4B_LP_SOLVER_H
+
+#include "c4b/support/Rational.h"
+
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// Relation of a linear constraint.
+enum class Rel { Le, Eq, Ge };
+
+/// One `Coef * Var` summand of a linear constraint or objective.
+struct LinTerm {
+  int Var;
+  Rational Coef;
+};
+
+/// A linear constraint `sum Terms  R  Rhs`.
+struct LinConstraint {
+  std::vector<LinTerm> Terms;
+  Rel R = Rel::Le;
+  Rational Rhs;
+};
+
+/// A linear program.  Variables are non-negative unless added with
+/// addFreeVar (free variables are split internally by the solver).
+class LPProblem {
+public:
+  /// Adds a variable constrained to be >= 0 and returns its id.
+  int addVar(std::string Name = "");
+  /// Adds an unrestricted-sign variable and returns its id.
+  int addFreeVar(std::string Name = "");
+
+  void addConstraint(std::vector<LinTerm> Terms, Rel R, Rational Rhs);
+
+  int numVars() const { return static_cast<int>(Free.size()); }
+  int numConstraints() const { return static_cast<int>(Rows.size()); }
+  bool isFree(int Var) const { return Free[Var]; }
+  const std::string &varName(int Var) const { return Names[Var]; }
+  const std::vector<LinConstraint> &constraints() const { return Rows; }
+
+private:
+  std::vector<bool> Free;
+  std::vector<std::string> Names;
+  std::vector<LinConstraint> Rows;
+};
+
+/// Outcome of an LP solve.
+enum class LPStatus { Optimal, Infeasible, Unbounded };
+
+/// Result of minimizing an objective over an LPProblem.
+struct LPResult {
+  LPStatus Status = LPStatus::Infeasible;
+  Rational Objective;
+  /// One value per LPProblem variable (valid only when Optimal).
+  std::vector<Rational> Values;
+
+  bool isOptimal() const { return Status == LPStatus::Optimal; }
+};
+
+/// Dense exact two-phase primal simplex.
+class SimplexSolver {
+public:
+  /// Minimizes `sum Objective` subject to the problem's constraints.
+  LPResult minimize(const LPProblem &P, const std::vector<LinTerm> &Objective);
+
+  /// Maximizes `sum Objective`; the returned Objective field is the
+  /// maximum value (not its negation).
+  LPResult maximize(const LPProblem &P, const std::vector<LinTerm> &Objective);
+
+  /// Checks feasibility only (phase 1).
+  bool isFeasible(const LPProblem &P);
+};
+
+} // namespace c4b
+
+#endif // C4B_LP_SOLVER_H

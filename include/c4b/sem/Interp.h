@@ -1,0 +1,124 @@
+//===--- Interp.h - Cost-aware reference interpreter ------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable form of the paper's cost-aware operational semantics
+/// (Section 7).  Each step charges its metric cost; the interpreter tracks
+/// both the net cost and the high-water mark of consumption, which is the
+/// quantity a sound bound must dominate (a configuration with negative
+/// available resources is a resource crash).
+///
+/// The evaluator is the ground truth for the differential soundness tests:
+/// for every program, metric, and input, Bound(sigma) >= PeakCost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SEM_INTERP_H
+#define C4B_SEM_INTERP_H
+
+#include "c4b/ir/IR.h"
+#include "c4b/sem/Metric.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// Outcome classification of one execution.
+enum class ExecStatus {
+  Finished,        ///< Ran to completion.
+  AssertFailed,    ///< A (user-provided) assert evaluated to false.
+  OutOfFuel,       ///< Step budget exhausted (possibly non-terminating).
+  DivisionByZero,
+  BadArrayAccess,  ///< Out-of-bounds or unknown array.
+  UnknownFunction,
+};
+
+/// Result of executing a function under a metric.
+struct ExecResult {
+  ExecStatus Status = ExecStatus::Finished;
+  Rational NetCost;         ///< Total consumed minus released.
+  Rational PeakCost;        ///< High-water mark; what a bound must cover.
+  std::int64_t ReturnValue = 0;
+  bool HasReturnValue = false;
+  std::int64_t StepsUsed = 0;
+
+  bool finished() const { return Status == ExecStatus::Finished; }
+};
+
+/// Big-step evaluator over the IR.
+class Interpreter {
+public:
+  /// Note: the metric is copied; callers may pass temporaries.
+  Interpreter(const IRProgram &P, ResourceMetric M);
+
+  /// Resolves the `*` condition; defaults to a deterministic LCG.
+  void setNondetPolicy(std::function<bool()> Policy) {
+    Nondet = std::move(Policy);
+  }
+  /// Reseeds the default pseudo-random nondet policy.
+  void seed(std::uint64_t S) { RngState = S ? S : 1; }
+
+  void setFuel(std::int64_t Steps) { Fuel = Steps; }
+
+  /// Overrides a global scalar before execution.
+  void setGlobal(const std::string &Name, std::int64_t V);
+  /// Fills a global array (shorter data is zero-extended).
+  void setGlobalArray(const std::string &Name,
+                      const std::vector<std::int64_t> &Data);
+  /// Reads a global scalar after execution.
+  std::int64_t getGlobal(const std::string &Name) const;
+  /// Reads a global array element after execution.
+  std::int64_t getGlobalArray(const std::string &Name, std::int64_t I) const;
+
+  /// Runs `Fn(Args...)` from a fresh global state (plus any overrides made
+  /// through setGlobal/setGlobalArray since construction or the last run).
+  ExecResult run(const std::string &Fn, const std::vector<std::int64_t> &Args);
+
+private:
+  struct Frame {
+    std::map<std::string, std::int64_t> Scalars;
+    std::map<std::string, std::vector<std::int64_t>> Arrays;
+  };
+
+  enum class Flow { Normal, Break, Return };
+
+  const IRProgram &Prog;
+  ResourceMetric Metric;
+  std::function<bool()> Nondet;
+  std::uint64_t RngState = 0x9e3779b97f4a7c15ull;
+  std::int64_t Fuel = 2'000'000;
+
+  // Per-run state.
+  std::map<std::string, std::int64_t> Globals;
+  std::map<std::string, std::vector<std::int64_t>> GlobalArrays;
+  Rational Cost, Peak;
+  std::int64_t StepsLeft = 0;
+  std::int64_t Steps = 0;
+  ExecStatus Status = ExecStatus::Finished;
+  std::int64_t LastReturn = 0;
+  bool LastHasReturn = false;
+
+  void charge(const Rational &R);
+  bool useFuel();
+  bool defaultNondet();
+
+  std::int64_t *lookupScalar(Frame &F, const std::string &N);
+  std::vector<std::int64_t> *lookupArray(Frame &F, const std::string &N);
+
+  bool evalExpr(Frame &F, const Expr &E, std::int64_t &Out);
+  bool evalCond(Frame &F, const SimpleCond &C, bool &Out);
+  Flow execStmt(Frame &F, const IRStmt &S);
+  Flow execCall(Frame &F, const IRStmt &S);
+};
+
+} // namespace c4b
+
+#endif // C4B_SEM_INTERP_H

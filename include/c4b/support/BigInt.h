@@ -1,0 +1,106 @@
+//===--- BigInt.h - Arbitrary-precision signed integers ---------*- C++ -*-===//
+//
+// Part of the c4b project: a reproduction of "Compositional Certified
+// Resource Bounds" (Carbonneaux, Hoffmann, Shao; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sign-magnitude arbitrary-precision integers.  The exact simplex solver
+/// pivots rationals whose numerators and denominators can outgrow any fixed
+/// machine width; BigInt keeps the LP layer (and therefore the generated
+/// proof certificates) exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SUPPORT_BIGINT_H
+#define C4B_SUPPORT_BIGINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// An arbitrary-precision signed integer.
+///
+/// Representation: sign flag plus little-endian base-2^32 magnitude with no
+/// leading zero limbs; zero is the empty magnitude with a positive sign.
+class BigInt {
+public:
+  BigInt() = default;
+  BigInt(std::int64_t V);
+
+  /// Parses a decimal string with optional leading '-'. Asserts on
+  /// malformed input; use only on trusted text (tests, certificates).
+  static BigInt fromString(const std::string &S);
+
+  bool isZero() const { return Mag.empty(); }
+  bool isNegative() const { return Neg; }
+  bool isOne() const { return !Neg && Mag.size() == 1 && Mag[0] == 1; }
+
+  /// Returns -1, 0, or +1 according to the sign.
+  int sign() const { return Mag.empty() ? 0 : (Neg ? -1 : 1); }
+
+  /// Returns the value as int64 if it fits.  \p Ok is set accordingly.
+  std::int64_t toInt64(bool &Ok) const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt &B) const;
+  BigInt operator-(const BigInt &B) const;
+  BigInt operator*(const BigInt &B) const;
+  /// Truncated division (rounds toward zero), as in C. Asserts on B == 0.
+  BigInt operator/(const BigInt &B) const;
+  /// Remainder matching operator/ (sign follows the dividend).
+  BigInt operator%(const BigInt &B) const;
+
+  BigInt &operator+=(const BigInt &B) { return *this = *this + B; }
+  BigInt &operator-=(const BigInt &B) { return *this = *this - B; }
+  BigInt &operator*=(const BigInt &B) { return *this = *this * B; }
+  BigInt &operator/=(const BigInt &B) { return *this = *this / B; }
+
+  bool operator==(const BigInt &B) const {
+    return Neg == B.Neg && Mag == B.Mag;
+  }
+  bool operator!=(const BigInt &B) const { return !(*this == B); }
+  bool operator<(const BigInt &B) const { return compare(B) < 0; }
+  bool operator<=(const BigInt &B) const { return compare(B) <= 0; }
+  bool operator>(const BigInt &B) const { return compare(B) > 0; }
+  bool operator>=(const BigInt &B) const { return compare(B) >= 0; }
+
+  /// Three-way comparison: negative, zero, or positive.
+  int compare(const BigInt &B) const;
+
+  /// Greatest common divisor; always non-negative.
+  static BigInt gcd(BigInt A, BigInt B);
+
+  std::string toString() const;
+
+  /// Approximate conversion for reporting only (never used in decisions).
+  double toDouble() const;
+
+private:
+  bool Neg = false;
+  std::vector<std::uint32_t> Mag;
+
+  void normalize();
+  static int compareMag(const std::vector<std::uint32_t> &A,
+                        const std::vector<std::uint32_t> &B);
+  static std::vector<std::uint32_t> addMag(const std::vector<std::uint32_t> &A,
+                                           const std::vector<std::uint32_t> &B);
+  /// Requires |A| >= |B|.
+  static std::vector<std::uint32_t> subMag(const std::vector<std::uint32_t> &A,
+                                           const std::vector<std::uint32_t> &B);
+  static std::vector<std::uint32_t> mulMag(const std::vector<std::uint32_t> &A,
+                                           const std::vector<std::uint32_t> &B);
+  static void divModMag(const std::vector<std::uint32_t> &A,
+                        const std::vector<std::uint32_t> &B,
+                        std::vector<std::uint32_t> &Quot,
+                        std::vector<std::uint32_t> &Rem);
+};
+
+} // namespace c4b
+
+#endif // C4B_SUPPORT_BIGINT_H

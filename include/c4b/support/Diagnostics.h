@@ -1,0 +1,75 @@
+//===--- Diagnostics.h - Source locations and error reporting ---*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source locations and a diagnostic sink shared by the lexer,
+/// parser, lowering, and analysis layers.  The library never throws; fatal
+/// front-end problems are accumulated here and surfaced through return
+/// values, matching the LLVM no-exceptions idiom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SUPPORT_DIAGNOSTICS_H
+#define C4B_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// A 1-based line/column position in a source buffer.
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+  std::string toString() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string toString() const;
+};
+
+/// Collects diagnostics produced while processing one input.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back({DiagKind::Error, Loc, Msg});
+  }
+  void warning(SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back({DiagKind::Warning, Loc, Msg});
+  }
+
+  bool hasErrors() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Kind == DiagKind::Error)
+        return true;
+    return false;
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string toString() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace c4b
+
+#endif // C4B_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,96 @@
+//===--- Rational.h - Exact rational numbers --------------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rationals.  Quantitative annotations, resource metrics, LP
+/// tableaus, and certificates all use this type, so every derived bound is
+/// an exact number such as 2/3 rather than 0.66666.
+///
+/// Values are kept in a 64-bit numerator/denominator fast path (with
+/// 128-bit intermediates) and silently promote to arbitrary precision when
+/// a reduced result no longer fits; the simplex pivots millions of these,
+/// so the fast path is what makes the exact solver practical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SUPPORT_RATIONAL_H
+#define C4B_SUPPORT_RATIONAL_H
+
+#include "c4b/support/BigInt.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+
+namespace c4b {
+
+/// An exact rational number kept in lowest terms with a positive
+/// denominator.
+class Rational {
+public:
+  Rational() = default;
+  Rational(std::int64_t V) : SN(V) {}
+  explicit Rational(const BigInt &N);
+  Rational(const BigInt &N, const BigInt &D);
+  Rational(std::int64_t N, std::int64_t D);
+
+  /// Parses "a", "-a", "a/b", or simple decimals like "1.25".
+  static Rational fromString(const std::string &S);
+
+  BigInt numerator() const;
+  BigInt denominator() const;
+
+  bool isZero() const { return Big ? false : SN == 0; }
+  bool isInteger() const;
+  int sign() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational &B) const;
+  Rational operator-(const Rational &B) const;
+  Rational operator*(const Rational &B) const;
+  Rational operator/(const Rational &B) const;
+
+  Rational &operator+=(const Rational &B) { return *this = *this + B; }
+  Rational &operator-=(const Rational &B) { return *this = *this - B; }
+  Rational &operator*=(const Rational &B) { return *this = *this * B; }
+  Rational &operator/=(const Rational &B) { return *this = *this / B; }
+
+  bool operator==(const Rational &B) const { return compare(B) == 0; }
+  bool operator!=(const Rational &B) const { return compare(B) != 0; }
+  bool operator<(const Rational &B) const { return compare(B) < 0; }
+  bool operator<=(const Rational &B) const { return compare(B) <= 0; }
+  bool operator>(const Rational &B) const { return compare(B) > 0; }
+  bool operator>=(const Rational &B) const { return compare(B) >= 0; }
+
+  int compare(const Rational &B) const;
+
+  /// Renders "a" or "a/b".
+  std::string toString() const;
+
+  /// Approximate value for reporting and plots only.
+  double toDouble() const;
+
+private:
+  struct BigRep {
+    BigInt Num, Den; // Reduced; Den positive; does not fit the fast path.
+  };
+
+  // Fast path (active when Big is null): SN/SD reduced, SD > 0.
+  std::int64_t SN = 0;
+  std::int64_t SD = 1;
+  // Shared immutable big representation (copies are cheap).
+  std::shared_ptr<const BigRep> Big;
+
+  static Rational fromI128(__int128 N, __int128 D);
+  static Rational fromBig(BigInt N, BigInt D);
+  BigInt bigNum() const;
+  BigInt bigDen() const;
+};
+
+} // namespace c4b
+
+#endif // C4B_SUPPORT_RATIONAL_H

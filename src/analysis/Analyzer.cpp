@@ -1,0 +1,100 @@
+//===--- Analyzer.cpp - Public bound-inference API -------------------------===//
+
+#include "c4b/analysis/Analyzer.h"
+
+#include "c4b/ast/Parser.h"
+#include "c4b/lp/Presolve.h"
+
+#include <chrono>
+
+using namespace c4b;
+
+namespace {
+
+/// Forwards the constraint stream into the presolving LP solver.
+class EmitSink : public ConstraintSink {
+public:
+  explicit EmitSink(PresolvedSolver &LP) : LP(LP) {}
+
+  int addVar(const std::string &Name) override { return LP.addVar(Name); }
+
+  void addConstraint(std::vector<LinTerm> Terms, Rel R,
+                     Rational Rhs) override {
+    ++NumConstraints;
+    LP.addConstraint(std::move(Terms), R, std::move(Rhs));
+  }
+
+  int NumConstraints = 0;
+
+private:
+  PresolvedSolver &LP;
+};
+
+} // namespace
+
+AnalysisResult c4b::analyzeProgram(const IRProgram &P, const ResourceMetric &M,
+                                   const AnalysisOptions &O,
+                                   const std::string &Focus) {
+  auto Start = std::chrono::steady_clock::now();
+  AnalysisResult R;
+
+  PresolvedSolver LP;
+  EmitSink Sink(LP);
+  ProgramAnalyzer PA(P, M, O, Sink);
+  if (!PA.run()) {
+    R.Error = "analysis failed structurally (call-depth limit exceeded or "
+              "missing function)";
+    return R;
+  }
+
+  std::vector<LinTerm> Obj1 = PA.stage1Objective(Focus);
+  LPResult S1 = LP.minimize(Obj1);
+  if (S1.Status != LPStatus::Optimal) {
+    R.Error = "no linear bound derivable (constraint system infeasible)";
+    return R;
+  }
+  LPResult Final = S1;
+  if (O.TwoStageObjective) {
+    LP.pinObjective(Obj1, S1.Objective);
+    LPResult S2 = LP.minimize(PA.stage2Objective(Focus));
+    if (S2.Status == LPStatus::Optimal)
+      Final = S2;
+  }
+
+  R.Success = true;
+  R.Solution = Final.Values;
+  for (const auto &[Name, Spec] : PA.specs()) {
+    (void)Spec;
+    if (std::optional<Bound> B = PA.boundOf(Name, Final.Values))
+      R.Bounds.emplace(Name, std::move(*B));
+  }
+  R.NumVars = LP.numVars();
+  R.NumConstraints = Sink.NumConstraints;
+  R.NumEliminated = LP.numEliminated();
+  R.NumWeakenPoints = PA.numWeakenPoints();
+  R.NumCallInstantiations = PA.numCallInstantiations();
+  R.AnalysisSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return R;
+}
+
+AnalysisResult c4b::analyzeSource(const std::string &Source,
+                                  const ResourceMetric &M,
+                                  const AnalysisOptions &O,
+                                  const std::string &Focus) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Ast = parseString(Source, Diags);
+  if (!Ast) {
+    AnalysisResult R;
+    R.Error = "parse error:\n" + Diags.toString();
+    return R;
+  }
+  std::optional<IRProgram> IR = lowerProgram(*Ast, Diags);
+  if (!IR) {
+    AnalysisResult R;
+    R.Error = "lowering error:\n" + Diags.toString();
+    return R;
+  }
+  return analyzeProgram(*IR, M, O, Focus);
+}

@@ -1,0 +1,1337 @@
+//===--- ConstraintGen.cpp - Derivation rules as LP constraints ----------===//
+//
+// One deterministic walk over the IR implements the rules of Figure 4.
+// Most potential coefficients pass through a statement untouched; the
+// walker shares LP variables across such indices so that only the
+// coefficients a rule actually redistributes cost fresh variables and
+// constraints.  RELAX transfers (constant <-> interval under Gamma) are
+// emitted at weakening points chosen by the placement heuristic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/analysis/ConstraintGen.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+#include <cassert>
+
+using namespace c4b;
+
+namespace {
+
+/// Adds `Coef * Atom` to a logical fact (constants fold into Const).
+void addAtomTo(LinFact &F, const Atom &A, std::int64_t Coef) {
+  if (A.isVar())
+    F.add(A.Name, Rational(Coef));
+  else
+    F.Const += Rational(Coef * A.Value);
+}
+
+/// Collected integer constants worth turning into atoms.
+struct ConstCollector {
+  std::set<std::int64_t> Consts;
+
+  void addGuardConst(std::int64_t C) {
+    // A single-variable guard `x <= c` makes c and its neighbors useful
+    // interval endpoints (e.g. |[-1, i]| for a loop running down to -1).
+    Consts.insert(C - 1);
+    Consts.insert(C);
+    Consts.insert(C + 1);
+  }
+
+  void visitCond(const SimpleCond &C) {
+    if (C.K != SimpleCond::Kind::Cmp || !C.Lin)
+      return;
+    const LinExprInt &E = C.Lin->E;
+    if (E.Coeffs.size() == 1) {
+      auto &[V, Coef] = *E.Coeffs.begin();
+      (void)V;
+      if (Coef == 1 || Coef == -1)
+        addGuardConst(-E.Const / Coef);
+    }
+  }
+
+  void visitStmt(const IRStmt &S) {
+    switch (S.Kind) {
+    case IRStmtKind::Assign:
+      if (S.Asg != AssignKind::Kill && S.Operand.isConst())
+        Consts.insert(S.Operand.Value);
+      break;
+    case IRStmtKind::If:
+    case IRStmtKind::Assert:
+      visitCond(S.Cond);
+      break;
+    case IRStmtKind::Return:
+      if (S.HasRetValue && S.RetValue.isConst())
+        Consts.insert(S.RetValue.Value);
+      break;
+    case IRStmtKind::Call:
+      for (const Atom &A : S.Args)
+        if (A.isConst())
+          Consts.insert(A.Value);
+      break;
+    default:
+      break;
+    }
+    for (const auto &C : S.Children)
+      visitStmt(*C);
+  }
+};
+
+/// True for `break` possibly wrapped in blocks.
+bool isBreakOnly(const IRStmt &S) {
+  if (S.Kind == IRStmtKind::Break)
+    return true;
+  if (S.Kind != IRStmtKind::Block)
+    return false;
+  const IRStmt *Only = nullptr;
+  for (const auto &C : S.Children) {
+    if (C->Kind == IRStmtKind::Skip)
+      continue;
+    if (Only)
+      return false;
+    Only = C.get();
+  }
+  return Only && isBreakOnly(*Only);
+}
+
+/// A loop is "guarded" when its body immediately tests a condition and
+/// breaks on failure (the shape while/for lower to).  Guarded loops need no
+/// first-iteration peel: every body statement already sits under the guard.
+bool loopIsGuarded(const IRStmt &Body) {
+  const IRStmt *First = &Body;
+  while (First->Kind == IRStmtKind::Block) {
+    const IRStmt *Next = nullptr;
+    for (const auto &C : First->Children) {
+      if (C->Kind == IRStmtKind::Skip)
+        continue;
+      Next = C.get();
+      break;
+    }
+    if (!Next)
+      return false;
+    First = Next;
+  }
+  if (First->Kind != IRStmtKind::If)
+    return false;
+  return isBreakOnly(*First->Children[0]) || isBreakOnly(*First->Children[1]);
+}
+
+/// Variables assigned within a statement tree (call results included).
+void collectAssigned(const IRStmt &S, std::set<std::string> &Out) {
+  if (S.Kind == IRStmtKind::Assign)
+    Out.insert(S.Target);
+  if (S.Kind == IRStmtKind::Call && !S.ResultVar.empty())
+    Out.insert(S.ResultVar);
+  for (const auto &C : S.Children)
+    collectAssigned(*C, Out);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FunctionWalker
+//===----------------------------------------------------------------------===//
+
+namespace c4b {
+
+/// Walks one function body, threading the logical context and the current
+/// quantitative annotation, and emitting rule constraints.
+class FunctionWalker {
+public:
+  FunctionWalker(ProgramAnalyzer &PA, const IRFunction &F,
+                 const FuncSpec &Spec, const std::set<std::string> &SCC,
+                 int Depth)
+      : PA(PA), F(F), Spec(Spec), SCC(SCC), Depth(Depth) {}
+
+  void run();
+
+private:
+  ProgramAnalyzer &PA;
+  const IRFunction &F;
+  const FuncSpec &Spec;
+  const std::set<std::string> &SCC;
+  int Depth;
+
+  IndexSet IS;
+  LogicContext Ctx;
+  Annotation Q;
+
+  struct MergeSource {
+    Annotation Ann;
+    LogicContext Ctx;
+    Rational Offset;
+  };
+  struct LoopFrame {
+    std::vector<MergeSource> Breaks;
+  };
+  std::vector<LoopFrame *> Loops;
+
+  std::map<std::pair<long, int>, IntervalBounds> BoundCache;
+
+  //===--- plumbing -------------------------------------------------------===//
+
+  int newVar(const char *Tag) {
+    return PA.Sink.addVar(F.Name + "." + Tag);
+  }
+
+  void emit(std::vector<LinTerm> Terms, Rel R, Rational Rhs) {
+    PA.Sink.addConstraint(std::move(Terms), R, std::move(Rhs));
+  }
+
+  /// Appends `Coef * Var` unless Var is the literal-zero marker.
+  static void addTerm(std::vector<LinTerm> &Terms, int Var, Rational Coef) {
+    if (Var >= 0)
+      Terms.push_back({Var, std::move(Coef)});
+  }
+
+  Annotation freshFreeAnnotation(const char *Tag) {
+    Annotation A;
+    A.Vars.resize(IS.numIndices());
+    for (int I = 0; I < IS.numIndices(); ++I)
+      A.Vars[I] = newVar(Tag);
+    return A;
+  }
+
+  const IntervalBounds &boundsAt(const LogicContext &C, int Idx) {
+    auto Key = std::make_pair(C.version(), Idx);
+    auto It = BoundCache.find(Key);
+    if (It != BoundCache.end())
+      return It->second;
+    const auto &P = IS.pair(Idx);
+    IntervalBounds B;
+    // Fast path: a variable endpoint never mentioned by the context makes
+    // the size unbounded above with trivial lower bound.
+    bool Fast = (P.first.isVar() && !C.mentionsVar(P.first.Name)) ||
+                (P.second.isVar() && !C.mentionsVar(P.second.Name));
+    if (Fast && !C.isBottom()) {
+      B.Lo = Rational(0);
+      B.Hi = std::nullopt;
+    } else {
+      B = intervalBoundsIn(C, P.first, P.second);
+    }
+    return BoundCache.emplace(Key, std::move(B)).first->second;
+  }
+
+  bool transfersPossible(const LogicContext &C, int Idx) {
+    const IntervalBounds &B = boundsAt(C, Idx);
+    return B.Hi.has_value() || B.Lo.sign() > 0;
+  }
+
+  //===--- RELAX machinery -------------------------------------------------===//
+
+  /// Emits the per-index relax row `SrcVar + neg - pos - sum(DstVars) >= 0`
+  /// and accumulates the transfer terms for the source's constant row.
+  /// \returns false when the row was skipped as trivially true.
+  void relaxIndexRow(int Idx, int SrcVar, const std::vector<int> &DstVars,
+                     const LogicContext &C, std::vector<LinTerm> &ConstRow) {
+    const IntervalBounds &B = boundsAt(C, Idx);
+    std::vector<LinTerm> Terms;
+    addTerm(Terms, SrcVar, Rational(1));
+    for (int D : DstVars)
+      addTerm(Terms, D, Rational(-1));
+    if (B.Hi) {
+      int Neg = newVar("relax.neg");
+      Terms.push_back({Neg, Rational(1)});
+      ConstRow.push_back({Neg, -*B.Hi});
+    }
+    if (B.Lo.sign() > 0) {
+      int Pos = newVar("relax.pos");
+      Terms.push_back({Pos, Rational(-1)});
+      ConstRow.push_back({Pos, B.Lo});
+    }
+    if (!Terms.empty())
+      emit(std::move(Terms), Rel::Ge, Rational(0));
+  }
+
+  /// Emits the constant row of one relax:
+  /// `SrcConst + transfers - sum(DstConst) >= Offset`.
+  void relaxConstRow(int SrcConst, const std::vector<int> &DstConsts,
+                     std::vector<LinTerm> ConstRow, const Rational &Offset) {
+    addTerm(ConstRow, SrcConst, Rational(1));
+    for (int D : DstConsts)
+      addTerm(ConstRow, D, Rational(-1));
+    if (ConstRow.empty() && Offset.sign() <= 0)
+      return;
+    emit(std::move(ConstRow), Rel::Ge, Offset);
+  }
+
+  /// `Src` (with its context) must cover an existing target annotation plus
+  /// an offset: the back-edge (Q:LOOP) and Q:BREAK/Q:RETURN obligations.
+  void relaxInto(const MergeSource &Src, const Annotation &Dst) {
+    if (Src.Ctx.isBottom())
+      return;
+    std::vector<LinTerm> ConstRow;
+    for (int I = 1; I < IS.numIndices(); ++I) {
+      int SV = Src.Ann.at(I), DV = Dst.at(I);
+      bool CanTransfer = transfersPossible(Src.Ctx, I);
+      if (SV == DV && !CanTransfer)
+        continue;
+      if (SV == -1 && DV == -1 && !CanTransfer)
+        continue;
+      relaxIndexRow(I, SV, DV >= 0 ? std::vector<int>{DV} : std::vector<int>{},
+                    Src.Ctx, ConstRow);
+    }
+    bool SameConst = Src.Ann.constVar() == Dst.constVar();
+    if (!ConstRow.empty() || !SameConst || Src.Offset.sign() > 0)
+      relaxConstRow(Src.Ann.constVar(),
+                    Dst.constVar() >= 0 ? std::vector<int>{Dst.constVar()}
+                                        : std::vector<int>{},
+                    std::move(ConstRow), Src.Offset);
+  }
+
+  /// Like relaxInto but the target of each index is a *sum* of variables
+  /// (used to constrain against instantiated function specifications), and
+  /// the constant target is a weighted sum (constant-constant instantiated
+  /// spec indices arrive pre-scaled by their known interval size).
+  void relaxIntoLin(const MergeSource &Src,
+                    const std::vector<std::vector<int>> &DstVarsAt,
+                    const std::vector<LinTerm> &DstConsts,
+                    const Rational &ExtraOffset) {
+    if (Src.Ctx.isBottom())
+      return;
+    std::vector<LinTerm> ConstRow;
+    for (int I = 1; I < IS.numIndices(); ++I) {
+      int SV = Src.Ann.at(I);
+      const std::vector<int> &DVs = DstVarsAt[static_cast<std::size_t>(I)];
+      bool CanTransfer = transfersPossible(Src.Ctx, I);
+      if (DVs.empty() && !CanTransfer)
+        continue; // Dropping potential needs no row.
+      relaxIndexRow(I, SV, DVs, Src.Ctx, ConstRow);
+    }
+    for (const LinTerm &T : DstConsts)
+      ConstRow.push_back({T.Var, -T.Coef});
+    relaxConstRow(Src.Ann.constVar(), {}, std::move(ConstRow),
+                  Src.Offset + ExtraOffset);
+  }
+
+  /// Merges control-flow paths into one annotation (Q:IF join, loop exit).
+  /// Indices untouched by every live path share their variable.
+  Annotation mergeSources(const std::vector<MergeSource> &Srcs,
+                          const char *Tag) {
+    std::vector<const MergeSource *> Live;
+    for (const MergeSource &S : Srcs)
+      if (!S.Ctx.isBottom())
+        Live.push_back(&S);
+    if (Live.empty())
+      return freshFreeAnnotation(Tag);
+
+    Annotation R;
+    R.Vars.assign(static_cast<std::size_t>(IS.numIndices()), -1);
+    // Per live source: accumulated transfer terms for its constant row.
+    std::vector<std::vector<LinTerm>> ConstRows(Live.size());
+    bool AnyRows = false;
+
+    for (int I = 1; I < IS.numIndices(); ++I) {
+      bool AllSame = true;
+      for (const MergeSource *S : Live)
+        AllSame = AllSame && S->Ann.at(I) == Live[0]->Ann.at(I);
+      bool AnyTransfer = false;
+      for (const MergeSource *S : Live)
+        AnyTransfer = AnyTransfer || transfersPossible(S->Ctx, I);
+      if (AllSame && !AnyTransfer) {
+        R.Vars[static_cast<std::size_t>(I)] = Live[0]->Ann.at(I);
+        continue;
+      }
+      int RV = newVar(Tag);
+      R.Vars[static_cast<std::size_t>(I)] = RV;
+      for (std::size_t S = 0; S < Live.size(); ++S)
+        relaxIndexRow(I, Live[S]->Ann.at(I), {RV}, Live[S]->Ctx, ConstRows[S]);
+      AnyRows = true;
+    }
+
+    bool ConstSame = true;
+    for (const MergeSource *S : Live)
+      ConstSame = ConstSame && S->Ann.constVar() == Live[0]->Ann.constVar() &&
+                  S->Offset.isZero();
+    if (ConstSame && !AnyRows) {
+      R.Vars[IndexSet::ConstIdx] = Live[0]->Ann.constVar();
+      return R;
+    }
+    int RC = newVar(Tag);
+    R.Vars[IndexSet::ConstIdx] = RC;
+    for (std::size_t S = 0; S < Live.size(); ++S)
+      relaxConstRow(Live[S]->Ann.constVar(), {RC}, std::move(ConstRows[S]),
+                    Live[S]->Offset);
+    return R;
+  }
+
+  long LastWeakenVersion = -1;
+  std::vector<int> LastWeakenVars;
+
+  /// Single-source weakening: gives the LP the chance to convert constant
+  /// potential into Gamma-bounded intervals and back (rule RELAX).
+  void weaken(const char *Tag) {
+    if (Ctx.isBottom())
+      return;
+    // Adjacent weakening points with the same context and annotation are
+    // redundant (e.g. a branch entry immediately followed by a tick).
+    if (Ctx.version() == LastWeakenVersion && Q.Vars == LastWeakenVars)
+      return;
+    ++PA.WeakenPoints;
+    std::vector<LinTerm> ConstRow;
+    Annotation R = Q;
+    for (int I = 1; I < IS.numIndices(); ++I) {
+      if (!transfersPossible(Ctx, I))
+        continue;
+      int RV = newVar(Tag);
+      R.Vars[static_cast<std::size_t>(I)] = RV;
+      relaxIndexRow(I, Q.at(I), {RV}, Ctx, ConstRow);
+    }
+    if (ConstRow.empty()) {
+      LastWeakenVersion = Ctx.version();
+      LastWeakenVars = Q.Vars;
+      return; // No transfer opportunities at all: identity.
+    }
+    int RC = newVar(Tag);
+    R.Vars[IndexSet::ConstIdx] = RC;
+    relaxConstRow(Q.constVar(), {RC}, std::move(ConstRow), Rational(0));
+    Q = std::move(R);
+    LastWeakenVersion = Ctx.version();
+    LastWeakenVars = Q.Vars;
+  }
+
+  void maybeWeaken(WeakenPlacement AtLeast, const char *Tag) {
+    if (static_cast<int>(PA.Opts.Weaken) >= static_cast<int>(AtLeast))
+      weaken(Tag);
+  }
+
+  //===--- cost payment ----------------------------------------------------===//
+
+  /// Pays \p Cost from the constant potential (pre = post + Cost).
+  void pay(const Rational &Cost) {
+    if (Cost.isZero())
+      return;
+    int Post = newVar("pay");
+    std::vector<LinTerm> Terms;
+    addTerm(Terms, Q.constVar(), Rational(1));
+    Terms.push_back({Post, Rational(-1)});
+    emit(std::move(Terms), Rel::Eq, Cost);
+    Q.Vars[IndexSet::ConstIdx] = Post;
+  }
+
+  //===--- assignment rules ------------------------------------------------===//
+
+  /// True when atoms equal (both var with same name or both same const).
+  static bool sameAtom(const Atom &A, const Atom &B) { return A == B; }
+
+  void applySetRule(const IRStmt &S) {
+    Atom X = Atom::makeVar(S.Target);
+    const Atom &A = S.Operand;
+    assert(!(A.isVar() && A.Name == S.Target) && "x <- x is filtered out");
+    if (!IS.containsAtom(X)) {
+      // Pruned (irrelevant) target: no tracked potential to move.
+      Ctx.applySet(S.Target, A);
+      return;
+    }
+    assert((!A.isVar() || IS.containsAtom(A)) &&
+           "relevance closure keeps operands of tracked targets");
+    // Constant potential charged for coefficients on (x,u) intervals whose
+    // twin (a,u) is a constant-constant pair of known size.
+    std::vector<LinTerm> ConstCharges;
+    for (const Atom &U : IS.atoms()) {
+      if (sameAtom(U, X) || sameAtom(U, A))
+        continue;
+      // pre(a,u) = post(x,u) + post(a,u); pre(u,a) = post(u,x) + post(u,a).
+      for (bool Fwd : {true, false}) {
+        const Atom &Lo = Fwd ? A : U;
+        const Atom &Hi = Fwd ? U : A;
+        int IX = Fwd ? IS.indexOf(X, U) : IS.indexOf(U, X);
+        assert(IX >= 0 && "x is a variable; (x,u) is always tracked");
+        int IPre = IS.indexOf(Lo, Hi);
+        if (IPre < 0) {
+          // (a,u) is constant-constant: after x <- a, |[x,u]| equals the
+          // known size s, so coefficient on (x,u) is plain constant
+          // potential, charged against q0 (free when s == 0).
+          assert(Lo.isConst() && Hi.isConst());
+          std::int64_t Sz = Hi.Value - Lo.Value;
+          int PostX = newVar("set.xc");
+          if (Sz > 0)
+            ConstCharges.push_back({PostX, Rational(Sz)});
+          Q.Vars[static_cast<std::size_t>(IX)] = PostX;
+          continue;
+        }
+        int PreVar = Q.at(IPre);
+        if (PreVar == -1) {
+          Q.Vars[static_cast<std::size_t>(IPre)] = -1;
+          Q.Vars[static_cast<std::size_t>(IX)] = -1;
+          continue;
+        }
+        int PostX = newVar("set.x");
+        int PostA = newVar("set.a");
+        emit({{PreVar, Rational(1)},
+              {PostX, Rational(-1)},
+              {PostA, Rational(-1)}},
+             Rel::Eq, Rational(0));
+        Q.Vars[static_cast<std::size_t>(IX)] = PostX;
+        Q.Vars[static_cast<std::size_t>(IPre)] = PostA;
+      }
+    }
+    if (!ConstCharges.empty()) {
+      int Post0 = newVar("set.c0");
+      std::vector<LinTerm> Terms;
+      addTerm(Terms, Q.constVar(), Rational(1));
+      Terms.push_back({Post0, Rational(-1)});
+      for (const LinTerm &T : ConstCharges)
+        Terms.push_back({T.Var, -T.Coef});
+      emit(std::move(Terms), Rel::Eq, Rational(0));
+      Q.Vars[IndexSet::ConstIdx] = Post0;
+    }
+    // |[x,a]| and |[a,x]| are empty after the assignment: free coefficients.
+    int IXA = IS.indexOf(X, A), IAX = IS.indexOf(A, X);
+    if (IXA >= 0)
+      Q.Vars[static_cast<std::size_t>(IXA)] = newVar("set.free");
+    if (IAX >= 0)
+      Q.Vars[static_cast<std::size_t>(IAX)] = newVar("set.free");
+    Ctx.applySet(S.Target, A);
+  }
+
+  void applyKillRule(const IRStmt &S) {
+    Atom X = Atom::makeVar(S.Target);
+    for (int I = 1; I < IS.numIndices(); ++I) {
+      const auto &P = IS.pair(I);
+      if (sameAtom(P.first, X) || sameAtom(P.second, X))
+        Q.Vars[static_cast<std::size_t>(I)] = -1;
+    }
+    Ctx.havoc(S.Target);
+  }
+
+  /// Entailment of `sum <= 0` facts built from atoms.
+  bool ctxEntails(std::initializer_list<std::pair<Atom, std::int64_t>> Terms,
+                  std::int64_t Const) {
+    LinFact Fact;
+    Fact.Const = Rational(Const);
+    for (const auto &[A, C] : Terms)
+      addAtomTo(Fact, A, C);
+    return Ctx.entails(Fact);
+  }
+
+  void applyIncDecRule(const IRStmt &S) {
+    Atom X = Atom::makeVar(S.Target);
+    const Atom &A = S.Operand;
+    bool Inc = S.Asg == AssignKind::Inc;
+    if (A.isConst() && A.Value == 0)
+      return; // x <- x ± 0 leaves all potential unchanged.
+    if (!IS.containsAtom(X)) {
+      Ctx.applyIncDec(S.Target, A, Inc);
+      return;
+    }
+    if (A.isVar() && A.Name == S.Target) {
+      // Not produced by lowering; treat as an opaque update.
+      applyKillRule(S);
+      return;
+    }
+
+    // Sign of the operand under Gamma.
+    bool NonNeg, NonPos;
+    if (A.isConst()) {
+      NonNeg = A.Value >= 0;
+      NonPos = A.Value <= 0;
+    } else {
+      NonNeg = ctxEntails({{A, -1}}, 0); // -a <= 0.
+      NonPos = ctxEntails({{A, 1}}, 0);  // a <= 0.
+    }
+
+    // Direction x moves: up for (Inc,NonNeg) and (Dec,NonPos).
+    Atom Zero = Atom::makeConst(0);
+    auto idx = [&](const Atom &P, const Atom &R) { return IS.indexOf(P, R); };
+
+    auto sumOver = [&](bool XFirst, const std::set<int> &Us, bool InU,
+                       std::vector<LinTerm> &Terms, const Rational &Sign) {
+      for (int AI = 0; AI < IS.numAtoms(); ++AI) {
+        const Atom &U = IS.atoms()[static_cast<std::size_t>(AI)];
+        if (sameAtom(U, X))
+          continue;
+        if (InU != (Us.count(AI) != 0))
+          continue;
+        int I = XFirst ? idx(X, U) : idx(U, X);
+        if (I >= 0)
+          addTerm(Terms, Q.at(I), Sign);
+      }
+    };
+
+    auto currencyUpdate = [&](int CurIdx, const Rational &Scale,
+                              bool GainXFirst, const std::set<int> &Us) {
+      if (CurIdx < 0)
+        return;
+      int Post = newVar("incdec");
+      std::vector<LinTerm> Terms;
+      Terms.push_back({Post, Rational(1)});
+      addTerm(Terms, Q.at(CurIdx), Rational(-1));
+      // post = pre + Scale*gains - Scale*losses.  For a constant operand c
+      // the currency |[0,c]| is worth exactly c units of constant
+      // potential, so the transfer lands in q0 pre-scaled.
+      sumOver(GainXFirst, Us, /*InU=*/true, Terms, -Scale);
+      sumOver(!GainXFirst, Us, /*InU=*/false, Terms, Scale);
+      emit(std::move(Terms), Rel::Eq, Rational(0));
+      Q.Vars[static_cast<std::size_t>(CurIdx)] = Post;
+    };
+
+    if ((NonNeg || NonPos) && A.isConst()) {
+      // Constant stride c: the currency |[0,c]| is constant potential, and
+      // the freed amount per shrinking interval can be *partial* -- if
+      // Gamma only proves the interval holds k < c units, k units are
+      // still freed (the shrink is at least min(c, interval size)).  This
+      // is what bounds strides like `i += 2` under the guard `i < n`.
+      std::int64_t C = A.Value < 0 ? -A.Value : A.Value;
+      bool MovesUp = Inc == (A.Value >= 0);
+      int Post = newVar("incdec");
+      std::vector<LinTerm> Terms;
+      Terms.push_back({Post, Rational(1)});
+      addTerm(Terms, Q.constVar(), Rational(-1));
+      for (int AI = 0; AI < IS.numAtoms(); ++AI) {
+        const Atom &U = IS.atoms()[static_cast<std::size_t>(AI)];
+        if (sameAtom(U, X))
+          continue;
+        // Shrinking side: [x,u] when moving up, [u,x] when moving down.
+        int Shrink = MovesUp ? idx(X, U) : idx(U, X);
+        if (Shrink >= 0 && Q.at(Shrink) >= 0) {
+          Rational K = boundsAt(Ctx, Shrink).Lo;
+          if (K > Rational(C))
+            K = Rational(C);
+          if (K.sign() > 0)
+            Terms.push_back({Q.at(Shrink), -K}); // gains
+        }
+        // Growing side pays the full stride unless the new value provably
+        // stays on the empty side of the interval.
+        int Grow = MovesUp ? idx(U, X) : idx(X, U);
+        if (Grow >= 0 && Q.at(Grow) >= 0) {
+          bool Exempt = MovesUp ? ctxEntails({{X, 1}, {A, Inc ? 1 : -1},
+                                              {U, -1}}, 0)
+                                : ctxEntails({{U, 1}, {X, -1},
+                                              {A, Inc ? -1 : 1}}, 0);
+          if (!Exempt)
+            Terms.push_back({Q.at(Grow), Rational(C)}); // losses
+        }
+      }
+      emit(std::move(Terms), Rel::Eq, Rational(0));
+      Q.Vars[IndexSet::ConstIdx] = Post;
+    } else if (NonNeg || NonPos) {
+      bool MovesUp = Inc == NonNeg; // (Inc,+)/(Dec,-) raise x.
+      // U: atoms on the shrinking side of x's move.
+      std::set<int> Us;
+      for (int AI = 0; AI < IS.numAtoms(); ++AI) {
+        const Atom &U = IS.atoms()[static_cast<std::size_t>(AI)];
+        if (sameAtom(U, X))
+          continue;
+        bool In;
+        if (MovesUp) // x' = x ± a >= x: u in U iff  x' <= u.
+          In = Inc ? ctxEntails({{X, 1}, {A, 1}, {U, -1}}, 0)
+                   : ctxEntails({{X, 1}, {A, -1}, {U, -1}}, 0);
+        else // x' <= x: u in U iff u <= x'.
+          In = Inc ? ctxEntails({{U, 1}, {X, -1}, {A, -1}}, 0)
+                   : ctxEntails({{U, 1}, {X, -1}, {A, 1}}, 0);
+        if (In)
+          Us.insert(AI);
+      }
+      // Currency: |[0,a]| when a >= 0, |[a,0]| when a <= 0.
+      int Cur = NonNeg ? idx(Zero, A) : idx(A, Zero);
+      // Moving up frees [x,u] (u in U) and grows [v,x] (v not in U);
+      // moving down frees [u,x] and grows [x,v].
+      currencyUpdate(Cur, Rational(1), /*GainXFirst=*/MovesUp, Us);
+    } else {
+      // Unknown sign (Q:INC): pay growth of both flanks from both
+      // currencies, no gains.
+      std::set<int> Empty;
+      int CurPos = idx(Zero, A), CurNeg = idx(A, Zero);
+      // x <- x + a: [v,x] grows when a>0 (pay from |[0,a]|), [x,v] grows
+      // when a<0 (pay from |[a,0]|); mirrored for x <- x - a.
+      auto payGrowth = [&](int CurIdx, bool GrowXFirst) {
+        if (CurIdx < 0)
+          return;
+        int Post = newVar("inc.unk");
+        std::vector<LinTerm> Terms;
+        Terms.push_back({Post, Rational(1)});
+        addTerm(Terms, Q.at(CurIdx), Rational(-1));
+        sumOver(GrowXFirst, Empty, /*InU=*/false, Terms, Rational(1));
+        emit(std::move(Terms), Rel::Eq, Rational(0));
+        Q.Vars[static_cast<std::size_t>(CurIdx)] = Post;
+      };
+      payGrowth(Inc ? CurPos : CurNeg, /*GrowXFirst=*/false); // [v,x] flank.
+      payGrowth(Inc ? CurNeg : CurPos, /*GrowXFirst=*/true);  // [x,v] flank.
+    }
+    Ctx.applyIncDec(S.Target, A, Inc);
+  }
+
+  //===--- returns and calls -----------------------------------------------===//
+
+  /// Maps a spec-side atom into the caller/body frame.
+  static Atom mapSpecAtom(const Atom &A,
+                          const std::map<std::string, Atom> &VarMap) {
+    if (A.isConst())
+      return A;
+    auto It = VarMap.find(A.Name);
+    assert(It != VarMap.end() && "unmapped spec atom");
+    return It->second;
+  }
+
+  /// Builds, for each body index, the list of spec-annotation variables
+  /// that instantiate to it.  Spec indices instantiating to a
+  /// constant-constant pair contribute constant potential scaled by the
+  /// known interval size (collected in \p ConstTerms, which also carries
+  /// the spec's q0).  Degenerate pairs and indices involving an unmapped
+  /// `$ret` are skipped.
+  std::vector<std::vector<int>>
+  mapSpecSide(const IndexSet &SpecIS, const Annotation &SpecAnn,
+              const std::map<std::string, Atom> &VarMap,
+              std::vector<LinTerm> &ConstTerms) {
+    std::vector<std::vector<int>> At(
+        static_cast<std::size_t>(IS.numIndices()));
+    ConstTerms.clear();
+    if (SpecAnn.constVar() >= 0)
+      ConstTerms.push_back({SpecAnn.constVar(), Rational(1)});
+    for (int J = 1; J < SpecIS.numIndices(); ++J) {
+      int SpecVar = SpecAnn.at(J);
+      if (SpecVar < 0)
+        continue;
+      const auto &P = SpecIS.pair(J);
+      if ((P.first.isVar() && !VarMap.count(P.first.Name)) ||
+          (P.second.isVar() && !VarMap.count(P.second.Name)))
+        continue;
+      Atom MA = mapSpecAtom(P.first, VarMap);
+      Atom MB = mapSpecAtom(P.second, VarMap);
+      if (sameAtom(MA, MB))
+        continue; // |[v,v]| = 0: nothing to provide or receive.
+      if (MA.isConst() && MB.isConst()) {
+        Rational Size(MB.Value - MA.Value);
+        if (Size.sign() > 0)
+          ConstTerms.push_back({SpecVar, Size});
+        continue;
+      }
+      int I = IS.indexOf(MA, MB);
+      if (I >= 0)
+        At[static_cast<std::size_t>(I)].push_back(SpecVar);
+    }
+    return At;
+  }
+
+  void handleReturn(const IRStmt *S) {
+    // Q:RETURN: the current potential must cover the instantiated
+    // function postcondition.
+    std::map<std::string, Atom> VarMap;
+    if (Spec.ReturnsValue) {
+      if (S && S->HasRetValue) {
+        VarMap["$ret"] = S->RetValue;
+      } else {
+        // Falling off the end of an int function (or return;): the spec
+        // may not promise any potential on the return value.
+        for (int J = 1; J < Spec.PostIS.numIndices(); ++J) {
+          const auto &P = Spec.PostIS.pair(J);
+          bool UsesRet = (P.first.isVar() && P.first.Name == "$ret") ||
+                         (P.second.isVar() && P.second.Name == "$ret");
+          if (UsesRet && Spec.Post.at(J) >= 0)
+            emit({{Spec.Post.at(J), Rational(1)}}, Rel::Eq, Rational(0));
+        }
+      }
+    }
+    std::vector<LinTerm> ConstTerms;
+    auto DstAt = mapSpecSide(Spec.PostIS, Spec.Post, VarMap, ConstTerms);
+    relaxIntoLin({Q, Ctx, Rational(0)}, DstAt, ConstTerms, Rational(0));
+    Ctx = LogicContext::bottom();
+    Q = freshFreeAnnotation("dead");
+  }
+
+  void handleCall(const IRStmt &S) {
+    maybeWeaken(WeakenPlacement::Normal, "weaken.call");
+    FuncSpec Storage;
+    const FuncSpec *Callee = PA.specForCall(S.Callee, SCC, Depth, Storage);
+    if (!Callee)
+      return; // Structural failure already recorded.
+    const IRFunction *CalleeFn = PA.Prog.findFunction(S.Callee);
+    assert(CalleeFn && "lowering verified callees exist");
+
+    // Parameter substitution.
+    std::map<std::string, Atom> PreMap, PostMap;
+    for (std::size_t I = 0; I < CalleeFn->Params.size(); ++I)
+      PreMap[CalleeFn->Params[I]] = S.Args[I];
+    if (Callee->ReturnsValue && !S.ResultVar.empty())
+      PostMap["$ret"] = Atom::makeVar(S.ResultVar);
+
+    std::vector<LinTerm> PreConsts, PostConsts;
+    auto MappedPre = mapSpecSide(Callee->PreIS, Callee->Pre, PreMap, PreConsts);
+    auto MappedPost =
+        mapSpecSide(Callee->PostIS, Callee->Post, PostMap, PostConsts);
+
+    const std::set<std::string> &CalleeMods = PA.ModGlobals[S.Callee];
+    auto persistableAtom = [&](const Atom &A) {
+      if (A.isConst())
+        return true;
+      if (A.Name == S.ResultVar)
+        return false;
+      return F.isLocalScalar(A.Name); // Globals are killed across calls.
+    };
+
+    Annotation Post;
+    Post.Vars.assign(static_cast<std::size_t>(IS.numIndices()), -1);
+
+    for (int I = 1; I < IS.numIndices(); ++I) {
+      const auto &P = IS.pair(I);
+      bool Persist = persistableAtom(P.first) && persistableAtom(P.second);
+      const auto &MPre = MappedPre[static_cast<std::size_t>(I)];
+      const auto &MPost = MappedPost[static_cast<std::size_t>(I)];
+      if (Persist && MPre.empty() && MPost.empty()) {
+        Post.Vars[static_cast<std::size_t>(I)] = Q.at(I); // Frame potential.
+        continue;
+      }
+      int SV = -1;
+      if (Persist)
+        SV = newVar("call.frame");
+      // Pre side: Q_i >= sum(mapped pre) + S_i.
+      if (!MPre.empty() || SV >= 0) {
+        std::vector<LinTerm> Terms;
+        addTerm(Terms, Q.at(I), Rational(1));
+        for (int V : MPre)
+          Terms.push_back({V, Rational(-1)});
+        addTerm(Terms, SV, Rational(-1));
+        if (!Terms.empty())
+          emit(std::move(Terms), Rel::Ge, Rational(0));
+      }
+      // Post side: Post_i <= sum(mapped post) + S_i.
+      if (!MPost.empty() || SV >= 0) {
+        int PV = newVar("call.post");
+        std::vector<LinTerm> Terms;
+        for (int V : MPost)
+          Terms.push_back({V, Rational(1)});
+        addTerm(Terms, SV, Rational(1));
+        Terms.push_back({PV, Rational(-1)});
+        emit(std::move(Terms), Rel::Ge, Rational(0));
+        Post.Vars[static_cast<std::size_t>(I)] = PV;
+      }
+    }
+
+    // Constant index: Q_0 >= specPre_0 + S_0 + Mf and
+    // Post_0 <= specPost_0 + S_0 - Mr.
+    int S0 = newVar("call.frame0");
+    {
+      std::vector<LinTerm> Terms;
+      addTerm(Terms, Q.constVar(), Rational(1));
+      for (const LinTerm &T : PreConsts)
+        Terms.push_back({T.Var, -T.Coef});
+      Terms.push_back({S0, Rational(-1)});
+      emit(std::move(Terms), Rel::Ge, PA.Metric.Mf);
+    }
+    int P0 = newVar("call.post0");
+    {
+      std::vector<LinTerm> Terms = PostConsts;
+      Terms.push_back({S0, Rational(1)});
+      Terms.push_back({P0, Rational(-1)});
+      emit(std::move(Terms), Rel::Ge, PA.Metric.Mr);
+    }
+    Post.Vars[IndexSet::ConstIdx] = P0;
+
+    Q = std::move(Post);
+    Ctx.applyCall(S.ResultVar, CalleeMods);
+  }
+
+  //===--- abstract interpretation (invariant inference) -------------------===//
+
+  /// Context-only execution mirroring the walker's Gamma transfers; used to
+  /// infer loop invariants by Kleene iteration before constraints are
+  /// emitted for the looped copy of a body.
+  LogicContext absExec(const IRStmt &S, LogicContext C,
+                       std::vector<LogicContext> *Breaks) {
+    if (C.isBottom())
+      return C;
+    switch (S.Kind) {
+    case IRStmtKind::Skip:
+    case IRStmtKind::Store:
+    case IRStmtKind::Tick:
+      return C;
+    case IRStmtKind::Block:
+      for (const auto &Child : S.Children)
+        C = absExec(*Child, std::move(C), Breaks);
+      return C;
+    case IRStmtKind::Assert:
+      if (S.Cond.K == SimpleCond::Kind::Cmp && S.Cond.Lin)
+        C.assumeCmp(*S.Cond.Lin);
+      return C;
+    case IRStmtKind::Assign:
+      switch (S.Asg) {
+      case AssignKind::Set:
+        C.applySet(S.Target, S.Operand);
+        return C;
+      case AssignKind::Inc:
+      case AssignKind::Dec:
+        C.applyIncDec(S.Target, S.Operand, S.Asg == AssignKind::Inc);
+        return C;
+      case AssignKind::Kill:
+        C.havoc(S.Target);
+        return C;
+      }
+      return C;
+    case IRStmtKind::If: {
+      LogicContext CT = C, CF = std::move(C);
+      if (S.Cond.K == SimpleCond::Kind::Cmp && S.Cond.Lin) {
+        CT.assumeCmp(*S.Cond.Lin);
+        CF.assumeCmp(S.Cond.Lin->negated());
+      }
+      CT = absExec(*S.Children[0], std::move(CT), Breaks);
+      CF = absExec(*S.Children[1], std::move(CF), Breaks);
+      return LogicContext::join(CT, CF);
+    }
+    case IRStmtKind::Loop: {
+      // Mirror the walker: guarded loops take the invariant straight from
+      // the entry state; unguarded ones peel one pass first.
+      std::vector<LogicContext> Inner;
+      LogicContext Start = std::move(C);
+      if (!loopIsGuarded(*S.Children[0]))
+        Start = absExec(*S.Children[0], std::move(Start), &Inner);
+      LogicContext Exit = LogicContext::bottom();
+      if (!Start.isBottom()) {
+        LogicContext Inv = loopInvariant(Start, *S.Children[0]);
+        if (!Inv.isBottom())
+          absExec(*S.Children[0], Inv, &Inner);
+      }
+      for (LogicContext &B : Inner)
+        Exit = LogicContext::join(Exit, B);
+      return Exit;
+    }
+    case IRStmtKind::Break:
+      if (Breaks)
+        Breaks->push_back(C);
+      return LogicContext::bottom();
+    case IRStmtKind::Return:
+      return LogicContext::bottom();
+    case IRStmtKind::Call: {
+      const std::set<std::string> &Mods = PA.ModGlobals[S.Callee];
+      C.applyCall(S.ResultVar, Mods);
+      return C;
+    }
+    }
+    return C;
+  }
+
+  /// True when the two contexts entail each other.
+  static bool equivalentCtx(const LogicContext &A, const LogicContext &B) {
+    if (A.isBottom() || B.isBottom())
+      return A.isBottom() == B.isBottom();
+    for (const LinFact &F : A.facts())
+      if (!B.entails(F))
+        return false;
+    for (const LinFact &F : B.facts())
+      if (!A.entails(F))
+        return false;
+    return true;
+  }
+
+  /// Kleene iteration from the first back-edge state with a drop-modified
+  /// widening fallback (the paper's "rough fixpoint").
+  LogicContext loopInvariant(const LogicContext &FirstBackEdge,
+                             const IRStmt &Body) {
+    LogicContext I = FirstBackEdge;
+    for (int Iter = 0; Iter < 4; ++Iter) {
+      LogicContext B = absExec(Body, I, nullptr);
+      LogicContext J = LogicContext::join(I, B);
+      if (equivalentCtx(I, J))
+        return I;
+      I = std::move(J);
+    }
+    std::set<std::string> Modified;
+    collectAssigned(Body, Modified);
+    std::set<std::string> Callees;
+    collectCalleesOf(Body, Callees);
+    for (const std::string &C : Callees)
+      for (const std::string &G : PA.ModGlobals[C])
+        Modified.insert(G);
+    return I.dropMentioning(Modified);
+  }
+
+  //===--- statements ------------------------------------------------------===//
+
+  void walk(const IRStmt &S) {
+    // Dead code (e.g. a branch whose guard contradicts Gamma, or anything
+    // after break/return) gets no constraints: the rules only speak about
+    // reachable states.  The walk stays deterministic for the certificate
+    // checker because Gamma is recomputed identically there.
+    if (Ctx.isBottom())
+      return;
+    switch (S.Kind) {
+    case IRStmtKind::Skip:
+      return;
+    case IRStmtKind::Block:
+      for (const auto &C : S.Children)
+        walk(*C);
+      return;
+    case IRStmtKind::Tick:
+      maybeWeaken(WeakenPlacement::Normal, "weaken.tick");
+      pay(PA.Metric.TickScale * S.TickAmount);
+      return;
+    case IRStmtKind::Assert:
+      pay(PA.Metric.Ma);
+      if (S.Cond.K == SimpleCond::Kind::Cmp && S.Cond.Lin)
+        Ctx.assumeCmp(*S.Cond.Lin);
+      return;
+    case IRStmtKind::Store:
+      pay(PA.Metric.Mu + PA.Metric.Me);
+      return;
+    case IRStmtKind::Assign:
+      if (S.Asg != AssignKind::Kill)
+        maybeWeaken(WeakenPlacement::Aggressive, "weaken.asg");
+      if (!S.CostFree)
+        pay(PA.Metric.Mu + PA.Metric.Me);
+      switch (S.Asg) {
+      case AssignKind::Set:
+        applySetRule(S);
+        return;
+      case AssignKind::Inc:
+      case AssignKind::Dec:
+        applyIncDecRule(S);
+        return;
+      case AssignKind::Kill:
+        applyKillRule(S);
+        return;
+      }
+      return;
+    case IRStmtKind::If: {
+      pay(PA.Metric.Me);
+      LogicContext CtxT = Ctx, CtxF = Ctx;
+      if (S.Cond.K == SimpleCond::Kind::Cmp && S.Cond.Lin) {
+        CtxT.assumeCmp(*S.Cond.Lin);
+        CtxF.assumeCmp(S.Cond.Lin->negated());
+      }
+      Annotation Q0 = Q;
+
+      Ctx = std::move(CtxT);
+      Q = Q0;
+      pay(PA.Metric.McTrue);
+      maybeWeaken(WeakenPlacement::Normal, "weaken.then");
+      walk(*S.Children[0]);
+      MergeSource SrcT{Q, Ctx, Rational(0)};
+
+      Ctx = std::move(CtxF);
+      Q = Q0;
+      pay(PA.Metric.McFalse);
+      maybeWeaken(WeakenPlacement::Normal, "weaken.else");
+      walk(*S.Children[1]);
+      MergeSource SrcF{Q, Ctx, Rational(0)};
+
+      LogicContext Joined = LogicContext::join(SrcT.Ctx, SrcF.Ctx);
+      Q = mergeSources({SrcT, SrcF}, "join");
+      Ctx = std::move(Joined);
+      return;
+    }
+    case IRStmtKind::Loop: {
+      maybeWeaken(WeakenPlacement::Normal, "weaken.loop");
+      LoopFrame LF;
+      Loops.push_back(&LF);
+      // Unguarded loops get one peeled pass under the (strong) entry
+      // context; it pays the back-edge cost Ml itself, so the cost
+      // semantics is matched exactly.  Guarded loops (the while/for shape)
+      // start the loop proper immediately.
+      if (!loopIsGuarded(*S.Children[0])) {
+        walk(*S.Children[0]);
+        if (!Ctx.isBottom()) {
+          pay(PA.Metric.Ml);
+          maybeWeaken(WeakenPlacement::Normal, "weaken.loophead");
+        }
+      }
+      if (!Ctx.isBottom()) {
+        LogicContext Inv = loopInvariant(Ctx, *S.Children[0]);
+        if (getenv("C4B_DEBUG_INV"))
+          fprintf(stderr, "loop@%s head: %s\n  invariant: %s\n",
+                  S.Loc.toString().c_str(), Ctx.toString().c_str(),
+                  Inv.toString().c_str());
+        Annotation I = Q; // Loop-head annotation (quantitative invariant).
+        Ctx = std::move(Inv);
+        walk(*S.Children[0]);
+        // Back edge: body exit must restore I and pay Ml (Q:LOOP).
+        relaxInto({Q, Ctx, PA.Metric.Ml}, I);
+      }
+      Loops.pop_back();
+      // Loop exit: only break edges leave the loop.
+      LogicContext Exit = LogicContext::bottom();
+      for (const MergeSource &B : LF.Breaks)
+        Exit = LogicContext::join(Exit, B.Ctx);
+      Q = mergeSources(LF.Breaks, "loop.post");
+      Ctx = std::move(Exit);
+      return;
+    }
+    case IRStmtKind::Break:
+      assert(!Loops.empty() && "lowering rejects stray breaks");
+      Loops.back()->Breaks.push_back({Q, Ctx, PA.Metric.Mb});
+      Ctx = LogicContext::bottom();
+      Q = freshFreeAnnotation("dead");
+      return;
+    case IRStmtKind::Return:
+      handleReturn(&S);
+      return;
+    case IRStmtKind::Call:
+      handleCall(S);
+      return;
+    }
+  }
+
+  static void collectCalleesOf(const IRStmt &S, std::set<std::string> &Out) {
+    if (S.Kind == IRStmtKind::Call)
+      Out.insert(S.Callee);
+    for (const auto &C : S.Children)
+      collectCalleesOf(*C, Out);
+  }
+
+public:
+  void buildIndexSet() {
+    // Only variables whose values can influence control flow, call
+    // arguments, or return values ever carry useful potential; everything
+    // else (pure data like checksum accumulators) is pruned so the LP does
+    // not track dead intervals.  Seeds: linear guard variables, call
+    // arguments, returned atoms; closure: operands flowing into relevant
+    // assignment targets.
+    std::set<std::string> Relevant;
+    collectRelevanceSeeds(*F.Body, Relevant);
+    for (const std::string &P : F.Params)
+      Relevant.insert(P);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      closeRelevance(*F.Body, Relevant, Changed);
+    }
+
+    std::vector<Atom> Atoms;
+    for (const std::string &P : F.Params)
+      Atoms.push_back(Atom::makeVar(P));
+    for (const std::string &L : F.Locals)
+      if (Relevant.count(L))
+        Atoms.push_back(Atom::makeVar(L));
+    for (const auto &[G, Init] : PA.Prog.Globals) {
+      (void)Init;
+      if (Relevant.count(G))
+        Atoms.push_back(Atom::makeVar(G));
+    }
+    for (const Atom &C : PA.ConstAtoms)
+      Atoms.push_back(C);
+    IS = IndexSet::fromAtoms(Atoms);
+  }
+
+private:
+  static void collectRelevanceSeeds(const IRStmt &S,
+                                    std::set<std::string> &R) {
+    switch (S.Kind) {
+    case IRStmtKind::If:
+    case IRStmtKind::Assert:
+      if (S.Cond.Lin)
+        for (const auto &[V, C] : S.Cond.Lin->E.Coeffs) {
+          (void)C;
+          R.insert(V);
+        }
+      break;
+    case IRStmtKind::Call:
+      for (const Atom &A : S.Args)
+        if (A.isVar())
+          R.insert(A.Name);
+      if (!S.ResultVar.empty())
+        R.insert(S.ResultVar);
+      break;
+    case IRStmtKind::Return:
+      if (S.HasRetValue && S.RetValue.isVar())
+        R.insert(S.RetValue.Name);
+      break;
+    default:
+      break;
+    }
+    for (const auto &C : S.Children)
+      collectRelevanceSeeds(*C, R);
+  }
+
+  static void closeRelevance(const IRStmt &S, std::set<std::string> &R,
+                             bool &Changed) {
+    if (S.Kind == IRStmtKind::Assign && S.Asg != AssignKind::Kill &&
+        R.count(S.Target) && S.Operand.isVar())
+      Changed |= R.insert(S.Operand.Name).second;
+    for (const auto &C : S.Children)
+      closeRelevance(*C, R, Changed);
+  }
+};
+
+void FunctionWalker::run() {
+  buildIndexSet();
+  Ctx = LogicContext::top();
+
+  // Entry annotation: the spec precondition mapped into the body frame;
+  // all other indices carry no potential.
+  Q.Vars.assign(static_cast<std::size_t>(IS.numIndices()), -1);
+  Q.Vars[IndexSet::ConstIdx] = Spec.Pre.constVar();
+  for (int J = 1; J < Spec.PreIS.numIndices(); ++J) {
+    const auto &P = Spec.PreIS.pair(J);
+    int I = IS.indexOf(P.first, P.second);
+    if (I >= 0)
+      Q.Vars[static_cast<std::size_t>(I)] = Spec.Pre.at(J);
+  }
+
+  walk(*F.Body);
+
+  // Fall-through completion must also cover the postcondition.
+  if (!Ctx.isBottom())
+    handleReturn(nullptr);
+}
+
+} // namespace c4b
+
+//===----------------------------------------------------------------------===//
+// ProgramAnalyzer
+//===----------------------------------------------------------------------===//
+
+ProgramAnalyzer::ProgramAnalyzer(const IRProgram &P, const ResourceMetric &M,
+                                 const AnalysisOptions &O, ConstraintSink &Sink)
+    : Prog(P), Metric(M), Opts(O), Sink(Sink) {
+  CG = buildCallGraph(P);
+  ModGlobals = computeModifiedGlobals(P, CG);
+  collectConstAtoms();
+}
+
+void ProgramAnalyzer::collectConstAtoms() {
+  ConstCollector C;
+  C.Consts.insert(0);
+  for (const IRFunction &F : Prog.Functions)
+    C.visitStmt(*F.Body);
+  for (std::int64_t V : C.Consts)
+    ConstAtoms.push_back(Atom::makeConst(V));
+}
+
+FuncSpec ProgramAnalyzer::makeSpec(const IRFunction &F) {
+  FuncSpec S;
+  S.ReturnsValue = F.ReturnsValue;
+  std::vector<Atom> PreAtoms;
+  for (const std::string &P : F.Params)
+    PreAtoms.push_back(Atom::makeVar(P));
+  for (const Atom &C : ConstAtoms)
+    PreAtoms.push_back(C);
+  S.PreIS = IndexSet::fromAtoms(PreAtoms);
+  std::vector<Atom> PostAtoms;
+  if (F.ReturnsValue)
+    PostAtoms.push_back(Atom::makeVar("$ret"));
+  for (const Atom &C : ConstAtoms)
+    PostAtoms.push_back(C);
+  S.PostIS = IndexSet::fromAtoms(PostAtoms);
+  S.Pre.Vars.resize(static_cast<std::size_t>(S.PreIS.numIndices()));
+  for (int I = 0; I < S.PreIS.numIndices(); ++I)
+    S.Pre.Vars[static_cast<std::size_t>(I)] = Sink.addVar(F.Name + ".pre");
+  S.Post.Vars.resize(static_cast<std::size_t>(S.PostIS.numIndices()));
+  for (int I = 0; I < S.PostIS.numIndices(); ++I)
+    S.Post.Vars[static_cast<std::size_t>(I)] = Sink.addVar(F.Name + ".post");
+  return S;
+}
+
+void ProgramAnalyzer::analyzeFunctionBody(const IRFunction &F,
+                                          const FuncSpec &Spec,
+                                          const std::set<std::string> &SCC,
+                                          int Depth) {
+  FunctionWalker W(*this, F, Spec, SCC, Depth);
+  W.run();
+}
+
+const FuncSpec *
+ProgramAnalyzer::specForCall(const std::string &Callee,
+                             const std::set<std::string> &CurrentSCC,
+                             int Depth, FuncSpec &Storage) {
+  const IRFunction *Fn = Prog.findFunction(Callee);
+  if (!Fn) {
+    Failed = true;
+    return nullptr;
+  }
+  if (CurrentSCC.count(Callee) || !Opts.PolymorphicCalls) {
+    auto It = Specs.find(Callee);
+    assert(It != Specs.end() && "bottom-up order guarantees callee specs");
+    return &It->second;
+  }
+  if (Depth + 1 > Opts.MaxCallDepth) {
+    Failed = true;
+    return nullptr;
+  }
+  ++CallInstantiations;
+  Storage = makeSpec(*Fn);
+  // Re-walk the callee body against the fresh spec (resource polymorphism).
+  // Calls the clone makes into the callee's own SCC resolve to the
+  // canonical specs so recursion cannot clone forever.
+  int SccIdx = CG.SCCOf.at(Callee);
+  std::set<std::string> CalleeSCC(CG.SCCs[static_cast<std::size_t>(SccIdx)].begin(),
+                                  CG.SCCs[static_cast<std::size_t>(SccIdx)].end());
+  analyzeFunctionBody(*Fn, Storage, CalleeSCC, Depth + 1);
+  return &Storage;
+}
+
+bool ProgramAnalyzer::run() {
+  for (const std::vector<std::string> &SCC : CG.SCCs) {
+    std::set<std::string> Members(SCC.begin(), SCC.end());
+    for (const std::string &Name : SCC) {
+      const IRFunction *F = Prog.findFunction(Name);
+      assert(F && "call graph only contains defined functions");
+      Specs.emplace(Name, makeSpec(*F));
+    }
+    for (const std::string &Name : SCC) {
+      const IRFunction *F = Prog.findFunction(Name);
+      analyzeFunctionBody(*F, Specs.at(Name), Members, /*Depth=*/0);
+    }
+  }
+  return !Failed;
+}
+
+std::vector<LinTerm>
+ProgramAnalyzer::stage1Objective(const std::string &Focus) const {
+  std::vector<LinTerm> Obj;
+  for (const auto &[Name, Spec] : Specs) {
+    Rational Scale =
+        Focus.empty() || Focus == Name ? Rational(1) : Rational(1, 1000000);
+    for (int I = 1; I < Spec.PreIS.numIndices(); ++I) {
+      if (!Spec.PreIS.hasVarEndpoint(I))
+        continue;
+      const auto &P = Spec.PreIS.pair(I);
+      Obj.push_back({Spec.Pre.at(I), Scale * stage1Weight(P.first, P.second)});
+    }
+  }
+  return Obj;
+}
+
+std::vector<LinTerm>
+ProgramAnalyzer::stage2Objective(const std::string &Focus) const {
+  std::vector<LinTerm> Obj;
+  for (const auto &[Name, Spec] : Specs) {
+    Rational Scale =
+        Focus.empty() || Focus == Name ? Rational(1) : Rational(1, 1000000);
+    Obj.push_back({Spec.Pre.constVar(), Scale});
+    for (int I = 1; I < Spec.PreIS.numIndices(); ++I) {
+      if (Spec.PreIS.hasVarEndpoint(I))
+        continue;
+      const auto &P = Spec.PreIS.pair(I);
+      Rational Size(P.second.Value - P.first.Value);
+      if (Size.sign() < 0)
+        Size = Rational(0);
+      // Zero-size constant intervals still get a tiny weight so junk
+      // coefficients do not clutter certificates.
+      Obj.push_back({Spec.Pre.at(I),
+                     Scale * (Size + Rational(1, 1000000))});
+    }
+  }
+  return Obj;
+}
+
+std::optional<Bound>
+ProgramAnalyzer::boundOf(const std::string &Function,
+                         const std::vector<Rational> &Values) const {
+  auto It = Specs.find(Function);
+  if (It == Specs.end())
+    return std::nullopt;
+  const FuncSpec &S = It->second;
+  Bound B;
+  auto valueOf = [&](int Var) {
+    return Var >= 0 && Var < static_cast<int>(Values.size())
+               ? Values[static_cast<std::size_t>(Var)]
+               : Rational(0);
+  };
+  B.Const = valueOf(S.Pre.constVar());
+  for (int I = 1; I < S.PreIS.numIndices(); ++I) {
+    Rational V = valueOf(S.Pre.at(I));
+    if (V.isZero())
+      continue;
+    const auto &P = S.PreIS.pair(I);
+    if (!S.PreIS.hasVarEndpoint(I)) {
+      Rational Size(P.second.Value - P.first.Value);
+      if (Size.sign() > 0)
+        B.Const += V * Size;
+      continue;
+    }
+    B.Terms.push_back({V, P.first, P.second});
+  }
+  return B;
+}

@@ -1,0 +1,103 @@
+//===--- Potential.cpp - Potential indices and annotations ----------------===//
+
+#include "c4b/analysis/Potential.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace c4b;
+
+IndexSet IndexSet::fromAtoms(const std::vector<Atom> &In) {
+  IndexSet IS;
+  for (const Atom &A : In) {
+    if (IS.AtomIds.count(A))
+      continue;
+    IS.AtomIds[A] = static_cast<int>(IS.Atoms.size());
+    IS.Atoms.push_back(A);
+  }
+  for (const Atom &A : IS.Atoms)
+    for (const Atom &B : IS.Atoms) {
+      if (A == B)
+        continue;
+      // Constant-constant intervals have a statically known size, so their
+      // potential is constant potential; tracking them separately would
+      // only bloat the LP (their contribution is routed through q0).
+      if (A.isConst() && B.isConst())
+        continue;
+      IS.PairIds[{A, B}] = static_cast<int>(IS.Pairs.size()) + 1;
+      IS.Pairs.push_back({A, B});
+    }
+  return IS;
+}
+
+int IndexSet::indexOf(const Atom &A, const Atom &B) const {
+  auto It = PairIds.find({A, B});
+  return It == PairIds.end() ? -1 : It->second;
+}
+
+bool IndexSet::hasVarEndpoint(int I) const {
+  if (I == ConstIdx)
+    return false;
+  const auto &P = pair(I);
+  return P.first.isVar() || P.second.isVar();
+}
+
+std::string IndexSet::indexName(int I) const {
+  if (I == ConstIdx)
+    return "const";
+  const auto &P = pair(I);
+  return "|[" + P.first.toString() + "," + P.second.toString() + "]|";
+}
+
+std::string Bound::toString() const {
+  std::string R;
+  if (!Const.isZero() || Terms.empty())
+    R = Const.toString();
+  for (const Term &T : Terms) {
+    if (!R.empty())
+      R += " + ";
+    if (T.Coef == Rational(1))
+      R += "|[" + T.Lo.toString() + ", " + T.Hi.toString() + "]|";
+    else
+      R += T.Coef.toString() + "*|[" + T.Lo.toString() + ", " +
+           T.Hi.toString() + "]|";
+  }
+  return R;
+}
+
+Rational Bound::evaluate(const std::map<std::string, std::int64_t> &Env) const {
+  auto valueOf = [&](const Atom &A) -> Rational {
+    if (A.isConst())
+      return Rational(A.Value);
+    auto It = Env.find(A.Name);
+    assert(It != Env.end() && "bound evaluated without a binding");
+    return Rational(It->second);
+  };
+  Rational R = Const;
+  for (const Term &T : Terms) {
+    Rational Sz = valueOf(T.Hi) - valueOf(T.Lo);
+    if (Sz.sign() > 0)
+      R += T.Coef * Sz;
+  }
+  return R;
+}
+
+Rational c4b::stage1Weight(const Atom &A, const Atom &B) {
+  // Mirrors the example objective of Figure 5: weight(x,0) = 1,
+  // weight(x,10) = 11, weight(10,x) = 9990, weight(0,x) = 10000.
+  const std::int64_t Base = 10000;
+  if (A.isVar() && B.isVar())
+    return Rational(Base + 500); // Prefer anchored intervals on ties.
+  if (A.isVar()) { // |[x, c]| <= |c| - x ... prefer small |c|.
+    std::int64_t C = B.Value;
+    std::int64_t W = 1 + (C < 0 ? -C : C);
+    return Rational(W);
+  }
+  if (B.isVar()) { // |[c, x]| shrinks as c grows.
+    std::int64_t W = Base - A.Value;
+    if (W < 1)
+      W = 1;
+    return Rational(W);
+  }
+  return Rational(0); // Constant-constant: handled by stage 2.
+}

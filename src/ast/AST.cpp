@@ -1,0 +1,233 @@
+//===--- AST.cpp - Abstract syntax of the C4B language --------------------===//
+
+#include "c4b/ast/AST.h"
+
+#include <cassert>
+
+using namespace c4b;
+
+std::unique_ptr<Expr> Expr::makeInt(std::int64_t V, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::IntLit);
+  E->IntValue = V;
+  E->Loc = Loc;
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeVar(std::string Name, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Var);
+  E->Name = std::move(Name);
+  E->Loc = Loc;
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeBinary(BinOp Op, std::unique_ptr<Expr> L,
+                                       std::unique_ptr<Expr> R) {
+  auto E = std::make_unique<Expr>(ExprKind::Binary);
+  E->Bin = Op;
+  E->Loc = L->Loc;
+  E->Sub.push_back(std::move(L));
+  E->Sub.push_back(std::move(R));
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeUnary(UnOp Op, std::unique_ptr<Expr> Sub) {
+  auto E = std::make_unique<Expr>(ExprKind::Unary);
+  E->Un = Op;
+  E->Loc = Sub->Loc;
+  E->Sub.push_back(std::move(Sub));
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::clone() const {
+  auto E = std::make_unique<Expr>(Kind);
+  E->Loc = Loc;
+  E->IntValue = IntValue;
+  E->Name = Name;
+  E->Bin = Bin;
+  E->Un = Un;
+  for (const auto &S : Sub)
+    E->Sub.push_back(S->clone());
+  return E;
+}
+
+bool Expr::isBoolean() const {
+  if (Kind == ExprKind::Nondet)
+    return true;
+  if (Kind == ExprKind::Unary)
+    return Un == UnOp::Not;
+  if (Kind != ExprKind::Binary)
+    return false;
+  switch (Bin) {
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge:
+  case BinOp::Eq:
+  case BinOp::Ne:
+  case BinOp::And:
+  case BinOp::Or:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::unique_ptr<Stmt> Stmt::makeBlock() {
+  return std::make_unique<Stmt>(StmtKind::Block);
+}
+
+const FunctionDecl *Program::findFunction(const std::string &Name) const {
+  for (const FunctionDecl &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add: return "+";
+  case BinOp::Sub: return "-";
+  case BinOp::Mul: return "*";
+  case BinOp::Div: return "/";
+  case BinOp::Mod: return "%";
+  case BinOp::Lt: return "<";
+  case BinOp::Le: return "<=";
+  case BinOp::Gt: return ">";
+  case BinOp::Ge: return ">=";
+  case BinOp::Eq: return "==";
+  case BinOp::Ne: return "!=";
+  case BinOp::And: return "&&";
+  case BinOp::Or: return "||";
+  }
+  return "?";
+}
+
+std::string indentStr(int N) { return std::string(2 * N, ' '); }
+
+} // namespace
+
+std::string c4b::printExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return std::to_string(E.IntValue);
+  case ExprKind::Var:
+    return E.Name;
+  case ExprKind::ArrayElem:
+    return E.Name + "[" + printExpr(*E.Sub[0]) + "]";
+  case ExprKind::Nondet:
+    return "*";
+  case ExprKind::Unary:
+    return std::string(E.Un == UnOp::Neg ? "-" : "!") + "(" +
+           printExpr(*E.Sub[0]) + ")";
+  case ExprKind::Binary:
+    return "(" + printExpr(*E.Sub[0]) + " " + binOpSpelling(E.Bin) + " " +
+           printExpr(*E.Sub[1]) + ")";
+  }
+  return "?";
+}
+
+std::string c4b::printStmt(const Stmt &S, int Indent) {
+  std::string Pad = indentStr(Indent);
+  switch (S.Kind) {
+  case StmtKind::Skip:
+    return Pad + ";\n";
+  case StmtKind::Block: {
+    std::string R = Pad + "{\n";
+    for (const auto &C : S.Body)
+      R += printStmt(*C, Indent + 1);
+    return R + Pad + "}\n";
+  }
+  case StmtKind::VarDecl: {
+    std::string R = Pad + "int " + S.DeclName;
+    if (S.ArraySize > 0)
+      R += "[" + std::to_string(S.ArraySize) + "]";
+    if (S.Init)
+      R += " = " + printExpr(*S.Init);
+    return R + ";\n";
+  }
+  case StmtKind::Assign: {
+    std::string R = Pad + S.TargetName;
+    if (S.TargetIndex)
+      R += "[" + printExpr(*S.TargetIndex) + "]";
+    return R + " = " + printExpr(*S.Value) + ";\n";
+  }
+  case StmtKind::Call: {
+    std::string R = Pad;
+    if (!S.ResultVar.empty())
+      R += S.ResultVar + " = ";
+    R += S.Callee + "(";
+    for (std::size_t I = 0; I < S.Args.size(); ++I) {
+      if (I)
+        R += ", ";
+      R += printExpr(*S.Args[I]);
+    }
+    return R + ");\n";
+  }
+  case StmtKind::If: {
+    std::string R = Pad + "if (" + printExpr(*S.Cond) + ")\n";
+    R += printStmt(*S.Then, Indent + 1);
+    if (S.Else) {
+      R += Pad + "else\n";
+      R += printStmt(*S.Else, Indent + 1);
+    }
+    return R;
+  }
+  case StmtKind::While:
+    return Pad + "while (" + printExpr(*S.Cond) + ")\n" +
+           printStmt(*S.Then, Indent + 1);
+  case StmtKind::DoWhile:
+    return Pad + "do\n" + printStmt(*S.Then, Indent + 1) + Pad + "while (" +
+           printExpr(*S.Cond) + ");\n";
+  case StmtKind::For: {
+    std::string R = Pad + "for (...)\n"; // Structural print only.
+    if (S.ForInit)
+      R += printStmt(*S.ForInit, Indent + 1);
+    if (S.Cond)
+      R += Pad + "  /* cond: " + printExpr(*S.Cond) + " */\n";
+    R += printStmt(*S.Then, Indent + 1);
+    if (S.ForStep)
+      R += printStmt(*S.ForStep, Indent + 1);
+    return R;
+  }
+  case StmtKind::Break:
+    return Pad + "break;\n";
+  case StmtKind::Return:
+    if (S.RetValue)
+      return Pad + "return " + printExpr(*S.RetValue) + ";\n";
+    return Pad + "return;\n";
+  case StmtKind::Tick:
+    return Pad + "tick(" + std::to_string(S.TickAmount) + ");\n";
+  case StmtKind::Assert:
+    return Pad + "assert(" + printExpr(*S.Cond) + ");\n";
+  }
+  return Pad + "?;\n";
+}
+
+std::string c4b::printProgram(const Program &P) {
+  std::string R;
+  for (const GlobalDecl &G : P.Globals) {
+    R += "int " + G.Name;
+    if (G.ArraySize > 0)
+      R += "[" + std::to_string(G.ArraySize) + "]";
+    else if (G.InitValue != 0)
+      R += " = " + std::to_string(G.InitValue);
+    R += ";\n";
+  }
+  for (const FunctionDecl &F : P.Functions) {
+    R += std::string(F.ReturnsValue ? "int " : "void ") + F.Name + "(";
+    for (std::size_t I = 0; I < F.Params.size(); ++I) {
+      if (I)
+        R += ", ";
+      R += "int " + F.Params[I];
+    }
+    R += ")\n";
+    R += printStmt(*F.Body, 0);
+  }
+  return R;
+}

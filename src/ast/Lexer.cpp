@@ -1,0 +1,227 @@
+//===--- Lexer.cpp - Tokens and lexer for the C4B language ----------------===//
+
+#include "c4b/ast/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+
+using namespace c4b;
+
+const char *c4b::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof: return "end of input";
+  case TokKind::Identifier: return "identifier";
+  case TokKind::IntLiteral: return "integer literal";
+  case TokKind::KwInt: return "'int'";
+  case TokKind::KwVoid: return "'void'";
+  case TokKind::KwWhile: return "'while'";
+  case TokKind::KwFor: return "'for'";
+  case TokKind::KwDo: return "'do'";
+  case TokKind::KwIf: return "'if'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwBreak: return "'break'";
+  case TokKind::KwReturn: return "'return'";
+  case TokKind::KwAssert: return "'assert'";
+  case TokKind::KwTick: return "'tick'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBrace: return "'{'";
+  case TokKind::RBrace: return "'}'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Semi: return "';'";
+  case TokKind::Comma: return "','";
+  case TokKind::Assign: return "'='";
+  case TokKind::PlusAssign: return "'+='";
+  case TokKind::MinusAssign: return "'-='";
+  case TokKind::PlusPlus: return "'++'";
+  case TokKind::MinusMinus: return "'--'";
+  case TokKind::Plus: return "'+'";
+  case TokKind::Minus: return "'-'";
+  case TokKind::Star: return "'*'";
+  case TokKind::Slash: return "'/'";
+  case TokKind::Percent: return "'%'";
+  case TokKind::Lt: return "'<'";
+  case TokKind::Le: return "'<='";
+  case TokKind::Gt: return "'>'";
+  case TokKind::Ge: return "'>='";
+  case TokKind::EqEq: return "'=='";
+  case TokKind::NotEq: return "'!='";
+  case TokKind::AndAnd: return "'&&'";
+  case TokKind::OrOr: return "'||'";
+  case TokKind::Not: return "'!'";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Src(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(int Ahead) const {
+  std::size_t I = Pos + Ahead;
+  return I < Src.size() ? Src[I] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start{Line, Col};
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokKind K, SourceLoc Loc) const {
+  Token T;
+  T.Kind = K;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexOne() {
+  skipTrivia();
+  SourceLoc Loc{Line, Col};
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokKind::Eof, Loc);
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Word;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Word.push_back(advance());
+    static const std::map<std::string, TokKind> Keywords = {
+        {"int", TokKind::KwInt},       {"void", TokKind::KwVoid},
+        {"while", TokKind::KwWhile},   {"for", TokKind::KwFor},
+        {"do", TokKind::KwDo},         {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},     {"break", TokKind::KwBreak},
+        {"return", TokKind::KwReturn}, {"assert", TokKind::KwAssert},
+        {"tick", TokKind::KwTick},
+    };
+    auto It = Keywords.find(Word);
+    if (It != Keywords.end())
+      return makeToken(It->second, Loc);
+    Token T = makeToken(TokKind::Identifier, Loc);
+    T.Text = std::move(Word);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::int64_t V = 0;
+    bool Overflow = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      int D = advance() - '0';
+      if (V > (INT64_MAX - D) / 10)
+        Overflow = true;
+      else
+        V = V * 10 + D;
+    }
+    if (Overflow)
+      Diags.error(Loc, "integer literal does not fit in 64 bits");
+    Token T = makeToken(TokKind::IntLiteral, Loc);
+    T.IntValue = V;
+    return T;
+  }
+
+  advance();
+  switch (C) {
+  case '(': return makeToken(TokKind::LParen, Loc);
+  case ')': return makeToken(TokKind::RParen, Loc);
+  case '{': return makeToken(TokKind::LBrace, Loc);
+  case '}': return makeToken(TokKind::RBrace, Loc);
+  case '[': return makeToken(TokKind::LBracket, Loc);
+  case ']': return makeToken(TokKind::RBracket, Loc);
+  case ';': return makeToken(TokKind::Semi, Loc);
+  case ',': return makeToken(TokKind::Comma, Loc);
+  case '%': return makeToken(TokKind::Percent, Loc);
+  case '/': return makeToken(TokKind::Slash, Loc);
+  case '*': return makeToken(TokKind::Star, Loc);
+  case '+':
+    if (match('='))
+      return makeToken(TokKind::PlusAssign, Loc);
+    if (match('+'))
+      return makeToken(TokKind::PlusPlus, Loc);
+    return makeToken(TokKind::Plus, Loc);
+  case '-':
+    if (match('='))
+      return makeToken(TokKind::MinusAssign, Loc);
+    if (match('-'))
+      return makeToken(TokKind::MinusMinus, Loc);
+    return makeToken(TokKind::Minus, Loc);
+  case '<':
+    return makeToken(match('=') ? TokKind::Le : TokKind::Lt, Loc);
+  case '>':
+    return makeToken(match('=') ? TokKind::Ge : TokKind::Gt, Loc);
+  case '=':
+    return makeToken(match('=') ? TokKind::EqEq : TokKind::Assign, Loc);
+  case '!':
+    return makeToken(match('=') ? TokKind::NotEq : TokKind::Not, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokKind::AndAnd, Loc);
+    Diags.error(Loc, "expected '&&'");
+    return makeToken(TokKind::AndAnd, Loc);
+  case '|':
+    if (match('|'))
+      return makeToken(TokKind::OrOr, Loc);
+    Diags.error(Loc, "expected '||'");
+    return makeToken(TokKind::OrOr, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return lexOne();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Toks;
+  for (;;) {
+    Token T = lexOne();
+    bool AtEof = T.Kind == TokKind::Eof;
+    Toks.push_back(std::move(T));
+    if (AtEof)
+      return Toks;
+  }
+}

@@ -1,0 +1,504 @@
+//===--- Parser.cpp - Recursive-descent parser for C4B --------------------===//
+
+#include "c4b/ast/Parser.h"
+
+#include <cassert>
+
+using namespace c4b;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Toks(std::move(Tokens)), Diags(Diags) {
+  assert(!Toks.empty() && Toks.back().Kind == TokKind::Eof &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(int Ahead) const {
+  std::size_t I = Pos + Ahead;
+  if (I >= Toks.size())
+    I = Toks.size() - 1;
+  return Toks[I];
+}
+
+const Token &Parser::advance() {
+  const Token &T = Toks[Pos];
+  if (Pos + 1 < Toks.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(peek().Loc, std::string("expected ") + tokKindName(K) +
+                              " in " + Context + ", found " +
+                              tokKindName(peek().Kind));
+  return false;
+}
+
+std::unique_ptr<Stmt> Parser::errorStmt(const char *Msg) {
+  Diags.error(peek().Loc, Msg);
+  // Recover by skipping to the next statement boundary.
+  while (!check(TokKind::Eof) && !check(TokKind::Semi) &&
+         !check(TokKind::RBrace))
+    advance();
+  accept(TokKind::Semi);
+  return std::make_unique<Stmt>(StmtKind::Skip);
+}
+
+std::unique_ptr<Expr> Parser::errorExpr(const char *Msg) {
+  Diags.error(peek().Loc, Msg);
+  return Expr::makeInt(0, peek().Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Expr> Parser::parseExpr() { return parseOr(); }
+
+std::unique_ptr<Expr> Parser::parseOr() {
+  auto L = parseAnd();
+  while (check(TokKind::OrOr)) {
+    advance();
+    L = Expr::makeBinary(BinOp::Or, std::move(L), parseAnd());
+  }
+  return L;
+}
+
+std::unique_ptr<Expr> Parser::parseAnd() {
+  auto L = parseComparison();
+  while (check(TokKind::AndAnd)) {
+    advance();
+    L = Expr::makeBinary(BinOp::And, std::move(L), parseComparison());
+  }
+  return L;
+}
+
+std::unique_ptr<Expr> Parser::parseComparison() {
+  auto L = parseAdditive();
+  for (;;) {
+    BinOp Op;
+    switch (peek().Kind) {
+    case TokKind::Lt: Op = BinOp::Lt; break;
+    case TokKind::Le: Op = BinOp::Le; break;
+    case TokKind::Gt: Op = BinOp::Gt; break;
+    case TokKind::Ge: Op = BinOp::Ge; break;
+    case TokKind::EqEq: Op = BinOp::Eq; break;
+    case TokKind::NotEq: Op = BinOp::Ne; break;
+    default:
+      return L;
+    }
+    advance();
+    L = Expr::makeBinary(Op, std::move(L), parseAdditive());
+  }
+}
+
+std::unique_ptr<Expr> Parser::parseAdditive() {
+  auto L = parseMultiplicative();
+  for (;;) {
+    if (accept(TokKind::Plus))
+      L = Expr::makeBinary(BinOp::Add, std::move(L), parseMultiplicative());
+    else if (accept(TokKind::Minus))
+      L = Expr::makeBinary(BinOp::Sub, std::move(L), parseMultiplicative());
+    else
+      return L;
+  }
+}
+
+std::unique_ptr<Expr> Parser::parseMultiplicative() {
+  auto L = parseUnary();
+  for (;;) {
+    if (accept(TokKind::Star))
+      L = Expr::makeBinary(BinOp::Mul, std::move(L), parseUnary());
+    else if (accept(TokKind::Slash))
+      L = Expr::makeBinary(BinOp::Div, std::move(L), parseUnary());
+    else if (accept(TokKind::Percent))
+      L = Expr::makeBinary(BinOp::Mod, std::move(L), parseUnary());
+    else
+      return L;
+  }
+}
+
+std::unique_ptr<Expr> Parser::parseUnary() {
+  SourceLoc Loc = peek().Loc;
+  if (accept(TokKind::Minus)) {
+    auto E = Expr::makeUnary(UnOp::Neg, parseUnary());
+    E->Loc = Loc;
+    return E;
+  }
+  if (accept(TokKind::Not)) {
+    auto E = Expr::makeUnary(UnOp::Not, parseUnary());
+    E->Loc = Loc;
+    return E;
+  }
+  return parsePrimary();
+}
+
+std::unique_ptr<Expr> Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  if (check(TokKind::IntLiteral)) {
+    std::int64_t V = advance().IntValue;
+    return Expr::makeInt(V, Loc);
+  }
+  if (check(TokKind::Identifier)) {
+    std::string Name = advance().Text;
+    if (accept(TokKind::LBracket)) {
+      auto E = std::make_unique<Expr>(ExprKind::ArrayElem);
+      E->Loc = Loc;
+      E->Name = std::move(Name);
+      E->Sub.push_back(parseExpr());
+      expect(TokKind::RBracket, "array subscript");
+      return E;
+    }
+    return Expr::makeVar(std::move(Name), Loc);
+  }
+  if (accept(TokKind::Star)) {
+    // `*` in expression position is the non-deterministic condition.
+    auto E = std::make_unique<Expr>(ExprKind::Nondet);
+    E->Loc = Loc;
+    return E;
+  }
+  if (accept(TokKind::LParen)) {
+    auto E = parseExpr();
+    expect(TokKind::RParen, "parenthesized expression");
+    return E;
+  }
+  return errorExpr("expected expression");
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Stmt> Parser::parseVarDecl() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokKind::KwInt, "declaration");
+  auto S = std::make_unique<Stmt>(StmtKind::VarDecl);
+  S->Loc = Loc;
+  if (!check(TokKind::Identifier))
+    return errorStmt("expected variable name in declaration");
+  S->DeclName = advance().Text;
+  if (accept(TokKind::LBracket)) {
+    if (!check(TokKind::IntLiteral))
+      return errorStmt("expected constant array size");
+    S->ArraySize = advance().IntValue;
+    expect(TokKind::RBracket, "array declaration");
+  } else if (accept(TokKind::Assign)) {
+    S->Init = parseExpr();
+  }
+  expect(TokKind::Semi, "declaration");
+  return S;
+}
+
+std::unique_ptr<Stmt> Parser::parseSimpleStmt() {
+  SourceLoc Loc = peek().Loc;
+  if (!check(TokKind::Identifier))
+    return errorStmt("expected assignment or call");
+  std::string Name = advance().Text;
+
+  // Procedure call: f(args)
+  if (check(TokKind::LParen)) {
+    auto S = std::make_unique<Stmt>(StmtKind::Call);
+    S->Loc = Loc;
+    S->Callee = std::move(Name);
+    parseCallArgs(*S);
+    return S;
+  }
+
+  // Array element target: a[e] = v
+  if (accept(TokKind::LBracket)) {
+    auto S = std::make_unique<Stmt>(StmtKind::Assign);
+    S->Loc = Loc;
+    S->TargetName = std::move(Name);
+    S->TargetIndex = parseExpr();
+    expect(TokKind::RBracket, "array assignment");
+    expect(TokKind::Assign, "array assignment");
+    S->Value = parseExpr();
+    return S;
+  }
+
+  // Scalar forms: =, +=, -=, ++, --.
+  if (accept(TokKind::PlusPlus)) {
+    auto S = std::make_unique<Stmt>(StmtKind::Assign);
+    S->Loc = Loc;
+    S->TargetName = Name;
+    S->Value = Expr::makeBinary(BinOp::Add, Expr::makeVar(Name, Loc),
+                                Expr::makeInt(1, Loc));
+    return S;
+  }
+  if (accept(TokKind::MinusMinus)) {
+    auto S = std::make_unique<Stmt>(StmtKind::Assign);
+    S->Loc = Loc;
+    S->TargetName = Name;
+    S->Value = Expr::makeBinary(BinOp::Sub, Expr::makeVar(Name, Loc),
+                                Expr::makeInt(1, Loc));
+    return S;
+  }
+  if (accept(TokKind::PlusAssign)) {
+    auto S = std::make_unique<Stmt>(StmtKind::Assign);
+    S->Loc = Loc;
+    S->TargetName = Name;
+    S->Value =
+        Expr::makeBinary(BinOp::Add, Expr::makeVar(Name, Loc), parseExpr());
+    return S;
+  }
+  if (accept(TokKind::MinusAssign)) {
+    auto S = std::make_unique<Stmt>(StmtKind::Assign);
+    S->Loc = Loc;
+    S->TargetName = Name;
+    S->Value =
+        Expr::makeBinary(BinOp::Sub, Expr::makeVar(Name, Loc), parseExpr());
+    return S;
+  }
+  if (accept(TokKind::Assign)) {
+    // `x = f(args)` is a call with a result; `x = e` is an assignment.
+    if (check(TokKind::Identifier) && peek(1).Kind == TokKind::LParen) {
+      auto S = std::make_unique<Stmt>(StmtKind::Call);
+      S->Loc = Loc;
+      S->ResultVar = std::move(Name);
+      S->Callee = advance().Text;
+      parseCallArgs(*S);
+      return S;
+    }
+    auto S = std::make_unique<Stmt>(StmtKind::Assign);
+    S->Loc = Loc;
+    S->TargetName = std::move(Name);
+    S->Value = parseExpr();
+    return S;
+  }
+  return errorStmt("expected assignment operator");
+}
+
+bool Parser::parseCallArgs(Stmt &Call) {
+  expect(TokKind::LParen, "call");
+  if (!check(TokKind::RParen)) {
+    do {
+      Call.Args.push_back(parseExpr());
+    } while (accept(TokKind::Comma));
+  }
+  return expect(TokKind::RParen, "call");
+}
+
+std::unique_ptr<Stmt> Parser::parseSimpleStmtList() {
+  auto First = parseSimpleStmt();
+  if (!check(TokKind::Comma))
+    return First;
+  auto Block = Stmt::makeBlock();
+  Block->Loc = First->Loc;
+  Block->Body.push_back(std::move(First));
+  while (accept(TokKind::Comma))
+    Block->Body.push_back(parseSimpleStmt());
+  return Block;
+}
+
+std::unique_ptr<Stmt> Parser::parseStmt() {
+  SourceLoc Loc = peek().Loc;
+  switch (peek().Kind) {
+  case TokKind::Semi:
+    advance();
+    return std::make_unique<Stmt>(StmtKind::Skip);
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwInt:
+    return parseVarDecl();
+  case TokKind::KwBreak: {
+    advance();
+    expect(TokKind::Semi, "break statement");
+    auto S = std::make_unique<Stmt>(StmtKind::Break);
+    S->Loc = Loc;
+    return S;
+  }
+  case TokKind::KwReturn: {
+    advance();
+    auto S = std::make_unique<Stmt>(StmtKind::Return);
+    S->Loc = Loc;
+    if (!check(TokKind::Semi))
+      S->RetValue = parseExpr();
+    expect(TokKind::Semi, "return statement");
+    return S;
+  }
+  case TokKind::KwTick: {
+    advance();
+    expect(TokKind::LParen, "tick");
+    bool Negative = accept(TokKind::Minus);
+    if (!check(TokKind::IntLiteral))
+      return errorStmt("expected integer constant in tick()");
+    std::int64_t V = advance().IntValue;
+    expect(TokKind::RParen, "tick");
+    expect(TokKind::Semi, "tick");
+    auto S = std::make_unique<Stmt>(StmtKind::Tick);
+    S->Loc = Loc;
+    S->TickAmount = Negative ? -V : V;
+    return S;
+  }
+  case TokKind::KwAssert: {
+    advance();
+    expect(TokKind::LParen, "assert");
+    auto S = std::make_unique<Stmt>(StmtKind::Assert);
+    S->Loc = Loc;
+    S->Cond = parseExpr();
+    expect(TokKind::RParen, "assert");
+    expect(TokKind::Semi, "assert");
+    return S;
+  }
+  case TokKind::KwIf: {
+    advance();
+    expect(TokKind::LParen, "if");
+    auto S = std::make_unique<Stmt>(StmtKind::If);
+    S->Loc = Loc;
+    S->Cond = parseExpr();
+    expect(TokKind::RParen, "if");
+    S->Then = parseStmt();
+    if (accept(TokKind::KwElse))
+      S->Else = parseStmt();
+    return S;
+  }
+  case TokKind::KwWhile: {
+    advance();
+    expect(TokKind::LParen, "while");
+    auto S = std::make_unique<Stmt>(StmtKind::While);
+    S->Loc = Loc;
+    S->Cond = parseExpr();
+    expect(TokKind::RParen, "while");
+    S->Then = parseStmt();
+    return S;
+  }
+  case TokKind::KwDo: {
+    advance();
+    auto S = std::make_unique<Stmt>(StmtKind::DoWhile);
+    S->Loc = Loc;
+    S->Then = parseStmt();
+    expect(TokKind::KwWhile, "do-while");
+    expect(TokKind::LParen, "do-while");
+    S->Cond = parseExpr();
+    expect(TokKind::RParen, "do-while");
+    expect(TokKind::Semi, "do-while");
+    return S;
+  }
+  case TokKind::KwFor: {
+    advance();
+    expect(TokKind::LParen, "for");
+    auto S = std::make_unique<Stmt>(StmtKind::For);
+    S->Loc = Loc;
+    if (!check(TokKind::Semi))
+      S->ForInit = parseSimpleStmtList();
+    expect(TokKind::Semi, "for");
+    if (!check(TokKind::Semi))
+      S->Cond = parseExpr();
+    expect(TokKind::Semi, "for");
+    if (!check(TokKind::RParen))
+      S->ForStep = parseSimpleStmtList();
+    expect(TokKind::RParen, "for");
+    S->Then = parseStmt();
+    return S;
+  }
+  case TokKind::Identifier: {
+    auto S = parseSimpleStmtList();
+    expect(TokKind::Semi, "statement");
+    return S;
+  }
+  default:
+    return errorStmt("expected statement");
+  }
+}
+
+std::unique_ptr<Stmt> Parser::parseBlock() {
+  expect(TokKind::LBrace, "block");
+  auto B = Stmt::makeBlock();
+  B->Loc = peek().Loc;
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof))
+    B->Body.push_back(parseStmt());
+  expect(TokKind::RBrace, "block");
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+void Parser::parseFunction(Program &P, bool ReturnsValue) {
+  FunctionDecl F;
+  F.ReturnsValue = ReturnsValue;
+  F.Loc = peek().Loc;
+  if (!check(TokKind::Identifier)) {
+    Diags.error(peek().Loc, "expected function name");
+    return;
+  }
+  F.Name = advance().Text;
+  expect(TokKind::LParen, "function parameters");
+  if (!check(TokKind::RParen)) {
+    do {
+      expect(TokKind::KwInt, "parameter");
+      if (!check(TokKind::Identifier)) {
+        Diags.error(peek().Loc, "expected parameter name");
+        break;
+      }
+      F.Params.push_back(advance().Text);
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "function parameters");
+  F.Body = parseBlock();
+  P.Functions.push_back(std::move(F));
+}
+
+void Parser::parseTopLevel(Program &P) {
+  SourceLoc Loc = peek().Loc;
+  if (accept(TokKind::KwVoid)) {
+    parseFunction(P, /*ReturnsValue=*/false);
+    return;
+  }
+  if (!expect(TokKind::KwInt, "top-level declaration")) {
+    advance();
+    return;
+  }
+  // `int name (` begins a function; otherwise a global declaration.
+  if (check(TokKind::Identifier) && peek(1).Kind == TokKind::LParen) {
+    parseFunction(P, /*ReturnsValue=*/true);
+    return;
+  }
+  GlobalDecl G;
+  G.Loc = Loc;
+  if (!check(TokKind::Identifier)) {
+    Diags.error(peek().Loc, "expected global variable name");
+    return;
+  }
+  G.Name = advance().Text;
+  if (accept(TokKind::LBracket)) {
+    if (check(TokKind::IntLiteral))
+      G.ArraySize = advance().IntValue;
+    else
+      Diags.error(peek().Loc, "expected constant array size");
+    expect(TokKind::RBracket, "global array");
+  } else if (accept(TokKind::Assign)) {
+    bool Negative = accept(TokKind::Minus);
+    if (check(TokKind::IntLiteral))
+      G.InitValue = (Negative ? -1 : 1) * advance().IntValue;
+    else
+      Diags.error(peek().Loc, "expected constant initializer");
+  }
+  expect(TokKind::Semi, "global declaration");
+  P.Globals.push_back(std::move(G));
+}
+
+std::optional<Program> Parser::parseProgram() {
+  Program P;
+  while (!check(TokKind::Eof))
+    parseTopLevel(P);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return P;
+}
+
+std::optional<Program> c4b::parseString(const std::string &Source,
+                                        DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  return P.parseProgram();
+}

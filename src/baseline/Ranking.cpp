@@ -1,0 +1,634 @@
+//===--- Ranking.cpp - Classical ranking-function baseline ----------------===//
+
+#include "c4b/baseline/Ranking.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+using namespace c4b;
+
+namespace {
+
+/// An affine expression over the function's entry parameters.
+using Affine = LinExprInt;
+
+std::string affineToString(const Affine &A) {
+  std::string R;
+  for (const auto &[V, C] : A.Coeffs) {
+    if (!R.empty())
+      R += " + ";
+    if (C == 1)
+      R += V;
+    else if (C == -1)
+      R += "-" + V;
+    else
+      R += std::to_string(C) + "*" + V;
+  }
+  if (A.Const != 0 || R.empty()) {
+    if (!R.empty() && A.Const > 0)
+      R += " + " + std::to_string(A.Const);
+    else if (!R.empty())
+      R += " - " + std::to_string(-A.Const);
+    else
+      R = std::to_string(A.Const);
+  }
+  return R;
+}
+
+Affine affineAdd(const Affine &A, const Affine &B, std::int64_t Scale = 1) {
+  Affine R = A;
+  R.Const += Scale * B.Const;
+  for (const auto &[V, C] : B.Coeffs)
+    R.add(V, Scale * C);
+  return R;
+}
+
+/// Inclusive integer interval (deltas per loop iteration).
+struct Range {
+  bool Known = true;
+  std::int64_t Lo = 0, Hi = 0;
+
+  static Range unknown() {
+    Range R;
+    R.Known = false;
+    return R;
+  }
+  Range operator+(const Range &B) const {
+    if (!Known || !B.Known)
+      return unknown();
+    return {true, Lo + B.Lo, Hi + B.Hi};
+  }
+  static Range hull(const Range &A, const Range &B) {
+    if (!A.Known || !B.Known)
+      return unknown();
+    return {true, std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi)};
+  }
+};
+
+/// A symbolic cost: degree and a human-readable expression.
+struct PolyCost {
+  bool Ok = true;
+  int Degree = 0;
+  bool Zero = true;
+  std::string Expr = "0";
+  std::string Fail;
+
+  static PolyCost failure(std::string Why) {
+    PolyCost C;
+    C.Ok = false;
+    C.Fail = std::move(Why);
+    return C;
+  }
+  static PolyCost constant(const Rational &R) {
+    PolyCost C;
+    if (R.sign() > 0) {
+      C.Zero = false;
+      C.Expr = R.toString();
+    }
+    return C;
+  }
+};
+
+PolyCost costAdd(PolyCost A, const PolyCost &B) {
+  if (!A.Ok)
+    return A;
+  if (!B.Ok)
+    return B;
+  if (B.Zero)
+    return A;
+  if (A.Zero)
+    return B;
+  A.Degree = std::max(A.Degree, B.Degree);
+  A.Expr = A.Expr + " + " + B.Expr;
+  return A;
+}
+
+PolyCost costMax(PolyCost A, const PolyCost &B) {
+  if (!A.Ok)
+    return A;
+  if (!B.Ok)
+    return B;
+  if (B.Zero)
+    return A;
+  if (A.Zero)
+    return B;
+  A.Degree = std::max(A.Degree, B.Degree);
+  if (A.Expr != B.Expr)
+    A.Expr = "max(" + A.Expr + ", " + B.Expr + ")";
+  return A;
+}
+
+/// The classical analyzer.  Tracks, per scalar variable, an affine value
+/// over the entry parameters (when exactly known) and constant-or-affine
+/// upper/lower bounds (recovered from exit guards and asserts); ranking
+/// functions come from loop guards; composition is additive in sequence
+/// and multiplicative under nesting.
+class RankingAnalyzer {
+public:
+  RankingAnalyzer(const IRProgram &P, const ResourceMetric &M)
+      : Prog(P), Metric(M), CG(buildCallGraph(P)) {}
+
+  RankingResult run(const std::string &Fn) {
+    RankingResult R;
+    const IRFunction *F = Prog.findFunction(Fn);
+    if (!F) {
+      R.FailureReason = "unknown function";
+      return R;
+    }
+    Sym.clear();
+    Upper.clear();
+    Lower.clear();
+    for (const std::string &Prm : F->Params) {
+      Affine A;
+      A.add(Prm, 1);
+      Sym[Prm] = A;
+    }
+    PolyCost C = walk(*F->Body, 0);
+    if (!C.Ok) {
+      R.FailureReason = C.Fail;
+      return R;
+    }
+    R.Found = true;
+    R.Degree = C.Zero ? 0 : C.Degree;
+    R.Expr = C.Expr;
+    return R;
+  }
+
+private:
+  const IRProgram &Prog;
+  const ResourceMetric &Metric;
+  CallGraph CG;
+
+  std::map<std::string, Affine> Sym;
+  std::map<std::string, Affine> Upper, Lower;
+
+  void forget(const std::string &V) {
+    Sym.erase(V);
+    Upper.erase(V);
+    Lower.erase(V);
+  }
+
+  std::optional<Affine> valueOfAtom(const Atom &A) {
+    if (A.isConst()) {
+      Affine R;
+      R.Const = A.Value;
+      return R;
+    }
+    auto It = Sym.find(A.Name);
+    if (It == Sym.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  //===--- delta analysis ---------------------------------------------------===//
+
+  Range deltaOf(const IRStmt &S, const std::string &Var) {
+    switch (S.Kind) {
+    case IRStmtKind::Block: {
+      Range R;
+      for (const auto &C : S.Children)
+        R = R + deltaOf(*C, Var);
+      return R;
+    }
+    case IRStmtKind::If: {
+      // Paths that break or return never reach the back edge, so they do
+      // not constrain the per-iteration delta.
+      auto reachesBackEdge = [](const IRStmt &B) {
+        const IRStmt *P = &B;
+        while (P->Kind == IRStmtKind::Block && P->Children.size() == 1)
+          P = P->Children[0].get();
+        return P->Kind != IRStmtKind::Break && P->Kind != IRStmtKind::Return;
+      };
+      bool ThenLive = reachesBackEdge(*S.Children[0]);
+      bool ElseLive = reachesBackEdge(*S.Children[1]);
+      if (ThenLive && !ElseLive)
+        return deltaOf(*S.Children[0], Var);
+      if (!ThenLive && ElseLive)
+        return deltaOf(*S.Children[1], Var);
+      return Range::hull(deltaOf(*S.Children[0], Var),
+                         deltaOf(*S.Children[1], Var));
+    }
+    case IRStmtKind::Loop: {
+      std::set<std::string> Mod;
+      collectAssignedVars(*S.Children[0], Mod);
+      return Mod.count(Var) ? Range::unknown() : Range{};
+    }
+    case IRStmtKind::Assign: {
+      if (S.Target != Var)
+        return Range{};
+      if (S.Asg == AssignKind::Set || S.Asg == AssignKind::Kill)
+        return Range::unknown();
+      std::int64_t Sign = S.Asg == AssignKind::Inc ? 1 : -1;
+      if (S.Operand.isConst())
+        return {true, Sign * S.Operand.Value, Sign * S.Operand.Value};
+      // Variable operand: use constant bounds when available.
+      auto UIt = Upper.find(S.Operand.Name);
+      auto LIt = Lower.find(S.Operand.Name);
+      std::optional<std::int64_t> UB, LB;
+      if (UIt != Upper.end() && UIt->second.isConstant())
+        UB = UIt->second.Const;
+      if (LIt != Lower.end() && LIt->second.isConstant())
+        LB = LIt->second.Const;
+      auto SymIt = Sym.find(S.Operand.Name);
+      if (SymIt != Sym.end() && SymIt->second.isConstant())
+        UB = LB = SymIt->second.Const;
+      if (!UB || !LB)
+        return Range::unknown();
+      std::int64_t A = Sign * *LB, B = Sign * *UB;
+      return {true, std::min(A, B), std::max(A, B)};
+    }
+    case IRStmtKind::Call: {
+      std::set<std::string> Mod = modifiedByCall(S);
+      return Mod.count(Var) ? Range::unknown() : Range{};
+    }
+    default:
+      return Range{};
+    }
+  }
+
+  /// Delta range of a linear combination along one statement, preserving
+  /// the path correlation between its variables.
+  Range jointDeltaOf(const IRStmt &S, const Affine &Comb, std::string &Why) {
+    switch (S.Kind) {
+    case IRStmtKind::Block: {
+      Range R;
+      for (const auto &C : S.Children) {
+        R = R + jointDeltaOf(*C, Comb, Why);
+        if (!R.Known)
+          return R;
+      }
+      return R;
+    }
+    case IRStmtKind::If: {
+      auto reachesBackEdge = [](const IRStmt &B) {
+        const IRStmt *P = &B;
+        while (P->Kind == IRStmtKind::Block && P->Children.size() == 1)
+          P = P->Children[0].get();
+        return P->Kind != IRStmtKind::Break && P->Kind != IRStmtKind::Return;
+      };
+      bool ThenLive = reachesBackEdge(*S.Children[0]);
+      bool ElseLive = reachesBackEdge(*S.Children[1]);
+      if (ThenLive && !ElseLive)
+        return jointDeltaOf(*S.Children[0], Comb, Why);
+      if (!ThenLive && ElseLive)
+        return jointDeltaOf(*S.Children[1], Comb, Why);
+      return Range::hull(jointDeltaOf(*S.Children[0], Comb, Why),
+                         jointDeltaOf(*S.Children[1], Comb, Why));
+    }
+    default: {
+      Range R;
+      for (const auto &[V, C] : Comb.Coeffs) {
+        Range D = deltaOf(S, V);
+        if (!D.Known) {
+          Why = "non-arithmetic update of ranked variable '" + V + "'";
+          return Range::unknown();
+        }
+        Range Scaled = C >= 0 ? Range{true, C * D.Lo, C * D.Hi}
+                              : Range{true, C * D.Hi, C * D.Lo};
+        R = R + Scaled;
+      }
+      return R;
+    }
+    }
+  }
+
+  static void collectAssignedVars(const IRStmt &S,
+                                  std::set<std::string> &Out) {
+    if (S.Kind == IRStmtKind::Assign)
+      Out.insert(S.Target);
+    if (S.Kind == IRStmtKind::Call && !S.ResultVar.empty())
+      Out.insert(S.ResultVar);
+    for (const auto &C : S.Children)
+      collectAssignedVars(*C, Out);
+  }
+
+  std::set<std::string> modifiedByCall(const IRStmt &S) {
+    std::set<std::string> Mod;
+    if (!S.ResultVar.empty())
+      Mod.insert(S.ResultVar);
+    const IRFunction *Callee = Prog.findFunction(S.Callee);
+    if (Callee)
+      for (const auto &[G, Init] : Prog.Globals) {
+        (void)Init;
+        Mod.insert(G); // Conservative: any global may change.
+      }
+    return Mod;
+  }
+
+  //===--- transfer of straight-line code -----------------------------------===//
+
+  void applyAssign(const IRStmt &S) {
+    if (S.Asg == AssignKind::Kill) {
+      forget(S.Target);
+      return;
+    }
+    if (S.Asg == AssignKind::Set) {
+      forget(S.Target);
+      if (auto V = valueOfAtom(S.Operand))
+        Sym[S.Target] = *V;
+      return;
+    }
+    std::int64_t Sign = S.Asg == AssignKind::Inc ? 1 : -1;
+    std::optional<Affine> Delta = valueOfAtom(S.Operand);
+    auto SymIt = Sym.find(S.Target);
+    std::optional<Affine> NewSym;
+    if (Delta && SymIt != Sym.end())
+      NewSym = affineAdd(SymIt->second, *Delta, Sign);
+    // Bounds shift by the delta when it is exactly known.
+    auto shift = [&](std::map<std::string, Affine> &M) {
+      auto It = M.find(S.Target);
+      if (It == M.end())
+        return;
+      if (Delta)
+        It->second = affineAdd(It->second, *Delta, Sign);
+      else
+        M.erase(It);
+    };
+    shift(Upper);
+    shift(Lower);
+    if (NewSym)
+      Sym[S.Target] = *NewSym;
+    else
+      Sym.erase(S.Target);
+  }
+
+  /// Learns single-variable facts from a linear comparison.
+  void learnFact(const LinCmp &C) {
+    if (C.O == LinCmp::Op::Ne0 || C.E.Coeffs.size() != 1)
+      return;
+    const auto &[V, Coef] = *C.E.Coeffs.begin();
+    if (Coef != 1 && Coef != -1)
+      return;
+    // Coef*v + Const <= 0 (or == 0).
+    Affine B;
+    B.Const = -C.E.Const / Coef;
+    if (C.O == LinCmp::Op::Eq0) {
+      Sym[V] = B;
+      Upper[V] = B;
+      Lower[V] = B;
+      return;
+    }
+    if (Coef == 1)
+      Upper[V] = B; // v <= -Const.
+    else
+      Lower[V] = B; // v >= Const.
+  }
+
+  //===--- loops -------------------------------------------------------------===//
+
+  /// Finds the guard of a while-shaped body: the first statement must be an
+  /// `if` with a break-only arm.
+  const IRStmt *findGuard(const IRStmt &Body, bool &BreakInThen) {
+    const IRStmt *First = &Body;
+    while (First->Kind == IRStmtKind::Block) {
+      const IRStmt *Next = nullptr;
+      for (const auto &C : First->Children) {
+        if (C->Kind == IRStmtKind::Skip)
+          continue;
+        Next = C.get();
+        break;
+      }
+      if (!Next)
+        return nullptr;
+      First = Next;
+    }
+    if (First->Kind != IRStmtKind::If || !First->Cond.Lin)
+      return nullptr;
+    auto isBreak = [](const IRStmt &S) {
+      const IRStmt *P = &S;
+      while (P->Kind == IRStmtKind::Block && P->Children.size() == 1)
+        P = P->Children[0].get();
+      return P->Kind == IRStmtKind::Break;
+    };
+    if (isBreak(*First->Children[1])) {
+      BreakInThen = false;
+      return First;
+    }
+    if (isBreak(*First->Children[0])) {
+      BreakInThen = true;
+      return First;
+    }
+    return nullptr;
+  }
+
+  /// Collects the linear conditions of top-level ifs in the body (other
+  /// than the loop guard itself); used to build composite rankings.
+  void collectInnerConds(const IRStmt &S, const IRStmt *Guard,
+                         std::vector<LinCmp> &Out) {
+    if (&S != Guard && S.Kind == IRStmtKind::If && S.Cond.Lin &&
+        Out.size() < 4)
+      Out.push_back(*S.Cond.Lin);
+    if (S.Kind == IRStmtKind::Loop)
+      return; // Inner loops have their own ranking problem.
+    for (const auto &C : S.Children)
+      collectInnerConds(*C, Guard, Out);
+  }
+
+  PolyCost analyzeLoop(const IRStmt &S, int Depth) {
+    const IRStmt &Body = *S.Children[0];
+    bool BreakInThen = false;
+    const IRStmt *Guard = findGuard(Body, BreakInThen);
+    if (!Guard)
+      return PolyCost::failure("loop without a linear guard");
+    LinCmp Continue = BreakInThen ? Guard->Cond.Lin->negated()
+                                  : *Guard->Cond.Lin;
+    if (Continue.O != LinCmp::Op::Le0)
+      return PolyCost::failure("guard is an (in)equality, not an inequality");
+
+    // Ranking candidates: the negated guard, optionally strengthened with
+    // negated inner branch conditions (the classical recipe for
+    // two-counter loops such as speed_popl10_fig2_1, where
+    // (n-x) + (m-y) decreases even though neither part does alone).
+    Affine GuardRank;
+    GuardRank.Const = -Continue.E.Const;
+    for (const auto &[V, C] : Continue.E.Coeffs)
+      GuardRank.Coeffs[V] = -C;
+
+    std::vector<Affine> Candidates = {GuardRank};
+    std::vector<LinCmp> InnerConds;
+    collectInnerConds(Body, Guard, InnerConds);
+    Affine Combined = GuardRank;
+    for (const LinCmp &IC : InnerConds) {
+      if (IC.O != LinCmp::Op::Le0)
+        continue;
+      Affine R;
+      R.Const = -IC.E.Const;
+      for (const auto &[V, C] : IC.E.Coeffs)
+        R.Coeffs[V] = -C;
+      Candidates.push_back(affineAdd(GuardRank, R));
+      Combined = affineAdd(Combined, R);
+      if (InnerConds.size() > 1)
+        Candidates.push_back(Combined);
+    }
+
+    Affine Rank;
+    std::int64_t Dec = 0;
+    std::string WhyNot = "no linear ranking function decreases";
+    for (const Affine &Cand : Candidates) {
+      // Joint per-path delta: branches that bump different counters still
+      // decrease the *sum* even though no single counter always moves.
+      Range DeltaR = jointDeltaOf(Body, Cand, WhyNot);
+      if (DeltaR.Known && DeltaR.Hi < 0) {
+        Rank = Cand;
+        Dec = -DeltaR.Hi;
+        break;
+      }
+    }
+    if (Dec == 0)
+      return PolyCost::failure(WhyNot);
+
+    // Express r over the entry parameters.
+    Affine Entry;
+    Entry.Const = Rank.Const;
+    for (const auto &[V, C] : Rank.Coeffs) {
+      auto It = Sym.find(V);
+      std::optional<Affine> Val;
+      if (It != Sym.end()) {
+        Val = It->second;
+      } else if (C > 0 && Upper.count(V)) {
+        Val = Upper.at(V);
+      } else if (C < 0 && Lower.count(V)) {
+        Val = Lower.at(V);
+      }
+      if (!Val)
+        return PolyCost::failure(
+            "loop bound depends on intermediate value of '" + V +
+            "' (not expressible in the inputs)");
+      Entry = affineAdd(Entry, *Val, C);
+    }
+    std::string Iter = "max(0, " + affineToString(Entry) + ")";
+    if (Dec != 1)
+      Iter += "/" + std::to_string(Dec);
+
+    // Cost of one iteration (the body), analyzed under the guard facts
+    // with the loop-modified variables forgotten.
+    std::set<std::string> Mod;
+    collectAssignedVars(Body, Mod);
+    for (const std::string &V : Mod)
+      forget(V);
+    learnFact(Continue);
+    PolyCost BodyCost = walk(Body, Depth);
+    if (!BodyCost.Ok)
+      return BodyCost;
+    BodyCost = costAdd(BodyCost, PolyCost::constant(Metric.Ml));
+
+    // After the loop the negated guard holds.
+    for (const std::string &V : Mod)
+      forget(V);
+    learnFact(Continue.negated());
+
+    if (BodyCost.Zero)
+      return PolyCost{};
+    PolyCost R;
+    R.Zero = false;
+    R.Degree = BodyCost.Degree + 1;
+    R.Expr = Iter + " * (" + BodyCost.Expr + ")";
+    return R;
+  }
+
+  //===--- statement walk -----------------------------------------------------===//
+
+  PolyCost walk(const IRStmt &S, int Depth) {
+    switch (S.Kind) {
+    case IRStmtKind::Skip:
+    case IRStmtKind::Break:
+    case IRStmtKind::Return:
+      return PolyCost::constant(S.Kind == IRStmtKind::Break ? Metric.Mb
+                                                            : Rational(0));
+    case IRStmtKind::Block: {
+      PolyCost C;
+      for (const auto &Child : S.Children) {
+        C = costAdd(C, walk(*Child, Depth));
+        if (!C.Ok)
+          return C;
+      }
+      return C;
+    }
+    case IRStmtKind::Tick: {
+      Rational T = Metric.TickScale * S.TickAmount;
+      // Classical analyses have no notion of resource release.
+      return PolyCost::constant(T.sign() > 0 ? T : Rational(0));
+    }
+    case IRStmtKind::Assert:
+      if (S.Cond.Lin)
+        learnFact(*S.Cond.Lin);
+      return PolyCost::constant(Metric.Ma);
+    case IRStmtKind::Store:
+      return PolyCost::constant(Metric.Mu + Metric.Me);
+    case IRStmtKind::Assign:
+      applyAssign(S);
+      return PolyCost::constant(S.CostFree ? Rational(0)
+                                           : Metric.Mu + Metric.Me);
+    case IRStmtKind::If: {
+      auto SavedSym = Sym;
+      auto SavedUp = Upper;
+      auto SavedLo = Lower;
+      if (S.Cond.Lin)
+        learnFact(*S.Cond.Lin);
+      PolyCost T = walk(*S.Children[0], Depth);
+      auto ThenSym = Sym;
+      Sym = SavedSym;
+      Upper = SavedUp;
+      Lower = SavedLo;
+      if (S.Cond.Lin)
+        learnFact(S.Cond.Lin->negated());
+      PolyCost E = walk(*S.Children[1], Depth);
+      // Keep only agreeing symbolic facts after the join.
+      for (auto It = Sym.begin(); It != Sym.end();) {
+        auto TIt = ThenSym.find(It->first);
+        if (TIt == ThenSym.end() || !(TIt->second.Coeffs == It->second.Coeffs &&
+                                      TIt->second.Const == It->second.Const))
+          It = Sym.erase(It);
+        else
+          ++It;
+      }
+      Upper.clear();
+      Lower.clear();
+      return costAdd(costMax(T, E),
+                     PolyCost::constant(Metric.Me + Metric.McTrue));
+    }
+    case IRStmtKind::Loop:
+      return analyzeLoop(S, Depth);
+    case IRStmtKind::Call: {
+      if (Depth > 16)
+        return PolyCost::failure("call nesting too deep");
+      const IRFunction *Callee = Prog.findFunction(S.Callee);
+      if (!Callee)
+        return PolyCost::failure("unknown callee");
+      bool SelfCall = CG.Callees.count(S.Callee) &&
+                      CG.Callees.at(S.Callee).count(S.Callee);
+      if (SelfCall ||
+          CG.SCCs[static_cast<std::size_t>(CG.SCCOf.at(S.Callee))].size() > 1)
+        return PolyCost::failure(
+            "recursion is not supported by ranking functions");
+      // Inline the callee (classical tools have no function abstraction).
+      auto SavedSym = Sym;
+      auto SavedUp = Upper;
+      auto SavedLo = Lower;
+      std::map<std::string, Affine> CalleeSym;
+      for (std::size_t I = 0; I < S.Args.size(); ++I)
+        if (auto V = valueOfAtom(S.Args[I]))
+          CalleeSym[Callee->Params[I]] = *V;
+      Sym = std::move(CalleeSym);
+      Upper.clear();
+      Lower.clear();
+      PolyCost C = walk(*Callee->Body, Depth + 1);
+      Sym = std::move(SavedSym);
+      Upper = std::move(SavedUp);
+      Lower = std::move(SavedLo);
+      for (const std::string &V : modifiedByCall(S))
+        forget(V);
+      return costAdd(C, PolyCost::constant(Metric.Mf + Metric.Mr));
+    }
+    }
+    return PolyCost{};
+  }
+};
+
+} // namespace
+
+RankingResult c4b::analyzeRanking(const IRProgram &P, const std::string &Fn,
+                                  const ResourceMetric &M) {
+  return RankingAnalyzer(P, M).run(Fn);
+}

@@ -1,0 +1,202 @@
+//===--- Certificate.cpp - Checkable bound certificates --------------------===//
+
+#include "c4b/cert/Certificate.h"
+
+#include <sstream>
+
+using namespace c4b;
+
+std::optional<ResourceMetric> c4b::metricByName(const std::string &Name) {
+  if (Name == "ticks")
+    return ResourceMetric::ticks();
+  if (Name == "backedges")
+    return ResourceMetric::backEdges();
+  if (Name == "steps")
+    return ResourceMetric::steps();
+  if (Name == "stackdepth")
+    return ResourceMetric::stackDepth();
+  return std::nullopt;
+}
+
+Certificate Certificate::fromResult(const AnalysisResult &R,
+                                    const ResourceMetric &M,
+                                    const AnalysisOptions &O) {
+  Certificate C;
+  C.MetricName = M.Name;
+  C.Options = O;
+  C.Values = R.Solution;
+  C.Bounds = R.Bounds;
+  return C;
+}
+
+std::string Certificate::serialize() const {
+  std::ostringstream OS;
+  OS << "c4b-certificate v1\n";
+  OS << "metric " << MetricName << "\n";
+  OS << "weaken " << static_cast<int>(Options.Weaken) << "\n";
+  OS << "polymorphic " << (Options.PolymorphicCalls ? 1 : 0) << "\n";
+  OS << "values " << Values.size() << "\n";
+  for (const Rational &V : Values)
+    OS << V.toString() << "\n";
+  OS << "bounds " << Bounds.size() << "\n";
+  for (const auto &[Fn, B] : Bounds) {
+    OS << Fn << " " << B.Const.toString() << " " << B.Terms.size();
+    for (const Bound::Term &T : B.Terms)
+      OS << " " << T.Coef.toString() << " " << T.Lo.toString() << " "
+         << T.Hi.toString();
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// Parses an atom rendered by Atom::toString (a name or an integer).
+Atom parseAtom(const std::string &S) {
+  if (!S.empty() &&
+      (S[0] == '-' || (S[0] >= '0' && S[0] <= '9')))
+    return Atom::makeConst(std::stoll(S));
+  return Atom::makeVar(S);
+}
+
+} // namespace
+
+std::optional<Certificate> Certificate::deserialize(const std::string &Text) {
+  std::istringstream IS(Text);
+  std::string Line, Word;
+  if (!std::getline(IS, Line) || Line != "c4b-certificate v1")
+    return std::nullopt;
+  Certificate C;
+  std::size_t NumValues = 0, NumBounds = 0;
+  if (!(IS >> Word) || Word != "metric" || !(IS >> C.MetricName))
+    return std::nullopt;
+  int WeakenInt = 0, Poly = 1;
+  if (!(IS >> Word) || Word != "weaken" || !(IS >> WeakenInt))
+    return std::nullopt;
+  C.Options.Weaken = static_cast<WeakenPlacement>(WeakenInt);
+  if (!(IS >> Word) || Word != "polymorphic" || !(IS >> Poly))
+    return std::nullopt;
+  C.Options.PolymorphicCalls = Poly != 0;
+  if (!(IS >> Word) || Word != "values" || !(IS >> NumValues))
+    return std::nullopt;
+  C.Values.reserve(NumValues);
+  for (std::size_t I = 0; I < NumValues; ++I) {
+    if (!(IS >> Word))
+      return std::nullopt;
+    C.Values.push_back(Rational::fromString(Word));
+  }
+  if (!(IS >> Word) || Word != "bounds" || !(IS >> NumBounds))
+    return std::nullopt;
+  for (std::size_t I = 0; I < NumBounds; ++I) {
+    std::string Fn, ConstStr;
+    std::size_t NumTerms = 0;
+    if (!(IS >> Fn >> ConstStr >> NumTerms))
+      return std::nullopt;
+    Bound B;
+    B.Const = Rational::fromString(ConstStr);
+    for (std::size_t T = 0; T < NumTerms; ++T) {
+      std::string Coef, Lo, Hi;
+      if (!(IS >> Coef >> Lo >> Hi))
+        return std::nullopt;
+      B.Terms.push_back(
+          {Rational::fromString(Coef), parseAtom(Lo), parseAtom(Hi)});
+    }
+    C.Bounds.emplace(Fn, std::move(B));
+  }
+  return C;
+}
+
+namespace {
+
+/// Evaluates each emitted constraint against the certified values.
+class CheckSink : public ConstraintSink {
+public:
+  CheckSink(const std::vector<Rational> &Values, CheckReport &Report)
+      : Values(Values), Report(Report) {}
+
+  int addVar(const std::string &Name) override {
+    (void)Name;
+    return Next++;
+  }
+
+  void addConstraint(std::vector<LinTerm> Terms, Rel R,
+                     Rational Rhs) override {
+    ++Report.ConstraintsChecked;
+    Rational Lhs(0);
+    for (const LinTerm &T : Terms) {
+      if (T.Var < 0 || T.Var >= static_cast<int>(Values.size())) {
+        fail("constraint references variable outside the certificate");
+        return;
+      }
+      Lhs += T.Coef * Values[static_cast<std::size_t>(T.Var)];
+    }
+    bool Ok = R == Rel::Eq   ? Lhs == Rhs
+              : R == Rel::Le ? Lhs <= Rhs
+                             : Lhs >= Rhs;
+    if (!Ok)
+      fail("constraint " + std::to_string(Report.ConstraintsChecked) +
+           " violated: lhs=" + Lhs.toString() + " rhs=" + Rhs.toString());
+  }
+
+  int numVars() const { return Next; }
+
+private:
+  const std::vector<Rational> &Values;
+  CheckReport &Report;
+  int Next = 0;
+
+  void fail(const std::string &Msg) {
+    if (Report.Violations.size() < 16)
+      Report.Violations.push_back(Msg);
+  }
+};
+
+} // namespace
+
+CheckReport c4b::checkCertificate(const IRProgram &P, const Certificate &C) {
+  CheckReport Report;
+  std::optional<ResourceMetric> M = metricByName(C.MetricName);
+  if (!M) {
+    Report.Violations.push_back("unknown metric '" + C.MetricName + "'");
+    return Report;
+  }
+  for (std::size_t I = 0; I < C.Values.size(); ++I)
+    if (C.Values[I].sign() < 0) {
+      Report.Violations.push_back("negative coefficient at variable " +
+                                  std::to_string(I));
+      return Report;
+    }
+
+  CheckSink Sink(C.Values, Report);
+  ProgramAnalyzer PA(P, *M, C.Options, Sink);
+  if (!PA.run()) {
+    Report.Violations.push_back("derivation replay failed structurally");
+    return Report;
+  }
+  if (Sink.numVars() != static_cast<int>(C.Values.size()))
+    Report.Violations.push_back(
+        "certificate size mismatch: replay allocated " +
+        std::to_string(Sink.numVars()) + " variables, certificate has " +
+        std::to_string(C.Values.size()));
+
+  // The claimed bounds must be exactly the certified entry potentials.
+  for (const auto &[Fn, Claimed] : C.Bounds) {
+    std::optional<Bound> B = PA.boundOf(Fn, C.Values);
+    if (!B) {
+      Report.Violations.push_back("no such function: " + Fn);
+      continue;
+    }
+    bool Same = B->Const == Claimed.Const && B->Terms.size() ==
+                                                 Claimed.Terms.size();
+    for (std::size_t I = 0; Same && I < B->Terms.size(); ++I)
+      Same = B->Terms[I].Coef == Claimed.Terms[I].Coef &&
+             B->Terms[I].Lo == Claimed.Terms[I].Lo &&
+             B->Terms[I].Hi == Claimed.Terms[I].Hi;
+    if (!Same)
+      Report.Violations.push_back("claimed bound for '" + Fn +
+                                  "' does not match certified potential");
+  }
+
+  Report.Valid = Report.Violations.empty();
+  return Report;
+}

@@ -1,0 +1,760 @@
+//===--- Corpus.cpp - The paper's example programs -------------------------===//
+
+#include "c4b/corpus/Corpus.h"
+
+#include <map>
+
+using namespace c4b;
+
+namespace {
+
+// clang-format off
+const std::vector<CorpusEntry> &buildCorpus() {
+  static const std::vector<CorpusEntry> Entries = {
+
+  //===--- Section 2: introductory examples --------------------------------===//
+
+  {"example1", "intro", "f",
+   "void f(int x, int y) {\n"
+   "  while (x < y) { x = x + 1; tick(1); }\n"
+   "}\n",
+   "|[x,y]|", "?", "?", "?", "?"},
+
+  {"example2", "intro", "f",
+   "void f(int x, int y) {\n"
+   "  while (x < y) { tick(-1); x = x + 1; tick(1); }\n"
+   "}\n",
+   "0", "?", "?", "?", "?"},
+
+  {"example3", "intro", "f",
+   "void f(int x, int y) {\n"
+   "  while (x < y) { x = x + 1; tick(10); }\n"
+   "}\n",
+   "10|[x,y]|", "?", "?", "?", "?"},
+
+  // Figure 1 with K = 10, T = 5; the paper quotes the bounds other tools
+  // derive for T = 1, K = 10.
+  {"fig1_k10_t5", "intro", "f",
+   "void f(int x, int y) {\n"
+   "  while (x + 10 <= y) { x = x + 10; tick(5); }\n"
+   "}\n",
+   "0.5|[x,y]|", "y-x-7 (T=1)", "y-x-9 (T=1)", "|x|+|y|+10 (T=1)", "?"},
+
+  // Figure 5's derivation example: decrement by 10, tick 5.
+  {"fig5_loop", "intro", "f",
+   "void f(int x) {\n"
+   "  while (x >= 10) { x = x - 10; tick(5); }\n"
+   "}\n",
+   "0.5|[0,x]|", "?", "?", "?", "?"},
+
+  //===--- Figure 2: challenging loop patterns -----------------------------===//
+
+  {"speed_1", "fig2", "f",
+   "void f(int n, int m, int x, int y) {\n"
+   "  while (n > x) {\n"
+   "    if (m > y) y = y + 1;\n"
+   "    else x = x + 1;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[x,n]| + |[y,m]|", "?", "?", "?", "|[x,n]|+|[y,m]|"},
+
+  {"speed_2", "fig2", "f",
+   "void f(int n, int x, int z) {\n"
+   "  while (x < n) {\n"
+   "    if (z > x) x = x + 1;\n"
+   "    else z = z + 1;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[x,n]| + |[z,n]|", "?", "?", "?", "|[x,n]|+|[z,n]|"},
+
+  {"t08a", "fig2", "f",
+   "void f(int y, int z) {\n"
+   "  while (z - y > 0) { y = y + 1; tick(3); }\n"
+   "  while (y > 9) { y = y - 10; tick(1); }\n"
+   "}\n",
+   "3.1|[y,z]| + 0.1|[0,y]|", "?", "?", "?", "?"},
+
+  {"t27", "fig2", "f",
+   "void f(int n, int y) {\n"
+   "  while (n < 0) {\n"
+   "    n = n + 1;\n"
+   "    y = y + 1000;\n"
+   "    while (y >= 100 && *) { y = y - 100; tick(5); }\n"
+   "    tick(9);\n"
+   "  }\n"
+   "}\n",
+   "59|[n,0]| + 0.05|[0,y]|", "103*max(0,-n)...", "-", "?", "?"},
+
+  //===--- Figure 3: recursion and compositionality ------------------------===//
+
+  {"t39", "fig3", "c_down",
+   "void c_down(int x, int y) {\n"
+   "  if (x > y) { tick(1); c_up(x - 1, y); }\n"
+   "}\n"
+   "void c_up(int x, int y) {\n"
+   "  if (y + 1 < x) { tick(1); c_down(x, y + 2); }\n"
+   "}\n",
+   "0.33 + 0.67|[y,x]|", "-", "-", "?", "?"},
+
+  {"t61", "fig3", "f",
+   // N = 2 here; the Figure 3 bench sweeps N.
+   "void f(int l) {\n"
+   "  for (; l >= 8; l -= 8)\n"
+   "    tick(2);\n"
+   "  for (; l > 0; l--)\n"
+   "    tick(1);\n"
+   "}\n",
+   "7*(8-N)/8 + N/8*|[0,l]| (N<8)", "?", "?", "?", "?"},
+
+  {"t62", "fig3", "f",
+   "void f(int l, int h) {\n"
+   "  for (;;) {\n"
+   "    do { l++; tick(1); } while (l < h && *);\n"
+   "    do { h--; tick(1); } while (h > l && *);\n"
+   "    if (h <= l) break;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "2 + 3|[l,h]|", "-", "(h-l-1)^2", "-", "?"},
+
+  //===--- Figure 8: comparison micro set ----------------------------------===//
+
+  {"t09", "fig8", "f",
+   "void f(int x) {\n"
+   "  int i; int j;\n"
+   "  i = 1; j = 0;\n"
+   "  while (j < x) {\n"
+   "    j = j + 1;\n"
+   "    if (i >= 4) { i = 1; tick(40); }\n"
+   "    else i = i + 1;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "11|[0,x]|", "23x - 14", "41*max(x,0)", "?", "?"},
+
+  {"t19", "fig8", "f",
+   "void f(int i, int k) {\n"
+   "  while (i > 100) { i--; tick(1); }\n"
+   "  i += k + 50;\n"
+   "  while (i >= 0) { i--; tick(1); }\n"
+   "}\n",
+   "50 + |[-1,i]| + |[0,k]|", "54 + k + i",
+   "max(i-100,0) + max(k+i+51,0)", "?", "?"},
+
+  {"t30", "fig8", "f",
+   "void f(int x, int y) {\n"
+   "  int t;\n"
+   "  while (x > 0) {\n"
+   "    x--;\n"
+   "    t = x, x = y, y = t;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[0,x]| + |[0,y]|", "-", "-", "?", "?"},
+
+  {"t15", "fig8", "f",
+   "void f(int x, int y) {\n"
+   "  int z;\n"
+   "  assert(y >= 0);\n"
+   "  while (x > y) {\n"
+   "    x -= y + 1;\n"
+   "    for (z = y; z > 0; z--)\n"
+   "      tick(1);\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[0,x]|", "2 + 2x - y", "-", "?", "?"},
+
+  {"t13", "fig8", "f",
+   "void f(int x, int y) {\n"
+   "  while (x > 0) {\n"
+   "    x--;\n"
+   "    if (*) y++;\n"
+   "    else {\n"
+   "      while (y > 0) { y--; tick(1); }\n"
+   "    }\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "2|[0,x]| + |[0,y]|", "0.5y^2 + yx ...", "2max(x,0) + max(y,0)", "?",
+   "?"},
+
+  //===--- Table 3: the appendix suite -------------------------------------===//
+
+  {"gcd", "table3", "f",
+   "void f(int x, int y) {\n"
+   "  while (x > 0 && y > 0) {\n"
+   "    if (x > y) x = x - y;\n"
+   "    else {\n"
+   "      if (y > x) y = y - x;\n"
+   "      else x = 0;\n"
+   "    }\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[0,x]| + |[0,y]|", "O(n)", "-", "?", "?"},
+
+  {"kmp", "table3", "f",
+   "void f(int n) {\n"
+   "  int i; int j;\n"
+   "  i = 0; j = 0;\n"
+   "  while (i < n) {\n"
+   "    if (*) { i++; j++; tick(1); }\n"
+   "    else {\n"
+   "      if (j > 0) { j--; tick(1); }\n"
+   "      else { i++; tick(1); }\n"
+   "    }\n"
+   "  }\n"
+   "}\n",
+   "1 + 2|[0,n]|", "O(n^2)", "max(n,0)...", "?", "?"},
+
+  {"qsort_part", "table3", "f",
+   "void f(int len) {\n"
+   "  int l; int h;\n"
+   "  l = 0; h = len;\n"
+   "  while (l < h) {\n"
+   "    if (*) l++;\n"
+   "    else h--;\n"
+   "    tick(2);\n"
+   "  }\n"
+   "}\n",
+   "1 + 2|[0,len]|", "-", "-", "?", "?"},
+
+  {"speed_pldi09_fig4_2", "table3", "f",
+   "void f(int n, int m) {\n"
+   "  int i; int j;\n"
+   "  assert(m > 0);\n"
+   "  i = 0;\n"
+   "  while (i + m <= n) {\n"
+   "    j = 0;\n"
+   "    while (j < m) { j++; tick(1); }\n"
+   "    i = i + m;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "1 + 2|[0,n]|", "O(n)", "-", "-", "n/m + n"},
+
+  {"speed_pldi09_fig4_4", "table3", "f",
+   "void f(int n, int flag) {\n"
+   "  int i;\n"
+   "  i = 0;\n"
+   "  while (i < n) {\n"
+   "    if (flag > 0) i = i + 1;\n"
+   "    else i = i + 2;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[0,n]|", "O(n)", "-", "-", "n/m + m"},
+
+  {"speed_pldi09_fig4_5", "table3", "f",
+   // Resource use depends on a non-linear operation: the one pattern the
+   // paper reports C4B cannot bound (Table 3 row fig4_5).
+   "void f(int n, int m) {\n"
+   "  int i;\n"
+   "  assert(m > 0);\n"
+   "  i = n % m;\n"
+   "  while (i < n) { i++; tick(1); }\n"
+   "}\n",
+   "-", "O(n)", "-", "28d+7g+27", "max(n, n-m)"},
+
+  {"speed_pldi10_ex1", "table3", "f",
+   "void f(int n) {\n"
+   "  int i;\n"
+   "  i = 0;\n"
+   "  while (i < n) { i++; tick(1); }\n"
+   "}\n",
+   "|[0,n]|", "-", "-", "-", "n"},
+
+  {"speed_pldi10_ex3", "table3", "f",
+   "void f(int n, int flag) {\n"
+   "  int i;\n"
+   "  i = n;\n"
+   "  while (i > 0) {\n"
+   "    if (flag > 0) i--;\n"
+   "    else i = i - 2;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[0,n]|", "O(n)", "2max(n,0)", "-", "n"},
+
+  {"speed_pldi10_ex4", "table3", "f",
+   "void f(int n) {\n"
+   "  int x; int z;\n"
+   "  x = 0; z = 0;\n"
+   "  while (x < n) {\n"
+   "    if (z > x) x = x + 1;\n"
+   "    else z = z + 1;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "1 + 2|[0,n]|", "-", "-", "110a+33", "n + 1"},
+
+  {"speed_popl10_fig2_1", "table3", "f",
+   "void f(int n, int m, int x, int y) {\n"
+   "  while (x < n) {\n"
+   "    if (y < m) y = y + 1;\n"
+   "    else x = x + 1;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[x,n]| + |[y,m]|", "O(n)", "max(0,n-x) + max(0,m-y)", "O(n)",
+   "max(0,n-x) + max(0,m-y)"},
+
+  {"speed_popl10_fig2_2", "table3", "f",
+   "void f(int n, int x, int z) {\n"
+   "  while (x < n) {\n"
+   "    if (z > x) x = x + 1;\n"
+   "    else z = z + 1;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[x,n]| + |[z,n]|", "O(n)", "max(0,x+1-z)...", "O(n)",
+   "max(0,n-x) + max(0,n-z)"},
+
+  {"speed_popl10_nested_multiple", "table3", "f",
+   "void f(int n, int m, int x, int y) {\n"
+   "  while (x < n) {\n"
+   "    x++;\n"
+   "    while (y < m) { y++; tick(1); }\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[x,n]| + |[y,m]|", "O(n^2)", "max(0,m-y) + max(0,n-x)", "-",
+   "max(0,n-x) + max(0,m-y)"},
+
+  {"speed_popl10_nested_single", "table3", "f",
+   "void f(int n) {\n"
+   "  int x;\n"
+   "  x = 0;\n"
+   "  while (x < n) {\n"
+   "    x++;\n"
+   "    while (x < n && *) { x++; tick(1); }\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[0,n]|", "O(n)", "max(0,n-1)...", "48b+16", "n"},
+
+  {"speed_popl10_sequential_single", "table3", "f",
+   "void f(int n) {\n"
+   "  int x;\n"
+   "  x = 0;\n"
+   "  while (x < n && *) { x++; tick(1); }\n"
+   "  while (x < n) { x++; tick(1); }\n"
+   "}\n",
+   "|[0,n]|", "O(n)", "2max(n,0)", "21b+6", "n"},
+
+  {"speed_popl10_simple_multiple", "table3", "f",
+   "void f(int n, int m) {\n"
+   "  int x; int y;\n"
+   "  x = 0; y = 0;\n"
+   "  while (x < m) { x++; tick(1); }\n"
+   "  while (y < n) { y++; tick(1); }\n"
+   "}\n",
+   "|[0,m]| + |[0,n]|", "O(n)", "max(n,0) + max(m,0)", "9c+10d+7",
+   "n + m"},
+
+  {"speed_popl10_simple_single2", "table3", "f",
+   "void f(int n, int m) {\n"
+   "  int x; int y;\n"
+   "  x = 0; y = 0;\n"
+   "  while (x < n) {\n"
+   "    if (y < m) y++;\n"
+   "    else x++;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[0,n]| + |[0,m]|", "-", "max(n,0) + max(m,0)", "20d+12c+17",
+   "n + m"},
+
+  {"speed_popl10_simple_single", "table3", "f",
+   "void f(int n) {\n"
+   "  int x;\n"
+   "  x = 0;\n"
+   "  while (x < n) { x++; tick(1); }\n"
+   "}\n",
+   "|[0,n]|", "O(n)", "max(n,0)", "4b+6", "n"},
+
+  {"t07", "table3", "f",
+   "void f(int x, int y) {\n"
+   "  while (x > 0) { x--; y = y + 2; tick(1); }\n"
+   "  while (y > 0) { y--; tick(1); }\n"
+   "}\n",
+   "1 + 3|[0,x]| + |[0,y]|", "2 + x", "max(x,0)...", "?", "?"},
+
+  {"t08", "table3", "f",
+   "void f(int x, int y) {\n"
+   "  while (y - x > 0) { x = x + 1; tick(1); }\n"
+   "  while (x > 2) { x = x - 3; tick(1); }\n"
+   "}\n",
+   "1.33|[x,y]| + 0.33|[0,x]|", "2 + z - y ...", "max(0,y-2)...", "?",
+   "?"},
+
+  {"t10", "table3", "f",
+   "void f(int x, int y) {\n"
+   "  while (x > y) { x--; tick(1); }\n"
+   "}\n",
+   "|[y,x]|", "2 - y + x", "max(0, x-y)", "?", "?"},
+
+  {"t11", "table3", "f",
+   "void f(int n, int m, int x, int y) {\n"
+   "  while (x < n) {\n"
+   "    if (y < m) y = y + 1;\n"
+   "    else x = x + 1;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[x,n]| + |[y,m]|", "O(n)", "max(0,n-x) + max(0,m-y)", "?", "?"},
+
+  {"t16", "table3", "f",
+   "void f(int x) {\n"
+   "  int y;\n"
+   "  y = 0;\n"
+   "  while (x > 0) {\n"
+   "    x--;\n"
+   "    y = y + 100;\n"
+   "    while (y > 0) { y--; tick(1); }\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "101|[0,x]|", "-99y...", "-", "?", "?"},
+
+  {"t20", "table3", "f",
+   "void f(int x, int y) {\n"
+   "  if (x < y) {\n"
+   "    while (x < y) { x++; tick(1); }\n"
+   "  } else {\n"
+   "    while (y < x) { y++; tick(1); }\n"
+   "  }\n"
+   "}\n",
+   "|[x,y]| + |[y,x]|", "2 - y + x ...",
+   "2max(0,y-x) + max(0,x-y)", "?", "?"},
+
+  {"t28", "table3", "f",
+   "void f(int x, int y) {\n"
+   "  int z;\n"
+   "  while (x > y) {\n"
+   "    x = x - 1;\n"
+   "    z = 1000;\n"
+   "    while (z > 0) { z--; tick(1); }\n"
+   "    tick(1);\n"
+   "  }\n"
+   "  while (y > 0) { y--; tick(1); }\n"
+   "  while (x < 0) { x++; tick(1); }\n"
+   "}\n",
+   "|[x,0]| + |[0,y]| + 1002|[y,x]|", "1 - y + x ...",
+   "10^3 max(0, x-y) ...", "?", "?"},
+
+  {"t37", "table3", "f",
+   "void f(int x, int y) {\n"
+   "  while (x > 0) { x--; y++; tick(1); }\n"
+   "  while (y > 0) { y--; tick(1); }\n"
+   "  tick(3);\n"
+   "}\n",
+   "3 + 2|[0,x]| + |[0,y]|", "-", "-", "?", "?"},
+
+  {"t46", "table3", "f",
+   "void f(int x, int y) {\n"
+   "  while (y > 0) {\n"
+   "    if (x > 0) x--;\n"
+   "    y--;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "}\n",
+   "|[0,y]|", "-", "-", "?", "?"},
+
+  {"t47", "table3", "f",
+   "void f(int n) {\n"
+   "  do { n--; tick(1); } while (n > 0);\n"
+   "}\n",
+   "1 + |[0,n]|", "4 + n", "1 + max(n,0)", "?", "?"},
+
+  //===--- Section 6: logical state / user interaction ---------------------===//
+
+  {"fig6_binary_counter", "sect6", "counter",
+   // Logical state: na reifies #1(a); the asserts are the separately
+   // provable qualitative obligations.
+   "int a[64];\n"
+   "void counter(int k, int N, int na) {\n"
+   "  int x;\n"
+   "  while (k > 0) {\n"
+   "    x = 0;\n"
+   "    while (x < N && a[x] == 1) {\n"
+   "      assert(na > 0);\n"
+   "      a[x] = 0;\n"
+   "      na--;\n"
+   "      tick(1);\n"
+   "      x++;\n"
+   "    }\n"
+   "    if (x < N) { a[x] = 1; na++; tick(1); }\n"
+   "    k--;\n"
+   "  }\n"
+   "}\n",
+   "2|[0,k]| + |[0,na]|", "-", "-", "-", "-", /*LogicalState=*/true},
+
+  {"fig7_bsearch", "sect6", "bsearch",
+   // Logical state: lg > log2(h-l); bounds the peak of the +1/-1 ticks,
+   // i.e. the recursion (stack) depth.
+   "int a[128];\n"
+   "int bsearch(int x, int l, int h, int lg) {\n"
+   "  int m;\n"
+   "  if (h - l > 1) {\n"
+   "    assert(lg > 0);\n"
+   "    m = l + (h - l) / 2;\n"
+   "    lg--;\n"
+   "    if (a[m] > x) h = m;\n"
+   "    else l = m;\n"
+   "    tick(1);\n"
+   "    l = bsearch(x, l, h, lg);\n"
+   "    tick(-1);\n"
+   "    return l;\n"
+   "  } else { return l; }\n"
+   "}\n",
+   "|[0,lg]|", "-", "-", "-", "-", /*LogicalState=*/true},
+
+  //===--- Table 2: cBench-style functions ---------------------------------===//
+
+  {"adpcm_coder", "cbench", "adpcm_coder",
+   // ADPCM: one pass over len samples; per-sample quantization if-chains.
+   "int valpred;\n"
+   "int index;\n"
+   "int adpcm_coder(int len) {\n"
+   "  int delta; int step;\n"
+   "  step = 7;\n"
+   "  while (len > 0) {\n"
+   "    len--;\n"
+   "    delta = 0;\n"
+   "    if (valpred > 0) { delta = delta + 4; valpred = valpred - step; }\n"
+   "    if (index < 0) index = 0;\n"
+   "    else {\n"
+   "      if (index > 88) index = 88;\n"
+   "    }\n"
+   "    tick(1);\n"
+   "  }\n"
+   "  return valpred;\n"
+   "}\n",
+   "1 + |[0,N]|", "?", "?", "?", "?", false, 145},
+
+  {"adpcm_decoder", "cbench", "adpcm_decoder",
+   "int valpred;\n"
+   "int index;\n"
+   "int adpcm_decoder(int len) {\n"
+   "  int sign; int step;\n"
+   "  step = 7;\n"
+   "  while (len > 0) {\n"
+   "    len--;\n"
+   "    sign = 0;\n"
+   "    if (*) sign = 1;\n"
+   "    if (sign > 0) valpred = valpred - step;\n"
+   "    else valpred = valpred + step;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "  return valpred;\n"
+   "}\n",
+   "1 + |[0,N]|", "?", "?", "?", "?", false, 130},
+
+  {"bf_cfb64_encrypt", "cbench", "bf_cfb64_encrypt",
+   // Blowfish CFB64: per-byte loop; every 8th byte runs the block cipher.
+   "int bf_cfb64_encrypt(int n) {\n"
+   "  int num;\n"
+   "  num = 0;\n"
+   "  while (n >= 0) {\n"
+   "    n--;\n"
+   "    num++;\n"
+   "    if (num >= 8) { num = 0; tick(1); }\n"
+   "    tick(1);\n"
+   "  }\n"
+   "  return num;\n"
+   "}\n",
+   "1 + 2|[-1,N]|", "?", "?", "?", "?", false, 151},
+
+  {"bf_cbc_encrypt", "cbench", "bf_cbc_encrypt",
+   // Blowfish CBC: whole blocks of 8, then the leftover tail.
+   "int bf_cbc_encrypt(int l) {\n"
+   "  for (; l >= 8; l -= 8)\n"
+   "    tick(2);\n"
+   "  if (l > 0) tick(2);\n"
+   "  return l;\n"
+   "}\n",
+   "2 + 0.25|[-8,N]|", "?", "?", "?", "?", false, 180},
+
+  {"mad_bit_crc", "cbench", "mad_bit_crc",
+   // MAD CRC: loop unrolled by 8 plus a bit-by-bit tail (the t61 pattern).
+   "int crc;\n"
+   "int mad_bit_crc(int len) {\n"
+   "  for (; len >= 8; len -= 8)\n"
+   "    tick(1);\n"
+   "  for (; len > 0; len--)\n"
+   "    tick(1);\n"
+   "  return crc;\n"
+   "}\n",
+   "61.19 + 0.19|[-1,N]|", "?", "?", "?", "?", false, 145},
+
+  {"mad_bit_read", "cbench", "mad_bit_read",
+   "int mad_bit_read(int len) {\n"
+   "  for (; len >= 8; len -= 8)\n"
+   "    tick(1);\n"
+   "  return len;\n"
+   "}\n",
+   "1 + 0.12|[0,N]|", "?", "?", "?", "?", false, 65},
+
+  {"md5_update", "cbench", "md5_update",
+   // MD5: buffer fill, whole 64-byte blocks, remainder copy.
+   "int md5_transform() {\n"
+   "  int i;\n"
+   "  for (i = 0; i < 64; i++)\n"
+   "    tick(1);\n"
+   "  return i;\n"
+   "}\n"
+   "int md5_update(int len) {\n"
+   "  int r;\n"
+   "  for (; len >= 64; len -= 64) {\n"
+   "    r = md5_transform();\n"
+   "    tick(1);\n"
+   "  }\n"
+   "  for (; len > 0; len--)\n"
+   "    tick(1);\n"
+   "  return r;\n"
+   "}\n",
+   "133.95 + 1.05|[0,N]|", "?", "?", "?", "?", false, 200},
+
+  {"md5_final", "cbench", "md5_final",
+   "int md5_final() {\n"
+   "  int i;\n"
+   "  for (i = 0; i < 56; i++)\n"
+   "    tick(1);\n"
+   "  for (i = 0; i < 64; i++)\n"
+   "    tick(1);\n"
+   "  tick(21);\n"
+   "  return i;\n"
+   "}\n",
+   "141", "?", "?", "?", "?", false, 195},
+
+  {"sha_update", "cbench", "sha_update",
+   // SHA: per-block transform with several sequenced inner loops over the
+   // same index (the compositionality stress the paper highlights).
+   "int sha_transform() {\n"
+   "  int i;\n"
+   "  for (i = 0; i < 16; i++)\n"
+   "    tick(1);\n"
+   "  for (i = 0; i < 64; i++)\n"
+   "    tick(1);\n"
+   "  for (i = 0; i < 80; i++)\n"
+   "    tick(1);\n"
+   "  return i;\n"
+   "}\n"
+   "int sha_byte_reverse() {\n"
+   "  int i;\n"
+   "  for (i = 0; i < 16; i++)\n"
+   "    tick(1);\n"
+   "  return i;\n"
+   "}\n"
+   "int sha_update(int count) {\n"
+   "  int r;\n"
+   "  while (count >= 64) {\n"
+   "    count -= 64;\n"
+   "    r = sha_byte_reverse();\n"
+   "    r = sha_transform();\n"
+   "    tick(1);\n"
+   "  }\n"
+   "  return r;\n"
+   "}\n",
+   "2 + 3.55|[0,N]|", "?", "?", "?", "?", false, 98},
+
+  {"packbits_decode", "cbench", "packbits_decode",
+   // PackBits RLE: each control byte either copies a literal run or
+   // repeats a byte up to 128 times.
+   "int packbits_decode(int cc) {\n"
+   "  int n; int i;\n"
+   "  while (cc > 0) {\n"
+   "    cc--;\n"
+   "    n = 64;\n"
+   "    if (*) {\n"
+   "      for (i = n; i > 0; i--)\n"
+   "        tick(1);\n"
+   "    } else {\n"
+   "      for (i = n; i > 0; i--)\n"
+   "        tick(1);\n"
+   "    }\n"
+   "    tick(1);\n"
+   "  }\n"
+   "  return cc;\n"
+   "}\n",
+   "1 + 65|[-129,cc]|", "?", "?", "?", "?", false, 61},
+
+  {"kmp_search", "cbench", "kmp_search",
+   "int kmp_search(int n) {\n"
+   "  int i; int j;\n"
+   "  i = 0; j = 0;\n"
+   "  while (i < n) {\n"
+   "    if (*) { i++; j++; tick(1); }\n"
+   "    else {\n"
+   "      if (j > 0) { j--; tick(1); }\n"
+   "      else { i++; tick(1); }\n"
+   "    }\n"
+   "  }\n"
+   "  return j;\n"
+   "}\n",
+   "1 + 2|[0,n]|", "?", "?", "?", "?", false, 20},
+
+  {"ycc_rgb_convert", "cbench", "ycc_rgb_convert",
+   // Nested rows x columns: the cost nr*nc is non-linear, so the paper
+   // derives it with user interaction; `work` reifies nr*nc.
+   "void ycc_rgb_convert(int nr, int nc, int work) {\n"
+   "  int r; int c;\n"
+   "  r = 0;\n"
+   "  while (r < nr) {\n"
+   "    c = 0;\n"
+   "    while (c < nc) {\n"
+   "      assert(work > 0);\n"
+   "      work--;\n"
+   "      c++;\n"
+   "      tick(1);\n"
+   "    }\n"
+   "    r++;\n"
+   "  }\n"
+   "}\n",
+   "nr * nc (via logical state)", "?", "?", "?", "?",
+   /*LogicalState=*/true, 66},
+
+  {"uv_decode", "cbench", "uv_decode",
+   // Binary search over UV_NVS entries; logical lg > log2(hi-lo) gives the
+   // logarithmic bound, as in Figure 7.
+   "int uv_decode(int lo, int hi, int lg) {\n"
+   "  int m;\n"
+   "  while (hi - lo > 1) {\n"
+   "    assert(lg > 0);\n"
+   "    m = lo + (hi - lo) / 2;\n"
+   "    lg--;\n"
+   "    if (*) hi = m;\n"
+   "    else lo = m;\n"
+   "    tick(1);\n"
+   "  }\n"
+   "  return lo;\n"
+   "}\n",
+   "log2(UV_NVS) + 1 (via logical state)", "?", "?", "?", "?",
+   /*LogicalState=*/true, 31},
+  };
+  return Entries;
+}
+// clang-format on
+
+} // namespace
+
+const std::vector<CorpusEntry> &c4b::corpus() { return buildCorpus(); }
+
+const CorpusEntry *c4b::findEntry(const std::string &Name) {
+  for (const CorpusEntry &E : corpus())
+    if (Name == E.Name)
+      return &E;
+  return nullptr;
+}
+
+std::vector<const CorpusEntry *> c4b::entriesIn(const std::string &Category) {
+  std::vector<const CorpusEntry *> R;
+  for (const CorpusEntry &E : corpus())
+    if (Category == E.Category)
+      R.push_back(&E);
+  return R;
+}

@@ -1,0 +1,331 @@
+//===--- IR.cpp - Normalized Clight-like intermediate form ----------------===//
+
+#include "c4b/ir/IR.h"
+
+#include <cassert>
+
+using namespace c4b;
+
+//===----------------------------------------------------------------------===//
+// Linear forms
+//===----------------------------------------------------------------------===//
+
+std::string LinExprInt::toString() const {
+  std::string R;
+  for (const auto &[V, C] : Coeffs) {
+    if (!R.empty())
+      R += " + ";
+    if (C == 1)
+      R += V;
+    else
+      R += std::to_string(C) + "*" + V;
+  }
+  if (Const != 0 || R.empty()) {
+    if (!R.empty())
+      R += " + ";
+    R += std::to_string(Const);
+  }
+  return R;
+}
+
+std::optional<LinExprInt> c4b::linearizeExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit: {
+    LinExprInt L;
+    L.Const = E.IntValue;
+    return L;
+  }
+  case ExprKind::Var: {
+    LinExprInt L;
+    L.add(E.Name, 1);
+    return L;
+  }
+  case ExprKind::Unary: {
+    if (E.Un != UnOp::Neg)
+      return std::nullopt;
+    auto Sub = linearizeExpr(*E.Sub[0]);
+    if (!Sub)
+      return std::nullopt;
+    LinExprInt L;
+    L.Const = -Sub->Const;
+    for (const auto &[V, C] : Sub->Coeffs)
+      L.Coeffs[V] = -C;
+    return L;
+  }
+  case ExprKind::Binary: {
+    if (E.Bin == BinOp::Add || E.Bin == BinOp::Sub) {
+      auto L = linearizeExpr(*E.Sub[0]);
+      auto R = linearizeExpr(*E.Sub[1]);
+      if (!L || !R)
+        return std::nullopt;
+      int Sign = E.Bin == BinOp::Add ? 1 : -1;
+      L->Const += Sign * R->Const;
+      for (const auto &[V, C] : R->Coeffs)
+        L->add(V, Sign * C);
+      return L;
+    }
+    if (E.Bin == BinOp::Mul) {
+      auto L = linearizeExpr(*E.Sub[0]);
+      auto R = linearizeExpr(*E.Sub[1]);
+      if (!L || !R)
+        return std::nullopt;
+      // Constant * affine only.
+      if (!L->isConstant() && !R->isConstant())
+        return std::nullopt;
+      const LinExprInt &K = L->isConstant() ? *L : *R;
+      const LinExprInt &A = L->isConstant() ? *R : *L;
+      LinExprInt Res;
+      Res.Const = K.Const * A.Const;
+      for (const auto &[V, C] : A.Coeffs)
+        if (K.Const * C != 0)
+          Res.Coeffs[V] = K.Const * C;
+      return Res;
+    }
+    return std::nullopt;
+  }
+  case ExprKind::ArrayElem:
+  case ExprKind::Nondet:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+LinCmp LinCmp::negated() const {
+  LinCmp R;
+  switch (O) {
+  case Op::Le0:
+    // not (E <= 0)  <=>  E >= 1  <=>  -E + 1 <= 0   (integers).
+    R.O = Op::Le0;
+    R.E.Const = -E.Const + 1;
+    for (const auto &[V, C] : E.Coeffs)
+      R.E.Coeffs[V] = -C;
+    return R;
+  case Op::Eq0:
+    R.O = Op::Ne0;
+    R.E = E;
+    return R;
+  case Op::Ne0:
+    R.O = Op::Eq0;
+    R.E = E;
+    return R;
+  }
+  return R;
+}
+
+std::string LinCmp::toString() const {
+  const char *Rel = O == Op::Le0 ? " <= 0" : O == Op::Eq0 ? " == 0" : " != 0";
+  return E.toString() + Rel;
+}
+
+SimpleCond SimpleCond::clone() const {
+  SimpleCond C;
+  C.K = K;
+  if (E)
+    C.E = E->clone();
+  C.Lin = Lin;
+  return C;
+}
+
+std::string SimpleCond::toString() const {
+  switch (K) {
+  case Kind::True: return "true";
+  case Kind::Nondet: return "*";
+  case Kind::Cmp:
+    if (Lin)
+      return Lin->toString();
+    return printExpr(*E);
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Functions and programs
+//===----------------------------------------------------------------------===//
+
+bool IRFunction::isLocalScalar(const std::string &N) const {
+  for (const std::string &L : Locals)
+    if (L == N)
+      return true;
+  for (const std::string &Prm : Params)
+    if (Prm == N)
+      return true;
+  return false;
+}
+
+const IRFunction *IRProgram::findFunction(const std::string &Name) const {
+  for (const IRFunction &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::string pad(int N) { return std::string(2 * N, ' '); }
+} // namespace
+
+std::string c4b::printIR(const IRStmt &S, int Indent) {
+  std::string P = pad(Indent);
+  switch (S.Kind) {
+  case IRStmtKind::Skip:
+    return P + "skip\n";
+  case IRStmtKind::Block: {
+    std::string R;
+    for (const auto &C : S.Children)
+      R += printIR(*C, Indent);
+    return R.empty() ? P + "skip\n" : R;
+  }
+  case IRStmtKind::Assign: {
+    std::string R = P + S.Target + " <- ";
+    switch (S.Asg) {
+    case AssignKind::Set: R += S.Operand.toString(); break;
+    case AssignKind::Inc: R += S.Target + " + " + S.Operand.toString(); break;
+    case AssignKind::Dec: R += S.Target + " - " + S.Operand.toString(); break;
+    case AssignKind::Kill: R += "? (" + printExpr(*S.KillValue) + ")"; break;
+    }
+    if (S.CostFree)
+      R += "   [cost-free]";
+    return R + "\n";
+  }
+  case IRStmtKind::Store:
+    return P + S.ArrayName + "[" + printExpr(*S.Index) +
+           "] <- " + printExpr(*S.StoreValue) + "\n";
+  case IRStmtKind::If: {
+    std::string R = P + "if (" + S.Cond.toString() + ") {\n";
+    R += printIR(*S.Children[0], Indent + 1);
+    R += P + "} else {\n";
+    R += printIR(*S.Children[1], Indent + 1);
+    return R + P + "}\n";
+  }
+  case IRStmtKind::Loop:
+    return P + "loop {\n" + printIR(*S.Children[0], Indent + 1) + P + "}\n";
+  case IRStmtKind::Break:
+    return P + "break\n";
+  case IRStmtKind::Return:
+    if (S.HasRetValue)
+      return P + "return " + S.RetValue.toString() + "\n";
+    return P + "return\n";
+  case IRStmtKind::Tick:
+    return P + "tick(" + S.TickAmount.toString() + ")\n";
+  case IRStmtKind::Assert:
+    return P + "assert(" + S.Cond.toString() + ")\n";
+  case IRStmtKind::Call: {
+    std::string R = P;
+    if (!S.ResultVar.empty())
+      R += S.ResultVar + " <- ";
+    R += S.Callee + "(";
+    for (std::size_t I = 0; I < S.Args.size(); ++I) {
+      if (I)
+        R += ", ";
+      R += S.Args[I].toString();
+    }
+    return R + ")\n";
+  }
+  }
+  return P + "?\n";
+}
+
+std::string c4b::printIR(const IRFunction &F) {
+  std::string R = (F.ReturnsValue ? "int " : "void ") + F.Name + "(";
+  for (std::size_t I = 0; I < F.Params.size(); ++I) {
+    if (I)
+      R += ", ";
+    R += F.Params[I];
+  }
+  R += ") {\n";
+  R += printIR(*F.Body, 1);
+  return R + "}\n";
+}
+
+std::string c4b::printIR(const IRProgram &P) {
+  std::string R;
+  for (const auto &[Name, Init] : P.Globals)
+    R += "global " + Name + " = " + std::to_string(Init) + "\n";
+  for (const auto &[Name, Size] : P.GlobalArrays)
+    R += "global " + Name + "[" + std::to_string(Size) + "]\n";
+  for (const IRFunction &F : P.Functions)
+    R += printIR(F);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph (Tarjan SCC)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects callee names in a statement tree.
+void collectCallees(const IRStmt &S, std::set<std::string> &Out) {
+  if (S.Kind == IRStmtKind::Call)
+    Out.insert(S.Callee);
+  for (const auto &C : S.Children)
+    collectCallees(*C, Out);
+}
+
+struct TarjanState {
+  const std::map<std::string, std::set<std::string>> &Edges;
+  std::map<std::string, int> Index, Low;
+  std::map<std::string, bool> OnStack;
+  std::vector<std::string> Stack;
+  int Counter = 0;
+  std::vector<std::vector<std::string>> SCCs;
+
+  void visit(const std::string &V) {
+    Index[V] = Low[V] = Counter++;
+    Stack.push_back(V);
+    OnStack[V] = true;
+    auto It = Edges.find(V);
+    if (It != Edges.end()) {
+      for (const std::string &W : It->second) {
+        if (!Edges.count(W))
+          continue; // Call to an undefined function; lowering rejects these.
+        if (!Index.count(W)) {
+          visit(W);
+          Low[V] = std::min(Low[V], Low[W]);
+        } else if (OnStack[W]) {
+          Low[V] = std::min(Low[V], Index[W]);
+        }
+      }
+    }
+    if (Low[V] == Index[V]) {
+      std::vector<std::string> SCC;
+      for (;;) {
+        std::string W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = false;
+        SCC.push_back(W);
+        if (W == V)
+          break;
+      }
+      SCCs.push_back(std::move(SCC));
+    }
+  }
+};
+
+} // namespace
+
+bool CallGraph::inSameSCC(const std::string &Caller,
+                          const std::string &Callee) const {
+  auto A = SCCOf.find(Caller);
+  auto B = SCCOf.find(Callee);
+  return A != SCCOf.end() && B != SCCOf.end() && A->second == B->second;
+}
+
+CallGraph c4b::buildCallGraph(const IRProgram &P) {
+  CallGraph G;
+  for (const IRFunction &F : P.Functions)
+    collectCallees(*F.Body, G.Callees[F.Name]);
+  TarjanState T{G.Callees, {}, {}, {}, {}, 0, {}};
+  for (const IRFunction &F : P.Functions)
+    if (!T.Index.count(F.Name))
+      T.visit(F.Name);
+  // Tarjan emits SCCs callee-first, which is exactly bottom-up order.
+  G.SCCs = std::move(T.SCCs);
+  for (std::size_t I = 0; I < G.SCCs.size(); ++I)
+    for (const std::string &F : G.SCCs[I])
+      G.SCCOf[F] = static_cast<int>(I);
+  return G;
+}

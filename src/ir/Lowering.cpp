@@ -1,0 +1,585 @@
+//===--- Lowering.cpp - AST to normalized IR ------------------------------===//
+//
+// Implements the normalization the paper performs before analysis:
+// assignments are decomposed into the restricted forms `x <- a` and
+// `x <- x ± a` through cost-free temporaries, conditions are flattened to
+// single comparisons by branch duplication, and all looping constructs are
+// expressed with the unified `loop`/`break` pair.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/ir/IR.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace c4b;
+
+namespace {
+
+using StmtList = std::vector<std::unique_ptr<IRStmt>>;
+using GenFn = std::function<void(StmtList &)>;
+
+/// Maximum |coefficient| unfolded into repeated increments before the
+/// lowering falls back to an opaque Kill assignment.
+constexpr std::int64_t MaxCoeffUnfold = 16;
+
+/// True when \p S contains a break that would target the enclosing loop
+/// (breaks inside nested loops bind to those loops instead).
+bool containsTopLevelBreak(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Break:
+    return true;
+  case StmtKind::While:
+  case StmtKind::DoWhile:
+  case StmtKind::For:
+    return false;
+  case StmtKind::Block:
+    for (const auto &C : S.Body)
+      if (containsTopLevelBreak(*C))
+        return true;
+    return false;
+  case StmtKind::If:
+    return containsTopLevelBreak(*S.Then) ||
+           (S.Else && containsTopLevelBreak(*S.Else));
+  default:
+    return false;
+  }
+}
+
+class Lowerer {
+public:
+  Lowerer(const Program &P, DiagnosticEngine &Diags) : Ast(P), Diags(Diags) {}
+
+  std::optional<IRProgram> run() {
+    for (const GlobalDecl &G : Ast.Globals) {
+      if (G.ArraySize > 0)
+        Out.GlobalArrays[G.Name] = G.ArraySize;
+      else
+        Out.Globals[G.Name] = G.InitValue;
+    }
+    for (const FunctionDecl &F : Ast.Functions)
+      lowerFunction(F);
+    if (Diags.hasErrors())
+      return std::nullopt;
+    return std::move(Out);
+  }
+
+private:
+  const Program &Ast;
+  DiagnosticEngine &Diags;
+  IRProgram Out;
+  IRFunction *Cur = nullptr;
+  int TempCounter = 0;
+  int LoopDepth = 0;
+  std::set<std::string> Scalars;
+  std::set<std::string> Arrays;
+
+  std::unique_ptr<IRStmt> make(IRStmtKind K, SourceLoc Loc = {}) {
+    auto S = std::make_unique<IRStmt>(K);
+    S->Loc = Loc;
+    return S;
+  }
+
+  std::string freshTemp() {
+    std::string N = "$t" + std::to_string(TempCounter++);
+    Cur->Locals.push_back(N);
+    Scalars.insert(N);
+    return N;
+  }
+
+  bool checkScalar(const std::string &N, SourceLoc Loc) {
+    if (Scalars.count(N))
+      return true;
+    Diags.error(Loc, "use of undeclared variable '" + N + "'");
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Assignments
+  //===--------------------------------------------------------------------===//
+
+  void emitSet(StmtList &L, const std::string &Target, Atom Op, bool CostFree,
+               SourceLoc Loc) {
+    if (Op.isVar() && Op.Name == Target)
+      return; // x <- x is the identity.
+    auto S = make(IRStmtKind::Assign, Loc);
+    S->Asg = AssignKind::Set;
+    S->Target = Target;
+    S->Operand = std::move(Op);
+    S->CostFree = CostFree;
+    L.push_back(std::move(S));
+  }
+
+  void emitIncDec(StmtList &L, const std::string &Target, bool Inc, Atom Op,
+                  bool CostFree, SourceLoc Loc) {
+    auto S = make(IRStmtKind::Assign, Loc);
+    S->Asg = Inc ? AssignKind::Inc : AssignKind::Dec;
+    S->Target = Target;
+    S->Operand = std::move(Op);
+    S->CostFree = CostFree;
+    L.push_back(std::move(S));
+  }
+
+  void emitKill(StmtList &L, const std::string &Target, const Expr &Value,
+                bool CostFree, SourceLoc Loc) {
+    auto S = make(IRStmtKind::Assign, Loc);
+    S->Asg = AssignKind::Kill;
+    S->Target = Target;
+    S->KillValue = Value.clone();
+    S->CostFree = CostFree;
+    L.push_back(std::move(S));
+  }
+
+  /// Emits x <- x ± |Coeff| copies of Var (cost-free).  Returns false when
+  /// the coefficient is too large to unfold.
+  bool emitRepeated(StmtList &L, const std::string &Target,
+                    const std::string &Var, std::int64_t Coeff,
+                    SourceLoc Loc) {
+    std::int64_t N = Coeff < 0 ? -Coeff : Coeff;
+    if (N > MaxCoeffUnfold)
+      return false;
+    for (std::int64_t I = 0; I < N; ++I)
+      emitIncDec(L, Target, Coeff > 0, Atom::makeVar(Var), /*CostFree=*/true,
+                 Loc);
+    return true;
+  }
+
+  /// Lowers `Target = E`.  Exactly one emitted statement carries the cost
+  /// of the original assignment unless \p CostFree is set.
+  void lowerScalarAssign(StmtList &L, const std::string &Target, const Expr &E,
+                         bool CostFree, SourceLoc Loc) {
+    if (!checkScalar(Target, Loc))
+      return;
+    std::optional<LinExprInt> Lin = linearizeExpr(E);
+    // Validate variable uses even on the non-linear path.
+    if (Lin) {
+      for (const auto &[V, C] : Lin->Coeffs) {
+        (void)C;
+        if (!checkScalar(V, Loc))
+          return;
+      }
+    }
+    if (!Lin) {
+      emitKill(L, Target, E, CostFree, Loc);
+      return;
+    }
+
+    StmtList Seq;
+    std::int64_t CTgt = 0;
+    auto It = Lin->Coeffs.find(Target);
+    if (It != Lin->Coeffs.end()) {
+      CTgt = It->second;
+      Lin->Coeffs.erase(It);
+    }
+
+    bool Ok = true;
+    if (CTgt == 1) {
+      // In-place: x <- x ± ... keeps the interval potential anchored at x.
+      for (const auto &[V, C] : Lin->Coeffs)
+        Ok = Ok && emitRepeated(Seq, Target, V, C, Loc);
+      if (Lin->Const > 0)
+        emitIncDec(Seq, Target, true, Atom::makeConst(Lin->Const), true, Loc);
+      else if (Lin->Const < 0)
+        emitIncDec(Seq, Target, false, Atom::makeConst(-Lin->Const), true,
+                   Loc);
+      if (Seq.empty()) // x = x: a costed no-op.
+        emitIncDec(Seq, Target, true, Atom::makeConst(0), true, Loc);
+    } else if (CTgt == 0) {
+      if (Lin->Coeffs.empty()) {
+        emitSet(Seq, Target, Atom::makeConst(Lin->Const), true, Loc);
+      } else {
+        // Prefer seeding from a coefficient-1 variable.
+        auto Seed = Lin->Coeffs.end();
+        for (auto I = Lin->Coeffs.begin(); I != Lin->Coeffs.end(); ++I)
+          if (I->second == 1) {
+            Seed = I;
+            break;
+          }
+        if (Seed != Lin->Coeffs.end()) {
+          emitSet(Seq, Target, Atom::makeVar(Seed->first), true, Loc);
+          std::string SeedVar = Seed->first;
+          for (const auto &[V, C] : Lin->Coeffs)
+            if (V != SeedVar)
+              Ok = Ok && emitRepeated(Seq, Target, V, C, Loc);
+          if (Lin->Const > 0)
+            emitIncDec(Seq, Target, true, Atom::makeConst(Lin->Const), true,
+                       Loc);
+          else if (Lin->Const < 0)
+            emitIncDec(Seq, Target, false, Atom::makeConst(-Lin->Const), true,
+                       Loc);
+        } else {
+          Ok = false; // Fall through to the temporary path below.
+        }
+      }
+    } else {
+      Ok = false;
+    }
+
+    if (!Ok) {
+      // General path: accumulate into a fresh temporary, then move.
+      Seq.clear();
+      Ok = true;
+      std::string T = freshTemp();
+      emitSet(Seq, T, Atom::makeConst(0), true, Loc);
+      if (CTgt != 0)
+        Ok = Ok && emitRepeated(Seq, T, Target, CTgt, Loc);
+      for (const auto &[V, C] : Lin->Coeffs)
+        Ok = Ok && emitRepeated(Seq, T, V, C, Loc);
+      if (Lin->Const > 0)
+        emitIncDec(Seq, T, true, Atom::makeConst(Lin->Const), true, Loc);
+      else if (Lin->Const < 0)
+        emitIncDec(Seq, T, false, Atom::makeConst(-Lin->Const), true, Loc);
+      emitSet(Seq, Target, Atom::makeVar(T), true, Loc);
+      if (!Ok) {
+        // Coefficients too large: keep semantics with an opaque assignment.
+        emitKill(L, Target, E, CostFree, Loc);
+        return;
+      }
+    }
+
+    assert(!Seq.empty());
+    if (!CostFree)
+      Seq.back()->CostFree = false;
+    for (auto &S : Seq)
+      L.push_back(std::move(S));
+  }
+
+  /// Lowers an expression to an atom, introducing a cost-free temporary
+  /// when it is not already one.
+  Atom lowerToAtom(StmtList &L, const Expr &E, SourceLoc Loc) {
+    if (E.Kind == ExprKind::IntLit)
+      return Atom::makeConst(E.IntValue);
+    if (E.Kind == ExprKind::Unary && E.Un == UnOp::Neg &&
+        E.Sub[0]->Kind == ExprKind::IntLit)
+      return Atom::makeConst(-E.Sub[0]->IntValue);
+    if (E.Kind == ExprKind::Var) {
+      checkScalar(E.Name, Loc);
+      return Atom::makeVar(E.Name);
+    }
+    std::string T = freshTemp();
+    lowerScalarAssign(L, T, E, /*CostFree=*/true, Loc);
+    return Atom::makeVar(T);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Conditions
+  //===--------------------------------------------------------------------===//
+
+  /// Builds the normalized condition for a single (non-logical) boolean
+  /// expression.
+  SimpleCond makeCmpCond(const Expr &E) {
+    if (E.Kind == ExprKind::Nondet)
+      return SimpleCond::makeNondet();
+    SimpleCond C;
+    C.K = SimpleCond::Kind::Cmp;
+    C.E = E.clone();
+    if (E.Kind == ExprKind::Binary) {
+      auto L = linearizeExpr(*E.Sub[0]);
+      auto R = linearizeExpr(*E.Sub[1]);
+      if (L && R) {
+        // Normalize to Lhs - Rhs <op> 0.
+        LinExprInt D = *L;
+        D.Const -= R->Const;
+        for (const auto &[V, Cf] : R->Coeffs)
+          D.add(V, -Cf);
+        LinCmp Cmp;
+        Cmp.E = D;
+        bool Known = true;
+        switch (E.Bin) {
+        case BinOp::Lt: Cmp.E.Const += 1; Cmp.O = LinCmp::Op::Le0; break;
+        case BinOp::Le: Cmp.O = LinCmp::Op::Le0; break;
+        case BinOp::Gt: {
+          // a > b  <=>  b - a + 1 <= 0.
+          LinCmp G;
+          G.O = LinCmp::Op::Le0;
+          G.E.Const = -Cmp.E.Const + 1;
+          for (const auto &[V, Cf] : Cmp.E.Coeffs)
+            G.E.Coeffs[V] = -Cf;
+          Cmp = G;
+          break;
+        }
+        case BinOp::Ge: {
+          LinCmp G;
+          G.O = LinCmp::Op::Le0;
+          G.E.Const = -Cmp.E.Const;
+          for (const auto &[V, Cf] : Cmp.E.Coeffs)
+            G.E.Coeffs[V] = -Cf;
+          Cmp = G;
+          break;
+        }
+        case BinOp::Eq: Cmp.O = LinCmp::Op::Eq0; break;
+        case BinOp::Ne: Cmp.O = LinCmp::Op::Ne0; break;
+        default: Known = false; break;
+        }
+        if (Known)
+          C.Lin = Cmp;
+      }
+    } else if (auto Lin = linearizeExpr(E)) {
+      // Arithmetic value used as a boolean: e != 0.
+      LinCmp Cmp;
+      Cmp.O = LinCmp::Op::Ne0;
+      Cmp.E = *Lin;
+      C.Lin = Cmp;
+    }
+    return C;
+  }
+
+  /// Lowers `if (Cond) Then else Else`, decomposing `&&`, `||`, `!` by
+  /// branch duplication so every IR `if` tests one simple condition.
+  void lowerBranch(const Expr &Cond, const GenFn &Then, const GenFn &Else,
+                   StmtList &L) {
+    if (Cond.Kind == ExprKind::Binary && Cond.Bin == BinOp::And) {
+      const Expr *A = Cond.Sub[0].get(), *B = Cond.Sub[1].get();
+      lowerBranch(
+          *A, [&](StmtList &Inner) { lowerBranch(*B, Then, Else, Inner); },
+          Else, L);
+      return;
+    }
+    if (Cond.Kind == ExprKind::Binary && Cond.Bin == BinOp::Or) {
+      const Expr *A = Cond.Sub[0].get(), *B = Cond.Sub[1].get();
+      lowerBranch(
+          *A, Then,
+          [&](StmtList &Inner) { lowerBranch(*B, Then, Else, Inner); }, L);
+      return;
+    }
+    if (Cond.Kind == ExprKind::Unary && Cond.Un == UnOp::Not) {
+      lowerBranch(*Cond.Sub[0], Else, Then, L);
+      return;
+    }
+    auto S = make(IRStmtKind::If, Cond.Loc);
+    S->Cond = makeCmpCond(Cond);
+    auto ThenBlk = make(IRStmtKind::Block);
+    Then(ThenBlk->Children);
+    auto ElseBlk = make(IRStmtKind::Block);
+    Else(ElseBlk->Children);
+    S->Children.push_back(std::move(ThenBlk));
+    S->Children.push_back(std::move(ElseBlk));
+    L.push_back(std::move(S));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  GenFn genStmt(const Stmt *S) {
+    return [this, S](StmtList &L) {
+      if (S)
+        lowerStmtInto(*S, L);
+    };
+  }
+
+  GenFn genBreak() {
+    return [this](StmtList &L) { L.push_back(make(IRStmtKind::Break)); };
+  }
+
+  GenFn genNothing() {
+    return [](StmtList &) {};
+  }
+
+  void lowerAssert(const Expr &E, SourceLoc Loc, StmtList &L) {
+    if (E.Kind == ExprKind::Binary && E.Bin == BinOp::And) {
+      lowerAssert(*E.Sub[0], Loc, L);
+      lowerAssert(*E.Sub[1], Loc, L);
+      return;
+    }
+    auto S = make(IRStmtKind::Assert, Loc);
+    S->Cond = makeCmpCond(E);
+    L.push_back(std::move(S));
+  }
+
+  void lowerStmtInto(const Stmt &S, StmtList &L) {
+    switch (S.Kind) {
+    case StmtKind::Skip:
+      return;
+    case StmtKind::Block:
+      for (const auto &C : S.Body)
+        lowerStmtInto(*C, L);
+      return;
+    case StmtKind::VarDecl: {
+      if (Scalars.count(S.DeclName) || Arrays.count(S.DeclName)) {
+        Diags.error(S.Loc, "redeclaration of '" + S.DeclName + "'");
+        return;
+      }
+      if (S.ArraySize > 0) {
+        Arrays.insert(S.DeclName);
+        Cur->LocalArrays[S.DeclName] = S.ArraySize;
+        return;
+      }
+      Scalars.insert(S.DeclName);
+      Cur->Locals.push_back(S.DeclName);
+      if (S.Init)
+        lowerScalarAssign(L, S.DeclName, *S.Init, /*CostFree=*/false, S.Loc);
+      return;
+    }
+    case StmtKind::Assign: {
+      if (S.TargetIndex) {
+        if (!Arrays.count(S.TargetName)) {
+          Diags.error(S.Loc, "'" + S.TargetName + "' is not an array");
+          return;
+        }
+        auto St = make(IRStmtKind::Store, S.Loc);
+        St->ArrayName = S.TargetName;
+        St->Index = S.TargetIndex->clone();
+        St->StoreValue = S.Value->clone();
+        L.push_back(std::move(St));
+        return;
+      }
+      lowerScalarAssign(L, S.TargetName, *S.Value, /*CostFree=*/false, S.Loc);
+      return;
+    }
+    case StmtKind::Call: {
+      const FunctionDecl *Callee = Ast.findFunction(S.Callee);
+      if (!Callee) {
+        Diags.error(S.Loc, "call to undefined function '" + S.Callee + "'");
+        return;
+      }
+      if (Callee->Params.size() != S.Args.size()) {
+        Diags.error(S.Loc, "wrong number of arguments to '" + S.Callee + "'");
+        return;
+      }
+      if (!S.ResultVar.empty() && !Callee->ReturnsValue) {
+        Diags.error(S.Loc, "void function '" + S.Callee + "' used as value");
+        return;
+      }
+      auto C = make(IRStmtKind::Call, S.Loc);
+      C->Callee = S.Callee;
+      for (const auto &A : S.Args)
+        C->Args.push_back(lowerToAtom(L, *A, S.Loc));
+      if (!S.ResultVar.empty()) {
+        if (!checkScalar(S.ResultVar, S.Loc))
+          return;
+        C->ResultVar = S.ResultVar;
+      }
+      L.push_back(std::move(C));
+      return;
+    }
+    case StmtKind::If:
+      lowerBranch(*S.Cond, genStmt(S.Then.get()),
+                  S.Else ? genStmt(S.Else.get()) : genNothing(), L);
+      return;
+    case StmtKind::While: {
+      auto Loop = make(IRStmtKind::Loop, S.Loc);
+      auto Body = make(IRStmtKind::Block);
+      ++LoopDepth;
+      lowerBranch(*S.Cond, genStmt(S.Then.get()), genBreak(), Body->Children);
+      --LoopDepth;
+      Loop->Children.push_back(std::move(Body));
+      L.push_back(std::move(Loop));
+      return;
+    }
+    case StmtKind::DoWhile: {
+      auto Loop = make(IRStmtKind::Loop, S.Loc);
+      auto Body = make(IRStmtKind::Block);
+      ++LoopDepth;
+      if (containsTopLevelBreak(*S.Then)) {
+        // A break targeting this do-while keeps the classic lowering.
+        lowerStmtInto(*S.Then, Body->Children);
+        lowerBranch(*S.Cond, genNothing(), genBreak(), Body->Children);
+      } else {
+        // Rotate: `do S while(c)` becomes `S; while(c) S`.  The guarded
+        // form lets the analysis see the loop condition before every
+        // iteration of the loop proper (the unrolled first body pays its
+        // own way), which is what makes amortized bounds like t62's
+        // derivable.
+        --LoopDepth;
+        lowerStmtInto(*S.Then, L);
+        ++LoopDepth;
+        lowerBranch(*S.Cond, genStmt(S.Then.get()), genBreak(),
+                    Body->Children);
+      }
+      --LoopDepth;
+      Loop->Children.push_back(std::move(Body));
+      L.push_back(std::move(Loop));
+      return;
+    }
+    case StmtKind::For: {
+      if (S.ForInit)
+        lowerStmtInto(*S.ForInit, L);
+      auto Loop = make(IRStmtKind::Loop, S.Loc);
+      auto Body = make(IRStmtKind::Block);
+      ++LoopDepth;
+      GenFn BodyAndStep = [this, &S](StmtList &Inner) {
+        lowerStmtInto(*S.Then, Inner);
+        if (S.ForStep)
+          lowerStmtInto(*S.ForStep, Inner);
+      };
+      if (S.Cond)
+        lowerBranch(*S.Cond, BodyAndStep, genBreak(), Body->Children);
+      else
+        BodyAndStep(Body->Children);
+      --LoopDepth;
+      Loop->Children.push_back(std::move(Body));
+      L.push_back(std::move(Loop));
+      return;
+    }
+    case StmtKind::Break:
+      if (LoopDepth == 0) {
+        Diags.error(S.Loc, "'break' outside of a loop");
+        return;
+      }
+      L.push_back(make(IRStmtKind::Break, S.Loc));
+      return;
+    case StmtKind::Return: {
+      auto R = make(IRStmtKind::Return, S.Loc);
+      if (S.RetValue) {
+        R->HasRetValue = true;
+        R->RetValue = lowerToAtom(L, *S.RetValue, S.Loc);
+      }
+      L.push_back(std::move(R));
+      return;
+    }
+    case StmtKind::Tick: {
+      auto T = make(IRStmtKind::Tick, S.Loc);
+      T->TickAmount = Rational(S.TickAmount);
+      L.push_back(std::move(T));
+      return;
+    }
+    case StmtKind::Assert:
+      lowerAssert(*S.Cond, S.Loc, L);
+      return;
+    }
+  }
+
+  void lowerFunction(const FunctionDecl &F) {
+    if (Out.findFunction(F.Name)) {
+      Diags.error(F.Loc, "redefinition of function '" + F.Name + "'");
+      return;
+    }
+    IRFunction Fn;
+    Fn.Name = F.Name;
+    Fn.Params = F.Params;
+    Fn.ReturnsValue = F.ReturnsValue;
+    Fn.Loc = F.Loc;
+    Out.Functions.push_back(std::move(Fn));
+    Cur = &Out.Functions.back();
+
+    Scalars.clear();
+    Arrays.clear();
+    for (const auto &[G, Init] : Out.Globals) {
+      (void)Init;
+      Scalars.insert(G);
+    }
+    for (const auto &[G, Sz] : Out.GlobalArrays) {
+      (void)Sz;
+      Arrays.insert(G);
+    }
+    for (const std::string &Prm : F.Params) {
+      if (!Scalars.insert(Prm).second)
+        Diags.error(F.Loc, "parameter '" + Prm + "' shadows a global");
+    }
+
+    auto Body = make(IRStmtKind::Block, F.Loc);
+    LoopDepth = 0;
+    lowerStmtInto(*F.Body, Body->Children);
+    Cur->Body = std::move(Body);
+    Cur = nullptr;
+  }
+};
+
+} // namespace
+
+std::optional<IRProgram> c4b::lowerProgram(const Program &P,
+                                           DiagnosticEngine &Diags) {
+  return Lowerer(P, Diags).run();
+}

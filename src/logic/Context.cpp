@@ -1,0 +1,475 @@
+//===--- Context.cpp - Logical contexts of linear inequalities ------------===//
+
+#include "c4b/logic/Context.h"
+
+#include "c4b/lp/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace c4b;
+
+namespace {
+
+/// Caps to keep contexts small; precision beyond this is not needed by the
+/// rules (the paper: "only a rough fixpoint ... is sufficient").
+constexpr std::size_t MaxFacts = 24;
+constexpr std::size_t MaxFMProducts = 64;
+
+Rational floorRat(const Rational &R) {
+  if (R.isInteger())
+    return R;
+  BigInt Q = R.numerator() / R.denominator();
+  if (R.sign() < 0)
+    Q = Q - BigInt(1); // Truncation rounds toward zero; fix up negatives.
+  return Rational(Q);
+}
+
+Rational ceilRat(const Rational &R) { return -floorRat(-R); }
+
+} // namespace
+
+void LogicContext::invalidate() {
+  FeasChecked = false;
+  static long Counter = 0;
+  Version = ++Counter;
+}
+
+bool LogicContext::mentionsVar(const std::string &V) const {
+  for (const LinFact &F : Facts)
+    if (F.mentions(V))
+      return true;
+  return false;
+}
+
+void LinFact::add(const std::string &V, const Rational &C) {
+  if (C.isZero())
+    return;
+  auto It = Coeffs.emplace(V, Rational(0)).first;
+  It->second += C;
+  if (It->second.isZero())
+    Coeffs.erase(It);
+}
+
+std::string LinFact::toString() const {
+  std::string R;
+  for (const auto &[V, C] : Coeffs) {
+    if (!R.empty())
+      R += " + ";
+    R += C.toString() + "*" + V;
+  }
+  if (!Const.isZero() || R.empty()) {
+    if (!R.empty())
+      R += " + ";
+    R += Const.toString();
+  }
+  return R + (IsEquality ? " == 0" : " <= 0");
+}
+
+void AffineQ::add(const std::string &V, const Rational &C) {
+  if (C.isZero())
+    return;
+  auto It = Coeffs.emplace(V, Rational(0)).first;
+  It->second += C;
+  if (It->second.isZero())
+    Coeffs.erase(It);
+}
+
+void LogicContext::pruneTrivial() {
+  // Canonicalize (scale so the leading coefficient is ±1) and subsume:
+  // facts with identical coefficient rows keep only the tightest constant.
+  std::map<std::string, std::size_t> ByRow;
+  std::vector<LinFact> Kept;
+  for (LinFact &F : Facts) {
+    if (F.Coeffs.empty()) {
+      bool Holds = F.IsEquality ? F.Const.isZero() : F.Const.sign() <= 0;
+      if (!Holds)
+        Bottom = true;
+      continue;
+    }
+    Rational Lead = F.Coeffs.begin()->second;
+    if (Lead.sign() < 0)
+      Lead = -Lead;
+    if (Lead != Rational(1)) {
+      for (auto &[V, C] : F.Coeffs)
+        C /= Lead;
+      F.Const /= Lead;
+    }
+    std::string Key = F.IsEquality ? "=" : "<";
+    for (const auto &[V, C] : F.Coeffs)
+      Key += V + ":" + C.toString() + ";";
+    auto [It, New] = ByRow.emplace(Key, Kept.size());
+    if (New) {
+      Kept.push_back(std::move(F));
+      continue;
+    }
+    LinFact &Old = Kept[It->second];
+    if (F.IsEquality) {
+      // Two equalities over the same row with different constants clash.
+      if (Old.Const != F.Const)
+        Bottom = true;
+    } else if (F.Const > Old.Const) {
+      // sum + C <= 0 is tighter for larger C.
+      Old.Const = F.Const;
+    }
+  }
+  if (Kept.size() > MaxFacts)
+    Kept.resize(MaxFacts);
+  Facts = std::move(Kept);
+}
+
+void LogicContext::assume(LinFact F) {
+  if (Bottom)
+    return;
+  Facts.push_back(std::move(F));
+  pruneTrivial();
+  invalidate();
+}
+
+void LogicContext::assumeCmp(const LinCmp &C) {
+  if (Bottom || C.O == LinCmp::Op::Ne0)
+    return;
+  LinFact F;
+  F.IsEquality = C.O == LinCmp::Op::Eq0;
+  F.Const = Rational(C.E.Const);
+  for (const auto &[V, Cf] : C.E.Coeffs)
+    F.Coeffs[V] = Rational(Cf);
+  assume(std::move(F));
+}
+
+bool LogicContext::isBottom() const {
+  if (Bottom)
+    return true;
+  if (FeasChecked)
+    return !FeasResult;
+  // Feasibility of the rational relaxation via LP.
+  LPProblem P;
+  std::map<std::string, int> Vars;
+  auto varOf = [&](const std::string &N) {
+    auto [It, New] = Vars.emplace(N, 0);
+    if (New)
+      It->second = P.addFreeVar(N);
+    return It->second;
+  };
+  for (const LinFact &F : Facts) {
+    std::vector<LinTerm> Terms;
+    for (const auto &[V, C] : F.Coeffs)
+      Terms.push_back({varOf(V), C});
+    P.addConstraint(std::move(Terms), F.IsEquality ? Rel::Eq : Rel::Le,
+                    -F.Const);
+  }
+  SimplexSolver S;
+  FeasResult = S.isFeasible(P);
+  FeasChecked = true;
+  return !FeasResult;
+}
+
+void LogicContext::havoc(const std::string &Var) {
+  if (Bottom)
+    return;
+  invalidate();
+
+  // Prefer an exact substitution through an equality mentioning Var.
+  for (std::size_t I = 0; I < Facts.size(); ++I) {
+    const LinFact &E = Facts[I];
+    if (!E.IsEquality || !E.mentions(Var))
+      continue;
+    Rational CV = E.Coeffs.at(Var);
+    // Var = (-Const - sum others) / CV.
+    LinFact Def = E;
+    std::vector<LinFact> Out;
+    for (std::size_t J = 0; J < Facts.size(); ++J) {
+      if (J == I)
+        continue;
+      LinFact F = Facts[J];
+      auto It = F.Coeffs.find(Var);
+      if (It != F.Coeffs.end()) {
+        Rational K = It->second / CV;
+        F.Coeffs.erase(It);
+        // F - K * Def has no Var.
+        F.Const -= K * Def.Const;
+        for (const auto &[V, C] : Def.Coeffs)
+          if (V != Var)
+            F.add(V, -K * C);
+      }
+      Out.push_back(std::move(F));
+    }
+    Facts = std::move(Out);
+    pruneTrivial();
+    return;
+  }
+
+  // Fourier-Motzkin over the inequalities.
+  std::vector<LinFact> NoV, Pos, Neg;
+  for (LinFact &F : Facts) {
+    if (!F.mentions(Var)) {
+      NoV.push_back(std::move(F));
+      continue;
+    }
+    (F.Coeffs.at(Var).sign() > 0 ? Pos : Neg).push_back(std::move(F));
+  }
+  if (Pos.size() * Neg.size() <= MaxFMProducts) {
+    for (const LinFact &P : Pos) {
+      Rational CP = P.Coeffs.at(Var);
+      for (const LinFact &N : Neg) {
+        Rational CN = N.Coeffs.at(Var); // < 0.
+        // Combine P/CP - N/CN scaled positive: CP*N - CN*P ... use
+        // F = P*(-CN) + N*CP: the Var terms cancel and the combination of
+        // two <=0 facts with positive multipliers stays <=0.
+        LinFact F;
+        F.Const = P.Const * (-CN) + N.Const * CP;
+        for (const auto &[V, C] : P.Coeffs)
+          F.add(V, C * (-CN));
+        for (const auto &[V, C] : N.Coeffs)
+          F.add(V, C * CP);
+        assert(!F.mentions(Var) && "FM failed to eliminate");
+        NoV.push_back(std::move(F));
+      }
+    }
+  }
+  Facts = std::move(NoV);
+  pruneTrivial();
+}
+
+void LogicContext::applySet(const std::string &X, const Atom &A) {
+  if (Bottom)
+    return;
+  if (A.isVar() && A.Name == X)
+    return;
+  havoc(X);
+  LinFact Eq;
+  Eq.IsEquality = true;
+  Eq.add(X, Rational(1));
+  if (A.isVar())
+    Eq.add(A.Name, Rational(-1));
+  else
+    Eq.Const = Rational(-A.Value);
+  assume(std::move(Eq));
+}
+
+void LogicContext::applyIncDec(const std::string &X, const Atom &A, bool Inc) {
+  if (Bottom)
+    return;
+  if (A.isVar() && A.Name == X) {
+    havoc(X); // x <- x ± x: not produced by lowering; stay sound anyway.
+    return;
+  }
+  invalidate();
+  for (LinFact &F : Facts) {
+    auto It = F.Coeffs.find(X);
+    if (It == F.Coeffs.end())
+      continue;
+    Rational CX = It->second;
+    // new x' = x ± a, so old x = x' ∓ a.
+    if (A.isConst()) {
+      Rational Delta = Rational(A.Value) * CX;
+      F.Const += Inc ? -Delta : Delta;
+    } else {
+      F.add(A.Name, Inc ? -CX : CX);
+    }
+  }
+  pruneTrivial();
+}
+
+void LogicContext::applyCall(const std::string &ResultVar,
+                             const std::set<std::string> &ModifiedGlobals) {
+  for (const std::string &G : ModifiedGlobals)
+    havoc(G);
+  if (!ResultVar.empty())
+    havoc(ResultVar);
+}
+
+bool LogicContext::entails(const LinFact &F) const {
+  if (isBottom())
+    return true;
+  AffineQ Obj;
+  Obj.Const = F.Const;
+  for (const auto &[V, C] : F.Coeffs)
+    Obj.Coeffs[V] = C;
+  std::optional<Rational> Hi = maxOf(Obj);
+  if (!Hi || Hi->sign() > 0)
+    return false;
+  if (!F.IsEquality)
+    return true;
+  std::optional<Rational> Lo = minOf(Obj);
+  return Lo && Lo->sign() >= 0;
+}
+
+std::optional<Rational> LogicContext::maxOf(const AffineQ &Obj) const {
+  if (Bottom)
+    return Rational(0); // Callers check isBottom(); keep a defined value.
+  LPProblem P;
+  std::map<std::string, int> Vars;
+  auto varOf = [&](const std::string &N) {
+    auto [It, New] = Vars.emplace(N, 0);
+    if (New)
+      It->second = P.addFreeVar(N);
+    return It->second;
+  };
+  for (const LinFact &F : Facts) {
+    std::vector<LinTerm> Terms;
+    for (const auto &[V, C] : F.Coeffs)
+      Terms.push_back({varOf(V), C});
+    P.addConstraint(std::move(Terms), F.IsEquality ? Rel::Eq : Rel::Le,
+                    -F.Const);
+  }
+  std::vector<LinTerm> O;
+  for (const auto &[V, C] : Obj.Coeffs)
+    O.push_back({varOf(V), C});
+  SimplexSolver S;
+  LPResult R = S.maximize(P, O);
+  if (R.Status == LPStatus::Unbounded)
+    return std::nullopt;
+  if (R.Status == LPStatus::Infeasible)
+    return Rational(0); // Bottom; see above.
+  return R.Objective + Obj.Const;
+}
+
+std::optional<Rational> LogicContext::minOf(const AffineQ &Obj) const {
+  AffineQ Neg;
+  Neg.Const = -Obj.Const;
+  for (const auto &[V, C] : Obj.Coeffs)
+    Neg.Coeffs[V] = -C;
+  std::optional<Rational> R = maxOf(Neg);
+  if (!R)
+    return std::nullopt;
+  return -*R;
+}
+
+LogicContext LogicContext::join(const LogicContext &A, const LogicContext &B) {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  LogicContext R;
+  std::set<std::string> Seen;
+  for (const LinFact &F : A.Facts)
+    if (B.entails(F) && Seen.insert(F.toString()).second)
+      R.Facts.push_back(F);
+  for (const LinFact &F : B.Facts)
+    if (A.entails(F) && Seen.insert(F.toString()).second)
+      R.Facts.push_back(F);
+  R.pruneTrivial();
+  R.invalidate();
+  return R;
+}
+
+LogicContext
+LogicContext::dropMentioning(const std::set<std::string> &Modified) const {
+  if (Bottom)
+    return *this;
+  LogicContext R;
+  for (const LinFact &F : Facts) {
+    bool Drops = false;
+    for (const std::string &V : Modified)
+      if (F.mentions(V)) {
+        Drops = true;
+        break;
+      }
+    if (!Drops)
+      R.Facts.push_back(F);
+  }
+  R.invalidate();
+  return R;
+}
+
+std::string LogicContext::toString() const {
+  if (Bottom)
+    return "false";
+  if (Facts.empty())
+    return "true";
+  std::string R;
+  for (const LinFact &F : Facts) {
+    if (!R.empty())
+      R += " /\\ ";
+    R += F.toString();
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Interval bound queries
+//===----------------------------------------------------------------------===//
+
+AffineQ c4b::intervalObjective(const Atom &A, const Atom &B) {
+  AffineQ Obj;
+  if (B.isVar())
+    Obj.add(B.Name, Rational(1));
+  else
+    Obj.Const += Rational(B.Value);
+  if (A.isVar())
+    Obj.add(A.Name, Rational(-1));
+  else
+    Obj.Const -= Rational(A.Value);
+  return Obj;
+}
+
+IntervalBounds c4b::intervalBoundsIn(const LogicContext &Ctx, const Atom &A,
+                                     const Atom &B) {
+  IntervalBounds R;
+  R.Lo = Rational(0);
+  if (Ctx.isBottom()) {
+    R.Hi = Rational(0);
+    return R;
+  }
+  AffineQ Obj = intervalObjective(A, B);
+  if (Obj.Coeffs.empty()) {
+    // Both endpoints constant: the size is known exactly.
+    Rational Sz = Obj.Const.sign() > 0 ? Obj.Const : Rational(0);
+    R.Lo = Sz;
+    R.Hi = Sz;
+    return R;
+  }
+  if (std::optional<Rational> Hi = Ctx.maxOf(Obj)) {
+    Rational H = floorRat(*Hi); // B - A is integer-valued.
+    R.Hi = H.sign() > 0 ? H : Rational(0);
+  }
+  if (std::optional<Rational> Lo = Ctx.minOf(Obj)) {
+    Rational L = ceilRat(*Lo);
+    if (L.sign() > 0)
+      R.Lo = L;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Modified globals
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void collectAssignedGlobals(const IRStmt &S,
+                            const std::map<std::string, std::int64_t> &Globals,
+                            std::set<std::string> &Out) {
+  if (S.Kind == IRStmtKind::Assign && Globals.count(S.Target))
+    Out.insert(S.Target);
+  if (S.Kind == IRStmtKind::Call && !S.ResultVar.empty() &&
+      Globals.count(S.ResultVar))
+    Out.insert(S.ResultVar);
+  for (const auto &C : S.Children)
+    collectAssignedGlobals(*C, Globals, Out);
+}
+
+} // namespace
+
+std::map<std::string, std::set<std::string>>
+c4b::computeModifiedGlobals(const IRProgram &P, const CallGraph &G) {
+  std::map<std::string, std::set<std::string>> Mod;
+  for (const IRFunction &F : P.Functions)
+    collectAssignedGlobals(*F.Body, P.Globals, Mod[F.Name]);
+  // Propagate through calls to a fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const IRFunction &F : P.Functions) {
+      auto CalleesIt = G.Callees.find(F.Name);
+      if (CalleesIt == G.Callees.end())
+        continue;
+      std::set<std::string> &Mine = Mod[F.Name];
+      for (const std::string &Callee : CalleesIt->second)
+        for (const std::string &V : Mod[Callee])
+          Changed |= Mine.insert(V).second;
+    }
+  }
+  return Mod;
+}

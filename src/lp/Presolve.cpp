@@ -1,0 +1,218 @@
+//===--- Presolve.cpp - Equality-elimination LP presolver -----------------===//
+
+#include "c4b/lp/Presolve.h"
+
+#include <cassert>
+
+using namespace c4b;
+
+int PresolvedSolver::addVar(std::string Name) {
+  Names.push_back(std::move(Name));
+  return NumVars++;
+}
+
+AffineExpr PresolvedSolver::flatten(const std::vector<LinTerm> &Terms,
+                                    const Rational &Const) const {
+  AffineExpr A;
+  A.Const = Const;
+  for (const LinTerm &T : Terms) {
+    if (T.Coef.isZero())
+      continue;
+    auto It = Subst.find(T.Var);
+    if (It == Subst.end()) {
+      Rational &C = A.Terms[T.Var];
+      C += T.Coef;
+      if (C.isZero())
+        A.Terms.erase(T.Var);
+      continue;
+    }
+    const AffineExpr &E = It->second;
+    A.Const += T.Coef * E.Const;
+    for (const auto &[V, C] : E.Terms) {
+      Rational &Slot = A.Terms[V];
+      Slot += T.Coef * C;
+      if (Slot.isZero())
+        A.Terms.erase(V);
+    }
+  }
+  return A;
+}
+
+void PresolvedSolver::recordSubst(int Var, AffineExpr E) {
+  assert(!Subst.count(Var) && "variable substituted twice");
+  // Keep the map flat: rewrite existing entries that mention Var.
+  auto OccIt = Occurs.find(Var);
+  if (OccIt != Occurs.end()) {
+    for (int Entry : OccIt->second) {
+      AffineExpr &Old = Subst[Entry];
+      auto TermIt = Old.Terms.find(Var);
+      if (TermIt == Old.Terms.end())
+        continue;
+      Rational F = TermIt->second;
+      Old.Terms.erase(TermIt);
+      Old.Const += F * E.Const;
+      for (const auto &[V, C] : E.Terms) {
+        Rational &Slot = Old.Terms[V];
+        Slot += F * C;
+        if (Slot.isZero()) {
+          Old.Terms.erase(V);
+          Occurs[V].erase(Entry);
+        } else {
+          Occurs[V].insert(Entry);
+        }
+      }
+    }
+    Occurs.erase(OccIt);
+  }
+  for (const auto &[V, C] : E.Terms) {
+    (void)C;
+    Occurs[V].insert(Var);
+  }
+  // If the defining expression is not syntactically non-negative we must
+  // remember Var's sign constraint explicitly.
+  bool ImpliedNonNeg = E.Const.sign() >= 0;
+  for (const auto &[V, C] : E.Terms) {
+    (void)V;
+    if (C.sign() < 0)
+      ImpliedNonNeg = false;
+  }
+  if (!ImpliedNonNeg)
+    NonNegResiduals.push_back(E);
+  Subst.emplace(Var, std::move(E));
+}
+
+void PresolvedSolver::addFlattened(AffineExpr A, Rel R) {
+  if (A.Terms.empty()) {
+    // Ground constraint: check it outright.
+    int S = A.Const.sign(); // Constraint is `A.Const R 0` after moving Rhs.
+    bool Ok = R == Rel::Eq ? S == 0 : R == Rel::Le ? S <= 0 : S >= 0;
+    if (!Ok)
+      Infeasible = true;
+    return;
+  }
+  if (R != Rel::Eq) {
+    LinConstraint C;
+    for (const auto &[V, Coef] : A.Terms)
+      C.Terms.push_back({V, Coef});
+    C.R = R;
+    C.Rhs = -A.Const;
+    Rows.push_back(std::move(C));
+    return;
+  }
+  // Equality: eliminate one variable.  Prefer a pivot whose defining
+  // expression is syntactically non-negative so no residual row is needed.
+  int Pivot = -1;
+  for (const auto &[V, Coef] : A.Terms) {
+    bool NonNeg = (A.Const / Coef).sign() <= 0; // expr const = -Const/Coef
+    for (const auto &[V2, C2] : A.Terms) {
+      if (V2 == V)
+        continue;
+      if ((C2 / Coef).sign() < 0) { // expr coeff = -C2/Coef must be >= 0
+        NonNeg = false;
+        break;
+      }
+    }
+    if (NonNeg) {
+      Pivot = V;
+      break;
+    }
+  }
+  if (Pivot < 0)
+    Pivot = A.Terms.begin()->first;
+  Rational PC = A.Terms[Pivot];
+  AffineExpr E;
+  E.Const = -A.Const / PC;
+  for (const auto &[V, C] : A.Terms)
+    if (V != Pivot)
+      E.Terms[V] = -C / PC;
+  recordSubst(Pivot, std::move(E));
+}
+
+void PresolvedSolver::addConstraint(std::vector<LinTerm> Terms, Rel R,
+                                    Rational Rhs) {
+  AffineExpr A = flatten(Terms, -Rhs); // Represent as `A R 0`.
+  addFlattened(std::move(A), R);
+}
+
+void PresolvedSolver::pinObjective(const std::vector<LinTerm> &Objective,
+                                   Rational Bound) {
+  addConstraint(Objective, Rel::Le, std::move(Bound));
+}
+
+LPResult PresolvedSolver::solveReduced(const std::vector<LinTerm> &Objective) {
+  LPResult R;
+  if (Infeasible)
+    return R; // Status defaults to Infeasible.
+
+  // Map surviving variables to compact ids.
+  std::map<int, int> Compact;
+  LPProblem P;
+  auto compactOf = [&](int V) {
+    auto [It, New] = Compact.emplace(V, 0);
+    if (New)
+      It->second = P.addVar(V < static_cast<int>(Names.size()) ? Names[V] : "");
+    return It->second;
+  };
+
+  // Residual inequality rows, re-flattened (substitutions may have been
+  // recorded after a row was added).
+  for (const LinConstraint &Row : Rows) {
+    AffineExpr A = flatten(Row.Terms, -Row.Rhs);
+    if (A.Terms.empty()) {
+      int S = A.Const.sign();
+      bool Ok = Row.R == Rel::Le ? S <= 0 : Row.R == Rel::Ge ? S >= 0 : S == 0;
+      if (!Ok)
+        return R;
+      continue;
+    }
+    std::vector<LinTerm> Terms;
+    for (const auto &[V, C] : A.Terms)
+      Terms.push_back({compactOf(V), C});
+    P.addConstraint(std::move(Terms), Row.R, -A.Const);
+  }
+  // Sign constraints for eliminated variables.
+  for (const AffineExpr &NN : NonNegResiduals) {
+    std::vector<LinTerm> Orig;
+    for (const auto &[V, C] : NN.Terms)
+      Orig.push_back({V, C});
+    AffineExpr A = flatten(Orig, NN.Const);
+    if (A.Terms.empty()) {
+      if (A.Const.sign() < 0)
+        return R;
+      continue;
+    }
+    std::vector<LinTerm> Terms;
+    for (const auto &[V, C] : A.Terms)
+      Terms.push_back({compactOf(V), C});
+    P.addConstraint(std::move(Terms), Rel::Ge, -A.Const);
+  }
+
+  // Objective, expanded through the substitutions.
+  AffineExpr ObjA = flatten(Objective, Rational(0));
+  std::vector<LinTerm> Obj;
+  for (const auto &[V, C] : ObjA.Terms)
+    Obj.push_back({compactOf(V), C});
+
+  SimplexSolver Simplex;
+  LPResult Reduced = Simplex.minimize(P, Obj);
+  R.Status = Reduced.Status;
+  if (R.Status != LPStatus::Optimal)
+    return R;
+  R.Objective = Reduced.Objective + ObjA.Const;
+
+  // Reconstruct the full assignment.
+  R.Values.assign(NumVars, Rational(0));
+  for (const auto &[V, CV] : Compact)
+    R.Values[V] = Reduced.Values[CV];
+  for (const auto &[V, E] : Subst) {
+    Rational X = E.Const;
+    for (const auto &[U, C] : E.Terms)
+      X += C * R.Values[U];
+    R.Values[V] = X;
+  }
+  return R;
+}
+
+LPResult PresolvedSolver::minimize(const std::vector<LinTerm> &Objective) {
+  return solveReduced(Objective);
+}

@@ -1,0 +1,389 @@
+//===--- Interp.cpp - Cost-aware reference interpreter --------------------===//
+
+#include "c4b/sem/Interp.h"
+
+#include <cassert>
+
+using namespace c4b;
+
+Interpreter::Interpreter(const IRProgram &P, ResourceMetric M)
+    : Prog(P), Metric(std::move(M)) {
+  for (const auto &[Name, Init] : P.Globals)
+    Globals[Name] = Init;
+  for (const auto &[Name, Size] : P.GlobalArrays)
+    GlobalArrays[Name].assign(static_cast<std::size_t>(Size), 0);
+}
+
+void Interpreter::setGlobal(const std::string &Name, std::int64_t V) {
+  Globals[Name] = V;
+}
+
+void Interpreter::setGlobalArray(const std::string &Name,
+                                 const std::vector<std::int64_t> &Data) {
+  auto It = GlobalArrays.find(Name);
+  if (It == GlobalArrays.end())
+    return;
+  for (std::size_t I = 0; I < It->second.size(); ++I)
+    It->second[I] = I < Data.size() ? Data[I] : 0;
+}
+
+std::int64_t Interpreter::getGlobal(const std::string &Name) const {
+  auto It = Globals.find(Name);
+  return It == Globals.end() ? 0 : It->second;
+}
+
+std::int64_t Interpreter::getGlobalArray(const std::string &Name,
+                                         std::int64_t I) const {
+  auto It = GlobalArrays.find(Name);
+  if (It == GlobalArrays.end() || I < 0 ||
+      I >= static_cast<std::int64_t>(It->second.size()))
+    return 0;
+  return It->second[static_cast<std::size_t>(I)];
+}
+
+void Interpreter::charge(const Rational &R) {
+  if (R.isZero())
+    return;
+  Cost += R;
+  if (Cost > Peak)
+    Peak = Cost;
+}
+
+bool Interpreter::useFuel() {
+  ++Steps;
+  if (--StepsLeft >= 0)
+    return true;
+  Status = ExecStatus::OutOfFuel;
+  return false;
+}
+
+bool Interpreter::defaultNondet() {
+  // xorshift64*: deterministic, seedable, and metric-independent.
+  RngState ^= RngState >> 12;
+  RngState ^= RngState << 25;
+  RngState ^= RngState >> 27;
+  return (RngState * 0x2545F4914F6CDD1Dull >> 63) & 1;
+}
+
+std::int64_t *Interpreter::lookupScalar(Frame &F, const std::string &N) {
+  auto It = F.Scalars.find(N);
+  if (It != F.Scalars.end())
+    return &It->second;
+  auto G = Globals.find(N);
+  if (G != Globals.end())
+    return &G->second;
+  return nullptr;
+}
+
+std::vector<std::int64_t> *Interpreter::lookupArray(Frame &F,
+                                                    const std::string &N) {
+  auto It = F.Arrays.find(N);
+  if (It != F.Arrays.end())
+    return &It->second;
+  auto G = GlobalArrays.find(N);
+  if (G != GlobalArrays.end())
+    return &G->second;
+  return nullptr;
+}
+
+bool Interpreter::evalExpr(Frame &F, const Expr &E, std::int64_t &Out) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    Out = E.IntValue;
+    return true;
+  case ExprKind::Var: {
+    std::int64_t *V = lookupScalar(F, E.Name);
+    if (!V) {
+      Status = ExecStatus::BadArrayAccess;
+      return false;
+    }
+    Out = *V;
+    return true;
+  }
+  case ExprKind::ArrayElem: {
+    std::vector<std::int64_t> *A = lookupArray(F, E.Name);
+    std::int64_t I;
+    if (!A || !evalExpr(F, *E.Sub[0], I))
+      return false;
+    if (I < 0 || I >= static_cast<std::int64_t>(A->size())) {
+      Status = ExecStatus::BadArrayAccess;
+      return false;
+    }
+    Out = (*A)[static_cast<std::size_t>(I)];
+    return true;
+  }
+  case ExprKind::Nondet:
+    Out = (Nondet ? Nondet() : defaultNondet()) ? 1 : 0;
+    return true;
+  case ExprKind::Unary: {
+    std::int64_t V;
+    if (!evalExpr(F, *E.Sub[0], V))
+      return false;
+    Out = E.Un == UnOp::Neg ? -V : (V == 0 ? 1 : 0);
+    return true;
+  }
+  case ExprKind::Binary: {
+    std::int64_t L, R;
+    if (!evalExpr(F, *E.Sub[0], L))
+      return false;
+    // Note: no short-circuit needed; expressions are side-effect free.
+    if (!evalExpr(F, *E.Sub[1], R))
+      return false;
+    switch (E.Bin) {
+    case BinOp::Add: Out = L + R; return true;
+    case BinOp::Sub: Out = L - R; return true;
+    case BinOp::Mul: Out = L * R; return true;
+    case BinOp::Div:
+      if (R == 0) {
+        Status = ExecStatus::DivisionByZero;
+        return false;
+      }
+      Out = L / R;
+      return true;
+    case BinOp::Mod:
+      if (R == 0) {
+        Status = ExecStatus::DivisionByZero;
+        return false;
+      }
+      Out = L % R;
+      return true;
+    case BinOp::Lt: Out = L < R; return true;
+    case BinOp::Le: Out = L <= R; return true;
+    case BinOp::Gt: Out = L > R; return true;
+    case BinOp::Ge: Out = L >= R; return true;
+    case BinOp::Eq: Out = L == R; return true;
+    case BinOp::Ne: Out = L != R; return true;
+    case BinOp::And: Out = (L != 0 && R != 0); return true;
+    case BinOp::Or: Out = (L != 0 || R != 0); return true;
+    }
+    return false;
+  }
+  }
+  return false;
+}
+
+bool Interpreter::evalCond(Frame &F, const SimpleCond &C, bool &Out) {
+  switch (C.K) {
+  case SimpleCond::Kind::True:
+    Out = true;
+    return true;
+  case SimpleCond::Kind::Nondet:
+    Out = Nondet ? Nondet() : defaultNondet();
+    return true;
+  case SimpleCond::Kind::Cmp: {
+    std::int64_t V;
+    if (!evalExpr(F, *C.E, V))
+      return false;
+    Out = V != 0;
+    return true;
+  }
+  }
+  return false;
+}
+
+Interpreter::Flow Interpreter::execCall(Frame &F, const IRStmt &S) {
+  const IRFunction *Callee = Prog.findFunction(S.Callee);
+  if (!Callee) {
+    Status = ExecStatus::UnknownFunction;
+    return Flow::Return;
+  }
+  charge(Metric.Mf);
+  Frame Inner;
+  assert(Callee->Params.size() == S.Args.size() && "arity checked at lowering");
+  for (std::size_t I = 0; I < S.Args.size(); ++I) {
+    const Atom &A = S.Args[I];
+    std::int64_t V = 0;
+    if (A.isConst()) {
+      V = A.Value;
+    } else {
+      std::int64_t *P = lookupScalar(F, A.Name);
+      if (!P) {
+        Status = ExecStatus::BadArrayAccess;
+        return Flow::Return;
+      }
+      V = *P;
+    }
+    Inner.Scalars[Callee->Params[I]] = V;
+  }
+  for (const std::string &L : Callee->Locals)
+    Inner.Scalars.emplace(L, 0);
+  for (const auto &[Name, Size] : Callee->LocalArrays)
+    Inner.Arrays[Name].assign(static_cast<std::size_t>(Size), 0);
+
+  LastHasReturn = false;
+  Flow Fl = execStmt(Inner, *Callee->Body);
+  if (Status != ExecStatus::Finished)
+    return Flow::Return;
+  (void)Fl;
+  charge(Metric.Mr);
+  if (!S.ResultVar.empty()) {
+    std::int64_t *P = lookupScalar(F, S.ResultVar);
+    if (!P) {
+      Status = ExecStatus::BadArrayAccess;
+      return Flow::Return;
+    }
+    *P = LastHasReturn ? LastReturn : 0;
+  }
+  return Flow::Normal;
+}
+
+Interpreter::Flow Interpreter::execStmt(Frame &F, const IRStmt &S) {
+  if (!useFuel())
+    return Flow::Return;
+  switch (S.Kind) {
+  case IRStmtKind::Skip:
+    return Flow::Normal;
+  case IRStmtKind::Block:
+    for (const auto &C : S.Children) {
+      Flow Fl = execStmt(F, *C);
+      if (Fl != Flow::Normal || Status != ExecStatus::Finished)
+        return Fl;
+    }
+    return Flow::Normal;
+  case IRStmtKind::Assign: {
+    std::int64_t *T = lookupScalar(F, S.Target);
+    if (!T) {
+      Status = ExecStatus::BadArrayAccess;
+      return Flow::Return;
+    }
+    std::int64_t Operand = 0;
+    if (S.Asg == AssignKind::Kill) {
+      if (!evalExpr(F, *S.KillValue, Operand))
+        return Flow::Return;
+    } else if (S.Operand.isConst()) {
+      Operand = S.Operand.Value;
+    } else {
+      std::int64_t *P = lookupScalar(F, S.Operand.Name);
+      if (!P) {
+        Status = ExecStatus::BadArrayAccess;
+        return Flow::Return;
+      }
+      Operand = *P;
+    }
+    switch (S.Asg) {
+    case AssignKind::Set:
+    case AssignKind::Kill:
+      *T = Operand;
+      break;
+    case AssignKind::Inc:
+      *T += Operand;
+      break;
+    case AssignKind::Dec:
+      *T -= Operand;
+      break;
+    }
+    if (!S.CostFree)
+      charge(Metric.Mu + Metric.Me);
+    return Flow::Normal;
+  }
+  case IRStmtKind::Store: {
+    std::vector<std::int64_t> *A = lookupArray(F, S.ArrayName);
+    std::int64_t I, V;
+    if (!A || !evalExpr(F, *S.Index, I) || !evalExpr(F, *S.StoreValue, V)) {
+      if (Status == ExecStatus::Finished)
+        Status = ExecStatus::BadArrayAccess;
+      return Flow::Return;
+    }
+    if (I < 0 || I >= static_cast<std::int64_t>(A->size())) {
+      Status = ExecStatus::BadArrayAccess;
+      return Flow::Return;
+    }
+    (*A)[static_cast<std::size_t>(I)] = V;
+    charge(Metric.Mu + Metric.Me);
+    return Flow::Normal;
+  }
+  case IRStmtKind::If: {
+    bool B;
+    charge(Metric.Me);
+    if (!evalCond(F, S.Cond, B))
+      return Flow::Return;
+    charge(B ? Metric.McTrue : Metric.McFalse);
+    return execStmt(F, *S.Children[B ? 0 : 1]);
+  }
+  case IRStmtKind::Loop:
+    for (;;) {
+      Flow Fl = execStmt(F, *S.Children[0]);
+      if (Status != ExecStatus::Finished)
+        return Flow::Return;
+      if (Fl == Flow::Break)
+        return Flow::Normal;
+      if (Fl == Flow::Return)
+        return Fl;
+      charge(Metric.Ml);
+    }
+  case IRStmtKind::Break:
+    charge(Metric.Mb);
+    return Flow::Break;
+  case IRStmtKind::Return: {
+    LastHasReturn = false;
+    if (S.HasRetValue) {
+      if (S.RetValue.isConst()) {
+        LastReturn = S.RetValue.Value;
+      } else {
+        std::int64_t *P = lookupScalar(F, S.RetValue.Name);
+        if (!P) {
+          Status = ExecStatus::BadArrayAccess;
+          return Flow::Return;
+        }
+        LastReturn = *P;
+      }
+      LastHasReturn = true;
+    }
+    return Flow::Return;
+  }
+  case IRStmtKind::Tick:
+    charge(Metric.TickScale * S.TickAmount);
+    return Flow::Normal;
+  case IRStmtKind::Assert: {
+    bool B;
+    charge(Metric.Ma);
+    if (!evalCond(F, S.Cond, B))
+      return Flow::Return;
+    if (!B) {
+      Status = ExecStatus::AssertFailed;
+      return Flow::Return;
+    }
+    return Flow::Normal;
+  }
+  case IRStmtKind::Call:
+    return execCall(F, S);
+  }
+  return Flow::Normal;
+}
+
+ExecResult Interpreter::run(const std::string &Fn,
+                            const std::vector<std::int64_t> &Args) {
+  ExecResult R;
+  const IRFunction *F = Prog.findFunction(Fn);
+  if (!F) {
+    R.Status = ExecStatus::UnknownFunction;
+    return R;
+  }
+  if (F->Params.size() != Args.size()) {
+    R.Status = ExecStatus::UnknownFunction;
+    return R;
+  }
+  Cost = Rational(0);
+  Peak = Rational(0);
+  StepsLeft = Fuel;
+  Steps = 0;
+  Status = ExecStatus::Finished;
+  LastHasReturn = false;
+
+  Frame Top;
+  for (std::size_t I = 0; I < Args.size(); ++I)
+    Top.Scalars[F->Params[I]] = Args[I];
+  for (const std::string &L : F->Locals)
+    Top.Scalars.emplace(L, 0);
+  for (const auto &[Name, Size] : F->LocalArrays)
+    Top.Arrays[Name].assign(static_cast<std::size_t>(Size), 0);
+
+  execStmt(Top, *F->Body);
+  R.Status = Status;
+  R.NetCost = Cost;
+  R.PeakCost = Peak;
+  R.ReturnValue = LastReturn;
+  R.HasReturnValue = LastHasReturn;
+  R.StepsUsed = Steps;
+  return R;
+}

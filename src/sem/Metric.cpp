@@ -1,0 +1,46 @@
+//===--- Metric.cpp - Parametric resource metrics --------------------------===//
+
+#include "c4b/sem/Metric.h"
+
+using namespace c4b;
+
+ResourceMetric ResourceMetric::ticks() {
+  ResourceMetric M;
+  M.Name = "ticks";
+  M.TickScale = Rational(1);
+  return M;
+}
+
+ResourceMetric ResourceMetric::backEdges() {
+  ResourceMetric M;
+  M.Name = "backedges";
+  M.Ml = Rational(1);
+  M.Mf = Rational(1);
+  M.TickScale = Rational(0);
+  return M;
+}
+
+ResourceMetric ResourceMetric::steps() {
+  ResourceMetric M;
+  M.Name = "steps";
+  M.Mu = Rational(1);
+  M.Me = Rational(1);
+  M.Ml = Rational(1);
+  M.Mb = Rational(1);
+  M.Ma = Rational(1);
+  M.Mf = Rational(1);
+  M.Mr = Rational(1);
+  M.McTrue = Rational(1);
+  M.McFalse = Rational(1);
+  M.TickScale = Rational(0);
+  return M;
+}
+
+ResourceMetric ResourceMetric::stackDepth() {
+  ResourceMetric M;
+  M.Name = "stackdepth";
+  M.Mf = Rational(1);
+  M.Mr = Rational(-1);
+  M.TickScale = Rational(0);
+  return M;
+}

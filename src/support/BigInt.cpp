@@ -1,0 +1,283 @@
+//===--- BigInt.cpp - Arbitrary-precision signed integers ----------------===//
+
+#include "c4b/support/BigInt.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace c4b;
+
+BigInt::BigInt(std::int64_t V) {
+  Neg = V < 0;
+  // Avoid UB on INT64_MIN by working in unsigned space.
+  std::uint64_t U =
+      Neg ? ~static_cast<std::uint64_t>(V) + 1 : static_cast<std::uint64_t>(V);
+  while (U) {
+    Mag.push_back(static_cast<std::uint32_t>(U & 0xffffffffu));
+    U >>= 32;
+  }
+}
+
+BigInt BigInt::fromString(const std::string &S) {
+  assert(!S.empty() && "empty numeral");
+  std::size_t I = 0;
+  bool Negative = false;
+  if (S[0] == '-' || S[0] == '+') {
+    Negative = S[0] == '-';
+    I = 1;
+  }
+  assert(I < S.size() && "sign with no digits");
+  BigInt R;
+  BigInt Ten(10);
+  for (; I < S.size(); ++I) {
+    assert(S[I] >= '0' && S[I] <= '9' && "non-digit in numeral");
+    R = R * Ten + BigInt(S[I] - '0');
+  }
+  if (Negative)
+    R = -R;
+  return R;
+}
+
+std::int64_t BigInt::toInt64(bool &Ok) const {
+  Ok = true;
+  if (Mag.size() > 2) {
+    Ok = false;
+    return 0;
+  }
+  std::uint64_t U = 0;
+  if (Mag.size() >= 1)
+    U = Mag[0];
+  if (Mag.size() == 2)
+    U |= static_cast<std::uint64_t>(Mag[1]) << 32;
+  if (!Neg && U > static_cast<std::uint64_t>(INT64_MAX)) {
+    Ok = false;
+    return 0;
+  }
+  if (Neg && U > static_cast<std::uint64_t>(INT64_MAX) + 1) {
+    Ok = false;
+    return 0;
+  }
+  return Neg ? -static_cast<std::int64_t>(U - 1) - 1
+             : static_cast<std::int64_t>(U);
+}
+
+void BigInt::normalize() {
+  while (!Mag.empty() && Mag.back() == 0)
+    Mag.pop_back();
+  if (Mag.empty())
+    Neg = false;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt R = *this;
+  if (!R.Mag.empty())
+    R.Neg = !R.Neg;
+  return R;
+}
+
+BigInt BigInt::abs() const {
+  BigInt R = *this;
+  R.Neg = false;
+  return R;
+}
+
+int BigInt::compareMag(const std::vector<std::uint32_t> &A,
+                       const std::vector<std::uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (std::size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+std::vector<std::uint32_t>
+BigInt::addMag(const std::vector<std::uint32_t> &A,
+               const std::vector<std::uint32_t> &B) {
+  const std::vector<std::uint32_t> &Long = A.size() >= B.size() ? A : B;
+  const std::vector<std::uint32_t> &Short = A.size() >= B.size() ? B : A;
+  std::vector<std::uint32_t> R(Long.size() + 1, 0);
+  std::uint64_t Carry = 0;
+  for (std::size_t I = 0; I < Long.size(); ++I) {
+    std::uint64_t Sum = Carry + Long[I] + (I < Short.size() ? Short[I] : 0);
+    R[I] = static_cast<std::uint32_t>(Sum);
+    Carry = Sum >> 32;
+  }
+  R[Long.size()] = static_cast<std::uint32_t>(Carry);
+  while (!R.empty() && R.back() == 0)
+    R.pop_back();
+  return R;
+}
+
+std::vector<std::uint32_t>
+BigInt::subMag(const std::vector<std::uint32_t> &A,
+               const std::vector<std::uint32_t> &B) {
+  assert(compareMag(A, B) >= 0 && "subMag requires |A| >= |B|");
+  std::vector<std::uint32_t> R(A.size(), 0);
+  std::int64_t Borrow = 0;
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    std::int64_t D = static_cast<std::int64_t>(A[I]) -
+                     (I < B.size() ? B[I] : 0) - Borrow;
+    Borrow = D < 0;
+    if (D < 0)
+      D += std::int64_t(1) << 32;
+    R[I] = static_cast<std::uint32_t>(D);
+  }
+  while (!R.empty() && R.back() == 0)
+    R.pop_back();
+  return R;
+}
+
+std::vector<std::uint32_t>
+BigInt::mulMag(const std::vector<std::uint32_t> &A,
+               const std::vector<std::uint32_t> &B) {
+  if (A.empty() || B.empty())
+    return {};
+  std::vector<std::uint32_t> R(A.size() + B.size(), 0);
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    std::uint64_t Carry = 0;
+    for (std::size_t J = 0; J < B.size(); ++J) {
+      std::uint64_t Cur = R[I + J] +
+                          static_cast<std::uint64_t>(A[I]) * B[J] + Carry;
+      R[I + J] = static_cast<std::uint32_t>(Cur);
+      Carry = Cur >> 32;
+    }
+    R[I + B.size()] += static_cast<std::uint32_t>(Carry);
+  }
+  while (!R.empty() && R.back() == 0)
+    R.pop_back();
+  return R;
+}
+
+namespace {
+
+/// Shifts a magnitude left by one bit in place.
+void shlBit(std::vector<std::uint32_t> &M) {
+  std::uint32_t Carry = 0;
+  for (std::uint32_t &Limb : M) {
+    std::uint32_t Next = Limb >> 31;
+    Limb = (Limb << 1) | Carry;
+    Carry = Next;
+  }
+  if (Carry)
+    M.push_back(Carry);
+}
+
+} // namespace
+
+void BigInt::divModMag(const std::vector<std::uint32_t> &A,
+                       const std::vector<std::uint32_t> &B,
+                       std::vector<std::uint32_t> &Quot,
+                       std::vector<std::uint32_t> &Rem) {
+  assert(!B.empty() && "division by zero");
+  Quot.assign(A.size(), 0);
+  Rem.clear();
+  // Binary long division, most significant bit first.  Operand sizes in this
+  // project stay small (simplex on modest tableaus), so O(bits * limbs) is
+  // plenty fast and easy to trust.
+  for (std::size_t I = A.size(); I-- > 0;) {
+    for (int Bit = 31; Bit >= 0; --Bit) {
+      shlBit(Rem);
+      if ((A[I] >> Bit) & 1) {
+        if (Rem.empty())
+          Rem.push_back(1);
+        else
+          Rem[0] |= 1;
+      }
+      if (compareMag(Rem, B) >= 0) {
+        Rem = subMag(Rem, B);
+        Quot[I] |= std::uint32_t(1) << Bit;
+      }
+    }
+  }
+  while (!Quot.empty() && Quot.back() == 0)
+    Quot.pop_back();
+}
+
+BigInt BigInt::operator+(const BigInt &B) const {
+  BigInt R;
+  if (Neg == B.Neg) {
+    R.Mag = addMag(Mag, B.Mag);
+    R.Neg = Neg;
+  } else if (compareMag(Mag, B.Mag) >= 0) {
+    R.Mag = subMag(Mag, B.Mag);
+    R.Neg = Neg;
+  } else {
+    R.Mag = subMag(B.Mag, Mag);
+    R.Neg = B.Neg;
+  }
+  R.normalize();
+  return R;
+}
+
+BigInt BigInt::operator-(const BigInt &B) const { return *this + (-B); }
+
+BigInt BigInt::operator*(const BigInt &B) const {
+  BigInt R;
+  R.Mag = mulMag(Mag, B.Mag);
+  R.Neg = Neg != B.Neg;
+  R.normalize();
+  return R;
+}
+
+BigInt BigInt::operator/(const BigInt &B) const {
+  std::vector<std::uint32_t> Q, Rm;
+  divModMag(Mag, B.Mag, Q, Rm);
+  BigInt R;
+  R.Mag = std::move(Q);
+  R.Neg = Neg != B.Neg;
+  R.normalize();
+  return R;
+}
+
+BigInt BigInt::operator%(const BigInt &B) const {
+  std::vector<std::uint32_t> Q, Rm;
+  divModMag(Mag, B.Mag, Q, Rm);
+  BigInt R;
+  R.Mag = std::move(Rm);
+  R.Neg = Neg;
+  R.normalize();
+  return R;
+}
+
+int BigInt::compare(const BigInt &B) const {
+  if (Neg != B.Neg)
+    return Neg ? -1 : 1;
+  int C = compareMag(Mag, B.Mag);
+  return Neg ? -C : C;
+}
+
+BigInt BigInt::gcd(BigInt A, BigInt B) {
+  A.Neg = false;
+  B.Neg = false;
+  while (!B.isZero()) {
+    BigInt R = A % B;
+    A = std::move(B);
+    B = std::move(R);
+  }
+  return A;
+}
+
+std::string BigInt::toString() const {
+  if (isZero())
+    return "0";
+  std::string Digits;
+  std::vector<std::uint32_t> Cur = Mag;
+  std::vector<std::uint32_t> Ten = {10};
+  while (!Cur.empty()) {
+    std::vector<std::uint32_t> Q, R;
+    divModMag(Cur, Ten, Q, R);
+    Digits.push_back(static_cast<char>('0' + (R.empty() ? 0 : R[0])));
+    Cur = std::move(Q);
+  }
+  if (Neg)
+    Digits.push_back('-');
+  return std::string(Digits.rbegin(), Digits.rend());
+}
+
+double BigInt::toDouble() const {
+  double R = 0;
+  for (std::size_t I = Mag.size(); I-- > 0;)
+    R = R * 4294967296.0 + Mag[I];
+  return Neg ? -R : R;
+}

@@ -1,0 +1,27 @@
+//===--- Diagnostics.cpp - Source locations and error reporting ----------===//
+
+#include "c4b/support/Diagnostics.h"
+
+using namespace c4b;
+
+std::string Diagnostic::toString() const {
+  const char *KindStr = Kind == DiagKind::Error     ? "error"
+                        : Kind == DiagKind::Warning ? "warning"
+                                                    : "note";
+  std::string R;
+  if (Loc.isValid())
+    R += Loc.toString() + ": ";
+  R += KindStr;
+  R += ": ";
+  R += Message;
+  return R;
+}
+
+std::string DiagnosticEngine::toString() const {
+  std::string R;
+  for (const Diagnostic &D : Diags) {
+    R += D.toString();
+    R += '\n';
+  }
+  return R;
+}

@@ -1,0 +1,188 @@
+//===--- Rational.cpp - Exact rational numbers -----------------------------===//
+
+#include "c4b/support/Rational.h"
+
+using namespace c4b;
+
+namespace {
+
+using I128 = __int128;
+using U128 = unsigned __int128;
+
+U128 absU128(I128 V) { return V < 0 ? U128(0) - U128(V) : U128(V); }
+
+U128 gcdU128(U128 A, U128 B) {
+  while (B) {
+    U128 R = A % B;
+    A = B;
+    B = R;
+  }
+  return A;
+}
+
+bool fitsI64(I128 V) { return V >= INT64_MIN && V <= INT64_MAX; }
+
+BigInt bigFromI128(I128 V) {
+  bool Neg = V < 0;
+  U128 U = absU128(V);
+  BigInt Lo(static_cast<std::int64_t>(U & 0xffffffffffffffffull));
+  BigInt Hi(static_cast<std::int64_t>(U >> 64));
+  BigInt Shift = BigInt::fromString("18446744073709551616"); // 2^64
+  BigInt R = Hi * Shift + Lo;
+  return Neg ? -R : R;
+}
+
+} // namespace
+
+Rational Rational::fromI128(I128 N, I128 D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  if (N == 0)
+    return Rational();
+  U128 G = gcdU128(absU128(N), U128(D));
+  N /= static_cast<I128>(G);
+  D /= static_cast<I128>(G);
+  if (fitsI64(N) && fitsI64(D)) {
+    Rational R;
+    R.SN = static_cast<std::int64_t>(N);
+    R.SD = static_cast<std::int64_t>(D);
+    return R;
+  }
+  return fromBig(bigFromI128(N), bigFromI128(D));
+}
+
+Rational Rational::fromBig(BigInt N, BigInt D) {
+  assert(!D.isZero() && "rational with zero denominator");
+  if (D.isNegative()) {
+    N = -N;
+    D = -D;
+  }
+  if (N.isZero())
+    return Rational();
+  BigInt G = BigInt::gcd(N, D);
+  if (!G.isOne()) {
+    N /= G;
+    D /= G;
+  }
+  bool OkN = false, OkD = false;
+  std::int64_t SN64 = N.toInt64(OkN);
+  std::int64_t SD64 = D.toInt64(OkD);
+  Rational R;
+  if (OkN && OkD) {
+    R.SN = SN64;
+    R.SD = SD64;
+    return R;
+  }
+  auto Rep = std::make_shared<BigRep>();
+  Rep->Num = std::move(N);
+  Rep->Den = std::move(D);
+  R.Big = std::move(Rep);
+  return R;
+}
+
+Rational::Rational(const BigInt &N) { *this = fromBig(N, BigInt(1)); }
+Rational::Rational(const BigInt &N, const BigInt &D) { *this = fromBig(N, D); }
+Rational::Rational(std::int64_t N, std::int64_t D) {
+  *this = fromI128(N, D);
+}
+
+BigInt Rational::bigNum() const { return Big ? Big->Num : BigInt(SN); }
+BigInt Rational::bigDen() const { return Big ? Big->Den : BigInt(SD); }
+
+BigInt Rational::numerator() const { return bigNum(); }
+BigInt Rational::denominator() const { return bigDen(); }
+
+bool Rational::isInteger() const {
+  return Big ? Big->Den.isOne() : SD == 1;
+}
+
+int Rational::sign() const {
+  if (Big)
+    return Big->Num.sign();
+  return SN < 0 ? -1 : SN > 0 ? 1 : 0;
+}
+
+Rational Rational::operator-() const {
+  if (!Big) {
+    Rational R;
+    if (SN == INT64_MIN)
+      return fromI128(-I128(SN), SD);
+    R.SN = -SN;
+    R.SD = SD;
+    return R;
+  }
+  return fromBig(-Big->Num, Big->Den);
+}
+
+Rational Rational::operator+(const Rational &B) const {
+  if (!Big && !B.Big)
+    return fromI128(I128(SN) * B.SD + I128(B.SN) * SD, I128(SD) * B.SD);
+  return fromBig(bigNum() * B.bigDen() + B.bigNum() * bigDen(),
+                 bigDen() * B.bigDen());
+}
+
+Rational Rational::operator-(const Rational &B) const {
+  if (!Big && !B.Big)
+    return fromI128(I128(SN) * B.SD - I128(B.SN) * SD, I128(SD) * B.SD);
+  return fromBig(bigNum() * B.bigDen() - B.bigNum() * bigDen(),
+                 bigDen() * B.bigDen());
+}
+
+Rational Rational::operator*(const Rational &B) const {
+  if (!Big && !B.Big)
+    return fromI128(I128(SN) * B.SN, I128(SD) * B.SD);
+  return fromBig(bigNum() * B.bigNum(), bigDen() * B.bigDen());
+}
+
+Rational Rational::operator/(const Rational &B) const {
+  assert(!B.isZero() && "rational division by zero");
+  if (!Big && !B.Big)
+    return fromI128(I128(SN) * B.SD, I128(SD) * B.SN);
+  return fromBig(bigNum() * B.bigDen(), bigDen() * B.bigNum());
+}
+
+int Rational::compare(const Rational &B) const {
+  if (!Big && !B.Big) {
+    I128 L = I128(SN) * B.SD;
+    I128 R = I128(B.SN) * SD;
+    return L < R ? -1 : L > R ? 1 : 0;
+  }
+  return (bigNum() * B.bigDen()).compare(B.bigNum() * bigDen());
+}
+
+Rational Rational::fromString(const std::string &S) {
+  std::size_t Slash = S.find('/');
+  if (Slash != std::string::npos)
+    return Rational(BigInt::fromString(S.substr(0, Slash)),
+                    BigInt::fromString(S.substr(Slash + 1)));
+  std::size_t Dot = S.find('.');
+  if (Dot == std::string::npos)
+    return Rational(BigInt::fromString(S));
+  std::string Frac = S.substr(Dot + 1);
+  BigInt Den(1);
+  for (std::size_t I = 0; I < Frac.size(); ++I)
+    Den *= BigInt(10);
+  BigInt Whole = BigInt::fromString(S.substr(0, Dot) + Frac);
+  return Rational(Whole, Den);
+}
+
+std::string Rational::toString() const {
+  if (!Big) {
+    std::string R = std::to_string(SN);
+    if (SD != 1)
+      R += "/" + std::to_string(SD);
+    return R;
+  }
+  if (Big->Den.isOne())
+    return Big->Num.toString();
+  return Big->Num.toString() + "/" + Big->Den.toString();
+}
+
+double Rational::toDouble() const {
+  if (!Big)
+    return static_cast<double>(SN) / static_cast<double>(SD);
+  return Big->Num.toDouble() / Big->Den.toDouble();
+}

@@ -1,0 +1,104 @@
+//===--- TestUtil.h - Shared helpers for the c4b test suite ------*- C++ -*-===//
+
+#ifndef C4B_TESTS_TESTUTIL_H
+#define C4B_TESTS_TESTUTIL_H
+
+#include "c4b/analysis/Analyzer.h"
+#include "c4b/ast/Parser.h"
+#include "c4b/sem/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c4b::test {
+
+inline IRProgram lowerOrDie(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = parseString(Src, D);
+  EXPECT_TRUE(P.has_value()) << D.toString();
+  if (!P)
+    return IRProgram{};
+  auto IR = lowerProgram(*P, D);
+  EXPECT_TRUE(IR.has_value()) << D.toString();
+  return IR ? std::move(*IR) : IRProgram{};
+}
+
+inline std::string boundOf(const std::string &Src, const std::string &Fn,
+                           const ResourceMetric &M = ResourceMetric::ticks(),
+                           const AnalysisOptions &O = {}) {
+  IRProgram IR = lowerOrDie(Src);
+  AnalysisResult R = analyzeProgram(IR, M, O, Fn);
+  if (!R.Success)
+    return "FAIL";
+  return R.Bounds.at(Fn).toString();
+}
+
+/// A tiny deterministic RNG for input sweeps.
+class TestRng {
+public:
+  explicit TestRng(std::uint64_t Seed) : S(Seed ? Seed : 1) {}
+  std::uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  std::int64_t inRange(std::int64_t Lo, std::int64_t Hi) {
+    return Lo + static_cast<std::int64_t>(next() %
+                                          static_cast<std::uint64_t>(Hi - Lo + 1));
+  }
+
+private:
+  std::uint64_t S;
+};
+
+/// Differentially tests soundness: for \p Trials random inputs, the bound
+/// evaluated on the inputs must dominate the interpreter's peak cost.
+/// Runs that fail an assert are skipped (the bound is conditional on the
+/// qualitative obligations); at least MinChecked runs must have finished.
+inline void checkSoundness(const std::string &Src, const std::string &Fn,
+                           const ResourceMetric &M, int Trials = 60,
+                           std::int64_t Lo = -50, std::int64_t Hi = 50,
+                           int MinChecked = 10) {
+  IRProgram IR = lowerOrDie(Src);
+  AnalysisResult R = analyzeProgram(IR, M, {}, Fn);
+  ASSERT_TRUE(R.Success) << "analysis failed: " << R.Error;
+  const Bound &B = R.Bounds.at(Fn);
+  const IRFunction *F = IR.findFunction(Fn);
+  ASSERT_NE(F, nullptr);
+
+  TestRng Rng(0xc4bc4b);
+  Interpreter I(IR, M);
+  int Checked = 0;
+  for (int T = 0; T < Trials; ++T) {
+    std::vector<std::int64_t> Args;
+    std::map<std::string, std::int64_t> Env;
+    for (const std::string &P : F->Params) {
+      std::int64_t V = Rng.inRange(Lo, Hi);
+      Args.push_back(V);
+      Env[P] = V;
+    }
+    for (const auto &[G, Init] : IR.Globals)
+      Env[G] = Init;
+    I.seed(Rng.next());
+    ExecResult E = I.run(Fn, Args);
+    if (E.Status == ExecStatus::AssertFailed ||
+        E.Status == ExecStatus::DivisionByZero)
+      continue; // Outside the qualitative precondition.
+    ASSERT_EQ(E.Status, ExecStatus::Finished)
+        << "trial " << T << " did not finish";
+    ++Checked;
+    Rational BV = B.evaluate(Env);
+    EXPECT_GE(BV, E.PeakCost)
+        << Fn << ": bound " << B.toString() << " = " << BV.toString()
+        << " < peak cost " << E.PeakCost.toString() << " on trial " << T;
+  }
+  EXPECT_GE(Checked, MinChecked) << "too few trials finished";
+}
+
+} // namespace c4b::test
+
+#endif // C4B_TESTS_TESTUTIL_H

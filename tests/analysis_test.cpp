@@ -1,0 +1,361 @@
+//===--- analysis_test.cpp - Amortized-analysis bound tests ----------------===//
+//
+// Checks the bounds the analysis derives for the paper's example programs;
+// the famous ones are asserted exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/corpus/Corpus.h"
+
+using namespace c4b;
+using c4b::test::boundOf;
+using c4b::test::lowerOrDie;
+
+namespace {
+
+std::string corpusBound(const char *Name,
+                        const ResourceMetric &M = ResourceMetric::ticks()) {
+  const CorpusEntry *E = findEntry(Name);
+  EXPECT_NE(E, nullptr) << Name;
+  if (!E)
+    return "";
+  return boundOf(E->Source, E->Function, M);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Section 2 examples (exact matches with the paper)
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, Example1) { EXPECT_EQ(corpusBound("example1"), "|[x, y]|"); }
+
+TEST(Analysis, Example2NetZero) { EXPECT_EQ(corpusBound("example2"), "0"); }
+
+TEST(Analysis, Example3) {
+  EXPECT_EQ(corpusBound("example3"), "10*|[x, y]|");
+}
+
+TEST(Analysis, Figure1ParametricLoop) {
+  // (T/K)*|[x,y]| with K=10, T=5; the paper: no other tool derives this.
+  EXPECT_EQ(corpusBound("fig1_k10_t5"), "1/2*|[x, y]|");
+}
+
+TEST(Analysis, Figure1GeneralizedSweep) {
+  // The bound tracks T/K exactly across parameter choices.
+  struct KT { int K, T; const char *Expect; };
+  const KT Cases[] = {
+      {1, 1, "|[x, y]|"},
+      {3, 1, "1/3*|[x, y]|"},
+      {10, 40, "4*|[x, y]|"},
+      {7, 3, "3/7*|[x, y]|"},
+  };
+  for (const KT &C : Cases) {
+    std::string Src = "void f(int x, int y) { while (x + " +
+                      std::to_string(C.K) + " <= y) { x = x + " +
+                      std::to_string(C.K) + "; tick(" + std::to_string(C.T) +
+                      "); } }";
+    EXPECT_EQ(boundOf(Src, "f"), C.Expect) << "K=" << C.K << " T=" << C.T;
+  }
+}
+
+TEST(Analysis, Figure5LpPipelineExample) {
+  // Section 5's derivation: 0.5|[0,x]|.
+  EXPECT_EQ(corpusBound("fig5_loop"), "1/2*|[0, x]|");
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 2: challenging loops
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, Speed1) {
+  EXPECT_EQ(corpusBound("speed_1"), "|[x, n]| + |[y, m]|");
+}
+
+TEST(Analysis, Speed2) {
+  EXPECT_EQ(corpusBound("speed_2"), "|[x, n]| + |[z, n]|");
+}
+
+TEST(Analysis, T08aSequencedLoops) {
+  // 3.1|[y,z]| + 0.1|[0,y]| exactly.
+  EXPECT_EQ(corpusBound("t08a"), "31/10*|[y, z]| + 1/10*|[0, y]|");
+}
+
+TEST(Analysis, T27InteractingNestedLoops) {
+  // 59|[n,0]| + 0.05|[0,y]| exactly.
+  EXPECT_EQ(corpusBound("t27"), "59*|[n, 0]| + 1/20*|[0, y]|");
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 3: recursion and compositionality
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, T39MutualRecursion) {
+  // Paper: 0.33 + 0.67|[y,x]|; we derive the same linear coefficient with
+  // a slightly larger constant (documented in EXPERIMENTS.md).
+  std::string B = corpusBound("t39");
+  EXPECT_NE(B, "FAIL");
+  EXPECT_NE(B.find("2/3*|[y, x]|"), std::string::npos) << B;
+}
+
+TEST(Analysis, T61BlockLeftoverSweep) {
+  // The N/8 slope of Figure 3's t61 for several block costs N.
+  for (int N : {1, 2, 8, 16}) {
+    std::string Src = "void f(int l) {\n"
+                      "  for (; l >= 8; l -= 8) tick(" + std::to_string(N) +
+                      ");\n"
+                      "  for (; l > 0; l--) tick(1);\n"
+                      "}";
+    std::string B = boundOf(Src, "f");
+    ASSERT_NE(B, "FAIL") << "N=" << N;
+    // Slope is max(N,8)/8 in lowest terms.
+    Rational SlopeQ = N <= 8 ? Rational(std::max(N, 1), 8) : Rational(N / 8);
+    std::string Slope = SlopeQ == Rational(1)
+                            ? "|[0, l]|"
+                            : SlopeQ.toString() + "*|[0, l]|";
+    EXPECT_NE(B.find(Slope), std::string::npos) << "N=" << N << ": " << B;
+  }
+}
+
+TEST(Analysis, T62QsortPartition) {
+  // Paper: 2 + 3|[l,h]|; same slope, one extra unit of constant.
+  std::string B = corpusBound("t62");
+  EXPECT_NE(B.find("3*|[l, h]|"), std::string::npos) << B;
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 8 comparison set
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, T09AmortizedEvery4) {
+  EXPECT_EQ(corpusBound("t09"), "11*|[0, x]|");
+}
+
+TEST(Analysis, T19SequencedWithTransfer) {
+  // The paper anchors at |[-1,i]|; our objective picks |[100,i]| with a
+  // compensating constant.  Both are sound; check shape and that the i and
+  // k dependencies are present.
+  std::string B = corpusBound("t19");
+  EXPECT_NE(B, "FAIL");
+  EXPECT_NE(B.find("|[0, k]|"), std::string::npos) << B;
+  EXPECT_NE(B.find(", i]|"), std::string::npos) << B;
+}
+
+TEST(Analysis, T30SwapLoop) {
+  EXPECT_EQ(corpusBound("t30"), "|[0, x]| + |[0, y]|");
+}
+
+TEST(Analysis, T15AssertGuided) {
+  EXPECT_EQ(corpusBound("t15"), "|[0, x]|");
+}
+
+TEST(Analysis, T13NestedAmortized) {
+  EXPECT_EQ(corpusBound("t13"), "2*|[0, x]| + |[0, y]|");
+}
+
+//===----------------------------------------------------------------------===//
+// Table 3 highlights
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, T08CrossLoopSizeChange) {
+  // Figure 9's program: 1.33|[x,y]| + 0.33|[0,x]| exactly.
+  EXPECT_EQ(corpusBound("t08"), "4/3*|[x, y]| + 1/3*|[0, x]|");
+}
+
+TEST(Analysis, T16ExpensiveInnerLoop) {
+  EXPECT_EQ(corpusBound("t16"), "101*|[0, x]|");
+}
+
+TEST(Analysis, T28LargeConstants) {
+  std::string B = corpusBound("t28");
+  EXPECT_NE(B.find("1002*|[y, x]|"), std::string::npos) << B;
+}
+
+TEST(Analysis, T47DoWhile) {
+  EXPECT_EQ(corpusBound("t47"), "1 + |[0, n]|");
+}
+
+TEST(Analysis, GcdBySubtraction) {
+  // Tighter than the paper's |[0,x]| + |[0,y]| on the y side.
+  EXPECT_EQ(corpusBound("gcd"), "|[0, x]| + |[1, y]|");
+}
+
+TEST(Analysis, KmpAmortized) {
+  EXPECT_EQ(corpusBound("kmp"), "2*|[0, n]|");
+}
+
+TEST(Analysis, TheOneExpectedFailure) {
+  // fig4_5's cost depends on a non-linear (modulo) result; the paper
+  // reports this as the only pattern C4B cannot bound.
+  EXPECT_EQ(corpusBound("speed_pldi09_fig4_5"), "FAIL");
+}
+
+TEST(Analysis, ConstantStridePartialGains) {
+  // `i += 2` under `i < n` still yields a linear bound even though the
+  // last stride may overshoot.
+  EXPECT_EQ(corpusBound("speed_pldi09_fig4_4"), "|[0, n]|");
+  EXPECT_EQ(corpusBound("speed_pldi10_ex3"), "|[0, n]|");
+}
+
+//===----------------------------------------------------------------------===//
+// Section 6: logical state
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, Fig6BinaryCounter) {
+  // Paper: 2|[0,k]| + |[0,na]| (ours adds a constant 2).
+  std::string B = corpusBound("fig6_binary_counter");
+  EXPECT_NE(B.find("2*|[0, k]|"), std::string::npos) << B;
+  EXPECT_NE(B.find("|[0, na]|"), std::string::npos) << B;
+}
+
+TEST(Analysis, Fig7BsearchLogViaLogicalState) {
+  EXPECT_EQ(corpusBound("fig7_bsearch"), "|[0, lg]|");
+}
+
+TEST(Analysis, UvDecodeLogViaLogicalState) {
+  EXPECT_EQ(corpusBound("uv_decode"), "|[0, lg]|");
+}
+
+TEST(Analysis, YccRgbConvertViaLogicalState) {
+  EXPECT_EQ(corpusBound("ycc_rgb_convert"), "|[0, work]|");
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-corpus smoke: everything except the designed failure analyzes
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, WholeCorpusAnalyzes) {
+  for (const CorpusEntry &E : corpus()) {
+    std::string B = corpusBound(E.Name);
+    if (std::string(E.Name) == "speed_pldi09_fig4_5") {
+      EXPECT_EQ(B, "FAIL");
+      continue;
+    }
+    EXPECT_NE(B, "FAIL") << E.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics other than ticks
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, BackEdgeMetric) {
+  // Loop iterations + calls, as in the Section 8 tool comparison.
+  std::string B = boundOf("void g() { tick(5); }\n"
+                          "void f(int n) { while (n > 0) { n--; g(); } }",
+                          "f", ResourceMetric::backEdges());
+  EXPECT_EQ(B, "2*|[0, n]|"); // One back edge + one call per iteration.
+}
+
+TEST(Analysis, StackDepthMetricOnRecursion) {
+  std::string B = boundOf("void f(int n) { if (n > 0) f(n - 1); }", "f",
+                          ResourceMetric::stackDepth());
+  EXPECT_EQ(B, "|[0, n]|");
+}
+
+TEST(Analysis, StepsMetricStraightLine) {
+  std::string B = boundOf("void f(int x) { x = x + 1; x = x + 2; }", "f",
+                          ResourceMetric::steps());
+  EXPECT_EQ(B, "4"); // Two assignments, Mu + Me each.
+}
+
+//===----------------------------------------------------------------------===//
+// Function abstraction (the compositionality claims of Section 4)
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, FunctionSpecializationPerCallSite) {
+  // The same helper is used with different arguments; polymorphic call
+  // handling specializes the constraint copies.
+  std::string Src = "void burn(int a, int b) {\n"
+                    "  while (a < b) { a++; tick(1); }\n"
+                    "}\n"
+                    "void f(int x, int y, int z) {\n"
+                    "  burn(x, y);\n"
+                    "  burn(y, z);\n"
+                    "}\n";
+  EXPECT_EQ(boundOf(Src, "f"), "|[x, y]| + |[y, z]|");
+}
+
+TEST(Analysis, SpecPostconditionsRelateRetToConstantsOnly) {
+  // Function postconditions carry potential over the return value and
+  // constants only (Section 4's Q'f "depends on ret"), so a caller cannot
+  // receive potential on an interval between the result and one of its own
+  // arguments.  This loop therefore cannot be bounded -- by us or by the
+  // paper's system.
+  std::string Src = "int half_way(int a, int b) {\n"
+                    "  while (a + 2 <= b) { a = a + 2; tick(1); }\n"
+                    "  return a;\n"
+                    "}\n"
+                    "void f(int x, int y) {\n"
+                    "  int m;\n"
+                    "  m = half_way(x, y);\n"
+                    "  while (m < y) { m++; tick(1); }\n"
+                    "}\n";
+  EXPECT_EQ(boundOf(Src, "f"), "FAIL");
+
+  // With the second loop anchored at a constant instead, the potential
+  // flows through |[0, ret]| and the program is bounded.
+  std::string Src2 = "int count_down(int a) {\n"
+                     "  while (a > 0 && *) { a--; tick(1); }\n"
+                     "  return a;\n"
+                     "}\n"
+                     "void f(int x) {\n"
+                     "  int m;\n"
+                     "  m = count_down(x);\n"
+                     "  while (m > 0) { m--; tick(1); }\n"
+                     "}\n";
+  EXPECT_EQ(boundOf(Src2, "f"), "|[0, x]|");
+}
+
+TEST(Analysis, ResourceReleaseAcrossCalls) {
+  // Freeing (negative tick) inside a callee pays for later work.
+  std::string Src = "void acquire(int n) {\n"
+                    "  while (n > 0) { n--; tick(1); }\n"
+                    "}\n"
+                    "void release(int n) {\n"
+                    "  while (n > 0) { n--; tick(-1); }\n"
+                    "}\n"
+                    "void f(int n) {\n"
+                    "  assert(n >= 0);\n"
+                    "  acquire(n);\n"
+                    "  release(n);\n"
+                    "  acquire(n);\n"
+                    "}\n";
+  std::string B = boundOf(Src, "f");
+  EXPECT_NE(B, "FAIL") << B;
+}
+
+//===----------------------------------------------------------------------===//
+// Options
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, MonomorphicCallsStillSound) {
+  AnalysisOptions O;
+  O.PolymorphicCalls = false;
+  std::string Src = "void burn(int a, int b) {\n"
+                    "  while (a < b) { a++; tick(1); }\n"
+                    "}\n"
+                    "void f(int x, int y) { burn(x, y); burn(x, y); }\n";
+  std::string B = boundOf(Src, "f", ResourceMetric::ticks(), O);
+  EXPECT_EQ(B, "2*|[x, y]|");
+}
+
+TEST(Analysis, MinimalWeakeningLosesSomePrecision) {
+  AnalysisOptions Min;
+  Min.Weaken = WeakenPlacement::Minimal;
+  // t61-style leftover handling needs branch-entry transfers; Minimal
+  // placement may fail or be looser but must never be unsound.
+  const CorpusEntry *E = findEntry("example1");
+  std::string B = boundOf(E->Source, E->Function, ResourceMetric::ticks(), Min);
+  EXPECT_EQ(B, "|[x, y]|"); // Example 1 survives even Minimal.
+}
+
+TEST(Analysis, SingleStageObjectiveStillSound) {
+  AnalysisOptions O;
+  O.TwoStageObjective = false;
+  const CorpusEntry *E = findEntry("t08a");
+  std::string B = boundOf(E->Source, E->Function, ResourceMetric::ticks(), O);
+  EXPECT_NE(B, "FAIL");
+}

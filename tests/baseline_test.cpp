@@ -1,0 +1,139 @@
+//===--- baseline_test.cpp - Classical ranking baseline tests --------------===//
+//
+// The baseline must behave like the classical tools of the comparison: it
+// succeeds with ranking functions on regular counting loops, composes
+// nested loops multiplicatively (quadratic where C4B is linear), and fails
+// on amortized / swap / recursion patterns.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/baseline/Ranking.h"
+#include "c4b/corpus/Corpus.h"
+
+using namespace c4b;
+using namespace c4b::test;
+
+namespace {
+
+RankingResult rank(const char *Name,
+                   const ResourceMetric &M = ResourceMetric::ticks()) {
+  const CorpusEntry *E = findEntry(Name);
+  EXPECT_NE(E, nullptr) << Name;
+  IRProgram IR = lowerOrDie(E->Source);
+  return analyzeRanking(IR, E->Function, M);
+}
+
+} // namespace
+
+TEST(Baseline, SimpleCountingLoop) {
+  RankingResult R = rank("speed_popl10_simple_single");
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  EXPECT_EQ(R.Degree, 1);
+}
+
+TEST(Baseline, ParametricStride) {
+  RankingResult R = rank("fig1_k10_t5");
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  EXPECT_EQ(R.Degree, 1);
+  EXPECT_NE(R.Expr.find("/10"), std::string::npos) << R.Expr;
+}
+
+TEST(Baseline, CompositeRankingForTwoCounters) {
+  // (n-x) + (m-y) decreases even though neither does alone.
+  RankingResult R = rank("speed_popl10_fig2_1");
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  EXPECT_EQ(R.Degree, 1);
+}
+
+TEST(Baseline, WorseConstantsOnAmortizedT09) {
+  // Classical: every iteration charged the worst case 41; C4B gets 11.
+  RankingResult R = rank("t09");
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  EXPECT_NE(R.Expr.find("40 + 1"), std::string::npos) << R.Expr;
+}
+
+TEST(Baseline, QuadraticWhereC4BIsLinear) {
+  // fig6's counter: multiplicative composition gives degree 2 (k * N),
+  // whereas the amortized analysis proves 2k + na.
+  RankingResult R = rank("fig6_binary_counter");
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  EXPECT_EQ(R.Degree, 2);
+}
+
+TEST(Baseline, FailsOnSwapLoop) {
+  // t30 swaps x and y through a temp: no linear ranking survives the Set.
+  RankingResult R = rank("t30");
+  EXPECT_FALSE(R.Found);
+}
+
+TEST(Baseline, FailsOnAmortizedSequencedLoops) {
+  // t08a's second loop depends on the first loop's output value.
+  RankingResult R = rank("t08a");
+  EXPECT_FALSE(R.Found);
+  EXPECT_NE(R.FailureReason.find("intermediate"), std::string::npos)
+      << R.FailureReason;
+}
+
+TEST(Baseline, FailsOnRecursion) {
+  RankingResult R = rank("t39");
+  EXPECT_FALSE(R.Found);
+  EXPECT_NE(R.FailureReason.find("recursion"), std::string::npos);
+}
+
+TEST(Baseline, FailsOnUnguardedOuterLoop) {
+  RankingResult R = rank("t62");
+  EXPECT_FALSE(R.Found);
+}
+
+TEST(Baseline, FailsOnKmp) {
+  // The j-decrements are only amortizable; no per-loop ranking works.
+  RankingResult R = rank("kmp");
+  EXPECT_FALSE(R.Found);
+}
+
+TEST(Baseline, InlinesCalleesWithoutAbstraction) {
+  IRProgram IR = lowerOrDie("void g(int a) { while (a > 0) { a--; tick(1); } }\n"
+                            "void f(int n) { g(n); g(n); }\n");
+  RankingResult R = analyzeRanking(IR, "f", ResourceMetric::ticks());
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  EXPECT_EQ(R.Degree, 1);
+}
+
+TEST(Baseline, NegativeTicksClampedToZero) {
+  // Classical tools cannot model resource release.
+  IRProgram IR = lowerOrDie(
+      "void f(int n) { while (n > 0) { n--; tick(-1); tick(1); } }");
+  RankingResult R = analyzeRanking(IR, "f", ResourceMetric::ticks());
+  ASSERT_TRUE(R.Found);
+  // Charged 1 per iteration even though the net cost is 0.
+  EXPECT_NE(R.Expr.find("* (1)"), std::string::npos) << R.Expr;
+}
+
+TEST(Baseline, SequencedLoopsAddWhenIndependent) {
+  RankingResult R = rank("speed_popl10_simple_multiple");
+  ASSERT_TRUE(R.Found) << R.FailureReason;
+  EXPECT_EQ(R.Degree, 1);
+  EXPECT_NE(R.Expr.find("+"), std::string::npos);
+}
+
+TEST(Baseline, ComparisonCountsMatchPaperDirection) {
+  // On the full suite the amortized analysis must strictly dominate the
+  // baseline: every baseline success is also a C4B success, and C4B
+  // succeeds on strictly more programs (Table 1's story).
+  int BaselineFound = 0, C4BFound = 0;
+  for (const CorpusEntry &E : corpus()) {
+    IRProgram IR = lowerOrDie(E.Source);
+    AnalysisResult A =
+        analyzeProgram(IR, ResourceMetric::ticks(), {}, E.Function);
+    RankingResult B = analyzeRanking(IR, E.Function, ResourceMetric::ticks());
+    C4BFound += A.Success;
+    BaselineFound += B.Found;
+    if (B.Found && B.Degree <= 1) {
+      EXPECT_TRUE(A.Success)
+          << E.Name << ": baseline linear but amortized analysis failed";
+    }
+  }
+  EXPECT_GT(C4BFound, BaselineFound);
+}

@@ -1,0 +1,150 @@
+//===--- cert_test.cpp - Certificate generation and checking ---------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/cert/Certificate.h"
+#include "c4b/corpus/Corpus.h"
+
+using namespace c4b;
+using namespace c4b::test;
+
+namespace {
+
+Certificate certify(const IRProgram &IR, const std::string &Fn,
+                    const ResourceMetric &M = ResourceMetric::ticks(),
+                    const AnalysisOptions &O = {}) {
+  AnalysisResult R = analyzeProgram(IR, M, O, Fn);
+  EXPECT_TRUE(R.Success) << R.Error;
+  return Certificate::fromResult(R, M, O);
+}
+
+} // namespace
+
+TEST(Certificate, Example1Validates) {
+  IRProgram IR = lowerOrDie(findEntry("example1")->Source);
+  Certificate C = certify(IR, "f");
+  CheckReport Rep = checkCertificate(IR, C);
+  EXPECT_TRUE(Rep.Valid) << (Rep.Violations.empty() ? ""
+                                                    : Rep.Violations[0]);
+  EXPECT_GT(Rep.ConstraintsChecked, 10);
+}
+
+TEST(Certificate, WholeCorpusValidates) {
+  // Every successfully analyzed corpus program yields a valid certificate:
+  // the checker replays all rule instances and finds every one satisfied.
+  for (const CorpusEntry &E : corpus()) {
+    if (std::string(E.Name) == "speed_pldi09_fig4_5")
+      continue;
+    IRProgram IR = lowerOrDie(E.Source);
+    AnalysisResult R =
+        analyzeProgram(IR, ResourceMetric::ticks(), {}, E.Function);
+    ASSERT_TRUE(R.Success) << E.Name << ": " << R.Error;
+    Certificate C =
+        Certificate::fromResult(R, ResourceMetric::ticks(), AnalysisOptions{});
+    CheckReport Rep = checkCertificate(IR, C);
+    EXPECT_TRUE(Rep.Valid)
+        << E.Name << ": "
+        << (Rep.Violations.empty() ? "?" : Rep.Violations[0]);
+  }
+}
+
+TEST(Certificate, TamperedCoefficientIsRejected) {
+  IRProgram IR = lowerOrDie(findEntry("t08a")->Source);
+  Certificate C = certify(IR, "f");
+  // Lower a nonzero coefficient: some payment must now be uncovered.
+  bool Tampered = false;
+  for (Rational &V : C.Values)
+    if (V.sign() > 0) {
+      V = V - Rational(1, 2);
+      if (V.sign() < 0)
+        V = Rational(0);
+      Tampered = true;
+      break;
+    }
+  ASSERT_TRUE(Tampered);
+  CheckReport Rep = checkCertificate(IR, C);
+  EXPECT_FALSE(Rep.Valid);
+}
+
+TEST(Certificate, TamperedBoundClaimIsRejected) {
+  IRProgram IR = lowerOrDie(findEntry("example1")->Source);
+  Certificate C = certify(IR, "f");
+  // Claim a smaller bound than the certified potential.
+  ASSERT_FALSE(C.Bounds.at("f").Terms.empty());
+  C.Bounds.at("f").Terms[0].Coef = Rational(1, 2);
+  CheckReport Rep = checkCertificate(IR, C);
+  EXPECT_FALSE(Rep.Valid);
+}
+
+TEST(Certificate, NegativeValueIsRejected) {
+  IRProgram IR = lowerOrDie(findEntry("example1")->Source);
+  Certificate C = certify(IR, "f");
+  ASSERT_FALSE(C.Values.empty());
+  C.Values[0] = Rational(-1);
+  CheckReport Rep = checkCertificate(IR, C);
+  EXPECT_FALSE(Rep.Valid);
+}
+
+TEST(Certificate, WrongSizeIsRejected) {
+  IRProgram IR = lowerOrDie(findEntry("example1")->Source);
+  Certificate C = certify(IR, "f");
+  C.Values.pop_back();
+  CheckReport Rep = checkCertificate(IR, C);
+  EXPECT_FALSE(Rep.Valid);
+}
+
+TEST(Certificate, SerializationRoundTrips) {
+  IRProgram IR = lowerOrDie(findEntry("t39")->Source);
+  Certificate C = certify(IR, "c_down");
+  std::string Text = C.serialize();
+  auto Parsed = Certificate::deserialize(Text);
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->MetricName, C.MetricName);
+  EXPECT_EQ(Parsed->Values.size(), C.Values.size());
+  for (std::size_t I = 0; I < C.Values.size(); ++I)
+    EXPECT_EQ(Parsed->Values[I], C.Values[I]);
+  CheckReport Rep = checkCertificate(IR, *Parsed);
+  EXPECT_TRUE(Rep.Valid) << (Rep.Violations.empty() ? ""
+                                                    : Rep.Violations[0]);
+  // And the round-trip of the round-trip is identical text.
+  EXPECT_EQ(Parsed->serialize(), Text);
+}
+
+TEST(Certificate, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Certificate::deserialize("").has_value());
+  EXPECT_FALSE(Certificate::deserialize("nonsense").has_value());
+  EXPECT_FALSE(
+      Certificate::deserialize("c4b-certificate v1\nmetric ticks\n")
+          .has_value());
+}
+
+TEST(Certificate, UnknownMetricIsRejected) {
+  IRProgram IR = lowerOrDie(findEntry("example1")->Source);
+  Certificate C = certify(IR, "f");
+  C.MetricName = "quantum-flux";
+  CheckReport Rep = checkCertificate(IR, C);
+  EXPECT_FALSE(Rep.Valid);
+}
+
+TEST(Certificate, MetricsByName) {
+  EXPECT_TRUE(metricByName("ticks").has_value());
+  EXPECT_TRUE(metricByName("backedges").has_value());
+  EXPECT_TRUE(metricByName("steps").has_value());
+  EXPECT_TRUE(metricByName("stackdepth").has_value());
+  EXPECT_FALSE(metricByName("").has_value());
+}
+
+TEST(Certificate, OptionsAffectReplay) {
+  // A certificate produced under one weakening placement must be checked
+  // under the same placement (it is part of the certificate).
+  IRProgram IR = lowerOrDie(findEntry("t13")->Source);
+  AnalysisOptions Min;
+  Min.Weaken = WeakenPlacement::Minimal;
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), Min, "f");
+  if (!R.Success)
+    GTEST_SKIP() << "minimal placement cannot bound t13";
+  Certificate C = Certificate::fromResult(R, ResourceMetric::ticks(), Min);
+  EXPECT_TRUE(checkCertificate(IR, C).Valid);
+  C.Options.Weaken = WeakenPlacement::Normal;
+  EXPECT_FALSE(checkCertificate(IR, C).Valid); // Replay diverges.
+}

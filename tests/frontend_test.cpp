@@ -1,0 +1,307 @@
+//===--- frontend_test.cpp - Lexer/parser/lowering unit tests -------------===//
+
+#include "c4b/ast/Parser.h"
+#include "c4b/ir/IR.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4b;
+
+namespace {
+
+Program parseOk(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = parseString(Src, D);
+  EXPECT_TRUE(P.has_value()) << D.toString();
+  return P ? std::move(*P) : Program{};
+}
+
+IRProgram lowerOk(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = parseString(Src, D);
+  EXPECT_TRUE(P.has_value()) << D.toString();
+  auto IR = lowerProgram(*P, D);
+  EXPECT_TRUE(IR.has_value()) << D.toString();
+  return IR ? std::move(*IR) : IRProgram{};
+}
+
+bool parseFails(const std::string &Src) {
+  DiagnosticEngine D;
+  return !parseString(Src, D).has_value();
+}
+
+bool lowerFails(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = parseString(Src, D);
+  if (!P)
+    return true;
+  return !lowerProgram(*P, D).has_value();
+}
+
+/// Counts IR statements of a kind in a tree.
+int countKind(const IRStmt &S, IRStmtKind K) {
+  int N = S.Kind == K ? 1 : 0;
+  for (const auto &C : S.Children)
+    N += countKind(*C, K);
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer / parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, Example1FromPaper) {
+  Program P = parseOk("void f(int x, int y) {\n"
+                      "  while (x<y) { x=x+1; tick(1); }\n"
+                      "}\n");
+  ASSERT_EQ(P.Functions.size(), 1u);
+  EXPECT_EQ(P.Functions[0].Name, "f");
+  EXPECT_EQ(P.Functions[0].Params.size(), 2u);
+  EXPECT_FALSE(P.Functions[0].ReturnsValue);
+}
+
+TEST(Parser, CommaSequences) {
+  // t30 from the paper: t=x, x=y, y=t;
+  Program P = parseOk("void f(int x, int y) {\n"
+                      "  int t;\n"
+                      "  while (x>0) { x--; t=x, x=y, y=t; tick(1); }\n"
+                      "}\n");
+  ASSERT_EQ(P.Functions.size(), 1u);
+}
+
+TEST(Parser, NondetCondition) {
+  Program P = parseOk("void f(int x) { if (*) x++; else x--; }");
+  const Stmt &Body = *P.Functions[0].Body;
+  ASSERT_EQ(Body.Body.size(), 1u);
+  EXPECT_EQ(Body.Body[0]->Cond->Kind, ExprKind::Nondet);
+}
+
+TEST(Parser, NondetInsideConjunction) {
+  parseOk("void f(int y) { while (y>=100 && *) { y -= 100; tick(5); } }");
+}
+
+TEST(Parser, StarIsMultiplicationInExpressions) {
+  Program P = parseOk("void f(int x, int y, int z) { z = x * y; }");
+  const Stmt &S = *P.Functions[0].Body->Body[0];
+  EXPECT_EQ(S.Kind, StmtKind::Assign);
+  EXPECT_EQ(S.Value->Kind, ExprKind::Binary);
+  EXPECT_EQ(S.Value->Bin, BinOp::Mul);
+}
+
+TEST(Parser, ForLoops) {
+  parseOk("void f(int l) {\n"
+          "  for (; l>=8; l-=8) tick(2);\n"
+          "  for (; l>0; l--) tick(1);\n"
+          "}\n");
+  parseOk("void g(int i, int n) { for (i=0; i<n; i++) tick(1); }");
+  parseOk("void h(int x) { for (;;) { if (x<0) break; x--; } }");
+}
+
+TEST(Parser, DoWhile) {
+  parseOk("void f(int l, int h) {\n"
+          "  do { l++; tick(1); } while (l<h && *);\n"
+          "}\n");
+}
+
+TEST(Parser, ArraysAndAsserts) {
+  parseOk("int a[100];\n"
+          "void f(int x, int na) {\n"
+          "  assert(na > 0);\n"
+          "  a[x] = 0; na--;\n"
+          "  if (a[x] == 1) na++;\n"
+          "}\n");
+}
+
+TEST(Parser, CallsAndReturns) {
+  Program P = parseOk("int id(int x) { return x; }\n"
+                      "int f(int y) { int r; r = id(y); return r + 1; }\n"
+                      "void g(int y) { id(y); }\n");
+  EXPECT_EQ(P.Functions.size(), 3u);
+  EXPECT_NE(P.findFunction("id"), nullptr);
+  EXPECT_EQ(P.findFunction("nope"), nullptr);
+}
+
+TEST(Parser, GlobalDeclarations) {
+  Program P = parseOk("int g;\nint h = 5;\nint big = -3;\nint arr[16];\n"
+                      "void f() { g = h; }\n");
+  ASSERT_EQ(P.Globals.size(), 4u);
+  EXPECT_EQ(P.Globals[1].InitValue, 5);
+  EXPECT_EQ(P.Globals[2].InitValue, -3);
+  EXPECT_EQ(P.Globals[3].ArraySize, 16);
+}
+
+TEST(Parser, NegativeTick) {
+  parseOk("void f(int x, int y) {\n"
+          "  while (x<y) { tick(-1); x=x+1; tick(1); }\n"
+          "}\n");
+}
+
+TEST(Parser, Errors) {
+  EXPECT_TRUE(parseFails("void f( { }"));
+  EXPECT_TRUE(parseFails("void f() { x = ; }"));
+  EXPECT_TRUE(parseFails("void f() { tick(x); }"));
+  EXPECT_TRUE(parseFails("void f() { if x { } }"));
+  EXPECT_TRUE(parseFails("int 3x;"));
+}
+
+TEST(Parser, PrintRoundTrip) {
+  std::string Src = "int f(int x, int y) {\n"
+                    "  while (x < y) { x = x + 1; tick(1); }\n"
+                    "  return x;\n"
+                    "}\n";
+  Program P1 = parseOk(Src);
+  std::string Printed = printProgram(P1);
+  Program P2 = parseOk(Printed);
+  // Printing the reparse of the print is a fixpoint.
+  EXPECT_EQ(printProgram(P2), Printed);
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+TEST(Lowering, WhileBecomesLoopWithBreak) {
+  IRProgram P = lowerOk("void f(int x, int y) {\n"
+                        "  while (x<y) { x=x+1; tick(1); }\n"
+                        "}\n");
+  const IRFunction &F = P.Functions[0];
+  EXPECT_EQ(countKind(*F.Body, IRStmtKind::Loop), 1);
+  EXPECT_EQ(countKind(*F.Body, IRStmtKind::Break), 1);
+  EXPECT_EQ(countKind(*F.Body, IRStmtKind::If), 1);
+}
+
+TEST(Lowering, IncrementIsInPlace) {
+  IRProgram P = lowerOk("void f(int x, int y) { x = x + y; x = x - 3; }");
+  const IRFunction &F = P.Functions[0];
+  ASSERT_EQ(F.Body->Children.size(), 2u);
+  const IRStmt &A = *F.Body->Children[0];
+  EXPECT_EQ(A.Kind, IRStmtKind::Assign);
+  EXPECT_EQ(A.Asg, AssignKind::Inc);
+  EXPECT_EQ(A.Operand.Name, "y");
+  const IRStmt &B = *F.Body->Children[1];
+  EXPECT_EQ(B.Asg, AssignKind::Dec);
+  EXPECT_TRUE(B.Operand.isConst());
+  EXPECT_EQ(B.Operand.Value, 3);
+}
+
+TEST(Lowering, CompoundAssignSplits) {
+  // x -= y+1 becomes x <- x - y; x <- x - 1 (paper Section 8, t15).
+  IRProgram P = lowerOk("void f(int x, int y) { x -= y + 1; }");
+  const IRFunction &F = P.Functions[0];
+  ASSERT_EQ(F.Body->Children.size(), 2u);
+  EXPECT_EQ(F.Body->Children[0]->Asg, AssignKind::Dec);
+  EXPECT_EQ(F.Body->Children[0]->Operand.Name, "y");
+  EXPECT_EQ(F.Body->Children[1]->Asg, AssignKind::Dec);
+  EXPECT_EQ(F.Body->Children[1]->Operand.Value, 1);
+  // Exactly one of the two carries the assignment cost.
+  int CostBearing = 0;
+  for (const auto &C : F.Body->Children)
+    if (!C->CostFree)
+      ++CostBearing;
+  EXPECT_EQ(CostBearing, 1);
+}
+
+TEST(Lowering, NonLinearBecomesKill) {
+  IRProgram P = lowerOk("void f(int x, int y, int z) { x = y * z; }");
+  const IRStmt &A = *P.Functions[0].Body->Children[0];
+  EXPECT_EQ(A.Asg, AssignKind::Kill);
+  EXPECT_NE(A.KillValue, nullptr);
+}
+
+TEST(Lowering, ArrayReadBecomesKill) {
+  IRProgram P = lowerOk("int a[8];\nvoid f(int x) { x = a[0]; }");
+  const IRStmt &A = *P.Functions[0].Body->Children[0];
+  EXPECT_EQ(A.Asg, AssignKind::Kill);
+}
+
+TEST(Lowering, ConjunctionDuplicatesBranches) {
+  IRProgram P = lowerOk("void f(int x, int n) {\n"
+                        "  while (x < n && *) { x++; tick(1); }\n"
+                        "}\n");
+  // while cond with && lowers to two nested ifs, each with a break path.
+  const IRFunction &F = P.Functions[0];
+  EXPECT_EQ(countKind(*F.Body, IRStmtKind::If), 2);
+  EXPECT_EQ(countKind(*F.Body, IRStmtKind::Break), 2);
+}
+
+TEST(Lowering, CallArgumentsBecomeAtoms) {
+  IRProgram P = lowerOk("void g(int a, int b) { tick(1); }\n"
+                        "void f(int x, int y) { g(x-1, y+2); }\n");
+  const IRFunction &F = P.Functions[1];
+  int Calls = countKind(*F.Body, IRStmtKind::Call);
+  EXPECT_EQ(Calls, 1);
+  // The x-1 argument must have been materialized through a temp.
+  bool SawTemp = false;
+  for (const std::string &L : F.Locals)
+    SawTemp |= L.rfind("$t", 0) == 0;
+  EXPECT_TRUE(SawTemp);
+}
+
+TEST(Lowering, LinearConditionForms) {
+  IRProgram P = lowerOk("void f(int x, int y) { if (x + 3 <= y) tick(1); }");
+  const IRStmt *If = P.Functions[0].Body->Children[0].get();
+  ASSERT_EQ(If->Kind, IRStmtKind::If);
+  ASSERT_TRUE(If->Cond.Lin.has_value());
+  EXPECT_EQ(If->Cond.Lin->O, LinCmp::Op::Le0);
+  // x - y + 3 <= 0.
+  EXPECT_EQ(If->Cond.Lin->E.Const, 3);
+  EXPECT_EQ(If->Cond.Lin->E.Coeffs.at("x"), 1);
+  EXPECT_EQ(If->Cond.Lin->E.Coeffs.at("y"), -1);
+}
+
+TEST(Lowering, Errors) {
+  EXPECT_TRUE(lowerFails("void f() { x = 1; }"));          // undeclared
+  EXPECT_TRUE(lowerFails("void f() { break; }"));          // break w/o loop
+  EXPECT_TRUE(lowerFails("void f() { g(); }"));            // unknown callee
+  EXPECT_TRUE(lowerFails("void g(int x) {}\nvoid f() { g(); }")); // arity
+  EXPECT_TRUE(lowerFails("void f(int x) { int x; }"));     // redeclaration
+  EXPECT_TRUE(lowerFails("void g() {}\nvoid f() { int r; r = g(); }"));
+}
+
+TEST(Lowering, NegationOfLinCmp) {
+  LinCmp C;
+  C.O = LinCmp::Op::Le0;
+  C.E.add("x", 1);
+  C.E.Const = -5; // x - 5 <= 0, i.e., x <= 5.
+  LinCmp N = C.negated();
+  // not(x <= 5)  <=>  x >= 6  <=>  -x + 6 <= 0.
+  EXPECT_EQ(N.O, LinCmp::Op::Le0);
+  EXPECT_EQ(N.E.Coeffs.at("x"), -1);
+  EXPECT_EQ(N.E.Const, 6);
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraph, MutualRecursionSCC) {
+  // t39 from the paper.
+  IRProgram P = lowerOk(
+      "void c_down(int x, int y) { if (x>y) { tick(1); c_up(x-1, y); } }\n"
+      "void c_up(int x, int y) { if (y+1<x) { tick(1); c_down(x, y+2); } }\n");
+  CallGraph G = buildCallGraph(P);
+  ASSERT_EQ(G.SCCs.size(), 1u);
+  EXPECT_EQ(G.SCCs[0].size(), 2u);
+  EXPECT_TRUE(G.inSameSCC("c_up", "c_down"));
+}
+
+TEST(CallGraph, BottomUpOrder) {
+  IRProgram P = lowerOk("void leaf() { tick(1); }\n"
+                        "void mid() { leaf(); }\n"
+                        "void top() { mid(); leaf(); }\n");
+  CallGraph G = buildCallGraph(P);
+  ASSERT_EQ(G.SCCs.size(), 3u);
+  EXPECT_EQ(G.SCCs[0][0], "leaf");
+  EXPECT_EQ(G.SCCs[2][0], "top");
+  EXPECT_FALSE(G.inSameSCC("top", "leaf"));
+}
+
+TEST(CallGraph, SelfRecursion) {
+  IRProgram P = lowerOk(
+      "void f(int n) { if (n>0) { tick(1); f(n-1); } }\n");
+  CallGraph G = buildCallGraph(P);
+  ASSERT_EQ(G.SCCs.size(), 1u);
+  EXPECT_TRUE(G.inSameSCC("f", "f"));
+}

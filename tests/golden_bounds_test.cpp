@@ -1,0 +1,106 @@
+//===--- golden_bounds_test.cpp - Bound regression lock --------------------===//
+//
+// Locks the exact bound (as an exact-rational string) the analysis derives
+// for every corpus program under the tick metric.  Any behavioral change
+// in the rules, the weakening heuristic, the invariant inference, or the
+// LP objective shows up here first.  EXPERIMENTS.md records how each of
+// these compares to the paper's published bound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/corpus/Corpus.h"
+
+using namespace c4b;
+using c4b::test::boundOf;
+
+namespace {
+
+struct Golden {
+  const char *Name;
+  const char *Bound;
+};
+
+const Golden GoldenBounds[] = {
+    {"example1", "|[x, y]|"},
+    {"example2", "0"},
+    {"example3", "10*|[x, y]|"},
+    {"fig1_k10_t5", "1/2*|[x, y]|"},
+    {"fig5_loop", "1/2*|[0, x]|"},
+    {"speed_1", "|[x, n]| + |[y, m]|"},
+    {"speed_2", "|[x, n]| + |[z, n]|"},
+    {"t08a", "31/10*|[y, z]| + 1/10*|[0, y]|"},
+    {"t27", "59*|[n, 0]| + 1/20*|[0, y]|"},
+    {"t39", "4/3 + 2/3*|[y, x]|"},
+    {"t61", "25/4 + 1/4*|[0, l]|"},
+    {"t62", "3 + 3*|[l, h]|"},
+    {"t09", "11*|[0, x]|"},
+    {"t19", "151 + |[0, k]| + |[100, i]|"},
+    {"t30", "|[0, x]| + |[0, y]|"},
+    {"t15", "|[0, x]|"},
+    {"t13", "2*|[0, x]| + |[0, y]|"},
+    {"gcd", "|[0, x]| + |[1, y]|"},
+    {"kmp", "2*|[0, n]|"},
+    {"qsort_part", "2*|[0, len]|"},
+    {"speed_pldi09_fig4_2", "2*|[0, n]| + |[0, m]|"},
+    {"speed_pldi09_fig4_4", "|[0, n]|"},
+    {"speed_pldi09_fig4_5", "FAIL"},
+    {"speed_pldi10_ex1", "|[0, n]|"},
+    {"speed_pldi10_ex3", "|[0, n]|"},
+    {"speed_pldi10_ex4", "2*|[0, n]|"},
+    {"speed_popl10_fig2_1", "|[x, n]| + |[y, m]|"},
+    {"speed_popl10_fig2_2", "|[x, n]| + |[z, n]|"},
+    {"speed_popl10_nested_multiple", "|[x, n]| + |[y, m]|"},
+    {"speed_popl10_nested_single", "|[0, n]|"},
+    {"speed_popl10_sequential_single", "|[0, n]|"},
+    {"speed_popl10_simple_multiple", "|[0, n]| + |[0, m]|"},
+    {"speed_popl10_simple_single2", "|[0, n]| + |[0, m]|"},
+    {"speed_popl10_simple_single", "|[0, n]|"},
+    {"t07", "3*|[0, x]| + |[0, y]|"},
+    {"t08", "4/3*|[x, y]| + 1/3*|[0, x]|"},
+    {"t10", "|[y, x]|"},
+    {"t11", "|[x, n]| + |[y, m]|"},
+    {"t16", "101*|[0, x]|"},
+    {"t20", "|[x, y]| + |[y, x]|"},
+    {"t28", "|[x, 0]| + 1002*|[y, x]| + |[0, y]|"},
+    {"t37", "3 + 2*|[0, x]| + |[0, y]|"},
+    {"t46", "|[0, y]|"},
+    {"t47", "1 + |[0, n]|"},
+    {"fig6_binary_counter", "2 + 2*|[0, k]| + |[0, na]|"},
+    {"fig7_bsearch", "|[0, lg]|"},
+    {"adpcm_coder", "|[0, len]|"},
+    {"adpcm_decoder", "|[0, len]|"},
+    {"bf_cfb64_encrypt", "9/8*|[-1, n]|"},
+    {"bf_cbc_encrypt", "2 + 1/4*|[0, l]|"},
+    {"mad_bit_crc", "57/8 + 1/8*|[0, len]|"},
+    {"mad_bit_read", "1 + 1/8*|[0, len]|"},
+    {"md5_update", "65 + 65/64*|[0, len]|"},
+    {"md5_final", "141"},
+    {"sha_update", "177/64*|[0, count]|"},
+    {"packbits_decode", "65*|[0, cc]|"},
+    {"kmp_search", "2*|[0, n]|"},
+    {"ycc_rgb_convert", "|[0, work]|"},
+    {"uv_decode", "|[0, lg]|"},
+};
+
+class GoldenBound : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenBound, TickBoundIsStable) {
+  const Golden &G = GetParam();
+  const CorpusEntry *E = findEntry(G.Name);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(boundOf(E->Source, E->Function), G.Bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenBound,
+                         ::testing::ValuesIn(GoldenBounds),
+                         [](const ::testing::TestParamInfo<Golden> &I) {
+                           return std::string(I.param.Name);
+                         });
+
+TEST(GoldenBound, CoversWholeCorpus) {
+  EXPECT_EQ(std::size(GoldenBounds), corpus().size());
+}
+
+} // namespace

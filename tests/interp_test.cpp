@@ -1,0 +1,194 @@
+//===--- interp_test.cpp - Cost-semantics interpreter tests ---------------===//
+
+#include "c4b/ast/Parser.h"
+#include "c4b/sem/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4b;
+
+namespace {
+
+IRProgram lowerOk(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = parseString(Src, D);
+  EXPECT_TRUE(P.has_value()) << D.toString();
+  auto IR = lowerProgram(*P, D);
+  EXPECT_TRUE(IR.has_value()) << D.toString();
+  return IR ? std::move(*IR) : IRProgram{};
+}
+
+} // namespace
+
+TEST(Interp, Example1TickCount) {
+  // while (x<y) { x=x+1; tick(1); } costs max(0, y-x) ticks.
+  IRProgram P = lowerOk("void f(int x, int y) {\n"
+                        "  while (x<y) { x=x+1; tick(1); }\n"
+                        "}\n");
+  ResourceMetric M = ResourceMetric::ticks();
+  Interpreter I(P, M);
+  EXPECT_EQ(I.run("f", {0, 10}).NetCost, Rational(10));
+  EXPECT_EQ(I.run("f", {-5, 5}).NetCost, Rational(10));
+  EXPECT_EQ(I.run("f", {7, 3}).NetCost, Rational(0));
+  EXPECT_EQ(I.run("f", {3, 3}).NetCost, Rational(0));
+}
+
+TEST(Interp, Example2NetZeroButPositivePeak) {
+  // tick(-1) before tick(1): net 0 per iteration; peak reflects ordering.
+  IRProgram P = lowerOk("void f(int x, int y) {\n"
+                        "  while (x<y) { tick(-1); x=x+1; tick(1); }\n"
+                        "}\n");
+  Interpreter I(P, ResourceMetric::ticks());
+  ExecResult R = I.run("f", {0, 5});
+  EXPECT_EQ(R.NetCost, Rational(0));
+  EXPECT_EQ(R.PeakCost, Rational(0)); // Releases happen first each round.
+}
+
+TEST(Interp, PeakTracksHighWaterMark) {
+  IRProgram P = lowerOk("void f() { tick(5); tick(-3); tick(2); tick(-4); }");
+  Interpreter I(P, ResourceMetric::ticks());
+  ExecResult R = I.run("f", {});
+  EXPECT_EQ(R.NetCost, Rational(0));
+  EXPECT_EQ(R.PeakCost, Rational(5)); // 5, 2, 4, 0.
+}
+
+TEST(Interp, ParametricLoopFigure1) {
+  // Figure 1: while (x+K<=y) { x=x+K; tick(T); } with K=10, T=5.
+  IRProgram P = lowerOk("void f(int x, int y) {\n"
+                        "  while (x+10<=y) { x=x+10; tick(5); }\n"
+                        "}\n");
+  Interpreter I(P, ResourceMetric::ticks());
+  EXPECT_EQ(I.run("f", {0, 100}).NetCost, Rational(50));
+  EXPECT_EQ(I.run("f", {0, 99}).NetCost, Rational(45));
+  EXPECT_EQ(I.run("f", {0, 9}).NetCost, Rational(0));
+}
+
+TEST(Interp, BackEdgeMetricCountsIterationsAndCalls) {
+  IRProgram P = lowerOk("void g() { tick(99); }\n"
+                        "void f(int n) {\n"
+                        "  while (n>0) { n--; g(); }\n"
+                        "}\n");
+  Interpreter I(P, ResourceMetric::backEdges());
+  // 4 loop back edges + 4 calls; ticks ignored.
+  EXPECT_EQ(I.run("f", {4}).NetCost, Rational(8));
+}
+
+TEST(Interp, StackDepthMetric) {
+  IRProgram P = lowerOk("void f(int n) { if (n>0) f(n-1); }");
+  Interpreter I(P, ResourceMetric::stackDepth());
+  ExecResult R = I.run("f", {6});
+  EXPECT_EQ(R.NetCost, Rational(0));  // Every call returned.
+  EXPECT_EQ(R.PeakCost, Rational(6)); // Maximum nesting depth.
+}
+
+TEST(Interp, ReturnValues) {
+  IRProgram P = lowerOk("int add3(int x) { return x + 3; }\n"
+                        "int f(int y) { int r; r = add3(y); return r; }\n");
+  Interpreter I(P, ResourceMetric::ticks());
+  ExecResult R = I.run("f", {10});
+  ASSERT_TRUE(R.finished());
+  ASSERT_TRUE(R.HasReturnValue);
+  EXPECT_EQ(R.ReturnValue, 13);
+}
+
+TEST(Interp, MutualRecursionT39) {
+  // Figure 3: c_down/c_up tick once per bounce; total ~ (x-y)*2/3-ish.
+  IRProgram P = lowerOk(
+      "void c_down(int x, int y) { if (x>y) { tick(1); c_up(x-1, y); } }\n"
+      "void c_up(int x, int y) { if (y+1<x) { tick(1); c_down(x, y+2); } }\n");
+  Interpreter I(P, ResourceMetric::ticks());
+  ExecResult R = I.run("c_down", {30, 0});
+  ASSERT_TRUE(R.finished());
+  // Paper bound: 0.33 + 0.67*|[y,x]| = 1/3 + 2/3*30 = 20.33...
+  EXPECT_LE(R.NetCost, Rational(1, 3) + Rational(2, 3) * Rational(30));
+  EXPECT_GT(R.NetCost, Rational(15));
+}
+
+TEST(Interp, ArraysBinaryCounter) {
+  // Figure 6 binary counter (without logical variables).
+  IRProgram P = lowerOk("int a[32];\n"
+                        "void counter(int k, int N) {\n"
+                        "  int x;\n"
+                        "  while (k > 0) {\n"
+                        "    x = 0;\n"
+                        "    while (x < N && a[x] == 1) { a[x]=0; tick(1); x++; }\n"
+                        "    if (x < N) { a[x]=1; tick(1); }\n"
+                        "    k--;\n"
+                        "  }\n"
+                        "}\n");
+  Interpreter I(P, ResourceMetric::ticks());
+  ExecResult R = I.run("counter", {8, 32});
+  ASSERT_TRUE(R.finished());
+  // Incrementing a zeroed binary counter 8 times flips 15 bits total.
+  EXPECT_EQ(R.NetCost, Rational(15));
+  // Counter now reads 8 = binary 0001 from bit 3.
+  EXPECT_EQ(I.getGlobalArray("a", 3), 1);
+}
+
+TEST(Interp, AssertFailureStopsExecution) {
+  IRProgram P = lowerOk("void f(int x) { assert(x > 0); tick(1); }");
+  Interpreter I(P, ResourceMetric::ticks());
+  EXPECT_EQ(I.run("f", {1}).Status, ExecStatus::Finished);
+  EXPECT_EQ(I.run("f", {0}).Status, ExecStatus::AssertFailed);
+}
+
+TEST(Interp, FuelLimitsDivergence) {
+  IRProgram P = lowerOk("void f() { for (;;) tick(1); }");
+  Interpreter I(P, ResourceMetric::ticks());
+  I.setFuel(10000);
+  EXPECT_EQ(I.run("f", {}).Status, ExecStatus::OutOfFuel);
+}
+
+TEST(Interp, DivisionByZeroDetected) {
+  IRProgram P = lowerOk("void f(int x, int y) { x = x / y; }");
+  Interpreter I(P, ResourceMetric::ticks());
+  EXPECT_EQ(I.run("f", {4, 0}).Status, ExecStatus::DivisionByZero);
+  EXPECT_EQ(I.run("f", {4, 2}).Status, ExecStatus::Finished);
+}
+
+TEST(Interp, OutOfBoundsDetected) {
+  IRProgram P = lowerOk("int a[4];\nvoid f(int i) { a[i] = 1; }");
+  Interpreter I(P, ResourceMetric::ticks());
+  EXPECT_EQ(I.run("f", {3}).Status, ExecStatus::Finished);
+  EXPECT_EQ(I.run("f", {4}).Status, ExecStatus::BadArrayAccess);
+  EXPECT_EQ(I.run("f", {-1}).Status, ExecStatus::BadArrayAccess);
+}
+
+TEST(Interp, NondetIsSeededAndDeterministic) {
+  IRProgram P = lowerOk("void f(int n) { while (n>0 && *) { n--; tick(1); } }");
+  Interpreter I(P, ResourceMetric::ticks());
+  I.seed(42);
+  Rational A = I.run("f", {50}).NetCost;
+  I.seed(42);
+  Rational B = I.run("f", {50}).NetCost;
+  EXPECT_EQ(A, B);
+  // A forced-true policy runs all iterations.
+  I.setNondetPolicy([] { return true; });
+  EXPECT_EQ(I.run("f", {50}).NetCost, Rational(50));
+  I.setNondetPolicy([] { return false; });
+  EXPECT_EQ(I.run("f", {50}).NetCost, Rational(0));
+}
+
+TEST(Interp, GlobalsPersistAcrossCallsWithinRun) {
+  IRProgram P = lowerOk("int g;\n"
+                        "void bump() { g = g + 1; }\n"
+                        "int f() { bump(); bump(); bump(); return g; }\n");
+  Interpreter I(P, ResourceMetric::ticks());
+  I.setGlobal("g", 10);
+  ExecResult R = I.run("f", {});
+  EXPECT_EQ(R.ReturnValue, 13);
+}
+
+TEST(Interp, StepsMetricChargesEverything) {
+  IRProgram P = lowerOk("void f(int x) { x = x + 1; }");
+  Interpreter I(P, ResourceMetric::steps());
+  // One assignment: Mu + Me = 2.
+  EXPECT_EQ(I.run("f", {0}).NetCost, Rational(2));
+}
+
+TEST(Interp, CostFreeLoweringDoesNotChangeCost) {
+  // x = y + z + 3 lowers to several IR statements but costs one update.
+  IRProgram P = lowerOk("void f(int x, int y, int z) { x = y + z + 3; }");
+  Interpreter I(P, ResourceMetric::steps());
+  EXPECT_EQ(I.run("f", {0, 1, 2}).NetCost, Rational(2)); // Mu + Me once.
+}

@@ -1,0 +1,208 @@
+//===--- logic_context_test.cpp - Logical context unit tests --------------===//
+
+#include "c4b/logic/Context.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4b;
+
+namespace {
+
+/// Builds the fact `sum + Const <= 0` (or == 0).
+LinFact fact(std::initializer_list<std::pair<const char *, int>> Terms,
+             int Const, bool Eq = false) {
+  LinFact F;
+  F.IsEquality = Eq;
+  F.Const = Rational(Const);
+  for (const auto &[V, C] : Terms)
+    F.add(V, Rational(C));
+  return F;
+}
+
+Atom V(const char *N) { return Atom::makeVar(N); }
+Atom K(std::int64_t C) { return Atom::makeConst(C); }
+
+} // namespace
+
+TEST(LogicContext, TopAndBottom) {
+  EXPECT_FALSE(LogicContext::top().isBottom());
+  EXPECT_TRUE(LogicContext::bottom().isBottom());
+}
+
+TEST(LogicContext, ContradictionIsBottom) {
+  LogicContext C;
+  C.assume(fact({{"x", 1}}, -5));  // x <= 5
+  C.assume(fact({{"x", -1}}, 10)); // x >= 10
+  EXPECT_TRUE(C.isBottom());
+}
+
+TEST(LogicContext, SimpleEntailment) {
+  LogicContext C;
+  C.assume(fact({{"x", 1}, {"y", -1}}, 0)); // x <= y
+  C.assume(fact({{"y", 1}, {"z", -1}}, 0)); // y <= z
+  EXPECT_TRUE(C.entails(fact({{"x", 1}, {"z", -1}}, 0)));  // x <= z
+  EXPECT_FALSE(C.entails(fact({{"z", 1}, {"x", -1}}, 0))); // z <= x
+}
+
+TEST(LogicContext, BottomEntailsEverything) {
+  LogicContext C = LogicContext::bottom();
+  EXPECT_TRUE(C.entails(fact({{"x", 1}}, 1000)));
+}
+
+TEST(LogicContext, MaxMinQueries) {
+  LogicContext C;
+  C.assume(fact({{"x", 1}}, -7));  // x <= 7
+  C.assume(fact({{"x", -1}}, 2));  // x >= 2
+  AffineQ Obj;
+  Obj.add("x", Rational(1));
+  ASSERT_TRUE(C.maxOf(Obj).has_value());
+  EXPECT_EQ(*C.maxOf(Obj), Rational(7));
+  ASSERT_TRUE(C.minOf(Obj).has_value());
+  EXPECT_EQ(*C.minOf(Obj), Rational(2));
+}
+
+TEST(LogicContext, UnboundedQueries) {
+  LogicContext C;
+  C.assume(fact({{"x", -1}}, 0)); // x >= 0
+  AffineQ Obj;
+  Obj.add("x", Rational(1));
+  EXPECT_FALSE(C.maxOf(Obj).has_value());
+  EXPECT_TRUE(C.minOf(Obj).has_value());
+}
+
+TEST(LogicContext, HavocDropsButKeepsTransitive) {
+  LogicContext C;
+  C.assume(fact({{"x", 1}, {"y", -1}}, 0)); // x <= y
+  C.assume(fact({{"y", 1}, {"z", -1}}, 0)); // y <= z
+  C.havoc("y");
+  // Fourier-Motzkin keeps x <= z.
+  EXPECT_TRUE(C.entails(fact({{"x", 1}, {"z", -1}}, 0)));
+  // But nothing about y anymore.
+  EXPECT_FALSE(C.entails(fact({{"y", 1}, {"z", -1}}, 0)));
+}
+
+TEST(LogicContext, HavocThroughEquality) {
+  LogicContext C;
+  C.assume(fact({{"x", 1}, {"y", -1}}, 0, /*Eq=*/true)); // x == y
+  C.assume(fact({{"x", 1}}, -3));                        // x <= 3
+  C.havoc("x");
+  EXPECT_TRUE(C.entails(fact({{"y", 1}}, -3))); // y <= 3 survives.
+}
+
+TEST(LogicContext, AssumeCmpFromGuards) {
+  // Guard x < y normalizes to x - y + 1 <= 0.
+  LinCmp G;
+  G.O = LinCmp::Op::Le0;
+  G.E.add("x", 1);
+  G.E.add("y", -1);
+  G.E.Const = 1;
+  LogicContext C;
+  C.assumeCmp(G);
+  EXPECT_TRUE(C.entails(fact({{"x", 1}, {"y", -1}}, 1)));
+  // Ne0 guards are ignored (no refinement).
+  LinCmp N;
+  N.O = LinCmp::Op::Ne0;
+  N.E.add("x", 1);
+  LogicContext D;
+  D.assumeCmp(N);
+  EXPECT_FALSE(D.entails(fact({{"x", 1}}, 0)));
+}
+
+TEST(LogicContext, ApplySetTransfersEquality) {
+  LogicContext C;
+  C.assume(fact({{"y", 1}}, -4)); // y <= 4
+  C.applySet("x", V("y"));
+  EXPECT_TRUE(C.entails(fact({{"x", 1}}, -4))); // x <= 4 now too.
+  C.applySet("x", K(9));
+  EXPECT_TRUE(C.entails(fact({{"x", 1}}, -9, true))); // x == 9.
+  EXPECT_TRUE(C.entails(fact({{"y", 1}}, -4)));       // y info intact.
+}
+
+TEST(LogicContext, ApplyIncDecSubstitutes) {
+  LogicContext C;
+  C.assume(fact({{"x", 1}}, -5)); // x <= 5
+  C.applyIncDec("x", K(3), /*Inc=*/true);
+  EXPECT_TRUE(C.entails(fact({{"x", 1}}, -8)));  // x <= 8
+  EXPECT_FALSE(C.entails(fact({{"x", 1}}, -7))); // not x <= 7
+  C.applyIncDec("x", K(8), /*Inc=*/false);
+  EXPECT_TRUE(C.entails(fact({{"x", 1}}, 0))); // x <= 0
+}
+
+TEST(LogicContext, ApplyIncDecVarOperand) {
+  LogicContext C;
+  C.assume(fact({{"x", 1}, {"y", -1}}, 0)); // x <= y
+  C.applyIncDec("x", V("y"), /*Inc=*/false);
+  // old x = x' + y, so x' + y <= y, i.e. x' <= 0.
+  EXPECT_TRUE(C.entails(fact({{"x", 1}}, 0)));
+}
+
+TEST(LogicContext, JoinKeepsCommonFacts) {
+  LogicContext A, B;
+  A.assume(fact({{"x", 1}}, -3)); // x <= 3
+  A.assume(fact({{"y", 1}}, -1)); // y <= 1
+  B.assume(fact({{"x", 1}}, -2)); // x <= 2
+  LogicContext J = LogicContext::join(A, B);
+  EXPECT_TRUE(J.entails(fact({{"x", 1}}, -3)));  // both entail x <= 3.
+  EXPECT_FALSE(J.entails(fact({{"x", 1}}, -2))); // A does not.
+  EXPECT_FALSE(J.entails(fact({{"y", 1}}, -1))); // B does not.
+}
+
+TEST(LogicContext, JoinWithBottomIsIdentity) {
+  LogicContext A;
+  A.assume(fact({{"x", 1}}, -3));
+  LogicContext J = LogicContext::join(A, LogicContext::bottom());
+  EXPECT_TRUE(J.entails(fact({{"x", 1}}, -3)));
+}
+
+TEST(LogicContext, IntervalBoundsBasic) {
+  LogicContext C;
+  C.assume(fact({{"x", 1}, {"y", -1}}, 0));  // x <= y
+  C.assume(fact({{"y", 1}, {"x", -1}}, -5)); // y - x <= 5
+  IntervalBounds B = intervalBoundsIn(C, V("x"), V("y"));
+  EXPECT_EQ(B.Lo, Rational(0));
+  ASSERT_TRUE(B.Hi.has_value());
+  EXPECT_EQ(*B.Hi, Rational(5));
+}
+
+TEST(LogicContext, IntervalBoundsWithConstants) {
+  LogicContext C;
+  C.assume(fact({{"x", -1}}, 10)); // x >= 10
+  // |[0, x]| >= 10; no upper bound.
+  IntervalBounds B = intervalBoundsIn(C, K(0), V("x"));
+  EXPECT_EQ(B.Lo, Rational(10));
+  EXPECT_FALSE(B.Hi.has_value());
+  // |[x, 10]| is 0: x >= 10 makes the interval empty from above... the size
+  // max(0, 10 - x) has upper bound 0.
+  IntervalBounds B2 = intervalBoundsIn(C, V("x"), K(10));
+  ASSERT_TRUE(B2.Hi.has_value());
+  EXPECT_EQ(*B2.Hi, Rational(0));
+}
+
+TEST(LogicContext, IntervalBoundsConstConst) {
+  LogicContext C;
+  IntervalBounds B = intervalBoundsIn(C, K(3), K(10));
+  ASSERT_TRUE(B.Hi.has_value());
+  EXPECT_EQ(B.Lo, Rational(7));
+  EXPECT_EQ(*B.Hi, Rational(7));
+  IntervalBounds Neg = intervalBoundsIn(C, K(10), K(3));
+  EXPECT_EQ(Neg.Lo, Rational(0));
+  EXPECT_EQ(*Neg.Hi, Rational(0));
+}
+
+TEST(LogicContext, IntegerTightening) {
+  // 2x <= 9 gives rational max 4.5, but x is integer-valued: |[0,x]| <= 4.
+  LogicContext C;
+  C.assume(fact({{"x", 2}}, -9));
+  IntervalBounds B = intervalBoundsIn(C, K(0), V("x"));
+  ASSERT_TRUE(B.Hi.has_value());
+  EXPECT_EQ(*B.Hi, Rational(4));
+}
+
+TEST(LogicContext, DropMentioningRoughInvariant) {
+  LogicContext C;
+  C.assume(fact({{"x", 1}, {"y", -1}}, 0)); // x <= y (x modified in loop)
+  C.assume(fact({{"k", -1}}, 0));           // k >= 0 (k unchanged)
+  LogicContext Inv = C.dropMentioning({"x"});
+  EXPECT_TRUE(Inv.entails(fact({{"k", -1}}, 0)));
+  EXPECT_FALSE(Inv.entails(fact({{"x", 1}, {"y", -1}}, 0)));
+}

@@ -1,0 +1,170 @@
+//===--- lp_presolve_test.cpp - Presolving solver unit tests --------------===//
+
+#include "c4b/lp/Presolve.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4b;
+
+namespace {
+
+Rational Q(std::int64_t N, std::int64_t D = 1) { return Rational(N, D); }
+
+} // namespace
+
+TEST(Presolve, AliasChainIsEliminated) {
+  // q0 = q1 = ... = q20, q20 >= 5; minimize q0 -> 5.
+  PresolvedSolver S;
+  std::vector<int> V;
+  for (int I = 0; I <= 20; ++I)
+    V.push_back(S.addVar());
+  for (int I = 0; I < 20; ++I)
+    S.addConstraint({{V[I], Q(1)}, {V[I + 1], Q(-1)}}, Rel::Eq, Q(0));
+  S.addConstraint({{V[20], Q(1)}}, Rel::Ge, Q(5));
+  EXPECT_EQ(S.numEliminated(), 20);
+  LPResult R = S.minimize({{V[0], Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(5));
+  for (int I = 0; I <= 20; ++I)
+    EXPECT_EQ(R.Values[V[I]], Q(5));
+}
+
+TEST(Presolve, SubstitutionWithSum) {
+  // z = x + y, z <= 10; maximize-ish: minimize -(x) with x <= z bound.
+  PresolvedSolver S;
+  int X = S.addVar(), Y = S.addVar(), Z = S.addVar();
+  S.addConstraint({{Z, Q(1)}, {X, Q(-1)}, {Y, Q(-1)}}, Rel::Eq, Q(0));
+  S.addConstraint({{Z, Q(1)}}, Rel::Le, Q(10));
+  S.addConstraint({{X, Q(1)}}, Rel::Ge, Q(4));
+  LPResult R = S.minimize({{Y, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Values[Y], Q(0));
+  EXPECT_EQ(R.Values[Z], R.Values[X]);
+}
+
+TEST(Presolve, NegativeCoefficientResidual) {
+  // a = b - c with b, c >= 0 must still enforce a >= 0: with c >= 4 and
+  // b <= 3 the system is infeasible.
+  PresolvedSolver S;
+  int A = S.addVar(), B = S.addVar(), C = S.addVar();
+  S.addConstraint({{A, Q(1)}, {B, Q(-1)}, {C, Q(1)}}, Rel::Eq, Q(0));
+  S.addConstraint({{C, Q(1)}}, Rel::Ge, Q(4));
+  S.addConstraint({{B, Q(1)}}, Rel::Le, Q(3));
+  LPResult R = S.minimize({{A, Q(1)}});
+  EXPECT_EQ(R.Status, LPStatus::Infeasible);
+}
+
+TEST(Presolve, NegativeCoefficientFeasible) {
+  // Same shape but feasible: a = b - c, c == 4, minimize b -> b = 4, a = 0.
+  PresolvedSolver S;
+  int A = S.addVar(), B = S.addVar(), C = S.addVar();
+  S.addConstraint({{A, Q(1)}, {B, Q(-1)}, {C, Q(1)}}, Rel::Eq, Q(0));
+  S.addConstraint({{C, Q(1)}}, Rel::Eq, Q(4));
+  LPResult R = S.minimize({{B, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Values[B], Q(4));
+  EXPECT_EQ(R.Values[A], Q(0));
+  EXPECT_EQ(R.Values[C], Q(4));
+}
+
+TEST(Presolve, GroundContradiction) {
+  PresolvedSolver S;
+  int X = S.addVar();
+  S.addConstraint({{X, Q(1)}, {X, Q(-1)}}, Rel::Eq, Q(3));
+  LPResult R = S.minimize({});
+  EXPECT_EQ(R.Status, LPStatus::Infeasible);
+}
+
+TEST(Presolve, SingleVarEqualityNegative) {
+  // x == -2 contradicts x >= 0.
+  PresolvedSolver S;
+  int X = S.addVar();
+  S.addConstraint({{X, Q(1)}}, Rel::Eq, Q(-2));
+  LPResult R = S.minimize({{X, Q(1)}});
+  EXPECT_EQ(R.Status, LPStatus::Infeasible);
+}
+
+TEST(Presolve, ConstantAssignments) {
+  PresolvedSolver S;
+  int X = S.addVar(), Y = S.addVar();
+  S.addConstraint({{X, Q(1)}}, Rel::Eq, Q(7, 2));
+  S.addConstraint({{Y, Q(1)}, {X, Q(-2)}}, Rel::Eq, Q(0));
+  LPResult R = S.minimize({{Y, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Values[X], Q(7, 2));
+  EXPECT_EQ(R.Values[Y], Q(7));
+  EXPECT_EQ(R.Objective, Q(7));
+}
+
+TEST(Presolve, TwoStageLexicographic) {
+  // Stage 1: minimize x + y subject to x + y >= 2.  Stage 2: among those,
+  // minimize y after pinning stage 1 -> y = 0, x = 2.
+  PresolvedSolver S;
+  int X = S.addVar(), Y = S.addVar();
+  S.addConstraint({{X, Q(1)}, {Y, Q(1)}}, Rel::Ge, Q(2));
+  LPResult R1 = S.minimize({{X, Q(1)}, {Y, Q(1)}});
+  ASSERT_TRUE(R1.isOptimal());
+  EXPECT_EQ(R1.Objective, Q(2));
+  S.pinObjective({{X, Q(1)}, {Y, Q(1)}}, R1.Objective);
+  LPResult R2 = S.minimize({{Y, Q(1)}});
+  ASSERT_TRUE(R2.isOptimal());
+  EXPECT_EQ(R2.Values[Y], Q(0));
+  EXPECT_EQ(R2.Values[X], Q(2));
+}
+
+TEST(Presolve, LateSubstitutionRewritesEarlierRows) {
+  // An inequality mentioning x is added before x gets eliminated.
+  PresolvedSolver S;
+  int X = S.addVar(), Y = S.addVar();
+  S.addConstraint({{X, Q(1)}}, Rel::Ge, Q(3)); // row references x
+  S.addConstraint({{X, Q(1)}, {Y, Q(-1)}}, Rel::Eq, Q(0)); // x := y
+  LPResult R = S.minimize({{Y, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(3));
+  EXPECT_EQ(R.Values[X], Q(3));
+}
+
+TEST(Presolve, ChainedSubstitutionsStayFlat) {
+  // c = b + 1-ish chains: a == b, b == c, c >= 2; all values equal.
+  PresolvedSolver S;
+  int A = S.addVar(), B = S.addVar(), C = S.addVar();
+  S.addConstraint({{A, Q(1)}, {B, Q(-1)}}, Rel::Eq, Q(0));
+  S.addConstraint({{B, Q(1)}, {C, Q(-1)}}, Rel::Eq, Q(0));
+  S.addConstraint({{C, Q(1)}}, Rel::Ge, Q(2));
+  LPResult R = S.minimize({{A, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Values[A], Q(2));
+  EXPECT_EQ(R.Values[B], Q(2));
+  EXPECT_EQ(R.Values[C], Q(2));
+}
+
+TEST(Presolve, ObjectiveOnEliminatedVariable) {
+  // Objective references a substituted variable; the constant offset of the
+  // substitution must flow into the reported optimum.
+  PresolvedSolver S;
+  int X = S.addVar(), Y = S.addVar();
+  // x == y + 5
+  S.addConstraint({{X, Q(1)}, {Y, Q(-1)}}, Rel::Eq, Q(5));
+  LPResult R = S.minimize({{X, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(5));
+  EXPECT_EQ(R.Values[X], Q(5));
+  EXPECT_EQ(R.Values[Y], Q(0));
+}
+
+TEST(Presolve, LargePassThroughSystem) {
+  // A shape like the analysis produces: 400 pass-through equalities and a
+  // handful of real decisions.  Must stay well within test time budgets.
+  PresolvedSolver S;
+  const int N = 400;
+  std::vector<int> V;
+  for (int I = 0; I <= N; ++I)
+    V.push_back(S.addVar());
+  for (int I = 0; I < N; ++I)
+    S.addConstraint({{V[I + 1], Q(1)}, {V[I], Q(-1)}}, Rel::Eq, Q(0));
+  S.addConstraint({{V[N], Q(1)}}, Rel::Ge, Q(1, 3));
+  LPResult R = S.minimize({{V[0], Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(1, 3));
+  EXPECT_EQ(S.numEliminated(), N);
+}

@@ -1,0 +1,177 @@
+//===--- lp_solver_test.cpp - Simplex solver unit tests -------------------===//
+
+#include "c4b/lp/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4b;
+
+namespace {
+
+Rational Q(std::int64_t N, std::int64_t D = 1) { return Rational(N, D); }
+
+} // namespace
+
+TEST(Simplex, SimpleMinimize) {
+  // min x + y  s.t. x + y >= 3, x <= 2  (x, y >= 0)  ->  3.
+  LPProblem P;
+  int X = P.addVar("x"), Y = P.addVar("y");
+  P.addConstraint({{X, Q(1)}, {Y, Q(1)}}, Rel::Ge, Q(3));
+  P.addConstraint({{X, Q(1)}}, Rel::Le, Q(2));
+  SimplexSolver S;
+  LPResult R = S.minimize(P, {{X, Q(1)}, {Y, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(3));
+  EXPECT_EQ(R.Values[X] + R.Values[Y], Q(3));
+}
+
+TEST(Simplex, SimpleMaximize) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> 12 at (4, 0).
+  LPProblem P;
+  int X = P.addVar(), Y = P.addVar();
+  P.addConstraint({{X, Q(1)}, {Y, Q(1)}}, Rel::Le, Q(4));
+  P.addConstraint({{X, Q(1)}, {Y, Q(3)}}, Rel::Le, Q(6));
+  SimplexSolver S;
+  LPResult R = S.maximize(P, {{X, Q(3)}, {Y, Q(2)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(12));
+  EXPECT_EQ(R.Values[X], Q(4));
+  EXPECT_EQ(R.Values[Y], Q(0));
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min 2x + y  s.t. x + y == 5, x - y == 1 -> x=3, y=2, obj 8.
+  LPProblem P;
+  int X = P.addVar(), Y = P.addVar();
+  P.addConstraint({{X, Q(1)}, {Y, Q(1)}}, Rel::Eq, Q(5));
+  P.addConstraint({{X, Q(1)}, {Y, Q(-1)}}, Rel::Eq, Q(1));
+  SimplexSolver S;
+  LPResult R = S.minimize(P, {{X, Q(2)}, {Y, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Values[X], Q(3));
+  EXPECT_EQ(R.Values[Y], Q(2));
+  EXPECT_EQ(R.Objective, Q(8));
+}
+
+TEST(Simplex, Infeasible) {
+  LPProblem P;
+  int X = P.addVar();
+  P.addConstraint({{X, Q(1)}}, Rel::Ge, Q(5));
+  P.addConstraint({{X, Q(1)}}, Rel::Le, Q(2));
+  SimplexSolver S;
+  LPResult R = S.minimize(P, {{X, Q(1)}});
+  EXPECT_EQ(R.Status, LPStatus::Infeasible);
+  EXPECT_FALSE(S.isFeasible(P));
+}
+
+TEST(Simplex, Unbounded) {
+  LPProblem P;
+  int X = P.addVar();
+  P.addConstraint({{X, Q(1)}}, Rel::Ge, Q(1));
+  SimplexSolver S;
+  LPResult R = S.maximize(P, {{X, Q(1)}});
+  EXPECT_EQ(R.Status, LPStatus::Unbounded);
+}
+
+TEST(Simplex, FreeVariables) {
+  // Free y can go negative: min y s.t. y >= -10 gives -10.
+  LPProblem P;
+  int Y = P.addFreeVar("y");
+  P.addConstraint({{Y, Q(1)}}, Rel::Ge, Q(-10));
+  SimplexSolver S;
+  LPResult R = S.minimize(P, {{Y, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(-10));
+  EXPECT_EQ(R.Values[Y], Q(-10));
+}
+
+TEST(Simplex, FreeVariableEqualities) {
+  // x, y free: x + y == 1, x - y == 7 -> x=4, y=-3.
+  LPProblem P;
+  int X = P.addFreeVar(), Y = P.addFreeVar();
+  P.addConstraint({{X, Q(1)}, {Y, Q(1)}}, Rel::Eq, Q(1));
+  P.addConstraint({{X, Q(1)}, {Y, Q(-1)}}, Rel::Eq, Q(7));
+  SimplexSolver S;
+  LPResult R = S.minimize(P, {{X, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Values[X], Q(4));
+  EXPECT_EQ(R.Values[Y], Q(-3));
+}
+
+TEST(Simplex, ExactRationalOptimum) {
+  // min x s.t. 3x >= 1 -> exactly 1/3, no floating point.
+  LPProblem P;
+  int X = P.addVar();
+  P.addConstraint({{X, Q(3)}}, Rel::Ge, Q(1));
+  SimplexSolver S;
+  LPResult R = S.minimize(P, {{X, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(1, 3));
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x <= -4 means x >= 4.
+  LPProblem P;
+  int X = P.addVar();
+  P.addConstraint({{X, Q(-1)}}, Rel::Le, Q(-4));
+  SimplexSolver S;
+  LPResult R = S.minimize(P, {{X, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(4));
+}
+
+TEST(Simplex, DegenerateNoCycle) {
+  // A classic degenerate instance; Bland's rule must terminate.
+  LPProblem P;
+  int X1 = P.addVar(), X2 = P.addVar(), X3 = P.addVar(), X4 = P.addVar();
+  P.addConstraint({{X1, Q(1, 2)}, {X2, Q(-11, 2)}, {X3, Q(-5, 2)}, {X4, Q(9)}},
+                  Rel::Le, Q(0));
+  P.addConstraint({{X1, Q(1, 2)}, {X2, Q(-3, 2)}, {X3, Q(-1, 2)}, {X4, Q(1)}},
+                  Rel::Le, Q(0));
+  P.addConstraint({{X1, Q(1)}}, Rel::Le, Q(1));
+  SimplexSolver S;
+  LPResult R = S.maximize(
+      P, {{X1, Q(10)}, {X2, Q(-57)}, {X3, Q(-9)}, {X4, Q(-24)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(1));
+}
+
+TEST(Simplex, RedundantEqualities) {
+  // Duplicate equality rows exercise the artificial-variable drive-out.
+  LPProblem P;
+  int X = P.addVar(), Y = P.addVar();
+  P.addConstraint({{X, Q(1)}, {Y, Q(1)}}, Rel::Eq, Q(2));
+  P.addConstraint({{X, Q(2)}, {Y, Q(2)}}, Rel::Eq, Q(4));
+  SimplexSolver S;
+  LPResult R = S.minimize(P, {{X, Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(0));
+  EXPECT_EQ(R.Values[X] + R.Values[Y], Q(2));
+}
+
+TEST(Simplex, ZeroObjective) {
+  LPProblem P;
+  int X = P.addVar();
+  P.addConstraint({{X, Q(1)}}, Rel::Ge, Q(2));
+  SimplexSolver S;
+  LPResult R = S.minimize(P, {});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(0));
+  EXPECT_GE(R.Values[X], Q(2));
+}
+
+TEST(Simplex, ManyVariablesChain) {
+  // x0 >= 1, x_{i+1} >= x_i + 1; minimize x_n -> n + 1.
+  LPProblem P;
+  const int N = 40;
+  std::vector<int> V;
+  for (int I = 0; I <= N; ++I)
+    V.push_back(P.addVar());
+  P.addConstraint({{V[0], Q(1)}}, Rel::Ge, Q(1));
+  for (int I = 0; I < N; ++I)
+    P.addConstraint({{V[I + 1], Q(1)}, {V[I], Q(-1)}}, Rel::Ge, Q(1));
+  SimplexSolver S;
+  LPResult R = S.minimize(P, {{V[N], Q(1)}});
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Objective, Q(N + 1));
+}

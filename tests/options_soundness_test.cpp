@@ -1,0 +1,110 @@
+//===--- options_soundness_test.cpp - Soundness across configurations ------===//
+//
+// The soundness theorem must hold under every analysis configuration:
+// weakening placements, monomorphic specs, single-stage objectives.
+// Whatever bound any configuration derives, the interpreter's peak cost
+// must stay under it.  (Precision may vary; soundness may not.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/corpus/Corpus.h"
+
+using namespace c4b;
+using namespace c4b::test;
+
+namespace {
+
+/// A focused subset exercising loops, recursion, calls, releases, joins.
+const char *SubsetNames[] = {"example1", "example2", "t08a", "t09",  "t13",
+                             "t19",      "t27",      "t39",  "t61",  "t62",
+                             "gcd",      "kmp",      "t20",  "t28",  "t47",
+                             "sha_update"};
+
+void sweepWithOptions(const AnalysisOptions &O) {
+  for (const char *Name : SubsetNames) {
+    const CorpusEntry *E = findEntry(Name);
+    ASSERT_NE(E, nullptr) << Name;
+    IRProgram IR = lowerOrDie(E->Source);
+    AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), O,
+                                      E->Function);
+    if (!R.Success)
+      continue; // Weaker configurations may fail; that is allowed.
+    const Bound &B = R.Bounds.at(E->Function);
+    const IRFunction *F = IR.findFunction(E->Function);
+    TestRng Rng(0xbeef ^ std::hash<std::string>{}(Name));
+    Interpreter I(IR, ResourceMetric::ticks());
+    for (int T = 0; T < 25; ++T) {
+      std::vector<std::int64_t> Args;
+      std::map<std::string, std::int64_t> Env;
+      for (const std::string &P : F->Params) {
+        std::int64_t V = Rng.inRange(-40, 40);
+        Args.push_back(V);
+        Env[P] = V;
+      }
+      for (const auto &[G, Init] : IR.Globals)
+        Env[G] = Init;
+      I.seed(Rng.next());
+      ExecResult Ex = I.run(E->Function, Args);
+      if (Ex.Status != ExecStatus::Finished)
+        continue;
+      EXPECT_GE(B.evaluate(Env), Ex.PeakCost)
+          << Name << " trial " << T << " bound " << B.toString();
+    }
+  }
+}
+
+} // namespace
+
+TEST(OptionsSoundness, MinimalWeakening) {
+  AnalysisOptions O;
+  O.Weaken = WeakenPlacement::Minimal;
+  sweepWithOptions(O);
+}
+
+TEST(OptionsSoundness, NormalWeakening) {
+  sweepWithOptions(AnalysisOptions{});
+}
+
+TEST(OptionsSoundness, AggressiveWeakening) {
+  AnalysisOptions O;
+  O.Weaken = WeakenPlacement::Aggressive;
+  sweepWithOptions(O);
+}
+
+TEST(OptionsSoundness, MonomorphicCalls) {
+  AnalysisOptions O;
+  O.PolymorphicCalls = false;
+  sweepWithOptions(O);
+}
+
+TEST(OptionsSoundness, SingleStageObjective) {
+  AnalysisOptions O;
+  O.TwoStageObjective = false;
+  sweepWithOptions(O);
+}
+
+TEST(OptionsSoundness, MonotonicityOfWeakening) {
+  // More weakening points can only help: every bound found by Minimal is
+  // also found (not necessarily equal) by Normal and Aggressive.
+  for (const char *Name : SubsetNames) {
+    const CorpusEntry *E = findEntry(Name);
+    IRProgram IR = lowerOrDie(E->Source);
+    AnalysisOptions Min, Norm, Agg;
+    Min.Weaken = WeakenPlacement::Minimal;
+    Agg.Weaken = WeakenPlacement::Aggressive;
+    bool MinOk =
+        analyzeProgram(IR, ResourceMetric::ticks(), Min, E->Function).Success;
+    bool NormOk =
+        analyzeProgram(IR, ResourceMetric::ticks(), Norm, E->Function).Success;
+    bool AggOk =
+        analyzeProgram(IR, ResourceMetric::ticks(), Agg, E->Function).Success;
+    if (MinOk) {
+      EXPECT_TRUE(NormOk) << Name;
+    }
+    if (NormOk) {
+      EXPECT_TRUE(AggOk) << Name;
+    }
+  }
+}

@@ -1,0 +1,199 @@
+//===--- soundness_test.cpp - Differential soundness property tests --------===//
+//
+// The executable form of the paper's soundness theorem (Section 7): for
+// every corpus program and every metric, the derived bound evaluated on
+// the inputs dominates the interpreter's peak resource consumption, on
+// hundreds of randomized inputs.  This exercises every derivation rule,
+// the weakening transfers, and the LP reduction end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/corpus/Corpus.h"
+
+using namespace c4b;
+using namespace c4b::test;
+
+namespace {
+
+/// Entries whose inputs must satisfy a logical-state invariant get special
+/// harnesses below; everything else is swept here.
+class CorpusSoundness : public ::testing::TestWithParam<const CorpusEntry *> {};
+
+} // namespace
+
+TEST_P(CorpusSoundness, BoundDominatesPeakCostUnderTicks) {
+  const CorpusEntry *E = GetParam();
+  checkSoundness(E->Source, E->Function, ResourceMetric::ticks());
+}
+
+TEST_P(CorpusSoundness, BoundDominatesPeakCostUnderBackEdges) {
+  const CorpusEntry *E = GetParam();
+  checkSoundness(E->Source, E->Function, ResourceMetric::backEdges());
+}
+
+TEST_P(CorpusSoundness, BoundDominatesPeakCostUnderSteps) {
+  const CorpusEntry *E = GetParam();
+  checkSoundness(E->Source, E->Function, ResourceMetric::steps());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusSoundness, [] {
+      std::vector<const CorpusEntry *> Es;
+      for (const CorpusEntry &E : corpus()) {
+        if (E.LogicalState)
+          continue; // Random inputs would violate the logical invariants.
+        if (std::string(E.Name) == "speed_pldi09_fig4_5")
+          continue; // The designed analysis failure.
+        Es.push_back(&E);
+      }
+      return ::testing::ValuesIn(Es);
+    }(),
+    [](const ::testing::TestParamInfo<const CorpusEntry *> &I) {
+      return std::string(I.param->Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Logical-state programs: inputs seeded to satisfy the invariants
+//===----------------------------------------------------------------------===//
+
+TEST(LogicalStateSoundness, BinaryCounter) {
+  const CorpusEntry *E = findEntry("fig6_binary_counter");
+  ASSERT_NE(E, nullptr);
+  IRProgram IR = lowerOrDie(E->Source);
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), {}, "counter");
+  ASSERT_TRUE(R.Success) << R.Error;
+  const Bound &B = R.Bounds.at("counter");
+
+  TestRng Rng(7);
+  for (int T = 0; T < 40; ++T) {
+    Interpreter I(IR, ResourceMetric::ticks());
+    // Random counter contents; na must equal the number of one bits.
+    std::int64_t N = Rng.inRange(4, 32);
+    std::int64_t K = Rng.inRange(0, 40);
+    std::vector<std::int64_t> Bits;
+    std::int64_t Na = 0;
+    for (std::int64_t Idx = 0; Idx < N; ++Idx) {
+      std::int64_t Bit = Rng.inRange(0, 1);
+      Bits.push_back(Bit);
+      Na += Bit;
+    }
+    I.setGlobalArray("a", Bits);
+    ExecResult Ex = I.run("counter", {K, N, Na});
+    if (Ex.Status == ExecStatus::AssertFailed)
+      FAIL() << "logical invariant violated: na tracked #1(a) incorrectly";
+    ASSERT_TRUE(Ex.finished());
+    Rational BV = B.evaluate({{"k", K}, {"N", N}, {"na", Na}});
+    EXPECT_GE(BV, Ex.PeakCost)
+        << "k=" << K << " N=" << N << " na=" << Na;
+  }
+}
+
+TEST(LogicalStateSoundness, BinaryCounterAmortizedVsNaive) {
+  // The headline claim of Figure 6: cost is ~2k + na, not k*N.
+  const CorpusEntry *E = findEntry("fig6_binary_counter");
+  IRProgram IR = lowerOrDie(E->Source);
+  Interpreter I(IR, ResourceMetric::ticks());
+  std::int64_t K = 500, N = 32;
+  I.setGlobalArray("a", std::vector<std::int64_t>(N, 0));
+  ExecResult Ex = I.run("counter", {K, N, 0});
+  ASSERT_TRUE(Ex.finished());
+  EXPECT_LE(Ex.NetCost, Rational(2 * K));      // Amortized bound.
+  EXPECT_GT(Rational(K * N / 4), Ex.NetCost);  // Far below the naive k*N.
+}
+
+TEST(LogicalStateSoundness, BsearchStackDepth) {
+  const CorpusEntry *E = findEntry("fig7_bsearch");
+  ASSERT_NE(E, nullptr);
+  IRProgram IR = lowerOrDie(E->Source);
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), {}, "bsearch");
+  ASSERT_TRUE(R.Success) << R.Error;
+  const Bound &B = R.Bounds.at("bsearch");
+  EXPECT_EQ(B.toString(), "|[0, lg]|");
+
+  TestRng Rng(11);
+  for (int T = 0; T < 40; ++T) {
+    Interpreter I(IR, ResourceMetric::ticks());
+    std::int64_t L = 0;
+    std::int64_t H = Rng.inRange(2, 128);
+    // lg > log2(h - l): compute the exact integer log and add one.
+    std::int64_t Lg = 1;
+    while ((std::int64_t(1) << Lg) <= (H - L))
+      ++Lg;
+    std::vector<std::int64_t> Data;
+    for (std::int64_t Idx = 0; Idx < 128; ++Idx)
+      Data.push_back(3 * Idx);
+    I.setGlobalArray("a", Data);
+    std::int64_t X = Rng.inRange(0, 3 * 128);
+    ExecResult Ex = I.run("bsearch", {X, L, H, Lg});
+    ASSERT_TRUE(Ex.finished()) << "h=" << H << " lg=" << Lg;
+    Rational BV = B.evaluate({{"x", X}, {"l", L}, {"h", H}, {"lg", Lg}});
+    // PeakCost under the tick(1)/tick(-1) pairs is the recursion depth.
+    EXPECT_GE(BV, Ex.PeakCost) << "h=" << H << " lg=" << Lg;
+  }
+}
+
+TEST(LogicalStateSoundness, YccRgbWorkReifiesProduct) {
+  const CorpusEntry *E = findEntry("ycc_rgb_convert");
+  IRProgram IR = lowerOrDie(E->Source);
+  AnalysisResult R =
+      analyzeProgram(IR, ResourceMetric::ticks(), {}, "ycc_rgb_convert");
+  ASSERT_TRUE(R.Success);
+  const Bound &B = R.Bounds.at("ycc_rgb_convert");
+  TestRng Rng(13);
+  Interpreter I(IR, ResourceMetric::ticks());
+  for (int T = 0; T < 40; ++T) {
+    std::int64_t Nr = Rng.inRange(0, 20), Nc = Rng.inRange(0, 20);
+    std::int64_t Work = Nr * Nc; // The proposition (*) instantiation.
+    ExecResult Ex = I.run("ycc_rgb_convert", {Nr, Nc, Work});
+    ASSERT_TRUE(Ex.finished());
+    EXPECT_EQ(Ex.NetCost, Rational(Nr * Nc));
+    EXPECT_GE(B.evaluate({{"nr", Nr}, {"nc", Nc}, {"work", Work}}),
+              Ex.PeakCost);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter-vs-bound tightness spot checks
+//===----------------------------------------------------------------------===//
+
+TEST(Tightness, Example1IsExact) {
+  IRProgram IR = lowerOrDie(findEntry("example1")->Source);
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), {}, "f");
+  ASSERT_TRUE(R.Success);
+  Interpreter I(IR, ResourceMetric::ticks());
+  for (std::int64_t X : {-7, 0, 3})
+    for (std::int64_t Y : {-3, 0, 12}) {
+      Rational BV = R.Bounds.at("f").evaluate({{"x", X}, {"y", Y}});
+      EXPECT_EQ(BV, I.run("f", {X, Y}).NetCost) << X << "," << Y;
+    }
+}
+
+TEST(Tightness, T08GapMatchesFigure9) {
+  // Figure 9: the bound 4/3|[x,y]| + 1/3|[0,x]| is tight for x >= 0.
+  IRProgram IR = lowerOrDie(findEntry("t08")->Source);
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), {}, "f");
+  ASSERT_TRUE(R.Success);
+  Interpreter I(IR, ResourceMetric::ticks());
+  const Bound &B = R.Bounds.at("f");
+  for (std::int64_t X = 0; X <= 60; X += 6) {
+    std::int64_t Y = X + 30;
+    Rational BV = B.evaluate({{"x", X}, {"y", Y}});
+    Rational Cost = I.run("f", {X, Y}).NetCost;
+    EXPECT_GE(BV, Cost);
+    // Tight within one iteration's rounding.
+    EXPECT_LE(BV - Cost, Rational(2)) << "x=" << X;
+  }
+}
+
+TEST(Tightness, T09ConstantFactorIsTight) {
+  IRProgram IR = lowerOrDie(findEntry("t09")->Source);
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), {}, "f");
+  ASSERT_TRUE(R.Success);
+  Interpreter I(IR, ResourceMetric::ticks());
+  // Every 4th iteration costs 41, others 1: average 11 per iteration.
+  ExecResult E = I.run("f", {400});
+  EXPECT_EQ(E.NetCost, Rational(400 + 100 * 40));
+  EXPECT_EQ(R.Bounds.at("f").evaluate({{"x", 400}}), Rational(4400));
+}

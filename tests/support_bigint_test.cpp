@@ -1,0 +1,136 @@
+//===--- support_bigint_test.cpp - BigInt unit tests ----------------------===//
+
+#include "c4b/support/BigInt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using c4b::BigInt;
+
+TEST(BigInt, ConstructionAndToString) {
+  EXPECT_EQ(BigInt(0).toString(), "0");
+  EXPECT_EQ(BigInt(1).toString(), "1");
+  EXPECT_EQ(BigInt(-1).toString(), "-1");
+  EXPECT_EQ(BigInt(123456789).toString(), "123456789");
+  EXPECT_EQ(BigInt(-987654321).toString(), "-987654321");
+  EXPECT_EQ(BigInt(INT64_MAX).toString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).toString(), "-9223372036854775808");
+}
+
+TEST(BigInt, FromString) {
+  EXPECT_EQ(BigInt::fromString("0"), BigInt(0));
+  EXPECT_EQ(BigInt::fromString("-42"), BigInt(-42));
+  EXPECT_EQ(BigInt::fromString("00123"), BigInt(123));
+  BigInt Huge = BigInt::fromString("123456789012345678901234567890");
+  EXPECT_EQ(Huge.toString(), "123456789012345678901234567890");
+}
+
+TEST(BigInt, SignPredicates) {
+  EXPECT_TRUE(BigInt(0).isZero());
+  EXPECT_FALSE(BigInt(0).isNegative());
+  EXPECT_EQ(BigInt(0).sign(), 0);
+  EXPECT_EQ(BigInt(5).sign(), 1);
+  EXPECT_EQ(BigInt(-5).sign(), -1);
+  EXPECT_TRUE(BigInt(1).isOne());
+  EXPECT_FALSE(BigInt(-1).isOne());
+}
+
+TEST(BigInt, AddSubSmall) {
+  EXPECT_EQ(BigInt(2) + BigInt(3), BigInt(5));
+  EXPECT_EQ(BigInt(2) - BigInt(3), BigInt(-1));
+  EXPECT_EQ(BigInt(-2) + BigInt(-3), BigInt(-5));
+  EXPECT_EQ(BigInt(-2) - BigInt(-3), BigInt(1));
+  EXPECT_EQ(BigInt(7) + BigInt(-7), BigInt(0));
+}
+
+TEST(BigInt, MulDivModSmall) {
+  EXPECT_EQ(BigInt(6) * BigInt(7), BigInt(42));
+  EXPECT_EQ(BigInt(-6) * BigInt(7), BigInt(-42));
+  EXPECT_EQ(BigInt(42) / BigInt(5), BigInt(8));
+  EXPECT_EQ(BigInt(42) % BigInt(5), BigInt(2));
+  // Truncated division semantics (like C).
+  EXPECT_EQ(BigInt(-42) / BigInt(5), BigInt(-8));
+  EXPECT_EQ(BigInt(-42) % BigInt(5), BigInt(-2));
+  EXPECT_EQ(BigInt(42) / BigInt(-5), BigInt(-8));
+  EXPECT_EQ(BigInt(42) % BigInt(-5), BigInt(2));
+}
+
+TEST(BigInt, LargeArithmetic) {
+  BigInt A = BigInt::fromString("340282366920938463463374607431768211456");
+  BigInt B = BigInt::fromString("18446744073709551616");
+  EXPECT_EQ(A / B, B);
+  EXPECT_EQ(B * B, A);
+  EXPECT_EQ((A - BigInt(1)) % B, B - BigInt(1));
+}
+
+TEST(BigInt, Comparison) {
+  EXPECT_LT(BigInt(-3), BigInt(2));
+  EXPECT_LT(BigInt(-3), BigInt(-2));
+  EXPECT_GT(BigInt(10), BigInt(9));
+  EXPECT_LE(BigInt(4), BigInt(4));
+  BigInt Big = BigInt::fromString("99999999999999999999");
+  EXPECT_GT(Big, BigInt(INT64_MAX));
+  EXPECT_LT(-Big, BigInt(INT64_MIN));
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(7)), BigInt(7));
+  EXPECT_EQ(BigInt::gcd(BigInt(7), BigInt(0)), BigInt(7));
+  EXPECT_EQ(BigInt::gcd(BigInt(1), BigInt(1)), BigInt(1));
+}
+
+TEST(BigInt, ToInt64) {
+  bool Ok = false;
+  EXPECT_EQ(BigInt(INT64_MAX).toInt64(Ok), INT64_MAX);
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(BigInt(INT64_MIN).toInt64(Ok), INT64_MIN);
+  EXPECT_TRUE(Ok);
+  BigInt TooBig = BigInt(INT64_MAX) + BigInt(1);
+  TooBig.toInt64(Ok);
+  EXPECT_FALSE(Ok);
+  BigInt JustFits = BigInt(INT64_MIN);
+  EXPECT_EQ(JustFits.toInt64(Ok), INT64_MIN);
+  EXPECT_TRUE(Ok);
+}
+
+TEST(BigInt, RandomizedAgainstInt64) {
+  // Differential test of all arithmetic against native 64-bit ops on
+  // operands small enough to avoid overflow.
+  std::srand(12345);
+  for (int I = 0; I < 2000; ++I) {
+    std::int64_t A = (std::rand() % 2000001) - 1000000;
+    std::int64_t B = (std::rand() % 2000001) - 1000000;
+    EXPECT_EQ(BigInt(A) + BigInt(B), BigInt(A + B));
+    EXPECT_EQ(BigInt(A) - BigInt(B), BigInt(A - B));
+    EXPECT_EQ(BigInt(A) * BigInt(B), BigInt(A * B));
+    if (B != 0) {
+      EXPECT_EQ(BigInt(A) / BigInt(B), BigInt(A / B));
+      EXPECT_EQ(BigInt(A) % BigInt(B), BigInt(A % B));
+    }
+    EXPECT_EQ(BigInt(A).compare(BigInt(B)), A < B ? -1 : A == B ? 0 : 1);
+  }
+}
+
+TEST(BigInt, DivModInvariant) {
+  std::srand(999);
+  for (int I = 0; I < 500; ++I) {
+    BigInt A = BigInt(std::rand()) * BigInt(std::rand()) - BigInt(std::rand());
+    BigInt B = BigInt((std::rand() % 10000) + 1);
+    if (std::rand() % 2)
+      B = -B;
+    BigInt Q = A / B;
+    BigInt R = A % B;
+    EXPECT_EQ(Q * B + R, A);
+    EXPECT_LT(R.abs(), B.abs());
+  }
+}
+
+TEST(BigInt, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(0).toDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(BigInt(-12345).toDouble(), -12345.0);
+  EXPECT_NEAR(BigInt::fromString("10000000000000000000").toDouble(), 1e19,
+              1e6);
+}

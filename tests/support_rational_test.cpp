@@ -1,0 +1,81 @@
+//===--- support_rational_test.cpp - Rational unit tests ------------------===//
+
+#include "c4b/support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using c4b::Rational;
+
+TEST(Rational, Normalization) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 4), Rational(1, -2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(0, 5), Rational(0));
+  EXPECT_TRUE(Rational(0, -7).denominator().isOne());
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(3, 7), Rational(-3, 7));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_GE(Rational(4, 8), Rational(1, 2));
+  EXPECT_GT(Rational(0), Rational(-1, 1000000));
+}
+
+TEST(Rational, Predicates) {
+  EXPECT_TRUE(Rational(0).isZero());
+  EXPECT_TRUE(Rational(7).isInteger());
+  EXPECT_FALSE(Rational(7, 2).isInteger());
+  EXPECT_EQ(Rational(-5, 3).sign(), -1);
+  EXPECT_EQ(Rational(5, 3).sign(), 1);
+  EXPECT_EQ(Rational(0).sign(), 0);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3).toString(), "3");
+  EXPECT_EQ(Rational(-3, 2).toString(), "-3/2");
+  EXPECT_EQ(Rational(10, 5).toString(), "2");
+}
+
+TEST(Rational, FromString) {
+  EXPECT_EQ(Rational::fromString("7"), Rational(7));
+  EXPECT_EQ(Rational::fromString("-7"), Rational(-7));
+  EXPECT_EQ(Rational::fromString("2/3"), Rational(2, 3));
+  EXPECT_EQ(Rational::fromString("-2/3"), Rational(-2, 3));
+  EXPECT_EQ(Rational::fromString("1.25"), Rational(5, 4));
+  EXPECT_EQ(Rational::fromString("-0.5"), Rational(-1, 2));
+  EXPECT_EQ(Rational::fromString("0.1"), Rational(1, 10));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).toDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-1, 4).toDouble(), -0.25);
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational A(1, 2);
+  A += Rational(1, 2);
+  EXPECT_EQ(A, Rational(1));
+  A *= Rational(2, 3);
+  EXPECT_EQ(A, Rational(2, 3));
+  A -= Rational(2, 3);
+  EXPECT_TRUE(A.isZero());
+  A += Rational(9);
+  A /= Rational(3);
+  EXPECT_EQ(A, Rational(3));
+}
+
+TEST(Rational, NoPrecisionLoss) {
+  // Sum 1/3 three hundred times and get exactly 100.
+  Rational Sum(0);
+  for (int I = 0; I < 300; ++I)
+    Sum += Rational(1, 3);
+  EXPECT_EQ(Sum, Rational(100));
+}
