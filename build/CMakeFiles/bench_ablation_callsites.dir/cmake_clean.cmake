@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_callsites.dir/bench/bench_ablation_callsites.cpp.o"
+  "CMakeFiles/bench_ablation_callsites.dir/bench/bench_ablation_callsites.cpp.o.d"
+  "bench/bench_ablation_callsites"
+  "bench/bench_ablation_callsites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_callsites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_objective.dir/bench/bench_ablation_objective.cpp.o"
+  "CMakeFiles/bench_ablation_objective.dir/bench/bench_ablation_objective.cpp.o.d"
+  "bench/bench_ablation_objective"
+  "bench/bench_ablation_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weakening.dir/bench/bench_ablation_weakening.cpp.o"
+  "CMakeFiles/bench_ablation_weakening.dir/bench/bench_ablation_weakening.cpp.o.d"
+  "bench/bench_ablation_weakening"
+  "bench/bench_ablation_weakening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weakening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_parametric_loop.cpp" "CMakeFiles/bench_fig1_parametric_loop.dir/bench/bench_fig1_parametric_loop.cpp.o" "gcc" "CMakeFiles/bench_fig1_parametric_loop.dir/bench/bench_fig1_parametric_loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/c4b_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/c4b_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/c4b_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/c4b_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/c4b_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/c4b_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/c4b_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/c4b_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/c4b_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c4b_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_parametric_loop.dir/bench/bench_fig1_parametric_loop.cpp.o"
+  "CMakeFiles/bench_fig1_parametric_loop.dir/bench/bench_fig1_parametric_loop.cpp.o.d"
+  "bench/bench_fig1_parametric_loop"
+  "bench/bench_fig1_parametric_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_parametric_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_challenging_loops.dir/bench/bench_fig2_challenging_loops.cpp.o"
+  "CMakeFiles/bench_fig2_challenging_loops.dir/bench/bench_fig2_challenging_loops.cpp.o.d"
+  "bench/bench_fig2_challenging_loops"
+  "bench/bench_fig2_challenging_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_challenging_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_compositionality.dir/bench/bench_fig3_compositionality.cpp.o"
+  "CMakeFiles/bench_fig3_compositionality.dir/bench/bench_fig3_compositionality.cpp.o.d"
+  "bench/bench_fig3_compositionality"
+  "bench/bench_fig3_compositionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_compositionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

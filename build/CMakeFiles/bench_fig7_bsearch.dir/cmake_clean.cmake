@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_bsearch.dir/bench/bench_fig7_bsearch.cpp.o"
+  "CMakeFiles/bench_fig7_bsearch.dir/bench/bench_fig7_bsearch.cpp.o.d"
+  "bench/bench_fig7_bsearch"
+  "bench/bench_fig7_bsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_bsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

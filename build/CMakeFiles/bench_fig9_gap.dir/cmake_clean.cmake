@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gap.dir/bench/bench_fig9_gap.cpp.o"
+  "CMakeFiles/bench_fig9_gap.dir/bench/bench_fig9_gap.cpp.o.d"
+  "bench/bench_fig9_gap"
+  "bench/bench_fig9_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cbench.dir/bench/bench_table2_cbench.cpp.o"
+  "CMakeFiles/bench_table2_cbench.dir/bench/bench_table2_cbench.cpp.o.d"
+  "bench/bench_table2_cbench"
+  "bench/bench_table2_cbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_full.dir/bench/bench_table3_full.cpp.o"
+  "CMakeFiles/bench_table3_full.dir/bench/bench_table3_full.cpp.o.d"
+  "bench/bench_table3_full"
+  "bench/bench_table3_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_cli.dir/c4b_cli.cpp.o"
+  "CMakeFiles/c4b_cli.dir/c4b_cli.cpp.o.d"
+  "c4b"
+  "c4b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

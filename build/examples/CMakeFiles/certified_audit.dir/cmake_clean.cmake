@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certified_audit.dir/certified_audit.cpp.o"
+  "CMakeFiles/certified_audit.dir/certified_audit.cpp.o.d"
+  "certified_audit"
+  "certified_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certified_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_buffering.dir/crypto_buffering.cpp.o"
+  "CMakeFiles/crypto_buffering.dir/crypto_buffering.cpp.o.d"
+  "crypto_buffering"
+  "crypto_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_amortization.dir/memory_amortization.cpp.o"
+  "CMakeFiles/memory_amortization.dir/memory_amortization.cpp.o.d"
+  "memory_amortization"
+  "memory_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Analyzer.cpp" "src/analysis/CMakeFiles/c4b_analysis.dir/Analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/c4b_analysis.dir/Analyzer.cpp.o.d"
+  "/root/repo/src/analysis/ConstraintGen.cpp" "src/analysis/CMakeFiles/c4b_analysis.dir/ConstraintGen.cpp.o" "gcc" "src/analysis/CMakeFiles/c4b_analysis.dir/ConstraintGen.cpp.o.d"
+  "/root/repo/src/analysis/Potential.cpp" "src/analysis/CMakeFiles/c4b_analysis.dir/Potential.cpp.o" "gcc" "src/analysis/CMakeFiles/c4b_analysis.dir/Potential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/c4b_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/c4b_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/c4b_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/c4b_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c4b_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/c4b_ast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_analysis.dir/Analyzer.cpp.o"
+  "CMakeFiles/c4b_analysis.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/c4b_analysis.dir/ConstraintGen.cpp.o"
+  "CMakeFiles/c4b_analysis.dir/ConstraintGen.cpp.o.d"
+  "CMakeFiles/c4b_analysis.dir/Potential.cpp.o"
+  "CMakeFiles/c4b_analysis.dir/Potential.cpp.o.d"
+  "libc4b_analysis.a"
+  "libc4b_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

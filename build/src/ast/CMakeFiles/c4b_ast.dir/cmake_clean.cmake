@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_ast.dir/AST.cpp.o"
+  "CMakeFiles/c4b_ast.dir/AST.cpp.o.d"
+  "CMakeFiles/c4b_ast.dir/Lexer.cpp.o"
+  "CMakeFiles/c4b_ast.dir/Lexer.cpp.o.d"
+  "CMakeFiles/c4b_ast.dir/Parser.cpp.o"
+  "CMakeFiles/c4b_ast.dir/Parser.cpp.o.d"
+  "libc4b_ast.a"
+  "libc4b_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

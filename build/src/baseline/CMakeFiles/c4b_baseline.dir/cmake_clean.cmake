@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_baseline.dir/Ranking.cpp.o"
+  "CMakeFiles/c4b_baseline.dir/Ranking.cpp.o.d"
+  "libc4b_baseline.a"
+  "libc4b_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

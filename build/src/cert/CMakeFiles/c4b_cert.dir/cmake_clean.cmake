@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_cert.dir/Certificate.cpp.o"
+  "CMakeFiles/c4b_cert.dir/Certificate.cpp.o.d"
+  "libc4b_cert.a"
+  "libc4b_cert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_cert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/c4b_corpus.dir/Corpus.cpp.o.d"
+  "libc4b_corpus.a"
+  "libc4b_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

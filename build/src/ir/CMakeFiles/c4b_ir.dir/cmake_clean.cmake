@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_ir.dir/IR.cpp.o"
+  "CMakeFiles/c4b_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/c4b_ir.dir/Lowering.cpp.o"
+  "CMakeFiles/c4b_ir.dir/Lowering.cpp.o.d"
+  "libc4b_ir.a"
+  "libc4b_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

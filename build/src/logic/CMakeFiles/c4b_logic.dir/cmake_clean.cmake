@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_logic.dir/Context.cpp.o"
+  "CMakeFiles/c4b_logic.dir/Context.cpp.o.d"
+  "libc4b_logic.a"
+  "libc4b_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

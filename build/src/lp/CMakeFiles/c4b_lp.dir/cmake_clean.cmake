@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_lp.dir/Presolve.cpp.o"
+  "CMakeFiles/c4b_lp.dir/Presolve.cpp.o.d"
+  "CMakeFiles/c4b_lp.dir/Solver.cpp.o"
+  "CMakeFiles/c4b_lp.dir/Solver.cpp.o.d"
+  "libc4b_lp.a"
+  "libc4b_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sem/Interp.cpp" "src/sem/CMakeFiles/c4b_sem.dir/Interp.cpp.o" "gcc" "src/sem/CMakeFiles/c4b_sem.dir/Interp.cpp.o.d"
+  "/root/repo/src/sem/Metric.cpp" "src/sem/CMakeFiles/c4b_sem.dir/Metric.cpp.o" "gcc" "src/sem/CMakeFiles/c4b_sem.dir/Metric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/c4b_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c4b_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/c4b_ast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_sem.dir/Interp.cpp.o"
+  "CMakeFiles/c4b_sem.dir/Interp.cpp.o.d"
+  "CMakeFiles/c4b_sem.dir/Metric.cpp.o"
+  "CMakeFiles/c4b_sem.dir/Metric.cpp.o.d"
+  "libc4b_sem.a"
+  "libc4b_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

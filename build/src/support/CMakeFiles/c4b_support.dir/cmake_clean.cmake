@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4b_support.dir/BigInt.cpp.o"
+  "CMakeFiles/c4b_support.dir/BigInt.cpp.o.d"
+  "CMakeFiles/c4b_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/c4b_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/c4b_support.dir/Rational.cpp.o"
+  "CMakeFiles/c4b_support.dir/Rational.cpp.o.d"
+  "libc4b_support.a"
+  "libc4b_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4b_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

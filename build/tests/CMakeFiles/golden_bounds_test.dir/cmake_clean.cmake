@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_bounds_test.dir/golden_bounds_test.cpp.o"
+  "CMakeFiles/golden_bounds_test.dir/golden_bounds_test.cpp.o.d"
+  "golden_bounds_test"
+  "golden_bounds_test.pdb"
+  "golden_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_context_test.dir/logic_context_test.cpp.o"
+  "CMakeFiles/logic_context_test.dir/logic_context_test.cpp.o.d"
+  "logic_context_test"
+  "logic_context_test.pdb"
+  "logic_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

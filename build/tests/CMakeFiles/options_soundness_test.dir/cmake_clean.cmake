@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/options_soundness_test.dir/options_soundness_test.cpp.o"
+  "CMakeFiles/options_soundness_test.dir/options_soundness_test.cpp.o.d"
+  "options_soundness_test"
+  "options_soundness_test.pdb"
+  "options_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/options_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/support_rational_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_presolve_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/logic_context_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/cert_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/options_soundness_test[1]_include.cmake")
