@@ -1,9 +1,13 @@
-//===--- bench_throughput.cpp - Analyzer phase micro-benchmarks ------------===//
+//===--- bench_throughput.cpp - Batch throughput + phase benchmarks --------===//
 //
-// Google-benchmark timings for the pipeline phases (parse+lower, abstract
-// interpretation + constraint generation + LP, certificate check, and the
-// reference interpreter), supporting the Table 2 claim that analyses
-// finish in fractions of a second.
+// Two parts.  First, a BatchAnalyzer throughput experiment: the full
+// Table 3 corpus is analyzed serially (1 worker) and with an N-thread
+// pool, the bounds are cross-checked for bit-identity, and the wall
+// times plus per-stage totals land in BENCH_throughput.json.  Second,
+// the original google-benchmark micro-timings for the pipeline phases
+// (parse+lower, analysis, certificate check, reference interpreter),
+// supporting the Table 2 claim that analyses finish in fractions of a
+// second.
 //
 //===----------------------------------------------------------------------===//
 
@@ -11,9 +15,13 @@
 #include "c4b/ast/Parser.h"
 #include "c4b/cert/Certificate.h"
 #include "c4b/corpus/Corpus.h"
+#include "c4b/pipeline/Batch.h"
 #include "c4b/sem/Interp.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
 
 using namespace c4b;
 
@@ -32,6 +40,99 @@ IRProgram lowered(const char *Name) {
   auto IR = lowerProgram(*P, D);
   return std::move(*IR);
 }
+
+//===----------------------------------------------------------------------===//
+// Part 1: serial vs parallel batch throughput over the Table 3 corpus.
+//===----------------------------------------------------------------------===//
+
+std::vector<BatchJob> corpusJobs() {
+  std::vector<BatchJob> Jobs;
+  for (const CorpusEntry &E : corpus()) {
+    BatchJob J;
+    J.Name = E.Name;
+    J.Source = E.Source;
+    J.Focus = E.Function;
+    Jobs.push_back(std::move(J));
+  }
+  return Jobs;
+}
+
+void emitStageTotals(FILE *F, const char *Key, const BatchStats &S) {
+  std::fprintf(F,
+               "  \"%s\": {\"wall_seconds\": %.6f, \"jobs\": %d, "
+               "\"succeeded\": %d,\n"
+               "    \"stage_totals_seconds\": {\"frontend\": %.6f, "
+               "\"generate\": %.6f, \"solve\": %.6f}}",
+               Key, S.WallSeconds, S.NumJobs, S.NumSucceeded,
+               S.StageTotals.FrontendSeconds, S.StageTotals.GenerateSeconds,
+               S.StageTotals.SolveSeconds);
+}
+
+/// Runs the corpus through a 1-worker and an N-worker BatchAnalyzer,
+/// verifies the results agree bit-for-bit, and records both timings.
+int runThroughputExperiment() {
+  std::vector<BatchJob> Jobs = corpusJobs();
+  unsigned HW = std::thread::hardware_concurrency();
+  int Par = static_cast<int>(HW ? HW : 1);
+  if (Par < 4)
+    Par = 4; // Exercise the pool even on small machines.
+
+  BatchAnalyzer Serial(1);
+  std::vector<BatchItem> SerialItems = Serial.run(Jobs);
+  BatchStats SerialStats = Serial.stats();
+
+  BatchAnalyzer Parallel(Par);
+  std::vector<BatchItem> ParItems = Parallel.run(Jobs);
+  BatchStats ParStats = Parallel.stats();
+
+  int Mismatches = 0;
+  for (std::size_t I = 0; I < Jobs.size(); ++I) {
+    const AnalysisResult &A = SerialItems[I].Result;
+    const AnalysisResult &B = ParItems[I].Result;
+    bool Same = A.Success == B.Success && A.Solution == B.Solution;
+    if (Same && A.Success)
+      for (const auto &[Fn, Bd] : A.Bounds)
+        if (Bd.toString() != B.Bounds.at(Fn).toString())
+          Same = false;
+    if (!Same) {
+      ++Mismatches;
+      std::fprintf(stderr, "MISMATCH %s: serial and %d-thread results differ\n",
+                   Jobs[I].Name.c_str(), Par);
+    }
+  }
+
+  double Speedup = ParStats.WallSeconds > 0.0
+                       ? SerialStats.WallSeconds / ParStats.WallSeconds
+                       : 0.0;
+
+  FILE *F = std::fopen("BENCH_throughput.json", "w");
+  if (F) {
+    std::fprintf(F, "{\n");
+    std::fprintf(F, "  \"corpus\": \"table3\",\n");
+    std::fprintf(F, "  \"num_programs\": %zu,\n", Jobs.size());
+    std::fprintf(F, "  \"threads\": %d,\n", Par);
+    std::fprintf(F, "  \"hardware_concurrency\": %u,\n", HW);
+    emitStageTotals(F, "serial", SerialStats);
+    std::fprintf(F, ",\n");
+    emitStageTotals(F, "parallel", ParStats);
+    std::fprintf(F, ",\n");
+    std::fprintf(F, "  \"speedup\": %.3f,\n", Speedup);
+    std::fprintf(F, "  \"bounds_identical\": %s\n",
+                 Mismatches == 0 ? "true" : "false");
+    std::fprintf(F, "}\n");
+    std::fclose(F);
+  }
+
+  std::printf("batch throughput: %zu programs, serial %.3fs, "
+              "%d threads %.3fs, speedup %.2fx, results %s\n",
+              Jobs.size(), SerialStats.WallSeconds, Par, ParStats.WallSeconds,
+              Speedup, Mismatches == 0 ? "identical" : "DIFFER");
+  return Mismatches;
+}
+
+//===----------------------------------------------------------------------===//
+// Part 2: phase micro-benchmarks (google-benchmark).
+//===----------------------------------------------------------------------===//
 
 void BM_ParseAndLower(benchmark::State &State) {
   const CorpusEntry &E = entry("t27");
@@ -92,4 +193,12 @@ BENCHMARK(BM_Interpreter_T08_Grid);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  int Mismatches = runThroughputExperiment();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return Mismatches == 0 ? 0 : 1;
+}

@@ -28,6 +28,7 @@
 #include "c4b/logic/Context.h"
 #include "c4b/lp/Solver.h"
 #include "c4b/sem/Metric.h"
+#include "c4b/support/Diagnostics.h"
 
 #include <map>
 #include <optional>
@@ -79,12 +80,34 @@ struct FuncSpec {
   bool ReturnsValue = false;
 };
 
+/// The stage-1 objective over a spec map: interval coefficients of every
+/// canonical precondition, weighted by the Section 5 penalty scheme.  When
+/// \p Focus names a function its terms dominate.  Shared by the live
+/// ProgramAnalyzer and the materialized ConstraintSystem.
+std::vector<LinTerm> stage1ObjectiveFor(
+    const std::map<std::string, FuncSpec> &Specs, const std::string &Focus);
+
+/// The stage-2 objective over a spec map: constant potential of every
+/// canonical spec precondition.
+std::vector<LinTerm> stage2ObjectiveFor(
+    const std::map<std::string, FuncSpec> &Specs, const std::string &Focus);
+
+/// Reconstructs the bound of \p Function from a solved value vector;
+/// nullopt when the spec map has no such function.
+std::optional<Bound> boundFromSpecs(
+    const std::map<std::string, FuncSpec> &Specs, const std::string &Function,
+    const std::vector<Rational> &Values);
+
 /// Runs the derivation over a whole program, bottom-up over call-graph
 /// SCCs, writing constraints into the sink.
 class ProgramAnalyzer {
 public:
+  /// \p Diags, when non-null, receives one note per structural-failure
+  /// site (call-depth blowout, missing callee) so a failed analysis can
+  /// report per-function reasons instead of one opaque string.
   ProgramAnalyzer(const IRProgram &P, const ResourceMetric &M,
-                  const AnalysisOptions &O, ConstraintSink &Sink);
+                  const AnalysisOptions &O, ConstraintSink &Sink,
+                  DiagnosticEngine *Diags = nullptr);
 
   /// Emits all constraints.  Returns false on structural failure (e.g.
   /// call-depth blowout); LP infeasibility is discovered later by the
@@ -114,6 +137,7 @@ private:
   const ResourceMetric &Metric;
   AnalysisOptions Opts;
   ConstraintSink &Sink;
+  DiagnosticEngine *Diags;
   CallGraph CG;
   std::map<std::string, std::set<std::string>> ModGlobals;
   std::map<std::string, FuncSpec> Specs;
@@ -128,10 +152,12 @@ private:
   void analyzeFunctionBody(const IRFunction &F, const FuncSpec &Spec,
                            const std::set<std::string> &CurrentSCC, int Depth);
   /// Instantiates a fresh spec for a cross-SCC callee (polymorphic mode) or
-  /// returns the canonical one (monomorphic / in-SCC).
+  /// returns the canonical one (monomorphic / in-SCC).  \p Caller and
+  /// \p Loc identify the call site for failure notes.
   const FuncSpec *specForCall(const std::string &Callee,
                               const std::set<std::string> &CurrentSCC,
-                              int Depth, FuncSpec &Storage);
+                              int Depth, FuncSpec &Storage,
+                              const std::string &Caller, SourceLoc Loc);
   void collectConstAtoms();
 };
 

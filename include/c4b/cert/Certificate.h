@@ -23,6 +23,7 @@
 #define C4B_CERT_CERTIFICATE_H
 
 #include "c4b/analysis/Analyzer.h"
+#include "c4b/pipeline/Pipeline.h"
 
 #include <optional>
 #include <string>
@@ -55,9 +56,17 @@ struct CheckReport {
   std::vector<std::string> Violations;
 };
 
-/// Validates \p C against \p P: replays the derivation deterministically,
-/// checks every constraint, non-negativity of all coefficients, and that
-/// the claimed bounds equal the entry potentials of the certified values.
+/// Validates \p C against a materialized constraint system: checks that
+/// the system was generated under the certificate's metric and options,
+/// evaluates every recorded constraint against the certified values,
+/// checks non-negativity of all coefficients, and that the claimed bounds
+/// equal the entry potentials of the certified values.  No IR walk
+/// happens here — the system already is the derivation, materialized.
+CheckReport checkCertificate(const ConstraintSystem &CS, const Certificate &C);
+
+/// Convenience: materializes the derivation of \p P once (the only IR
+/// walk) under the certificate's metric/options, then validates against
+/// that system.
 CheckReport checkCertificate(const IRProgram &P, const Certificate &C);
 
 /// Resolves a preset metric by name ("ticks", "backedges", "steps",

@@ -1,0 +1,155 @@
+//===--- Pipeline.h - Staged analysis pipeline ------------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis as an explicit pipeline of immutable stage artifacts:
+///
+///   source ──parse──▶ ParsedModule ──lower──▶ LoweredModule
+///     ──generateConstraints──▶ ConstraintSystem ──solveSystem──▶ SolvedSystem
+///
+/// Each artifact is self-contained and reusable.  A LoweredModule can be
+/// re-solved under different metrics, options, or focus functions without
+/// re-parsing; a ConstraintSystem is a *materialized* record of the
+/// constraint stream (variable names included) that can be replayed into
+/// the presolving LP solver, the certificate validator, or a serializer
+/// without re-walking the IR.  The classic `analyzeProgram`/`analyzeSource`
+/// entry points are thin wrappers over these stages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_PIPELINE_PIPELINE_H
+#define C4B_PIPELINE_PIPELINE_H
+
+#include "c4b/analysis/Analyzer.h"
+#include "c4b/analysis/ConstraintGen.h"
+#include "c4b/ast/AST.h"
+#include "c4b/ir/IR.h"
+#include "c4b/sem/Metric.h"
+#include "c4b/support/Diagnostics.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// Stage 1 artifact: a parsed source buffer.  `Ast` is empty on parse
+/// failure; `Diags` holds the reasons either way.
+struct ParsedModule {
+  std::string Name;
+  std::optional<Program> Ast;
+  DiagnosticEngine Diags;
+
+  bool ok() const { return Ast.has_value(); }
+};
+
+/// Parses one source buffer.  \p Name is a caller-chosen label carried
+/// through the pipeline (batch reports, diagnostics).
+ParsedModule parseModule(const std::string &Source, std::string Name = "");
+
+/// Stage 2 artifact: the normalized IR of a module.  `IR` is empty when
+/// parsing or lowering failed; `Diags` accumulates both stages.
+struct LoweredModule {
+  std::string Name;
+  std::optional<IRProgram> IR;
+  DiagnosticEngine Diags;
+
+  bool ok() const { return IR.has_value(); }
+};
+
+/// Lowers a parsed module (consumes it: the AST moves into the lowering).
+LoweredModule lowerModule(ParsedModule P);
+
+/// Convenience: parse + lower in one step.
+LoweredModule frontend(const std::string &Source, std::string Name = "");
+
+/// Stage 3 artifact: the constraint system of one derivation walk,
+/// materialized.  Replaces the live-only ConstraintSink coupling: the
+/// variable/constraint stream the walk emitted is recorded here verbatim
+/// (ids are positions, so a replay reproduces the walk exactly), together
+/// with the function specifications needed to form objectives and read
+/// bounds back out of a solution.
+struct ConstraintSystem {
+  /// Metric/options that pinned down the derivation walk.  A solution of
+  /// this system certifies bounds only under these.
+  std::string MetricName;
+  AnalysisOptions Options;
+
+  /// The recorded stream: VarNames[i] names LP variable i (all variables
+  /// are implicitly >= 0), Constraints in emission order.
+  std::vector<std::string> VarNames;
+  std::vector<LinConstraint> Constraints;
+
+  /// Canonical per-function specs (objective formation, bound read-back).
+  std::map<std::string, FuncSpec> Specs;
+
+  /// False when the walk failed structurally (call-depth blowout, missing
+  /// function); Diags then carries one note per failure site.
+  bool StructuralOk = false;
+  DiagnosticEngine Diags;
+
+  // Walk statistics.
+  int WeakenPoints = 0;
+  int CallInstantiations = 0;
+
+  int numVars() const { return static_cast<int>(VarNames.size()); }
+  int numConstraints() const { return static_cast<int>(Constraints.size()); }
+
+  /// Replays the recorded stream into \p Sink: every variable in id order,
+  /// then every constraint in emission order.  Ids line up with the
+  /// original walk by construction.
+  void replay(ConstraintSink &Sink) const;
+
+  /// The two-stage lexicographic objectives of Section 5 over this
+  /// system's specs (see ProgramAnalyzer::stage1Objective).
+  std::vector<LinTerm> stage1Objective(const std::string &Focus = "") const;
+  std::vector<LinTerm> stage2Objective(const std::string &Focus = "") const;
+
+  /// Reads the bound of \p Function out of a solved value vector.
+  std::optional<Bound> boundOf(const std::string &Function,
+                               const std::vector<Rational> &Values) const;
+
+  /// Line-oriented text export (variables, then constraints); stable
+  /// across replays of the same walk.
+  std::string serialize() const;
+};
+
+/// Stage 3: runs the derivation walk once and materializes it.
+ConstraintSystem generateConstraints(const IRProgram &P,
+                                     const ResourceMetric &M,
+                                     const AnalysisOptions &O = {});
+
+/// Stage 4 artifact: one LP solve of a ConstraintSystem.
+struct SolvedSystem {
+  LPStatus Status = LPStatus::Infeasible;
+  /// The full rational solution: a proof certificate for the bounds.
+  std::vector<Rational> Values;
+  /// Solved bound of every function in the system.
+  std::map<std::string, Bound> Bounds;
+
+  // Solver statistics.
+  int NumEliminated = 0;
+
+  bool ok() const { return Status == LPStatus::Optimal; }
+};
+
+/// Stage 4: replays \p CS into the presolving LP solver and runs the
+/// (optionally two-stage) minimization.  Different \p Focus values re-use
+/// the same ConstraintSystem; no IR walk happens here.
+SolvedSystem solveSystem(const ConstraintSystem &CS,
+                         const std::string &Focus = "");
+
+/// Assembles the classic AnalysisResult from stage artifacts.  The serial
+/// entry points and the batch analyzer both go through this, so their
+/// results are identical by construction (AnalysisSeconds excepted — the
+/// caller stamps wall time).
+AnalysisResult toAnalysisResult(const ConstraintSystem &CS, SolvedSystem S);
+
+} // namespace c4b
+
+#endif // C4B_PIPELINE_PIPELINE_H

@@ -53,6 +53,9 @@ public:
   void warning(SourceLoc Loc, const std::string &Msg) {
     Diags.push_back({DiagKind::Warning, Loc, Msg});
   }
+  void note(SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back({DiagKind::Note, Loc, Msg});
+  }
 
   bool hasErrors() const {
     for (const Diagnostic &D : Diags)

@@ -736,7 +736,8 @@ private:
   void handleCall(const IRStmt &S) {
     maybeWeaken(WeakenPlacement::Normal, "weaken.call");
     FuncSpec Storage;
-    const FuncSpec *Callee = PA.specForCall(S.Callee, SCC, Depth, Storage);
+    const FuncSpec *Callee =
+        PA.specForCall(S.Callee, SCC, Depth, Storage, F.Name, S.Loc);
     if (!Callee)
       return; // Structural failure already recorded.
     const IRFunction *CalleeFn = PA.Prog.findFunction(S.Callee);
@@ -1173,8 +1174,9 @@ void FunctionWalker::run() {
 //===----------------------------------------------------------------------===//
 
 ProgramAnalyzer::ProgramAnalyzer(const IRProgram &P, const ResourceMetric &M,
-                                 const AnalysisOptions &O, ConstraintSink &Sink)
-    : Prog(P), Metric(M), Opts(O), Sink(Sink) {
+                                 const AnalysisOptions &O, ConstraintSink &Sink,
+                                 DiagnosticEngine *Diags)
+    : Prog(P), Metric(M), Opts(O), Sink(Sink), Diags(Diags) {
   CG = buildCallGraph(P);
   ModGlobals = computeModifiedGlobals(P, CG);
   collectConstAtoms();
@@ -1224,10 +1226,14 @@ void ProgramAnalyzer::analyzeFunctionBody(const IRFunction &F,
 const FuncSpec *
 ProgramAnalyzer::specForCall(const std::string &Callee,
                              const std::set<std::string> &CurrentSCC,
-                             int Depth, FuncSpec &Storage) {
+                             int Depth, FuncSpec &Storage,
+                             const std::string &Caller, SourceLoc Loc) {
   const IRFunction *Fn = Prog.findFunction(Callee);
   if (!Fn) {
     Failed = true;
+    if (Diags)
+      Diags->note(Loc, "in '" + Caller + "': call to undefined function '" +
+                           Callee + "'");
     return nullptr;
   }
   if (CurrentSCC.count(Callee) || !Opts.PolymorphicCalls) {
@@ -1237,6 +1243,12 @@ ProgramAnalyzer::specForCall(const std::string &Callee,
   }
   if (Depth + 1 > Opts.MaxCallDepth) {
     Failed = true;
+    if (Diags)
+      Diags->note(Loc, "in '" + Caller + "': call to '" + Callee +
+                           "' exceeds the specialization depth limit (" +
+                           std::to_string(Opts.MaxCallDepth) +
+                           "); raise AnalysisOptions::MaxCallDepth or use "
+                           "monomorphic specs");
     return nullptr;
   }
   ++CallInstantiations;
@@ -1268,7 +1280,8 @@ bool ProgramAnalyzer::run() {
 }
 
 std::vector<LinTerm>
-ProgramAnalyzer::stage1Objective(const std::string &Focus) const {
+c4b::stage1ObjectiveFor(const std::map<std::string, FuncSpec> &Specs,
+                        const std::string &Focus) {
   std::vector<LinTerm> Obj;
   for (const auto &[Name, Spec] : Specs) {
     Rational Scale =
@@ -1284,7 +1297,8 @@ ProgramAnalyzer::stage1Objective(const std::string &Focus) const {
 }
 
 std::vector<LinTerm>
-ProgramAnalyzer::stage2Objective(const std::string &Focus) const {
+c4b::stage2ObjectiveFor(const std::map<std::string, FuncSpec> &Specs,
+                        const std::string &Focus) {
   std::vector<LinTerm> Obj;
   for (const auto &[Name, Spec] : Specs) {
     Rational Scale =
@@ -1307,8 +1321,9 @@ ProgramAnalyzer::stage2Objective(const std::string &Focus) const {
 }
 
 std::optional<Bound>
-ProgramAnalyzer::boundOf(const std::string &Function,
-                         const std::vector<Rational> &Values) const {
+c4b::boundFromSpecs(const std::map<std::string, FuncSpec> &Specs,
+                    const std::string &Function,
+                    const std::vector<Rational> &Values) {
   auto It = Specs.find(Function);
   if (It == Specs.end())
     return std::nullopt;
@@ -1334,4 +1349,20 @@ ProgramAnalyzer::boundOf(const std::string &Function,
     B.Terms.push_back({V, P.first, P.second});
   }
   return B;
+}
+
+std::vector<LinTerm>
+ProgramAnalyzer::stage1Objective(const std::string &Focus) const {
+  return stage1ObjectiveFor(Specs, Focus);
+}
+
+std::vector<LinTerm>
+ProgramAnalyzer::stage2Objective(const std::string &Focus) const {
+  return stage2ObjectiveFor(Specs, Focus);
+}
+
+std::optional<Bound>
+ProgramAnalyzer::boundOf(const std::string &Function,
+                         const std::vector<Rational> &Values) const {
+  return boundFromSpecs(Specs, Function, Values);
 }

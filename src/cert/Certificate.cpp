@@ -108,56 +108,29 @@ std::optional<Certificate> Certificate::deserialize(const std::string &Text) {
 
 namespace {
 
-/// Evaluates each emitted constraint against the certified values.
-class CheckSink : public ConstraintSink {
-public:
-  CheckSink(const std::vector<Rational> &Values, CheckReport &Report)
-      : Values(Values), Report(Report) {}
-
-  int addVar(const std::string &Name) override {
-    (void)Name;
-    return Next++;
-  }
-
-  void addConstraint(std::vector<LinTerm> Terms, Rel R,
-                     Rational Rhs) override {
-    ++Report.ConstraintsChecked;
-    Rational Lhs(0);
-    for (const LinTerm &T : Terms) {
-      if (T.Var < 0 || T.Var >= static_cast<int>(Values.size())) {
-        fail("constraint references variable outside the certificate");
-        return;
-      }
-      Lhs += T.Coef * Values[static_cast<std::size_t>(T.Var)];
-    }
-    bool Ok = R == Rel::Eq   ? Lhs == Rhs
-              : R == Rel::Le ? Lhs <= Rhs
-                             : Lhs >= Rhs;
-    if (!Ok)
-      fail("constraint " + std::to_string(Report.ConstraintsChecked) +
-           " violated: lhs=" + Lhs.toString() + " rhs=" + Rhs.toString());
-  }
-
-  int numVars() const { return Next; }
-
-private:
-  const std::vector<Rational> &Values;
-  CheckReport &Report;
-  int Next = 0;
-
-  void fail(const std::string &Msg) {
-    if (Report.Violations.size() < 16)
-      Report.Violations.push_back(Msg);
-  }
-};
+void fail(CheckReport &Report, const std::string &Msg) {
+  if (Report.Violations.size() < 16)
+    Report.Violations.push_back(Msg);
+}
 
 } // namespace
 
-CheckReport c4b::checkCertificate(const IRProgram &P, const Certificate &C) {
+CheckReport c4b::checkCertificate(const ConstraintSystem &CS,
+                                  const Certificate &C) {
   CheckReport Report;
-  std::optional<ResourceMetric> M = metricByName(C.MetricName);
-  if (!M) {
-    Report.Violations.push_back("unknown metric '" + C.MetricName + "'");
+  // The metric and options pin down the derivation; a system generated
+  // under different ones records a different walk and certifies nothing
+  // about this certificate's claims.
+  if (CS.MetricName != C.MetricName ||
+      CS.Options.Weaken != C.Options.Weaken ||
+      CS.Options.PolymorphicCalls != C.Options.PolymorphicCalls) {
+    Report.Violations.push_back(
+        "constraint system was generated under different metric/options "
+        "than the certificate");
+    return Report;
+  }
+  if (!CS.StructuralOk) {
+    Report.Violations.push_back("derivation replay failed structurally");
     return Report;
   }
   for (std::size_t I = 0; I < C.Values.size(); ++I)
@@ -166,22 +139,39 @@ CheckReport c4b::checkCertificate(const IRProgram &P, const Certificate &C) {
                                   std::to_string(I));
       return Report;
     }
-
-  CheckSink Sink(C.Values, Report);
-  ProgramAnalyzer PA(P, *M, C.Options, Sink);
-  if (!PA.run()) {
-    Report.Violations.push_back("derivation replay failed structurally");
-    return Report;
-  }
-  if (Sink.numVars() != static_cast<int>(C.Values.size()))
+  if (CS.numVars() != static_cast<int>(C.Values.size()))
     Report.Violations.push_back(
-        "certificate size mismatch: replay allocated " +
-        std::to_string(Sink.numVars()) + " variables, certificate has " +
+        "certificate size mismatch: derivation allocated " +
+        std::to_string(CS.numVars()) + " variables, certificate has " +
         std::to_string(C.Values.size()));
+
+  // One arithmetic check per recorded rule instance; no LP, no IR walk.
+  for (const LinConstraint &Row : CS.Constraints) {
+    ++Report.ConstraintsChecked;
+    Rational Lhs(0);
+    bool Bad = false;
+    for (const LinTerm &T : Row.Terms) {
+      if (T.Var < 0 || T.Var >= static_cast<int>(C.Values.size())) {
+        fail(Report, "constraint references variable outside the certificate");
+        Bad = true;
+        break;
+      }
+      Lhs += T.Coef * C.Values[static_cast<std::size_t>(T.Var)];
+    }
+    if (Bad)
+      continue;
+    bool Ok = Row.R == Rel::Eq   ? Lhs == Row.Rhs
+              : Row.R == Rel::Le ? Lhs <= Row.Rhs
+                                 : Lhs >= Row.Rhs;
+    if (!Ok)
+      fail(Report, "constraint " + std::to_string(Report.ConstraintsChecked) +
+                       " violated: lhs=" + Lhs.toString() +
+                       " rhs=" + Row.Rhs.toString());
+  }
 
   // The claimed bounds must be exactly the certified entry potentials.
   for (const auto &[Fn, Claimed] : C.Bounds) {
-    std::optional<Bound> B = PA.boundOf(Fn, C.Values);
+    std::optional<Bound> B = CS.boundOf(Fn, C.Values);
     if (!B) {
       Report.Violations.push_back("no such function: " + Fn);
       continue;
@@ -199,4 +189,14 @@ CheckReport c4b::checkCertificate(const IRProgram &P, const Certificate &C) {
 
   Report.Valid = Report.Violations.empty();
   return Report;
+}
+
+CheckReport c4b::checkCertificate(const IRProgram &P, const Certificate &C) {
+  std::optional<ResourceMetric> M = metricByName(C.MetricName);
+  if (!M) {
+    CheckReport Report;
+    Report.Violations.push_back("unknown metric '" + C.MetricName + "'");
+    return Report;
+  }
+  return checkCertificate(generateConstraints(P, *M, C.Options), C);
 }

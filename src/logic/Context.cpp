@@ -5,6 +5,7 @@
 #include "c4b/lp/Solver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 using namespace c4b;
@@ -31,8 +32,11 @@ Rational ceilRat(const Rational &R) { return -floorRat(-R); }
 
 void LogicContext::invalidate() {
   FeasChecked = false;
-  static long Counter = 0;
-  Version = ++Counter;
+  // Atomic: concurrent analyses (pipeline BatchAnalyzer) all stamp from
+  // this counter, and a duplicated version across threads would alias
+  // entries in per-walker bound caches keyed on it.
+  static std::atomic<long> Counter{0};
+  Version = Counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 bool LogicContext::mentionsVar(const std::string &V) const {

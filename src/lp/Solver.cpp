@@ -2,6 +2,7 @@
 
 #include "c4b/lp/Solver.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -269,9 +270,11 @@ private:
 LPResult SimplexSolver::minimize(const LPProblem &P,
                                  const std::vector<LinTerm> &Objective) {
   if (getenv("C4B_LP_STATS")) {
-    static long Calls = 0;
-    if (++Calls % 10000 == 0)
-      fprintf(stderr, "[lp] %ld solves (cur: %d vars, %d rows)\n", Calls,
+    // Atomic: solves run concurrently under the pipeline BatchAnalyzer.
+    static std::atomic<long> Calls{0};
+    long N = Calls.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (N % 10000 == 0)
+      fprintf(stderr, "[lp] %ld solves (cur: %d vars, %d rows)\n", N,
               P.numVars(), P.numConstraints());
   }
   Tableau T(P);

@@ -1,0 +1,49 @@
+//===--- Analyzer.cpp - Public bound-inference API -------------------------===//
+//
+// The classic one-call entry points, now thin wrappers over the staged
+// pipeline (c4b/pipeline/Pipeline.h): parse -> lower -> materialize the
+// constraint system -> solve.  Kept source-compatible; new code that wants
+// to reuse stage artifacts should call the pipeline directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/analysis/Analyzer.h"
+
+#include "c4b/pipeline/Pipeline.h"
+
+#include <chrono>
+
+using namespace c4b;
+
+AnalysisResult c4b::analyzeProgram(const IRProgram &P, const ResourceMetric &M,
+                                   const AnalysisOptions &O,
+                                   const std::string &Focus) {
+  auto Start = std::chrono::steady_clock::now();
+  ConstraintSystem CS = generateConstraints(P, M, O);
+  SolvedSystem S =
+      CS.StructuralOk ? solveSystem(CS, Focus) : SolvedSystem{};
+  AnalysisResult R = toAnalysisResult(CS, std::move(S));
+  R.AnalysisSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return R;
+}
+
+AnalysisResult c4b::analyzeSource(const std::string &Source,
+                                  const ResourceMetric &M,
+                                  const AnalysisOptions &O,
+                                  const std::string &Focus) {
+  ParsedModule P = parseModule(Source);
+  if (!P.ok()) {
+    AnalysisResult R;
+    R.Error = "parse error:\n" + P.Diags.toString();
+    return R;
+  }
+  LoweredModule L = lowerModule(std::move(P));
+  if (!L.ok()) {
+    AnalysisResult R;
+    R.Error = "lowering error:\n" + L.Diags.toString();
+    return R;
+  }
+  return analyzeProgram(*L.IR, M, O, Focus);
+}

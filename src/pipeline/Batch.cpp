@@ -1,0 +1,104 @@
+//===--- Batch.cpp - Parallel corpus analysis ------------------------------===//
+
+#include "c4b/pipeline/Batch.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace c4b;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Runs one job through the full staged pipeline.  Touches only the job
+/// and its own locals, so any number of these can run concurrently.
+BatchItem runJob(const BatchJob &Job) {
+  BatchItem Item;
+  Item.Name = Job.Name;
+
+  const IRProgram *IR = Job.IR.get();
+  LoweredModule Owned;
+  if (!IR) {
+    auto T0 = std::chrono::steady_clock::now();
+    ParsedModule P = parseModule(Job.Source, Job.Name);
+    if (!P.ok()) {
+      Item.Timings.FrontendSeconds = secondsSince(T0);
+      Item.Result.Error = "parse error:\n" + P.Diags.toString();
+      return Item;
+    }
+    Owned = lowerModule(std::move(P));
+    Item.Timings.FrontendSeconds = secondsSince(T0);
+    if (!Owned.ok()) {
+      Item.Result.Error = "lowering error:\n" + Owned.Diags.toString();
+      return Item;
+    }
+    IR = &*Owned.IR;
+  }
+
+  auto TGen = std::chrono::steady_clock::now();
+  ConstraintSystem CS = generateConstraints(*IR, Job.Metric, Job.Options);
+  Item.Timings.GenerateSeconds = secondsSince(TGen);
+
+  SolvedSystem S;
+  if (CS.StructuralOk) {
+    auto TSolve = std::chrono::steady_clock::now();
+    S = solveSystem(CS, Job.Focus);
+    Item.Timings.SolveSeconds = secondsSince(TSolve);
+  }
+  Item.Result = toAnalysisResult(CS, std::move(S));
+  Item.Result.AnalysisSeconds = Item.Timings.totalSeconds();
+  return Item;
+}
+
+} // namespace
+
+BatchAnalyzer::BatchAnalyzer(int NumThreads) : NumThreads(NumThreads) {
+  if (this->NumThreads <= 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    this->NumThreads = HW > 0 ? static_cast<int>(HW) : 1;
+  }
+}
+
+std::vector<BatchItem> BatchAnalyzer::run(const std::vector<BatchJob> &Jobs) {
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<BatchItem> Items(Jobs.size());
+
+  // Dynamic scheduling over an atomic cursor: jobs vary wildly in cost
+  // (constraint counts span orders of magnitude across the corpus), so
+  // static striping would leave workers idle.  Each worker writes only its
+  // claimed slots of the pre-sized result vector.
+  std::atomic<std::size_t> Next{0};
+  auto Worker = [&] {
+    for (;;) {
+      std::size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Jobs.size())
+        return;
+      Items[I] = runJob(Jobs[I]);
+    }
+  };
+
+  int Spawned = NumThreads - 1;
+  if (Spawned > static_cast<int>(Jobs.size()) - 1)
+    Spawned = static_cast<int>(Jobs.size()) - 1;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Spawned; ++T)
+    Pool.emplace_back(Worker);
+  Worker(); // The calling thread participates.
+  for (std::thread &T : Pool)
+    T.join();
+
+  Stats = BatchStats{};
+  Stats.NumJobs = static_cast<int>(Items.size());
+  for (const BatchItem &Item : Items) {
+    if (Item.Result.Success)
+      ++Stats.NumSucceeded;
+    Stats.StageTotals += Item.Timings;
+  }
+  Stats.WallSeconds = secondsSince(T0);
+  return Items;
+}

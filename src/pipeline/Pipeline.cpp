@@ -1,0 +1,199 @@
+//===--- Pipeline.cpp - Staged analysis pipeline --------------------------===//
+
+#include "c4b/pipeline/Pipeline.h"
+
+#include "c4b/ast/Parser.h"
+#include "c4b/lp/Presolve.h"
+
+#include <sstream>
+
+using namespace c4b;
+
+//===----------------------------------------------------------------------===//
+// Frontend stages
+//===----------------------------------------------------------------------===//
+
+ParsedModule c4b::parseModule(const std::string &Source, std::string Name) {
+  ParsedModule P;
+  P.Name = std::move(Name);
+  P.Ast = parseString(Source, P.Diags);
+  return P;
+}
+
+LoweredModule c4b::lowerModule(ParsedModule P) {
+  LoweredModule L;
+  L.Name = std::move(P.Name);
+  L.Diags = std::move(P.Diags);
+  if (P.Ast)
+    L.IR = lowerProgram(*P.Ast, L.Diags);
+  return L;
+}
+
+LoweredModule c4b::frontend(const std::string &Source, std::string Name) {
+  return lowerModule(parseModule(Source, std::move(Name)));
+}
+
+//===----------------------------------------------------------------------===//
+// Constraint generation (stage 3)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Materializes the constraint stream of one derivation walk.
+class RecordSink : public ConstraintSink {
+public:
+  explicit RecordSink(ConstraintSystem &CS) : CS(CS) {}
+
+  int addVar(const std::string &Name) override {
+    CS.VarNames.push_back(Name);
+    return static_cast<int>(CS.VarNames.size()) - 1;
+  }
+
+  void addConstraint(std::vector<LinTerm> Terms, Rel R,
+                     Rational Rhs) override {
+    CS.Constraints.push_back({std::move(Terms), R, std::move(Rhs)});
+  }
+
+private:
+  ConstraintSystem &CS;
+};
+
+} // namespace
+
+ConstraintSystem c4b::generateConstraints(const IRProgram &P,
+                                          const ResourceMetric &M,
+                                          const AnalysisOptions &O) {
+  ConstraintSystem CS;
+  CS.MetricName = M.Name;
+  CS.Options = O;
+  RecordSink Sink(CS);
+  ProgramAnalyzer PA(P, M, O, Sink, &CS.Diags);
+  CS.StructuralOk = PA.run();
+  CS.Specs = PA.specs();
+  CS.WeakenPoints = PA.numWeakenPoints();
+  CS.CallInstantiations = PA.numCallInstantiations();
+  return CS;
+}
+
+void ConstraintSystem::replay(ConstraintSink &Sink) const {
+  for (const std::string &Name : VarNames)
+    Sink.addVar(Name);
+  for (const LinConstraint &C : Constraints)
+    Sink.addConstraint(C.Terms, C.R, C.Rhs);
+}
+
+std::vector<LinTerm>
+ConstraintSystem::stage1Objective(const std::string &Focus) const {
+  return stage1ObjectiveFor(Specs, Focus);
+}
+
+std::vector<LinTerm>
+ConstraintSystem::stage2Objective(const std::string &Focus) const {
+  return stage2ObjectiveFor(Specs, Focus);
+}
+
+std::optional<Bound>
+ConstraintSystem::boundOf(const std::string &Function,
+                          const std::vector<Rational> &Values) const {
+  return boundFromSpecs(Specs, Function, Values);
+}
+
+std::string ConstraintSystem::serialize() const {
+  std::ostringstream OS;
+  OS << "c4b-constraints v1\n";
+  OS << "metric " << MetricName << "\n";
+  OS << "weaken " << static_cast<int>(Options.Weaken) << "\n";
+  OS << "polymorphic " << (Options.PolymorphicCalls ? 1 : 0) << "\n";
+  OS << "vars " << VarNames.size() << "\n";
+  for (const std::string &Name : VarNames)
+    OS << Name << "\n";
+  OS << "constraints " << Constraints.size() << "\n";
+  for (const LinConstraint &C : Constraints) {
+    for (const LinTerm &T : C.Terms)
+      OS << T.Coef.toString() << "*v" << T.Var << " ";
+    OS << (C.R == Rel::Le ? "<=" : C.R == Rel::Ge ? ">=" : "==") << " "
+       << C.Rhs.toString() << "\n";
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Solving (stage 4)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Forwards a replay into the presolving LP solver.
+class PresolveSink : public ConstraintSink {
+public:
+  explicit PresolveSink(PresolvedSolver &LP) : LP(LP) {}
+
+  int addVar(const std::string &Name) override { return LP.addVar(Name); }
+
+  void addConstraint(std::vector<LinTerm> Terms, Rel R,
+                     Rational Rhs) override {
+    LP.addConstraint(std::move(Terms), R, std::move(Rhs));
+  }
+
+private:
+  PresolvedSolver &LP;
+};
+
+} // namespace
+
+SolvedSystem c4b::solveSystem(const ConstraintSystem &CS,
+                              const std::string &Focus) {
+  SolvedSystem S;
+  if (!CS.StructuralOk)
+    return S; // Status stays Infeasible; nothing to solve.
+
+  PresolvedSolver LP;
+  PresolveSink Sink(LP);
+  CS.replay(Sink);
+
+  std::vector<LinTerm> Obj1 = CS.stage1Objective(Focus);
+  LPResult S1 = LP.minimize(Obj1);
+  if (S1.Status != LPStatus::Optimal) {
+    S.Status = S1.Status;
+    return S;
+  }
+  LPResult Final = S1;
+  if (CS.Options.TwoStageObjective) {
+    LP.pinObjective(Obj1, S1.Objective);
+    LPResult S2 = LP.minimize(CS.stage2Objective(Focus));
+    if (S2.Status == LPStatus::Optimal)
+      Final = S2;
+  }
+
+  S.Status = LPStatus::Optimal;
+  S.Values = std::move(Final.Values);
+  for (const auto &[Name, Spec] : CS.Specs) {
+    (void)Spec;
+    if (std::optional<Bound> B = CS.boundOf(Name, S.Values))
+      S.Bounds.emplace(Name, std::move(*B));
+  }
+  S.NumEliminated = LP.numEliminated();
+  return S;
+}
+
+AnalysisResult c4b::toAnalysisResult(const ConstraintSystem &CS,
+                                     SolvedSystem S) {
+  AnalysisResult R;
+  if (!CS.StructuralOk) {
+    R.Error = "analysis failed structurally:\n" + CS.Diags.toString();
+    return R;
+  }
+  if (!S.ok()) {
+    R.Error = "no linear bound derivable (constraint system infeasible)";
+    return R;
+  }
+  R.Success = true;
+  R.Solution = std::move(S.Values);
+  R.Bounds = std::move(S.Bounds);
+  R.NumVars = CS.numVars();
+  R.NumConstraints = CS.numConstraints();
+  R.NumEliminated = S.NumEliminated;
+  R.NumWeakenPoints = CS.WeakenPoints;
+  R.NumCallInstantiations = CS.CallInstantiations;
+  return R;
+}

@@ -1,0 +1,305 @@
+//===--- pipeline_test.cpp - Staged pipeline and batch analyzer ------------===//
+//
+// Covers the staged pipeline artifacts (replay fidelity, re-solving one
+// LoweredModule under several configurations, certificate checking against
+// the materialized constraint system) and the BatchAnalyzer's determinism:
+// concurrent analysis must be bit-identical to the serial path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/cert/Certificate.h"
+#include "c4b/corpus/Corpus.h"
+#include "c4b/pipeline/Batch.h"
+#include "c4b/pipeline/Pipeline.h"
+
+using namespace c4b;
+using namespace c4b::test;
+
+namespace {
+
+const char *sourceOf(const char *Name) {
+  const CorpusEntry *E = findEntry(Name);
+  EXPECT_NE(E, nullptr) << Name;
+  return E ? E->Source : "";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Stage artifacts
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, StagesMatchMonolith) {
+  const char *Src = sourceOf("t08a");
+  AnalysisResult Mono = analyzeSource(Src, ResourceMetric::ticks(), {}, "f");
+  ASSERT_TRUE(Mono.Success) << Mono.Error;
+
+  LoweredModule L = frontend(Src, "t08a");
+  ASSERT_TRUE(L.ok()) << L.Diags.toString();
+  ConstraintSystem CS = generateConstraints(*L.IR, ResourceMetric::ticks());
+  ASSERT_TRUE(CS.StructuralOk);
+  SolvedSystem S = solveSystem(CS, "f");
+  ASSERT_TRUE(S.ok());
+
+  EXPECT_EQ(CS.numVars(), Mono.NumVars);
+  EXPECT_EQ(CS.numConstraints(), Mono.NumConstraints);
+  EXPECT_EQ(S.Bounds.at("f").toString(), Mono.Bounds.at("f").toString());
+  ASSERT_EQ(S.Values.size(), Mono.Solution.size());
+  for (std::size_t I = 0; I < S.Values.size(); ++I)
+    EXPECT_EQ(S.Values[I], Mono.Solution[I]) << "value " << I;
+}
+
+TEST(Pipeline, LoweredModuleResolvesUnderManyConfigurations) {
+  // One frontend pass, then constraint systems under several metrics and
+  // option sets, each solved independently -- no re-parsing anywhere.
+  const std::string Fn = findEntry("t27")->Function;
+  LoweredModule L = frontend(sourceOf("t27"), "t27");
+  ASSERT_TRUE(L.ok());
+  for (const ResourceMetric &M :
+       {ResourceMetric::ticks(), ResourceMetric::backEdges(),
+        ResourceMetric::steps()}) {
+    ConstraintSystem CS = generateConstraints(*L.IR, M);
+    ASSERT_TRUE(CS.StructuralOk) << M.Name;
+    SolvedSystem S = solveSystem(CS, Fn);
+    EXPECT_TRUE(S.ok()) << M.Name;
+    AnalysisResult Ref = analyzeProgram(*L.IR, M, {}, Fn);
+    ASSERT_TRUE(Ref.Success) << M.Name;
+    EXPECT_EQ(S.Bounds.at(Fn).toString(), Ref.Bounds.at(Fn).toString())
+        << M.Name;
+  }
+  // Re-solving one system under a different focus reuses the same walk.
+  ConstraintSystem CS = generateConstraints(*L.IR, ResourceMetric::ticks());
+  SolvedSystem Focused = solveSystem(CS, Fn);
+  SolvedSystem Unfocused = solveSystem(CS, "");
+  EXPECT_TRUE(Focused.ok());
+  EXPECT_TRUE(Unfocused.ok());
+}
+
+TEST(Pipeline, GenerationIsDeterministic) {
+  LoweredModule L = frontend(sourceOf("t39"), "t39");
+  ASSERT_TRUE(L.ok());
+  ConstraintSystem A = generateConstraints(*L.IR, ResourceMetric::ticks());
+  ConstraintSystem B = generateConstraints(*L.IR, ResourceMetric::ticks());
+  EXPECT_EQ(A.VarNames, B.VarNames);
+  EXPECT_EQ(A.numConstraints(), B.numConstraints());
+  EXPECT_EQ(A.serialize(), B.serialize());
+}
+
+TEST(Pipeline, ReplayReproducesTheRecordedStream) {
+  LoweredModule L = frontend(sourceOf("t62"), "t62");
+  ASSERT_TRUE(L.ok());
+  ConstraintSystem CS = generateConstraints(*L.IR, ResourceMetric::ticks());
+  ASSERT_TRUE(CS.StructuralOk);
+
+  // Replaying into a fresh recording must reproduce the stream verbatim.
+  struct CopySink : ConstraintSink {
+    ConstraintSystem Copy;
+    int addVar(const std::string &Name) override {
+      Copy.VarNames.push_back(Name);
+      return static_cast<int>(Copy.VarNames.size()) - 1;
+    }
+    void addConstraint(std::vector<LinTerm> Terms, Rel R,
+                       Rational Rhs) override {
+      Copy.Constraints.push_back({std::move(Terms), R, std::move(Rhs)});
+    }
+  } Sink;
+  Sink.Copy.MetricName = CS.MetricName;
+  Sink.Copy.Options = CS.Options;
+  CS.replay(Sink);
+  EXPECT_EQ(Sink.Copy.VarNames, CS.VarNames);
+  EXPECT_EQ(Sink.Copy.serialize(), CS.serialize());
+}
+
+TEST(Pipeline, SerializedSystemIsStableAndTagged) {
+  LoweredModule L = frontend(sourceOf("example1"), "example1");
+  ASSERT_TRUE(L.ok());
+  ConstraintSystem CS = generateConstraints(*L.IR, ResourceMetric::ticks());
+  std::string Text = CS.serialize();
+  EXPECT_NE(Text.find("c4b-constraints v1"), std::string::npos);
+  EXPECT_NE(Text.find("metric ticks"), std::string::npos);
+  EXPECT_NE(Text.find("vars " + std::to_string(CS.numVars())),
+            std::string::npos);
+  EXPECT_NE(Text.find("constraints " + std::to_string(CS.numConstraints())),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Certificate checking against the materialized system
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, CertificateChecksAgainstMaterializedSystem) {
+  LoweredModule L = frontend(sourceOf("t08a"), "t08a");
+  ASSERT_TRUE(L.ok());
+  ConstraintSystem CS = generateConstraints(*L.IR, ResourceMetric::ticks());
+  AnalysisResult R = toAnalysisResult(CS, solveSystem(CS, "f"));
+  ASSERT_TRUE(R.Success) << R.Error;
+  Certificate C =
+      Certificate::fromResult(R, ResourceMetric::ticks(), AnalysisOptions{});
+
+  // The very system the solver consumed validates the certificate; no
+  // second derivation walk is involved.
+  CheckReport Rep = checkCertificate(CS, C);
+  EXPECT_TRUE(Rep.Valid) << (Rep.Violations.empty() ? ""
+                                                    : Rep.Violations[0]);
+  EXPECT_EQ(Rep.ConstraintsChecked, CS.numConstraints());
+
+  // Tampering with a certified value breaks some recorded constraint.
+  Certificate Bad = C;
+  for (Rational &V : Bad.Values)
+    if (V.sign() > 0) {
+      V = V - Rational(1, 2);
+      if (V.sign() < 0)
+        V = Rational(0);
+      break;
+    }
+  EXPECT_FALSE(checkCertificate(CS, Bad).Valid);
+
+  // A system generated under other options certifies nothing here.
+  Certificate Mismatched = C;
+  Mismatched.Options.Weaken = WeakenPlacement::Minimal;
+  CheckReport MisRep = checkCertificate(CS, Mismatched);
+  EXPECT_FALSE(MisRep.Valid);
+  ASSERT_FALSE(MisRep.Violations.empty());
+  EXPECT_NE(MisRep.Violations[0].find("different metric/options"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Structural-failure diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, StructuralFailureCarriesPerFunctionNotes) {
+  // a -> b -> c -> d specialization chain; depth limit 2 trips at c's
+  // call of d while cloning.
+  const char *Src = "void d(int n) { tick(1); }\n"
+                    "void c(int n) { d(n); }\n"
+                    "void b(int n) { c(n); }\n"
+                    "void a(int n) { b(n); }\n";
+  LoweredModule L = frontend(Src, "deep");
+  ASSERT_TRUE(L.ok()) << L.Diags.toString();
+  AnalysisOptions O;
+  O.MaxCallDepth = 2;
+  ConstraintSystem CS = generateConstraints(*L.IR, ResourceMetric::ticks(), O);
+  EXPECT_FALSE(CS.StructuralOk);
+  bool SawNote = false;
+  for (const Diagnostic &D : CS.Diags.diagnostics())
+    if (D.Kind == DiagKind::Note &&
+        D.Message.find("'c'") != std::string::npos &&
+        D.Message.find("depth limit") != std::string::npos)
+      SawNote = true;
+  EXPECT_TRUE(SawNote) << CS.Diags.toString();
+
+  // The classic entry point surfaces the notes in its error string.
+  AnalysisResult R = analyzeProgram(*L.IR, ResourceMetric::ticks(), O, "a");
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.Error.find("failed structurally"), std::string::npos);
+  EXPECT_NE(R.Error.find("note:"), std::string::npos);
+}
+
+TEST(Diagnostics, NoteEmitter) {
+  DiagnosticEngine D;
+  D.note({3, 7}, "while specializing 'f'");
+  ASSERT_EQ(D.diagnostics().size(), 1u);
+  EXPECT_EQ(D.diagnostics()[0].Kind, DiagKind::Note);
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_NE(D.toString().find("3:7: note: while specializing 'f'"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch analyzer: concurrency determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Batch, ConcurrentAnalysisIsBitIdenticalToSerial) {
+  // The same programs analyzed many times concurrently must produce
+  // bit-identical bounds, solution vectors, and certificates to the
+  // serial path.
+  const char *Names[] = {"example1", "t08a", "t27", "t39", "t13", "t62"};
+  const int Copies = 4;
+
+  std::vector<BatchJob> Jobs;
+  for (int Copy = 0; Copy < Copies; ++Copy)
+    for (const char *Name : Names) {
+      BatchJob J;
+      J.Name = Name;
+      J.Source = sourceOf(Name);
+      J.Focus = findEntry(Name)->Function;
+      Jobs.push_back(std::move(J));
+    }
+
+  BatchAnalyzer BA(4);
+  EXPECT_EQ(BA.numThreads(), 4);
+  std::vector<BatchItem> Items = BA.run(Jobs);
+  ASSERT_EQ(Items.size(), Jobs.size());
+  EXPECT_EQ(BA.stats().NumJobs, static_cast<int>(Jobs.size()));
+  EXPECT_EQ(BA.stats().NumSucceeded, static_cast<int>(Jobs.size()));
+
+  for (std::size_t I = 0; I < Jobs.size(); ++I) {
+    const BatchJob &J = Jobs[I];
+    AnalysisResult Ref =
+        analyzeSource(J.Source, J.Metric, J.Options, J.Focus);
+    ASSERT_TRUE(Ref.Success) << J.Name;
+    const AnalysisResult &Got = Items[I].Result;
+    ASSERT_TRUE(Got.Success) << J.Name << ": " << Got.Error;
+    EXPECT_EQ(Items[I].Name, J.Name);
+
+    // Bounds and full solution vectors are exactly equal...
+    ASSERT_EQ(Got.Bounds.size(), Ref.Bounds.size()) << J.Name;
+    for (const auto &[Fn, B] : Ref.Bounds)
+      EXPECT_EQ(Got.Bounds.at(Fn).toString(), B.toString())
+          << J.Name << "/" << Fn;
+    ASSERT_EQ(Got.Solution.size(), Ref.Solution.size()) << J.Name;
+    for (std::size_t V = 0; V < Ref.Solution.size(); ++V)
+      EXPECT_EQ(Got.Solution[V], Ref.Solution[V]) << J.Name << " var " << V;
+
+    // ...so serialized certificates are bit-identical too.
+    Certificate CGot = Certificate::fromResult(Got, J.Metric, J.Options);
+    Certificate CRef = Certificate::fromResult(Ref, J.Metric, J.Options);
+    EXPECT_EQ(CGot.serialize(), CRef.serialize()) << J.Name;
+  }
+}
+
+TEST(Batch, SharedIRJobsSkipTheFrontend) {
+  auto IR = std::make_shared<IRProgram>(lowerOrDie(sourceOf("t08a")));
+  std::vector<BatchJob> Jobs;
+  for (const ResourceMetric &M :
+       {ResourceMetric::ticks(), ResourceMetric::backEdges(),
+        ResourceMetric::steps()}) {
+    BatchJob J;
+    J.Name = std::string("t08a/") + M.Name;
+    J.IR = IR;
+    J.Metric = M;
+    J.Focus = "f";
+    Jobs.push_back(std::move(J));
+  }
+  BatchAnalyzer BA(2);
+  std::vector<BatchItem> Items = BA.run(Jobs);
+  ASSERT_EQ(Items.size(), Jobs.size());
+  for (std::size_t I = 0; I < Jobs.size(); ++I) {
+    ASSERT_TRUE(Items[I].Result.Success) << Items[I].Result.Error;
+    EXPECT_EQ(Items[I].Timings.FrontendSeconds, 0.0);
+    AnalysisResult Ref = analyzeProgram(*IR, Jobs[I].Metric, {}, "f");
+    EXPECT_EQ(Items[I].Result.Bounds.at("f").toString(),
+              Ref.Bounds.at("f").toString())
+        << Jobs[I].Name;
+  }
+}
+
+TEST(Batch, SingleThreadAndFailuresAreReported) {
+  std::vector<BatchJob> Jobs(2);
+  Jobs[0].Name = "good";
+  Jobs[0].Source = sourceOf("example1");
+  Jobs[0].Focus = "f";
+  Jobs[1].Name = "broken";
+  Jobs[1].Source = "void f( {";
+  BatchAnalyzer BA(1);
+  std::vector<BatchItem> Items = BA.run(Jobs);
+  ASSERT_EQ(Items.size(), 2u);
+  EXPECT_TRUE(Items[0].Result.Success);
+  EXPECT_FALSE(Items[1].Result.Success);
+  EXPECT_NE(Items[1].Result.Error.find("parse error"), std::string::npos);
+  EXPECT_EQ(BA.stats().NumSucceeded, 1);
+  EXPECT_EQ(BA.stats().NumJobs, 2);
+}
