@@ -11,6 +11,10 @@
 //     --check FILE                                validate a certificate
 //     --dump-ir                                   print the normalized IR
 //     --name NAME                                 analyze a corpus program
+//     --lint                                      run the dataflow lints
+//     --no-verify-ir                              skip the IR verifier
+//     --seed-intervals                            interval facts seed the LP
+//     --diag-json FILE                            diagnostics as JSON
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,7 +22,9 @@
 #include "c4b/ast/Parser.h"
 #include "c4b/baseline/Ranking.h"
 #include "c4b/cert/Certificate.h"
+#include "c4b/check/Check.h"
 #include "c4b/corpus/Corpus.h"
+#include "c4b/pipeline/Pipeline.h"
 
 #include <cstdio>
 #include <cstring>
@@ -34,6 +40,8 @@ int usage() {
       stderr,
       "usage: c4b [--metric M] [--weaken W] [--monomorphic] [--baseline]\n"
       "           [--cert FILE | --check FILE] [--dump-ir]\n"
+      "           [--lint] [--no-verify-ir] [--seed-intervals]\n"
+      "           [--diag-json FILE]\n"
       "           (FILE.c4b | --name CORPUS_ENTRY | --list)\n");
   return 2;
 }
@@ -56,8 +64,12 @@ int main(int Argc, char **Argv) {
   std::string MetricName = "ticks";
   AnalysisOptions Opts;
   bool RunBaseline = false, DumpIR = false;
+  // The CLI is a front-end tool, not the batch hot path: verify by
+  // default in every build type, opt out with --no-verify-ir.
+  bool VerifyIR = true, Lint = false;
   const char *CertOut = nullptr, *CertIn = nullptr;
   const char *InputFile = nullptr, *CorpusName = nullptr;
+  const char *DiagJson = nullptr;
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -90,6 +102,15 @@ int main(int Argc, char **Argv) {
       RunBaseline = true;
     } else if (!std::strcmp(A, "--dump-ir")) {
       DumpIR = true;
+    } else if (!std::strcmp(A, "--lint")) {
+      Lint = true;
+    } else if (!std::strcmp(A, "--no-verify-ir")) {
+      VerifyIR = false;
+    } else if (!std::strcmp(A, "--seed-intervals")) {
+      Opts.SeedIntervals = true;
+    } else if (!std::strcmp(A, "--diag-json")) {
+      if (!needArg(DiagJson))
+        return usage();
     } else if (!std::strcmp(A, "--cert")) {
       if (!needArg(CertOut))
         return usage();
@@ -136,6 +157,18 @@ int main(int Argc, char **Argv) {
     return usage();
   }
 
+  auto writeDiagJson = [&](const DiagnosticEngine &Diags) {
+    if (!DiagJson)
+      return true;
+    std::ofstream Out(DiagJson);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", DiagJson);
+      return false;
+    }
+    Out << Diags.toJson();
+    return true;
+  };
+
   DiagnosticEngine Diags;
   auto Ast = parseString(Source, Diags);
   std::optional<IRProgram> IR;
@@ -143,10 +176,25 @@ int main(int Argc, char **Argv) {
     IR = lowerProgram(*Ast, Diags);
   if (!IR) {
     std::fprintf(stderr, "%s", Diags.toString().c_str());
+    writeDiagJson(Diags);
     return 1;
   }
   if (DumpIR)
     std::printf("%s\n", printIR(*IR).c_str());
+
+  // Check stage: verifier (trust boundary) and opt-in lints.
+  check::Options CheckOpts;
+  CheckOpts.Verify = VerifyIR;
+  CheckOpts.Lint = Lint;
+  check::Report CheckRep = check::runChecks(*IR, CheckOpts);
+  std::fprintf(stderr, "%s", CheckRep.Diags.toString().c_str());
+  Diags.take(std::move(CheckRep.Diags));
+  if (!writeDiagJson(Diags))
+    return 2;
+  if (!CheckRep.Verified) {
+    std::fprintf(stderr, "IR verification failed; refusing to analyze\n");
+    return 1;
+  }
 
   if (CertIn) {
     bool Ok = false;

@@ -51,6 +51,12 @@ struct AnalysisResult {
   int NumCallInstantiations = 0;
   double AnalysisSeconds = 0.0;
 
+  // Check stage (see c4b/check/Check.h).  IRVerified stays true when the
+  // verifier did not run (release default); NumLintWarnings is nonzero
+  // only when linting was requested.
+  bool IRVerified = true;
+  int NumLintWarnings = 0;
+
   const Bound *boundFor(const std::string &Fn) const {
     auto It = Bounds.find(Fn);
     return It == Bounds.end() ? nullptr : &It->second;

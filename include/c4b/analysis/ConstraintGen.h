@@ -67,7 +67,17 @@ struct AnalysisOptions {
   bool TwoStageObjective = true;
   /// Guard against pathological call-chain blowup.
   int MaxCallDepth = 32;
+  /// Conjoin interval facts from the check stage's pre-pass into loop-head
+  /// logical contexts.  Fail-safe: off reproduces the unseeded analysis
+  /// bit-for-bit; on can only loosen the LP (bounds never get worse).
+  bool SeedIntervals = false;
 };
+
+/// Sound linear invariants per loop head, keyed by the `Loop` statement
+/// they annotate.  Produced by the check stage's interval pre-pass
+/// (c4b/check/Intervals.h); kept as a plain map here so the analysis layer
+/// does not depend on the check subsystem.
+using LoopFactMap = std::map<const IRStmt *, std::vector<LinFact>>;
 
 /// A function specification (Gamma_f; Q_f, Gamma'_f; Q'_f): potential over
 /// the formals (pre) and over the return value (post), plus the program's
@@ -105,9 +115,12 @@ public:
   /// \p Diags, when non-null, receives one note per structural-failure
   /// site (call-depth blowout, missing callee) so a failed analysis can
   /// report per-function reasons instead of one opaque string.
+  /// \p LoopFacts, when non-null and `O.SeedIntervals` is set, supplies
+  /// loop-head invariants conjoined into the logical context at each loop.
   ProgramAnalyzer(const IRProgram &P, const ResourceMetric &M,
                   const AnalysisOptions &O, ConstraintSink &Sink,
-                  DiagnosticEngine *Diags = nullptr);
+                  DiagnosticEngine *Diags = nullptr,
+                  const LoopFactMap *LoopFacts = nullptr);
 
   /// Emits all constraints.  Returns false on structural failure (e.g.
   /// call-depth blowout); LP infeasibility is discovered later by the
@@ -138,6 +151,7 @@ private:
   AnalysisOptions Opts;
   ConstraintSink &Sink;
   DiagnosticEngine *Diags;
+  const LoopFactMap *LoopFacts;
   CallGraph CG;
   std::map<std::string, std::set<std::string>> ModGlobals;
   std::map<std::string, FuncSpec> Specs;

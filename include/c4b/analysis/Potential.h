@@ -55,7 +55,7 @@ public:
   /// outside the universe.
   int indexOf(const Atom &A, const Atom &B) const;
 
-  bool containsAtom(const Atom &A) const { return AtomIds.count(A) != 0; }
+  bool containsAtom(const Atom &A) const { return AtomIds.contains(A); }
 
   /// True when index \p I has at least one variable endpoint.
   bool hasVarEndpoint(int I) const;

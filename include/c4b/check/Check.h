@@ -1,0 +1,69 @@
+//===--- Check.h - The check stage: verify, lint, seed ----------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The umbrella entry point of the check subsystem, run by the pipeline as
+/// an explicit stage between lowering and constraint generation.  Three
+/// cooperating passes:
+///
+///   1. the structural IR verifier (Verifier.h) — the trust boundary that
+///      rejects IR outside the fragment the derivation rules are sound on;
+///   2. dataflow lints (read-before-write, dead stores, unreachable code,
+///      statically-dead ticks, unused call results), built on the engines
+///      in Dataflow.h;
+///   3. the interval pre-pass (Intervals.h) whose loop-head facts seed the
+///      logical contexts of the amortized analysis.
+///
+/// Verifier violations are errors (analysis must not proceed); lints are
+/// warnings (the program is still analyzable); seeds are optional facts
+/// with a fail-safe contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_CHECK_CHECK_H
+#define C4B_CHECK_CHECK_H
+
+#include "c4b/check/Intervals.h"
+#include "c4b/check/Verifier.h"
+#include "c4b/support/Diagnostics.h"
+
+namespace c4b {
+namespace check {
+
+/// What to run.  Everything is independently switchable; the pipeline
+/// derives this from `PipelineOptions`.
+struct Options {
+  bool Verify = true; ///< Structural IR verifier.
+  bool Lint = false;  ///< Dataflow lints (warnings).
+  bool Seeds = false; ///< Interval seeds for constraint generation.
+};
+
+/// The stage's result.
+struct Report {
+  /// False when the verifier found violations; the pipeline refuses to
+  /// generate constraints from unverified IR.
+  bool Verified = true;
+
+  /// Check-stage diagnostics: verifier errors and lint warnings.
+  DiagnosticEngine Diags;
+
+  /// Interval facts (populated when Options::Seeds).
+  IntervalSeeds Seeds;
+};
+
+/// Runs the configured passes over \p P.
+Report runChecks(const IRProgram &P, const Options &O);
+
+/// Runs only the lints, reusing precomputed interval results for the
+/// dead-tick lint.
+void runLints(const IRProgram &P, const IntervalSeeds &Seeds,
+              DiagnosticEngine &Diags);
+
+} // namespace check
+} // namespace c4b
+
+#endif // C4B_CHECK_CHECK_H

@@ -1,0 +1,327 @@
+//===--- Dataflow.h - Dataflow engine over the structured IR ----*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small forward/backward dataflow framework over the tree-shaped IR.
+/// Because the IR is structured (one `loop` construct exited by `break`,
+/// no goto), no CFG is materialized: the engines walk the statement tree
+/// and iterate loop bodies to a fixpoint, collecting `break` states as the
+/// loop's exit and `return` states as the function's exit.  This mirrors
+/// how `FunctionWalker` in the analysis layer consumes the same structure,
+/// so facts recorded here line up with the program points the constraint
+/// generator visits.
+///
+/// A domain supplies the lattice and transfer functions:
+///
+/// \code
+///   struct Domain {
+///     using State = ...;                       // lattice element
+///     State boundary(const IRFunction &F);     // entry (fwd) / exit (bwd)
+///     State join(const State &, const State &);
+///     bool equal(const State &, const State &);
+///     State widen(const State &Old, const State &New); // loop acceleration
+///     void transfer(const IRStmt &S, State &X);        // leaf statements
+///     bool refine(const SimpleCond &C, bool Taken, State &X); // fwd only;
+///                                              // false = branch infeasible
+///     void useCond(const SimpleCond &C, State &X);     // bwd only
+///     void observe(const IRStmt &S, const State *X);   // per-point record;
+///                                              // null = unreachable
+///     void observeLoopHead(const IRStmt &Loop, const State *Head); // fwd
+///   };
+/// \endcode
+///
+/// `observe` fires on every pass over a loop body; domains must record
+/// with overwrite semantics so the final (converged) pass wins.  States
+/// are passed as `std::optional` internally, with `nullopt` playing the
+/// role of bottom (unreachable / no information), which keeps domains free
+/// of an explicit bottom element.
+///
+/// Finite set lattices converge without widening; `widen` only matters for
+/// infinite-height domains (intervals).  The engines cap fixpoint passes
+/// as a safety net and report non-convergence through `converged()`;
+/// consumers that need soundness (interval seeding) must discard results
+/// of a non-converged run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_CHECK_DATAFLOW_H
+#define C4B_CHECK_DATAFLOW_H
+
+#include "c4b/ir/IR.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace c4b {
+namespace check {
+
+/// Scalar variables read by \p E (array reads contribute their index
+/// variables; the array itself is not a scalar use).
+void collectExprVars(const Expr &E, std::set<std::string> &Out);
+
+/// Scalar variables read by the leaf statement \p S (operands, kill
+/// values, store index/value, condition, call arguments, return value).
+/// Inc/Dec assignments read their own target.  Children of compound
+/// statements are not visited.
+void collectUses(const IRStmt &S, std::set<std::string> &Out);
+
+//===----------------------------------------------------------------------===//
+// Forward engine
+//===----------------------------------------------------------------------===//
+
+template <typename D> class ForwardEngine {
+public:
+  using State = typename D::State;
+  using Opt = std::optional<State>;
+
+  explicit ForwardEngine(D &Dom) : Dom(Dom) {}
+
+  /// Runs the analysis over \p F.  Returns the join over all function
+  /// exits (returns plus body fall-through); nullopt when the function
+  /// provably never returns.
+  Opt run(const IRFunction &F) {
+    Exits.reset();
+    Breaks.clear();
+    Opt Out = walk(*F.Body, Opt(Dom.boundary(F)));
+    mergeInto(Exits, Out);
+    return std::move(Exits);
+  }
+
+  /// False when some loop hit the pass cap before reaching a fixpoint;
+  /// recorded observations are then not trustworthy invariants.
+  bool converged() const { return Converged; }
+
+private:
+  D &Dom;
+  Opt Exits;
+  std::vector<Opt> Breaks;
+  bool Converged = true;
+
+  // Widen only after a few plain joins: cheap precision for short chains,
+  // guaranteed convergence afterwards.
+  static constexpr int WidenAfter = 3;
+  static constexpr int MaxPasses = 1000;
+
+  void mergeInto(Opt &A, const Opt &B) {
+    if (!B)
+      return;
+    if (!A)
+      A = *B;
+    else
+      A = Dom.join(*A, *B);
+  }
+
+  bool equalOpt(const Opt &A, const Opt &B) {
+    if (!A || !B)
+      return A.has_value() == B.has_value();
+    return Dom.equal(*A, *B);
+  }
+
+  Opt walk(const IRStmt &S, Opt In) {
+    Dom.observe(S, In ? &*In : nullptr);
+    switch (S.Kind) {
+    case IRStmtKind::Block: {
+      Opt Cur = std::move(In);
+      for (const auto &C : S.Children)
+        Cur = walk(*C, std::move(Cur));
+      return Cur;
+    }
+
+    case IRStmtKind::If: {
+      Opt ThenIn = In, ElseIn = std::move(In);
+      if (ThenIn && !Dom.refine(S.Cond, /*Taken=*/true, *ThenIn))
+        ThenIn.reset();
+      if (ElseIn && !Dom.refine(S.Cond, /*Taken=*/false, *ElseIn))
+        ElseIn.reset();
+      Opt Out = walk(*S.Children[0], std::move(ThenIn));
+      mergeInto(Out, walk(*S.Children[1], std::move(ElseIn)));
+      return Out;
+    }
+
+    case IRStmtKind::Loop: {
+      Opt Head = std::move(In);
+      Breaks.push_back(std::nullopt);
+      for (int Pass = 0;; ++Pass) {
+        Breaks.back().reset();
+        Opt Out = walk(*S.Children[0], Head);
+        Opt Next = Head;
+        mergeInto(Next, Out);
+        if (Pass >= WidenAfter && Next && Head)
+          Next = Dom.widen(*Head, *Next);
+        if (equalOpt(Next, Head))
+          break;
+        if (Pass >= MaxPasses) {
+          Converged = false;
+          break;
+        }
+        Head = std::move(Next);
+      }
+      Dom.observeLoopHead(S, Head ? &*Head : nullptr);
+      Opt Exit = std::move(Breaks.back());
+      Breaks.pop_back();
+      return Exit;
+    }
+
+    case IRStmtKind::Break:
+      if (!Breaks.empty())
+        mergeInto(Breaks.back(), In);
+      return std::nullopt;
+
+    case IRStmtKind::Return:
+      mergeInto(Exits, In);
+      return std::nullopt;
+
+    default:
+      if (In)
+        Dom.transfer(S, *In);
+      return In;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Backward engine
+//===----------------------------------------------------------------------===//
+
+template <typename D> class BackwardEngine {
+public:
+  using State = typename D::State;
+  using Opt = std::optional<State>;
+
+  explicit BackwardEngine(D &Dom) : Dom(Dom) {}
+
+  /// Runs the analysis over \p F; returns the state at function entry.
+  Opt run(const IRFunction &F) {
+    ExitState = Dom.boundary(F);
+    BreakOuts.clear();
+    return walk(*F.Body, Opt(ExitState));
+  }
+
+  bool converged() const { return Converged; }
+
+private:
+  D &Dom;
+  State ExitState{};
+  std::vector<Opt> BreakOuts;
+  bool Converged = true;
+
+  static constexpr int MaxPasses = 1000;
+
+  void mergeInto(Opt &A, const Opt &B) {
+    if (!B)
+      return;
+    if (!A)
+      A = *B;
+    else
+      A = Dom.join(*A, *B);
+  }
+
+  bool equalOpt(const Opt &A, const Opt &B) {
+    if (!A || !B)
+      return A.has_value() == B.has_value();
+    return Dom.equal(*A, *B);
+  }
+
+  /// \p Out is the state after \p S; returns the state before it.
+  Opt walk(const IRStmt &S, Opt Out) {
+    Dom.observe(S, Out ? &*Out : nullptr);
+    switch (S.Kind) {
+    case IRStmtKind::Block: {
+      Opt Cur = std::move(Out);
+      for (auto It = S.Children.rbegin(); It != S.Children.rend(); ++It)
+        Cur = walk(**It, std::move(Cur));
+      return Cur;
+    }
+
+    case IRStmtKind::If: {
+      Opt In = walk(*S.Children[0], Out);
+      mergeInto(In, walk(*S.Children[1], std::move(Out)));
+      if (In)
+        Dom.useCond(S.Cond, *In);
+      return In;
+    }
+
+    case IRStmtKind::Loop: {
+      // The state after the body (fall-through back edge) is the state
+      // before the body; `break` takes the after-loop state instead.
+      BreakOuts.push_back(std::move(Out));
+      Opt Head;
+      for (int Pass = 0;; ++Pass) {
+        Opt In = walk(*S.Children[0], Head);
+        Opt Next = Head;
+        mergeInto(Next, In);
+        if (equalOpt(Next, Head))
+          break;
+        if (Pass >= MaxPasses) {
+          Converged = false;
+          break;
+        }
+        Head = std::move(Next);
+      }
+      BreakOuts.pop_back();
+      return Head;
+    }
+
+    case IRStmtKind::Break:
+      return BreakOuts.empty() ? Opt() : BreakOuts.back();
+
+    case IRStmtKind::Return: {
+      Opt In = Opt(ExitState);
+      Dom.transfer(S, *In);
+      return In;
+    }
+
+    default:
+      if (Out)
+        Dom.transfer(S, *Out);
+      return Out;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Instantiated analyses
+//===----------------------------------------------------------------------===//
+
+/// Reaching definitions (forward, may).  Definition sites are Assign and
+/// Call statements; the null pointer stands for the function entry
+/// (parameters and globals are defined on entry).  Calls strongly define
+/// their result variable and weakly define every global.
+struct ReachingDefsResult {
+  /// Per-variable definition sites that may reach the point just before
+  /// each statement.
+  std::map<const IRStmt *, std::map<std::string, std::set<const IRStmt *>>>
+      Before;
+};
+ReachingDefsResult reachingDefinitions(const IRProgram &P,
+                                       const IRFunction &F);
+
+/// Live variables (backward, may).  Globals are live at function exit
+/// (their values are observable by callers); the return value's variables
+/// become live at each `return`.
+struct LivenessResult {
+  /// Variables live just after each statement.
+  std::map<const IRStmt *, std::set<std::string>> After;
+};
+LivenessResult liveVariables(const IRProgram &P, const IRFunction &F);
+
+/// Definite initialization (forward, may-be-uninitialized).  Locals start
+/// uninitialized; any assignment or call-result binding initializes its
+/// target.  Parameters and globals are always initialized.
+struct MaybeUninitResult {
+  /// Variables that may still be uninitialized just before each statement.
+  std::map<const IRStmt *, std::set<std::string>> Before;
+};
+MaybeUninitResult maybeUninitialized(const IRProgram &P, const IRFunction &F);
+
+} // namespace check
+} // namespace c4b
+
+#endif // C4B_CHECK_DATAFLOW_H

@@ -1,0 +1,74 @@
+//===--- Intervals.h - Interval pre-pass feeding LogicContext ---*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic interval (value-range) abstract interpretation instantiated
+/// on the check subsystem's dataflow engine, in the spirit of RAML's value
+/// pre-analyses: facts inferred here are *offered* to the amortized
+/// analysis, which may use them to discharge weakening obligations its own
+/// "rough loop invariant" misses.  The walker in ConstraintGen drops every
+/// fact mentioning a modified variable at loop heads; interval widening
+/// instead retains one-sided bounds (`x >= 0` across `x++`), which is
+/// exactly the information the RELAX rule needs.
+///
+/// The contract is fail-safe: every emitted fact is a sound invariant at
+/// its loop head, conjoining sound facts into a LogicContext only loosens
+/// the LP (bounds can tighten, never regress), and discarding the seeds
+/// entirely reproduces the unseeded behaviour bit-for-bit.  If a fixpoint
+/// computation ever fails to converge the whole seed set is dropped rather
+/// than trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_CHECK_INTERVALS_H
+#define C4B_CHECK_INTERVALS_H
+
+#include "c4b/ir/IR.h"
+#include "c4b/logic/Context.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace c4b {
+namespace check {
+
+/// A (possibly half-open) integer interval; an absent bound is infinite.
+/// Bottom is not representable here — an unreachable program point is a
+/// null state in the engine, never an empty interval.
+struct Interval {
+  std::optional<std::int64_t> Lo, Hi;
+
+  bool operator==(const Interval &B) const { return Lo == B.Lo && Hi == B.Hi; }
+  std::string toString() const;
+};
+
+/// Results of the interval pre-pass over a whole program.
+struct IntervalSeeds {
+  /// Sound linear invariants per loop head, keyed by the `Loop` statement.
+  /// Each fact holds at the loop's body entry on every iteration.
+  std::map<const IRStmt *, std::vector<LinFact>> LoopHeadFacts;
+
+  /// Statements the analysis proved unreachable (guards statically false,
+  /// code after infinite loops).  Used by the dead-tick lint.
+  std::set<const IRStmt *> UnreachableStmts;
+
+  /// False when some fixpoint hit the pass cap; LoopHeadFacts is then
+  /// empty (fail-safe) and UnreachableStmts only keeps structurally
+  /// trivial entries.
+  bool Converged = true;
+};
+
+/// Runs the interval analysis over every function of \p P.
+IntervalSeeds computeIntervalSeeds(const IRProgram &P);
+
+} // namespace check
+} // namespace c4b
+
+#endif // C4B_CHECK_INTERVALS_H

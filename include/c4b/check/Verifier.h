@@ -1,0 +1,61 @@
+//===--- Verifier.h - Structural IR invariant checker -----------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structural validator for the normalized IR.  The derivation system of
+/// Figure 4 is only sound on the documented fragment — unified `loop`
+/// exited by `break`, assignments restricted to `x <- a` / `x <- x ± a`,
+/// side-effect-free conditions normalized to Cmp/Nondet/True, calls with
+/// atom arguments — and nothing downstream re-checks those invariants: a
+/// lowering bug would silently become a wrong bound.  The verifier is the
+/// trust boundary between lowering and constraint generation; it walks a
+/// whole `IRProgram` and reports every violated invariant through
+/// `DiagnosticEngine` with the offending statement's location.
+///
+/// Checked invariants (one error per violation):
+///   * tree shape: `If` has exactly then/else children, `Loop` exactly a
+///     body, leaf statements have none, and no child pointer is null;
+///   * `break` appears only inside a `loop`;
+///   * assignment forms: Set/Inc/Dec carry a declared scalar target and a
+///     well-formed atom operand (Set to itself is filtered by lowering),
+///     Kill carries its opaque expression;
+///   * conditions of `if`/`assert` are normalized (Cmp carries the
+///     evaluable expression; True/Nondet carry nothing);
+///   * calls name a defined function with matching arity, pass atoms that
+///     reference declared scalars, and bind results only from int
+///     functions into declared scalars;
+///   * `return e` appears only in int functions and `e` is a valid atom;
+///   * stores target declared arrays and carry index/value expressions;
+///   * every variable mentioned anywhere (operands, linear guard forms,
+///     atoms) is a parameter, declared local, or global;
+///   * every statement carries a valid `SourceLoc`, so later diagnostics
+///     (lints, structural-failure notes) always point somewhere real.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_CHECK_VERIFIER_H
+#define C4B_CHECK_VERIFIER_H
+
+#include "c4b/ir/IR.h"
+#include "c4b/support/Diagnostics.h"
+
+namespace c4b {
+namespace check {
+
+/// Verifies every function of \p P.  Violations are reported as errors
+/// through \p Diags; returns true when the program is well-formed.
+bool verifyIR(const IRProgram &P, DiagnosticEngine &Diags);
+
+/// Verifies one function against the program it belongs to (for callee
+/// existence/arity checks).  Returns true when no violation was found.
+bool verifyFunction(const IRProgram &P, const IRFunction &F,
+                    DiagnosticEngine &Diags);
+
+} // namespace check
+} // namespace c4b
+
+#endif // C4B_CHECK_VERIFIER_H

@@ -42,7 +42,7 @@ struct LinFact {
   bool IsEquality = false;
 
   void add(const std::string &V, const Rational &C);
-  bool mentions(const std::string &V) const { return Coeffs.count(V) != 0; }
+  bool mentions(const std::string &V) const { return Coeffs.contains(V); }
   std::string toString() const;
 };
 

@@ -38,20 +38,24 @@ struct BatchJob {
   std::shared_ptr<const IRProgram> IR;
   ResourceMetric Metric = ResourceMetric::ticks();
   AnalysisOptions Options;
+  /// Check-stage configuration (verifier / lints) for this job.
+  PipelineOptions Pipe;
   std::string Focus;
 };
 
 /// Wall-clock seconds spent in each pipeline stage of one job.
 struct StageTimings {
   double FrontendSeconds = 0;   ///< parse + lower (0 for shared-IR jobs)
+  double CheckSeconds = 0;      ///< verifier + lints (0 when both are off)
   double GenerateSeconds = 0;   ///< derivation walk (constraint-gen)
   double SolveSeconds = 0;      ///< presolve + simplex
 
   double totalSeconds() const {
-    return FrontendSeconds + GenerateSeconds + SolveSeconds;
+    return FrontendSeconds + CheckSeconds + GenerateSeconds + SolveSeconds;
   }
   StageTimings &operator+=(const StageTimings &O) {
     FrontendSeconds += O.FrontendSeconds;
+    CheckSeconds += O.CheckSeconds;
     GenerateSeconds += O.GenerateSeconds;
     SolveSeconds += O.SolveSeconds;
     return *this;
@@ -63,6 +67,9 @@ struct BatchItem {
   std::string Name;
   AnalysisResult Result;
   StageTimings Timings;
+  /// Rendered check-stage diagnostics (verifier errors, lint warnings);
+  /// empty when the stage was off or silent.
+  std::string CheckDiags;
 };
 
 /// Aggregate statistics of the last run.

@@ -9,6 +9,7 @@
 /// The analysis as an explicit pipeline of immutable stage artifacts:
 ///
 ///   source ──parse──▶ ParsedModule ──lower──▶ LoweredModule
+///     ──check──▶ CheckedModule
 ///     ──generateConstraints──▶ ConstraintSystem ──solveSystem──▶ SolvedSystem
 ///
 /// Each artifact is self-contained and reusable.  A LoweredModule can be
@@ -18,6 +19,13 @@
 /// the presolving LP solver, the certificate validator, or a serializer
 /// without re-walking the IR.  The classic `analyzeProgram`/`analyzeSource`
 /// entry points are thin wrappers over these stages.
+///
+/// The check stage (c4b/check/Check.h) sits between lowering and
+/// constraint generation: the IR verifier is the trust boundary that
+/// keeps the derivation rules on the fragment they are sound for, the
+/// lints surface suspicious-but-analyzable code, and the interval
+/// pre-pass produces the optional loop-head facts consumed when
+/// `AnalysisOptions::SeedIntervals` is set.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,6 +75,38 @@ LoweredModule lowerModule(ParsedModule P);
 
 /// Convenience: parse + lower in one step.
 LoweredModule frontend(const std::string &Source, std::string Name = "");
+
+/// Knobs for the check stage (stage 2.5).
+struct PipelineOptions {
+  /// Run the structural IR verifier.  Always on in debug builds (the
+  /// sanitizer CI job exercises it on every test program); opt-in in
+  /// release, where lowering is trusted on the hot batch path.
+#ifndef NDEBUG
+  bool VerifyIR = true;
+#else
+  bool VerifyIR = false;
+#endif
+  /// Run the dataflow lints (read-before-write, dead stores, unreachable
+  /// code, dead ticks, unused call results); reported as warnings.
+  bool Lint = false;
+};
+
+/// Stage 2.5 artifact: a lowered module plus its check-stage verdict.
+/// `IR` is kept even when verification fails (callers may want to print
+/// it), but `ok()` refuses to hand unverified IR to constraint generation.
+struct CheckedModule {
+  std::string Name;
+  std::optional<IRProgram> IR;
+  DiagnosticEngine Diags; ///< Frontend diagnostics + check-stage output.
+  bool Verified = true;   ///< False when the verifier found violations.
+  int LintWarnings = 0;   ///< Lint warnings emitted into Diags.
+
+  bool ok() const { return IR.has_value() && Verified; }
+};
+
+/// Stage 2.5: runs the check subsystem over a lowered module (consumes
+/// it).  With both options off this is a pure repackaging.
+CheckedModule checkModule(LoweredModule L, const PipelineOptions &O = {});
 
 /// Stage 3 artifact: the constraint system of one derivation walk,
 /// materialized.  Replaces the live-only ConstraintSink coupling: the

@@ -35,7 +35,8 @@ struct SourceLoc {
 /// Severity of a reported diagnostic.
 enum class DiagKind { Error, Warning, Note };
 
-/// One reported problem.
+/// One reported problem.  `toString` renders
+/// `line:col: severity: message` with the location omitted when invalid.
 struct Diagnostic {
   DiagKind Kind = DiagKind::Error;
   SourceLoc Loc;
@@ -57,20 +58,41 @@ public:
     Diags.push_back({DiagKind::Note, Loc, Msg});
   }
 
-  bool hasErrors() const {
-    for (const Diagnostic &D : Diags)
-      if (D.Kind == DiagKind::Error)
-        return true;
-    return false;
+  bool hasErrors() const { return count(DiagKind::Error) > 0; }
+
+  int errorCount() const { return count(DiagKind::Error); }
+  int warningCount() const { return count(DiagKind::Warning); }
+  int noteCount() const { return count(DiagKind::Note); }
+
+  /// Moves every diagnostic of \p Other into this engine (stage
+  /// accumulation: frontend diags followed by check-stage diags).
+  void take(DiagnosticEngine Other) {
+    for (Diagnostic &D : Other.Diags)
+      Diags.push_back(std::move(D));
+    Other.Diags.clear();
   }
 
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
-  /// Renders all diagnostics, one per line.
+  /// Renders all diagnostics one per line, sorted by source location
+  /// (invalid locations first; emission order breaks ties) so output is
+  /// deterministic regardless of which pass reported first.
   std::string toString() const;
+
+  /// Machine-readable rendering: a JSON array of
+  /// `{"severity", "line", "col", "message"}` objects in the same
+  /// location-sorted order as toString().
+  std::string toJson() const;
 
 private:
   std::vector<Diagnostic> Diags;
+
+  int count(DiagKind K) const {
+    int N = 0;
+    for (const Diagnostic &D : Diags)
+      N += D.Kind == K ? 1 : 0;
+    return N;
+  }
 };
 
 } // namespace c4b

@@ -544,7 +544,7 @@ private:
         const Atom &U = IS.atoms()[static_cast<std::size_t>(AI)];
         if (sameAtom(U, X))
           continue;
-        if (InU != (Us.count(AI) != 0))
+        if (InU != Us.contains(AI))
           continue;
         int I = XFirst ? idx(X, U) : idx(U, X);
         if (I >= 0)
@@ -687,8 +687,8 @@ private:
       if (SpecVar < 0)
         continue;
       const auto &P = SpecIS.pair(J);
-      if ((P.first.isVar() && !VarMap.count(P.first.Name)) ||
-          (P.second.isVar() && !VarMap.count(P.second.Name)))
+      if ((P.first.isVar() && !VarMap.contains(P.first.Name)) ||
+          (P.second.isVar() && !VarMap.contains(P.second.Name)))
         continue;
       Atom MA = mapSpecAtom(P.first, VarMap);
       Atom MB = mapSpecAtom(P.second, VarMap);
@@ -1030,6 +1030,16 @@ private:
       }
       if (!Ctx.isBottom()) {
         LogicContext Inv = loopInvariant(Ctx, *S.Children[0]);
+        // Interval seeding: the rough invariant above dropped every fact
+        // about modified variables; the check stage's widened intervals
+        // retain one-sided bounds across them.  Conjoining sound facts
+        // only loosens the LP, so bounds can tighten but never regress.
+        if (PA.LoopFacts) {
+          auto SeedIt = PA.LoopFacts->find(&S);
+          if (SeedIt != PA.LoopFacts->end())
+            for (const LinFact &F : SeedIt->second)
+              Inv.assume(F);
+        }
         if (getenv("C4B_DEBUG_INV"))
           fprintf(stderr, "loop@%s head: %s\n  invariant: %s\n",
                   S.Loc.toString().c_str(), Ctx.toString().c_str(),
@@ -1093,11 +1103,11 @@ public:
     for (const std::string &P : F.Params)
       Atoms.push_back(Atom::makeVar(P));
     for (const std::string &L : F.Locals)
-      if (Relevant.count(L))
+      if (Relevant.contains(L))
         Atoms.push_back(Atom::makeVar(L));
     for (const auto &[G, Init] : PA.Prog.Globals) {
       (void)Init;
-      if (Relevant.count(G))
+      if (Relevant.contains(G))
         Atoms.push_back(Atom::makeVar(G));
     }
     for (const Atom &C : PA.ConstAtoms)
@@ -1138,7 +1148,7 @@ private:
   static void closeRelevance(const IRStmt &S, std::set<std::string> &R,
                              bool &Changed) {
     if (S.Kind == IRStmtKind::Assign && S.Asg != AssignKind::Kill &&
-        R.count(S.Target) && S.Operand.isVar())
+        R.contains(S.Target) && S.Operand.isVar())
       Changed |= R.insert(S.Operand.Name).second;
     for (const auto &C : S.Children)
       closeRelevance(*C, R, Changed);
@@ -1175,8 +1185,10 @@ void FunctionWalker::run() {
 
 ProgramAnalyzer::ProgramAnalyzer(const IRProgram &P, const ResourceMetric &M,
                                  const AnalysisOptions &O, ConstraintSink &Sink,
-                                 DiagnosticEngine *Diags)
-    : Prog(P), Metric(M), Opts(O), Sink(Sink), Diags(Diags) {
+                                 DiagnosticEngine *Diags,
+                                 const LoopFactMap *LoopFacts)
+    : Prog(P), Metric(M), Opts(O), Sink(Sink), Diags(Diags),
+      LoopFacts(O.SeedIntervals ? LoopFacts : nullptr) {
   CG = buildCallGraph(P);
   ModGlobals = computeModifiedGlobals(P, CG);
   collectConstAtoms();
@@ -1236,7 +1248,7 @@ ProgramAnalyzer::specForCall(const std::string &Callee,
                            Callee + "'");
     return nullptr;
   }
-  if (CurrentSCC.count(Callee) || !Opts.PolymorphicCalls) {
+  if (CurrentSCC.contains(Callee) || !Opts.PolymorphicCalls) {
     auto It = Specs.find(Callee);
     assert(It != Specs.end() && "bottom-up order guarantees callee specs");
     return &It->second;

@@ -10,7 +10,7 @@ using namespace c4b;
 IndexSet IndexSet::fromAtoms(const std::vector<Atom> &In) {
   IndexSet IS;
   for (const Atom &A : In) {
-    if (IS.AtomIds.count(A))
+    if (IS.AtomIds.contains(A))
       continue;
     IS.AtomIds[A] = static_cast<int>(IS.Atoms.size());
     IS.Atoms.push_back(A);

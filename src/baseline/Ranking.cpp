@@ -212,7 +212,7 @@ private:
     case IRStmtKind::Loop: {
       std::set<std::string> Mod;
       collectAssignedVars(*S.Children[0], Mod);
-      return Mod.count(Var) ? Range::unknown() : Range{};
+      return Mod.contains(Var) ? Range::unknown() : Range{};
     }
     case IRStmtKind::Assign: {
       if (S.Target != Var)
@@ -240,7 +240,7 @@ private:
     }
     case IRStmtKind::Call: {
       std::set<std::string> Mod = modifiedByCall(S);
-      return Mod.count(Var) ? Range::unknown() : Range{};
+      return Mod.contains(Var) ? Range::unknown() : Range{};
     }
     default:
       return Range{};
@@ -486,9 +486,9 @@ private:
       std::optional<Affine> Val;
       if (It != Sym.end()) {
         Val = It->second;
-      } else if (C > 0 && Upper.count(V)) {
+      } else if (C > 0 && Upper.contains(V)) {
         Val = Upper.at(V);
-      } else if (C < 0 && Lower.count(V)) {
+      } else if (C < 0 && Lower.contains(V)) {
         Val = Lower.at(V);
       }
       if (!Val)
@@ -596,8 +596,8 @@ private:
       const IRFunction *Callee = Prog.findFunction(S.Callee);
       if (!Callee)
         return PolyCost::failure("unknown callee");
-      bool SelfCall = CG.Callees.count(S.Callee) &&
-                      CG.Callees.at(S.Callee).count(S.Callee);
+      bool SelfCall = CG.Callees.contains(S.Callee) &&
+                      CG.Callees.at(S.Callee).contains(S.Callee);
       if (SelfCall ||
           CG.SCCs[static_cast<std::size_t>(CG.SCCOf.at(S.Callee))].size() > 1)
         return PolyCost::failure(

@@ -35,6 +35,11 @@ std::string Certificate::serialize() const {
   OS << "metric " << MetricName << "\n";
   OS << "weaken " << static_cast<int>(Options.Weaken) << "\n";
   OS << "polymorphic " << (Options.PolymorphicCalls ? 1 : 0) << "\n";
+  // Interval seeding changes the derivation walk (seeded contexts unlock
+  // different RELAX rows), so a replay must reproduce it.  Only written
+  // when set, so unseeded certificates keep the legacy v1 layout.
+  if (Options.SeedIntervals)
+    OS << "seeded 1\n";
   OS << "values " << Values.size() << "\n";
   for (const Rational &V : Values)
     OS << V.toString() << "\n";
@@ -77,7 +82,15 @@ std::optional<Certificate> Certificate::deserialize(const std::string &Text) {
   if (!(IS >> Word) || Word != "polymorphic" || !(IS >> Poly))
     return std::nullopt;
   C.Options.PolymorphicCalls = Poly != 0;
-  if (!(IS >> Word) || Word != "values" || !(IS >> NumValues))
+  if (!(IS >> Word))
+    return std::nullopt;
+  if (Word == "seeded") { // Optional: absent in legacy certificates.
+    int Seeded = 0;
+    if (!(IS >> Seeded) || !(IS >> Word))
+      return std::nullopt;
+    C.Options.SeedIntervals = Seeded != 0;
+  }
+  if (Word != "values" || !(IS >> NumValues))
     return std::nullopt;
   C.Values.reserve(NumValues);
   for (std::size_t I = 0; I < NumValues; ++I) {
@@ -123,7 +136,8 @@ CheckReport c4b::checkCertificate(const ConstraintSystem &CS,
   // about this certificate's claims.
   if (CS.MetricName != C.MetricName ||
       CS.Options.Weaken != C.Options.Weaken ||
-      CS.Options.PolymorphicCalls != C.Options.PolymorphicCalls) {
+      CS.Options.PolymorphicCalls != C.Options.PolymorphicCalls ||
+      CS.Options.SeedIntervals != C.Options.SeedIntervals) {
     Report.Violations.push_back(
         "constraint system was generated under different metric/options "
         "than the certificate");

@@ -1,0 +1,250 @@
+//===--- Dataflow.cpp - Instantiated dataflow analyses --------------------===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/check/Dataflow.h"
+
+#include <algorithm>
+
+using namespace c4b;
+using namespace c4b::check;
+
+void check::collectExprVars(const Expr &E, std::set<std::string> &Out) {
+  if (E.Kind == ExprKind::Var)
+    Out.insert(E.Name);
+  for (const auto &Sub : E.Sub)
+    if (Sub)
+      collectExprVars(*Sub, Out);
+}
+
+namespace {
+
+void collectCondVars(const SimpleCond &C, std::set<std::string> &Out) {
+  if (C.K == SimpleCond::Kind::Cmp && C.E)
+    collectExprVars(*C.E, Out);
+}
+
+} // namespace
+
+void check::collectUses(const IRStmt &S, std::set<std::string> &Out) {
+  switch (S.Kind) {
+  case IRStmtKind::Assign:
+    switch (S.Asg) {
+    case AssignKind::Set:
+      if (S.Operand.isVar())
+        Out.insert(S.Operand.Name);
+      break;
+    case AssignKind::Inc:
+    case AssignKind::Dec:
+      Out.insert(S.Target);
+      if (S.Operand.isVar())
+        Out.insert(S.Operand.Name);
+      break;
+    case AssignKind::Kill:
+      if (S.KillValue)
+        collectExprVars(*S.KillValue, Out);
+      break;
+    }
+    break;
+  case IRStmtKind::Store:
+    if (S.Index)
+      collectExprVars(*S.Index, Out);
+    if (S.StoreValue)
+      collectExprVars(*S.StoreValue, Out);
+    break;
+  case IRStmtKind::If:
+  case IRStmtKind::Assert:
+    collectCondVars(S.Cond, Out);
+    break;
+  case IRStmtKind::Return:
+    if (S.HasRetValue && S.RetValue.isVar())
+      Out.insert(S.RetValue.Name);
+    break;
+  case IRStmtKind::Call:
+    for (const Atom &A : S.Args)
+      if (A.isVar())
+        Out.insert(A.Name);
+    break;
+  default:
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reaching definitions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ReachingDefsDomain {
+  using State = std::map<std::string, std::set<const IRStmt *>>;
+
+  const IRProgram &P;
+  ReachingDefsResult &Result;
+
+  State boundary(const IRFunction &F) const {
+    State S;
+    for (const std::string &V : F.Params)
+      S[V].insert(nullptr);
+    for (const auto &KV : P.Globals)
+      S[KV.first].insert(nullptr);
+    return S;
+  }
+
+  State join(const State &A, const State &B) const {
+    State R = A;
+    for (const auto &KV : B)
+      R[KV.first].insert(KV.second.begin(), KV.second.end());
+    return R;
+  }
+
+  bool equal(const State &A, const State &B) const { return A == B; }
+  State widen(const State &, const State &New) const { return New; }
+  bool refine(const SimpleCond &, bool, State &) const { return true; }
+  void observeLoopHead(const IRStmt &, const State *) const {}
+
+  void transfer(const IRStmt &S, State &X) const {
+    if (S.Kind == IRStmtKind::Assign) {
+      X[S.Target] = {&S};
+    } else if (S.Kind == IRStmtKind::Call) {
+      if (!S.ResultVar.empty())
+        X[S.ResultVar] = {&S};
+      // A call may or may not write each global: weak update.
+      for (const auto &KV : P.Globals)
+        X[KV.first].insert(&S);
+    }
+  }
+
+  void observe(const IRStmt &S, const State *X) {
+    if (X)
+      Result.Before[&S] = *X;
+    else
+      Result.Before.erase(&S);
+  }
+};
+
+} // namespace
+
+ReachingDefsResult check::reachingDefinitions(const IRProgram &P,
+                                              const IRFunction &F) {
+  ReachingDefsResult R;
+  ReachingDefsDomain Dom{P, R};
+  ForwardEngine<ReachingDefsDomain> Engine(Dom);
+  Engine.run(F);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Live variables
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct LivenessDomain {
+  using State = std::set<std::string>;
+
+  const IRProgram &P;
+  LivenessResult &Result;
+
+  State boundary(const IRFunction &) const {
+    State S;
+    for (const auto &KV : P.Globals)
+      S.insert(KV.first);
+    return S;
+  }
+
+  State join(const State &A, const State &B) const {
+    State R = A;
+    R.insert(B.begin(), B.end());
+    return R;
+  }
+
+  bool equal(const State &A, const State &B) const { return A == B; }
+
+  void transfer(const IRStmt &S, State &X) const {
+    // Kill the defined variable first, then add uses (an Inc both uses and
+    // defines its target; the use below re-adds it).
+    if (S.Kind == IRStmtKind::Assign)
+      X.erase(S.Target);
+    else if (S.Kind == IRStmtKind::Call && !S.ResultVar.empty())
+      X.erase(S.ResultVar);
+    collectUses(S, X);
+  }
+
+  void useCond(const SimpleCond &C, State &X) const { collectCondVars(C, X); }
+
+  void observe(const IRStmt &S, const State *X) {
+    if (X)
+      Result.After[&S] = *X;
+    else
+      Result.After.erase(&S);
+  }
+};
+
+} // namespace
+
+LivenessResult check::liveVariables(const IRProgram &P, const IRFunction &F) {
+  LivenessResult R;
+  LivenessDomain Dom{P, R};
+  BackwardEngine<LivenessDomain> Engine(Dom);
+  Engine.run(F);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Definite initialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct MaybeUninitDomain {
+  using State = std::set<std::string>;
+
+  MaybeUninitResult &Result;
+
+  State boundary(const IRFunction &F) const {
+    // Everything declared local starts uninitialized; parameters and
+    // globals are initialized by the caller / the loader.
+    return State(F.Locals.begin(), F.Locals.end());
+  }
+
+  State join(const State &A, const State &B) const {
+    State R = A;
+    R.insert(B.begin(), B.end());
+    return R;
+  }
+
+  bool equal(const State &A, const State &B) const { return A == B; }
+  State widen(const State &, const State &New) const { return New; }
+  bool refine(const SimpleCond &, bool, State &) const { return true; }
+  void observeLoopHead(const IRStmt &, const State *) const {}
+
+  void transfer(const IRStmt &S, State &X) const {
+    if (S.Kind == IRStmtKind::Assign)
+      X.erase(S.Target);
+    else if (S.Kind == IRStmtKind::Call && !S.ResultVar.empty())
+      X.erase(S.ResultVar);
+  }
+
+  void observe(const IRStmt &S, const State *X) {
+    if (X)
+      Result.Before[&S] = *X;
+    else
+      Result.Before.erase(&S);
+  }
+};
+
+} // namespace
+
+MaybeUninitResult check::maybeUninitialized(const IRProgram &P,
+                                            const IRFunction &F) {
+  (void)P;
+  MaybeUninitResult R;
+  MaybeUninitDomain Dom{R};
+  ForwardEngine<MaybeUninitDomain> Engine(Dom);
+  Engine.run(F);
+  return R;
+}

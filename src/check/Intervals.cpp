@@ -1,0 +1,324 @@
+//===--- Intervals.cpp - Interval pre-pass feeding LogicContext -----------===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/check/Intervals.h"
+
+#include "c4b/check/Dataflow.h"
+
+#include <limits>
+
+using namespace c4b;
+using namespace c4b::check;
+
+std::string Interval::toString() const {
+  std::string R = "[";
+  R += Lo ? std::to_string(*Lo) : "-inf";
+  R += ", ";
+  R += Hi ? std::to_string(*Hi) : "+inf";
+  R += "]";
+  return R;
+}
+
+namespace {
+
+using Bound = std::optional<std::int64_t>;
+
+constexpr std::int64_t IntMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t IntMax = std::numeric_limits<std::int64_t>::max();
+
+/// 128-bit value clamped back to a representable bound; out-of-range
+/// results become "unbounded" (sound: dropping a bound only loses
+/// precision).
+Bound clampBound(__int128 V) {
+  if (V < static_cast<__int128>(IntMin) || V > static_cast<__int128>(IntMax))
+    return std::nullopt;
+  return static_cast<std::int64_t>(V);
+}
+
+Bound addBounds(Bound A, Bound B) {
+  if (!A || !B)
+    return std::nullopt;
+  return clampBound(static_cast<__int128>(*A) + static_cast<__int128>(*B));
+}
+
+Bound subBounds(Bound A, Bound B) {
+  if (!A || !B)
+    return std::nullopt;
+  return clampBound(static_cast<__int128>(*A) - static_cast<__int128>(*B));
+}
+
+/// Floor division for 128-bit intermediates (C++ division truncates
+/// towards zero; interval bounds need floor/ceil).
+std::int64_t floorDiv(__int128 N, std::int64_t D) {
+  __int128 Q = N / D, R = N % D;
+  if (R != 0 && ((R < 0) != (D < 0)))
+    --Q;
+  return static_cast<std::int64_t>(Q); // |Q| <= |N|, fits after caller clamp.
+}
+
+std::int64_t ceilDiv(__int128 N, std::int64_t D) {
+  __int128 Q = N / D, R = N % D;
+  if (R != 0 && ((R < 0) == (D < 0)))
+    ++Q;
+  return static_cast<std::int64_t>(Q);
+}
+
+struct IntervalDomain {
+  /// Absent variable = unconstrained (top).
+  using State = std::map<std::string, Interval>;
+
+  IntervalSeeds &Seeds;
+
+  State boundary(const IRFunction &) const {
+    // Parameters, globals, and (uninitialized) locals are all arbitrary.
+    return {};
+  }
+
+  static Interval lookup(const State &X, const std::string &V) {
+    auto It = X.find(V);
+    return It == X.end() ? Interval{} : It->second;
+  }
+
+  static void store(State &X, const std::string &V, Interval I) {
+    if (!I.Lo && !I.Hi)
+      X.erase(V);
+    else
+      X[V] = I;
+  }
+
+  State join(const State &A, const State &B) const {
+    State R;
+    for (const auto &KV : A) {
+      auto It = B.find(KV.first);
+      if (It == B.end())
+        continue; // Top in B.
+      Interval I;
+      if (KV.second.Lo && It->second.Lo)
+        I.Lo = std::min(*KV.second.Lo, *It->second.Lo);
+      if (KV.second.Hi && It->second.Hi)
+        I.Hi = std::max(*KV.second.Hi, *It->second.Hi);
+      if (I.Lo || I.Hi)
+        R[KV.first] = I;
+    }
+    return R;
+  }
+
+  bool equal(const State &A, const State &B) const { return A == B; }
+
+  /// Standard interval widening: any bound that moved outward jumps to
+  /// infinity, so chains `x: [0,1], [0,2], ...` stabilize at `[0, +inf]`.
+  State widen(const State &Old, const State &New) const {
+    State R;
+    for (const auto &KV : New) {
+      auto It = Old.find(KV.first);
+      if (It == Old.end())
+        continue; // Was top: stays top.
+      Interval I = KV.second;
+      if (!It->second.Lo || (I.Lo && *I.Lo < *It->second.Lo))
+        I.Lo.reset();
+      if (!It->second.Hi || (I.Hi && *I.Hi > *It->second.Hi))
+        I.Hi.reset();
+      if (I.Lo || I.Hi)
+        R[KV.first] = I;
+    }
+    return R;
+  }
+
+  Interval atomInterval(const State &X, const Atom &A) const {
+    if (A.isConst())
+      return Interval{A.Value, A.Value};
+    return lookup(X, A.Name);
+  }
+
+  void transfer(const IRStmt &S, State &X) const {
+    switch (S.Kind) {
+    case IRStmtKind::Assign:
+      switch (S.Asg) {
+      case AssignKind::Set:
+        store(X, S.Target, atomInterval(X, S.Operand));
+        break;
+      case AssignKind::Inc: {
+        Interval T = lookup(X, S.Target), A = atomInterval(X, S.Operand);
+        store(X, S.Target, {addBounds(T.Lo, A.Lo), addBounds(T.Hi, A.Hi)});
+        break;
+      }
+      case AssignKind::Dec: {
+        Interval T = lookup(X, S.Target), A = atomInterval(X, S.Operand);
+        store(X, S.Target, {subBounds(T.Lo, A.Hi), subBounds(T.Hi, A.Lo)});
+        break;
+      }
+      case AssignKind::Kill:
+        X.erase(S.Target);
+        break;
+      }
+      break;
+
+    case IRStmtKind::Call:
+      // Conservative: the callee may write any global, and the result is
+      // arbitrary.
+      if (!S.ResultVar.empty())
+        X.erase(S.ResultVar);
+      for (auto It = X.begin(); It != X.end();)
+        It = isGlobal(It->first) ? X.erase(It) : std::next(It);
+      break;
+
+    case IRStmtKind::Assert:
+      refineCond(S.Cond, /*Taken=*/true, X);
+      break;
+
+    default:
+      break; // Store/Tick/Skip have no scalar effect.
+    }
+  }
+
+  bool refine(const SimpleCond &C, bool Taken, State &X) const {
+    return refineCond(C, Taken, X);
+  }
+
+  /// Returns false when the branch is infeasible under the intervals.
+  bool refineCond(const SimpleCond &C, bool Taken, State &X) const {
+    switch (C.K) {
+    case SimpleCond::Kind::True:
+      return Taken;
+    case SimpleCond::Kind::Nondet:
+      return true;
+    case SimpleCond::Kind::Cmp:
+      if (!C.Lin)
+        return true; // Non-linear comparison: no information.
+      return refineLin(Taken ? *C.Lin : C.Lin->negated(), X);
+    }
+    return true;
+  }
+
+  bool refineLin(const LinCmp &L, State &X) const {
+    switch (L.O) {
+    case LinCmp::Op::Le0:
+      return refineLe0(L.E, X);
+    case LinCmp::Op::Eq0: {
+      LinExprInt Neg;
+      Neg.Const = -L.E.Const;
+      for (const auto &KV : L.E.Coeffs)
+        Neg.Coeffs[KV.first] = -KV.second;
+      return refineLe0(L.E, X) && refineLe0(Neg, X);
+    }
+    case LinCmp::Op::Ne0:
+      // Disjunctive; only the all-constant case is decidable.
+      return !L.E.isConstant() || L.E.Const != 0;
+    }
+    return true;
+  }
+
+  /// Tightens X with `sum c_i x_i + k <= 0`: for each variable v,
+  /// `c_v * v <= -k - sum_{u != v} c_u * u`, and the right-hand side is
+  /// bounded above using the other variables' current intervals.
+  bool refineLe0(const LinExprInt &E, State &X) const {
+    if (E.isConstant())
+      return E.Const <= 0;
+    for (const auto &KV : E.Coeffs) {
+      const std::string &V = KV.first;
+      std::int64_t C = KV.second;
+      if (C == 0)
+        continue;
+      __int128 M = -static_cast<__int128>(E.Const);
+      bool Known = true;
+      for (const auto &Other : E.Coeffs) {
+        if (Other.first == V)
+          continue;
+        Interval U = lookup(X, Other.first);
+        // Subtract min(c_u * u).
+        Bound B = Other.second > 0 ? U.Lo : U.Hi;
+        if (!B) {
+          Known = false;
+          break;
+        }
+        M -= static_cast<__int128>(Other.second) * static_cast<__int128>(*B);
+      }
+      if (!Known)
+        continue;
+      Interval I = lookup(X, V);
+      if (C > 0) {
+        std::int64_t Hi = floorDiv(M, C);
+        if (!I.Hi || Hi < *I.Hi)
+          I.Hi = Hi;
+      } else {
+        std::int64_t Lo = ceilDiv(M, C);
+        if (!I.Lo || Lo > *I.Lo)
+          I.Lo = Lo;
+      }
+      if (I.Lo && I.Hi && *I.Lo > *I.Hi)
+        return false; // Contradiction: branch is infeasible.
+      store(X, V, I);
+    }
+    return true;
+  }
+
+  void observe(const IRStmt &S, const State *X) {
+    if (X)
+      Seeds.UnreachableStmts.erase(&S);
+    else
+      Seeds.UnreachableStmts.insert(&S);
+  }
+
+  void observeLoopHead(const IRStmt &Loop, const State *Head) {
+    std::vector<LinFact> Facts;
+    if (Head) {
+      for (const auto &KV : *Head) {
+        const Interval &I = KV.second;
+        if (I.Lo && I.Hi && *I.Lo == *I.Hi) {
+          LinFact F; // v - c == 0.
+          F.add(KV.first, Rational(1));
+          F.Const = Rational(-*I.Lo);
+          F.IsEquality = true;
+          Facts.push_back(std::move(F));
+          continue;
+        }
+        if (I.Hi) {
+          LinFact F; // v - hi <= 0.
+          F.add(KV.first, Rational(1));
+          F.Const = Rational(-*I.Hi);
+          Facts.push_back(std::move(F));
+        }
+        if (I.Lo) {
+          LinFact F; // lo - v <= 0.
+          F.add(KV.first, Rational(-1));
+          F.Const = Rational(*I.Lo);
+          Facts.push_back(std::move(F));
+        }
+      }
+    }
+    if (Facts.empty())
+      Seeds.LoopHeadFacts.erase(&Loop);
+    else
+      Seeds.LoopHeadFacts[&Loop] = std::move(Facts);
+  }
+
+  bool isGlobal(const std::string &V) const {
+    return Globals && Globals->count(V) != 0;
+  }
+
+  const std::map<std::string, std::int64_t> *Globals = nullptr;
+};
+
+} // namespace
+
+IntervalSeeds check::computeIntervalSeeds(const IRProgram &P) {
+  IntervalSeeds Seeds;
+  bool Converged = true;
+  for (const IRFunction &F : P.Functions) {
+    if (!F.Body)
+      continue;
+    IntervalDomain Dom{Seeds};
+    Dom.Globals = &P.Globals;
+    ForwardEngine<IntervalDomain> Engine(Dom);
+    Engine.run(F);
+    Converged &= Engine.converged();
+  }
+  Seeds.Converged = Converged;
+  if (!Converged) // Fail-safe: never hand out facts from a truncated run.
+    Seeds.LoopHeadFacts.clear();
+  return Seeds;
+}

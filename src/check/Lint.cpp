@@ -1,0 +1,141 @@
+//===--- Lint.cpp - Dataflow-backed lints ---------------------------------===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/check/Check.h"
+#include "c4b/check/Dataflow.h"
+
+using namespace c4b;
+using namespace c4b::check;
+
+namespace {
+
+/// One function's lint context.
+class FunctionLinter {
+public:
+  FunctionLinter(const IRProgram &P, const IRFunction &F,
+                 const IntervalSeeds &Seeds, DiagnosticEngine &Diags)
+      : P(P), F(F), Seeds(Seeds), Diags(Diags) {}
+
+  void run() {
+    if (!F.Body)
+      return;
+    Uninit = maybeUninitialized(P, F);
+    Live = liveVariables(P, F);
+    lintStmt(*F.Body);
+  }
+
+private:
+  const IRProgram &P;
+  const IRFunction &F;
+  const IntervalSeeds &Seeds;
+  DiagnosticEngine &Diags;
+  MaybeUninitResult Uninit;
+  LivenessResult Live;
+
+  void warn(const IRStmt &S, const std::string &Msg) {
+    Diags.warning(S.Loc, "in '" + F.Name + "': " + Msg);
+  }
+
+  /// True when \p S never falls through to the next statement.
+  static bool terminates(const IRStmt &S) {
+    switch (S.Kind) {
+    case IRStmtKind::Break:
+    case IRStmtKind::Return:
+      return true;
+    case IRStmtKind::Block:
+      for (const auto &C : S.Children)
+        if (C && terminates(*C))
+          return true;
+      return false;
+    case IRStmtKind::If:
+      return S.Children.size() == 2 && terminates(*S.Children[0]) &&
+             terminates(*S.Children[1]);
+    default:
+      return false;
+    }
+  }
+
+  bool isLiveAfter(const IRStmt &S, const std::string &V) const {
+    auto It = Live.After.find(&S);
+    // Missing entry = statement never reached backwards from any exit
+    // (e.g. body of an infinite loop); treat as live to stay quiet.
+    return It == Live.After.end() || It->second.contains(V);
+  }
+
+  void lintStmt(const IRStmt &S) {
+    // Read-before-write: any use of a variable that may still be
+    // uninitialized at this point.
+    auto UIt = Uninit.Before.find(&S);
+    if (UIt != Uninit.Before.end() && !UIt->second.empty()) {
+      std::set<std::string> Uses;
+      collectUses(S, Uses);
+      for (const std::string &V : Uses)
+        if (UIt->second.contains(V))
+          warn(S, "'" + V + "' may be read before initialization");
+    }
+
+    switch (S.Kind) {
+    case IRStmtKind::Assign:
+      // Dead store: the assigned value is never read.  Lowering
+      // temporaries (CostFree) are exempt; they are artifacts, not user
+      // code.
+      if (!S.CostFree && !isLiveAfter(S, S.Target))
+        warn(S, "value assigned to '" + S.Target + "' is never read");
+      break;
+
+    case IRStmtKind::Call:
+      if (!S.ResultVar.empty() && !isLiveAfter(S, S.ResultVar))
+        warn(S, "result of call to '" + S.Callee + "' is never used");
+      break;
+
+    case IRStmtKind::Tick:
+      if (Seeds.UnreachableStmts.contains(&S))
+        warn(S, "tick is statically unreachable (its guard is always false)");
+      break;
+
+    case IRStmtKind::Block:
+      // Unreachable code: one warning on the first statement after a
+      // child that never falls through.
+      for (std::size_t I = 0; I + 1 < S.Children.size(); ++I)
+        if (S.Children[I] && terminates(*S.Children[I])) {
+          warn(*S.Children[I + 1],
+               "statement is unreachable (every path above breaks or "
+               "returns)");
+          break;
+        }
+      break;
+
+    default:
+      break;
+    }
+
+    for (const auto &C : S.Children)
+      if (C)
+        lintStmt(*C);
+  }
+};
+
+} // namespace
+
+void check::runLints(const IRProgram &P, const IntervalSeeds &Seeds,
+                     DiagnosticEngine &Diags) {
+  for (const IRFunction &F : P.Functions)
+    FunctionLinter(P, F, Seeds, Diags).run();
+}
+
+Report check::runChecks(const IRProgram &P, const Options &O) {
+  Report R;
+  if (O.Verify)
+    R.Verified = verifyIR(P, R.Diags);
+  if (O.Seeds || O.Lint)
+    R.Seeds = computeIntervalSeeds(P);
+  if (O.Lint)
+    runLints(P, R.Seeds, R.Diags);
+  if (!O.Seeds) // Seeds were only computed for the dead-tick lint.
+    R.Seeds.LoopHeadFacts.clear();
+  return R;
+}

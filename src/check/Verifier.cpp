@@ -1,0 +1,284 @@
+//===--- Verifier.cpp - Structural IR invariant checker -------------------===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/check/Verifier.h"
+
+#include <set>
+
+using namespace c4b;
+using namespace c4b::check;
+
+namespace {
+
+/// Walks one function and reports every invariant violation.  Kept as a
+/// class so the scope sets (scalars/arrays in scope) and the program are
+/// built once per function.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const IRProgram &P, const IRFunction &F,
+                   DiagnosticEngine &Diags)
+      : P(P), F(F), Diags(Diags) {
+    for (const std::string &V : F.Params)
+      Scalars.insert(V);
+    for (const std::string &V : F.Locals)
+      Scalars.insert(V);
+    for (const auto &KV : P.Globals)
+      Scalars.insert(KV.first);
+    for (const auto &KV : F.LocalArrays)
+      Arrays.insert(KV.first);
+    for (const auto &KV : P.GlobalArrays)
+      Arrays.insert(KV.first);
+  }
+
+  bool run() {
+    if (!F.Body) {
+      Diags.error(F.Loc, "function '" + F.Name + "' has no body");
+      return false;
+    }
+    verifyStmt(*F.Body, /*LoopDepth=*/0);
+    return OK;
+  }
+
+private:
+  const IRProgram &P;
+  const IRFunction &F;
+  DiagnosticEngine &Diags;
+  std::set<std::string> Scalars, Arrays;
+  bool OK = true;
+
+  void error(const IRStmt &S, const std::string &Msg) {
+    OK = false;
+    Diags.error(S.Loc, "in '" + F.Name + "': " + Msg);
+  }
+
+  /// Invariant: leaves have no children; If has exactly two; Loop exactly
+  /// one; Block any number.  Null child pointers are corrupt in any shape.
+  bool checkShape(const IRStmt &S) {
+    for (const auto &C : S.Children)
+      if (!C) {
+        error(S, "null child statement");
+        return false;
+      }
+    std::size_t Want, Got = S.Children.size();
+    switch (S.Kind) {
+    case IRStmtKind::Block:
+      return true;
+    case IRStmtKind::If:
+      Want = 2;
+      break;
+    case IRStmtKind::Loop:
+      Want = 1;
+      break;
+    default:
+      Want = 0;
+      break;
+    }
+    if (Got != Want) {
+      error(S, stmtName(S.Kind) + " statement has " + std::to_string(Got) +
+                   " children, expected " + std::to_string(Want));
+      return false;
+    }
+    return true;
+  }
+
+  static std::string stmtName(IRStmtKind K) {
+    switch (K) {
+    case IRStmtKind::Skip:   return "skip";
+    case IRStmtKind::Block:  return "block";
+    case IRStmtKind::Assign: return "assignment";
+    case IRStmtKind::Store:  return "store";
+    case IRStmtKind::If:     return "if";
+    case IRStmtKind::Loop:   return "loop";
+    case IRStmtKind::Break:  return "break";
+    case IRStmtKind::Return: return "return";
+    case IRStmtKind::Tick:   return "tick";
+    case IRStmtKind::Assert: return "assert";
+    case IRStmtKind::Call:   return "call";
+    }
+    return "statement";
+  }
+
+  void checkScalar(const IRStmt &S, const std::string &V,
+                   const std::string &Role) {
+    if (!Scalars.contains(V))
+      error(S, Role + " references undeclared variable '" + V + "'");
+  }
+
+  void checkAtom(const IRStmt &S, const Atom &A, const std::string &Role) {
+    if (A.isVar()) {
+      if (A.Name.empty())
+        error(S, Role + " is a variable atom with an empty name");
+      else
+        checkScalar(S, A.Name, Role);
+    }
+  }
+
+  /// Every scalar mentioned in an opaque expression (Kill values, store
+  /// indices, comparison conditions) must be in scope; array reads must
+  /// name declared arrays.
+  void checkExpr(const IRStmt &S, const Expr &E, const std::string &Role) {
+    switch (E.Kind) {
+    case ExprKind::Var:
+      checkScalar(S, E.Name, Role);
+      break;
+    case ExprKind::ArrayElem:
+      if (!Arrays.contains(E.Name))
+        error(S, Role + " reads undeclared array '" + E.Name + "'");
+      break;
+    default:
+      break;
+    }
+    for (const auto &Sub : E.Sub)
+      if (Sub)
+        checkExpr(S, *Sub, Role);
+  }
+
+  void checkCond(const IRStmt &S, const SimpleCond &C,
+                 const std::string &Role) {
+    switch (C.K) {
+    case SimpleCond::Kind::True:
+    case SimpleCond::Kind::Nondet:
+      if (C.E)
+        error(S, Role + " condition is " +
+                     (C.K == SimpleCond::Kind::True ? "'true'" : "'*'") +
+                     " but carries an expression");
+      break;
+    case SimpleCond::Kind::Cmp:
+      if (!C.E) {
+        error(S, Role + " comparison condition has no expression");
+        break;
+      }
+      checkExpr(S, *C.E, Role + " condition");
+      if (C.Lin)
+        for (const auto &KV : C.Lin->E.Coeffs)
+          checkScalar(S, KV.first, Role + " condition linear form");
+      break;
+    }
+  }
+
+  void verifyStmt(const IRStmt &S, int LoopDepth) {
+    if (!S.Loc.isValid())
+      error(S, stmtName(S.Kind) + " statement has no source location");
+    if (!checkShape(S))
+      return; // Shape is corrupt; recursing would read bad children.
+
+    switch (S.Kind) {
+    case IRStmtKind::Skip:
+      break;
+
+    case IRStmtKind::Block:
+      for (const auto &C : S.Children)
+        verifyStmt(*C, LoopDepth);
+      break;
+
+    case IRStmtKind::Assign:
+      if (S.Target.empty()) {
+        error(S, "assignment has no target variable");
+        break;
+      }
+      checkScalar(S, S.Target, "assignment target");
+      switch (S.Asg) {
+      case AssignKind::Set:
+        checkAtom(S, S.Operand, "assignment operand");
+        if (S.Operand.isVar() && S.Operand.Name == S.Target)
+          error(S, "self-assignment 'x <- x' should have been elided by "
+                   "lowering");
+        break;
+      case AssignKind::Inc:
+      case AssignKind::Dec:
+        checkAtom(S, S.Operand, "assignment operand");
+        break;
+      case AssignKind::Kill:
+        if (!S.KillValue)
+          error(S, "kill assignment has no value expression");
+        else
+          checkExpr(S, *S.KillValue, "kill assignment value");
+        break;
+      }
+      break;
+
+    case IRStmtKind::Store:
+      if (!Arrays.contains(S.ArrayName))
+        error(S, "store targets undeclared array '" + S.ArrayName + "'");
+      if (!S.Index)
+        error(S, "store has no index expression");
+      else
+        checkExpr(S, *S.Index, "store index");
+      if (!S.StoreValue)
+        error(S, "store has no value expression");
+      else
+        checkExpr(S, *S.StoreValue, "store value");
+      break;
+
+    case IRStmtKind::If:
+      checkCond(S, S.Cond, "if");
+      verifyStmt(*S.Children[0], LoopDepth);
+      verifyStmt(*S.Children[1], LoopDepth);
+      break;
+
+    case IRStmtKind::Loop:
+      verifyStmt(*S.Children[0], LoopDepth + 1);
+      break;
+
+    case IRStmtKind::Break:
+      if (LoopDepth == 0)
+        error(S, "'break' outside of any loop");
+      break;
+
+    case IRStmtKind::Return:
+      if (S.HasRetValue) {
+        if (!F.ReturnsValue)
+          error(S, "void function returns a value");
+        checkAtom(S, S.RetValue, "return value");
+      } else if (F.ReturnsValue) {
+        error(S, "int function returns without a value");
+      }
+      break;
+
+    case IRStmtKind::Tick:
+      break;
+
+    case IRStmtKind::Assert:
+      checkCond(S, S.Cond, "assert");
+      break;
+
+    case IRStmtKind::Call: {
+      const IRFunction *Callee = P.findFunction(S.Callee);
+      if (!Callee) {
+        error(S, "call to undefined function '" + S.Callee + "'");
+      } else {
+        if (Callee->Params.size() != S.Args.size())
+          error(S, "call to '" + S.Callee + "' passes " +
+                       std::to_string(S.Args.size()) + " arguments, expected " +
+                       std::to_string(Callee->Params.size()));
+        if (!S.ResultVar.empty() && !Callee->ReturnsValue)
+          error(S, "call binds the result of void function '" + S.Callee +
+                       "'");
+      }
+      for (const Atom &A : S.Args)
+        checkAtom(S, A, "call argument");
+      if (!S.ResultVar.empty())
+        checkScalar(S, S.ResultVar, "call result");
+      break;
+    }
+    }
+  }
+};
+
+} // namespace
+
+bool check::verifyFunction(const IRProgram &P, const IRFunction &F,
+                           DiagnosticEngine &Diags) {
+  return FunctionVerifier(P, F, Diags).run();
+}
+
+bool check::verifyIR(const IRProgram &P, DiagnosticEngine &Diags) {
+  bool OK = true;
+  for (const IRFunction &F : P.Functions)
+    OK &= verifyFunction(P, F, Diags);
+  return OK;
+}

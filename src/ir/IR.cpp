@@ -280,9 +280,9 @@ struct TarjanState {
     auto It = Edges.find(V);
     if (It != Edges.end()) {
       for (const std::string &W : It->second) {
-        if (!Edges.count(W))
+        if (!Edges.contains(W))
           continue; // Call to an undefined function; lowering rejects these.
-        if (!Index.count(W)) {
+        if (!Index.contains(W)) {
           visit(W);
           Low[V] = std::min(Low[V], Low[W]);
         } else if (OnStack[W]) {
@@ -320,7 +320,7 @@ CallGraph c4b::buildCallGraph(const IRProgram &P) {
     collectCallees(*F.Body, G.Callees[F.Name]);
   TarjanState T{G.Callees, {}, {}, {}, {}, 0, {}};
   for (const IRFunction &F : P.Functions)
-    if (!T.Index.count(F.Name))
+    if (!T.Index.contains(F.Name))
       T.visit(F.Name);
   // Tarjan emits SCCs callee-first, which is exactly bottom-up order.
   G.SCCs = std::move(T.SCCs);

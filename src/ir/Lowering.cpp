@@ -89,7 +89,7 @@ private:
   }
 
   bool checkScalar(const std::string &N, SourceLoc Loc) {
-    if (Scalars.count(N))
+    if (Scalars.contains(N))
       return true;
     Diags.error(Loc, "use of undeclared variable '" + N + "'");
     return false;
@@ -349,9 +349,9 @@ private:
     }
     auto S = make(IRStmtKind::If, Cond.Loc);
     S->Cond = makeCmpCond(Cond);
-    auto ThenBlk = make(IRStmtKind::Block);
+    auto ThenBlk = make(IRStmtKind::Block, Cond.Loc);
     Then(ThenBlk->Children);
-    auto ElseBlk = make(IRStmtKind::Block);
+    auto ElseBlk = make(IRStmtKind::Block, Cond.Loc);
     Else(ElseBlk->Children);
     S->Children.push_back(std::move(ThenBlk));
     S->Children.push_back(std::move(ElseBlk));
@@ -369,8 +369,10 @@ private:
     };
   }
 
-  GenFn genBreak() {
-    return [this](StmtList &L) { L.push_back(make(IRStmtKind::Break)); };
+  GenFn genBreak(SourceLoc Loc) {
+    return [this, Loc](StmtList &L) {
+      L.push_back(make(IRStmtKind::Break, Loc));
+    };
   }
 
   GenFn genNothing() {
@@ -397,7 +399,7 @@ private:
         lowerStmtInto(*C, L);
       return;
     case StmtKind::VarDecl: {
-      if (Scalars.count(S.DeclName) || Arrays.count(S.DeclName)) {
+      if (Scalars.contains(S.DeclName) || Arrays.contains(S.DeclName)) {
         Diags.error(S.Loc, "redeclaration of '" + S.DeclName + "'");
         return;
       }
@@ -414,7 +416,7 @@ private:
     }
     case StmtKind::Assign: {
       if (S.TargetIndex) {
-        if (!Arrays.count(S.TargetName)) {
+        if (!Arrays.contains(S.TargetName)) {
           Diags.error(S.Loc, "'" + S.TargetName + "' is not an array");
           return;
         }
@@ -460,9 +462,10 @@ private:
       return;
     case StmtKind::While: {
       auto Loop = make(IRStmtKind::Loop, S.Loc);
-      auto Body = make(IRStmtKind::Block);
+      auto Body = make(IRStmtKind::Block, S.Loc);
       ++LoopDepth;
-      lowerBranch(*S.Cond, genStmt(S.Then.get()), genBreak(), Body->Children);
+      lowerBranch(*S.Cond, genStmt(S.Then.get()), genBreak(S.Cond->Loc),
+                  Body->Children);
       --LoopDepth;
       Loop->Children.push_back(std::move(Body));
       L.push_back(std::move(Loop));
@@ -470,12 +473,13 @@ private:
     }
     case StmtKind::DoWhile: {
       auto Loop = make(IRStmtKind::Loop, S.Loc);
-      auto Body = make(IRStmtKind::Block);
+      auto Body = make(IRStmtKind::Block, S.Loc);
       ++LoopDepth;
       if (containsTopLevelBreak(*S.Then)) {
         // A break targeting this do-while keeps the classic lowering.
         lowerStmtInto(*S.Then, Body->Children);
-        lowerBranch(*S.Cond, genNothing(), genBreak(), Body->Children);
+        lowerBranch(*S.Cond, genNothing(), genBreak(S.Cond->Loc),
+                    Body->Children);
       } else {
         // Rotate: `do S while(c)` becomes `S; while(c) S`.  The guarded
         // form lets the analysis see the loop condition before every
@@ -485,7 +489,7 @@ private:
         --LoopDepth;
         lowerStmtInto(*S.Then, L);
         ++LoopDepth;
-        lowerBranch(*S.Cond, genStmt(S.Then.get()), genBreak(),
+        lowerBranch(*S.Cond, genStmt(S.Then.get()), genBreak(S.Cond->Loc),
                     Body->Children);
       }
       --LoopDepth;
@@ -497,7 +501,7 @@ private:
       if (S.ForInit)
         lowerStmtInto(*S.ForInit, L);
       auto Loop = make(IRStmtKind::Loop, S.Loc);
-      auto Body = make(IRStmtKind::Block);
+      auto Body = make(IRStmtKind::Block, S.Loc);
       ++LoopDepth;
       GenFn BodyAndStep = [this, &S](StmtList &Inner) {
         lowerStmtInto(*S.Then, Inner);
@@ -505,7 +509,8 @@ private:
           lowerStmtInto(*S.ForStep, Inner);
       };
       if (S.Cond)
-        lowerBranch(*S.Cond, BodyAndStep, genBreak(), Body->Children);
+        lowerBranch(*S.Cond, BodyAndStep, genBreak(S.Cond->Loc),
+                    Body->Children);
       else
         BodyAndStep(Body->Children);
       --LoopDepth;

@@ -445,10 +445,10 @@ namespace {
 void collectAssignedGlobals(const IRStmt &S,
                             const std::map<std::string, std::int64_t> &Globals,
                             std::set<std::string> &Out) {
-  if (S.Kind == IRStmtKind::Assign && Globals.count(S.Target))
+  if (S.Kind == IRStmtKind::Assign && Globals.contains(S.Target))
     Out.insert(S.Target);
   if (S.Kind == IRStmtKind::Call && !S.ResultVar.empty() &&
-      Globals.count(S.ResultVar))
+      Globals.contains(S.ResultVar))
     Out.insert(S.ResultVar);
   for (const auto &C : S.Children)
     collectAssignedGlobals(*C, Globals, Out);

@@ -39,7 +39,7 @@ AffineExpr PresolvedSolver::flatten(const std::vector<LinTerm> &Terms,
 }
 
 void PresolvedSolver::recordSubst(int Var, AffineExpr E) {
-  assert(!Subst.count(Var) && "variable substituted twice");
+  assert(!Subst.contains(Var) && "variable substituted twice");
   // Keep the map flat: rewrite existing entries that mention Var.
   auto OccIt = Occurs.find(Var);
   if (OccIt != Occurs.end()) {

@@ -9,6 +9,7 @@
 
 #include "c4b/analysis/Analyzer.h"
 
+#include "c4b/check/Verifier.h"
 #include "c4b/pipeline/Pipeline.h"
 
 #include <chrono>
@@ -19,6 +20,17 @@ AnalysisResult c4b::analyzeProgram(const IRProgram &P, const ResourceMetric &M,
                                    const AnalysisOptions &O,
                                    const std::string &Focus) {
   auto Start = std::chrono::steady_clock::now();
+  if (PipelineOptions{}.VerifyIR) {
+    // Debug builds verify every program handed to the analysis; the
+    // derivation rules are only sound on the documented IR fragment.
+    DiagnosticEngine VDiags;
+    if (!check::verifyIR(P, VDiags)) {
+      AnalysisResult R;
+      R.IRVerified = false;
+      R.Error = "IR verification failed:\n" + VDiags.toString();
+      return R;
+    }
+  }
   ConstraintSystem CS = generateConstraints(P, M, O);
   SolvedSystem S =
       CS.StructuralOk ? solveSystem(CS, Focus) : SolvedSystem{};

@@ -2,6 +2,8 @@
 
 #include "c4b/pipeline/Batch.h"
 
+#include "c4b/check/Check.h"
+
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -40,6 +42,22 @@ BatchItem runJob(const BatchJob &Job) {
     IR = &*Owned.IR;
   }
 
+  if (Job.Pipe.VerifyIR || Job.Pipe.Lint) {
+    auto TCheck = std::chrono::steady_clock::now();
+    check::Options CO;
+    CO.Verify = Job.Pipe.VerifyIR;
+    CO.Lint = Job.Pipe.Lint;
+    check::Report Rep = check::runChecks(*IR, CO);
+    Item.Timings.CheckSeconds = secondsSince(TCheck);
+    Item.Result.IRVerified = Rep.Verified;
+    Item.Result.NumLintWarnings = Rep.Diags.warningCount();
+    Item.CheckDiags = Rep.Diags.toString();
+    if (!Rep.Verified) {
+      Item.Result.Error = "IR verification failed:\n" + Item.CheckDiags;
+      return Item;
+    }
+  }
+
   auto TGen = std::chrono::steady_clock::now();
   ConstraintSystem CS = generateConstraints(*IR, Job.Metric, Job.Options);
   Item.Timings.GenerateSeconds = secondsSince(TGen);
@@ -50,7 +68,13 @@ BatchItem runJob(const BatchJob &Job) {
     S = solveSystem(CS, Job.Focus);
     Item.Timings.SolveSeconds = secondsSince(TSolve);
   }
+  // toAnalysisResult builds a fresh result; re-stamp the check-stage
+  // fields recorded above so they survive into the final item.
+  bool IRVerified = Item.Result.IRVerified;
+  int NumLintWarnings = Item.Result.NumLintWarnings;
   Item.Result = toAnalysisResult(CS, std::move(S));
+  Item.Result.IRVerified = IRVerified;
+  Item.Result.NumLintWarnings = NumLintWarnings;
   Item.Result.AnalysisSeconds = Item.Timings.totalSeconds();
   return Item;
 }

@@ -3,6 +3,7 @@
 #include "c4b/pipeline/Pipeline.h"
 
 #include "c4b/ast/Parser.h"
+#include "c4b/check/Check.h"
 #include "c4b/lp/Presolve.h"
 
 #include <sstream>
@@ -31,6 +32,28 @@ LoweredModule c4b::lowerModule(ParsedModule P) {
 
 LoweredModule c4b::frontend(const std::string &Source, std::string Name) {
   return lowerModule(parseModule(Source, std::move(Name)));
+}
+
+//===----------------------------------------------------------------------===//
+// Check stage (stage 2.5)
+//===----------------------------------------------------------------------===//
+
+CheckedModule c4b::checkModule(LoweredModule L, const PipelineOptions &O) {
+  CheckedModule C;
+  C.Name = std::move(L.Name);
+  C.Diags = std::move(L.Diags);
+  C.IR = std::move(L.IR);
+  if (!C.IR)
+    return C;
+
+  check::Options CO;
+  CO.Verify = O.VerifyIR;
+  CO.Lint = O.Lint;
+  check::Report R = check::runChecks(*C.IR, CO);
+  C.Verified = R.Verified;
+  C.LintWarnings = R.Diags.warningCount();
+  C.Diags.take(std::move(R.Diags));
+  return C;
 }
 
 //===----------------------------------------------------------------------===//
@@ -67,7 +90,15 @@ ConstraintSystem c4b::generateConstraints(const IRProgram &P,
   CS.MetricName = M.Name;
   CS.Options = O;
   RecordSink Sink(CS);
-  ProgramAnalyzer PA(P, M, O, Sink, &CS.Diags);
+  // The interval pre-pass is only consulted when seeding is requested;
+  // otherwise the walk below is bit-identical to the unseeded pipeline.
+  check::IntervalSeeds Seeds;
+  const LoopFactMap *LoopFacts = nullptr;
+  if (O.SeedIntervals) {
+    Seeds = check::computeIntervalSeeds(P);
+    LoopFacts = &Seeds.LoopHeadFacts;
+  }
+  ProgramAnalyzer PA(P, M, O, Sink, &CS.Diags, LoopFacts);
   CS.StructuralOk = PA.run();
   CS.Specs = PA.specs();
   CS.WeakenPoints = PA.numWeakenPoints();
@@ -104,6 +135,7 @@ std::string ConstraintSystem::serialize() const {
   OS << "metric " << MetricName << "\n";
   OS << "weaken " << static_cast<int>(Options.Weaken) << "\n";
   OS << "polymorphic " << (Options.PolymorphicCalls ? 1 : 0) << "\n";
+  OS << "seeded " << (Options.SeedIntervals ? 1 : 0) << "\n";
   OS << "vars " << VarNames.size() << "\n";
   for (const std::string &Name : VarNames)
     OS << Name << "\n";

@@ -2,6 +2,8 @@
 
 #include "c4b/support/Diagnostics.h"
 
+#include <algorithm>
+
 using namespace c4b;
 
 std::string Diagnostic::toString() const {
@@ -17,11 +19,76 @@ std::string Diagnostic::toString() const {
   return R;
 }
 
+namespace {
+
+/// Stable location order: by line, then column; invalid locations (line 0)
+/// sort first.  Ties keep emission order (std::stable_sort).
+std::vector<const Diagnostic *> locationSorted(
+    const std::vector<Diagnostic> &Diags) {
+  std::vector<const Diagnostic *> Order;
+  Order.reserve(Diags.size());
+  for (const Diagnostic &D : Diags)
+    Order.push_back(&D);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [](const Diagnostic *A, const Diagnostic *B) {
+                     if (A->Loc.Line != B->Loc.Line)
+                       return A->Loc.Line < B->Loc.Line;
+                     return A->Loc.Col < B->Loc.Col;
+                   });
+  return Order;
+}
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    case '\r': Out += "\\r"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xf];
+        Out += Hex[C & 0xf];
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+} // namespace
+
 std::string DiagnosticEngine::toString() const {
   std::string R;
-  for (const Diagnostic &D : Diags) {
-    R += D.toString();
+  for (const Diagnostic *D : locationSorted(Diags)) {
+    R += D->toString();
     R += '\n';
   }
+  return R;
+}
+
+std::string DiagnosticEngine::toJson() const {
+  std::string R = "[";
+  bool First = true;
+  for (const Diagnostic *D : locationSorted(Diags)) {
+    if (!First)
+      R += ",";
+    First = false;
+    R += "\n  {\"severity\": ";
+    appendJsonString(R, D->Kind == DiagKind::Error     ? "error"
+                        : D->Kind == DiagKind::Warning ? "warning"
+                                                       : "note");
+    R += ", \"line\": " + std::to_string(D->Loc.Line);
+    R += ", \"col\": " + std::to_string(D->Loc.Col);
+    R += ", \"message\": ";
+    appendJsonString(R, D->Message);
+    R += "}";
+  }
+  R += First ? "]\n" : "\n]\n";
   return R;
 }

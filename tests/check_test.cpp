@@ -1,0 +1,864 @@
+//===--- check_test.cpp - Check subsystem tests ----------------------------===//
+//
+// Covers the three check-stage passes end to end:
+//
+//   * the structural IR verifier, with one hand-constructed malformed-IR
+//     case per documented invariant (built directly, bypassing the parser,
+//     since the frontend cannot produce ill-formed IR);
+//   * the dataflow engines (reaching definitions, liveness, definite
+//     initialization) on programs with known answers;
+//   * the lints, with golden warning output over crafted sources, the
+//     shipped example programs, and the Table 3 corpus;
+//   * the interval pre-pass and its fail-safe seeding contract: seeding
+//     disabled is bit-identical, seeding enabled never loses a bound and
+//     never makes one worse on sampled inputs;
+//   * DiagnosticEngine quality-of-life (counts, sorted rendering, JSON)
+//     and the certificate's seeded-options round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/cert/Certificate.h"
+#include "c4b/check/Check.h"
+#include "c4b/check/Dataflow.h"
+#include "c4b/corpus/Corpus.h"
+#include "c4b/pipeline/Batch.h"
+#include "c4b/pipeline/Pipeline.h"
+
+#include "TestUtil.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace c4b;
+using namespace c4b::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Hand-constructed IR helpers (bypass the parser on purpose)
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<IRStmt> stmt(IRStmtKind K, int Line = 1) {
+  auto S = std::make_unique<IRStmt>(K);
+  S->Loc = {Line, 1};
+  return S;
+}
+
+/// Wraps \p Body into `void f(int n) { int x; ... }`.
+IRProgram oneFunc(std::unique_ptr<IRStmt> Body, bool ReturnsValue = false) {
+  IRProgram P;
+  IRFunction F;
+  F.Name = "f";
+  F.Params = {"n"};
+  F.Locals = {"x"};
+  F.ReturnsValue = ReturnsValue;
+  F.Loc = {1, 1};
+  F.Body = std::move(Body);
+  P.Functions.push_back(std::move(F));
+  return P;
+}
+
+/// Asserts the verifier rejects \p P with an error mentioning \p Needle,
+/// anchored at a real source location (unless the case under test is the
+/// missing-location invariant itself).
+void expectRejected(const IRProgram &P, const std::string &Needle,
+                    bool WantValidLoc = true) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(check::verifyIR(P, D));
+  ASSERT_GE(D.errorCount(), 1) << "no error reported";
+  bool Found = false;
+  for (const Diagnostic &Diag : D.diagnostics())
+    if (Diag.Message.find(Needle) != std::string::npos) {
+      Found = true;
+      if (WantValidLoc) {
+        EXPECT_TRUE(Diag.Loc.isValid())
+            << "error not located: " << Diag.Message;
+      }
+    }
+  EXPECT_TRUE(Found) << "no error mentions '" << Needle << "':\n"
+                     << D.toString();
+}
+
+void collectStmts(const IRStmt &S, IRStmtKind K,
+                  std::vector<const IRStmt *> &Out) {
+  if (S.Kind == K)
+    Out.push_back(&S);
+  for (const auto &C : S.Children)
+    if (C)
+      collectStmts(*C, K, Out);
+}
+
+std::vector<const IRStmt *> stmtsOfKind(const IRFunction &F, IRStmtKind K) {
+  std::vector<const IRStmt *> Out;
+  if (F.Body)
+    collectStmts(*F.Body, K, Out);
+  return Out;
+}
+
+std::string lintOutput(const std::string &Src) {
+  IRProgram IR = lowerOrDie(Src);
+  check::Options O;
+  O.Lint = true;
+  check::Report R = check::runChecks(IR, O);
+  EXPECT_TRUE(R.Verified);
+  return R.Diags.toString();
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier: every invariant has a malformed-IR case
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, FunctionWithoutBody) {
+  IRProgram P = oneFunc(nullptr);
+  expectRejected(P, "has no body");
+}
+
+TEST(Verifier, NullChildPointer) {
+  auto B = stmt(IRStmtKind::Block);
+  B->Children.push_back(nullptr);
+  expectRejected(oneFunc(std::move(B)), "null child");
+}
+
+TEST(Verifier, IfWithOneChild) {
+  auto If = stmt(IRStmtKind::If, 3);
+  If->Children.push_back(stmt(IRStmtKind::Skip, 3));
+  expectRejected(oneFunc(std::move(If)), "if statement has 1 children");
+}
+
+TEST(Verifier, LoopWithoutBody) {
+  expectRejected(oneFunc(stmt(IRStmtKind::Loop, 2)),
+                 "loop statement has 0 children");
+}
+
+TEST(Verifier, LeafWithChild) {
+  auto S = stmt(IRStmtKind::Skip, 2);
+  S->Children.push_back(stmt(IRStmtKind::Skip, 2));
+  expectRejected(oneFunc(std::move(S)), "skip statement has 1 children");
+}
+
+TEST(Verifier, BreakOutsideLoop) {
+  expectRejected(oneFunc(stmt(IRStmtKind::Break, 4)),
+                 "'break' outside of any loop");
+}
+
+TEST(Verifier, AssignWithoutTarget) {
+  auto A = stmt(IRStmtKind::Assign, 2);
+  A->Operand = Atom::makeConst(1);
+  expectRejected(oneFunc(std::move(A)), "no target variable");
+}
+
+TEST(Verifier, AssignToUndeclaredVariable) {
+  auto A = stmt(IRStmtKind::Assign, 2);
+  A->Target = "ghost";
+  A->Operand = Atom::makeConst(1);
+  expectRejected(oneFunc(std::move(A)),
+                 "assignment target references undeclared variable 'ghost'");
+}
+
+TEST(Verifier, SelfAssignmentNotElided) {
+  auto A = stmt(IRStmtKind::Assign, 2);
+  A->Target = "x";
+  A->Operand = Atom::makeVar("x");
+  expectRejected(oneFunc(std::move(A)), "should have been elided");
+}
+
+TEST(Verifier, OperandReferencesUndeclaredVariable) {
+  auto A = stmt(IRStmtKind::Assign, 2);
+  A->Asg = AssignKind::Inc;
+  A->Target = "x";
+  A->Operand = Atom::makeVar("ghost");
+  expectRejected(oneFunc(std::move(A)),
+                 "assignment operand references undeclared variable 'ghost'");
+}
+
+TEST(Verifier, EmptyVariableAtom) {
+  auto A = stmt(IRStmtKind::Assign, 2);
+  A->Target = "x";
+  A->Operand = Atom::makeVar("");
+  expectRejected(oneFunc(std::move(A)), "empty name");
+}
+
+TEST(Verifier, KillWithoutValueExpression) {
+  auto A = stmt(IRStmtKind::Assign, 2);
+  A->Asg = AssignKind::Kill;
+  A->Target = "x";
+  expectRejected(oneFunc(std::move(A)), "kill assignment has no value");
+}
+
+TEST(Verifier, TrueConditionCarriesExpression) {
+  auto If = stmt(IRStmtKind::If, 2);
+  If->Cond = SimpleCond::makeTrue();
+  If->Cond.E = Expr::makeInt(1);
+  If->Children.push_back(stmt(IRStmtKind::Skip, 2));
+  If->Children.push_back(stmt(IRStmtKind::Skip, 2));
+  expectRejected(oneFunc(std::move(If)),
+                 "'true' but carries an expression");
+}
+
+TEST(Verifier, ComparisonWithoutExpression) {
+  auto If = stmt(IRStmtKind::If, 2);
+  If->Cond.K = SimpleCond::Kind::Cmp;
+  If->Children.push_back(stmt(IRStmtKind::Skip, 2));
+  If->Children.push_back(stmt(IRStmtKind::Skip, 2));
+  expectRejected(oneFunc(std::move(If)), "has no expression");
+}
+
+TEST(Verifier, ConditionMentionsUndeclaredVariable) {
+  auto A = stmt(IRStmtKind::Assert, 2);
+  A->Cond.K = SimpleCond::Kind::Cmp;
+  A->Cond.E = Expr::makeVar("ghost");
+  expectRejected(oneFunc(std::move(A)),
+                 "condition references undeclared variable 'ghost'");
+}
+
+TEST(Verifier, LinearFormMentionsUndeclaredVariable) {
+  auto If = stmt(IRStmtKind::If, 2);
+  If->Cond.K = SimpleCond::Kind::Cmp;
+  If->Cond.E = Expr::makeVar("x");
+  LinCmp L;
+  L.E.add("ghost", 1);
+  If->Cond.Lin = std::move(L);
+  If->Children.push_back(stmt(IRStmtKind::Skip, 2));
+  If->Children.push_back(stmt(IRStmtKind::Skip, 2));
+  expectRejected(oneFunc(std::move(If)),
+                 "linear form references undeclared variable 'ghost'");
+}
+
+TEST(Verifier, StoreToUndeclaredArray) {
+  auto S = stmt(IRStmtKind::Store, 2);
+  S->ArrayName = "buf";
+  S->Index = Expr::makeInt(0);
+  S->StoreValue = Expr::makeInt(1);
+  expectRejected(oneFunc(std::move(S)),
+                 "store targets undeclared array 'buf'");
+}
+
+TEST(Verifier, StoreWithoutIndex) {
+  IRProgram P = oneFunc(nullptr);
+  P.Functions[0].LocalArrays["buf"] = 8;
+  auto S = stmt(IRStmtKind::Store, 2);
+  S->ArrayName = "buf";
+  S->StoreValue = Expr::makeInt(1);
+  P.Functions[0].Body = std::move(S);
+  expectRejected(P, "store has no index");
+}
+
+TEST(Verifier, StoreWithoutValue) {
+  IRProgram P = oneFunc(nullptr);
+  P.Functions[0].LocalArrays["buf"] = 8;
+  auto S = stmt(IRStmtKind::Store, 2);
+  S->ArrayName = "buf";
+  S->Index = Expr::makeInt(0);
+  P.Functions[0].Body = std::move(S);
+  expectRejected(P, "store has no value");
+}
+
+TEST(Verifier, VoidFunctionReturnsValue) {
+  auto R = stmt(IRStmtKind::Return, 2);
+  R->HasRetValue = true;
+  R->RetValue = Atom::makeConst(1);
+  expectRejected(oneFunc(std::move(R), /*ReturnsValue=*/false),
+                 "void function returns a value");
+}
+
+TEST(Verifier, IntFunctionReturnsNothing) {
+  expectRejected(oneFunc(stmt(IRStmtKind::Return, 2), /*ReturnsValue=*/true),
+                 "int function returns without a value");
+}
+
+TEST(Verifier, CallToUndefinedFunction) {
+  auto C = stmt(IRStmtKind::Call, 2);
+  C->Callee = "ghost";
+  expectRejected(oneFunc(std::move(C)),
+                 "call to undefined function 'ghost'");
+}
+
+TEST(Verifier, CallArityMismatch) {
+  auto C = stmt(IRStmtKind::Call, 2);
+  C->Callee = "f"; // f takes one parameter; pass two.
+  C->Args = {Atom::makeConst(1), Atom::makeConst(2)};
+  expectRejected(oneFunc(std::move(C)),
+                 "passes 2 arguments, expected 1");
+}
+
+TEST(Verifier, CallBindsVoidResult) {
+  auto C = stmt(IRStmtKind::Call, 2);
+  C->Callee = "f"; // f is void.
+  C->Args = {Atom::makeConst(1)};
+  C->ResultVar = "x";
+  expectRejected(oneFunc(std::move(C)),
+                 "binds the result of void function 'f'");
+}
+
+TEST(Verifier, CallArgumentUndeclared) {
+  auto C = stmt(IRStmtKind::Call, 2);
+  C->Callee = "f";
+  C->Args = {Atom::makeVar("ghost")};
+  expectRejected(oneFunc(std::move(C)),
+                 "call argument references undeclared variable 'ghost'");
+}
+
+TEST(Verifier, CallResultUndeclared) {
+  auto C = stmt(IRStmtKind::Call, 2);
+  C->Callee = "f";
+  C->Args = {Atom::makeConst(1)};
+  C->ResultVar = "ghost";
+  IRProgram P = oneFunc(std::move(C), /*ReturnsValue=*/true);
+  expectRejected(P, "call result references undeclared variable 'ghost'");
+}
+
+TEST(Verifier, StatementWithoutLocation) {
+  auto S = std::make_unique<IRStmt>(IRStmtKind::Skip); // Loc stays 0:0.
+  expectRejected(oneFunc(std::move(S)), "has no source location",
+                 /*WantValidLoc=*/false);
+}
+
+TEST(Verifier, ReportsEveryViolationNotJustTheFirst) {
+  auto B = stmt(IRStmtKind::Block);
+  B->Children.push_back(stmt(IRStmtKind::Break, 2));
+  auto A = stmt(IRStmtKind::Assign, 3);
+  A->Target = "ghost";
+  A->Operand = Atom::makeConst(0);
+  B->Children.push_back(std::move(A));
+  DiagnosticEngine D;
+  EXPECT_FALSE(check::verifyIR(oneFunc(std::move(B)), D));
+  EXPECT_GE(D.errorCount(), 2) << D.toString();
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier: everything the frontend produces is clean
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, AllCorpusProgramsVerifyClean) {
+  for (const CorpusEntry &E : corpus()) {
+    IRProgram IR = lowerOrDie(E.Source);
+    DiagnosticEngine D;
+    EXPECT_TRUE(check::verifyIR(IR, D))
+        << E.Name << " failed verification:\n"
+        << D.toString();
+  }
+}
+
+TEST(Verifier, AllExampleProgramsVerifyClean) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::path(C4B_SOURCE_DIR) / "examples" / "programs";
+  ASSERT_TRUE(fs::exists(Dir)) << Dir;
+  int Seen = 0;
+  for (const fs::directory_entry &Ent : fs::directory_iterator(Dir)) {
+    if (Ent.path().extension() != ".c4b")
+      continue;
+    ++Seen;
+    std::ifstream In(Ent.path());
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    IRProgram IR = lowerOrDie(SS.str());
+    DiagnosticEngine D;
+    EXPECT_TRUE(check::verifyIR(IR, D))
+        << Ent.path() << " failed verification:\n"
+        << D.toString();
+  }
+  EXPECT_GE(Seen, 1) << "no .c4b programs found in " << Dir;
+}
+
+//===----------------------------------------------------------------------===//
+// Dataflow engines
+//===----------------------------------------------------------------------===//
+
+TEST(Dataflow, ReachingDefsJoinAtControlFlowMerge) {
+  IRProgram IR = lowerOrDie("void f(int n) {\n"
+                            "  int x; int y;\n"
+                            "  x = 0;\n"
+                            "  if (n > 0) x = 1;\n"
+                            "  y = x;\n"
+                            "}\n");
+  const IRFunction &F = IR.Functions[0];
+  auto Assigns = stmtsOfKind(F, IRStmtKind::Assign);
+  const IRStmt *X0 = nullptr, *X1 = nullptr, *YX = nullptr;
+  for (const IRStmt *S : Assigns) {
+    if (S->Target == "x" && S->Operand.isConst() && S->Operand.Value == 0)
+      X0 = S;
+    if (S->Target == "x" && S->Operand.isConst() && S->Operand.Value == 1)
+      X1 = S;
+    if (S->Target == "y")
+      YX = S;
+  }
+  ASSERT_TRUE(X0 && X1 && YX);
+
+  check::ReachingDefsResult RD = check::reachingDefinitions(IR, F);
+  auto It = RD.Before.find(YX);
+  ASSERT_NE(It, RD.Before.end());
+  const auto &DefsOfX = It->second.at("x");
+  // Both the straight-line def and the branch def reach the merge.
+  EXPECT_EQ(DefsOfX.size(), 2u);
+  EXPECT_TRUE(DefsOfX.count(X0));
+  EXPECT_TRUE(DefsOfX.count(X1));
+  // The parameter's entry definition (nullptr) still reaches everywhere.
+  EXPECT_TRUE(It->second.at("n").count(nullptr));
+}
+
+TEST(Dataflow, LivenessAcrossLoop) {
+  IRProgram IR = lowerOrDie("void f(int n) {\n"
+                            "  int x;\n"
+                            "  x = n;\n"
+                            "  while (x > 0) { x = x - 1; tick(1); }\n"
+                            "}\n");
+  const IRFunction &F = IR.Functions[0];
+  auto Assigns = stmtsOfKind(F, IRStmtKind::Assign);
+  const IRStmt *XN = nullptr;
+  for (const IRStmt *S : Assigns)
+    if (S->Asg == AssignKind::Set && S->Operand.isVar() &&
+        S->Operand.Name == "n")
+      XN = S;
+  ASSERT_TRUE(XN);
+
+  check::LivenessResult LV = check::liveVariables(IR, F);
+  auto It = LV.After.find(XN);
+  ASSERT_NE(It, LV.After.end());
+  // x feeds the loop guard, so it is live after its initialization...
+  EXPECT_TRUE(It->second.count("x"));
+  // ...while n is never read again.
+  EXPECT_FALSE(It->second.count("n"));
+}
+
+TEST(Dataflow, MaybeUninitializedOnOneBranchOnly) {
+  IRProgram IR = lowerOrDie("void f(int n) {\n"
+                            "  int x; int y;\n"
+                            "  if (n > 0) x = 1;\n"
+                            "  y = x;\n"
+                            "}\n");
+  const IRFunction &F = IR.Functions[0];
+  auto Assigns = stmtsOfKind(F, IRStmtKind::Assign);
+  const IRStmt *YX = nullptr;
+  for (const IRStmt *S : Assigns)
+    if (S->Target == "y")
+      YX = S;
+  ASSERT_TRUE(YX);
+
+  check::MaybeUninitResult MU = check::maybeUninitialized(IR, F);
+  auto It = MU.Before.find(YX);
+  ASSERT_NE(It, MU.Before.end());
+  // x was only assigned on the then-branch; y not at all; n is a param.
+  EXPECT_TRUE(It->second.count("x"));
+  EXPECT_TRUE(It->second.count("y"));
+  EXPECT_FALSE(It->second.count("n"));
+}
+
+//===----------------------------------------------------------------------===//
+// Lints: golden output on crafted sources
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, ReadBeforeInitialization) {
+  std::string Out = lintOutput("void f(int n) {\n"
+                               "  int x; int y;\n"
+                               "  if (n > 0) x = 1;\n"
+                               "  y = x;\n"
+                               "}\n");
+  EXPECT_NE(Out.find("'x' may be read before initialization"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(Lint, DeadStore) {
+  std::string Out = lintOutput("void f(int n) {\n"
+                               "  int x;\n"
+                               "  x = 5;\n"
+                               "  x = n;\n"
+                               "  while (x > 0) { x = x - 1; tick(1); }\n"
+                               "}\n");
+  EXPECT_NE(Out.find("value assigned to 'x' is never read"),
+            std::string::npos)
+      << Out;
+  // Exactly the one overwritten store is flagged; the live ones are not.
+  EXPECT_EQ(Out.find("value assigned to 'x' is never read"),
+            Out.rfind("value assigned to 'x' is never read"))
+      << Out;
+}
+
+TEST(Lint, UnusedCallResult) {
+  std::string Out = lintOutput("int g(int n) { return n; }\n"
+                               "void f(int n) {\n"
+                               "  int r;\n"
+                               "  r = g(n);\n"
+                               "  tick(1);\n"
+                               "}\n");
+  EXPECT_NE(Out.find("result of call to 'g' is never used"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(Lint, StaticallyDeadTick) {
+  std::string Out = lintOutput("void f(int n) {\n"
+                               "  int x;\n"
+                               "  x = 1;\n"
+                               "  if (x < 0) { tick(3); }\n"
+                               "  tick(1);\n"
+                               "}\n");
+  EXPECT_NE(
+      Out.find("tick is statically unreachable (its guard is always false)"),
+      std::string::npos)
+      << Out;
+  // The reachable tick(1) must not be flagged: exactly one warning.
+  EXPECT_EQ(Out.find("statically unreachable"),
+            Out.rfind("statically unreachable"))
+      << Out;
+}
+
+TEST(Lint, UnreachableAfterBreak) {
+  std::string Out = lintOutput("void f(int n) {\n"
+                               "  while (n > 0) {\n"
+                               "    break;\n"
+                               "    n = n - 1;\n"
+                               "  }\n"
+                               "}\n");
+  EXPECT_NE(Out.find("statement is unreachable"), std::string::npos) << Out;
+}
+
+TEST(Lint, CleanProgramStaysQuiet) {
+  EXPECT_EQ(lintOutput("void f(int x, int y) {\n"
+                       "  while (x < y) { x = x + 1; tick(1); }\n"
+                       "}\n"),
+            "");
+}
+
+/// Golden lint sweep: every shipped corpus program, with the expected
+/// warning count per entry (absent = clean).  A new lint or a corpus edit
+/// that changes this table is a deliberate, reviewed event.
+TEST(Lint, GoldenWarningCountsOverCorpus) {
+  const std::map<std::string, int> Expected = {
+      // True positives in the cBench-derived rows, faithful to the C
+      // originals: adpcm_coder's quantizer keeps a delta increment whose
+      // value the excerpt never reads; md5_update/sha_update return a
+      // block-transform result that is uninitialized when no full block
+      // arrives (and sha_update overwrites its byte-reverse result).
+      {"adpcm_coder", 1},
+      {"md5_update", 1},
+      {"sha_update", 2},
+  };
+  for (const CorpusEntry &E : corpus()) {
+    IRProgram IR = lowerOrDie(E.Source);
+    check::Options O;
+    O.Lint = true;
+    check::Report R = check::runChecks(IR, O);
+    EXPECT_TRUE(R.Verified) << E.Name;
+    auto It = Expected.find(E.Name);
+    int Want = It == Expected.end() ? 0 : It->second;
+    EXPECT_EQ(R.Diags.warningCount(), Want)
+        << E.Name << " lint output changed:\n"
+        << R.Diags.toString();
+  }
+}
+
+TEST(Lint, ExamplesAreLintClean) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::path(C4B_SOURCE_DIR) / "examples" / "programs";
+  for (const fs::directory_entry &Ent : fs::directory_iterator(Dir)) {
+    if (Ent.path().extension() != ".c4b")
+      continue;
+    std::ifstream In(Ent.path());
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    EXPECT_EQ(lintOutput(SS.str()), "") << Ent.path();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interval pre-pass
+//===----------------------------------------------------------------------===//
+
+TEST(Intervals, CountedLoopGetsLowerBoundFact) {
+  IRProgram IR = lowerOrDie("void f(int n) {\n"
+                            "  int i;\n"
+                            "  i = 0;\n"
+                            "  while (i < n) { i = i + 1; tick(1); }\n"
+                            "}\n");
+  check::IntervalSeeds S = check::computeIntervalSeeds(IR);
+  EXPECT_TRUE(S.Converged);
+
+  auto Loops = stmtsOfKind(IR.Functions[0], IRStmtKind::Loop);
+  ASSERT_EQ(Loops.size(), 1u);
+  auto It = S.LoopHeadFacts.find(Loops[0]);
+  ASSERT_NE(It, S.LoopHeadFacts.end()) << "no facts at the loop head";
+
+  // The head invariant i >= 0 survives widening as the one-sided fact
+  // -i <= 0 (the upper bound is widened away by the increment).
+  bool FoundLower = false;
+  for (const LinFact &F : It->second)
+    if (F.Coeffs.count("i") && F.Coeffs.at("i") == Rational(-1) &&
+        F.Const == Rational(0) && !F.IsEquality)
+      FoundLower = true;
+  EXPECT_TRUE(FoundLower) << "missing -i <= 0 at the loop head";
+}
+
+TEST(Intervals, ConstantVariableGetsEqualityFact) {
+  IRProgram IR = lowerOrDie("void f(int n) {\n"
+                            "  int c;\n"
+                            "  c = 7;\n"
+                            "  while (n > 0) { n = n - 1; tick(1); }\n"
+                            "}\n");
+  check::IntervalSeeds S = check::computeIntervalSeeds(IR);
+  auto Loops = stmtsOfKind(IR.Functions[0], IRStmtKind::Loop);
+  ASSERT_EQ(Loops.size(), 1u);
+  auto It = S.LoopHeadFacts.find(Loops[0]);
+  ASSERT_NE(It, S.LoopHeadFacts.end());
+  // c is loop-invariant with the singleton interval [7,7]: an equality.
+  bool FoundEq = false;
+  for (const LinFact &F : It->second)
+    if (F.IsEquality && F.Coeffs.count("c"))
+      FoundEq = true;
+  EXPECT_TRUE(FoundEq) << "missing c == 7 at the loop head";
+}
+
+//===----------------------------------------------------------------------===//
+// Seeding fail-safe contract
+//===----------------------------------------------------------------------===//
+
+TEST(Seeding, DisabledIsBitIdentical) {
+  const CorpusEntry *E = findEntry("t13");
+  ASSERT_NE(E, nullptr);
+  IRProgram IR = lowerOrDie(E->Source);
+  AnalysisOptions Off; // SeedIntervals defaults to false.
+  ConstraintSystem A = generateConstraints(IR, ResourceMetric::ticks(), Off);
+  ConstraintSystem B = generateConstraints(IR, ResourceMetric::ticks(), Off);
+  EXPECT_EQ(A.serialize(), B.serialize());
+}
+
+TEST(Seeding, LoopFreeProgramUnchangedModuloHeader) {
+  // With no loop heads there is nothing to seed: the recorded streams
+  // must agree; only the options header differs.
+  IRProgram IR = lowerOrDie("void f(int n) { tick(1); if (n > 0) tick(2); }\n");
+  AnalysisOptions Off, On;
+  On.SeedIntervals = true;
+  ConstraintSystem A = generateConstraints(IR, ResourceMetric::ticks(), Off);
+  ConstraintSystem B = generateConstraints(IR, ResourceMetric::ticks(), On);
+  EXPECT_EQ(A.VarNames, B.VarNames);
+  EXPECT_EQ(A.numConstraints(), B.numConstraints());
+}
+
+/// The heart of the fail-safe contract: seeded analysis succeeds wherever
+/// the unseeded one does, and the seeded bound never exceeds the unseeded
+/// bound on sampled inputs (facts only loosen the LP).
+TEST(Seeding, NeverWorseAcrossCorpus) {
+  AnalysisOptions On;
+  On.SeedIntervals = true;
+  for (const CorpusEntry &E : corpus()) {
+    IRProgram IR = lowerOrDie(E.Source);
+    AnalysisResult Base =
+        analyzeProgram(IR, ResourceMetric::ticks(), {}, E.Function);
+    AnalysisResult Seeded =
+        analyzeProgram(IR, ResourceMetric::ticks(), On, E.Function);
+    if (!Base.Success)
+      continue; // Seeding may only rescue failures, never cause them.
+    ASSERT_TRUE(Seeded.Success)
+        << E.Name << ": seeding lost the bound: " << Seeded.Error;
+
+    const Bound &BB = Base.Bounds.at(E.Function);
+    const Bound &BS = Seeded.Bounds.at(E.Function);
+    const IRFunction *F = IR.findFunction(E.Function);
+    ASSERT_NE(F, nullptr);
+    TestRng Rng(0x5eed);
+    for (int T = 0; T < 20; ++T) {
+      std::map<std::string, std::int64_t> Env;
+      for (const std::string &P : F->Params)
+        Env[P] = Rng.inRange(-40, 40);
+      for (const auto &[G, Init] : IR.Globals)
+        Env[G] = Init;
+      Rational VB = BB.evaluate(Env), VS = BS.evaluate(Env);
+      EXPECT_LE(VS, VB) << E.Name << ": seeded bound " << BS.toString()
+                        << " exceeds baseline " << BB.toString()
+                        << " on trial " << T;
+    }
+  }
+}
+
+TEST(Seeding, SeededBoundStaysSound) {
+  // The seeded LP must still produce bounds that dominate real cost.
+  IRProgram IR = lowerOrDie("void f(int n) {\n"
+                            "  int i;\n"
+                            "  i = 0;\n"
+                            "  while (i < n) { i = i + 1; tick(1); }\n"
+                            "}\n");
+  AnalysisOptions On;
+  On.SeedIntervals = true;
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), On, "f");
+  ASSERT_TRUE(R.Success) << R.Error;
+  const Bound &B = R.Bounds.at("f");
+  Interpreter I(IR, ResourceMetric::ticks());
+  for (std::int64_t N = -5; N <= 30; N += 5) {
+    ExecResult E = I.run("f", {N});
+    ASSERT_EQ(E.Status, ExecStatus::Finished);
+    EXPECT_GE(B.evaluate({{"n", N}}), E.PeakCost)
+        << "n=" << N << " bound " << B.toString();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline, batch, and certificate integration
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, CheckModuleVerifiesAndLints) {
+  PipelineOptions O;
+  O.VerifyIR = true;
+  O.Lint = true;
+  CheckedModule C = checkModule(frontend("void f(int n) {\n"
+                                         "  int x;\n"
+                                         "  x = 5;\n"
+                                         "  x = n;\n"
+                                         "  while (x > 0) { x = x - 1; "
+                                         "tick(1); }\n"
+                                         "}\n"),
+                                O);
+  EXPECT_TRUE(C.ok());
+  EXPECT_TRUE(C.Verified);
+  EXPECT_EQ(C.LintWarnings, 1) << C.Diags.toString();
+}
+
+TEST(Pipeline, CheckModuleWithEverythingOffIsRepackaging) {
+  PipelineOptions O;
+  O.VerifyIR = false;
+  O.Lint = false;
+  CheckedModule C = checkModule(frontend("void f(int n) { tick(1); }\n"), O);
+  EXPECT_TRUE(C.ok());
+  EXPECT_EQ(C.LintWarnings, 0);
+  EXPECT_EQ(C.Diags.diagnostics().size(), 0u);
+}
+
+TEST(Batch, ReportsCheckStagePerJob) {
+  BatchJob J;
+  J.Name = "deadstore";
+  J.Source = "void f(int n) {\n"
+             "  int x;\n"
+             "  x = 5;\n"
+             "  x = n;\n"
+             "  while (x > 0) { x = x - 1; tick(1); }\n"
+             "}\n";
+  J.Focus = "f";
+  J.Pipe.VerifyIR = true;
+  J.Pipe.Lint = true;
+
+  BatchAnalyzer BA(1);
+  std::vector<BatchItem> Items = BA.run({J});
+  ASSERT_EQ(Items.size(), 1u);
+  const BatchItem &It = Items[0];
+  EXPECT_TRUE(It.Result.Success) << It.Result.Error;
+  EXPECT_TRUE(It.Result.IRVerified);
+  EXPECT_EQ(It.Result.NumLintWarnings, 1) << It.CheckDiags;
+  EXPECT_NE(It.CheckDiags.find("never read"), std::string::npos);
+  EXPECT_GE(It.Timings.CheckSeconds, 0.0);
+  EXPECT_GE(BA.stats().StageTotals.CheckSeconds, 0.0);
+}
+
+TEST(Certificate, SeededOptionsRoundTrip) {
+  IRProgram IR = lowerOrDie("void f(int n) {\n"
+                            "  int i;\n"
+                            "  i = 0;\n"
+                            "  while (i < n) { i = i + 1; tick(1); }\n"
+                            "}\n");
+  AnalysisOptions On;
+  On.SeedIntervals = true;
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), On, "f");
+  ASSERT_TRUE(R.Success) << R.Error;
+
+  Certificate C = Certificate::fromResult(R, ResourceMetric::ticks(), On);
+  std::string Text = C.serialize();
+  EXPECT_NE(Text.find("seeded 1"), std::string::npos);
+
+  auto D = Certificate::deserialize(Text);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_TRUE(D->Options.SeedIntervals);
+
+  // Replaying the seeded derivation must validate the certificate.
+  CheckReport Rep = checkCertificate(IR, *D);
+  EXPECT_TRUE(Rep.Valid) << [&] {
+    std::string S;
+    for (const std::string &V : Rep.Violations)
+      S += V + "\n";
+    return S;
+  }();
+}
+
+TEST(Certificate, UnseededSerializationKeepsLegacyLayout) {
+  Certificate C;
+  C.MetricName = "ticks";
+  std::string Text = C.serialize();
+  // The v1 format predates seeding; an unseeded certificate must not
+  // mention it, and must still deserialize.
+  EXPECT_EQ(Text.find("seeded"), std::string::npos);
+  auto D = Certificate::deserialize(Text);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_FALSE(D->Options.SeedIntervals);
+}
+
+TEST(Certificate, SeedingMismatchIsRejected) {
+  IRProgram IR = lowerOrDie("void f(int n) {\n"
+                            "  int i;\n"
+                            "  i = 0;\n"
+                            "  while (i < n) { i = i + 1; tick(1); }\n"
+                            "}\n");
+  AnalysisOptions Off;
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), Off, "f");
+  ASSERT_TRUE(R.Success);
+  Certificate C = Certificate::fromResult(R, ResourceMetric::ticks(), Off);
+  C.Options.SeedIntervals = true; // Lie about the derivation's options.
+  ConstraintSystem CS = generateConstraints(IR, ResourceMetric::ticks(), Off);
+  CheckReport Rep = checkCertificate(CS, C);
+  EXPECT_FALSE(Rep.Valid);
+}
+
+//===----------------------------------------------------------------------===//
+// DiagnosticEngine quality of life
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, SeverityCounts) {
+  DiagnosticEngine D;
+  D.error({1, 1}, "e1");
+  D.warning({2, 1}, "w1");
+  D.warning({3, 1}, "w2");
+  D.note({4, 1}, "n1");
+  EXPECT_EQ(D.errorCount(), 1);
+  EXPECT_EQ(D.warningCount(), 2);
+  EXPECT_EQ(D.noteCount(), 1);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Diagnostics, ToStringSortsByLocation) {
+  DiagnosticEngine D;
+  D.warning({9, 2}, "late");
+  D.error({}, "unlocated");
+  D.error({3, 7}, "early");
+  std::string S = D.toString();
+  std::size_t U = S.find("unlocated"), E = S.find("early"),
+              L = S.find("late");
+  ASSERT_NE(U, std::string::npos);
+  ASSERT_NE(E, std::string::npos);
+  ASSERT_NE(L, std::string::npos);
+  EXPECT_LT(U, E); // Invalid locations come first...
+  EXPECT_LT(E, L); // ...then ascending line order.
+  EXPECT_NE(S.find("3:7: error: early"), std::string::npos) << S;
+  EXPECT_NE(S.find("9:2: warning: late"), std::string::npos) << S;
+}
+
+TEST(Diagnostics, TakeMergesStages) {
+  DiagnosticEngine A, B;
+  A.error({1, 1}, "frontend");
+  B.warning({2, 1}, "check");
+  A.take(std::move(B));
+  EXPECT_EQ(A.errorCount(), 1);
+  EXPECT_EQ(A.warningCount(), 1);
+}
+
+TEST(Diagnostics, ToJsonEscapesAndSorts) {
+  DiagnosticEngine D;
+  D.warning({2, 1}, "quote \" backslash \\ newline \n tab \t");
+  D.error({1, 5}, "first");
+  std::string J = D.toJson();
+  EXPECT_NE(J.find("\"severity\": \"error\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"line\": 1"), std::string::npos) << J;
+  EXPECT_NE(J.find("quote \\\" backslash \\\\ newline \\n tab \\t"),
+            std::string::npos)
+      << J;
+  // Location order: the error at 1:5 renders before the warning at 2:1.
+  EXPECT_LT(J.find("first"), J.find("quote")) << J;
+}
+
+} // namespace
