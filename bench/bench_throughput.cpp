@@ -65,9 +65,12 @@ void emitStageTotals(FILE *F, const char *Key, const BatchStats &S) {
   std::fprintf(F,
                "  \"%s\": {\"wall_seconds\": %.6f, \"jobs\": %d, "
                "\"succeeded\": %d,\n"
+               "    \"degraded\": %d, \"failed\": %d, \"timeout\": %d, "
+               "\"lp_budget\": %d,\n"
                "    \"stage_totals_seconds\": {\"frontend\": %.6f, "
                "\"check\": %.6f, \"generate\": %.6f, \"solve\": %.6f}}",
-               Key, S.WallSeconds, S.NumJobs, S.NumSucceeded,
+               Key, S.WallSeconds, S.NumJobs, S.NumSucceeded, S.NumDegraded,
+               S.NumFailed, S.NumDeadline, S.NumLpBudget,
                S.StageTotals.FrontendSeconds, S.StageTotals.CheckSeconds,
                S.StageTotals.GenerateSeconds, S.StageTotals.SolveSeconds);
 }
@@ -109,6 +112,22 @@ int runThroughputExperiment() {
                        ? SerialStats.WallSeconds / ParStats.WallSeconds
                        : 0.0;
 
+  // Third run: the same corpus under a deliberately tiny pivot budget with
+  // the ranking fallback on.  This is the containment experiment — every
+  // job must land as ok, degraded, or a typed failure, never a crash.
+  std::vector<BatchJob> Budgeted = Jobs;
+  for (BatchJob &J : Budgeted) {
+    J.Options.Budget.MaxPivots = 50;
+    J.Options.FallbackToRanking = true;
+  }
+  BatchAnalyzer BudgetRun(Par);
+  std::vector<BatchItem> BudgetItems = BudgetRun.run(Budgeted);
+  BatchStats BudgetStats = BudgetRun.stats();
+  int Untyped = 0;
+  for (const BatchItem &Item : BudgetItems)
+    if (!Item.Result.Success && Item.Result.Error.empty())
+      ++Untyped;
+
   FILE *F = std::fopen("BENCH_throughput.json", "w");
   if (F) {
     std::fprintf(F, "{\n");
@@ -120,6 +139,10 @@ int runThroughputExperiment() {
     std::fprintf(F, ",\n");
     emitStageTotals(F, "parallel", ParStats);
     std::fprintf(F, ",\n");
+    emitStageTotals(F, "budgeted_50_pivots", BudgetStats);
+    std::fprintf(F, ",\n");
+    std::fprintf(F, "  \"budgeted_all_outcomes_typed\": %s,\n",
+                 Untyped == 0 ? "true" : "false");
     std::fprintf(F, "  \"speedup\": %.3f,\n", Speedup);
     std::fprintf(F, "  \"bounds_identical\": %s\n",
                  Mismatches == 0 ? "true" : "false");
@@ -131,7 +154,12 @@ int runThroughputExperiment() {
               "%d threads %.3fs, speedup %.2fx, results %s\n",
               Jobs.size(), SerialStats.WallSeconds, Par, ParStats.WallSeconds,
               Speedup, Mismatches == 0 ? "identical" : "DIFFER");
-  return Mismatches;
+  std::printf("budgeted batch (50 pivots + fallback): %d ok, %d degraded, "
+              "%d failed (%d lp-budget, %d deadline), %d untyped\n",
+              BudgetStats.NumSucceeded, BudgetStats.NumDegraded,
+              BudgetStats.NumFailed, BudgetStats.NumLpBudget,
+              BudgetStats.NumDeadline, Untyped);
+  return Mismatches + Untyped;
 }
 
 //===----------------------------------------------------------------------===//

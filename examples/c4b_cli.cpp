@@ -15,6 +15,15 @@
 //     --no-verify-ir                              skip the IR verifier
 //     --seed-intervals                            interval facts seed the LP
 //     --diag-json FILE                            diagnostics as JSON
+//     --timeout-ms N                              wall-clock analysis deadline
+//     --max-pivots N                              simplex pivot budget
+//     --fallback-ranking                          degrade to the baseline on
+//                                                 budget exhaustion
+//
+// Exit codes are typed: 0 success, 1 analysis failed (no bound), 2 usage,
+// then one code per AnalysisError kind (see c4b/support/Error.h): 10 parse
+// error, 11 malformed IR, 12 LP budget exceeded, 13 deadline exceeded,
+// 14 coefficient overflow, 15 internal invariant.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,7 +35,10 @@
 #include "c4b/corpus/Corpus.h"
 #include "c4b/pipeline/Pipeline.h"
 
+#include "c4b/support/Error.h"
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -42,7 +54,19 @@ int usage() {
       "           [--cert FILE | --check FILE] [--dump-ir]\n"
       "           [--lint] [--no-verify-ir] [--seed-intervals]\n"
       "           [--diag-json FILE]\n"
-      "           (FILE.c4b | --name CORPUS_ENTRY | --list)\n");
+      "           [--timeout-ms N] [--max-pivots N] [--fallback-ranking]\n"
+      "           (FILE.c4b | --name CORPUS_ENTRY | --list)\n"
+      "\n"
+      "resource governance:\n"
+      "  --timeout-ms N      abort the analysis after N milliseconds\n"
+      "  --max-pivots N      abort after N simplex pivots\n"
+      "  --fallback-ranking  on budget exhaustion, retry with the\n"
+      "                      ranking-function baseline (result is marked\n"
+      "                      degraded and is not certified)\n"
+      "\n"
+      "exit codes: 0 ok, 1 no bound, 2 usage, 10 parse error,\n"
+      "  11 malformed IR, 12 LP budget exceeded, 13 deadline exceeded,\n"
+      "  14 coefficient overflow, 15 internal invariant\n");
   return 2;
 }
 
@@ -108,6 +132,21 @@ int main(int Argc, char **Argv) {
       VerifyIR = false;
     } else if (!std::strcmp(A, "--seed-intervals")) {
       Opts.SeedIntervals = true;
+    } else if (!std::strcmp(A, "--timeout-ms")) {
+      const char *V = nullptr;
+      if (!needArg(V))
+        return usage();
+      Opts.Budget.DeadlineSeconds = std::atof(V) / 1000.0;
+    } else if (!std::strcmp(A, "--max-pivots")) {
+      const char *V = nullptr;
+      if (!needArg(V))
+        return usage();
+      Opts.Budget.MaxPivots = std::atol(V);
+    } else if (!std::strcmp(A, "--fallback-ranking")) {
+      Opts.FallbackToRanking = true;
+    } else if (!std::strcmp(A, "--help")) {
+      usage();
+      return 0;
     } else if (!std::strcmp(A, "--diag-json")) {
       if (!needArg(DiagJson))
         return usage();
@@ -171,13 +210,16 @@ int main(int Argc, char **Argv) {
 
   DiagnosticEngine Diags;
   auto Ast = parseString(Source, Diags);
-  std::optional<IRProgram> IR;
-  if (Ast)
-    IR = lowerProgram(*Ast, Diags);
+  if (!Ast) {
+    std::fprintf(stderr, "%s", Diags.toString().c_str());
+    writeDiagJson(Diags);
+    return exitCodeFor(AnalysisErrorKind::ParseError);
+  }
+  std::optional<IRProgram> IR = lowerProgram(*Ast, Diags);
   if (!IR) {
     std::fprintf(stderr, "%s", Diags.toString().c_str());
     writeDiagJson(Diags);
-    return 1;
+    return exitCodeFor(AnalysisErrorKind::MalformedIR);
   }
   if (DumpIR)
     std::printf("%s\n", printIR(*IR).c_str());
@@ -193,7 +235,7 @@ int main(int Argc, char **Argv) {
     return 2;
   if (!CheckRep.Verified) {
     std::fprintf(stderr, "IR verification failed; refusing to analyze\n");
-    return 1;
+    return exitCodeFor(AnalysisErrorKind::MalformedIR);
   }
 
   if (CertIn) {
@@ -212,10 +254,25 @@ int main(int Argc, char **Argv) {
     return Rep.Valid ? 0 : 1;
   }
 
-  AnalysisResult R = analyzeProgram(*IR, *M, Opts);
+  AnalysisResult R;
+  try {
+    R = analyzeProgram(*IR, *M, Opts);
+  } catch (const AbortError &E) {
+    // Belt and braces: the library converts aborts at stage boundaries,
+    // but nothing typed must ever escape the tool as a crash.
+    std::fprintf(stderr, "analysis aborted: %s\n", E.what());
+    return exitCodeFor(E.error().Kind);
+  }
   if (!R.Success) {
     std::fprintf(stderr, "no bound: %s\n", R.Error.c_str());
-    return 1;
+    return exitCodeFor(R.ErrorKind);
+  }
+  if (R.Degraded) {
+    std::fprintf(stderr, "exact analysis abandoned (%s); "
+                         "falling back to the ranking baseline\n",
+                 R.Error.c_str());
+    for (const auto &[Fn, Expr] : R.DegradedBounds)
+      std::printf("%-24s [degraded] %s\n", (Fn + ":").c_str(), Expr.c_str());
   }
   for (const auto &[Fn, B] : R.Bounds)
     std::printf("%-24s %s\n", (Fn + ":").c_str(), B.toString().c_str());

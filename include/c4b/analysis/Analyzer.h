@@ -25,6 +25,7 @@
 #include "c4b/analysis/ConstraintGen.h"
 #include "c4b/ir/IR.h"
 #include "c4b/sem/Metric.h"
+#include "c4b/support/Error.h"
 
 #include <map>
 #include <optional>
@@ -38,6 +39,17 @@ struct AnalysisResult {
   bool Success = false;
   /// Human-readable failure reason when !Success.
   std::string Error;
+  /// Typed failure classification (None for the legacy untyped failures:
+  /// structural blowout, LP infeasibility).
+  AnalysisErrorKind ErrorKind = AnalysisErrorKind::None;
+  /// True when the exact LP was killed by a budget and the bounds below
+  /// came from the ranking-function baseline instead.  Degraded bounds are
+  /// *not* certified; `Bounds`/`Solution` stay empty and `DegradedBounds`
+  /// holds the baseline expressions.  `Error`/`ErrorKind` keep the reason
+  /// the exact analysis was abandoned.
+  bool Degraded = false;
+  /// Baseline bound expression per function, only when Degraded.
+  std::map<std::string, std::string> DegradedBounds;
   /// Inferred bound of every function (entry potential of its spec).
   std::map<std::string, Bound> Bounds;
   /// The full rational solution: a proof certificate for the bounds.
@@ -76,6 +88,13 @@ AnalysisResult analyzeSource(const std::string &Source,
                              const ResourceMetric &M,
                              const AnalysisOptions &O = {},
                              const std::string &Focus = "");
+
+/// Degradation step: when \p R failed on a budget (pivot/deadline/
+/// coefficient), re-analyzes with the ranking-function baseline — run
+/// ungoverned, since the blown budget must not kill the fallback — and
+/// marks the result Degraded.  No-op for success or non-budget failures.
+void applyRankingFallback(AnalysisResult &R, const IRProgram &P,
+                          const ResourceMetric &M);
 
 } // namespace c4b
 

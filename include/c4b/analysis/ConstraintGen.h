@@ -28,6 +28,7 @@
 #include "c4b/logic/Context.h"
 #include "c4b/lp/Solver.h"
 #include "c4b/sem/Metric.h"
+#include "c4b/support/Budget.h"
 #include "c4b/support/Diagnostics.h"
 
 #include <map>
@@ -71,6 +72,15 @@ struct AnalysisOptions {
   /// logical contexts.  Fail-safe: off reproduces the unseeded analysis
   /// bit-for-bit; on can only loosen the LP (bounds never get worse).
   bool SeedIntervals = false;
+  /// When the exact LP is killed by a budget, retry with the
+  /// ranking-function baseline and report the (unverified) bound as a
+  /// degraded result instead of a hard failure.
+  bool FallbackToRanking = false;
+  /// Resource limits enforced cooperatively throughout the analysis.  The
+  /// default (all zero) disables every check, reproducing ungoverned runs
+  /// bit-for-bit.  Never serialized into certificates: a budget changes
+  /// *whether* an answer is produced, not which answer.
+  BudgetLimits Budget;
 };
 
 /// Sound linear invariants per loop head, keyed by the `Loop` statement

@@ -37,6 +37,20 @@ private:
   DiagnosticEngine &Diags;
   std::size_t Pos = 0;
 
+  /// Statement/expression nesting guard: recursive descent consumes real
+  /// stack per nesting level, so unbounded input (10k open parens) would
+  /// overflow it.  When the limit trips, one diagnostic is reported, the
+  /// cursor jumps to Eof so every frame unwinds immediately, and `Panic`
+  /// suppresses the cascade of expect-failures on the way out.
+  static constexpr int MaxNestingDepth = 200;
+  int Depth = 0;
+  bool Panic = false;
+
+  /// Enters one nesting level; false (with the diagnostic + Eof jump done)
+  /// when the limit is exceeded.  Callers returning true must decrement
+  /// `Depth` on exit.
+  bool enterNested();
+
   const Token &peek(int Ahead = 0) const;
   const Token &advance();
   bool check(TokKind K) const { return peek().Kind == K; }
@@ -47,6 +61,7 @@ private:
   void parseFunction(Program &P, bool ReturnsValue);
   std::unique_ptr<Stmt> parseBlock();
   std::unique_ptr<Stmt> parseStmt();
+  std::unique_ptr<Stmt> parseStmtImpl();
   std::unique_ptr<Stmt> parseSimpleStmtList();
   std::unique_ptr<Stmt> parseSimpleStmt();
   std::unique_ptr<Stmt> parseVarDecl();
@@ -58,6 +73,7 @@ private:
   std::unique_ptr<Expr> parseAdditive();
   std::unique_ptr<Expr> parseMultiplicative();
   std::unique_ptr<Expr> parseUnary();
+  std::unique_ptr<Expr> parseUnaryImpl();
   std::unique_ptr<Expr> parsePrimary();
 
   /// Parses the argument list of a call (after the callee identifier).

@@ -38,6 +38,10 @@ struct Certificate {
   AnalysisOptions Options;
   std::vector<Rational> Values;
   std::map<std::string, Bound> Bounds;
+  /// True when the result came from the ranking-function fallback after a
+  /// budget kill.  Degraded results carry no satisfying assignment, so a
+  /// degraded certificate certifies nothing and the validator rejects it.
+  bool Degraded = false;
 
   /// Builds the certificate of a successful analysis.
   static Certificate fromResult(const AnalysisResult &R,

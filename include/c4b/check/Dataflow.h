@@ -52,6 +52,7 @@
 #define C4B_CHECK_DATAFLOW_H
 
 #include "c4b/ir/IR.h"
+#include "c4b/support/Budget.h"
 
 #include <map>
 #include <optional>
@@ -149,6 +150,7 @@ private:
       Opt Head = std::move(In);
       Breaks.push_back(std::nullopt);
       for (int Pass = 0;; ++Pass) {
+        budgetOnFixpointPass();
         Breaks.back().reset();
         Opt Out = walk(*S.Children[0], Head);
         Opt Next = Head;
@@ -254,6 +256,7 @@ private:
       BreakOuts.push_back(std::move(Out));
       Opt Head;
       for (int Pass = 0;; ++Pass) {
+        budgetOnFixpointPass();
         Opt In = walk(*S.Children[0], Head);
         Opt Next = Head;
         mergeInto(Next, In);

@@ -75,18 +75,36 @@ struct BatchItem {
 /// Aggregate statistics of the last run.
 struct BatchStats {
   int NumJobs = 0;
+  /// Jobs that produced certified bounds (degraded jobs not included).
   int NumSucceeded = 0;
+  /// Jobs rescued by the ranking-function fallback (Result.Degraded).
+  int NumDegraded = 0;
+  /// Jobs with no usable result at all (!Result.Success).
+  int NumFailed = 0;
+  /// Of the failed jobs, how many died on the wall-clock deadline ...
+  int NumDeadline = 0;
+  /// ... and how many on the pivot/constraint budget.
+  int NumLpBudget = 0;
+  /// Jobs that were re-run after a first failure (retry knob).
+  int NumRetried = 0;
   /// End-to-end wall time of the run (not the sum of per-job times).
   double WallSeconds = 0;
   /// Per-stage times summed over all jobs (CPU-side cost of each stage).
   StageTimings StageTotals;
 };
 
-/// Runs batches of analysis jobs on a fixed-size worker pool.
+/// Runs batches of analysis jobs on a fixed-size worker pool.  Each job is
+/// a fault-containment domain: a budget kill, injected fault, invariant
+/// failure, or foreign exception inside one job becomes a typed failure on
+/// that item (with the stage timings recorded up to the kill) and the
+/// batch always runs to completion.
 class BatchAnalyzer {
 public:
   /// \p NumThreads <= 0 selects std::thread::hardware_concurrency().
-  explicit BatchAnalyzer(int NumThreads = 0);
+  /// \p RetryFailedOnce re-runs each failed job a single time and keeps
+  /// the second outcome — useful against transient faults; deterministic
+  /// failures simply fail twice.
+  explicit BatchAnalyzer(int NumThreads = 0, bool RetryFailedOnce = false);
 
   /// Analyzes every job; the result vector is indexed like \p Jobs
   /// regardless of scheduling, and each entry is bit-identical to what the
@@ -98,6 +116,7 @@ public:
 
 private:
   int NumThreads;
+  bool RetryFailedOnce;
   BatchStats Stats;
 };
 

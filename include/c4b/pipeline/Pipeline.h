@@ -38,6 +38,7 @@
 #include "c4b/ir/IR.h"
 #include "c4b/sem/Metric.h"
 #include "c4b/support/Diagnostics.h"
+#include "c4b/support/Error.h"
 
 #include <map>
 #include <optional>
@@ -100,8 +101,10 @@ struct CheckedModule {
   DiagnosticEngine Diags; ///< Frontend diagnostics + check-stage output.
   bool Verified = true;   ///< False when the verifier found violations.
   int LintWarnings = 0;   ///< Lint warnings emitted into Diags.
+  /// Typed failure when the stage was aborted (budget, injected fault).
+  AnalysisError Err;
 
-  bool ok() const { return IR.has_value() && Verified; }
+  bool ok() const { return IR.has_value() && Verified && !Err.isError(); }
 };
 
 /// Stage 2.5: runs the check subsystem over a lowered module (consumes
@@ -132,6 +135,9 @@ struct ConstraintSystem {
   /// function); Diags then carries one note per failure site.
   bool StructuralOk = false;
   DiagnosticEngine Diags;
+  /// Typed failure when the walk was aborted mid-stream (constraint
+  /// budget, deadline, injected fault); the recorded prefix is kept.
+  AnalysisError Err;
 
   // Walk statistics.
   int WeakenPoints = 0;
@@ -172,10 +178,14 @@ struct SolvedSystem {
   /// Solved bound of every function in the system.
   std::map<std::string, Bound> Bounds;
 
+  /// Typed failure when the solve was aborted (pivot budget, deadline,
+  /// coefficient overflow, internal invariant); Status is then untrusted.
+  AnalysisError Err;
+
   // Solver statistics.
   int NumEliminated = 0;
 
-  bool ok() const { return Status == LPStatus::Optimal; }
+  bool ok() const { return Status == LPStatus::Optimal && !Err.isError(); }
 };
 
 /// Stage 4: replays \p CS into the presolving LP solver and runs the

@@ -1,0 +1,173 @@
+//===--- Budget.h - Cooperative resource budgets ---------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation and resource budgets for one analysis job.
+/// The exact-rational simplex and the amortized derivation can blow up on
+/// adversarial inputs; a `Budget` bounds them with four limits:
+///
+///   * a wall-clock deadline (seconds from token creation),
+///   * an LP pivot limit (total simplex pivots across all solves of the
+///     job, including logical-context entailment checks),
+///   * a constraint-count limit on the materialized derivation walk, and
+///   * an approximate decimal-digit cap on BigInt coefficients.
+///
+/// Enforcement is cooperative: hot loops call the checkpoint functions
+/// below, which throw `AbortError` with the matching `AnalysisErrorKind`
+/// when a limit trips.  Stage boundaries catch the abort and surface a
+/// typed failure.  The token is installed per thread (`BudgetScope`), so
+/// concurrent batch jobs each govern themselves independently.
+///
+/// Determinism: the pivot and constraint counters are exact, so the same
+/// program under the same pivot/constraint budget fails at the identical
+/// point in serial and parallel runs.  Wall-clock deadlines are inherently
+/// timing-dependent and make no such promise.
+///
+/// Fail-safety: with no budget installed every checkpoint is a no-op
+/// (one thread-local read), so unbudgeted results are bit-identical to a
+/// build without this layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SUPPORT_BUDGET_H
+#define C4B_SUPPORT_BUDGET_H
+
+#include "c4b/support/Error.h"
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+
+namespace c4b {
+
+/// Declarative limits; a value <= 0 means "unlimited".  Carried inside
+/// `AnalysisOptions` so every entry point (serial, batch, CLI) can pin a
+/// budget without new plumbing; never serialized into certificates (a
+/// budget changes when a derivation is *abandoned*, never its content).
+struct BudgetLimits {
+  /// Wall-clock deadline in seconds, measured from Budget creation (job
+  /// start at the entry points).
+  double DeadlineSeconds = 0;
+  /// Total simplex pivots across every LP solve of the job.
+  long MaxPivots = 0;
+  /// Materialized constraints emitted by the derivation walk.
+  long MaxConstraints = 0;
+  /// Approximate decimal digits per BigInt coefficient (granularity is one
+  /// 32-bit limb, ~9.6 digits).
+  int MaxCoefficientDigits = 0;
+
+  bool enabled() const {
+    return DeadlineSeconds > 0 || MaxPivots > 0 || MaxConstraints > 0 ||
+           MaxCoefficientDigits > 0;
+  }
+};
+
+/// The runtime token: limits plus the counters enforcing them.  One Budget
+/// governs one job on one thread; it is not thread-safe by design (each
+/// batch worker installs its own).
+class Budget {
+public:
+  explicit Budget(const BudgetLimits &L)
+      : Limits(L), Start(std::chrono::steady_clock::now()) {}
+
+  const BudgetLimits &limits() const { return Limits; }
+  long pivots() const { return Pivots; }
+  long constraints() const { return Constraints; }
+
+  /// Seconds elapsed since the token was created.
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+  /// Throws AbortError(DeadlineExceeded) when past the deadline.
+  void checkDeadline();
+
+  /// Counts one simplex pivot; throws AbortError(LpBudgetExceeded) past
+  /// the pivot limit, and polls the deadline every 64 pivots.
+  void countPivot();
+
+  /// Counts one emitted constraint; throws AbortError(LpBudgetExceeded)
+  /// past the constraint limit, and polls the deadline every 256
+  /// constraints.
+  void countConstraint();
+
+  /// Checks a BigInt magnitude of \p Limbs 32-bit limbs against the digit
+  /// cap; throws AbortError(CoefficientOverflow) when over.
+  void checkCoefficient(std::size_t Limbs);
+
+  /// The budget governing the current thread, or null.
+  static Budget *current();
+
+private:
+  friend class BudgetScope;
+
+  BudgetLimits Limits;
+  std::chrono::steady_clock::time_point Start;
+  long Pivots = 0;
+  long Constraints = 0;
+};
+
+/// RAII installer: makes \p B the current thread's budget for the scope's
+/// lifetime, restoring the previous one (scopes nest) on exit.
+class BudgetScope {
+public:
+  explicit BudgetScope(Budget &B);
+  /// Convenience: creates an owned Budget from \p L and installs it (the
+  /// deadline clock starts here).
+  explicit BudgetScope(const BudgetLimits &L);
+  ~BudgetScope();
+
+  BudgetScope(const BudgetScope &) = delete;
+  BudgetScope &operator=(const BudgetScope &) = delete;
+
+private:
+  std::optional<Budget> Owned;
+  Budget *Prev;
+};
+
+/// RAII suspension: clears the current thread's budget for the scope's
+/// lifetime.  The degradation policy uses this so the ranking-function
+/// fallback of an already-exhausted job is not instantly killed by the
+/// same blown budget.
+class BudgetSuspend {
+public:
+  BudgetSuspend();
+  ~BudgetSuspend();
+
+  BudgetSuspend(const BudgetSuspend &) = delete;
+  BudgetSuspend &operator=(const BudgetSuspend &) = delete;
+
+private:
+  Budget *Prev;
+};
+
+//===----------------------------------------------------------------------===//
+// Checkpoints
+//===----------------------------------------------------------------------===//
+//
+// Free functions the governed loops call.  Each first consults the fault
+// injector (FaultInject.h), then the installed budget, and is a no-op when
+// neither is active.  Implementations live in Budget.cpp so the hot
+// callers only pay a function call plus two thread-local reads.
+
+/// Simplex pivot loop (Solver.cpp).
+void budgetOnPivot();
+/// Constraint materialization (the pipeline's recording sink).
+void budgetOnConstraint();
+/// One dataflow fixpoint pass over a loop body (Dataflow.h engines).
+void budgetOnFixpointPass();
+/// BigInt magnitude growth; \p Limbs is the result size in 32-bit limbs.
+void budgetOnCoefficient(std::size_t Limbs);
+/// Pipeline stage entry (parse / check / generate / solve): polls the
+/// deadline so tiny deadlines trip promptly even on tiny programs.
+void budgetOnStage();
+
+} // namespace c4b
+
+#endif // C4B_SUPPORT_BUDGET_H

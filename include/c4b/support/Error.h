@@ -1,0 +1,95 @@
+//===--- Error.h - Structured analysis-failure taxonomy ---------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The failure taxonomy of the resource-governance layer.  Every way an
+/// analysis job can end other than "bound found" or the classic
+/// "no linear bound" has a kind here, so batch reports, the CLI exit code,
+/// and the degradation policy can react to *why* a job failed instead of
+/// pattern-matching error strings.
+///
+/// `AbortError` is the one exception type the library throws: budget
+/// checkpoints and checked invariants raise it, and every pipeline stage
+/// boundary (and the batch analyzer's per-job containment) catches it and
+/// converts it into a typed artifact error.  User-facing entry points
+/// never leak it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SUPPORT_ERROR_H
+#define C4B_SUPPORT_ERROR_H
+
+#include <exception>
+#include <string>
+
+namespace c4b {
+
+/// Why an analysis failed (or degraded).  `None` means "not failed" or the
+/// legacy untyped failure ("no linear bound derivable").
+enum class AnalysisErrorKind {
+  None = 0,
+  ParseError,          ///< Source did not parse (incl. nesting-depth limit).
+  MalformedIR,         ///< Lowering failed or the IR verifier rejected it.
+  LpBudgetExceeded,    ///< Pivot or constraint-count budget exhausted.
+  DeadlineExceeded,    ///< Wall-clock deadline passed at a checkpoint.
+  CoefficientOverflow, ///< A BigInt coefficient outgrew the digit budget.
+  InternalInvariant,   ///< A checked internal invariant failed.
+};
+
+/// Stable short name, e.g. "LpBudgetExceeded".
+const char *errorKindName(AnalysisErrorKind K);
+
+/// Process exit code the CLI maps each kind to.  Distinct and nonzero per
+/// kind; `None` maps to the legacy generic failure code 1.
+int exitCodeFor(AnalysisErrorKind K);
+
+/// One typed failure: the kind plus a human-readable message.
+struct AnalysisError {
+  AnalysisErrorKind Kind = AnalysisErrorKind::None;
+  std::string Message;
+
+  bool isError() const { return Kind != AnalysisErrorKind::None; }
+  /// Renders `KindName: message`.
+  std::string toString() const;
+};
+
+/// The internal abort signal: thrown by budget checkpoints, fault
+/// injection, and checked invariants; caught at stage boundaries.
+class AbortError : public std::exception {
+public:
+  explicit AbortError(AnalysisError E)
+      : Err(std::move(E)), What(Err.toString()) {}
+  AbortError(AnalysisErrorKind K, std::string Message)
+      : AbortError(AnalysisError{K, std::move(Message)}) {}
+
+  const AnalysisError &error() const { return Err; }
+  const char *what() const noexcept override { return What.c_str(); }
+
+private:
+  AnalysisError Err;
+  std::string What;
+};
+
+/// Raises an InternalInvariant AbortError.  Used by C4B_CHECK_INVARIANT so
+/// invariant violations are contained failures in every build type instead
+/// of asserts that release builds compile out.
+[[noreturn]] void reportInternalInvariant(const char *Cond, const char *File,
+                                          int Line);
+
+/// A checked invariant: active in release and debug builds alike.  On
+/// violation it throws AbortError(InternalInvariant) so the batch analyzer
+/// and the CLI report a typed failure instead of crashing (debug) or
+/// silently proceeding on corrupt state (release).
+#define C4B_CHECK_INVARIANT(Cond)                                              \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::c4b::reportInternalInvariant(#Cond, __FILE__, __LINE__);               \
+  } while (false)
+
+} // namespace c4b
+
+#endif // C4B_SUPPORT_ERROR_H

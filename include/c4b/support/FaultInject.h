@@ -1,0 +1,67 @@
+//===--- FaultInject.h - Deterministic fault injection ----------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection hook for exercising every containment
+/// path of the resource-governance layer without contriving pathological
+/// programs.  A test arms a one-shot plan — "at the Nth hit of this site,
+/// raise this error kind" — and the matching checkpoint throws AbortError
+/// exactly there.  The plan is thread-local (arm and run the job on the
+/// same thread) and auto-disarms after firing, so a single-retry policy
+/// sees the transient failure pattern it exists for.
+///
+/// The hooks are compiled in unconditionally: when disarmed they cost one
+/// thread-local boolean read, and keeping them in the production build
+/// means the tests exercise exactly the shipped code paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SUPPORT_FAULTINJECT_H
+#define C4B_SUPPORT_FAULTINJECT_H
+
+#include "c4b/support/Error.h"
+
+namespace c4b {
+namespace faultinject {
+
+/// Instrumented program points.  Each maps to one governed loop or stage
+/// boundary; together they can force every AnalysisErrorKind.
+enum class Site {
+  Parse,        ///< parseModule entry.
+  Verify,       ///< check stage entry (IR verifier / lints).
+  Constraint,   ///< one materialized constraint (recording sink).
+  FixpointPass, ///< one dataflow fixpoint pass.
+  Pivot,        ///< one simplex pivot.
+  BigIntAlloc,  ///< one BigInt magnitude allocation (multiplication).
+};
+
+/// Arms a one-shot fault: the \p TriggerAt-th hit (1-based) of \p S on
+/// this thread throws AbortError(\p Kind).  Re-arming replaces the plan.
+void arm(Site S, long TriggerAt, AnalysisErrorKind Kind);
+
+/// Cancels any armed plan on this thread and resets its hit counter.
+void disarm();
+
+/// True while a plan is armed on this thread (it auto-disarms on firing).
+bool armed();
+
+namespace detail {
+extern thread_local bool Armed;
+void hitSlow(Site S);
+} // namespace detail
+
+/// Checkpoint call, placed next to the budget checkpoints.  No-op unless
+/// a plan is armed on this thread.
+inline void hit(Site S) {
+  if (detail::Armed)
+    detail::hitSlow(S);
+}
+
+} // namespace faultinject
+} // namespace c4b
+
+#endif // C4B_SUPPORT_FAULTINJECT_H

@@ -36,14 +36,32 @@ bool Parser::accept(TokKind K) {
 bool Parser::expect(TokKind K, const char *Context) {
   if (accept(K))
     return true;
-  Diags.error(peek().Loc, std::string("expected ") + tokKindName(K) +
-                              " in " + Context + ", found " +
-                              tokKindName(peek().Kind));
+  if (!Panic)
+    Diags.error(peek().Loc, std::string("expected ") + tokKindName(K) +
+                                " in " + Context + ", found " +
+                                tokKindName(peek().Kind));
+  return false;
+}
+
+bool Parser::enterNested() {
+  if (++Depth <= MaxNestingDepth)
+    return true;
+  --Depth;
+  if (!Panic) {
+    Panic = true;
+    Diags.error(peek().Loc,
+                "nesting too deep (limit " +
+                    std::to_string(MaxNestingDepth) + " levels)");
+    // Jump to Eof so the whole recursion tower unwinds without further
+    // token consumption or diagnostics.
+    Pos = Toks.size() - 1;
+  }
   return false;
 }
 
 std::unique_ptr<Stmt> Parser::errorStmt(const char *Msg) {
-  Diags.error(peek().Loc, Msg);
+  if (!Panic)
+    Diags.error(peek().Loc, Msg);
   // Recover by skipping to the next statement boundary.
   while (!check(TokKind::Eof) && !check(TokKind::Semi) &&
          !check(TokKind::RBrace))
@@ -53,7 +71,8 @@ std::unique_ptr<Stmt> Parser::errorStmt(const char *Msg) {
 }
 
 std::unique_ptr<Expr> Parser::errorExpr(const char *Msg) {
-  Diags.error(peek().Loc, Msg);
+  if (!Panic)
+    Diags.error(peek().Loc, Msg);
   return Expr::makeInt(0, peek().Loc);
 }
 
@@ -127,6 +146,14 @@ std::unique_ptr<Expr> Parser::parseMultiplicative() {
 }
 
 std::unique_ptr<Expr> Parser::parseUnary() {
+  if (!enterNested())
+    return Expr::makeInt(0, peek().Loc);
+  auto E = parseUnaryImpl();
+  --Depth;
+  return E;
+}
+
+std::unique_ptr<Expr> Parser::parseUnaryImpl() {
   SourceLoc Loc = peek().Loc;
   if (accept(TokKind::Minus)) {
     auto E = Expr::makeUnary(UnOp::Neg, parseUnary());
@@ -299,6 +326,14 @@ std::unique_ptr<Stmt> Parser::parseSimpleStmtList() {
 }
 
 std::unique_ptr<Stmt> Parser::parseStmt() {
+  if (!enterNested())
+    return std::make_unique<Stmt>(StmtKind::Skip);
+  auto S = parseStmtImpl();
+  --Depth;
+  return S;
+}
+
+std::unique_ptr<Stmt> Parser::parseStmtImpl() {
   SourceLoc Loc = peek().Loc;
   switch (peek().Kind) {
   case TokKind::Semi:

@@ -26,6 +26,7 @@ Certificate Certificate::fromResult(const AnalysisResult &R,
   C.Options = O;
   C.Values = R.Solution;
   C.Bounds = R.Bounds;
+  C.Degraded = R.Degraded;
   return C;
 }
 
@@ -40,6 +41,10 @@ std::string Certificate::serialize() const {
   // when set, so unseeded certificates keep the legacy v1 layout.
   if (Options.SeedIntervals)
     OS << "seeded 1\n";
+  // Degraded results are honest about their provenance even in serialized
+  // form; only written when set, preserving the legacy layout otherwise.
+  if (Degraded)
+    OS << "degraded 1\n";
   OS << "values " << Values.size() << "\n";
   for (const Rational &V : Values)
     OS << V.toString() << "\n";
@@ -90,6 +95,12 @@ std::optional<Certificate> Certificate::deserialize(const std::string &Text) {
       return std::nullopt;
     C.Options.SeedIntervals = Seeded != 0;
   }
+  if (Word == "degraded") { // Optional: absent in legacy certificates.
+    int Degraded = 0;
+    if (!(IS >> Degraded) || !(IS >> Word))
+      return std::nullopt;
+    C.Degraded = Degraded != 0;
+  }
   if (Word != "values" || !(IS >> NumValues))
     return std::nullopt;
   C.Values.reserve(NumValues);
@@ -131,6 +142,13 @@ void fail(CheckReport &Report, const std::string &Msg) {
 CheckReport c4b::checkCertificate(const ConstraintSystem &CS,
                                   const Certificate &C) {
   CheckReport Report;
+  // Degraded bounds came from the ranking baseline, not from a satisfying
+  // assignment; there is nothing to validate and nothing certified.
+  if (C.Degraded) {
+    Report.Violations.push_back(
+        "certificate is marked degraded: fallback bounds are not certified");
+    return Report;
+  }
   // The metric and options pin down the derivation; a system generated
   // under different ones records a different walk and certifies nothing
   // about this certificate's claims.

@@ -2,7 +2,7 @@
 
 #include "c4b/lp/Presolve.h"
 
-#include <cassert>
+#include "c4b/support/Error.h"
 
 using namespace c4b;
 
@@ -39,7 +39,7 @@ AffineExpr PresolvedSolver::flatten(const std::vector<LinTerm> &Terms,
 }
 
 void PresolvedSolver::recordSubst(int Var, AffineExpr E) {
-  assert(!Subst.contains(Var) && "variable substituted twice");
+  C4B_CHECK_INVARIANT(!Subst.contains(Var) && "variable substituted twice");
   // Keep the map flat: rewrite existing entries that mention Var.
   auto OccIt = Occurs.find(Var);
   if (OccIt != Occurs.end()) {

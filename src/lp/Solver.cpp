@@ -2,8 +2,10 @@
 
 #include "c4b/lp/Solver.h"
 
+#include "c4b/support/Budget.h"
+#include "c4b/support/Error.h"
+
 #include <atomic>
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
@@ -22,10 +24,9 @@ int LPProblem::addFreeVar(std::string Name) {
 }
 
 void LPProblem::addConstraint(std::vector<LinTerm> Terms, Rel R, Rational Rhs) {
-#ifndef NDEBUG
   for (const LinTerm &T : Terms)
-    assert(T.Var >= 0 && T.Var < numVars() && "constraint on unknown variable");
-#endif
+    C4B_CHECK_INVARIANT(T.Var >= 0 && T.Var < numVars() &&
+                        "constraint on unknown variable");
   Rows.push_back({std::move(Terms), R, std::move(Rhs)});
 }
 
@@ -177,7 +178,7 @@ private:
 
   void pivot(int Row, int Col) {
     Rational P = Rows[Row][Col];
-    assert(!P.isZero() && "pivot on zero element");
+    C4B_CHECK_INVARIANT(!P.isZero() && "pivot on zero element");
     for (Rational &X : Rows[Row])
       X /= P;
     Rhss[Row] /= P;
@@ -215,6 +216,9 @@ private:
     int DegenerateStreak = 0;
     const int BlandThreshold = 40;
     for (;;) {
+      // Cooperative governance: counts against the installed pivot budget
+      // (and its deadline) and is the simplex fault-injection site.
+      budgetOnPivot();
       if (getenv("C4B_LP_STATS") && ++Pivots % 1000 == 0)
         fprintf(stderr, "[lp] rows=%zu cols=%d pivots=%ld\n", Rows.size(),
                 NumCols, Pivots);

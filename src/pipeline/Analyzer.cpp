@@ -9,32 +9,84 @@
 
 #include "c4b/analysis/Analyzer.h"
 
+#include "c4b/baseline/Ranking.h"
 #include "c4b/check/Verifier.h"
 #include "c4b/pipeline/Pipeline.h"
+#include "c4b/support/Budget.h"
 
 #include <chrono>
 
 using namespace c4b;
 
+void c4b::applyRankingFallback(AnalysisResult &R, const IRProgram &P,
+                               const ResourceMetric &M) {
+  if (R.Success)
+    return;
+  switch (R.ErrorKind) {
+  case AnalysisErrorKind::LpBudgetExceeded:
+  case AnalysisErrorKind::DeadlineExceeded:
+  case AnalysisErrorKind::CoefficientOverflow:
+    break;
+  default:
+    return; // Only budget-type failures degrade; real errors stay errors.
+  }
+  // The budget that killed the exact LP must not also kill the (far
+  // cheaper) baseline: run it ungoverned.
+  BudgetSuspend Ungoverned;
+  bool Any = false;
+  for (const IRFunction &F : P.Functions) {
+    RankingResult RR = analyzeRanking(P, F.Name, M);
+    if (RR.Found) {
+      R.DegradedBounds[F.Name] = RR.Expr;
+      Any = true;
+    }
+  }
+  if (!Any)
+    return; // Nothing recovered: the typed failure stands.
+  R.Success = true;
+  R.Degraded = true;
+}
+
 AnalysisResult c4b::analyzeProgram(const IRProgram &P, const ResourceMetric &M,
                                    const AnalysisOptions &O,
                                    const std::string &Focus) {
   auto Start = std::chrono::steady_clock::now();
-  if (PipelineOptions{}.VerifyIR) {
-    // Debug builds verify every program handed to the analysis; the
-    // derivation rules are only sound on the documented IR fragment.
-    DiagnosticEngine VDiags;
-    if (!check::verifyIR(P, VDiags)) {
-      AnalysisResult R;
-      R.IRVerified = false;
-      R.Error = "IR verification failed:\n" + VDiags.toString();
-      return R;
+  AnalysisResult R;
+  // Outermost governed entry point: install the budget here so the
+  // deadline clock covers verification, generation, and solving together.
+  std::optional<BudgetScope> Scope;
+  if (O.Budget.enabled() && !Budget::current())
+    Scope.emplace(O.Budget);
+  try {
+    bool Verified = true;
+    if (PipelineOptions{}.VerifyIR) {
+      // Debug builds verify every program handed to the analysis; the
+      // derivation rules are only sound on the documented IR fragment.
+      DiagnosticEngine VDiags;
+      if (!check::verifyIR(P, VDiags)) {
+        Verified = false;
+        R.IRVerified = false;
+        R.ErrorKind = AnalysisErrorKind::MalformedIR;
+        R.Error = "IR verification failed:\n" + VDiags.toString();
+      }
     }
+    if (Verified) {
+      ConstraintSystem CS = generateConstraints(P, M, O);
+      SolvedSystem S =
+          CS.StructuralOk ? solveSystem(CS, Focus) : SolvedSystem{};
+      bool IRVerified = R.IRVerified;
+      R = toAnalysisResult(CS, std::move(S));
+      R.IRVerified = IRVerified;
+    }
+  } catch (const AbortError &E) {
+    // Aborts escaping a stage call (the stages also catch internally, but
+    // the verifier path above runs outside them).
+    R = AnalysisResult{};
+    R.ErrorKind = E.error().Kind;
+    R.Error = E.error().toString();
   }
-  ConstraintSystem CS = generateConstraints(P, M, O);
-  SolvedSystem S =
-      CS.StructuralOk ? solveSystem(CS, Focus) : SolvedSystem{};
-  AnalysisResult R = toAnalysisResult(CS, std::move(S));
+  if (!R.Success && O.FallbackToRanking)
+    applyRankingFallback(R, P, M);
   R.AnalysisSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
@@ -45,17 +97,32 @@ AnalysisResult c4b::analyzeSource(const std::string &Source,
                                   const ResourceMetric &M,
                                   const AnalysisOptions &O,
                                   const std::string &Focus) {
-  ParsedModule P = parseModule(Source);
-  if (!P.ok()) {
+  // Install here so the deadline also covers parsing and lowering;
+  // analyzeProgram below reuses this token.
+  std::optional<BudgetScope> Scope;
+  if (O.Budget.enabled() && !Budget::current())
+    Scope.emplace(O.Budget);
+  try {
+    ParsedModule P = parseModule(Source);
+    if (!P.ok()) {
+      AnalysisResult R;
+      R.ErrorKind = AnalysisErrorKind::ParseError;
+      R.Error = "parse error:\n" + P.Diags.toString();
+      return R;
+    }
+    LoweredModule L = lowerModule(std::move(P));
+    if (!L.ok()) {
+      AnalysisResult R;
+      R.ErrorKind = AnalysisErrorKind::MalformedIR;
+      R.Error = "lowering error:\n" + L.Diags.toString();
+      return R;
+    }
+    return analyzeProgram(*L.IR, M, O, Focus);
+  } catch (const AbortError &E) {
+    // Frontend aborts (parse fault site, deadline hit while parsing).
     AnalysisResult R;
-    R.Error = "parse error:\n" + P.Diags.toString();
+    R.ErrorKind = E.error().Kind;
+    R.Error = E.error().toString();
     return R;
   }
-  LoweredModule L = lowerModule(std::move(P));
-  if (!L.ok()) {
-    AnalysisResult R;
-    R.Error = "lowering error:\n" + L.Diags.toString();
-    return R;
-  }
-  return analyzeProgram(*L.IR, M, O, Focus);
 }

@@ -3,6 +3,8 @@
 #include "c4b/pipeline/Batch.h"
 
 #include "c4b/check/Check.h"
+#include "c4b/support/Budget.h"
+#include "c4b/support/FaultInject.h"
 
 #include <atomic>
 #include <chrono>
@@ -17,71 +19,123 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
       .count();
 }
 
+/// Stamps a timing slot on scope exit, so a stage killed mid-flight still
+/// reports the time it burned before dying.
+class StageTimer {
+public:
+  explicit StageTimer(double &Slot) : Slot(Slot) {}
+  ~StageTimer() { Slot = secondsSince(T0); }
+
+private:
+  double &Slot;
+  std::chrono::steady_clock::time_point T0 = std::chrono::steady_clock::now();
+};
+
 /// Runs one job through the full staged pipeline.  Touches only the job
-/// and its own locals, so any number of these can run concurrently.
+/// and its own locals, so any number of these can run concurrently.  The
+/// job is a containment domain: every abort or exception inside it is
+/// converted to a typed failure on the returned item.
 BatchItem runJob(const BatchJob &Job) {
   BatchItem Item;
   Item.Name = Job.Name;
 
+  // Per-job budget: each job gets its own counters and deadline clock, so
+  // a budgeted batch fails the same jobs the serial loop would.
+  std::optional<BudgetScope> Scope;
+  if (Job.Options.Budget.enabled() && !Budget::current())
+    Scope.emplace(Job.Options.Budget);
+
   const IRProgram *IR = Job.IR.get();
   LoweredModule Owned;
-  if (!IR) {
-    auto T0 = std::chrono::steady_clock::now();
-    ParsedModule P = parseModule(Job.Source, Job.Name);
-    if (!P.ok()) {
-      Item.Timings.FrontendSeconds = secondsSince(T0);
-      Item.Result.Error = "parse error:\n" + P.Diags.toString();
-      return Item;
+
+  auto Body = [&] {
+    if (!IR) {
+      StageTimer T(Item.Timings.FrontendSeconds);
+      ParsedModule P = parseModule(Job.Source, Job.Name);
+      if (!P.ok()) {
+        Item.Result.ErrorKind = AnalysisErrorKind::ParseError;
+        Item.Result.Error = "parse error:\n" + P.Diags.toString();
+        return;
+      }
+      Owned = lowerModule(std::move(P));
+      if (!Owned.ok()) {
+        Item.Result.ErrorKind = AnalysisErrorKind::MalformedIR;
+        Item.Result.Error = "lowering error:\n" + Owned.Diags.toString();
+        return;
+      }
+      IR = &*Owned.IR;
     }
-    Owned = lowerModule(std::move(P));
-    Item.Timings.FrontendSeconds = secondsSince(T0);
-    if (!Owned.ok()) {
-      Item.Result.Error = "lowering error:\n" + Owned.Diags.toString();
-      return Item;
+
+    if (Job.Pipe.VerifyIR || Job.Pipe.Lint) {
+      StageTimer T(Item.Timings.CheckSeconds);
+      faultinject::hit(faultinject::Site::Verify);
+      budgetOnStage();
+      check::Options CO;
+      CO.Verify = Job.Pipe.VerifyIR;
+      CO.Lint = Job.Pipe.Lint;
+      check::Report Rep = check::runChecks(*IR, CO);
+      Item.Result.IRVerified = Rep.Verified;
+      Item.Result.NumLintWarnings = Rep.Diags.warningCount();
+      Item.CheckDiags = Rep.Diags.toString();
+      if (!Rep.Verified) {
+        Item.Result.ErrorKind = AnalysisErrorKind::MalformedIR;
+        Item.Result.Error = "IR verification failed:\n" + Item.CheckDiags;
+        return;
+      }
     }
-    IR = &*Owned.IR;
+
+    ConstraintSystem CS;
+    {
+      StageTimer T(Item.Timings.GenerateSeconds);
+      CS = generateConstraints(*IR, Job.Metric, Job.Options);
+    }
+
+    SolvedSystem S;
+    if (CS.StructuralOk) {
+      StageTimer T(Item.Timings.SolveSeconds);
+      S = solveSystem(CS, Job.Focus);
+    }
+    // toAnalysisResult builds a fresh result; re-stamp the check-stage
+    // fields recorded above so they survive into the final item.
+    bool IRVerified = Item.Result.IRVerified;
+    int NumLintWarnings = Item.Result.NumLintWarnings;
+    Item.Result = toAnalysisResult(CS, std::move(S));
+    Item.Result.IRVerified = IRVerified;
+    Item.Result.NumLintWarnings = NumLintWarnings;
+  };
+
+  try {
+    Body();
+  } catch (const AbortError &E) {
+    // Aborts escaping a stage call (frontend faults, check-stage budget
+    // kills); the constraint/solve stages also catch internally.
+    Item.Result = AnalysisResult{};
+    Item.Result.ErrorKind = E.error().Kind;
+    Item.Result.Error = E.error().toString();
+  } catch (const std::exception &E) {
+    Item.Result = AnalysisResult{};
+    Item.Result.ErrorKind = AnalysisErrorKind::InternalInvariant;
+    Item.Result.Error =
+        std::string("InternalInvariant: uncaught exception: ") + E.what();
+  } catch (...) {
+    Item.Result = AnalysisResult{};
+    Item.Result.ErrorKind = AnalysisErrorKind::InternalInvariant;
+    Item.Result.Error = "InternalInvariant: unknown exception";
   }
 
-  if (Job.Pipe.VerifyIR || Job.Pipe.Lint) {
-    auto TCheck = std::chrono::steady_clock::now();
-    check::Options CO;
-    CO.Verify = Job.Pipe.VerifyIR;
-    CO.Lint = Job.Pipe.Lint;
-    check::Report Rep = check::runChecks(*IR, CO);
-    Item.Timings.CheckSeconds = secondsSince(TCheck);
-    Item.Result.IRVerified = Rep.Verified;
-    Item.Result.NumLintWarnings = Rep.Diags.warningCount();
-    Item.CheckDiags = Rep.Diags.toString();
-    if (!Rep.Verified) {
-      Item.Result.Error = "IR verification failed:\n" + Item.CheckDiags;
-      return Item;
-    }
-  }
+  // Degradation ladder, mirroring analyzeProgram: a budget-killed job may
+  // still get an (uncertified) ranking-function bound.
+  if (!Item.Result.Success && Job.Options.FallbackToRanking && IR)
+    applyRankingFallback(Item.Result, *IR, Job.Metric);
 
-  auto TGen = std::chrono::steady_clock::now();
-  ConstraintSystem CS = generateConstraints(*IR, Job.Metric, Job.Options);
-  Item.Timings.GenerateSeconds = secondsSince(TGen);
-
-  SolvedSystem S;
-  if (CS.StructuralOk) {
-    auto TSolve = std::chrono::steady_clock::now();
-    S = solveSystem(CS, Job.Focus);
-    Item.Timings.SolveSeconds = secondsSince(TSolve);
-  }
-  // toAnalysisResult builds a fresh result; re-stamp the check-stage
-  // fields recorded above so they survive into the final item.
-  bool IRVerified = Item.Result.IRVerified;
-  int NumLintWarnings = Item.Result.NumLintWarnings;
-  Item.Result = toAnalysisResult(CS, std::move(S));
-  Item.Result.IRVerified = IRVerified;
-  Item.Result.NumLintWarnings = NumLintWarnings;
   Item.Result.AnalysisSeconds = Item.Timings.totalSeconds();
   return Item;
 }
 
 } // namespace
 
-BatchAnalyzer::BatchAnalyzer(int NumThreads) : NumThreads(NumThreads) {
+BatchAnalyzer::BatchAnalyzer(int NumThreads, bool RetryFailedOnce)
+    : NumThreads(NumThreads), RetryFailedOnce(RetryFailedOnce) {
   if (this->NumThreads <= 0) {
     unsigned HW = std::thread::hardware_concurrency();
     this->NumThreads = HW > 0 ? static_cast<int>(HW) : 1;
@@ -97,12 +151,17 @@ std::vector<BatchItem> BatchAnalyzer::run(const std::vector<BatchJob> &Jobs) {
   // static striping would leave workers idle.  Each worker writes only its
   // claimed slots of the pre-sized result vector.
   std::atomic<std::size_t> Next{0};
+  std::atomic<int> Retried{0};
   auto Worker = [&] {
     for (;;) {
       std::size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Jobs.size())
         return;
       Items[I] = runJob(Jobs[I]);
+      if (RetryFailedOnce && !Items[I].Result.Success) {
+        Retried.fetch_add(1, std::memory_order_relaxed);
+        Items[I] = runJob(Jobs[I]);
+      }
     }
   };
 
@@ -118,9 +177,19 @@ std::vector<BatchItem> BatchAnalyzer::run(const std::vector<BatchJob> &Jobs) {
 
   Stats = BatchStats{};
   Stats.NumJobs = static_cast<int>(Items.size());
+  Stats.NumRetried = Retried.load(std::memory_order_relaxed);
   for (const BatchItem &Item : Items) {
-    if (Item.Result.Success)
+    if (Item.Result.Success && !Item.Result.Degraded)
       ++Stats.NumSucceeded;
+    else if (Item.Result.Degraded)
+      ++Stats.NumDegraded;
+    else {
+      ++Stats.NumFailed;
+      if (Item.Result.ErrorKind == AnalysisErrorKind::DeadlineExceeded)
+        ++Stats.NumDeadline;
+      else if (Item.Result.ErrorKind == AnalysisErrorKind::LpBudgetExceeded)
+        ++Stats.NumLpBudget;
+    }
     Stats.StageTotals += Item.Timings;
   }
   Stats.WallSeconds = secondsSince(T0);

@@ -5,6 +5,8 @@
 #include "c4b/ast/Parser.h"
 #include "c4b/check/Check.h"
 #include "c4b/lp/Presolve.h"
+#include "c4b/support/Budget.h"
+#include "c4b/support/FaultInject.h"
 
 #include <sstream>
 
@@ -15,6 +17,8 @@ using namespace c4b;
 //===----------------------------------------------------------------------===//
 
 ParsedModule c4b::parseModule(const std::string &Source, std::string Name) {
+  faultinject::hit(faultinject::Site::Parse);
+  budgetOnStage();
   ParsedModule P;
   P.Name = std::move(Name);
   P.Ast = parseString(Source, P.Diags);
@@ -46,13 +50,20 @@ CheckedModule c4b::checkModule(LoweredModule L, const PipelineOptions &O) {
   if (!C.IR)
     return C;
 
-  check::Options CO;
-  CO.Verify = O.VerifyIR;
-  CO.Lint = O.Lint;
-  check::Report R = check::runChecks(*C.IR, CO);
-  C.Verified = R.Verified;
-  C.LintWarnings = R.Diags.warningCount();
-  C.Diags.take(std::move(R.Diags));
+  try {
+    faultinject::hit(faultinject::Site::Verify);
+    budgetOnStage();
+    check::Options CO;
+    CO.Verify = O.VerifyIR;
+    CO.Lint = O.Lint;
+    check::Report R = check::runChecks(*C.IR, CO);
+    C.Verified = R.Verified;
+    C.LintWarnings = R.Diags.warningCount();
+    C.Diags.take(std::move(R.Diags));
+  } catch (const AbortError &E) {
+    C.Err = E.error();
+    C.Verified = false;
+  }
   return C;
 }
 
@@ -74,6 +85,7 @@ public:
 
   void addConstraint(std::vector<LinTerm> Terms, Rel R,
                      Rational Rhs) override {
+    budgetOnConstraint();
     CS.Constraints.push_back({std::move(Terms), R, std::move(Rhs)});
   }
 
@@ -89,20 +101,33 @@ ConstraintSystem c4b::generateConstraints(const IRProgram &P,
   ConstraintSystem CS;
   CS.MetricName = M.Name;
   CS.Options = O;
-  RecordSink Sink(CS);
-  // The interval pre-pass is only consulted when seeding is requested;
-  // otherwise the walk below is bit-identical to the unseeded pipeline.
-  check::IntervalSeeds Seeds;
-  const LoopFactMap *LoopFacts = nullptr;
-  if (O.SeedIntervals) {
-    Seeds = check::computeIntervalSeeds(P);
-    LoopFacts = &Seeds.LoopHeadFacts;
+  // Install the budget when this stage is the outermost governed entry
+  // point; nested calls reuse the caller's token (one deadline clock).
+  std::optional<BudgetScope> Scope;
+  if (O.Budget.enabled() && !Budget::current())
+    Scope.emplace(O.Budget);
+  try {
+    budgetOnStage();
+    RecordSink Sink(CS);
+    // The interval pre-pass is only consulted when seeding is requested;
+    // otherwise the walk below is bit-identical to the unseeded pipeline.
+    check::IntervalSeeds Seeds;
+    const LoopFactMap *LoopFacts = nullptr;
+    if (O.SeedIntervals) {
+      Seeds = check::computeIntervalSeeds(P);
+      LoopFacts = &Seeds.LoopHeadFacts;
+    }
+    ProgramAnalyzer PA(P, M, O, Sink, &CS.Diags, LoopFacts);
+    CS.StructuralOk = PA.run();
+    CS.Specs = PA.specs();
+    CS.WeakenPoints = PA.numWeakenPoints();
+    CS.CallInstantiations = PA.numCallInstantiations();
+  } catch (const AbortError &E) {
+    // The recorded prefix stays in CS for post-mortem inspection, but the
+    // system is not solvable.
+    CS.Err = E.error();
+    CS.StructuralOk = false;
   }
-  ProgramAnalyzer PA(P, M, O, Sink, &CS.Diags, LoopFacts);
-  CS.StructuralOk = PA.run();
-  CS.Specs = PA.specs();
-  CS.WeakenPoints = PA.numWeakenPoints();
-  CS.CallInstantiations = PA.numCallInstantiations();
   return CS;
 }
 
@@ -179,40 +204,59 @@ SolvedSystem c4b::solveSystem(const ConstraintSystem &CS,
   if (!CS.StructuralOk)
     return S; // Status stays Infeasible; nothing to solve.
 
-  PresolvedSolver LP;
-  PresolveSink Sink(LP);
-  CS.replay(Sink);
+  std::optional<BudgetScope> Scope;
+  if (CS.Options.Budget.enabled() && !Budget::current())
+    Scope.emplace(CS.Options.Budget);
+  try {
+    budgetOnStage();
+    PresolvedSolver LP;
+    PresolveSink Sink(LP);
+    CS.replay(Sink);
 
-  std::vector<LinTerm> Obj1 = CS.stage1Objective(Focus);
-  LPResult S1 = LP.minimize(Obj1);
-  if (S1.Status != LPStatus::Optimal) {
-    S.Status = S1.Status;
-    return S;
-  }
-  LPResult Final = S1;
-  if (CS.Options.TwoStageObjective) {
-    LP.pinObjective(Obj1, S1.Objective);
-    LPResult S2 = LP.minimize(CS.stage2Objective(Focus));
-    if (S2.Status == LPStatus::Optimal)
-      Final = S2;
-  }
+    std::vector<LinTerm> Obj1 = CS.stage1Objective(Focus);
+    LPResult S1 = LP.minimize(Obj1);
+    if (S1.Status != LPStatus::Optimal) {
+      S.Status = S1.Status;
+      return S;
+    }
+    LPResult Final = S1;
+    if (CS.Options.TwoStageObjective) {
+      LP.pinObjective(Obj1, S1.Objective);
+      LPResult S2 = LP.minimize(CS.stage2Objective(Focus));
+      if (S2.Status == LPStatus::Optimal)
+        Final = S2;
+    }
 
-  S.Status = LPStatus::Optimal;
-  S.Values = std::move(Final.Values);
-  for (const auto &[Name, Spec] : CS.Specs) {
-    (void)Spec;
-    if (std::optional<Bound> B = CS.boundOf(Name, S.Values))
-      S.Bounds.emplace(Name, std::move(*B));
+    S.Status = LPStatus::Optimal;
+    S.Values = std::move(Final.Values);
+    for (const auto &[Name, Spec] : CS.Specs) {
+      (void)Spec;
+      if (std::optional<Bound> B = CS.boundOf(Name, S.Values))
+        S.Bounds.emplace(Name, std::move(*B));
+    }
+    S.NumEliminated = LP.numEliminated();
+  } catch (const AbortError &E) {
+    S = SolvedSystem{};
+    S.Err = E.error();
   }
-  S.NumEliminated = LP.numEliminated();
   return S;
 }
 
 AnalysisResult c4b::toAnalysisResult(const ConstraintSystem &CS,
                                      SolvedSystem S) {
   AnalysisResult R;
+  if (CS.Err.isError()) {
+    R.ErrorKind = CS.Err.Kind;
+    R.Error = CS.Err.toString();
+    return R;
+  }
   if (!CS.StructuralOk) {
     R.Error = "analysis failed structurally:\n" + CS.Diags.toString();
+    return R;
+  }
+  if (S.Err.isError()) {
+    R.ErrorKind = S.Err.Kind;
+    R.Error = S.Err.toString();
     return R;
   }
   if (!S.ok()) {

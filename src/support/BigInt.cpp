@@ -2,6 +2,8 @@
 
 #include "c4b/support/BigInt.h"
 
+#include "c4b/support/Budget.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -217,6 +219,10 @@ BigInt BigInt::operator*(const BigInt &B) const {
   R.Mag = mulMag(Mag, B.Mag);
   R.Neg = Neg != B.Neg;
   R.normalize();
+  // Multiplication is the only operation whose magnitude growth compounds
+  // (exact simplex pivots square coefficient sizes in the worst case), so
+  // the coefficient-digit budget is enforced here.
+  budgetOnCoefficient(R.Mag.size());
   return R;
 }
 

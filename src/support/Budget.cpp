@@ -1,0 +1,100 @@
+//===--- Budget.cpp - Cooperative resource budgets -------------------------===//
+
+#include "c4b/support/Budget.h"
+
+#include "c4b/support/FaultInject.h"
+
+using namespace c4b;
+
+namespace {
+
+thread_local Budget *TlsBudget = nullptr;
+
+} // namespace
+
+Budget *Budget::current() { return TlsBudget; }
+
+BudgetScope::BudgetScope(Budget &B) : Prev(TlsBudget) { TlsBudget = &B; }
+BudgetScope::BudgetScope(const BudgetLimits &L) : Owned(L), Prev(TlsBudget) {
+  TlsBudget = &*Owned;
+}
+BudgetScope::~BudgetScope() { TlsBudget = Prev; }
+
+BudgetSuspend::BudgetSuspend() : Prev(TlsBudget) { TlsBudget = nullptr; }
+BudgetSuspend::~BudgetSuspend() { TlsBudget = Prev; }
+
+void Budget::checkDeadline() {
+  if (Limits.DeadlineSeconds <= 0)
+    return;
+  double Elapsed = elapsedSeconds();
+  if (Elapsed > Limits.DeadlineSeconds)
+    throw AbortError(AnalysisErrorKind::DeadlineExceeded,
+                     "deadline of " + std::to_string(Limits.DeadlineSeconds) +
+                         "s exceeded after " + std::to_string(Elapsed) + "s");
+}
+
+void Budget::countPivot() {
+  ++Pivots;
+  if (Limits.MaxPivots > 0 && Pivots > Limits.MaxPivots)
+    throw AbortError(AnalysisErrorKind::LpBudgetExceeded,
+                     "pivot budget of " + std::to_string(Limits.MaxPivots) +
+                         " exhausted");
+  if ((Pivots & 63) == 0)
+    checkDeadline();
+}
+
+void Budget::countConstraint() {
+  ++Constraints;
+  if (Limits.MaxConstraints > 0 && Constraints > Limits.MaxConstraints)
+    throw AbortError(AnalysisErrorKind::LpBudgetExceeded,
+                     "constraint budget of " +
+                         std::to_string(Limits.MaxConstraints) + " exhausted");
+  if ((Constraints & 255) == 0)
+    checkDeadline();
+}
+
+void Budget::checkCoefficient(std::size_t Limbs) {
+  if (Limits.MaxCoefficientDigits <= 0)
+    return;
+  // One 32-bit limb holds log10(2^32) ~ 9.633 decimal digits; the cap is
+  // enforced at limb granularity, which is all the blowup guard needs.
+  long ApproxDigits = static_cast<long>(Limbs) * 9633 / 1000;
+  if (ApproxDigits > Limits.MaxCoefficientDigits)
+    throw AbortError(AnalysisErrorKind::CoefficientOverflow,
+                     "coefficient of ~" + std::to_string(ApproxDigits) +
+                         " digits exceeds the cap of " +
+                         std::to_string(Limits.MaxCoefficientDigits));
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoints
+//===----------------------------------------------------------------------===//
+
+void c4b::budgetOnPivot() {
+  faultinject::hit(faultinject::Site::Pivot);
+  if (Budget *B = TlsBudget)
+    B->countPivot();
+}
+
+void c4b::budgetOnConstraint() {
+  faultinject::hit(faultinject::Site::Constraint);
+  if (Budget *B = TlsBudget)
+    B->countConstraint();
+}
+
+void c4b::budgetOnFixpointPass() {
+  faultinject::hit(faultinject::Site::FixpointPass);
+  if (Budget *B = TlsBudget)
+    B->checkDeadline();
+}
+
+void c4b::budgetOnCoefficient(std::size_t Limbs) {
+  faultinject::hit(faultinject::Site::BigIntAlloc);
+  if (Budget *B = TlsBudget)
+    B->checkCoefficient(Limbs);
+}
+
+void c4b::budgetOnStage() {
+  if (Budget *B = TlsBudget)
+    B->checkDeadline();
+}

@@ -1,0 +1,56 @@
+//===--- Error.cpp - Structured analysis-failure taxonomy -----------------===//
+
+#include "c4b/support/Error.h"
+
+using namespace c4b;
+
+const char *c4b::errorKindName(AnalysisErrorKind K) {
+  switch (K) {
+  case AnalysisErrorKind::None:
+    return "None";
+  case AnalysisErrorKind::ParseError:
+    return "ParseError";
+  case AnalysisErrorKind::MalformedIR:
+    return "MalformedIR";
+  case AnalysisErrorKind::LpBudgetExceeded:
+    return "LpBudgetExceeded";
+  case AnalysisErrorKind::DeadlineExceeded:
+    return "DeadlineExceeded";
+  case AnalysisErrorKind::CoefficientOverflow:
+    return "CoefficientOverflow";
+  case AnalysisErrorKind::InternalInvariant:
+    return "InternalInvariant";
+  }
+  return "None";
+}
+
+int c4b::exitCodeFor(AnalysisErrorKind K) {
+  switch (K) {
+  case AnalysisErrorKind::None:
+    return 1; // Legacy generic failure ("no bound").
+  case AnalysisErrorKind::ParseError:
+    return 10;
+  case AnalysisErrorKind::MalformedIR:
+    return 11;
+  case AnalysisErrorKind::LpBudgetExceeded:
+    return 12;
+  case AnalysisErrorKind::DeadlineExceeded:
+    return 13;
+  case AnalysisErrorKind::CoefficientOverflow:
+    return 14;
+  case AnalysisErrorKind::InternalInvariant:
+    return 15;
+  }
+  return 1;
+}
+
+std::string AnalysisError::toString() const {
+  return std::string(errorKindName(Kind)) + ": " + Message;
+}
+
+void c4b::reportInternalInvariant(const char *Cond, const char *File,
+                                  int Line) {
+  throw AbortError(AnalysisErrorKind::InternalInvariant,
+                   std::string("invariant violated: ") + Cond + " (" + File +
+                       ":" + std::to_string(Line) + ")");
+}

@@ -1,0 +1,45 @@
+//===--- FaultInject.cpp - Deterministic fault injection -------------------===//
+
+#include "c4b/support/FaultInject.h"
+
+using namespace c4b;
+using namespace c4b::faultinject;
+
+namespace {
+
+struct Plan {
+  Site S = Site::Pivot;
+  long TriggerAt = 0;
+  AnalysisErrorKind Kind = AnalysisErrorKind::InternalInvariant;
+  long Hits = 0;
+};
+
+thread_local Plan TlsPlan;
+
+} // namespace
+
+thread_local bool detail::Armed = false;
+
+void faultinject::arm(Site S, long TriggerAt, AnalysisErrorKind Kind) {
+  TlsPlan = Plan{S, TriggerAt, Kind, 0};
+  detail::Armed = true;
+}
+
+void faultinject::disarm() {
+  detail::Armed = false;
+  TlsPlan = Plan{};
+}
+
+bool faultinject::armed() { return detail::Armed; }
+
+void detail::hitSlow(Site S) {
+  if (TlsPlan.S != S)
+    return;
+  if (++TlsPlan.Hits < TlsPlan.TriggerAt)
+    return;
+  // One-shot: disarm before throwing so containment/retry paths run clean.
+  AnalysisErrorKind Kind = TlsPlan.Kind;
+  long N = TlsPlan.Hits;
+  disarm();
+  throw AbortError(Kind, "injected fault at site hit " + std::to_string(N));
+}

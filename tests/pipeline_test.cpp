@@ -287,6 +287,43 @@ TEST(Batch, SharedIRJobsSkipTheFrontend) {
   }
 }
 
+TEST(Batch, BudgetedFailuresAreDeterministicAcrossSchedules) {
+  // Budget kills are part of the determinism contract: the pivot and
+  // constraint counters are exact (the wall-clock deadline is deliberately
+  // excluded), so the same jobs under the same pivot budget fail the same
+  // way regardless of how many workers the pool uses.
+  const char *Names[] = {"example1", "t08a", "t27", "t39", "t13", "t62"};
+  std::vector<BatchJob> Jobs;
+  for (const char *Name : Names) {
+    BatchJob J;
+    J.Name = Name;
+    J.Source = sourceOf(Name);
+    J.Focus = findEntry(Name)->Function;
+    J.Options.Budget.MaxPivots = 40; // Kills some jobs, spares others.
+    Jobs.push_back(std::move(J));
+  }
+
+  BatchAnalyzer Serial(1);
+  std::vector<BatchItem> A = Serial.run(Jobs);
+  BatchAnalyzer Parallel(8);
+  std::vector<BatchItem> B = Parallel.run(Jobs);
+  ASSERT_EQ(A.size(), B.size());
+
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Result.Success, B[I].Result.Success) << Jobs[I].Name;
+    EXPECT_EQ(A[I].Result.ErrorKind, B[I].Result.ErrorKind) << Jobs[I].Name;
+    EXPECT_EQ(A[I].Result.Error, B[I].Result.Error) << Jobs[I].Name;
+    ASSERT_EQ(A[I].Result.Bounds.size(), B[I].Result.Bounds.size())
+        << Jobs[I].Name;
+    for (const auto &[Fn, Bd] : A[I].Result.Bounds)
+      EXPECT_EQ(Bd.toString(), B[I].Result.Bounds.at(Fn).toString())
+          << Jobs[I].Name << "/" << Fn;
+  }
+  EXPECT_EQ(Serial.stats().NumSucceeded, Parallel.stats().NumSucceeded);
+  EXPECT_EQ(Serial.stats().NumFailed, Parallel.stats().NumFailed);
+  EXPECT_EQ(Serial.stats().NumLpBudget, Parallel.stats().NumLpBudget);
+}
+
 TEST(Batch, SingleThreadAndFailuresAreReported) {
   std::vector<BatchJob> Jobs(2);
   Jobs[0].Name = "good";

@@ -1,0 +1,440 @@
+//===--- robustness_test.cpp - Budgets, faults, and graceful degradation ---===//
+//
+// The resource-governance and fault-containment layer: cooperative budget
+// kills surface as typed AnalysisErrors, every injected fault lands on its
+// containment path instead of crashing, the ranking fallback degrades
+// budget-killed jobs honestly, the parser survives adversarial nesting,
+// and — the contract everything else rests on — with no budget and no
+// faults the governed pipeline is bit-identical to an ungoverned one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/cert/Certificate.h"
+#include "c4b/corpus/Corpus.h"
+#include "c4b/lp/Solver.h"
+#include "c4b/pipeline/Batch.h"
+#include "c4b/pipeline/Pipeline.h"
+#include "c4b/support/BigInt.h"
+#include "c4b/support/Budget.h"
+#include "c4b/support/FaultInject.h"
+
+#include <set>
+#include <string>
+
+using namespace c4b;
+using namespace c4b::test;
+
+namespace {
+
+const char *sourceOf(const char *Name) {
+  const CorpusEntry *E = findEntry(Name);
+  EXPECT_NE(E, nullptr) << Name;
+  return E ? E->Source : "";
+}
+
+/// Disarms any leftover fault plan so one failing test cannot poison the
+/// next (plans are one-shot, but a test may EXPECT before its fault fires).
+class FaultGuard {
+public:
+  ~FaultGuard() { faultinject::disarm(); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Parser nesting limit
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, ParserSurvivesDeeplyNestedParens) {
+  // 10k open parens would overflow the recursive-descent stack without the
+  // depth guard; with it, parsing fails with one clear diagnostic.
+  std::string Src = "void f(int n) { int x; x = ";
+  for (int I = 0; I < 10000; ++I)
+    Src += "(";
+  Src += "n";
+  for (int I = 0; I < 10000; ++I)
+    Src += ")";
+  Src += "; }\n";
+  DiagnosticEngine D;
+  auto P = parseString(Src, D);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_NE(D.toString().find("nesting too deep"), std::string::npos)
+      << D.toString();
+  // The panic unwind must not cascade one error per level.
+  EXPECT_LE(D.errorCount(), 3) << D.toString();
+}
+
+TEST(Robustness, ParserSurvivesDeeplyNestedBlocks) {
+  std::string Src = "void f() { ";
+  for (int I = 0; I < 10000; ++I)
+    Src += "{ ";
+  Src += "tick(1); ";
+  for (int I = 0; I < 10000; ++I)
+    Src += "} ";
+  Src += "}\n";
+  DiagnosticEngine D;
+  auto P = parseString(Src, D);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_NE(D.toString().find("nesting too deep"), std::string::npos);
+  EXPECT_LE(D.errorCount(), 3) << D.toString();
+}
+
+TEST(Robustness, ModerateNestingStillParses) {
+  std::string Src = "void f(int n) { int x; x = ";
+  for (int I = 0; I < 50; ++I)
+    Src += "(";
+  Src += "n";
+  for (int I = 0; I < 50; ++I)
+    Src += ")";
+  Src += "; }\n";
+  DiagnosticEngine D;
+  EXPECT_TRUE(parseString(Src, D).has_value()) << D.toString();
+}
+
+//===----------------------------------------------------------------------===//
+// Typed budget kills
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, PivotBudgetKillIsTyped) {
+  IRProgram IR = lowerOrDie(sourceOf("t27"));
+  AnalysisOptions O;
+  O.Budget.MaxPivots = 5;
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), O);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::LpBudgetExceeded);
+  EXPECT_NE(R.Error.find("pivot budget"), std::string::npos) << R.Error;
+}
+
+TEST(Robustness, ConstraintBudgetKillIsTyped) {
+  IRProgram IR = lowerOrDie(sourceOf("t27"));
+  AnalysisOptions O;
+  O.Budget.MaxConstraints = 3;
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), O);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::LpBudgetExceeded);
+  EXPECT_NE(R.Error.find("constraint budget"), std::string::npos) << R.Error;
+}
+
+TEST(Robustness, DeadlineKillIsTyped) {
+  // A deadline that has always already passed: the first stage poll trips.
+  AnalysisOptions O;
+  O.Budget.DeadlineSeconds = 1e-12;
+  AnalysisResult R =
+      analyzeSource(sourceOf("t08a"), ResourceMetric::ticks(), O);
+  ASSERT_FALSE(R.Success);
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::DeadlineExceeded);
+}
+
+TEST(Robustness, CoefficientCapKillIsTyped) {
+  // The cap is enforced where magnitudes compound: BigInt multiplication.
+  // (Small rationals ride the int64 fast path and never reach it, which is
+  // exactly why the checkpoint lives at the big-magnitude boundary.)
+  BigInt A = BigInt::fromString("123456789012345678901234567890");
+  BudgetLimits L;
+  L.MaxCoefficientDigits = 20;
+  BudgetScope Scope(L);
+  try {
+    BigInt B = A * A; // ~60 digits
+    FAIL() << "expected AbortError, got " << B.toString();
+  } catch (const AbortError &E) {
+    EXPECT_EQ(E.error().Kind, AnalysisErrorKind::CoefficientOverflow);
+    EXPECT_NE(std::string(E.what()).find("digits"), std::string::npos);
+  }
+}
+
+TEST(Robustness, CoefficientOverflowIsTypedAtPipelineBoundary) {
+  // The stage boundaries convert a CoefficientOverflow abort raised deep in
+  // the solver into a typed result, like every other kind.
+  FaultGuard G;
+  IRProgram IR = lowerOrDie(sourceOf("t08a"));
+  faultinject::arm(faultinject::Site::Pivot, 1,
+                   AnalysisErrorKind::CoefficientOverflow);
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks());
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::CoefficientOverflow);
+}
+
+TEST(Robustness, UnbudgetedRunIsBitIdenticalToHugeBudget) {
+  // Fail-safety contract: checkpoints that never fire must not perturb the
+  // analysis.  A budget too large to trip yields the exact ungoverned
+  // solution vector.
+  IRProgram IR = lowerOrDie(sourceOf("t27"));
+  AnalysisResult Plain = analyzeProgram(IR, ResourceMetric::ticks());
+  AnalysisOptions O;
+  O.Budget.MaxPivots = 1000000000;
+  O.Budget.MaxConstraints = 1000000000;
+  O.Budget.DeadlineSeconds = 3600;
+  AnalysisResult Governed = analyzeProgram(IR, ResourceMetric::ticks(), O);
+  ASSERT_TRUE(Plain.Success);
+  ASSERT_TRUE(Governed.Success);
+  EXPECT_EQ(Plain.Solution, Governed.Solution);
+  EXPECT_EQ(Plain.NumConstraints, Governed.NumConstraints);
+  for (const auto &[Fn, B] : Plain.Bounds)
+    EXPECT_EQ(B.toString(), Governed.Bounds.at(Fn).toString()) << Fn;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection: every error kind, every containment path
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, InjectedParseFaultIsContained) {
+  FaultGuard G;
+  faultinject::arm(faultinject::Site::Parse, 1,
+                   AnalysisErrorKind::ParseError);
+  AnalysisResult R = analyzeSource(sourceOf("t08a"), ResourceMetric::ticks());
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::ParseError);
+  EXPECT_FALSE(faultinject::armed()) << "plan must auto-disarm on firing";
+}
+
+TEST(Robustness, InjectedVerifyFaultIsContained) {
+  FaultGuard G;
+  faultinject::arm(faultinject::Site::Verify, 1,
+                   AnalysisErrorKind::MalformedIR);
+  CheckedModule C = checkModule(frontend(sourceOf("t08a"), "t08a"));
+  EXPECT_FALSE(C.ok());
+  EXPECT_EQ(C.Err.Kind, AnalysisErrorKind::MalformedIR);
+}
+
+TEST(Robustness, InjectedConstraintFaultIsContained) {
+  FaultGuard G;
+  IRProgram IR = lowerOrDie(sourceOf("t08a"));
+  faultinject::arm(faultinject::Site::Constraint, 5,
+                   AnalysisErrorKind::LpBudgetExceeded);
+  ConstraintSystem CS = generateConstraints(IR, ResourceMetric::ticks());
+  EXPECT_FALSE(CS.StructuralOk);
+  EXPECT_EQ(CS.Err.Kind, AnalysisErrorKind::LpBudgetExceeded);
+  // The walk was killed mid-stream after exactly 4 recorded constraints.
+  EXPECT_EQ(CS.numConstraints(), 4);
+}
+
+TEST(Robustness, InjectedFixpointFaultIsContained) {
+  FaultGuard G;
+  IRProgram IR = lowerOrDie(sourceOf("t27"));
+  AnalysisOptions O;
+  O.SeedIntervals = true; // Interval pre-pass runs the dataflow engines.
+  faultinject::arm(faultinject::Site::FixpointPass, 1,
+                   AnalysisErrorKind::DeadlineExceeded);
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), O);
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::DeadlineExceeded);
+}
+
+TEST(Robustness, InjectedPivotFaultIsContained) {
+  FaultGuard G;
+  IRProgram IR = lowerOrDie(sourceOf("t08a"));
+  faultinject::arm(faultinject::Site::Pivot, 1,
+                   AnalysisErrorKind::InternalInvariant);
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks());
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::InternalInvariant);
+}
+
+TEST(Robustness, InjectedBigIntFaultIsContained) {
+  // The BigIntAlloc site sits in BigInt::operator*, below the Rational
+  // fast path; drive it directly with big magnitudes.
+  FaultGuard G;
+  BigInt A = BigInt::fromString("123456789012345678901234567890");
+  faultinject::arm(faultinject::Site::BigIntAlloc, 1,
+                   AnalysisErrorKind::CoefficientOverflow);
+  try {
+    BigInt B = A * A;
+    FAIL() << "expected AbortError, got " << B.toString();
+  } catch (const AbortError &E) {
+    EXPECT_EQ(E.error().Kind, AnalysisErrorKind::CoefficientOverflow);
+  }
+  EXPECT_FALSE(faultinject::armed());
+}
+
+TEST(Robustness, CheckedInvariantThrowsTyped) {
+  LPProblem P;
+  int X = P.addVar("x");
+  try {
+    P.addConstraint({{X + 7, Rational(1)}}, Rel::Ge, Rational(0));
+    FAIL() << "expected AbortError";
+  } catch (const AbortError &E) {
+    EXPECT_EQ(E.error().Kind, AnalysisErrorKind::InternalInvariant);
+    EXPECT_NE(std::string(E.what()).find("unknown variable"),
+              std::string::npos);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful degradation
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, BudgetKillDegradesToRankingBaseline) {
+  // fig6's binary counter: the exact analysis needs far more than 5 pivots
+  // and the classical ranking baseline still finds a (quadratic) bound —
+  // the exact shape the degradation ladder exists for.
+  IRProgram IR = lowerOrDie(sourceOf("fig6_binary_counter"));
+  AnalysisOptions O;
+  O.Budget.MaxPivots = 5;
+  O.FallbackToRanking = true;
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), O);
+  ASSERT_TRUE(R.Success);
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_FALSE(R.DegradedBounds.empty());
+  EXPECT_TRUE(R.Bounds.empty()) << "degraded bounds are not certified";
+  // The reason the exact analysis was abandoned is preserved.
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::LpBudgetExceeded);
+}
+
+TEST(Robustness, NonBudgetFailureDoesNotDegrade) {
+  // A structural failure (here: injected invariant) must stay an error
+  // even with the fallback enabled — degrading would hide real bugs.  The
+  // program is one the ranking baseline *can* handle, so a pass here means
+  // the policy gate (not baseline inability) blocked the fallback.
+  FaultGuard G;
+  IRProgram IR = lowerOrDie(sourceOf("fig6_binary_counter"));
+  AnalysisOptions O;
+  O.FallbackToRanking = true;
+  faultinject::arm(faultinject::Site::Pivot, 1,
+                   AnalysisErrorKind::InternalInvariant);
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), O);
+  EXPECT_FALSE(R.Success);
+  EXPECT_FALSE(R.Degraded);
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::InternalInvariant);
+}
+
+TEST(Robustness, DegradedCertificateIsRejected) {
+  IRProgram IR = lowerOrDie(sourceOf("fig6_binary_counter"));
+  AnalysisOptions O;
+  O.Budget.MaxPivots = 5;
+  O.FallbackToRanking = true;
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), O);
+  ASSERT_TRUE(R.Success && R.Degraded);
+
+  Certificate C = Certificate::fromResult(R, ResourceMetric::ticks(), O);
+  EXPECT_TRUE(C.Degraded);
+  // The flag survives serialization...
+  auto Round = Certificate::deserialize(C.serialize());
+  ASSERT_TRUE(Round.has_value());
+  EXPECT_TRUE(Round->Degraded);
+  // ...and the validator refuses to bless uncertified bounds.
+  CheckReport Rep = checkCertificate(IR, *Round);
+  EXPECT_FALSE(Rep.Valid);
+  ASSERT_FALSE(Rep.Violations.empty());
+  EXPECT_NE(Rep.Violations[0].find("degraded"), std::string::npos);
+}
+
+TEST(Robustness, UndegradedCertificateRoundTripUnchanged) {
+  // Legacy layout: a non-degraded certificate must not grow a new line.
+  IRProgram IR = lowerOrDie(sourceOf("t08a"));
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), {}, "f");
+  ASSERT_TRUE(R.Success);
+  Certificate C =
+      Certificate::fromResult(R, ResourceMetric::ticks(), AnalysisOptions{});
+  EXPECT_EQ(C.serialize().find("degraded"), std::string::npos);
+  EXPECT_TRUE(checkCertificate(IR, C).Valid);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch containment
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, TinyPivotBudgetBatchOverCorpusNeverCrashes) {
+  std::vector<BatchJob> Jobs;
+  for (const CorpusEntry &E : corpus()) {
+    BatchJob J;
+    J.Name = E.Name;
+    J.Source = E.Source;
+    J.Focus = E.Function;
+    J.Options.Budget.MaxPivots = 25;
+    J.Options.FallbackToRanking = true;
+    Jobs.push_back(std::move(J));
+  }
+  BatchAnalyzer BA(4);
+  std::vector<BatchItem> Items = BA.run(Jobs);
+  ASSERT_EQ(Items.size(), Jobs.size());
+  for (const BatchItem &Item : Items) {
+    if (Item.Result.Success)
+      continue; // ok or degraded
+    EXPECT_NE(Item.Result.ErrorKind, AnalysisErrorKind::None) << Item.Name;
+    EXPECT_FALSE(Item.Result.Error.empty()) << Item.Name;
+  }
+  const BatchStats &S = BA.stats();
+  EXPECT_EQ(S.NumJobs, static_cast<int>(Jobs.size()));
+  EXPECT_EQ(S.NumSucceeded + S.NumDegraded + S.NumFailed, S.NumJobs);
+}
+
+TEST(Robustness, BatchRecordsPartialTimingsOnBudgetKill) {
+  BatchJob J;
+  J.Name = "t27-killed";
+  J.Source = sourceOf("t27");
+  J.Options.Budget.MaxPivots = 5;
+  BatchAnalyzer BA(1);
+  std::vector<BatchItem> Items = BA.run({J});
+  ASSERT_EQ(Items.size(), 1u);
+  EXPECT_FALSE(Items[0].Result.Success);
+  EXPECT_EQ(Items[0].Result.ErrorKind, AnalysisErrorKind::LpBudgetExceeded);
+  // The stages that ran before the kill still report their cost.
+  EXPECT_GT(Items[0].Timings.FrontendSeconds, 0.0);
+  EXPECT_GT(Items[0].Timings.GenerateSeconds, 0.0);
+}
+
+TEST(Robustness, RetryKnobRecoversTransientFault) {
+  // One-shot fault plans auto-disarm when they fire, so the first attempt
+  // dies and the retry sees a healthy pipeline — the transient-failure
+  // pattern the knob exists for.  One worker keeps the job on this thread,
+  // where the plan is armed.
+  FaultGuard G;
+  BatchJob J;
+  J.Name = "transient";
+  J.Source = sourceOf("t08a");
+  faultinject::arm(faultinject::Site::Pivot, 1,
+                   AnalysisErrorKind::InternalInvariant);
+  BatchAnalyzer BA(1, /*RetryFailedOnce=*/true);
+  std::vector<BatchItem> Items = BA.run({J});
+  ASSERT_EQ(Items.size(), 1u);
+  EXPECT_TRUE(Items[0].Result.Success) << Items[0].Result.Error;
+  EXPECT_EQ(BA.stats().NumRetried, 1);
+  EXPECT_EQ(BA.stats().NumSucceeded, 1);
+}
+
+TEST(Robustness, RetryKnobKeepsDeterministicFailures) {
+  // A budget kill is deterministic: the retry fails identically and the
+  // item stays a typed failure.
+  BatchJob J;
+  J.Name = "deterministic";
+  J.Source = sourceOf("t27");
+  J.Options.Budget.MaxPivots = 5;
+  BatchAnalyzer BA(1, /*RetryFailedOnce=*/true);
+  std::vector<BatchItem> Items = BA.run({J});
+  ASSERT_EQ(Items.size(), 1u);
+  EXPECT_FALSE(Items[0].Result.Success);
+  EXPECT_EQ(Items[0].Result.ErrorKind, AnalysisErrorKind::LpBudgetExceeded);
+  EXPECT_EQ(BA.stats().NumRetried, 1);
+  EXPECT_EQ(BA.stats().NumFailed, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Error taxonomy plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, ExitCodesAreDistinctPerKind) {
+  std::set<int> Codes;
+  for (AnalysisErrorKind K :
+       {AnalysisErrorKind::None, AnalysisErrorKind::ParseError,
+        AnalysisErrorKind::MalformedIR, AnalysisErrorKind::LpBudgetExceeded,
+        AnalysisErrorKind::DeadlineExceeded,
+        AnalysisErrorKind::CoefficientOverflow,
+        AnalysisErrorKind::InternalInvariant})
+    Codes.insert(exitCodeFor(K));
+  EXPECT_EQ(Codes.size(), 7u);
+  EXPECT_EQ(exitCodeFor(AnalysisErrorKind::None), 1) << "legacy failure code";
+}
+
+TEST(Robustness, UntypedFrontendFailuresAreNowTyped) {
+  AnalysisResult Parse =
+      analyzeSource("void f( {", ResourceMetric::ticks());
+  EXPECT_FALSE(Parse.Success);
+  EXPECT_EQ(Parse.ErrorKind, AnalysisErrorKind::ParseError);
+
+  AnalysisResult Lower =
+      analyzeSource("void f() { g(); }", ResourceMetric::ticks());
+  EXPECT_FALSE(Lower.Success);
+  EXPECT_EQ(Lower.ErrorKind, AnalysisErrorKind::MalformedIR);
+}
