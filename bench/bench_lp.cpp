@@ -1,0 +1,159 @@
+//===--- bench_lp.cpp - LP solve-stage microbenchmark ---------------------===//
+//
+// Per-program LP metrics over the full corpus: solve-stage wall time,
+// simplex pivots, residual tableau size and nonzero density, and the
+// warm-start hit rate of the two-stage lexicographic solves.  Results land
+// in BENCH_lp.json.
+//
+// This binary doubles as the CI regression gate for the sparse core: it
+// exits nonzero when the corpus-wide pivot total exceeds the checked-in
+// threshold below (pivot counts are exact and deterministic, so any growth
+// means the pivot trajectory — pricing, tie-breaks, warm starts, presolve —
+// actually changed) or when a two-stage solve failed to warm-start.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/corpus/Corpus.h"
+#include "c4b/lp/Solver.h"
+#include "c4b/pipeline/Pipeline.h"
+#include "c4b/sem/Metric.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace c4b;
+
+namespace {
+
+/// Corpus-wide pivot budget for the CI smoke gate.  The committed sparse
+/// core spends 3571 pivots on the full corpus; the threshold leaves ~15%
+/// headroom for benign corpus growth while catching real regressions
+/// (a pricing or presolve change that inflates pivot trajectories).
+constexpr long MaxTotalPivots = 4100;
+
+struct Row {
+  std::string Name;
+  bool Ok = false;
+  double SolveSeconds = 0;
+  long Pivots = 0;
+  long Solves = 0;
+  long WarmStarts = 0;
+  int TableauRows = 0;
+  int TableauCols = 0;
+  double Density = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Optional fixture mode for CI smoke runs: pass program names to bench
+  // only those rows (the JSON and the pivot gate then cover the fixture).
+  std::vector<const CorpusEntry *> Entries;
+  if (argc > 1) {
+    for (int I = 1; I < argc; ++I) {
+      const CorpusEntry *E = findEntry(argv[I]);
+      if (!E) {
+        std::fprintf(stderr, "unknown corpus entry: %s\n", argv[I]);
+        return 2;
+      }
+      Entries.push_back(E);
+    }
+  } else {
+    for (const CorpusEntry &E : corpus())
+      Entries.push_back(&E);
+  }
+
+  std::vector<Row> Rows;
+  long TotalPivots = 0, TotalSolves = 0, TotalWarm = 0;
+  int TwoStageCold = 0;
+  double TotalSeconds = 0;
+
+  for (const CorpusEntry *E : Entries) {
+    LoweredModule L = frontend(E->Source, E->Name);
+    if (!L.ok())
+      continue;
+    ConstraintSystem CS =
+        generateConstraints(*L.IR, ResourceMetric::ticks(), {});
+
+    const LPStats &Stats = lpThreadStats();
+    LPStats Before = Stats;
+    auto T0 = std::chrono::steady_clock::now();
+    SolvedSystem S = solveSystem(CS, E->Function);
+    auto T1 = std::chrono::steady_clock::now();
+
+    Row R;
+    R.Name = E->Name;
+    R.Ok = S.ok();
+    R.SolveSeconds = std::chrono::duration<double>(T1 - T0).count();
+    R.Pivots = Stats.Pivots - Before.Pivots;
+    R.Solves = Stats.Solves - Before.Solves;
+    R.WarmStarts = Stats.WarmStarts - Before.WarmStarts;
+    R.TableauRows = S.LpRows;
+    R.TableauCols = S.LpCols;
+    R.Density = S.LpDensity;
+    // Every successful two-stage solve must have re-used its stage-1
+    // basis; a cold stage 2 is a warm-start contract regression.
+    if (R.Ok && CS.Options.TwoStageObjective && R.WarmStarts < 1)
+      ++TwoStageCold;
+    TotalPivots += R.Pivots;
+    TotalSolves += R.Solves;
+    TotalWarm += R.WarmStarts;
+    TotalSeconds += R.SolveSeconds;
+    Rows.push_back(std::move(R));
+  }
+
+  double WarmRate =
+      TotalSolves > 0 ? static_cast<double>(TotalWarm) / TotalSolves : 0.0;
+
+  FILE *F = std::fopen("BENCH_lp.json", "w");
+  if (F) {
+    std::fprintf(F, "{\n  \"programs\": [\n");
+    for (std::size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"ok\": %s, \"solve_seconds\": "
+                   "%.6f, \"pivots\": %ld,\n"
+                   "     \"lp_solves\": %ld, \"warm_starts\": %ld, "
+                   "\"tableau_rows\": %d, \"tableau_cols\": %d, "
+                   "\"density\": %.4f}%s\n",
+                   R.Name.c_str(), R.Ok ? "true" : "false", R.SolveSeconds,
+                   R.Pivots, R.Solves, R.WarmStarts, R.TableauRows,
+                   R.TableauCols, R.Density,
+                   I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(F, "  ],\n");
+    std::fprintf(F, "  \"total_solve_seconds\": %.6f,\n", TotalSeconds);
+    std::fprintf(F, "  \"total_pivots\": %ld,\n", TotalPivots);
+    std::fprintf(F, "  \"total_lp_solves\": %ld,\n", TotalSolves);
+    std::fprintf(F, "  \"total_warm_starts\": %ld,\n", TotalWarm);
+    std::fprintf(F, "  \"warm_start_rate\": %.4f,\n", WarmRate);
+    std::fprintf(F, "  \"pivot_threshold\": %ld,\n",
+                 argc > 1 ? -1 : MaxTotalPivots);
+    std::fprintf(F, "  \"pivot_threshold_ok\": %s\n",
+                 argc > 1 || TotalPivots <= MaxTotalPivots ? "true" : "false");
+    std::fprintf(F, "}\n");
+    std::fclose(F);
+  }
+
+  std::printf("lp bench: %zu programs, %.3fs solve, %ld pivots, "
+              "%ld solves (%.0f%% warm)\n",
+              Rows.size(), TotalSeconds, TotalPivots, TotalSolves,
+              WarmRate * 100.0);
+
+  if (TwoStageCold > 0) {
+    std::fprintf(stderr, "FAIL: %d two-stage solve(s) did not warm-start\n",
+                 TwoStageCold);
+    return 1;
+  }
+  // The pivot gate only applies to full-corpus runs; a fixture subset has
+  // its own (much smaller) pivot total.
+  if (argc == 1 && TotalPivots > MaxTotalPivots) {
+    std::fprintf(stderr,
+                 "FAIL: corpus pivot total %ld exceeds threshold %ld\n",
+                 TotalPivots, MaxTotalPivots);
+    return 1;
+  }
+  return 0;
+}

@@ -68,11 +68,14 @@ void emitStageTotals(FILE *F, const char *Key, const BatchStats &S) {
                "    \"degraded\": %d, \"failed\": %d, \"timeout\": %d, "
                "\"lp_budget\": %d,\n"
                "    \"stage_totals_seconds\": {\"frontend\": %.6f, "
-               "\"check\": %.6f, \"generate\": %.6f, \"solve\": %.6f}}",
+               "\"check\": %.6f, \"generate\": %.6f, \"solve\": %.6f},\n"
+               "    \"stage_totals_pivots\": {\"generate\": %ld, "
+               "\"solve\": %ld}}",
                Key, S.WallSeconds, S.NumJobs, S.NumSucceeded, S.NumDegraded,
                S.NumFailed, S.NumDeadline, S.NumLpBudget,
                S.StageTotals.FrontendSeconds, S.StageTotals.CheckSeconds,
-               S.StageTotals.GenerateSeconds, S.StageTotals.SolveSeconds);
+               S.StageTotals.GenerateSeconds, S.StageTotals.SolveSeconds,
+               S.StageTotals.GeneratePivots, S.StageTotals.SolvePivots);
 }
 
 /// Runs the corpus through a 1-worker and an N-worker BatchAnalyzer,

@@ -31,6 +31,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace c4b {
@@ -94,6 +95,12 @@ public:
   /// Rational 0 via entails-style special casing; see implementation).
   std::optional<Rational> maxOf(const AffineQ &Obj) const;
   std::optional<Rational> minOf(const AffineQ &Obj) const;
+
+  /// Both extrema in one query: {maxOf(Obj), minOf(Obj)}.  The two solves
+  /// share one simplex instance, so the second restarts warm from the
+  /// first's optimal basis instead of rebuilding and re-running phase 1.
+  std::pair<std::optional<Rational>, std::optional<Rational>>
+  rangeOf(const AffineQ &Obj) const;
 
   /// Join: keeps facts entailed by both sides.
   static LogicContext join(const LogicContext &A, const LogicContext &B);

@@ -9,10 +9,19 @@
 /// The constraint systems produced by the amortized analysis consist almost
 /// entirely of sparse equalities (most potential coefficients pass through
 /// a statement unchanged).  This presolver eliminates such equalities by
-/// Gaussian substitution before the tableau simplex runs, shrinking systems
-/// with thousands of variables down to the few dozen that carry real
-/// decisions.  This mirrors how production LP solvers such as CLP stay fast
-/// on the paper's workload.
+/// Gaussian substitution before the simplex runs, shrinking systems with
+/// thousands of variables down to the few dozen that carry real decisions,
+/// and applies the classic row reductions on top: singleton rows implied
+/// by non-negativity are dropped, singleton rows forcing a variable to
+/// zero substitute it away, and duplicate rows are merged to their
+/// tightest right-hand side.  This mirrors how production LP solvers such
+/// as CLP stay fast on the paper's workload.
+///
+/// The reduced system is solved on a *live* SimplexInstance that persists
+/// across minimize calls: the two-stage lexicographic optimization
+/// (Section 5) pins the stage-1 optimum as a constraint the current vertex
+/// already satisfies, so the stage-2 solve restarts warm from the stage-1
+/// basis instead of paying a second phase 1.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +31,7 @@
 #include "c4b/lp/Solver.h"
 
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -35,7 +45,7 @@ struct AffineExpr {
 
 /// A solver facade that presolves equalities away and supports the paper's
 /// two-stage lexicographic minimization (Section 5): solve one objective,
-/// pin its optimum as a constraint, then solve the next.
+/// pin its optimum as a constraint, then solve the next — warm.
 ///
 /// All variables are non-negative; this is all the amortized analysis needs.
 class PresolvedSolver {
@@ -49,7 +59,9 @@ public:
 
   /// Minimizes the objective over all constraints added so far, including
   /// any pins from pinObjective.  Values in the result cover every variable
-  /// added through addVar.
+  /// added through addVar.  Re-uses the live tableau of the previous call
+  /// when only constraints the presolver did not eliminate were added
+  /// since (the result's WarmStarted field reports it).
   LPResult minimize(const std::vector<LinTerm> &Objective);
 
   /// Adds the constraint `Objective <= Bound` (used to fix the stage-1
@@ -59,6 +71,20 @@ public:
   /// Statistics for benchmarking the presolver.
   int numEliminated() const { return static_cast<int>(Subst.size()); }
   int numResidualConstraints() const { return static_cast<int>(Rows.size()); }
+  /// Rows dropped because a singleton was implied by non-negativity.
+  int numDroppedSingletons() const { return DroppedSingletons; }
+  /// Variables fixed to zero by a `x <= 0` singleton.
+  int numFixedVars() const { return FixedVars; }
+  /// Rows merged into an earlier identical row (tightest RHS kept).
+  int numDuplicateRows() const { return DuplicateRows; }
+
+  /// Lifetime simplex work, across any cold rebuilds of the live instance.
+  long totalPivots() const;
+  long warmStarts() const;
+  /// Shape of the live reduced tableau (zeros before the first solve).
+  int tableauRows() const;
+  int tableauCols() const;
+  double tableauDensity() const;
 
 private:
   int NumVars = 0;
@@ -76,11 +102,32 @@ private:
   /// defining expression is not syntactically non-negative.
   std::vector<AffineExpr> NonNegResiduals;
 
+  // Presolve-extension counters.
+  int DroppedSingletons = 0;
+  int FixedVars = 0;
+  int DuplicateRows = 0;
+
+  // The live reduced instance and the state it was built from.  The
+  // instance survives minimize calls while no new substitution has been
+  // recorded (a substitution re-flattens every residual row, so the built
+  // tableau would be stale); rows added since the build are spliced in
+  // warm through SimplexInstance::addConstraint.
+  std::unique_ptr<SimplexInstance> Live;
+  std::map<int, int> Compact;               ///< original var -> instance var
+  std::map<std::string, Rational> RowKeyRhs; ///< dedup: row key -> tightest rhs
+  std::size_t RowsBuilt = 0;
+  std::size_t NNBuilt = 0;
+  std::size_t SubstAtBuild = 0;
+  long RetiredPivots = 0;     ///< pivots of discarded instances
+  long RetiredWarmStarts = 0; ///< warm starts of discarded instances
+
   AffineExpr flatten(const std::vector<LinTerm> &Terms,
                      const Rational &Const) const;
   void recordSubst(int Var, AffineExpr E);
   void addFlattened(AffineExpr A, Rel R);
   LPResult solveReduced(const std::vector<LinTerm> &Objective);
+  int liveVarOf(int Var);
+  bool warmEmit(AffineExpr A, Rel R);
 };
 
 } // namespace c4b

@@ -1,0 +1,45 @@
+//===--- ReferenceSolver.h - Dense reference simplex ------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The original dense two-phase tableau simplex, retained verbatim as a
+/// differential-testing oracle for the sparse production core in
+/// Solver.cpp.  Both implement the same pivot rules (Dantzig pricing with
+/// Bland's anti-cycling fallback, identical tie-breaks), so on any input
+/// they must agree on status, objective, and the extracted solution
+/// vector bit-for-bit; the randomized tests in lp_differential_test.cpp
+/// enforce exactly that.
+///
+/// This library is test-only: it is built as the separate `c4b_lp_ref`
+/// target (gated by the C4B_LP_REFERENCE option, ON by default) and is
+/// never linked into the production pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_LP_REFERENCESOLVER_H
+#define C4B_LP_REFERENCESOLVER_H
+
+#include "c4b/lp/Solver.h"
+
+namespace c4b {
+namespace lpref {
+
+/// Minimizes `sum Objective` with the dense reference simplex.
+LPResult denseMinimize(const LPProblem &P,
+                       const std::vector<LinTerm> &Objective);
+
+/// Maximizes `sum Objective`; the Objective field holds the maximum.
+LPResult denseMaximize(const LPProblem &P,
+                       const std::vector<LinTerm> &Objective);
+
+/// Phase-1 feasibility only.
+bool denseIsFeasible(const LPProblem &P);
+
+} // namespace lpref
+} // namespace c4b
+
+#endif // C4B_LP_REFERENCESOLVER_H

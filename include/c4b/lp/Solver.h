@@ -7,10 +7,25 @@
 ///
 /// \file
 /// A self-contained linear-programming layer playing the role of the
-/// off-the-shelf CLP solver used by the paper (Section 5): a dense
-/// two-phase primal simplex over exact rationals with Bland's anti-cycling
-/// rule.  Exactness matters here because an LP solution *is* the proof
-/// certificate; there is no tolerance to hide behind.
+/// off-the-shelf CLP solver used by the paper (Section 5): a two-phase
+/// primal simplex over exact rationals with Dantzig pricing and Bland's
+/// anti-cycling fallback.  Exactness matters here because an LP solution
+/// *is* the proof certificate; there is no tolerance to hide behind.
+///
+/// The constraint rows the Figure-4 derivation emits are extremely sparse
+/// (a handful of potential-annotation variables per row), so the core is a
+/// *sparse* tableau: rows are sorted index/coefficient pairs, per-column
+/// occurrence lists confine every pivot to the rows with a nonzero in the
+/// entering column, and reduced costs are updated incrementally from the
+/// pivot row's nonzeros alone.  `SimplexInstance` keeps the tableau and
+/// basis alive across calls so a follow-up solve (a new objective, or a
+/// constraint the current vertex already satisfies) restarts from the
+/// current basis instead of re-running phase 1 — the warm start that makes
+/// the paper's two-stage lexicographic optimization cheap.
+///
+/// Pivot rules and tie-breaks are shared bit-for-bit with the retained
+/// dense oracle (ReferenceSolver.h); the differential tests enforce that
+/// both produce identical statuses, objectives, and solution vectors.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +35,7 @@
 #include "c4b/support/Rational.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace c4b {
@@ -72,11 +88,116 @@ struct LPResult {
   Rational Objective;
   /// One value per LPProblem variable (valid only when Optimal).
   std::vector<Rational> Values;
+  /// Simplex pivots spent producing this result (all phases).
+  long Pivots = 0;
+  /// True when the solve restarted from a live basis instead of running
+  /// phase 1 on a freshly built tableau.
+  bool WarmStarted = false;
 
   bool isOptimal() const { return Status == LPStatus::Optimal; }
 };
 
-/// Dense exact two-phase primal simplex.
+/// Running per-thread LP counters.  Always on (increments are plain
+/// thread-local adds), so the batch analyzer and the benchmarks can
+/// attribute pivots to pipeline stages without environment variables.
+struct LPStats {
+  long Solves = 0;      ///< minimize/feasibility solves completed
+  long Pivots = 0;      ///< simplex pivots across all solves
+  long WarmStarts = 0;  ///< solves that restarted from a live basis
+};
+
+/// The calling thread's running counters.  Stages snapshot-and-subtract to
+/// attribute pivots; nothing ever resets them.
+LPStats &lpThreadStats();
+
+/// A live sparse simplex over one constraint system.  The tableau and the
+/// current basis persist across calls:
+///
+///   * `ensureFeasible` runs phase 1 once; a following `minimize` reuses
+///     the feasible basis and only pays phase 2.
+///   * A second `minimize` with a different objective re-prices and
+///     re-optimizes from the current optimal basis (no phase 1 at all).
+///   * `addConstraint` splices a row into the live tableau.  When the
+///     current vertex satisfies the new row the basis stays feasible and
+///     the next solve is warm; otherwise one artificial variable is added
+///     and the next solve re-runs a (short, warm) phase 1 from the
+///     current basis.
+///   * `addVar` appends a fresh non-negative variable (a zero column).
+///
+/// This is what makes the two-stage lexicographic objective cheap: stage 2
+/// adds the pinning constraint — satisfied with equality by the stage-1
+/// optimum — and re-optimizes warm.
+class SimplexInstance {
+public:
+  explicit SimplexInstance(const LPProblem &P);
+
+  /// Phase-1 feasibility; cached, so repeated calls are free.
+  bool ensureFeasible();
+
+  /// Minimizes `sum Objective` from the current basis (running phase 1
+  /// first if no feasible basis is installed yet).
+  LPResult minimize(const std::vector<LinTerm> &Objective);
+
+  /// Adds `sum Terms R Rhs` to the live instance.  Variable ids are the
+  /// LPProblem's (plus any ids returned by addVar).
+  void addConstraint(const std::vector<LinTerm> &Terms, Rel R,
+                     const Rational &Rhs);
+
+  /// Adds a non-negative variable to the live instance and returns its id.
+  int addVar();
+
+  int numVars() const { return NumOrig; }
+  long pivots() const { return PivotCount; }
+  long warmStarts() const { return WarmStartCount; }
+  int numRows() const { return static_cast<int>(Rows.size()); }
+  int numCols() const { return NumCols; }
+  /// Fraction of tableau entries currently nonzero (1.0 for an empty
+  /// tableau, to keep the benchmark arithmetic simple).
+  double density() const;
+
+private:
+  /// A tableau row: (column, coefficient) pairs sorted by column, zeros
+  /// never stored.
+  using SparseRow = std::vector<std::pair<int, Rational>>;
+
+  int NumOrig = 0; ///< Original problem variables (grows with addVar).
+  int NumCols = 0;
+  std::vector<int> PosCol, NegCol;
+  std::vector<SparseRow> Rows;
+  std::vector<Rational> Rhss;
+  std::vector<int> Basis;
+  /// Per-column artificial flag: O(1) instead of scanning a list.
+  std::vector<unsigned char> IsArt;
+  std::vector<int> ArtificialCols;
+  /// Column occurrence lists: ColRows[c] holds the rows that *may* have a
+  /// nonzero in column c.  Entries go stale when a coefficient cancels;
+  /// scans verify against the row and compact in place.
+  std::vector<std::vector<int>> ColRows;
+  /// Epoch marks for deduplicating occurrence-list scans.
+  std::vector<int> RowMark;
+  int MarkEpoch = 0;
+  /// Scratch row for sparse axpy (buffers swap, so capacity is reused).
+  SparseRow Scratch;
+
+  bool Phase1Done = false;
+  bool Feasible = true;
+  bool HasBasis = false;
+  bool ForbidArtificialEntry = false;
+  bool Unbounded = false;
+  long PivotCount = 0;
+  long WarmStartCount = 0;
+
+  const Rational *rowCoef(int Row, int Col) const;
+  void appendRow(SparseRow Row, Rational Rhs, Rel R);
+  void axpyRow(int Row, const Rational &F, const SparseRow &PivotRow);
+  void pivot(int Row, int Col);
+  Rational optimize(const std::vector<Rational> &Cost);
+  std::vector<Rational> extract() const;
+  SparseRow buildRow(const std::vector<LinTerm> &Terms) const;
+};
+
+/// One-shot facade over SimplexInstance, for callers that solve a problem
+/// a single time (the logical-context queries build tiny LPs in droves).
 class SimplexSolver {
 public:
   /// Minimizes `sum Objective` subject to the problem's constraints.

@@ -43,12 +43,16 @@ struct BatchJob {
   std::string Focus;
 };
 
-/// Wall-clock seconds spent in each pipeline stage of one job.
+/// Wall-clock seconds spent in each pipeline stage of one job, plus the
+/// simplex pivots each stage burned (the derivation walk spends pivots on
+/// logical-context queries; the solve stage on the main LP).
 struct StageTimings {
   double FrontendSeconds = 0;   ///< parse + lower (0 for shared-IR jobs)
   double CheckSeconds = 0;      ///< verifier + lints (0 when both are off)
   double GenerateSeconds = 0;   ///< derivation walk (constraint-gen)
   double SolveSeconds = 0;      ///< presolve + simplex
+  long GeneratePivots = 0;      ///< pivots in context entail/bound queries
+  long SolvePivots = 0;         ///< pivots in the main (two-stage) solve
 
   double totalSeconds() const {
     return FrontendSeconds + CheckSeconds + GenerateSeconds + SolveSeconds;
@@ -58,6 +62,8 @@ struct StageTimings {
     CheckSeconds += O.CheckSeconds;
     GenerateSeconds += O.GenerateSeconds;
     SolveSeconds += O.SolveSeconds;
+    GeneratePivots += O.GeneratePivots;
+    SolvePivots += O.SolvePivots;
     return *this;
   }
 };

@@ -184,6 +184,17 @@ struct SolvedSystem {
 
   // Solver statistics.
   int NumEliminated = 0;
+  /// Simplex pivots spent on this system (all stages, exact and
+  /// deterministic — the golden pivot tests key on this).
+  long LpPivots = 0;
+  /// Solves that restarted from a live basis (the stage-2 lexicographic
+  /// re-optimization warm-starts from the stage-1 optimum).
+  long LpWarmStarts = 0;
+  /// Shape of the presolved tableau the simplex actually ran on.
+  int LpRows = 0;
+  int LpCols = 0;
+  /// Fraction of tableau entries nonzero after presolve.
+  double LpDensity = 0.0;
 
   bool ok() const { return Status == LPStatus::Optimal && !Err.isError(); }
 };

@@ -54,10 +54,14 @@ public:
   Rational operator*(const Rational &B) const;
   Rational operator/(const Rational &B) const;
 
-  Rational &operator+=(const Rational &B) { return *this = *this + B; }
-  Rational &operator-=(const Rational &B) { return *this = *this - B; }
-  Rational &operator*=(const Rational &B) { return *this = *this * B; }
-  Rational &operator/=(const Rational &B) { return *this = *this / B; }
+  // Genuinely in-place: the innermost loop of every simplex pivot runs
+  // through these, so the fast path must not build a temporary Rational,
+  // and the promoted path re-uses this value's BigRep allocation when it
+  // is the sole owner instead of churning shared_ptr control blocks.
+  Rational &operator+=(const Rational &B);
+  Rational &operator-=(const Rational &B);
+  Rational &operator*=(const Rational &B);
+  Rational &operator/=(const Rational &B);
 
   bool operator==(const Rational &B) const { return compare(B) == 0; }
   bool operator!=(const Rational &B) const { return compare(B) != 0; }
@@ -87,6 +91,10 @@ private:
 
   static Rational fromI128(__int128 N, __int128 D);
   static Rational fromBig(BigInt N, BigInt D);
+  /// In-place assignment of the (unreduced) quotient N/D; reuses the
+  /// current BigRep allocation when uniquely owned.
+  Rational &assignI128(__int128 N, __int128 D);
+  Rational &assignBig(BigInt N, BigInt D);
   BigInt bigNum() const;
   BigInt bigDen() const;
 };

@@ -290,13 +290,13 @@ bool LogicContext::entails(const LinFact &F) const {
   Obj.Const = F.Const;
   for (const auto &[V, C] : F.Coeffs)
     Obj.Coeffs[V] = C;
-  std::optional<Rational> Hi = maxOf(Obj);
-  if (!Hi || Hi->sign() > 0)
-    return false;
-  if (!F.IsEquality)
-    return true;
-  std::optional<Rational> Lo = minOf(Obj);
-  return Lo && Lo->sign() >= 0;
+  if (!F.IsEquality) {
+    std::optional<Rational> Hi = maxOf(Obj);
+    return Hi && Hi->sign() <= 0;
+  }
+  // Equalities need both extrema; share one instance (min solve is warm).
+  auto [Hi, Lo] = rangeOf(Obj);
+  return Hi && Hi->sign() <= 0 && Lo && Lo->sign() >= 0;
 }
 
 std::optional<Rational> LogicContext::maxOf(const AffineQ &Obj) const {
@@ -338,6 +338,48 @@ std::optional<Rational> LogicContext::minOf(const AffineQ &Obj) const {
   if (!R)
     return std::nullopt;
   return -*R;
+}
+
+std::pair<std::optional<Rational>, std::optional<Rational>>
+LogicContext::rangeOf(const AffineQ &Obj) const {
+  if (Bottom)
+    return {Rational(0), Rational(0)};
+  LPProblem P;
+  std::map<std::string, int> Vars;
+  auto varOf = [&](const std::string &N) {
+    auto [It, New] = Vars.emplace(N, 0);
+    if (New)
+      It->second = P.addFreeVar(N);
+    return It->second;
+  };
+  for (const LinFact &F : Facts) {
+    std::vector<LinTerm> Terms;
+    for (const auto &[V, C] : F.Coeffs)
+      Terms.push_back({varOf(V), C});
+    P.addConstraint(std::move(Terms), F.IsEquality ? Rel::Eq : Rel::Le,
+                    -F.Const);
+  }
+  std::vector<LinTerm> O, NegO;
+  for (const auto &[V, C] : Obj.Coeffs) {
+    int Id = varOf(V);
+    O.push_back({Id, C});
+    NegO.push_back({Id, -C});
+  }
+  // One instance for both directions: the max solve (max Obj = -min -Obj,
+  // the exact cost vector maxOf would hand the solver) leaves its optimal
+  // basis live, so the min solve restarts warm from it.  Optimal objective
+  // values are unique, so the answers match separate maxOf/minOf calls.
+  SimplexInstance I(P);
+  LPResult RMax = I.minimize(NegO);
+  LPResult RMin = I.minimize(O);
+  auto conv = [&](const LPResult &R, bool Negated) -> std::optional<Rational> {
+    if (R.Status == LPStatus::Unbounded)
+      return std::nullopt;
+    if (R.Status == LPStatus::Infeasible)
+      return Rational(0); // Bottom; callers check isBottom() (see maxOf).
+    return (Negated ? -R.Objective : R.Objective) + Obj.Const;
+  };
+  return {conv(RMax, true), conv(RMin, false)};
 }
 
 LogicContext LogicContext::join(const LogicContext &A, const LogicContext &B) {
@@ -424,11 +466,12 @@ IntervalBounds c4b::intervalBoundsIn(const LogicContext &Ctx, const Atom &A,
     R.Hi = Sz;
     return R;
   }
-  if (std::optional<Rational> Hi = Ctx.maxOf(Obj)) {
+  auto [Hi, Lo] = Ctx.rangeOf(Obj); // One instance; the min solve is warm.
+  if (Hi) {
     Rational H = floorRat(*Hi); // B - A is integer-valued.
     R.Hi = H.sign() > 0 ? H : Rational(0);
   }
-  if (std::optional<Rational> Lo = Ctx.minOf(Obj)) {
+  if (Lo) {
     Rational L = ceilRat(*Lo);
     if (L.sign() > 0)
       R.Lo = L;

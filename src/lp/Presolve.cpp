@@ -91,6 +91,31 @@ void PresolvedSolver::addFlattened(AffineExpr A, Rel R) {
     return;
   }
   if (R != Rel::Eq) {
+    // Singleton rows resolve against the implicit `Var >= 0` bound: an
+    // implied lower bound is dropped, an upper bound of zero fixes the
+    // variable (it becomes a substitution like any equality), and a
+    // negative upper bound is infeasible outright.
+    if (A.Terms.size() == 1) {
+      const auto &[V, C] = *A.Terms.begin();
+      Rational Bound = -A.Const / C; // `C*V + Const R 0`  <=>  `V R' Bound`
+      Rel Eff = C.sign() < 0 ? (R == Rel::Le ? Rel::Ge : Rel::Le) : R;
+      if (Eff == Rel::Ge) {
+        if (Bound.sign() <= 0) {
+          ++DroppedSingletons;
+          return;
+        }
+      } else {
+        if (Bound.sign() < 0) {
+          Infeasible = true;
+          return;
+        }
+        if (Bound.isZero()) {
+          ++FixedVars;
+          recordSubst(V, AffineExpr{}); // V = 0.
+          return;
+        }
+      }
+    }
     LinConstraint C;
     for (const auto &[V, Coef] : A.Terms)
       C.Terms.push_back({V, Coef});
@@ -139,63 +164,218 @@ void PresolvedSolver::pinObjective(const std::vector<LinTerm> &Objective,
   addConstraint(Objective, Rel::Le, std::move(Bound));
 }
 
+namespace {
+
+/// Stable identity of a residual row's left-hand side (original variable
+/// ids + relation; the RHS is compared separately so duplicates merge to
+/// the tightest one).
+std::string rowKey(const AffineExpr &A, Rel R) {
+  std::string K(1, R == Rel::Le ? 'L' : R == Rel::Ge ? 'G' : 'E');
+  for (const auto &[V, C] : A.Terms) {
+    K += std::to_string(V);
+    K += ':';
+    K += C.toString();
+    K += ';';
+  }
+  return K;
+}
+
+} // namespace
+
+int PresolvedSolver::liveVarOf(int Var) {
+  auto [It, New] = Compact.emplace(Var, 0);
+  if (New)
+    It->second = Live->addVar();
+  return It->second;
+}
+
+/// Splices one re-flattened row into the live instance (warm path),
+/// applying the same ground/singleton/duplicate reductions the cold build
+/// does.  Returns false when the row is infeasible outright.
+bool PresolvedSolver::warmEmit(AffineExpr A, Rel R) {
+  if (A.Terms.empty()) {
+    int S = A.Const.sign();
+    return R == Rel::Le ? S <= 0 : R == Rel::Ge ? S >= 0 : S == 0;
+  }
+  if (A.Terms.size() == 1 && R != Rel::Eq) {
+    const auto &[V, C] = *A.Terms.begin();
+    Rational Bound = -A.Const / C;
+    Rel Eff = C.sign() < 0 ? (R == Rel::Le ? Rel::Ge : Rel::Le) : R;
+    if (Eff == Rel::Ge && Bound.sign() <= 0) {
+      ++DroppedSingletons;
+      return true;
+    }
+    if (Eff == Rel::Le && Bound.sign() < 0)
+      return false;
+  }
+  Rational Rhs = -A.Const;
+  std::string Key = rowKey(A, R);
+  auto It = RowKeyRhs.find(Key);
+  if (It != RowKeyRhs.end()) {
+    ++DuplicateRows;
+    bool Tighter = R == Rel::Le ? Rhs < It->second
+                 : R == Rel::Ge ? Rhs > It->second
+                                : Rhs != It->second;
+    if (R == Rel::Eq && Rhs != It->second)
+      return false; // Contradictory equalities.
+    if (!Tighter)
+      return true; // Implied by the row already in the tableau.
+    // Tighter: the looser row stays in the tableau (harmless) and the
+    // tighter one is added beside it.
+    It->second = Rhs;
+  } else {
+    RowKeyRhs.emplace(std::move(Key), Rhs);
+  }
+  std::vector<LinTerm> Terms;
+  Terms.reserve(A.Terms.size());
+  for (const auto &[V, C] : A.Terms)
+    Terms.push_back({liveVarOf(V), C});
+  Live->addConstraint(Terms, R, Rhs);
+  return true;
+}
+
 LPResult PresolvedSolver::solveReduced(const std::vector<LinTerm> &Objective) {
   LPResult R;
   if (Infeasible)
     return R; // Status defaults to Infeasible.
 
-  // Map surviving variables to compact ids.
-  std::map<int, int> Compact;
-  LPProblem P;
-  auto compactOf = [&](int V) {
-    auto [It, New] = Compact.emplace(V, 0);
-    if (New)
-      It->second = P.addVar(V < static_cast<int>(Names.size()) ? Names[V] : "");
-    return It->second;
-  };
-
-  // Residual inequality rows, re-flattened (substitutions may have been
-  // recorded after a row was added).
-  for (const LinConstraint &Row : Rows) {
-    AffineExpr A = flatten(Row.Terms, -Row.Rhs);
-    if (A.Terms.empty()) {
-      int S = A.Const.sign();
-      bool Ok = Row.R == Rel::Le ? S <= 0 : Row.R == Rel::Ge ? S >= 0 : S == 0;
-      if (!Ok)
+  // The live tableau stays valid while no new substitution was recorded
+  // since it was built (a substitution re-flattens every residual row).
+  bool Warm = Live && Subst.size() == SubstAtBuild;
+  if (Warm) {
+    for (std::size_t I = RowsBuilt; I < Rows.size(); ++I) {
+      const LinConstraint &Row = Rows[I];
+      if (!warmEmit(flatten(Row.Terms, -Row.Rhs), Row.R)) {
+        Infeasible = true;
         return R;
-      continue;
+      }
     }
-    std::vector<LinTerm> Terms;
-    for (const auto &[V, C] : A.Terms)
-      Terms.push_back({compactOf(V), C});
-    P.addConstraint(std::move(Terms), Row.R, -A.Const);
-  }
-  // Sign constraints for eliminated variables.
-  for (const AffineExpr &NN : NonNegResiduals) {
-    std::vector<LinTerm> Orig;
-    for (const auto &[V, C] : NN.Terms)
-      Orig.push_back({V, C});
-    AffineExpr A = flatten(Orig, NN.Const);
-    if (A.Terms.empty()) {
-      if (A.Const.sign() < 0)
+    for (std::size_t I = NNBuilt; I < NonNegResiduals.size(); ++I) {
+      const AffineExpr &NN = NonNegResiduals[I];
+      std::vector<LinTerm> Orig;
+      for (const auto &[V, C] : NN.Terms)
+        Orig.push_back({V, C});
+      if (!warmEmit(flatten(Orig, NN.Const), Rel::Ge)) {
+        Infeasible = true;
         return R;
-      continue;
+      }
     }
-    std::vector<LinTerm> Terms;
-    for (const auto &[V, C] : A.Terms)
-      Terms.push_back({compactOf(V), C});
-    P.addConstraint(std::move(Terms), Rel::Ge, -A.Const);
+    RowsBuilt = Rows.size();
+    NNBuilt = NonNegResiduals.size();
+  } else {
+    // Cold (re)build of the reduced problem.
+    if (Live) {
+      RetiredPivots += Live->pivots();
+      RetiredWarmStarts += Live->warmStarts();
+      Live.reset();
+    }
+    Compact.clear();
+    RowKeyRhs.clear();
+
+    // Re-flatten every residual row (substitutions may have been recorded
+    // after a row was added), merging duplicates to their tightest RHS.
+    struct PendingRow {
+      AffineExpr A;
+      Rel R;
+    };
+    std::vector<PendingRow> Pending;
+    std::map<std::string, std::size_t> KeyIdx;
+    auto emit = [&](AffineExpr A, Rel Rl) -> bool {
+      if (A.Terms.empty()) {
+        int S = A.Const.sign();
+        return Rl == Rel::Le ? S <= 0 : Rl == Rel::Ge ? S >= 0 : S == 0;
+      }
+      if (A.Terms.size() == 1 && Rl != Rel::Eq) {
+        const auto &[V, C] = *A.Terms.begin();
+        Rational Bound = -A.Const / C;
+        Rel Eff = C.sign() < 0 ? (Rl == Rel::Le ? Rel::Ge : Rel::Le) : Rl;
+        if (Eff == Rel::Ge && Bound.sign() <= 0) {
+          ++DroppedSingletons;
+          return true;
+        }
+        if (Eff == Rel::Le && Bound.sign() < 0)
+          return false;
+      }
+      std::string Key = rowKey(A, Rl);
+      auto [It, New] = KeyIdx.emplace(std::move(Key), Pending.size());
+      if (!New) {
+        ++DuplicateRows;
+        AffineExpr &Prev = Pending[It->second].A;
+        // Rows are `A R 0`: for Le the rhs is -Const, so a larger Const is
+        // tighter; for Ge a smaller Const is tighter.
+        bool Tighter = Rl == Rel::Le ? A.Const > Prev.Const
+                     : Rl == Rel::Ge ? A.Const < Prev.Const
+                                     : false;
+        if (Rl == Rel::Eq && !(A.Const == Prev.Const))
+          return false; // Contradictory equalities.
+        if (Tighter)
+          Prev.Const = A.Const;
+        return true;
+      }
+      Pending.push_back({std::move(A), Rl});
+      return true;
+    };
+    for (const LinConstraint &Row : Rows)
+      if (!emit(flatten(Row.Terms, -Row.Rhs), Row.R)) {
+        Infeasible = true;
+        return R;
+      }
+    for (const AffineExpr &NN : NonNegResiduals) {
+      std::vector<LinTerm> Orig;
+      for (const auto &[V, C] : NN.Terms)
+        Orig.push_back({V, C});
+      if (!emit(flatten(Orig, NN.Const), Rel::Ge)) {
+        Infeasible = true;
+        return R;
+      }
+    }
+    RowsBuilt = Rows.size();
+    NNBuilt = NonNegResiduals.size();
+    SubstAtBuild = Subst.size();
+
+    // Map surviving variables to compact ids in first-mention order (rows,
+    // then objective below) and materialize the reduced LPProblem.
+    LPProblem P;
+    auto compactOf = [&](int V) {
+      auto [It, New] = Compact.emplace(V, 0);
+      if (New)
+        It->second =
+            P.addVar(V < static_cast<int>(Names.size()) ? Names[V] : "");
+      return It->second;
+    };
+    for (PendingRow &Pd : Pending) {
+      std::vector<LinTerm> Terms;
+      Terms.reserve(Pd.A.Terms.size());
+      for (const auto &[V, C] : Pd.A.Terms)
+        Terms.push_back({compactOf(V), C});
+      P.addConstraint(std::move(Terms), Pd.R, -Pd.A.Const);
+    }
+    for (const auto &[Key, Idx] : KeyIdx)
+      RowKeyRhs.emplace(Key, -Pending[Idx].A.Const);
+
+    // Compact the objective *before* the instance is built so objective-
+    // only variables get structural columns (identical tableau to a
+    // one-shot dense build of the same reduced problem).
+    AffineExpr ObjA0 = flatten(Objective, Rational(0));
+    for (const auto &[V, C] : ObjA0.Terms) {
+      (void)C;
+      compactOf(V);
+    }
+    Live = std::make_unique<SimplexInstance>(P);
   }
 
-  // Objective, expanded through the substitutions.
+  // Objective, expanded through the substitutions; variables the live
+  // instance has not seen yet (warm path only) become fresh zero columns.
   AffineExpr ObjA = flatten(Objective, Rational(0));
   std::vector<LinTerm> Obj;
+  Obj.reserve(ObjA.Terms.size());
   for (const auto &[V, C] : ObjA.Terms)
-    Obj.push_back({compactOf(V), C});
+    Obj.push_back({liveVarOf(V), C});
 
-  SimplexSolver Simplex;
-  LPResult Reduced = Simplex.minimize(P, Obj);
+  LPResult Reduced = Live->minimize(Obj);
   R.Status = Reduced.Status;
+  R.Pivots = Reduced.Pivots;
+  R.WarmStarted = Reduced.WarmStarted;
   if (R.Status != LPStatus::Optimal)
     return R;
   R.Objective = Reduced.Objective + ObjA.Const;
@@ -215,4 +395,24 @@ LPResult PresolvedSolver::solveReduced(const std::vector<LinTerm> &Objective) {
 
 LPResult PresolvedSolver::minimize(const std::vector<LinTerm> &Objective) {
   return solveReduced(Objective);
+}
+
+long PresolvedSolver::totalPivots() const {
+  return RetiredPivots + (Live ? Live->pivots() : 0);
+}
+
+long PresolvedSolver::warmStarts() const {
+  return RetiredWarmStarts + (Live ? Live->warmStarts() : 0);
+}
+
+int PresolvedSolver::tableauRows() const {
+  return Live ? Live->numRows() : 0;
+}
+
+int PresolvedSolver::tableauCols() const {
+  return Live ? Live->numCols() : 0;
+}
+
+double PresolvedSolver::tableauDensity() const {
+  return Live ? Live->density() : 0.0;
 }

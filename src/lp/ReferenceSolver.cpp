@@ -1,0 +1,277 @@
+//===--- ReferenceSolver.cpp - Dense reference simplex --------------------===//
+//
+// The pre-sparsification dense tableau, kept as the differential-testing
+// oracle.  Do not "optimize" this file: its value is being the simple,
+// obviously-faithful implementation of the shared pivot rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/lp/ReferenceSolver.h"
+
+#include "c4b/support/Budget.h"
+#include "c4b/support/Error.h"
+
+using namespace c4b;
+
+namespace {
+
+/// Internal dense tableau for the two-phase simplex.
+class Tableau {
+public:
+  /// Builds the standard-form tableau.  Free variables of \p P are split
+  /// into a positive and a negative part.
+  Tableau(const LPProblem &P) {
+    NumOrig = P.numVars();
+    PosCol.resize(NumOrig);
+    NegCol.assign(NumOrig, -1);
+    for (int V = 0; V < NumOrig; ++V) {
+      PosCol[V] = NumCols++;
+      if (P.isFree(V))
+        NegCol[V] = NumCols++;
+    }
+
+    // One row per constraint; normalize so every Rhs is non-negative.
+    for (const LinConstraint &C : P.constraints()) {
+      std::vector<Rational> Row(NumCols, Rational(0));
+      for (const LinTerm &T : C.Terms) {
+        Row[PosCol[T.Var]] += T.Coef;
+        if (NegCol[T.Var] >= 0)
+          Row[NegCol[T.Var]] -= T.Coef;
+      }
+      Rational Rhs = C.Rhs;
+      Rel R = C.R;
+      // Orient rows so the RHS is non-negative, and prefer the Le
+      // orientation for zero RHS: a Le row starts with its slack basic and
+      // needs no artificial variable (most rows the analysis emits are
+      // `... >= 0`).
+      if (Rhs.sign() < 0 || (Rhs.isZero() && R == Rel::Ge)) {
+        for (Rational &X : Row)
+          X = -X;
+        Rhs = -Rhs;
+        R = R == Rel::Le ? Rel::Ge : R == Rel::Ge ? Rel::Le : Rel::Eq;
+      }
+      Rows.push_back(std::move(Row));
+      Rhss.push_back(std::move(Rhs));
+      Relations.push_back(R);
+    }
+
+    // Slack and surplus columns.
+    Basis.assign(Rows.size(), -1);
+    for (std::size_t I = 0; I < Rows.size(); ++I) {
+      if (Relations[I] == Rel::Eq)
+        continue;
+      int Col = NumCols++;
+      for (std::size_t J = 0; J < Rows.size(); ++J)
+        Rows[J].push_back(Rational(0));
+      Rows[I][Col] = Relations[I] == Rel::Le ? Rational(1) : Rational(-1);
+      if (Relations[I] == Rel::Le)
+        Basis[I] = Col;
+    }
+
+    // Artificial columns for rows without a natural basic variable.
+    for (std::size_t I = 0; I < Rows.size(); ++I) {
+      if (Basis[I] >= 0)
+        continue;
+      int Col = NumCols++;
+      for (std::size_t J = 0; J < Rows.size(); ++J)
+        Rows[J].push_back(Rational(0));
+      Rows[I][Col] = Rational(1);
+      Basis[I] = Col;
+      Artificial.push_back(Col);
+    }
+  }
+
+  /// Runs phase 1.  Returns false when the problem is infeasible.
+  bool phase1() {
+    if (Artificial.empty())
+      return true;
+    // Minimize the sum of artificials.
+    std::vector<Rational> Cost(NumCols, Rational(0));
+    for (int A : Artificial)
+      Cost[A] = Rational(1);
+    Rational Opt = optimize(Cost);
+    if (!Opt.isZero())
+      return false;
+    // Drive remaining artificials out of the basis.
+    for (std::size_t I = 0; I < Rows.size(); ++I) {
+      if (!isArtificial(Basis[I]))
+        continue;
+      int Col = -1;
+      for (int J = 0; J < NumCols && Col < 0; ++J)
+        if (!isArtificial(J) && !Rows[I][J].isZero())
+          Col = J;
+      if (Col >= 0) {
+        pivot(static_cast<int>(I), Col);
+      } else {
+        // Redundant row: the artificial stays basic at value 0; harmless.
+      }
+    }
+    return true;
+  }
+
+  /// Runs phase 2 with the given structural objective (minimization).
+  /// Returns Optimal or Unbounded.
+  LPStatus phase2(const std::vector<LinTerm> &Objective, Rational &OptOut) {
+    std::vector<Rational> Cost(NumCols, Rational(0));
+    for (const LinTerm &T : Objective) {
+      Cost[PosCol[T.Var]] += T.Coef;
+      if (NegCol[T.Var] >= 0)
+        Cost[NegCol[T.Var]] -= T.Coef;
+    }
+    ForbidArtificialEntry = true;
+    OptOut = optimize(Cost);
+    return Unbounded ? LPStatus::Unbounded : LPStatus::Optimal;
+  }
+
+  /// Extracts the value of each original LPProblem variable.
+  std::vector<Rational> extract() const {
+    std::vector<Rational> ColVal(NumCols, Rational(0));
+    for (std::size_t I = 0; I < Rows.size(); ++I)
+      ColVal[Basis[I]] = Rhss[I];
+    std::vector<Rational> R(NumOrig, Rational(0));
+    for (int V = 0; V < NumOrig; ++V) {
+      R[V] = ColVal[PosCol[V]];
+      if (NegCol[V] >= 0)
+        R[V] -= ColVal[NegCol[V]];
+    }
+    return R;
+  }
+
+private:
+  int NumOrig = 0;
+  int NumCols = 0;
+  std::vector<int> PosCol, NegCol;
+  std::vector<std::vector<Rational>> Rows;
+  std::vector<Rational> Rhss;
+  std::vector<Rel> Relations;
+  std::vector<int> Basis;
+  std::vector<int> Artificial;
+  bool ForbidArtificialEntry = false;
+  bool Unbounded = false;
+
+  bool isArtificial(int Col) const {
+    for (int A : Artificial)
+      if (A == Col)
+        return true;
+    return false;
+  }
+
+  void pivot(int Row, int Col) {
+    Rational P = Rows[Row][Col];
+    C4B_CHECK_INVARIANT(!P.isZero() && "pivot on zero element");
+    for (Rational &X : Rows[Row])
+      X /= P;
+    Rhss[Row] /= P;
+    for (std::size_t I = 0; I < Rows.size(); ++I) {
+      if (static_cast<int>(I) == Row || Rows[I][Col].isZero())
+        continue;
+      Rational F = Rows[I][Col];
+      for (int J = 0; J < NumCols; ++J)
+        if (!Rows[Row][J].isZero())
+          Rows[I][J] -= F * Rows[Row][J];
+      Rhss[I] -= F * Rhss[Row];
+    }
+    Basis[Row] = Col;
+  }
+
+  /// Minimizes Cost over the current basic feasible solution.  Dantzig
+  /// pricing with a switch to Bland's rule after a degenerate streak.
+  Rational optimize(const std::vector<Rational> &Cost) {
+    Unbounded = false;
+    // Reduced costs: CBar = Cost - Cost_B * B^-1 A, maintained explicitly.
+    std::vector<Rational> CBar = Cost;
+    Rational Obj(0);
+    for (std::size_t I = 0; I < Rows.size(); ++I) {
+      const Rational &CB = Cost[Basis[I]];
+      if (CB.isZero())
+        continue;
+      for (int J = 0; J < NumCols; ++J)
+        if (!Rows[I][J].isZero())
+          CBar[J] -= CB * Rows[I][J];
+      Obj += CB * Rhss[I];
+    }
+    int DegenerateStreak = 0;
+    const int BlandThreshold = 40;
+    for (;;) {
+      budgetOnPivot();
+      bool Bland = DegenerateStreak >= BlandThreshold;
+      int Enter = -1;
+      for (int J = 0; J < NumCols; ++J) {
+        if (ForbidArtificialEntry && isArtificial(J))
+          continue;
+        if (CBar[J].sign() >= 0)
+          continue;
+        if (Bland) {
+          Enter = J; // Smallest index.
+          break;
+        }
+        if (Enter < 0 || CBar[J] < CBar[Enter])
+          Enter = J; // Most negative reduced cost.
+      }
+      if (Enter < 0)
+        return Obj;
+      int Leave = -1;
+      Rational BestRatio(0);
+      for (std::size_t I = 0; I < Rows.size(); ++I) {
+        if (Rows[I][Enter].sign() <= 0)
+          continue;
+        Rational Ratio = Rhss[I] / Rows[I][Enter];
+        if (Leave < 0 || Ratio < BestRatio ||
+            (Ratio == BestRatio && Basis[I] < Basis[Leave])) {
+          Leave = static_cast<int>(I);
+          BestRatio = Ratio;
+        }
+      }
+      if (Leave < 0) {
+        Unbounded = true;
+        return Obj;
+      }
+      if (BestRatio.isZero())
+        ++DegenerateStreak;
+      else
+        DegenerateStreak = 0;
+      Rational F = CBar[Enter];
+      pivot(Leave, Enter);
+      // Update reduced costs and the objective incrementally.
+      for (int J = 0; J < NumCols; ++J)
+        if (!Rows[Leave][J].isZero())
+          CBar[J] -= F * Rows[Leave][J];
+      Obj += F * Rhss[Leave];
+    }
+  }
+};
+
+} // namespace
+
+LPResult lpref::denseMinimize(const LPProblem &P,
+                              const std::vector<LinTerm> &Objective) {
+  Tableau T(P);
+  LPResult R;
+  if (!T.phase1()) {
+    R.Status = LPStatus::Infeasible;
+    return R;
+  }
+  Rational Opt;
+  R.Status = T.phase2(Objective, Opt);
+  if (R.Status == LPStatus::Optimal) {
+    R.Objective = Opt;
+    R.Values = T.extract();
+  }
+  return R;
+}
+
+LPResult lpref::denseMaximize(const LPProblem &P,
+                              const std::vector<LinTerm> &Objective) {
+  std::vector<LinTerm> Neg = Objective;
+  for (LinTerm &T : Neg)
+    T.Coef = -T.Coef;
+  LPResult R = denseMinimize(P, Neg);
+  if (R.Status == LPStatus::Optimal)
+    R.Objective = -R.Objective;
+  return R;
+}
+
+bool lpref::denseIsFeasible(const LPProblem &P) {
+  Tableau T(P);
+  return T.phase1();
+}

@@ -1,11 +1,22 @@
 //===--- Solver.cpp - Exact-rational linear programming ------------------===//
+//
+// Sparse two-phase primal simplex.  The pivot rules (Dantzig pricing,
+// Bland fallback after a degenerate streak, lowest-index and lowest-basis
+// tie-breaks) are shared with the dense oracle in ReferenceSolver.cpp, and
+// the initial tableau uses the same column numbering (structural columns,
+// then slack/surplus in row order, then artificials in row order); every
+// rule is a strict total order over candidates, so the chosen pivot is
+// independent of the order sparse scans visit them and the two
+// implementations stay bit-identical.
+//
+//===----------------------------------------------------------------------===//
 
 #include "c4b/lp/Solver.h"
 
 #include "c4b/support/Budget.h"
 #include "c4b/support/Error.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -32,268 +43,489 @@ void LPProblem::addConstraint(std::vector<LinTerm> Terms, Rel R, Rational Rhs) {
 
 namespace {
 
-/// Internal dense tableau for the two-phase simplex.
-class Tableau {
-public:
-  /// Builds the standard-form tableau.  Free variables of \p P are split
-  /// into a positive and a negative part.
-  Tableau(const LPProblem &P) : Problem(P) {
-    NumOrig = P.numVars();
-    PosCol.resize(NumOrig);
-    NegCol.assign(NumOrig, -1);
-    for (int V = 0; V < NumOrig; ++V) {
-      PosCol[V] = NumCols++;
-      if (P.isFree(V))
-        NegCol[V] = NumCols++;
-    }
-    NumStructural = NumCols;
+/// The env var is read once per process; the hot loop must not getenv.
+bool lpTraceEnabled() {
+  static const bool Enabled = std::getenv("C4B_LP_STATS") != nullptr;
+  return Enabled;
+}
 
-    // One row per constraint; normalize so every Rhs is non-negative.
-    for (const LinConstraint &C : P.constraints()) {
-      std::vector<Rational> Row(NumCols, Rational(0));
-      for (const LinTerm &T : C.Terms) {
-        Row[PosCol[T.Var]] += T.Coef;
-        if (NegCol[T.Var] >= 0)
-          Row[NegCol[T.Var]] -= T.Coef;
-      }
-      Rational Rhs = C.Rhs;
-      Rel R = C.R;
-      // Orient rows so the RHS is non-negative, and prefer the Le
-      // orientation for zero RHS: a Le row starts with its slack basic and
-      // needs no artificial variable (most rows the analysis emits are
-      // `... >= 0`).
-      if (Rhs.sign() < 0 || (Rhs.isZero() && R == Rel::Ge)) {
-        for (Rational &X : Row)
-          X = -X;
-        Rhs = -Rhs;
-        R = R == Rel::Le ? Rel::Ge : R == Rel::Ge ? Rel::Le : Rel::Eq;
-      }
-      Rows.push_back(std::move(Row));
-      Rhss.push_back(std::move(Rhs));
-      Relations.push_back(R);
-    }
+} // namespace
 
-    // Slack and surplus columns.
-    Basis.assign(Rows.size(), -1);
-    for (std::size_t I = 0; I < Rows.size(); ++I) {
-      if (Relations[I] == Rel::Eq)
-        continue;
-      int Col = NumCols++;
-      for (std::size_t J = 0; J < Rows.size(); ++J)
-        Rows[J].push_back(Rational(0));
-      Rows[I][Col] = Relations[I] == Rel::Le ? Rational(1) : Rational(-1);
-      if (Relations[I] == Rel::Le)
-        Basis[I] = Col;
-    }
+LPStats &c4b::lpThreadStats() {
+  thread_local LPStats Stats;
+  return Stats;
+}
 
-    // Artificial columns for rows without a natural basic variable.
-    for (std::size_t I = 0; I < Rows.size(); ++I) {
-      if (Basis[I] >= 0)
-        continue;
-      int Col = NumCols++;
-      for (std::size_t J = 0; J < Rows.size(); ++J)
-        Rows[J].push_back(Rational(0));
-      Rows[I][Col] = Rational(1);
+//===----------------------------------------------------------------------===//
+// SimplexInstance
+//===----------------------------------------------------------------------===//
+
+SimplexInstance::SimplexInstance(const LPProblem &P) {
+  NumOrig = P.numVars();
+  PosCol.resize(NumOrig);
+  NegCol.assign(NumOrig, -1);
+  for (int V = 0; V < NumOrig; ++V) {
+    PosCol[V] = NumCols++;
+    if (P.isFree(V))
+      NegCol[V] = NumCols++;
+  }
+  IsArt.assign(NumCols, 0);
+
+  // One row per constraint, RHS oriented non-negative (preferring the Le
+  // orientation for zero RHS so the slack can start basic; most rows the
+  // analysis emits are `... >= 0`).
+  std::vector<Rel> Rels;
+  for (const LinConstraint &C : P.constraints()) {
+    SparseRow Row = buildRow(C.Terms);
+    Rational Rhs = C.Rhs;
+    Rel R = C.R;
+    if (Rhs.sign() < 0 || (Rhs.isZero() && R == Rel::Ge)) {
+      for (auto &[Col, Coef] : Row)
+        Coef = -Coef;
+      Rhs = -Rhs;
+      R = R == Rel::Le ? Rel::Ge : R == Rel::Ge ? Rel::Le : Rel::Eq;
+    }
+    Rows.push_back(std::move(Row));
+    Rhss.push_back(std::move(Rhs));
+    Rels.push_back(R);
+  }
+
+  // Slack and surplus columns first, then artificials, both in row order —
+  // the same numbering the dense oracle produces, so index-based
+  // tie-breaks agree.  Within a row the new entries keep the sparse row
+  // sorted because every later column id is larger.
+  Basis.assign(Rows.size(), -1);
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    if (Rels[I] == Rel::Eq)
+      continue;
+    int Col = NumCols++;
+    IsArt.push_back(0);
+    Rows[I].emplace_back(Col, Rels[I] == Rel::Le ? Rational(1) : Rational(-1));
+    if (Rels[I] == Rel::Le)
       Basis[I] = Col;
-      Artificial.push_back(Col);
+  }
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    if (Basis[I] >= 0)
+      continue;
+    int Col = NumCols++;
+    IsArt.push_back(1);
+    ArtificialCols.push_back(Col);
+    Rows[I].emplace_back(Col, Rational(1));
+    Basis[I] = Col;
+  }
+
+  ColRows.resize(NumCols);
+  for (std::size_t I = 0; I < Rows.size(); ++I)
+    for (const auto &[Col, Coef] : Rows[I]) {
+      (void)Coef;
+      ColRows[Col].push_back(static_cast<int>(I));
+    }
+  RowMark.assign(Rows.size(), 0);
+}
+
+/// Accumulates `Terms` into a sparse structural-column row (free variables
+/// split across their positive/negative columns, duplicate variables
+/// summed, exact zeros dropped).
+SimplexInstance::SparseRow
+SimplexInstance::buildRow(const std::vector<LinTerm> &Terms) const {
+  SparseRow Row;
+  Row.reserve(Terms.size() * 2);
+  for (const LinTerm &T : Terms) {
+    if (T.Coef.isZero())
+      continue;
+    Row.emplace_back(PosCol[T.Var], T.Coef);
+    if (NegCol[T.Var] >= 0)
+      Row.emplace_back(NegCol[T.Var], -T.Coef);
+  }
+  std::sort(Row.begin(), Row.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  SparseRow Out;
+  Out.reserve(Row.size());
+  for (auto &Entry : Row) {
+    if (!Out.empty() && Out.back().first == Entry.first)
+      Out.back().second += Entry.second;
+    else
+      Out.push_back(std::move(Entry));
+  }
+  Out.erase(std::remove_if(Out.begin(), Out.end(),
+                           [](const auto &E) { return E.second.isZero(); }),
+            Out.end());
+  return Out;
+}
+
+/// Installs one row into the *live* tableau.  When a feasible basis is
+/// installed, the row is first reduced against it (each basic column is a
+/// unit column, and no basic column appears in another basis row, so one
+/// pass suffices); if the current vertex satisfies the new row the basis
+/// stays primal feasible and the next solve is warm.  Otherwise the row
+/// gets an artificial and the next solve re-runs a (short, warm) phase 1.
+void SimplexInstance::appendRow(SparseRow Row, Rational Rhs, Rel R) {
+  int NewRow = static_cast<int>(Rows.size());
+
+  if (HasBasis) {
+    std::vector<int> BasisRowOf(NumCols, -1);
+    for (std::size_t I = 0; I < Rows.size(); ++I)
+      BasisRowOf[Basis[I]] = static_cast<int>(I);
+    // Collect eliminations up front: reducing by one basis row can never
+    // introduce another basic column (unit columns vanish off-row).
+    std::vector<std::pair<int, Rational>> Elims;
+    for (const auto &[Col, Coef] : Row)
+      if (BasisRowOf[Col] >= 0)
+        Elims.emplace_back(BasisRowOf[Col], Coef);
+    for (const auto &[BR, Coef] : Elims) {
+      const SparseRow &PR = Rows[BR];
+      Scratch.clear();
+      std::size_t A = 0, B = 0;
+      while (A < Row.size() || B < PR.size()) {
+        if (B == PR.size() || (A < Row.size() && Row[A].first < PR[B].first)) {
+          Scratch.push_back(std::move(Row[A++]));
+        } else if (A == Row.size() || PR[B].first < Row[A].first) {
+          Rational NV = Coef * PR[B].second;
+          NV = -NV;
+          if (!NV.isZero())
+            Scratch.emplace_back(PR[B].first, std::move(NV));
+          ++B;
+        } else {
+          Rational NV = std::move(Row[A].second);
+          NV -= Coef * PR[B].second;
+          if (!NV.isZero())
+            Scratch.emplace_back(Row[A].first, std::move(NV));
+          ++A;
+          ++B;
+        }
+      }
+      Row.swap(Scratch);
+      Rhs -= Coef * Rhss[BR];
     }
   }
 
-  /// Runs phase 1.  Returns false when the problem is infeasible.
-  bool phase1() {
-    if (Artificial.empty())
-      return true;
-    // Minimize the sum of artificials.
+  if (Rhs.sign() < 0 || (Rhs.isZero() && R == Rel::Ge)) {
+    for (auto &[Col, Coef] : Row)
+      Coef = -Coef;
+    Rhs = -Rhs;
+    R = R == Rel::Le ? Rel::Ge : R == Rel::Ge ? Rel::Le : Rel::Eq;
+  }
+
+  int BasicCol = -1;
+  if (R != Rel::Eq) {
+    int Slack = NumCols++;
+    IsArt.push_back(0);
+    ColRows.emplace_back();
+    Row.emplace_back(Slack, R == Rel::Le ? Rational(1) : Rational(-1));
+    if (R == Rel::Le)
+      BasicCol = Slack;
+  }
+  if (BasicCol < 0) {
+    int Art = NumCols++;
+    IsArt.push_back(1);
+    ColRows.emplace_back();
+    ArtificialCols.push_back(Art);
+    Row.emplace_back(Art, Rational(1));
+    BasicCol = Art;
+    // A fresh artificial at a nonzero value needs phase 1 again; basic at
+    // zero it costs nothing and the basis stays feasible.
+    if (!Rhs.isZero())
+      Phase1Done = false;
+  }
+
+  for (const auto &[Col, Coef] : Row) {
+    (void)Coef;
+    ColRows[Col].push_back(NewRow);
+  }
+  Rows.push_back(std::move(Row));
+  Rhss.push_back(std::move(Rhs));
+  Basis.push_back(BasicCol);
+  RowMark.push_back(0);
+}
+
+void SimplexInstance::addConstraint(const std::vector<LinTerm> &Terms, Rel R,
+                                    const Rational &Rhs) {
+  for (const LinTerm &T : Terms)
+    C4B_CHECK_INVARIANT(T.Var >= 0 && T.Var < NumOrig &&
+                        "constraint on unknown variable");
+  appendRow(buildRow(Terms), Rhs, R);
+}
+
+int SimplexInstance::addVar() {
+  PosCol.push_back(NumCols++);
+  NegCol.push_back(-1);
+  IsArt.push_back(0);
+  ColRows.emplace_back();
+  return NumOrig++;
+}
+
+const Rational *SimplexInstance::rowCoef(int Row, int Col) const {
+  const SparseRow &R = Rows[Row];
+  auto It = std::lower_bound(R.begin(), R.end(), Col,
+                             [](const auto &E, int C) { return E.first < C; });
+  if (It == R.end() || It->first != Col)
+    return nullptr;
+  return &It->second;
+}
+
+/// Rows[Row] -= F * PivotRow, merged sparsely; fill-in registers in the
+/// occurrence lists.
+void SimplexInstance::axpyRow(int Row, const Rational &F,
+                              const SparseRow &PivotRow) {
+  SparseRow &R = Rows[Row];
+  Scratch.clear();
+  std::size_t A = 0, B = 0;
+  while (A < R.size() || B < PivotRow.size()) {
+    if (B == PivotRow.size() ||
+        (A < R.size() && R[A].first < PivotRow[B].first)) {
+      Scratch.push_back(std::move(R[A++]));
+    } else if (A == R.size() || PivotRow[B].first < R[A].first) {
+      Rational NV = F * PivotRow[B].second;
+      NV = -NV;
+      if (!NV.isZero()) {
+        ColRows[PivotRow[B].first].push_back(Row);
+        Scratch.emplace_back(PivotRow[B].first, std::move(NV));
+      }
+      ++B;
+    } else {
+      Rational NV = std::move(R[A].second);
+      NV -= F * PivotRow[B].second;
+      if (!NV.isZero())
+        Scratch.emplace_back(R[A].first, std::move(NV));
+      ++A;
+      ++B;
+    }
+  }
+  R.swap(Scratch);
+}
+
+void SimplexInstance::pivot(int Row, int Col) {
+  const Rational *PP = rowCoef(Row, Col);
+  C4B_CHECK_INVARIANT(PP && !PP->isZero() && "pivot on zero element");
+  Rational P = *PP;
+  SparseRow &PR = Rows[Row];
+  for (auto &[C, V] : PR)
+    V /= P;
+  Rhss[Row] /= P;
+
+  // Eliminate the entering column from every other row that carries it;
+  // the occurrence list names the candidates, stale or duplicated entries
+  // are skipped via the epoch mark.
+  ++MarkEpoch;
+  RowMark[Row] = MarkEpoch;
+  std::vector<int> Candidates;
+  Candidates.swap(ColRows[Col]);
+  for (int RI : Candidates) {
+    if (RowMark[RI] == MarkEpoch)
+      continue;
+    RowMark[RI] = MarkEpoch;
+    const Rational *V = rowCoef(RI, Col);
+    if (!V)
+      continue; // Stale entry: the coefficient cancelled earlier.
+    Rational F = *V;
+    axpyRow(RI, F, PR);
+    Rhss[RI] -= F * Rhss[Row];
+  }
+  // After elimination only the pivot row holds the column.
+  ColRows[Col].assign(1, Row);
+  Basis[Row] = Col;
+  ++PivotCount;
+  ++lpThreadStats().Pivots;
+}
+
+/// Minimizes Cost over the current basic feasible solution.  Dantzig
+/// pricing with a switch to Bland's rule after a degenerate streak; both
+/// choices are strict total orders, so scan order never matters.
+Rational SimplexInstance::optimize(const std::vector<Rational> &Cost) {
+  Unbounded = false;
+  // Reduced costs: CBar = Cost - Cost_B * B^-1 A.  The correction term of
+  // each basis row touches only that row's nonzeros.
+  std::vector<Rational> CBar = Cost;
+  CBar.resize(NumCols, Rational(0));
+  Rational Obj(0);
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    const Rational &CB = Cost[Basis[I]];
+    if (CB.isZero())
+      continue;
+    for (const auto &[J, V] : Rows[I])
+      CBar[J] -= CB * V;
+    Obj += CB * Rhss[I];
+  }
+  long Trace = 0;
+  int DegenerateStreak = 0;
+  const int BlandThreshold = 40;
+  for (;;) {
+    // Cooperative governance: counts against the installed pivot budget
+    // (and its deadline) and is the simplex fault-injection site.
+    budgetOnPivot();
+    if (lpTraceEnabled() && ++Trace % 1024 == 0)
+      std::fprintf(stderr, "[lp] rows=%zu cols=%d pivots=%ld\n", Rows.size(),
+                   NumCols, Trace);
+    bool Bland = DegenerateStreak >= BlandThreshold;
+    int Enter = -1;
+    for (int J = 0; J < NumCols; ++J) {
+      if (ForbidArtificialEntry && IsArt[J])
+        continue;
+      if (CBar[J].sign() >= 0)
+        continue;
+      if (Bland) {
+        Enter = J; // Smallest index.
+        break;
+      }
+      if (Enter < 0 || CBar[J] < CBar[Enter])
+        Enter = J; // Most negative reduced cost.
+    }
+    if (Enter < 0)
+      return Obj;
+
+    // Ratio test over the rows that actually carry the entering column.
+    // The (ratio, basis-index) order is strict and total, so the winner is
+    // the row the dense full scan would pick.
+    int Leave = -1;
+    Rational BestRatio(0);
+    ++MarkEpoch;
+    std::vector<int> &Occ = ColRows[Enter];
+    std::size_t Keep = 0;
+    for (std::size_t K = 0; K < Occ.size(); ++K) {
+      int RI = Occ[K];
+      if (RowMark[RI] == MarkEpoch)
+        continue;
+      RowMark[RI] = MarkEpoch;
+      const Rational *V = rowCoef(RI, Enter);
+      if (!V)
+        continue; // Stale; drop while compacting.
+      Occ[Keep++] = RI;
+      if (V->sign() <= 0)
+        continue;
+      Rational Ratio = Rhss[RI] / *V;
+      if (Leave < 0 || Ratio < BestRatio ||
+          (Ratio == BestRatio && Basis[RI] < Basis[Leave])) {
+        Leave = RI;
+        BestRatio = Ratio;
+      }
+    }
+    Occ.resize(Keep);
+    if (Leave < 0) {
+      Unbounded = true;
+      return Obj;
+    }
+    if (BestRatio.isZero())
+      ++DegenerateStreak;
+    else
+      DegenerateStreak = 0;
+    Rational F = CBar[Enter];
+    pivot(Leave, Enter);
+    // Update reduced costs and the objective incrementally from the
+    // normalized pivot row's nonzeros.
+    for (const auto &[J, V] : Rows[Leave])
+      CBar[J] -= F * V;
+    Obj += F * Rhss[Leave];
+  }
+}
+
+bool SimplexInstance::ensureFeasible() {
+  if (Phase1Done)
+    return Feasible;
+  Phase1Done = true;
+  if (!ArtificialCols.empty()) {
+    // Minimize the sum of artificials.  Artificials already driven out (or
+    // basic at zero) contribute nothing, so re-running after a warm
+    // addConstraint only pays for the new violation.
     std::vector<Rational> Cost(NumCols, Rational(0));
-    for (int A : Artificial)
+    for (int A : ArtificialCols)
       Cost[A] = Rational(1);
     Rational Opt = optimize(Cost);
-    if (!Opt.isZero())
+    if (!Opt.isZero()) {
+      Feasible = false;
       return false;
-    // Drive remaining artificials out of the basis.
+    }
+    // Drive remaining artificials out of the basis.  The sparse row is
+    // sorted by column, so the first non-artificial nonzero matches the
+    // dense left-to-right scan.
     for (std::size_t I = 0; I < Rows.size(); ++I) {
-      if (!isArtificial(Basis[I]))
+      if (!IsArt[Basis[I]])
         continue;
       int Col = -1;
-      for (int J = 0; J < NumCols && Col < 0; ++J)
-        if (!isArtificial(J) && !Rows[I][J].isZero())
+      for (const auto &[J, V] : Rows[I]) {
+        (void)V;
+        if (!IsArt[J]) {
           Col = J;
+          break;
+        }
+      }
       if (Col >= 0) {
         pivot(static_cast<int>(I), Col);
       } else {
         // Redundant row: the artificial stays basic at value 0; harmless.
       }
     }
-    return true;
   }
+  Feasible = true;
+  HasBasis = true;
+  return true;
+}
 
-  /// Runs phase 2 with the given structural objective (minimization).
-  /// Returns Optimal or Unbounded.
-  LPStatus phase2(const std::vector<LinTerm> &Objective, Rational &OptOut) {
-    std::vector<Rational> Cost(NumCols, Rational(0));
-    for (const LinTerm &T : Objective) {
-      Cost[PosCol[T.Var]] += T.Coef;
-      if (NegCol[T.Var] >= 0)
-        Cost[NegCol[T.Var]] -= T.Coef;
-    }
-    ForbidArtificialEntry = true;
-    OptOut = optimize(Cost);
-    return Unbounded ? LPStatus::Unbounded : LPStatus::Optimal;
+std::vector<Rational> SimplexInstance::extract() const {
+  std::vector<Rational> ColVal(NumCols, Rational(0));
+  for (std::size_t I = 0; I < Rows.size(); ++I)
+    ColVal[Basis[I]] = Rhss[I];
+  std::vector<Rational> R(NumOrig, Rational(0));
+  for (int V = 0; V < NumOrig; ++V) {
+    R[V] = ColVal[PosCol[V]];
+    if (NegCol[V] >= 0)
+      R[V] -= ColVal[NegCol[V]];
   }
+  return R;
+}
 
-  /// Extracts the value of each original LPProblem variable.
-  std::vector<Rational> extract() const {
-    std::vector<Rational> ColVal(NumCols, Rational(0));
-    for (std::size_t I = 0; I < Rows.size(); ++I)
-      ColVal[Basis[I]] = Rhss[I];
-    std::vector<Rational> R(NumOrig, Rational(0));
-    for (int V = 0; V < NumOrig; ++V) {
-      R[V] = ColVal[PosCol[V]];
-      if (NegCol[V] >= 0)
-        R[V] -= ColVal[NegCol[V]];
-    }
+LPResult SimplexInstance::minimize(const std::vector<LinTerm> &Objective) {
+  LPStats &Stats = lpThreadStats();
+  ++Stats.Solves;
+  LPResult R;
+  long Pivots0 = PivotCount;
+  // Warm when a basis survives from earlier work on this instance (a
+  // previous solve, or ensureFeasible): no fresh tableau, no full phase 1.
+  if (HasBasis) {
+    ++WarmStartCount;
+    ++Stats.WarmStarts;
+    R.WarmStarted = true;
+  }
+  if (!ensureFeasible()) {
+    R.Status = LPStatus::Infeasible;
+    R.Pivots = PivotCount - Pivots0;
     return R;
   }
-
-private:
-  const LPProblem &Problem;
-  int NumOrig = 0;
-  int NumCols = 0;
-  int NumStructural = 0;
-  std::vector<int> PosCol, NegCol;
-  std::vector<std::vector<Rational>> Rows;
-  std::vector<Rational> Rhss;
-  std::vector<Rel> Relations;
-  std::vector<int> Basis;
-  std::vector<int> Artificial;
-  bool ForbidArtificialEntry = false;
-  bool Unbounded = false;
-
-  bool isArtificial(int Col) const {
-    for (int A : Artificial)
-      if (A == Col)
-        return true;
-    return false;
+  std::vector<Rational> Cost(NumCols, Rational(0));
+  for (const LinTerm &T : Objective) {
+    Cost[PosCol[T.Var]] += T.Coef;
+    if (NegCol[T.Var] >= 0)
+      Cost[NegCol[T.Var]] -= T.Coef;
   }
-
-  void pivot(int Row, int Col) {
-    Rational P = Rows[Row][Col];
-    C4B_CHECK_INVARIANT(!P.isZero() && "pivot on zero element");
-    for (Rational &X : Rows[Row])
-      X /= P;
-    Rhss[Row] /= P;
-    for (std::size_t I = 0; I < Rows.size(); ++I) {
-      if (static_cast<int>(I) == Row || Rows[I][Col].isZero())
-        continue;
-      Rational F = Rows[I][Col];
-      for (int J = 0; J < NumCols; ++J)
-        if (!Rows[Row][J].isZero())
-          Rows[I][J] -= F * Rows[Row][J];
-      Rhss[I] -= F * Rhss[Row];
-    }
-    Basis[Row] = Col;
+  ForbidArtificialEntry = true;
+  Rational Opt = optimize(Cost);
+  ForbidArtificialEntry = false;
+  R.Status = Unbounded ? LPStatus::Unbounded : LPStatus::Optimal;
+  if (R.Status == LPStatus::Optimal) {
+    R.Objective = std::move(Opt);
+    R.Values = extract();
   }
+  R.Pivots = PivotCount - Pivots0;
+  return R;
+}
 
-  /// Minimizes Cost over the current basic feasible solution.  Uses Bland's
-  /// rule throughout, which guarantees termination.
-  Rational optimize(const std::vector<Rational> &Cost) {
-    Unbounded = false;
-    // Reduced costs: CBar = Cost - Cost_B * B^-1 A, maintained explicitly.
-    std::vector<Rational> CBar = Cost;
-    Rational Obj(0);
-    for (std::size_t I = 0; I < Rows.size(); ++I) {
-      const Rational &CB = Cost[Basis[I]];
-      if (CB.isZero())
-        continue;
-      for (int J = 0; J < NumCols; ++J)
-        if (!Rows[I][J].isZero())
-          CBar[J] -= CB * Rows[I][J];
-      Obj += CB * Rhss[I];
-    }
-    long Pivots = 0;
-    // Dantzig pricing is fast in practice; after a long degenerate streak
-    // we switch to Bland's rule, which provably breaks cycles.
-    int DegenerateStreak = 0;
-    const int BlandThreshold = 40;
-    for (;;) {
-      // Cooperative governance: counts against the installed pivot budget
-      // (and its deadline) and is the simplex fault-injection site.
-      budgetOnPivot();
-      if (getenv("C4B_LP_STATS") && ++Pivots % 1000 == 0)
-        fprintf(stderr, "[lp] rows=%zu cols=%d pivots=%ld\n", Rows.size(),
-                NumCols, Pivots);
-      bool Bland = DegenerateStreak >= BlandThreshold;
-      int Enter = -1;
-      for (int J = 0; J < NumCols; ++J) {
-        if (ForbidArtificialEntry && isArtificial(J))
-          continue;
-        if (CBar[J].sign() >= 0)
-          continue;
-        if (Bland) {
-          Enter = J; // Smallest index.
-          break;
-        }
-        if (Enter < 0 || CBar[J] < CBar[Enter])
-          Enter = J; // Most negative reduced cost.
-      }
-      if (Enter < 0)
-        return Obj;
-      int Leave = -1;
-      Rational BestRatio(0);
-      for (std::size_t I = 0; I < Rows.size(); ++I) {
-        if (Rows[I][Enter].sign() <= 0)
-          continue;
-        Rational Ratio = Rhss[I] / Rows[I][Enter];
-        if (Leave < 0 || Ratio < BestRatio ||
-            (Ratio == BestRatio && Basis[I] < Basis[Leave])) {
-          Leave = static_cast<int>(I);
-          BestRatio = Ratio;
-        }
-      }
-      if (Leave < 0) {
-        Unbounded = true;
-        return Obj;
-      }
-      if (BestRatio.isZero())
-        ++DegenerateStreak;
-      else
-        DegenerateStreak = 0;
-      Rational F = CBar[Enter];
-      pivot(Leave, Enter);
-      // Update reduced costs and the objective incrementally.
-      for (int J = 0; J < NumCols; ++J)
-        if (!Rows[Leave][J].isZero())
-          CBar[J] -= F * Rows[Leave][J];
-      Obj += F * Rhss[Leave];
-    }
-  }
-};
+double SimplexInstance::density() const {
+  if (Rows.empty() || NumCols == 0)
+    return 1.0;
+  std::size_t Nonzeros = 0;
+  for (const SparseRow &R : Rows)
+    Nonzeros += R.size();
+  return static_cast<double>(Nonzeros) /
+         (static_cast<double>(Rows.size()) * NumCols);
+}
 
-} // namespace
+//===----------------------------------------------------------------------===//
+// SimplexSolver facade
+//===----------------------------------------------------------------------===//
 
 LPResult SimplexSolver::minimize(const LPProblem &P,
                                  const std::vector<LinTerm> &Objective) {
-  if (getenv("C4B_LP_STATS")) {
-    // Atomic: solves run concurrently under the pipeline BatchAnalyzer.
-    static std::atomic<long> Calls{0};
-    long N = Calls.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (N % 10000 == 0)
-      fprintf(stderr, "[lp] %ld solves (cur: %d vars, %d rows)\n", N,
-              P.numVars(), P.numConstraints());
-  }
-  Tableau T(P);
-  LPResult R;
-  if (!T.phase1()) {
-    R.Status = LPStatus::Infeasible;
-    return R;
-  }
-  Rational Opt;
-  R.Status = T.phase2(Objective, Opt);
-  if (R.Status == LPStatus::Optimal) {
-    R.Objective = Opt;
-    R.Values = T.extract();
-  }
-  return R;
+  SimplexInstance I(P);
+  return I.minimize(Objective);
 }
 
 LPResult SimplexSolver::maximize(const LPProblem &P,
@@ -308,6 +540,7 @@ LPResult SimplexSolver::maximize(const LPProblem &P,
 }
 
 bool SimplexSolver::isFeasible(const LPProblem &P) {
-  Tableau T(P);
-  return T.phase1();
+  SimplexInstance I(P);
+  ++lpThreadStats().Solves;
+  return I.ensureFeasible();
 }

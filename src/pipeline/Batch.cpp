@@ -3,6 +3,7 @@
 #include "c4b/pipeline/Batch.h"
 
 #include "c4b/check/Check.h"
+#include "c4b/lp/Solver.h"
 #include "c4b/support/Budget.h"
 #include "c4b/support/FaultInject.h"
 
@@ -29,6 +30,20 @@ public:
 private:
   double &Slot;
   std::chrono::steady_clock::time_point T0 = std::chrono::steady_clock::now();
+};
+
+/// Stamps the pivot count a stage burned on scope exit.  A job runs wholly
+/// on one worker thread, so the thread-local counter delta is exactly this
+/// stage's work; like StageTimer, a budget kill still records the pivots
+/// spent before dying.
+class PivotMeter {
+public:
+  explicit PivotMeter(long &Slot) : Slot(Slot), P0(lpThreadStats().Pivots) {}
+  ~PivotMeter() { Slot = lpThreadStats().Pivots - P0; }
+
+private:
+  long &Slot;
+  long P0;
 };
 
 /// Runs one job through the full staged pipeline.  Touches only the job
@@ -87,12 +102,14 @@ BatchItem runJob(const BatchJob &Job) {
     ConstraintSystem CS;
     {
       StageTimer T(Item.Timings.GenerateSeconds);
+      PivotMeter M(Item.Timings.GeneratePivots);
       CS = generateConstraints(*IR, Job.Metric, Job.Options);
     }
 
     SolvedSystem S;
     if (CS.StructuralOk) {
       StageTimer T(Item.Timings.SolveSeconds);
+      PivotMeter M(Item.Timings.SolvePivots);
       S = solveSystem(CS, Job.Focus);
     }
     // toAnalysisResult builds a fresh result; re-stamp the check-stage

@@ -235,6 +235,11 @@ SolvedSystem c4b::solveSystem(const ConstraintSystem &CS,
         S.Bounds.emplace(Name, std::move(*B));
     }
     S.NumEliminated = LP.numEliminated();
+    S.LpPivots = LP.totalPivots();
+    S.LpWarmStarts = LP.warmStarts();
+    S.LpRows = LP.tableauRows();
+    S.LpCols = LP.tableauCols();
+    S.LpDensity = LP.tableauDensity();
   } catch (const AbortError &E) {
     S = SolvedSystem{};
     S.Err = E.error();

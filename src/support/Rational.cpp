@@ -144,6 +144,150 @@ Rational Rational::operator/(const Rational &B) const {
   return fromBig(bigNum() * B.bigDen(), bigDen() * B.bigNum());
 }
 
+Rational &Rational::assignI128(I128 N, I128 D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  if (N == 0) {
+    SN = 0;
+    SD = 1;
+    Big.reset();
+    return *this;
+  }
+  U128 G = gcdU128(absU128(N), U128(D));
+  N /= static_cast<I128>(G);
+  D /= static_cast<I128>(G);
+  if (fitsI64(N) && fitsI64(D)) {
+    SN = static_cast<std::int64_t>(N);
+    SD = static_cast<std::int64_t>(D);
+    Big.reset();
+    return *this;
+  }
+  return assignBig(bigFromI128(N), bigFromI128(D));
+}
+
+Rational &Rational::assignBig(BigInt N, BigInt D) {
+  assert(!D.isZero() && "rational with zero denominator");
+  if (D.isNegative()) {
+    N = -N;
+    D = -D;
+  }
+  if (N.isZero()) {
+    SN = 0;
+    SD = 1;
+    Big.reset();
+    return *this;
+  }
+  BigInt G = BigInt::gcd(N, D);
+  if (!G.isOne()) {
+    N /= G;
+    D /= G;
+  }
+  bool OkN = false, OkD = false;
+  std::int64_t SN64 = N.toInt64(OkN);
+  std::int64_t SD64 = D.toInt64(OkD);
+  if (OkN && OkD) {
+    SN = SN64;
+    SD = SD64;
+    Big.reset();
+    return *this;
+  }
+  if (Big && Big.use_count() == 1) {
+    // Sole owner: the pointee was allocated non-const, so dropping the
+    // const qualifier to reuse the allocation is well-defined.
+    auto *Rep = const_cast<BigRep *>(Big.get());
+    Rep->Num = std::move(N);
+    Rep->Den = std::move(D);
+    return *this;
+  }
+  auto Rep = std::make_shared<BigRep>();
+  Rep->Num = std::move(N);
+  Rep->Den = std::move(D);
+  Big = std::move(Rep);
+  return *this;
+}
+
+Rational &Rational::operator+=(const Rational &B) {
+  if (!Big && !B.Big) {
+    if (SD == 1 && B.SD == 1) { // Integer + integer: no gcd needed.
+      I128 S = I128(SN) + B.SN;
+      if (fitsI64(S)) {
+        SN = static_cast<std::int64_t>(S);
+        return *this;
+      }
+      return assignI128(S, 1);
+    }
+    return assignI128(I128(SN) * B.SD + I128(B.SN) * SD, I128(SD) * B.SD);
+  }
+  return assignBig(bigNum() * B.bigDen() + B.bigNum() * bigDen(),
+                   bigDen() * B.bigDen());
+}
+
+Rational &Rational::operator-=(const Rational &B) {
+  if (!Big && !B.Big) {
+    if (SD == 1 && B.SD == 1) {
+      I128 S = I128(SN) - B.SN;
+      if (fitsI64(S)) {
+        SN = static_cast<std::int64_t>(S);
+        return *this;
+      }
+      return assignI128(S, 1);
+    }
+    return assignI128(I128(SN) * B.SD - I128(B.SN) * SD, I128(SD) * B.SD);
+  }
+  return assignBig(bigNum() * B.bigDen() - B.bigNum() * bigDen(),
+                   bigDen() * B.bigDen());
+}
+
+Rational &Rational::operator*=(const Rational &B) {
+  if (!Big && !B.Big) {
+    if (SN == 0 || B.SN == 0) {
+      SN = 0;
+      SD = 1;
+      return *this;
+    }
+    // Cross-reduce first: gcd(|a|,d) and gcd(|c|,b) leave a product that
+    // is already in lowest terms, so no post-multiplication gcd runs.
+    U128 G1 = gcdU128(absU128(SN), U128(B.SD));
+    U128 G2 = gcdU128(absU128(B.SN), U128(SD));
+    I128 N = (SN / static_cast<I128>(G1)) * (B.SN / static_cast<I128>(G2));
+    I128 D = (SD / static_cast<I128>(G2)) * (B.SD / static_cast<I128>(G1));
+    if (fitsI64(N) && fitsI64(D)) {
+      SN = static_cast<std::int64_t>(N);
+      SD = static_cast<std::int64_t>(D);
+      return *this;
+    }
+    return assignBig(bigFromI128(N), bigFromI128(D));
+  }
+  return assignBig(bigNum() * B.bigNum(), bigDen() * B.bigDen());
+}
+
+Rational &Rational::operator/=(const Rational &B) {
+  assert(!B.isZero() && "rational division by zero");
+  if (!Big && !B.Big) {
+    if (SN == 0)
+      return *this;
+    // Cross-reduce as in *=: gcd(|a|,|c|) and gcd(b,d).
+    U128 G1 = gcdU128(absU128(SN), absU128(B.SN));
+    U128 G2 = gcdU128(U128(SD), U128(B.SD));
+    I128 N = (SN / static_cast<I128>(G1)) * (B.SD / static_cast<I128>(G2));
+    I128 D = (SD / static_cast<I128>(G2)) * (B.SN / static_cast<I128>(G1));
+    if (D < 0) {
+      N = -N;
+      D = -D;
+    }
+    if (fitsI64(N) && fitsI64(D)) {
+      SN = static_cast<std::int64_t>(N);
+      SD = static_cast<std::int64_t>(D);
+      return *this;
+    }
+    return assignBig(bigFromI128(N), bigFromI128(D));
+  }
+  return assignBig(bigNum() * B.bigDen(), bigDen() * B.bigNum());
+}
+
 int Rational::compare(const Rational &B) const {
   if (!Big && !B.Big) {
     I128 L = I128(SN) * B.SD;

@@ -1,0 +1,241 @@
+//===--- lp_differential_test.cpp - Sparse vs dense simplex ---------------===//
+//
+// Differential tests pinning the sparse production simplex (Solver.cpp) to
+// the retained dense oracle (ReferenceSolver.cpp).  Both implement the
+// same pivot rules, so on every input they must agree *exactly*: status,
+// objective, and the extracted solution vector, bit for bit.  On top of
+// that, golden pivot counts for a few corpus rows catch silent pivot-rule
+// drift, and the warm-start contract of SimplexInstance is locked in.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/corpus/Corpus.h"
+#include "c4b/lp/Presolve.h"
+#include "c4b/lp/ReferenceSolver.h"
+#include "c4b/lp/Solver.h"
+#include "c4b/pipeline/Pipeline.h"
+#include "c4b/sem/Metric.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace c4b;
+
+namespace {
+
+/// A randomly generated LP plus the objective to minimize.
+struct RandomLP {
+  LPProblem P;
+  std::vector<LinTerm> Obj;
+};
+
+std::string describe(const RandomLP &L) {
+  std::ostringstream OS;
+  OS << L.P.numVars() << " vars, " << L.P.numConstraints() << " rows; min";
+  for (const LinTerm &T : L.Obj)
+    OS << " + " << T.Coef.toString() << "*x" << T.Var;
+  for (const LinConstraint &C : L.P.constraints()) {
+    OS << " ; ";
+    for (const LinTerm &T : C.Terms)
+      OS << "+ " << T.Coef.toString() << "*x" << T.Var << " ";
+    OS << (C.R == Rel::Le ? "<=" : C.R == Rel::Ge ? ">=" : "==") << " "
+       << C.Rhs.toString();
+  }
+  return OS.str();
+}
+
+RandomLP makeRandom(std::mt19937 &Rng) {
+  auto Pick = [&](int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+  };
+  RandomLP L;
+  int NumVars = Pick(1, 6);
+  for (int V = 0; V < NumVars; ++V) {
+    if (Pick(0, 4) == 0)
+      L.P.addFreeVar();
+    else
+      L.P.addVar();
+  }
+  int NumRows = Pick(0, 8);
+  for (int I = 0; I < NumRows; ++I) {
+    std::vector<LinTerm> Terms;
+    int NumTerms = Pick(1, std::min(4, NumVars));
+    for (int T = 0; T < NumTerms; ++T) {
+      int Num = Pick(-3, 3);
+      Terms.push_back({Pick(0, NumVars - 1), Rational(Num, Pick(1, 3))});
+    }
+    Rel R = Pick(0, 3) == 0 ? Rel::Eq : Pick(0, 1) ? Rel::Le : Rel::Ge;
+    L.P.addConstraint(std::move(Terms), R, Rational(Pick(-4, 4), Pick(1, 2)));
+  }
+  int ObjTerms = Pick(1, NumVars);
+  for (int T = 0; T < ObjTerms; ++T)
+    L.Obj.push_back({Pick(0, NumVars - 1), Rational(Pick(-3, 3), Pick(1, 2))});
+  return L;
+}
+
+/// Sparse and dense must agree exactly — status, objective, and every
+/// extracted value — over a large randomized family.
+TEST(LpDifferential, RandomizedMinimizeMatchesDenseOracle) {
+  std::mt19937 Rng(0xc4b0001);
+  SimplexSolver Sparse;
+  for (int Case = 0; Case < 600; ++Case) {
+    RandomLP L = makeRandom(Rng);
+    LPResult A = Sparse.minimize(L.P, L.Obj);
+    LPResult B = lpref::denseMinimize(L.P, L.Obj);
+    ASSERT_EQ(static_cast<int>(A.Status), static_cast<int>(B.Status))
+        << "case " << Case << ": " << describe(L);
+    if (A.Status != LPStatus::Optimal)
+      continue;
+    ASSERT_TRUE(A.Objective == B.Objective)
+        << "case " << Case << ": sparse " << A.Objective.toString()
+        << " dense " << B.Objective.toString() << "\n"
+        << describe(L);
+    ASSERT_EQ(A.Values.size(), B.Values.size());
+    for (std::size_t V = 0; V < A.Values.size(); ++V)
+      ASSERT_TRUE(A.Values[V] == B.Values[V])
+          << "case " << Case << " x" << V << ": sparse "
+          << A.Values[V].toString() << " dense " << B.Values[V].toString()
+          << "\n"
+          << describe(L);
+  }
+}
+
+TEST(LpDifferential, RandomizedFeasibilityMatchesDenseOracle) {
+  std::mt19937 Rng(0xc4b0002);
+  SimplexSolver Sparse;
+  for (int Case = 0; Case < 300; ++Case) {
+    RandomLP L = makeRandom(Rng);
+    EXPECT_EQ(Sparse.isFeasible(L.P), lpref::denseIsFeasible(L.P))
+        << "case " << Case << ": " << describe(L);
+  }
+}
+
+TEST(LpDifferential, RandomizedMaximizeMatchesDenseOracle) {
+  std::mt19937 Rng(0xc4b0003);
+  SimplexSolver Sparse;
+  for (int Case = 0; Case < 300; ++Case) {
+    RandomLP L = makeRandom(Rng);
+    LPResult A = Sparse.maximize(L.P, L.Obj);
+    LPResult B = lpref::denseMaximize(L.P, L.Obj);
+    ASSERT_EQ(static_cast<int>(A.Status), static_cast<int>(B.Status))
+        << "case " << Case << ": " << describe(L);
+    if (A.Status == LPStatus::Optimal)
+      ASSERT_TRUE(A.Objective == B.Objective)
+          << "case " << Case << ": " << describe(L);
+  }
+}
+
+/// Warm re-optimization after pinning the stage-1 optimum must reach the
+/// same stage-2 objective value as a cold solve of the pinned system (the
+/// optimal *value* is unique even when the optimal vertex is not).
+TEST(LpDifferential, WarmPinnedReoptimizationMatchesColdObjective) {
+  std::mt19937 Rng(0xc4b0004);
+  for (int Case = 0; Case < 200; ++Case) {
+    RandomLP L = makeRandom(Rng);
+    std::vector<LinTerm> Obj2;
+    int NumVars = L.P.numVars();
+    for (int T = 0; T < std::min(3, NumVars); ++T) {
+      int Num = std::uniform_int_distribution<int>(-2, 2)(Rng);
+      Obj2.push_back(
+          {std::uniform_int_distribution<int>(0, NumVars - 1)(Rng),
+           Rational(Num)});
+    }
+
+    SimplexInstance Warm(L.P);
+    LPResult S1 = Warm.minimize(L.Obj);
+    if (S1.Status != LPStatus::Optimal)
+      continue;
+    Warm.addConstraint(L.Obj, Rel::Le, S1.Objective);
+    LPResult S2 = Warm.minimize(Obj2);
+    EXPECT_TRUE(S2.WarmStarted) << "case " << Case;
+
+    LPProblem Cold = L.P;
+    std::vector<LinTerm> Pin = L.Obj;
+    Cold.addConstraint(Pin, Rel::Le, S1.Objective);
+    LPResult C2 = SimplexSolver().minimize(Cold, Obj2);
+    ASSERT_EQ(static_cast<int>(S2.Status), static_cast<int>(C2.Status))
+        << "case " << Case << ": " << describe(L);
+    if (S2.Status == LPStatus::Optimal)
+      ASSERT_TRUE(S2.Objective == C2.Objective)
+          << "case " << Case << ": warm " << S2.Objective.toString()
+          << " cold " << C2.Objective.toString() << "\n"
+          << describe(L);
+  }
+}
+
+/// The stage-1 optimum pin is satisfied with equality at the stage-1
+/// vertex, so adding it must keep the basis feasible: the stage-2 solve
+/// reports a warm start and pays no second phase 1.
+TEST(LpDifferential, TwoStageSolveReusesStageOneBasis) {
+  LPProblem P;
+  int X = P.addVar("x"), Y = P.addVar("y");
+  P.addConstraint({{X, Rational(1)}, {Y, Rational(1)}}, Rel::Ge, Rational(4));
+  P.addConstraint({{X, Rational(1)}}, Rel::Le, Rational(10));
+  P.addConstraint({{Y, Rational(1)}}, Rel::Le, Rational(10));
+
+  SimplexInstance I(P);
+  std::vector<LinTerm> Obj1 = {{X, Rational(1)}, {Y, Rational(1)}};
+  LPResult S1 = I.minimize(Obj1);
+  ASSERT_TRUE(S1.isOptimal());
+  EXPECT_TRUE(S1.Objective == Rational(4));
+  EXPECT_FALSE(S1.WarmStarted);
+
+  I.addConstraint(Obj1, Rel::Le, S1.Objective);
+  std::vector<LinTerm> Obj2 = {{X, Rational(1)}};
+  LPResult S2 = I.minimize(Obj2);
+  ASSERT_TRUE(S2.isOptimal());
+  EXPECT_TRUE(S2.WarmStarted);
+  EXPECT_GE(I.warmStarts(), 1);
+  EXPECT_TRUE(S2.Objective == Rational(0));
+  EXPECT_TRUE(S2.Values[X] == Rational(0));
+  EXPECT_TRUE(S2.Values[Y] == Rational(4));
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus golden pivot counts
+//===----------------------------------------------------------------------===//
+
+SolvedSystem solveCorpusEntry(const char *Name) {
+  const CorpusEntry *E = findEntry(Name);
+  EXPECT_NE(E, nullptr) << Name;
+  LoweredModule L = frontend(E->Source, E->Name);
+  EXPECT_TRUE(L.ok()) << Name;
+  ConstraintSystem CS = generateConstraints(*L.IR, ResourceMetric::ticks(), {});
+  return solveSystem(CS, E->Function);
+}
+
+/// Exact pivot counts for a few corpus rows.  These are golden values: a
+/// change means the pivot trajectory changed (pricing, tie-breaks, warm
+/// start, or presolve), which silently breaks bit-compatibility with the
+/// committed bounds.  Update only together with a full golden-bounds run.
+TEST(LpGoldenPivots, CorpusRowsPivotExactly) {
+  struct GoldenRow {
+    const char *Name;
+    long Pivots;
+  };
+  const GoldenRow Rows[] = {
+      {"t08a", 17},
+      {"t13", 35},
+      {"t27", 171},
+      {"t39", 33},
+  };
+  for (const GoldenRow &R : Rows) {
+    SolvedSystem S = solveCorpusEntry(R.Name);
+    ASSERT_TRUE(S.ok()) << R.Name;
+    EXPECT_EQ(S.LpPivots, R.Pivots) << R.Name;
+  }
+}
+
+/// The production two-stage lexicographic solve must observably warm-start
+/// its stage-2 re-optimization.
+TEST(LpGoldenPivots, CorpusTwoStageSolvesWarmStart) {
+  for (const char *Name : {"t08a", "t27"}) {
+    SolvedSystem S = solveCorpusEntry(Name);
+    ASSERT_TRUE(S.ok()) << Name;
+    EXPECT_GE(S.LpWarmStarts, 1) << Name;
+  }
+}
+
+} // namespace
