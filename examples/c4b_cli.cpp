@@ -14,11 +14,17 @@
 //     --lint                                      run the dataflow lints
 //     --no-verify-ir                              skip the IR verifier
 //     --seed-intervals                            interval facts seed the LP
-//     --diag-json FILE                            diagnostics as JSON
+//     --diag-json FILE                            diagnostics + cache counters
+//                                                 as JSON
 //     --timeout-ms N                              wall-clock analysis deadline
 //     --max-pivots N                              simplex pivot budget
 //     --fallback-ranking                          degrade to the baseline on
 //                                                 budget exhaustion
+//     --no-cache                                  disable the query-avoidance
+//                                                 layer (tiers 1-3); results
+//                                                 are identical, just slower
+//     --cache-dir DIR                             cross-run result cache in
+//                                                 DIR (created if missing)
 //
 // Exit codes are typed: 0 success, 1 analysis failed (no bound), 2 usage,
 // then one code per AnalysisError kind (see c4b/support/Error.h): 10 parse
@@ -55,7 +61,16 @@ int usage() {
       "           [--lint] [--no-verify-ir] [--seed-intervals]\n"
       "           [--diag-json FILE]\n"
       "           [--timeout-ms N] [--max-pivots N] [--fallback-ranking]\n"
+      "           [--no-cache] [--cache-dir DIR]\n"
       "           (FILE.c4b | --name CORPUS_ENTRY | --list)\n"
+      "\n"
+      "caching:\n"
+      "  --no-cache          disable the query-avoidance layer (syntactic\n"
+      "                      fast paths, memoized queries, cross-run cache);\n"
+      "                      bounds are identical either way\n"
+      "  --cache-dir DIR     keep a content-addressed result cache in DIR;\n"
+      "                      an unchanged program re-run from it skips the\n"
+      "                      analysis entirely\n"
       "\n"
       "resource governance:\n"
       "  --timeout-ms N      abort the analysis after N milliseconds\n"
@@ -93,7 +108,8 @@ int main(int Argc, char **Argv) {
   bool VerifyIR = true, Lint = false;
   const char *CertOut = nullptr, *CertIn = nullptr;
   const char *InputFile = nullptr, *CorpusName = nullptr;
-  const char *DiagJson = nullptr;
+  const char *DiagJson = nullptr, *CacheDir = nullptr;
+  bool NoCache = false;
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -144,6 +160,11 @@ int main(int Argc, char **Argv) {
       Opts.Budget.MaxPivots = std::atol(V);
     } else if (!std::strcmp(A, "--fallback-ranking")) {
       Opts.FallbackToRanking = true;
+    } else if (!std::strcmp(A, "--no-cache")) {
+      NoCache = true;
+    } else if (!std::strcmp(A, "--cache-dir")) {
+      if (!needArg(CacheDir))
+        return usage();
     } else if (!std::strcmp(A, "--help")) {
       usage();
       return 0;
@@ -196,7 +217,18 @@ int main(int Argc, char **Argv) {
     return usage();
   }
 
-  auto writeDiagJson = [&](const DiagnosticEngine &Diags) {
+  // --no-cache turns the whole query-avoidance layer off: the tier-1/2
+  // fast paths inside the derivation walk and the cross-run result cache.
+  if (NoCache)
+    Opts.QueryAvoidance = false;
+  std::shared_ptr<AnalysisCache> Cache;
+  if (CacheDir && !NoCache)
+    Cache = std::make_shared<AnalysisCache>(CacheDir);
+
+  // The JSON report: the diagnostics array plus the caching counters of
+  // the run (all zero until the analysis itself has run).
+  auto writeDiagJson = [&](const DiagnosticEngine &Diags,
+                           const AnalysisResult *R) {
     if (!DiagJson)
       return true;
     std::ofstream Out(DiagJson);
@@ -204,7 +236,30 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "cannot write '%s'\n", DiagJson);
       return false;
     }
-    Out << Diags.toJson();
+    Out << "{\n  \"diagnostics\": " << Diags.toJson() << ",\n";
+    Out << "  \"cache\": {\n";
+    Out << "    \"enabled\": " << (Opts.QueryAvoidance ? "true" : "false")
+        << ",\n";
+    Out << "    \"queries\": " << (R ? R->NumCtxQueries : 0) << ",\n";
+    Out << "    \"tier1_hits\": " << (R ? R->NumCtxTier1Hits : 0) << ",\n";
+    Out << "    \"tier2_hits\": " << (R ? R->NumCtxTier2Hits : 0) << ",\n";
+    Out << "    \"lp_fallbacks\": " << (R ? R->NumCtxLpFallbacks : 0)
+        << ",\n";
+    Out << "    \"from_cache\": "
+        << (R && R->FromCache ? "true" : "false");
+    if (Cache) {
+      CacheStats CS = Cache->stats();
+      Out << ",\n    \"tier3\": {\n";
+      Out << "      \"lookups\": " << CS.Lookups << ",\n";
+      Out << "      \"hits\": " << CS.Hits << ",\n";
+      Out << "      \"disk_hits\": " << CS.DiskHits << ",\n";
+      Out << "      \"misses\": " << CS.Misses << ",\n";
+      Out << "      \"stores\": " << CS.Stores << ",\n";
+      Out << "      \"corrupt_entries\": " << CS.CorruptEntries << ",\n";
+      Out << "      \"verify_rejects\": " << CS.VerifyRejects << "\n";
+      Out << "    }";
+    }
+    Out << "\n  }\n}\n";
     return true;
   };
 
@@ -212,13 +267,13 @@ int main(int Argc, char **Argv) {
   auto Ast = parseString(Source, Diags);
   if (!Ast) {
     std::fprintf(stderr, "%s", Diags.toString().c_str());
-    writeDiagJson(Diags);
+    writeDiagJson(Diags, nullptr);
     return exitCodeFor(AnalysisErrorKind::ParseError);
   }
   std::optional<IRProgram> IR = lowerProgram(*Ast, Diags);
   if (!IR) {
     std::fprintf(stderr, "%s", Diags.toString().c_str());
-    writeDiagJson(Diags);
+    writeDiagJson(Diags, nullptr);
     return exitCodeFor(AnalysisErrorKind::MalformedIR);
   }
   if (DumpIR)
@@ -231,7 +286,7 @@ int main(int Argc, char **Argv) {
   check::Report CheckRep = check::runChecks(*IR, CheckOpts);
   std::fprintf(stderr, "%s", CheckRep.Diags.toString().c_str());
   Diags.take(std::move(CheckRep.Diags));
-  if (!writeDiagJson(Diags))
+  if (!writeDiagJson(Diags, nullptr))
     return 2;
   if (!CheckRep.Verified) {
     std::fprintf(stderr, "IR verification failed; refusing to analyze\n");
@@ -256,13 +311,29 @@ int main(int Argc, char **Argv) {
 
   AnalysisResult R;
   try {
-    R = analyzeProgram(*IR, *M, Opts);
+    std::optional<std::uint64_t> CacheKey;
+    if (Cache) {
+      CacheKey = moduleCacheKey(*IR, *M, Opts, "").Hash;
+      if (std::optional<CacheEntry> E = Cache->lookup(*CacheKey)) {
+        R = resultFromEntry(*E);
+        std::fprintf(stderr, "; result served from cache %s\n",
+                     Cache->dir().c_str());
+      }
+    }
+    if (!R.FromCache) {
+      R = analyzeProgram(*IR, *M, Opts);
+      if (CacheKey && cacheableResult(R))
+        Cache->store(*CacheKey, entryFromResult(R));
+    }
   } catch (const AbortError &E) {
     // Belt and braces: the library converts aborts at stage boundaries,
     // but nothing typed must ever escape the tool as a crash.
     std::fprintf(stderr, "analysis aborted: %s\n", E.what());
     return exitCodeFor(E.error().Kind);
   }
+  // Re-write the JSON report now that the run's caching counters exist.
+  if (!writeDiagJson(Diags, &R))
+    return 2;
   if (!R.Success) {
     std::fprintf(stderr, "no bound: %s\n", R.Error.c_str());
     return exitCodeFor(R.ErrorKind);
@@ -281,6 +352,10 @@ int main(int Argc, char **Argv) {
                "time=%.3fs\n",
                MetricName.c_str(), R.NumVars, R.NumConstraints,
                R.NumEliminated, R.AnalysisSeconds);
+  std::fprintf(stderr,
+               "; ctx-queries=%ld tier1=%ld tier2=%ld lp-fallbacks=%ld%s\n",
+               R.NumCtxQueries, R.NumCtxTier1Hits, R.NumCtxTier2Hits,
+               R.NumCtxLpFallbacks, R.FromCache ? " (cached)" : "");
 
   if (RunBaseline)
     for (const IRFunction &F : IR->Functions) {

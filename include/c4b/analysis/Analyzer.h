@@ -63,6 +63,18 @@ struct AnalysisResult {
   int NumCallInstantiations = 0;
   double AnalysisSeconds = 0.0;
 
+  // Query-avoidance statistics of the derivation walk (see
+  // c4b/logic/Context.h): total context queries and how each tier
+  // answered them.  All zero for a result served from the cross-run
+  // cache, which skips the walk entirely.
+  long NumCtxQueries = 0;
+  long NumCtxTier1Hits = 0;
+  long NumCtxTier2Hits = 0;
+  long NumCtxLpFallbacks = 0;
+  /// True when this result was served from the cross-run analysis cache
+  /// (tier 3) instead of a fresh generate+solve.
+  bool FromCache = false;
+
   // Check stage (see c4b/check/Check.h).  IRVerified stays true when the
   // verifier did not run (release default); NumLintWarnings is nonzero
   // only when linting was requested.

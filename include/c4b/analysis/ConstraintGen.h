@@ -76,6 +76,13 @@ struct AnalysisOptions {
   /// ranking-function baseline and report the (unverified) bound as a
   /// degraded result instead of a hard failure.
   bool FallbackToRanking = false;
+  /// Enable the LogicContext query-avoidance layer (syntactic fast paths
+  /// + memoized queries) during the derivation walk.  Both tiers are
+  /// exact, so results are bit-identical either way; off exists for
+  /// differential tests and benchmarks.  Never serialized into
+  /// certificates or cache keys: it changes how fast an answer is
+  /// produced, never which answer.
+  bool QueryAvoidance = true;
   /// Resource limits enforced cooperatively throughout the analysis.  The
   /// default (all zero) disables every check, reproducing ungoverned runs
   /// bit-for-bit.  Never serialized into certificates: a budget changes

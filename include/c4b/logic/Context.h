@@ -28,6 +28,7 @@
 #include "c4b/support/Rational.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -35,6 +36,44 @@
 #include <vector>
 
 namespace c4b {
+
+/// Per-thread counters of the query-avoidance layer: every entailment /
+/// bound / feasibility query a LogicContext answers is attributed to one
+/// of the buckets.  Like lpThreadStats, nothing ever resets them; stages
+/// snapshot-and-subtract.
+struct QueryStats {
+  long Queries = 0;    ///< total context queries issued
+  long Tier1Hits = 0;  ///< answered syntactically (no LP, no memo)
+  long Tier2Hits = 0;  ///< answered from the memoized-query cache
+  long LpFallbacks = 0; ///< fell through to an exact LP solve
+};
+
+/// The calling thread's running query counters.
+QueryStats &queryThreadStats();
+
+/// RAII switch for the query-avoidance layer on this thread (default on).
+/// Both tiers are exact — answers are identical with the layer off — so
+/// the switch exists only for differential tests and benchmarks.
+class QueryAvoidanceScope {
+public:
+  explicit QueryAvoidanceScope(bool Enabled);
+  ~QueryAvoidanceScope();
+  QueryAvoidanceScope(const QueryAvoidanceScope &) = delete;
+  QueryAvoidanceScope &operator=(const QueryAvoidanceScope &) = delete;
+
+private:
+  bool Prev;
+};
+
+/// True when the query-avoidance layer is enabled on this thread.
+bool queryAvoidanceEnabled();
+
+/// Clears this thread's memoized-query tables (tier 2).  The derivation
+/// walk calls this on entry so memo hits are a pure function of one walk:
+/// reuse never crosses an analysis boundary, keeping pivot spend — and
+/// therefore budget kill points — independent of what ran earlier on the
+/// worker thread (the batch analyzer's schedule-determinism contract).
+void clearQueryMemo();
 
 /// A linear fact `sum Coeffs[v]*v + Const <= 0` (or `== 0`).
 struct LinFact {
@@ -126,6 +165,22 @@ private:
   // Lazily computed feasibility cache (mutable: isBottom is logically const).
   mutable bool FeasChecked = false;
   mutable bool FeasResult = true;
+
+  /// Lazily built syntactic index over the (canonicalized) facts: the
+  /// tier-1 fast paths and the tier-2 content stamp both read it.  Built
+  /// at most once per version; copies share it (same facts by contract).
+  struct QueryIndex;
+  mutable std::shared_ptr<const QueryIndex> Index;
+
+  const QueryIndex &index() const;
+  /// Fast-path answers: the outer optional is "no fast answer, run the
+  /// exact path"; the inner value is exactly what the LP would return.
+  std::optional<std::optional<Rational>> fastMax(const AffineQ &Obj) const;
+  std::optional<std::pair<std::optional<Rational>, std::optional<Rational>>>
+  fastRange(const AffineQ &Obj) const;
+  std::optional<Rational> maxOfLp(const AffineQ &Obj) const;
+  std::pair<std::optional<Rational>, std::optional<Rational>>
+  rangeOfLp(const AffineQ &Obj) const;
 
   void invalidate();
   void pruneTrivial();

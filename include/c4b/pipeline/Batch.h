@@ -54,6 +54,13 @@ struct StageTimings {
   long GeneratePivots = 0;      ///< pivots in context entail/bound queries
   long SolvePivots = 0;         ///< pivots in the main (two-stage) solve
 
+  // Query-avoidance counters of the generate stage (see QueryStats):
+  // every context query of the walk, bucketed by how it was answered.
+  long GenQueries = 0;
+  long GenTier1Hits = 0;
+  long GenTier2Hits = 0;
+  long GenLpFallbacks = 0;
+
   double totalSeconds() const {
     return FrontendSeconds + CheckSeconds + GenerateSeconds + SolveSeconds;
   }
@@ -64,6 +71,10 @@ struct StageTimings {
     SolveSeconds += O.SolveSeconds;
     GeneratePivots += O.GeneratePivots;
     SolvePivots += O.SolvePivots;
+    GenQueries += O.GenQueries;
+    GenTier1Hits += O.GenTier1Hits;
+    GenTier2Hits += O.GenTier2Hits;
+    GenLpFallbacks += O.GenLpFallbacks;
     return *this;
   }
 };
@@ -76,6 +87,10 @@ struct BatchItem {
   /// Rendered check-stage diagnostics (verifier errors, lint warnings);
   /// empty when the stage was off or silent.
   std::string CheckDiags;
+  /// True when this job's fresh result was stored into the cross-run
+  /// cache (Result.FromCache marks the opposite direction: served from
+  /// it).
+  bool StoredToCache = false;
 };
 
 /// Aggregate statistics of the last run.
@@ -93,6 +108,11 @@ struct BatchStats {
   int NumLpBudget = 0;
   /// Jobs that were re-run after a first failure (retry knob).
   int NumRetried = 0;
+  /// Jobs served from the cross-run analysis cache (tier 3); they skip
+  /// the generate and solve stages entirely.
+  int NumCacheHits = 0;
+  /// Jobs whose fresh result was stored into the cache.
+  int NumCacheStores = 0;
   /// End-to-end wall time of the run (not the sum of per-job times).
   double WallSeconds = 0;
   /// Per-stage times summed over all jobs (CPU-side cost of each stage).

@@ -1,0 +1,157 @@
+//===--- Cache.h - Content-addressed cross-run result cache -----*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tier 3 of the query-avoidance layer: a content-addressed cache of
+/// whole-analysis outcomes.  Entries are keyed on a stable hash of the
+/// lowered module IR plus everything else that pins down the derivation
+/// and the solve (metric constants, analysis options, focus function), so
+/// a re-run of an unchanged module skips the generate and solve stages
+/// entirely and replays the stored bounds + certificate values.
+///
+/// The cache stores only deterministic outcomes: certified successes and
+/// the NoLinearBound verdicts (structural blowout, LP infeasibility) that
+/// any run of the same content reproduces.  Budget kills, deadlines, and
+/// injected faults are run-specific and are never cached.  Soundness is never delegated to
+/// the cache: every entry carries the full certificate values, an
+/// integrity checksum guards the on-disk form (a corrupted entry is
+/// treated as a miss and the module is re-analyzed), and callers can
+/// re-validate a hit against a freshly materialized constraint system
+/// (PipelineOptions::VerifyCachedCerts, or checkCertificate directly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_PIPELINE_CACHE_H
+#define C4B_PIPELINE_CACHE_H
+
+#include "c4b/analysis/Analyzer.h"
+#include "c4b/ir/IR.h"
+#include "c4b/sem/Metric.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace c4b {
+
+/// FNV-1a over \p S, continuing from \p Seed.  Stable across platforms
+/// and runs (the on-disk cache depends on that).
+std::uint64_t stableHash64(std::string_view S,
+                           std::uint64_t Seed = 1469598103934665603ull);
+
+/// The content address of one analysis: the module hash keys the cache;
+/// the per-function hashes let callers (and tests) pinpoint which
+/// function's change invalidated an entry.
+struct ModuleKey {
+  std::uint64_t Hash = 0;
+  std::map<std::string, std::uint64_t> FunctionKeys;
+};
+
+/// Hashes the lowered IR (via its canonical printer) together with the
+/// metric constants, the result-relevant analysis options, and the focus
+/// function.  Budget limits, the ranking fallback, and the
+/// query-avoidance switch are deliberately excluded: they change whether
+/// or how fast an answer is produced, never which answer.
+ModuleKey moduleCacheKey(const IRProgram &P, const ResourceMetric &M,
+                         const AnalysisOptions &O, const std::string &Focus);
+
+/// One cached analysis outcome.
+struct CacheEntry {
+  /// True for a certified success; false for a deterministic failure
+  /// (Error then carries the reason and Kind the typed verdict).
+  bool Ok = false;
+  AnalysisErrorKind Kind = AnalysisErrorKind::None;
+  std::string Error;
+  /// The certificate: the full rational solution of the constraint
+  /// system, plus the bounds it certifies.
+  std::vector<Rational> Values;
+  std::map<std::string, Bound> Bounds;
+  // Statistics of the original run, replayed into the served result so a
+  // cached AnalysisResult is bit-identical to a fresh one.
+  int NumVars = 0;
+  int NumConstraints = 0;
+  int NumEliminated = 0;
+  int NumWeakenPoints = 0;
+  int NumCallInstantiations = 0;
+
+  /// Line-oriented text form with a trailing integrity checksum.
+  std::string serialize(std::uint64_t Key) const;
+  /// Parses and integrity-checks; nullopt on any mismatch (including a
+  /// key that differs from \p Key — a renamed or cross-linked file).
+  static std::optional<CacheEntry> deserialize(const std::string &Text,
+                                               std::uint64_t Key);
+};
+
+/// True when \p R is a deterministic outcome the cache may store.
+bool cacheableResult(const AnalysisResult &R);
+/// Packs a cacheable result into an entry.
+CacheEntry entryFromResult(const AnalysisResult &R);
+/// Unpacks an entry into the result a fresh generate+solve would have
+/// produced (FromCache set; timings and check-stage fields are the
+/// caller's to stamp).
+AnalysisResult resultFromEntry(const CacheEntry &E);
+
+/// Re-validates a cached success against a freshly materialized
+/// constraint system: re-walks the IR under the same metric/options,
+/// evaluates every recorded constraint at the cached values, checks
+/// coefficient non-negativity, and that the cached bounds equal the entry
+/// potentials.  This is the validator's check, run without the LP; it
+/// costs one derivation walk.
+bool verifyCacheEntry(const IRProgram &P, const ResourceMetric &M,
+                      const AnalysisOptions &O, const CacheEntry &E);
+
+/// Counters of one AnalysisCache (snapshot under the cache's lock).
+struct CacheStats {
+  long Lookups = 0;
+  long Hits = 0;       ///< served (memory + disk)
+  long DiskHits = 0;   ///< of Hits, loaded from the backing store
+  long Misses = 0;
+  long Stores = 0;
+  long CorruptEntries = 0; ///< disk entries that failed integrity checks
+  long VerifyRejects = 0;  ///< hits rejected by certificate re-validation
+};
+
+/// A thread-safe content-addressed store of analysis outcomes, optionally
+/// backed by a directory of one-file-per-entry serialized records.  Disk
+/// writes go through a temp file + rename, so concurrent runs sharing a
+/// directory see only whole entries.
+class AnalysisCache {
+public:
+  /// \p DiskDir empty means in-memory only.  The directory is created on
+  /// first store if missing.
+  explicit AnalysisCache(std::string DiskDir = "");
+
+  /// Memory first, then the backing store.  A disk entry that fails the
+  /// integrity check (or dies on the injected CacheLoad fault) counts as
+  /// corrupt and the lookup misses — the caller re-analyzes.
+  std::optional<CacheEntry> lookup(std::uint64_t Key);
+
+  /// Returns false when the key was already present (a concurrent job of
+  /// the same content won the race) — the entry is unchanged then.
+  bool store(std::uint64_t Key, const CacheEntry &E);
+
+  /// Counts a hit the caller rejected after certificate re-validation.
+  void noteVerifyReject();
+
+  CacheStats stats() const;
+  const std::string &dir() const { return Dir; }
+
+private:
+  std::string entryPath(std::uint64_t Key) const;
+
+  mutable std::mutex Mu;
+  std::string Dir;
+  std::map<std::uint64_t, CacheEntry> Mem;
+  CacheStats Stats;
+};
+
+} // namespace c4b
+
+#endif // C4B_PIPELINE_CACHE_H

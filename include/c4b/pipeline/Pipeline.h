@@ -36,11 +36,13 @@
 #include "c4b/analysis/ConstraintGen.h"
 #include "c4b/ast/AST.h"
 #include "c4b/ir/IR.h"
+#include "c4b/pipeline/Cache.h"
 #include "c4b/sem/Metric.h"
 #include "c4b/support/Diagnostics.h"
 #include "c4b/support/Error.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -90,6 +92,18 @@ struct PipelineOptions {
   /// Run the dataflow lints (read-before-write, dead stores, unreachable
   /// code, dead ticks, unused call results); reported as warnings.
   bool Lint = false;
+  /// Cross-run analysis cache (tier 3 of the query-avoidance layer).
+  /// When set, the batch analyzer consults it before constraint
+  /// generation and stores fresh deterministic outcomes back; unset means
+  /// every job runs the full pipeline.  Shared across jobs and batches —
+  /// hand the same instance to successive runs to get warm-start
+  /// behavior.
+  std::shared_ptr<AnalysisCache> Cache;
+  /// Re-validate every cache hit against a freshly generated constraint
+  /// system before serving it (one derivation walk, no LP).  Off by
+  /// default: the on-disk checksum already catches corruption, and a hit
+  /// can always be validated after the fact with checkCertificate.
+  bool VerifyCachedCerts = false;
 };
 
 /// Stage 2.5 artifact: a lowered module plus its check-stage verdict.
@@ -142,6 +156,13 @@ struct ConstraintSystem {
   // Walk statistics.
   int WeakenPoints = 0;
   int CallInstantiations = 0;
+
+  // Query-avoidance statistics of the walk (tiers 1-2): how the context
+  // entail/bound/feasibility queries behind the derivation were answered.
+  long CtxQueries = 0;
+  long CtxTier1Hits = 0;
+  long CtxTier2Hits = 0;
+  long CtxLpFallbacks = 0;
 
   int numVars() const { return static_cast<int>(VarNames.size()); }
   int numConstraints() const { return static_cast<int>(Constraints.size()); }

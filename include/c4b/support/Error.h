@@ -38,6 +38,9 @@ enum class AnalysisErrorKind {
   DeadlineExceeded,    ///< Wall-clock deadline passed at a checkpoint.
   CoefficientOverflow, ///< A BigInt coefficient outgrew the digit budget.
   InternalInvariant,   ///< A checked internal invariant failed.
+  NoLinearBound,       ///< The analysis completed but no linear bound
+                       ///< exists (derivation failed structurally or the
+                       ///< constraint system is infeasible).
 };
 
 /// Stable short name, e.g. "LpBudgetExceeded".

@@ -37,6 +37,7 @@ enum class Site {
   FixpointPass, ///< one dataflow fixpoint pass.
   Pivot,        ///< one simplex pivot.
   BigIntAlloc,  ///< one BigInt magnitude allocation (multiplication).
+  CacheLoad,    ///< one on-disk analysis-cache entry load.
 };
 
 /// Arms a one-shot fault: the \p TriggerAt-th hit (1-based) of \p S on

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <unordered_map>
 
 using namespace c4b;
 
@@ -28,10 +29,386 @@ Rational floorRat(const Rational &R) {
 
 Rational ceilRat(const Rational &R) { return -floorRat(-R); }
 
+/// The canonical coefficient-row key of a fact ("=" / "<" prefix, then
+/// sorted var:coeff pairs).  Facts are stored canonicalized (leading
+/// coefficient scaled to ±1, rows deduped to the tightest constant) by
+/// pruneTrivial, so equal keys mean equal rows.
+std::string rowKeyOf(const LinFact &F) {
+  std::string Key = F.IsEquality ? "=" : "<";
+  for (const auto &[V, C] : F.Coeffs)
+    Key += V + ":" + C.toString() + ";";
+  return Key;
+}
+
+/// Canonicalizes a query fact the way pruneTrivial canonicalizes stored
+/// facts: scale so the leading coefficient has magnitude 1.
+LinFact canonicalized(const LinFact &F) {
+  LinFact C = F;
+  if (C.Coeffs.empty())
+    return C;
+  Rational Lead = C.Coeffs.begin()->second;
+  if (Lead.sign() < 0)
+    Lead = -Lead;
+  if (Lead != Rational(1)) {
+    for (auto &[V, Cf] : C.Coeffs)
+      Cf /= Lead;
+    C.Const /= Lead;
+  }
+  return C;
+}
+
+/// Structural (allocation-free) orderings for the memo keys.  String keys
+/// would identify queries just as exactly, but building them costs an
+/// allocation and a Rational::toString per coefficient on every miss —
+/// comparable to the small LPs the memo is trying to avoid.  Comparing
+/// the structures directly keeps lookups pure arithmetic.
+struct AffineQLess {
+  bool operator()(const AffineQ &A, const AffineQ &B) const {
+    auto IA = A.Coeffs.begin(), IB = B.Coeffs.begin();
+    for (; IA != A.Coeffs.end() && IB != B.Coeffs.end(); ++IA, ++IB) {
+      if (int C = IA->first.compare(IB->first))
+        return C < 0;
+      if (int C = IA->second.compare(IB->second))
+        return C < 0;
+    }
+    if (IA != A.Coeffs.end() || IB != B.Coeffs.end())
+      return IB != B.Coeffs.end();
+    return A.Const < B.Const;
+  }
+};
+
+struct FactsLess {
+  bool operator()(const std::vector<LinFact> &A,
+                  const std::vector<LinFact> &B) const {
+    if (A.size() != B.size())
+      return A.size() < B.size();
+    for (std::size_t I = 0; I < A.size(); ++I) {
+      const LinFact &FA = A[I], &FB = B[I];
+      if (FA.IsEquality != FB.IsEquality)
+        return FB.IsEquality;
+      if (int C = FA.Const.compare(FB.Const))
+        return C < 0;
+      auto IA = FA.Coeffs.begin(), IB = FB.Coeffs.begin();
+      for (; IA != FA.Coeffs.end() && IB != FB.Coeffs.end(); ++IA, ++IB) {
+        if (int C = IA->first.compare(IB->first))
+          return C < 0;
+        if (int C = IA->second.compare(IB->second))
+          return C < 0;
+      }
+      if (IA != FA.Coeffs.end() || IB != FB.Coeffs.end())
+        return IB != FB.Coeffs.end();
+    }
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Tier-2 memo tables (thread-local, like lpThreadStats)
+//===----------------------------------------------------------------------===//
+
+/// Memoized query answers, keyed on (content stamp, canonical query).
+/// Content stamps are interned per thread but allocated from one global
+/// counter, so a stamp cached on a context object stays globally unique
+/// even if the object migrates threads (a foreign stamp can only miss,
+/// never alias).  The cache never changes an answer — entries hold the
+/// exact LP result — so the size-cap clear below is invisible to results.
+struct MemoTables {
+  template <typename V>
+  using ObjMap = std::map<long, std::map<AffineQ, V, AffineQLess>>;
+
+  ObjMap<std::optional<Rational>> Max;
+  ObjMap<std::pair<std::optional<Rational>, std::optional<Rational>>> Range;
+  std::unordered_map<long, bool> Feasible; // content stamp -> feasibility
+  /// Canonicalized facts -> stamp.  Structural keys: lookups compare the
+  /// fact vectors directly (no serialization); only a *new* content pays
+  /// one copy of its facts into the table.
+  std::map<std::vector<LinFact>, long, FactsLess> Intern;
+
+  static constexpr std::size_t MaxEntries = 1u << 17;
+  std::size_t NumObjEntries = 0; ///< entries across Max + Range
+
+  void capQueries() {
+    if (NumObjEntries > MaxEntries) {
+      Max.clear();
+      Range.clear();
+      Feasible.clear();
+      NumObjEntries = 0;
+    }
+  }
+  template <typename V>
+  const V *findObj(const ObjMap<V> &M, long Stamp, const AffineQ &Obj) const {
+    auto It = M.find(Stamp);
+    if (It == M.end())
+      return nullptr;
+    auto OIt = It->second.find(Obj);
+    return OIt == It->second.end() ? nullptr : &OIt->second;
+  }
+  template <typename V>
+  void storeObj(ObjMap<V> &M, long Stamp, const AffineQ &Obj, V Val) {
+    capQueries();
+    if (M[Stamp].emplace(Obj, std::move(Val)).second)
+      ++NumObjEntries;
+  }
+  long internContent(const std::vector<LinFact> &Facts) {
+    if (Intern.size() > MaxEntries)
+      Intern.clear(); // Stale stamps on live contexts stay unique (global
+                      // counter); future lookups just miss once.
+    auto It = Intern.find(Facts);
+    if (It == Intern.end()) {
+      static std::atomic<long> Counter{0};
+      It = Intern
+               .emplace(Facts,
+                        Counter.fetch_add(1, std::memory_order_relaxed) + 1)
+               .first;
+    }
+    return It->second;
+  }
+};
+
+MemoTables &memoTables() {
+  thread_local MemoTables T;
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Exact small-system range queries via Fourier-Motzkin projection
+//===----------------------------------------------------------------------===//
+
+/// Size caps for the FM query path.  The derivation walk's typical context
+/// has a handful of facts over two or three variables; anything larger
+/// falls back to the LP, whose per-solve overhead amortizes better there.
+constexpr std::size_t MaxFMQueryFacts = 12;
+constexpr std::size_t MaxFMQueryRows = 48;
+
+/// Exact range of \p Obj over \p Facts by Fourier-Motzkin projection:
+/// introduce t = Obj as an equality, eliminate every program variable
+/// (equality substitution where possible, FM pairing otherwise), and read
+/// the extrema of t off the surviving single-variable rows.  FM projection
+/// is exact for rational systems, so a returned range EQUALS what the LP
+/// would answer — the point of the exercise is that for the tiny systems
+/// the walk generates, plain rational arithmetic beats building a simplex
+/// instance by an order of magnitude.  Returns nullopt when a cap is hit
+/// (caller runs the LP).  Precondition: the context is feasible and every
+/// objective variable is mentioned by some fact (the box fast path already
+/// answered the other cases).
+std::optional<std::pair<std::optional<Rational>, std::optional<Rational>>>
+fmProjectRange(const std::vector<LinFact> &Facts, const AffineQ &Obj) {
+  using Pair = std::pair<std::optional<Rational>, std::optional<Rational>>;
+  if (Facts.size() > MaxFMQueryFacts)
+    return std::nullopt;
+  // The reserved objective variable: lowering never emits control
+  // characters in IR names, so it cannot collide.
+  static const std::string TVar = "\x01t";
+  std::vector<LinFact> Rows(Facts);
+  std::set<std::string> Vars;
+  for (const LinFact &F : Facts)
+    for (const auto &[V, C] : F.Coeffs) {
+      (void)C;
+      Vars.insert(V);
+    }
+  LinFact TDef;
+  TDef.IsEquality = true;
+  TDef.Coeffs[TVar] = Rational(1);
+  for (const auto &[V, C] : Obj.Coeffs) {
+    TDef.add(V, -C);
+    Vars.insert(V);
+  }
+  TDef.Const = -Obj.Const;
+  Rows.push_back(std::move(TDef));
+
+  for (const std::string &Var : Vars) {
+    // Prefer an exact substitution through an equality mentioning Var
+    // (mirrors LogicContext::havoc).
+    std::size_t EqIdx = Rows.size();
+    for (std::size_t I = 0; I < Rows.size(); ++I)
+      if (Rows[I].IsEquality && Rows[I].mentions(Var)) {
+        EqIdx = I;
+        break;
+      }
+    if (EqIdx < Rows.size()) {
+      LinFact Def = std::move(Rows[EqIdx]);
+      Rows.erase(Rows.begin() + EqIdx);
+      Rational CV = Def.Coeffs.at(Var);
+      for (LinFact &F : Rows) {
+        auto It = F.Coeffs.find(Var);
+        if (It == F.Coeffs.end())
+          continue;
+        Rational K = It->second / CV;
+        F.Coeffs.erase(It);
+        F.Const -= K * Def.Const;
+        for (const auto &[V, C] : Def.Coeffs)
+          if (V != Var)
+            F.add(V, -K * C);
+      }
+      continue;
+    }
+    // FM pairing over the inequalities; rows not mentioning Var survive.
+    std::vector<LinFact> NoV, Pos, Neg;
+    for (LinFact &F : Rows) {
+      if (!F.mentions(Var)) {
+        NoV.push_back(std::move(F));
+        continue;
+      }
+      (F.Coeffs.at(Var).sign() > 0 ? Pos : Neg).push_back(std::move(F));
+    }
+    if (NoV.size() + Pos.size() * Neg.size() > MaxFMQueryRows)
+      return std::nullopt;
+    for (const LinFact &P : Pos) {
+      Rational CP = P.Coeffs.at(Var);
+      for (const LinFact &N : Neg) {
+        Rational CN = N.Coeffs.at(Var); // < 0.
+        LinFact F;
+        F.Const = P.Const * (-CN) + N.Const * CP;
+        for (const auto &[V, C] : P.Coeffs)
+          F.add(V, C * (-CN));
+        for (const auto &[V, C] : N.Coeffs)
+          F.add(V, C * CP);
+        NoV.push_back(std::move(F));
+      }
+    }
+    Rows = std::move(NoV);
+  }
+
+  // Only TVar (and constant rows) survive; read the extrema off them.
+  std::optional<Rational> Hi, Lo;
+  for (const LinFact &F : Rows) {
+    auto It = F.Coeffs.find(TVar);
+    if (It == F.Coeffs.end()) {
+      // Constant rows derived from a feasible system always hold; if one
+      // does not, something upstream lied — let the LP be the arbiter.
+      bool Holds = F.IsEquality ? F.Const.isZero() : F.Const.sign() <= 0;
+      if (!Holds)
+        return std::nullopt;
+      continue;
+    }
+    const Rational &C = It->second;
+    Rational B = -F.Const / C; // c*t + k {<=,==} 0: t bound at -k/c.
+    if (F.IsEquality || C.sign() > 0)
+      if (!Hi || B < *Hi)
+        Hi = B;
+    if (F.IsEquality || C.sign() < 0)
+      if (!Lo || B > *Lo)
+        Lo = B;
+  }
+  return Pair{Hi, Lo};
+}
+
+thread_local bool QueryAvoidanceOn = true;
+
 } // namespace
+
+QueryStats &c4b::queryThreadStats() {
+  thread_local QueryStats S;
+  return S;
+}
+
+bool c4b::queryAvoidanceEnabled() { return QueryAvoidanceOn; }
+
+void c4b::clearQueryMemo() {
+  MemoTables &MT = memoTables();
+  MT.Max.clear();
+  MT.Range.clear();
+  MT.Feasible.clear();
+  MT.NumObjEntries = 0;
+  // The intern table survives: stamps are allocated from a global counter
+  // and never reused, so keeping it only saves re-interning work.
+}
+
+QueryAvoidanceScope::QueryAvoidanceScope(bool Enabled) : Prev(QueryAvoidanceOn) {
+  QueryAvoidanceOn = Enabled;
+}
+
+QueryAvoidanceScope::~QueryAvoidanceScope() { QueryAvoidanceOn = Prev; }
+
+//===----------------------------------------------------------------------===//
+// The per-version syntactic index behind the tier-1 fast paths
+//===----------------------------------------------------------------------===//
+
+/// What the fast paths need to know about the facts, precomputed per
+/// version: per-variable interval bounds from the single-variable facts,
+/// whether a variable appears *only* in single-variable facts (then the
+/// feasible region projects onto it as a box and box arithmetic is exact),
+/// the canonical row map for duplicate-constraint lookups, and the interned
+/// content stamp keying the tier-2 memo.  Only the var layer is built
+/// eagerly; the row map and the content stamp cost string building, so
+/// they materialize lazily on the first query of this version that needs
+/// them — most queries are answered from the var layer alone (box rule,
+/// witness points), and keeping those string-free is what makes the fast
+/// path cheaper than the small LPs it replaces.
+struct LogicContext::QueryIndex {
+  struct VarInfo {
+    std::optional<Rational> Lo, Hi; ///< tightest single-var bounds
+    bool OnlySingle = true; ///< every fact mentioning the var is single-var
+  };
+  std::map<std::string, VarInfo> Vars; ///< every mentioned variable
+  bool EmptyInterval = false; ///< some var has Lo > Hi: trivially infeasible
+
+  struct RowMaps {
+    std::map<std::string, Rational> Ineq; ///< canonical row -> Const
+    std::map<std::string, Rational> Eq;   ///< canonical row -> Const
+  };
+  /// Canonical row lookup (entailment tier 1); built on first use.
+  const RowMaps &rows(const std::vector<LinFact> &Facts) const;
+  /// Interned content stamp (tier-2 memo key); built on first use.
+  long stamp(const std::vector<LinFact> &Facts) const;
+
+private:
+  mutable std::optional<RowMaps> Rows;
+  mutable long ContentStamp = 0; ///< 0 = not interned yet (stamps start at 1)
+};
+
+const LogicContext::QueryIndex::RowMaps &
+LogicContext::QueryIndex::rows(const std::vector<LinFact> &Facts) const {
+  if (!Rows) {
+    Rows.emplace();
+    for (const LinFact &F : Facts)
+      (F.IsEquality ? Rows->Eq : Rows->Ineq).emplace(rowKeyOf(F), F.Const);
+  }
+  return *Rows;
+}
+
+long LogicContext::QueryIndex::stamp(const std::vector<LinFact> &Facts) const {
+  if (ContentStamp == 0)
+    ContentStamp = memoTables().internContent(Facts);
+  return ContentStamp;
+}
+
+const LogicContext::QueryIndex &LogicContext::index() const {
+  if (Index)
+    return *Index;
+  auto IX = std::make_shared<QueryIndex>();
+  for (const LinFact &F : Facts) {
+    if (F.Coeffs.size() == 1) {
+      const auto &[V, C] = *F.Coeffs.begin();
+      // c*v + k <= 0: v <= -k/c for c > 0, v >= -k/c for c < 0; an
+      // equality pins both sides.
+      Rational B = -F.Const / C;
+      QueryIndex::VarInfo &VI = IX->Vars[V];
+      if (F.IsEquality || C.sign() > 0)
+        if (!VI.Hi || B < *VI.Hi)
+          VI.Hi = B;
+      if (F.IsEquality || C.sign() < 0)
+        if (!VI.Lo || B > *VI.Lo)
+          VI.Lo = B;
+    } else {
+      for (const auto &[V, C] : F.Coeffs) {
+        (void)C;
+        IX->Vars[V].OnlySingle = false;
+      }
+    }
+  }
+  for (const auto &[V, VI] : IX->Vars) {
+    (void)V;
+    if (VI.Lo && VI.Hi && *VI.Lo > *VI.Hi)
+      IX->EmptyInterval = true;
+  }
+  Index = std::move(IX);
+  return *Index;
+}
 
 void LogicContext::invalidate() {
   FeasChecked = false;
+  Index.reset();
   // Atomic: concurrent analyses (pipeline BatchAnalyzer) all stamp from
   // this counter, and a duplicated version across threads would alias
   // entries in per-walker bound caches keyed on it.
@@ -146,6 +523,59 @@ bool LogicContext::isBottom() const {
     return true;
   if (FeasChecked)
     return !FeasResult;
+  QueryStats &QS = queryThreadStats();
+  ++QS.Queries;
+  if (queryAvoidanceEnabled()) {
+    const QueryIndex &IX = index();
+    // Trivial infeasibility: a single variable's own bounds already clash.
+    // A subset of the facts being unsatisfiable makes the whole context
+    // unsatisfiable, so this is exact, not merely sound.
+    if (IX.EmptyInterval) {
+      ++QS.Tier1Hits;
+      FeasResult = false;
+      FeasChecked = true;
+      return true;
+    }
+    // Witness-point check: evaluate every fact at a candidate point built
+    // from the per-variable intervals (Lo if bounded below, else Hi, else
+    // 0).  A satisfying point *is* a feasibility proof — exact, not a
+    // heuristic; a violation proves nothing and falls through to the memo
+    // and then the LP.  Runs before the memo lookup: it is pure
+    // arithmetic, while the memo key costs building the content stamp.
+    bool Satisfied = true;
+    for (const LinFact &F : Facts) {
+      Rational Val = F.Const;
+      for (const auto &[V, C] : F.Coeffs) {
+        auto VIt = IX.Vars.find(V);
+        if (VIt != IX.Vars.end()) {
+          if (VIt->second.Lo)
+            Val += C * *VIt->second.Lo;
+          else if (VIt->second.Hi)
+            Val += C * *VIt->second.Hi;
+        }
+      }
+      if (F.IsEquality ? !Val.isZero() : Val.sign() > 0) {
+        Satisfied = false;
+        break;
+      }
+    }
+    if (Satisfied) {
+      ++QS.Tier1Hits;
+      FeasResult = true;
+      FeasChecked = true;
+      return false;
+    }
+    // Tier 2: another context with identical content already paid the LP.
+    MemoTables &MT = memoTables();
+    auto It = MT.Feasible.find(IX.stamp(Facts));
+    if (It != MT.Feasible.end()) {
+      ++QS.Tier2Hits;
+      FeasResult = It->second;
+      FeasChecked = true;
+      return !FeasResult;
+    }
+  }
+  ++QS.LpFallbacks;
   // Feasibility of the rational relaxation via LP.
   LPProblem P;
   std::map<std::string, int> Vars;
@@ -165,6 +595,11 @@ bool LogicContext::isBottom() const {
   SimplexSolver S;
   FeasResult = S.isFeasible(P);
   FeasChecked = true;
+  if (queryAvoidanceEnabled()) {
+    MemoTables &MT = memoTables();
+    MT.capQueries();
+    MT.Feasible.emplace(index().stamp(Facts), FeasResult);
+  }
   return !FeasResult;
 }
 
@@ -286,6 +721,70 @@ void LogicContext::applyCall(const std::string &ResultVar,
 bool LogicContext::entails(const LinFact &F) const {
   if (isBottom())
     return true;
+  if (queryAvoidanceEnabled() && !F.Coeffs.empty()) {
+    // Tier-1 proofs.  Entailment is only ever *proved* here — LP is
+    // complete for rational entailment, so a syntactic proof agrees with
+    // it; a refutation would not be exact, so misses always fall through.
+    QueryStats &QS = queryThreadStats();
+    const QueryIndex &IX = index();
+    if (!F.IsEquality) {
+      // Single-variable interval reasoning, first because it is pure
+      // arithmetic on the raw fact: a sound upper bound on the row that
+      // is already <= 0 proves the query.  Canonicalization only scales
+      // by a positive factor, so the UB's sign is scale-invariant and the
+      // uncanonicalized fact gives the same verdict.
+      Rational UB = F.Const;
+      bool AllBounded = true;
+      for (const auto &[V, C] : F.Coeffs) {
+        auto VIt = IX.Vars.find(V);
+        const std::optional<Rational> *B =
+            VIt == IX.Vars.end()
+                ? nullptr
+                : (C.sign() > 0 ? &VIt->second.Hi : &VIt->second.Lo);
+        if (!B || !*B) {
+          AllBounded = false;
+          break;
+        }
+        UB += C * **B;
+      }
+      if (AllBounded && UB.sign() <= 0) {
+        ++QS.Queries;
+        ++QS.Tier1Hits;
+        return true;
+      }
+    }
+    // Duplicate-row lookups; these pay for canonicalization and row-key
+    // strings, so they run after the arithmetic-only check above.
+    LinFact CF = canonicalized(F);
+    std::string Row = rowKeyOf(CF);
+    const QueryIndex::RowMaps &RM = IX.rows(Facts);
+    if (CF.IsEquality) {
+      // Exact-duplicate equality: the context pins the row to the same
+      // constant the query asserts.
+      auto It = RM.Eq.find(Row);
+      if (It != RM.Eq.end() && It->second == CF.Const) {
+        ++QS.Queries;
+        ++QS.Tier1Hits;
+        return true;
+      }
+    } else {
+      // Exact-duplicate row with a tighter-or-equal constant entails the
+      // query; so does an equality pinning the row to a value <= -Const.
+      auto It = RM.Ineq.find(Row);
+      if (It != RM.Ineq.end() && It->second >= CF.Const) {
+        ++QS.Queries;
+        ++QS.Tier1Hits;
+        return true;
+      }
+      Row[0] = '=';
+      It = RM.Eq.find(Row);
+      if (It != RM.Eq.end() && CF.Const <= It->second) {
+        ++QS.Queries;
+        ++QS.Tier1Hits;
+        return true;
+      }
+    }
+  }
   AffineQ Obj;
   Obj.Const = F.Const;
   for (const auto &[V, C] : F.Coeffs)
@@ -299,9 +798,106 @@ bool LogicContext::entails(const LinFact &F) const {
   return Hi && Hi->sign() <= 0 && Lo && Lo->sign() >= 0;
 }
 
+std::optional<std::optional<Rational>>
+LogicContext::fastMax(const AffineQ &Obj) const {
+  // Every path below needs feasibility; isBottom() is itself fast-pathed
+  // and memoized, and replicates the LP's Infeasible -> 0 convention.
+  if (isBottom())
+    return std::optional<Rational>(Rational(0));
+  if (Obj.Coeffs.empty())
+    return std::optional<Rational>(Obj.Const);
+  const QueryIndex &IX = index();
+  Rational Sum = Obj.Const;
+  for (const auto &[V, C] : Obj.Coeffs) {
+    auto It = IX.Vars.find(V);
+    if (It == IX.Vars.end())
+      // No fact mentions the variable: the (feasible) context lets it run
+      // to infinity in the objective's direction.  Exactly unbounded.
+      return std::optional<Rational>(std::nullopt);
+    if (!It->second.OnlySingle)
+      return std::nullopt; // Coupled to other vars: no fast answer.
+    const std::optional<Rational> &B =
+        C.sign() > 0 ? It->second.Hi : It->second.Lo;
+    if (!B)
+      // The variable appears only in single-var facts, none of which caps
+      // this direction: exactly unbounded.
+      return std::optional<Rational>(std::nullopt);
+    Sum += C * *B;
+  }
+  // Box rule: every objective variable is constrained only by its own
+  // interval, so the feasible region projects onto them as a box and the
+  // corner value is the exact LP optimum.
+  return std::optional<Rational>(Sum);
+}
+
+std::optional<std::pair<std::optional<Rational>, std::optional<Rational>>>
+LogicContext::fastRange(const AffineQ &Obj) const {
+  using Pair = std::pair<std::optional<Rational>, std::optional<Rational>>;
+  if (isBottom())
+    return Pair{Rational(0), Rational(0)};
+  if (Obj.Coeffs.empty())
+    return Pair{Obj.Const, Obj.Const};
+  const QueryIndex &IX = index();
+  Rational Max = Obj.Const, Min = Obj.Const;
+  bool MaxBounded = true, MinBounded = true;
+  for (const auto &[V, C] : Obj.Coeffs) {
+    auto It = IX.Vars.find(V);
+    if (It == IX.Vars.end())
+      return Pair{std::nullopt, std::nullopt}; // Unconstrained either way.
+    if (!It->second.OnlySingle)
+      return std::nullopt;
+    const std::optional<Rational> &HiB =
+        C.sign() > 0 ? It->second.Hi : It->second.Lo;
+    const std::optional<Rational> &LoB =
+        C.sign() > 0 ? It->second.Lo : It->second.Hi;
+    if (HiB)
+      Max += C * *HiB;
+    else
+      MaxBounded = false;
+    if (LoB)
+      Min += C * *LoB;
+    else
+      MinBounded = false;
+  }
+  return Pair{MaxBounded ? std::optional<Rational>(Max) : std::nullopt,
+              MinBounded ? std::optional<Rational>(Min) : std::nullopt};
+}
+
 std::optional<Rational> LogicContext::maxOf(const AffineQ &Obj) const {
-  if (Bottom)
+  QueryStats &QS = queryThreadStats();
+  ++QS.Queries;
+  if (Bottom) {
+    ++QS.Tier1Hits;
     return Rational(0); // Callers check isBottom(); keep a defined value.
+  }
+  if (!queryAvoidanceEnabled()) {
+    ++QS.LpFallbacks;
+    return maxOfLp(Obj);
+  }
+  if (auto Fast = fastMax(Obj)) {
+    ++QS.Tier1Hits;
+    return *Fast;
+  }
+  MemoTables &MT = memoTables();
+  long Stamp = index().stamp(Facts);
+  if (const auto *Hit = MT.findObj(MT.Max, Stamp, Obj)) {
+    ++QS.Tier2Hits;
+    return *Hit;
+  }
+  // Small-system projection: exact, and an order of magnitude cheaper
+  // than standing up a simplex instance for a handful of facts.
+  if (auto FM = fmProjectRange(Facts, Obj)) {
+    ++QS.Tier1Hits;
+    MT.storeObj(MT.Max, Stamp, Obj, FM->first);
+    return FM->first;
+  }
+  ++QS.LpFallbacks;
+  std::optional<Rational> R = maxOfLp(Obj);
+  MT.storeObj(MT.Max, Stamp, Obj, R);
+  return R;
+}
+
+std::optional<Rational> LogicContext::maxOfLp(const AffineQ &Obj) const {
   LPProblem P;
   std::map<std::string, int> Vars;
   auto varOf = [&](const std::string &N) {
@@ -342,8 +938,40 @@ std::optional<Rational> LogicContext::minOf(const AffineQ &Obj) const {
 
 std::pair<std::optional<Rational>, std::optional<Rational>>
 LogicContext::rangeOf(const AffineQ &Obj) const {
-  if (Bottom)
+  QueryStats &QS = queryThreadStats();
+  ++QS.Queries;
+  if (Bottom) {
+    ++QS.Tier1Hits;
     return {Rational(0), Rational(0)};
+  }
+  if (!queryAvoidanceEnabled()) {
+    ++QS.LpFallbacks;
+    return rangeOfLp(Obj);
+  }
+  if (auto Fast = fastRange(Obj)) {
+    ++QS.Tier1Hits;
+    return *Fast;
+  }
+  MemoTables &MT = memoTables();
+  long Stamp = index().stamp(Facts);
+  if (const auto *Hit = MT.findObj(MT.Range, Stamp, Obj)) {
+    ++QS.Tier2Hits;
+    return *Hit;
+  }
+  if (auto FM = fmProjectRange(Facts, Obj)) {
+    ++QS.Tier1Hits;
+    MT.storeObj(MT.Range, Stamp, Obj, *FM);
+    return *FM;
+  }
+  ++QS.LpFallbacks;
+  auto R = rangeOfLp(Obj);
+  MT.storeObj(MT.Range, Stamp, Obj, R);
+  return R;
+}
+
+std::pair<std::optional<Rational>, std::optional<Rational>>
+LogicContext::rangeOfLp(const AffineQ &Obj) const {
+
   LPProblem P;
   std::map<std::string, int> Vars;
   auto varOf = [&](const std::string &N) {

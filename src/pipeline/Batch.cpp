@@ -99,12 +99,41 @@ BatchItem runJob(const BatchJob &Job) {
       }
     }
 
+    // Tier 3: a cache hit replays the stored outcome and skips the
+    // generate and solve stages entirely.  The key covers everything that
+    // pins down the answer, so serving it is exact; a corrupted disk
+    // entry already failed its checksum inside lookup() and misses here.
+    std::optional<std::uint64_t> CacheKey;
+    if (Job.Pipe.Cache) {
+      CacheKey = moduleCacheKey(*IR, Job.Metric, Job.Options, Job.Focus).Hash;
+      if (std::optional<CacheEntry> E = Job.Pipe.Cache->lookup(*CacheKey)) {
+        bool Serve = true;
+        if (Job.Pipe.VerifyCachedCerts &&
+            !verifyCacheEntry(*IR, Job.Metric, Job.Options, *E)) {
+          Job.Pipe.Cache->noteVerifyReject();
+          Serve = false; // Fall through to a fresh analysis.
+        }
+        if (Serve) {
+          bool IRVerified = Item.Result.IRVerified;
+          int NumLintWarnings = Item.Result.NumLintWarnings;
+          Item.Result = resultFromEntry(*E);
+          Item.Result.IRVerified = IRVerified;
+          Item.Result.NumLintWarnings = NumLintWarnings;
+          return;
+        }
+      }
+    }
+
     ConstraintSystem CS;
     {
       StageTimer T(Item.Timings.GenerateSeconds);
       PivotMeter M(Item.Timings.GeneratePivots);
       CS = generateConstraints(*IR, Job.Metric, Job.Options);
     }
+    Item.Timings.GenQueries = CS.CtxQueries;
+    Item.Timings.GenTier1Hits = CS.CtxTier1Hits;
+    Item.Timings.GenTier2Hits = CS.CtxTier2Hits;
+    Item.Timings.GenLpFallbacks = CS.CtxLpFallbacks;
 
     SolvedSystem S;
     if (CS.StructuralOk) {
@@ -119,6 +148,12 @@ BatchItem runJob(const BatchJob &Job) {
     Item.Result = toAnalysisResult(CS, std::move(S));
     Item.Result.IRVerified = IRVerified;
     Item.Result.NumLintWarnings = NumLintWarnings;
+
+    // Store the fresh outcome for future runs — deterministic outcomes
+    // only (budget kills and faults are run-specific and never cached).
+    if (CacheKey && cacheableResult(Item.Result))
+      Item.StoredToCache =
+          Job.Pipe.Cache->store(*CacheKey, entryFromResult(Item.Result));
   };
 
   try {
@@ -207,6 +242,10 @@ std::vector<BatchItem> BatchAnalyzer::run(const std::vector<BatchJob> &Jobs) {
       else if (Item.Result.ErrorKind == AnalysisErrorKind::LpBudgetExceeded)
         ++Stats.NumLpBudget;
     }
+    if (Item.Result.FromCache)
+      ++Stats.NumCacheHits;
+    if (Item.StoredToCache)
+      ++Stats.NumCacheStores;
     Stats.StageTotals += Item.Timings;
   }
   Stats.WallSeconds = secondsSince(T0);

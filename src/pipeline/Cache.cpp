@@ -1,0 +1,378 @@
+//===--- Cache.cpp - Content-addressed cross-run result cache --------------===//
+
+#include "c4b/pipeline/Cache.h"
+
+#include "c4b/pipeline/Pipeline.h"
+#include "c4b/support/FaultInject.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace c4b;
+
+std::uint64_t c4b::stableHash64(std::string_view S, std::uint64_t Seed) {
+  std::uint64_t H = Seed;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Keys
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::uint64_t foldString(std::uint64_t H, std::string_view S) {
+  // Length-separated so ("ab","c") and ("a","bc") hash differently.
+  H = stableHash64(std::to_string(S.size()) + ":", H);
+  return stableHash64(S, H);
+}
+
+std::string hex16(std::uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+} // namespace
+
+ModuleKey c4b::moduleCacheKey(const IRProgram &P, const ResourceMetric &M,
+                              const AnalysisOptions &O,
+                              const std::string &Focus) {
+  // Everything that pins down which answer the pipeline produces: the
+  // metric constants (not just its name — a custom metric must not alias a
+  // built-in one), the result-relevant options, the focus function, and
+  // the canonical rendering of the whole module.  BudgetLimits,
+  // FallbackToRanking, and QueryAvoidance are excluded on purpose: they
+  // affect whether/how fast an answer arrives, never its content, and
+  // folding them in would make warm runs miss under harmless config drift.
+  std::uint64_t H = stableHash64("c4b-module-key v1");
+  H = foldString(H, M.Name);
+  for (const Rational *R : {&M.Mu, &M.Me, &M.Ml, &M.Mb, &M.Ma, &M.Mf, &M.Mr,
+                            &M.McTrue, &M.McFalse, &M.TickScale})
+    H = foldString(H, R->toString());
+  H = foldString(H, std::to_string(static_cast<int>(O.Weaken)));
+  H = foldString(H, O.PolymorphicCalls ? "1" : "0");
+  H = foldString(H, O.TwoStageObjective ? "1" : "0");
+  H = foldString(H, std::to_string(O.MaxCallDepth));
+  H = foldString(H, O.SeedIntervals ? "1" : "0");
+  H = foldString(H, Focus);
+  H = foldString(H, printIR(P));
+
+  ModuleKey K;
+  K.Hash = H;
+  for (const IRFunction &F : P.Functions)
+    K.FunctionKeys[F.Name] = stableHash64(printIR(F));
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry <-> result
+//===----------------------------------------------------------------------===//
+
+bool c4b::cacheableResult(const AnalysisResult &R) {
+  // Deterministic outcomes only.  Budget, deadline, and fault failures are
+  // resource-governance verdicts a different run may not reproduce;
+  // NoLinearBound is a property of the content and caches fine.  A
+  // degraded result is an uncertified fallback, and a result that itself
+  // came from the cache must not be re-stored (its stats would launder
+  // the FromCache provenance).
+  return !R.FromCache && !R.Degraded &&
+         (R.ErrorKind == AnalysisErrorKind::None ||
+          R.ErrorKind == AnalysisErrorKind::NoLinearBound);
+}
+
+CacheEntry c4b::entryFromResult(const AnalysisResult &R) {
+  CacheEntry E;
+  E.Ok = R.Success;
+  E.Kind = R.ErrorKind;
+  E.Error = R.Error;
+  E.Values = R.Solution;
+  E.Bounds = R.Bounds;
+  E.NumVars = R.NumVars;
+  E.NumConstraints = R.NumConstraints;
+  E.NumEliminated = R.NumEliminated;
+  E.NumWeakenPoints = R.NumWeakenPoints;
+  E.NumCallInstantiations = R.NumCallInstantiations;
+  return E;
+}
+
+AnalysisResult c4b::resultFromEntry(const CacheEntry &E) {
+  AnalysisResult R;
+  R.Success = E.Ok;
+  R.ErrorKind = E.Kind;
+  R.Error = E.Error;
+  R.Solution = E.Values;
+  R.Bounds = E.Bounds;
+  R.NumVars = E.NumVars;
+  R.NumConstraints = E.NumConstraints;
+  R.NumEliminated = E.NumEliminated;
+  R.NumWeakenPoints = E.NumWeakenPoints;
+  R.NumCallInstantiations = E.NumCallInstantiations;
+  R.FromCache = true;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string CacheEntry::serialize(std::uint64_t Key) const {
+  std::ostringstream OS;
+  OS << "c4b-analysis-cache v1\n";
+  OS << "key " << hex16(Key) << "\n";
+  OS << "ok " << (Ok ? 1 : 0) << "\n";
+  OS << "kind " << static_cast<int>(Kind) << "\n";
+  // The error text is arbitrary (may span lines), so length-prefix it.
+  OS << "error " << Error.size() << "\n" << Error << "\n";
+  OS << "stats " << NumVars << " " << NumConstraints << " " << NumEliminated
+     << " " << NumWeakenPoints << " " << NumCallInstantiations << "\n";
+  OS << "values " << Values.size() << "\n";
+  for (const Rational &V : Values)
+    OS << V.toString() << "\n";
+  // Bound lines follow the certificate's layout: fn const nterms
+  // (coef lo hi)*.
+  OS << "bounds " << Bounds.size() << "\n";
+  for (const auto &[Fn, B] : Bounds) {
+    OS << Fn << " " << B.Const.toString() << " " << B.Terms.size();
+    for (const Bound::Term &T : B.Terms)
+      OS << " " << T.Coef.toString() << " " << T.Lo.toString() << " "
+         << T.Hi.toString();
+    OS << "\n";
+  }
+  std::string Payload = OS.str();
+  Payload += "checksum " + hex16(stableHash64(Payload)) + "\n";
+  return Payload;
+}
+
+namespace {
+
+/// Parses an atom rendered by Atom::toString (a name or an integer).
+Atom parseCachedAtom(const std::string &S) {
+  if (!S.empty() && (S[0] == '-' || (S[0] >= '0' && S[0] <= '9')))
+    return Atom::makeConst(std::stoll(S));
+  return Atom::makeVar(S);
+}
+
+} // namespace
+
+std::optional<CacheEntry> CacheEntry::deserialize(const std::string &Text,
+                                                  std::uint64_t Key) {
+  // Integrity first: the last line must be a checksum of everything before
+  // it.  Anything else — truncation, bit flips, hand edits — is a corrupt
+  // entry, not a parse attempt.
+  std::size_t Mark = Text.rfind("checksum ");
+  if (Mark == std::string::npos || Mark == 0 || Text[Mark - 1] != '\n')
+    return std::nullopt;
+  std::string Payload = Text.substr(0, Mark);
+  std::string Tail = Text.substr(Mark);
+  if (Tail != "checksum " + hex16(stableHash64(Payload)) + "\n")
+    return std::nullopt;
+
+  std::istringstream IS(Payload);
+  std::string Line, Word;
+  if (!std::getline(IS, Line) || Line != "c4b-analysis-cache v1")
+    return std::nullopt;
+  if (!(IS >> Word) || Word != "key" || !(IS >> Word) || Word != hex16(Key))
+    return std::nullopt; // Renamed or cross-linked file.
+  CacheEntry E;
+  int Ok = 0;
+  if (!(IS >> Word) || Word != "ok" || !(IS >> Ok))
+    return std::nullopt;
+  E.Ok = Ok != 0;
+  int Kind = 0;
+  if (!(IS >> Word) || Word != "kind" || !(IS >> Kind) || Kind < 0 ||
+      Kind > static_cast<int>(AnalysisErrorKind::NoLinearBound))
+    return std::nullopt;
+  E.Kind = static_cast<AnalysisErrorKind>(Kind);
+  std::size_t ErrLen = 0;
+  if (!(IS >> Word) || Word != "error" || !(IS >> ErrLen))
+    return std::nullopt;
+  IS.get(); // The newline after the byte count.
+  E.Error.resize(ErrLen);
+  if (ErrLen > 0 && !IS.read(E.Error.data(), static_cast<long>(ErrLen)))
+    return std::nullopt;
+  if (!(IS >> Word) || Word != "stats" ||
+      !(IS >> E.NumVars >> E.NumConstraints >> E.NumEliminated >>
+        E.NumWeakenPoints >> E.NumCallInstantiations))
+    return std::nullopt;
+  std::size_t NumValues = 0, NumBounds = 0;
+  if (!(IS >> Word) || Word != "values" || !(IS >> NumValues))
+    return std::nullopt;
+  E.Values.reserve(NumValues);
+  for (std::size_t I = 0; I < NumValues; ++I) {
+    if (!(IS >> Word))
+      return std::nullopt;
+    E.Values.push_back(Rational::fromString(Word));
+  }
+  if (!(IS >> Word) || Word != "bounds" || !(IS >> NumBounds))
+    return std::nullopt;
+  for (std::size_t I = 0; I < NumBounds; ++I) {
+    std::string Fn, ConstStr;
+    std::size_t NumTerms = 0;
+    if (!(IS >> Fn >> ConstStr >> NumTerms))
+      return std::nullopt;
+    Bound B;
+    B.Const = Rational::fromString(ConstStr);
+    for (std::size_t T = 0; T < NumTerms; ++T) {
+      std::string Coef, Lo, Hi;
+      if (!(IS >> Coef >> Lo >> Hi))
+        return std::nullopt;
+      B.Terms.push_back(
+          {Rational::fromString(Coef), parseCachedAtom(Lo),
+           parseCachedAtom(Hi)});
+    }
+    E.Bounds.emplace(Fn, std::move(B));
+  }
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Verification
+//===----------------------------------------------------------------------===//
+
+bool c4b::verifyCacheEntry(const IRProgram &P, const ResourceMetric &M,
+                           const AnalysisOptions &O, const CacheEntry &E) {
+  // Failure entries claim no bounds; re-running the derivation must agree
+  // that no certified bound exists, which is what serving them asserts.
+  // Re-validating that would be a full re-analysis, so only successes are
+  // checked here (the same trust line the certificate checker draws: it
+  // validates claims, and a failure claims nothing).
+  if (!E.Ok)
+    return true;
+  ConstraintSystem CS = generateConstraints(P, M, O);
+  if (!CS.StructuralOk)
+    return false;
+  if (CS.numVars() != static_cast<int>(E.Values.size()))
+    return false;
+  for (const Rational &V : E.Values)
+    if (V.sign() < 0)
+      return false;
+  for (const LinConstraint &Row : CS.Constraints) {
+    Rational Lhs(0);
+    for (const LinTerm &T : Row.Terms) {
+      if (T.Var < 0 || T.Var >= static_cast<int>(E.Values.size()))
+        return false;
+      Lhs += T.Coef * E.Values[static_cast<std::size_t>(T.Var)];
+    }
+    bool RowOk = Row.R == Rel::Eq   ? Lhs == Row.Rhs
+                 : Row.R == Rel::Le ? Lhs <= Row.Rhs
+                                    : Lhs >= Row.Rhs;
+    if (!RowOk)
+      return false;
+  }
+  // The stored bounds must be exactly the potentials the stored values
+  // certify.
+  for (const auto &[Fn, Claimed] : E.Bounds) {
+    std::optional<Bound> B = CS.boundOf(Fn, E.Values);
+    if (!B)
+      return false;
+    bool Same =
+        B->Const == Claimed.Const && B->Terms.size() == Claimed.Terms.size();
+    for (std::size_t I = 0; Same && I < B->Terms.size(); ++I)
+      Same = B->Terms[I].Coef == Claimed.Terms[I].Coef &&
+             B->Terms[I].Lo == Claimed.Terms[I].Lo &&
+             B->Terms[I].Hi == Claimed.Terms[I].Hi;
+    if (!Same)
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisCache
+//===----------------------------------------------------------------------===//
+
+AnalysisCache::AnalysisCache(std::string DiskDir) : Dir(std::move(DiskDir)) {
+  if (!Dir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Dir, EC);
+    // A failed mkdir degrades to memory-only: stores below skip the disk
+    // write when the directory never materialized.
+    if (EC)
+      Dir.clear();
+  }
+}
+
+std::string AnalysisCache::entryPath(std::uint64_t Key) const {
+  return Dir + "/" + hex16(Key) + ".c4bcache";
+}
+
+std::optional<CacheEntry> AnalysisCache::lookup(std::uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.Lookups;
+  if (auto It = Mem.find(Key); It != Mem.end()) {
+    ++Stats.Hits;
+    return It->second;
+  }
+  if (!Dir.empty()) {
+    bool Corrupt = false;
+    try {
+      faultinject::hit(faultinject::Site::CacheLoad);
+      std::ifstream In(entryPath(Key), std::ios::binary);
+      if (In) {
+        std::ostringstream Buf;
+        Buf << In.rdbuf();
+        if (std::optional<CacheEntry> E =
+                CacheEntry::deserialize(Buf.str(), Key)) {
+          Mem.emplace(Key, *E);
+          ++Stats.Hits;
+          ++Stats.DiskHits;
+          return E;
+        }
+        Corrupt = true; // Present but failed the integrity check.
+      }
+    } catch (const AbortError &) {
+      Corrupt = true; // Injected load fault: same contract as corruption.
+    }
+    if (Corrupt)
+      ++Stats.CorruptEntries;
+  }
+  ++Stats.Misses;
+  return std::nullopt;
+}
+
+bool AnalysisCache::store(std::uint64_t Key, const CacheEntry &E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Mem.emplace(Key, E).second)
+    return false; // Another job of the same content raced us.
+  ++Stats.Stores;
+  if (Dir.empty())
+    return true;
+  // Temp file + rename so a concurrent reader (or a killed run) never sees
+  // a half-written entry; the pid keeps sibling processes sharing one
+  // directory off each other's temp files.
+  std::string Path = entryPath(Key);
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return true; // Memory store stands; the disk is best-effort.
+    Out << E.serialize(Key);
+    if (!Out.flush())
+      return true;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    std::filesystem::remove(Tmp, EC);
+  return true;
+}
+
+void AnalysisCache::noteVerifyReject() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.VerifyRejects;
+}
+
+CacheStats AnalysisCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}

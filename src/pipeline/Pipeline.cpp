@@ -106,6 +106,14 @@ ConstraintSystem c4b::generateConstraints(const IRProgram &P,
   std::optional<BudgetScope> Scope;
   if (O.Budget.enabled() && !Budget::current())
     Scope.emplace(O.Budget);
+  // The avoidance layer is exact, so flipping it here cannot change the
+  // recorded stream; the scope exists so cache-off differential runs and
+  // benchmarks measure the pure-LP walk.  The memo is cleared so hits are
+  // a pure function of this walk — pivot spend (and so budget kills) must
+  // not depend on what ran earlier on this worker thread.
+  QueryAvoidanceScope AvoidScope(O.QueryAvoidance);
+  clearQueryMemo();
+  QueryStats QBefore = queryThreadStats();
   try {
     budgetOnStage();
     RecordSink Sink(CS);
@@ -128,6 +136,11 @@ ConstraintSystem c4b::generateConstraints(const IRProgram &P,
     CS.Err = E.error();
     CS.StructuralOk = false;
   }
+  const QueryStats &QAfter = queryThreadStats();
+  CS.CtxQueries = QAfter.Queries - QBefore.Queries;
+  CS.CtxTier1Hits = QAfter.Tier1Hits - QBefore.Tier1Hits;
+  CS.CtxTier2Hits = QAfter.Tier2Hits - QBefore.Tier2Hits;
+  CS.CtxLpFallbacks = QAfter.LpFallbacks - QBefore.LpFallbacks;
   return CS;
 }
 
@@ -250,12 +263,17 @@ SolvedSystem c4b::solveSystem(const ConstraintSystem &CS,
 AnalysisResult c4b::toAnalysisResult(const ConstraintSystem &CS,
                                      SolvedSystem S) {
   AnalysisResult R;
+  R.NumCtxQueries = CS.CtxQueries;
+  R.NumCtxTier1Hits = CS.CtxTier1Hits;
+  R.NumCtxTier2Hits = CS.CtxTier2Hits;
+  R.NumCtxLpFallbacks = CS.CtxLpFallbacks;
   if (CS.Err.isError()) {
     R.ErrorKind = CS.Err.Kind;
     R.Error = CS.Err.toString();
     return R;
   }
   if (!CS.StructuralOk) {
+    R.ErrorKind = AnalysisErrorKind::NoLinearBound;
     R.Error = "analysis failed structurally:\n" + CS.Diags.toString();
     return R;
   }
@@ -265,6 +283,7 @@ AnalysisResult c4b::toAnalysisResult(const ConstraintSystem &CS,
     return R;
   }
   if (!S.ok()) {
+    R.ErrorKind = AnalysisErrorKind::NoLinearBound;
     R.Error = "no linear bound derivable (constraint system infeasible)";
     return R;
   }

@@ -20,6 +20,8 @@ const char *c4b::errorKindName(AnalysisErrorKind K) {
     return "CoefficientOverflow";
   case AnalysisErrorKind::InternalInvariant:
     return "InternalInvariant";
+  case AnalysisErrorKind::NoLinearBound:
+    return "NoLinearBound";
   }
   return "None";
 }
@@ -40,6 +42,8 @@ int c4b::exitCodeFor(AnalysisErrorKind K) {
     return 14;
   case AnalysisErrorKind::InternalInvariant:
     return 15;
+  case AnalysisErrorKind::NoLinearBound:
+    return 16;
   }
   return 1;
 }

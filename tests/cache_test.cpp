@@ -1,0 +1,391 @@
+//===--- cache_test.cpp - Cross-run analysis cache (tier 3) ----------------===//
+//
+// Covers the content-addressed result cache: key stability and
+// sensitivity, entry serialization round-trips (including the typed
+// NoLinearBound verdict), the cacheability policy, warm batch runs being
+// bit-identical to cold ones, per-function invalidation, disk persistence
+// with corruption/fault containment, and the certificate trust line
+// (cached certs validate; poisoned entries are rejected when re-validation
+// is requested).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/cert/Certificate.h"
+#include "c4b/corpus/Corpus.h"
+#include "c4b/pipeline/Batch.h"
+#include "c4b/pipeline/Pipeline.h"
+#include "c4b/support/FaultInject.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace c4b;
+using namespace c4b::test;
+
+namespace {
+
+// A two-function module in two versions differing only inside f: the
+// per-function keys must pinpoint the change.
+const char *TwoFnV1 = "void g(int n) {\n"
+                      "  while (n > 0) { n = n - 1; tick(1); }\n"
+                      "}\n"
+                      "void f(int x) {\n"
+                      "  while (x > 0) { x = x - 1; tick(2); }\n"
+                      "}\n";
+const char *TwoFnV2 = "void g(int n) {\n"
+                      "  while (n > 0) { n = n - 1; tick(1); }\n"
+                      "}\n"
+                      "void f(int x) {\n"
+                      "  while (x > 0) { x = x - 1; tick(3); }\n"
+                      "}\n";
+
+AnalysisResult analyzeEntry(const char *Name) {
+  const CorpusEntry *E = findEntry(Name);
+  EXPECT_NE(E, nullptr) << Name;
+  IRProgram IR = lowerOrDie(E->Source);
+  return analyzeProgram(IR, ResourceMetric::ticks(), {}, E->Function);
+}
+
+std::vector<BatchJob> corpusJobs(const std::vector<const char *> &Names,
+                                 std::shared_ptr<AnalysisCache> Cache) {
+  std::vector<BatchJob> Jobs;
+  for (const char *Name : Names) {
+    const CorpusEntry *E = findEntry(Name);
+    EXPECT_NE(E, nullptr) << Name;
+    BatchJob J;
+    J.Name = Name;
+    J.Source = E->Source;
+    J.Focus = E->Function;
+    J.Pipe.Cache = Cache;
+    Jobs.push_back(std::move(J));
+  }
+  return Jobs;
+}
+
+void expectSameOutcome(const AnalysisResult &A, const AnalysisResult &B) {
+  EXPECT_EQ(A.Success, B.Success);
+  EXPECT_EQ(A.ErrorKind, B.ErrorKind);
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Solution, B.Solution);
+  EXPECT_EQ(A.NumVars, B.NumVars);
+  EXPECT_EQ(A.NumConstraints, B.NumConstraints);
+  EXPECT_EQ(A.NumEliminated, B.NumEliminated);
+  EXPECT_EQ(A.NumWeakenPoints, B.NumWeakenPoints);
+  EXPECT_EQ(A.NumCallInstantiations, B.NumCallInstantiations);
+  ASSERT_EQ(A.Bounds.size(), B.Bounds.size());
+  for (const auto &[Fn, BoundA] : A.Bounds) {
+    auto It = B.Bounds.find(Fn);
+    ASSERT_NE(It, B.Bounds.end()) << Fn;
+    EXPECT_EQ(BoundA.toString(), It->second.toString()) << Fn;
+  }
+}
+
+/// Creates (and on destruction removes) a scratch cache directory under
+/// the test's working directory — never outside the build tree.
+struct ScratchDir {
+  explicit ScratchDir(const char *Name) : Path(Name) {
+    std::filesystem::remove_all(Path);
+  }
+  ~ScratchDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string Path;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Keys
+//===----------------------------------------------------------------------===//
+
+TEST(CacheKey, HashIsStableAndSeparating) {
+  // FNV-1a of the empty string is the offset basis, by definition.
+  EXPECT_EQ(stableHash64(""), 1469598103934665603ull);
+  EXPECT_EQ(stableHash64("abc"), stableHash64("abc"));
+  EXPECT_NE(stableHash64("abc"), stableHash64("abd"));
+  EXPECT_NE(stableHash64("abc"), stableHash64("abc", stableHash64("x")));
+}
+
+TEST(CacheKey, PinpointsTheChangedFunction) {
+  IRProgram V1 = lowerOrDie(TwoFnV1);
+  IRProgram V2 = lowerOrDie(TwoFnV2);
+  ModuleKey K1 = moduleCacheKey(V1, ResourceMetric::ticks(), {}, "f");
+  ModuleKey K2 = moduleCacheKey(V2, ResourceMetric::ticks(), {}, "f");
+  EXPECT_NE(K1.Hash, K2.Hash);
+  ASSERT_TRUE(K1.FunctionKeys.contains("f"));
+  ASSERT_TRUE(K1.FunctionKeys.contains("g"));
+  EXPECT_EQ(K1.FunctionKeys.at("g"), K2.FunctionKeys.at("g"));
+  EXPECT_NE(K1.FunctionKeys.at("f"), K2.FunctionKeys.at("f"));
+}
+
+TEST(CacheKey, IgnoresPerformanceKnobsButNotResultKnobs) {
+  IRProgram IR = lowerOrDie(TwoFnV1);
+  AnalysisOptions Base;
+  std::uint64_t K = moduleCacheKey(IR, ResourceMetric::ticks(), Base, "f").Hash;
+
+  // Budget, fallback, and the avoidance switch change whether/how fast an
+  // answer arrives, never its content: same key.
+  AnalysisOptions Perf = Base;
+  Perf.QueryAvoidance = false;
+  Perf.FallbackToRanking = true;
+  Perf.Budget.MaxPivots = 7;
+  EXPECT_EQ(moduleCacheKey(IR, ResourceMetric::ticks(), Perf, "f").Hash, K);
+
+  // Result-relevant knobs must separate.
+  AnalysisOptions Weak = Base;
+  Weak.Weaken = WeakenPlacement::Aggressive;
+  EXPECT_NE(moduleCacheKey(IR, ResourceMetric::ticks(), Weak, "f").Hash, K);
+  EXPECT_NE(moduleCacheKey(IR, ResourceMetric::steps(), Base, "f").Hash, K);
+  EXPECT_NE(moduleCacheKey(IR, ResourceMetric::ticks(), Base, "g").Hash, K);
+}
+
+//===----------------------------------------------------------------------===//
+// Entries
+//===----------------------------------------------------------------------===//
+
+TEST(CacheEntryTest, SuccessRoundTripsThroughSerialization) {
+  AnalysisResult R = analyzeEntry("t08a");
+  ASSERT_TRUE(R.Success) << R.Error;
+  ASSERT_TRUE(cacheableResult(R));
+  CacheEntry E = entryFromResult(R);
+  std::string Text = E.serialize(42);
+
+  std::optional<CacheEntry> Back = CacheEntry::deserialize(Text, 42);
+  ASSERT_TRUE(Back.has_value());
+  expectSameOutcome(resultFromEntry(*Back), R);
+  EXPECT_TRUE(resultFromEntry(*Back).FromCache);
+
+  // Integrity: a flipped byte or a key mismatch is a corrupt entry, not a
+  // parse attempt.
+  std::string Tampered = Text;
+  Tampered[Text.size() / 2] ^= 1;
+  EXPECT_FALSE(CacheEntry::deserialize(Tampered, 42).has_value());
+  EXPECT_FALSE(CacheEntry::deserialize(Text, 43).has_value());
+}
+
+TEST(CacheEntryTest, NoLinearBoundVerdictIsCacheableAndTyped) {
+  // The deterministic "no linear bound" verdict is content, not a
+  // resource-governance outcome: it caches, and the typed kind survives
+  // the round-trip so a warm run reports the same typed failure.
+  AnalysisResult R = analyzeEntry("speed_pldi09_fig4_5");
+  ASSERT_FALSE(R.Success);
+  ASSERT_EQ(R.ErrorKind, AnalysisErrorKind::NoLinearBound);
+  EXPECT_TRUE(cacheableResult(R));
+
+  CacheEntry E = entryFromResult(R);
+  std::optional<CacheEntry> Back =
+      CacheEntry::deserialize(E.serialize(7), 7);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->Kind, AnalysisErrorKind::NoLinearBound);
+  expectSameOutcome(resultFromEntry(*Back), R);
+}
+
+TEST(CacheEntryTest, NonDeterministicOutcomesAreNotCacheable) {
+  AnalysisResult R;
+  R.Success = false;
+  R.ErrorKind = AnalysisErrorKind::LpBudgetExceeded;
+  EXPECT_FALSE(cacheableResult(R)); // A different budget may succeed.
+
+  AnalysisResult Degraded;
+  Degraded.Success = true;
+  Degraded.Degraded = true;
+  EXPECT_FALSE(cacheableResult(Degraded)); // Uncertified fallback bound.
+
+  AnalysisResult Served = analyzeEntry("t08a");
+  Served.FromCache = true;
+  EXPECT_FALSE(cacheableResult(Served)); // Never re-store a served hit.
+}
+
+//===----------------------------------------------------------------------===//
+// Warm runs
+//===----------------------------------------------------------------------===//
+
+TEST(CacheBatch, WarmRunServesEveryJobBitIdentically) {
+  const std::vector<const char *> Names = {"t08a", "t13", "t27",
+                                           "speed_pldi09_fig4_5"};
+  auto Cache = std::make_shared<AnalysisCache>();
+  BatchAnalyzer BA(1);
+
+  std::vector<BatchItem> NoCache =
+      BA.run(corpusJobs(Names, nullptr));
+  std::vector<BatchItem> Cold = BA.run(corpusJobs(Names, Cache));
+  EXPECT_EQ(BA.stats().NumCacheHits, 0);
+  EXPECT_EQ(BA.stats().NumCacheStores, static_cast<int>(Names.size()));
+
+  std::vector<BatchItem> Warm = BA.run(corpusJobs(Names, Cache));
+  EXPECT_EQ(BA.stats().NumCacheHits, static_cast<int>(Names.size()));
+  EXPECT_EQ(BA.stats().NumCacheStores, 0);
+  // The warm run skips generate+solve entirely for every job.
+  EXPECT_EQ(BA.stats().StageTotals.GenerateSeconds, 0.0);
+  EXPECT_EQ(BA.stats().StageTotals.SolveSeconds, 0.0);
+  EXPECT_EQ(BA.stats().StageTotals.GeneratePivots, 0);
+
+  for (std::size_t I = 0; I < Names.size(); ++I) {
+    EXPECT_FALSE(Cold[I].Result.FromCache) << Names[I];
+    EXPECT_TRUE(Warm[I].Result.FromCache) << Names[I];
+    // Bounds and certificates identical with the cache off, cold, warm.
+    expectSameOutcome(Cold[I].Result, NoCache[I].Result);
+    expectSameOutcome(Warm[I].Result, Cold[I].Result);
+  }
+}
+
+TEST(CacheBatch, MutatingOneFunctionReanalyzesExactlyThatModule) {
+  auto Cache = std::make_shared<AnalysisCache>();
+  BatchAnalyzer BA(1);
+
+  std::vector<BatchJob> Jobs = corpusJobs({"t13", "t27"}, Cache);
+  BatchJob Mine;
+  Mine.Name = "twofn";
+  Mine.Source = TwoFnV1;
+  Mine.Focus = "f";
+  Mine.Pipe.Cache = Cache;
+  Jobs.push_back(Mine);
+
+  BA.run(Jobs);
+  ASSERT_EQ(BA.stats().NumCacheStores, 3);
+
+  // Re-run with one module's f mutated: exactly that job misses and
+  // re-analyzes; the untouched modules are served.
+  Jobs[2].Source = TwoFnV2;
+  std::vector<BatchItem> Rerun = BA.run(Jobs);
+  EXPECT_TRUE(Rerun[0].Result.FromCache);
+  EXPECT_TRUE(Rerun[1].Result.FromCache);
+  EXPECT_FALSE(Rerun[2].Result.FromCache);
+  EXPECT_TRUE(Rerun[2].StoredToCache);
+  EXPECT_EQ(BA.stats().NumCacheHits, 2);
+  EXPECT_EQ(BA.stats().NumCacheStores, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Disk backing
+//===----------------------------------------------------------------------===//
+
+TEST(CacheDisk, EntriesPersistAcrossInstances) {
+  ScratchDir Dir("c4b_cache_test_persist");
+  AnalysisResult R = analyzeEntry("t08a");
+  ASSERT_TRUE(R.Success);
+  CacheEntry E = entryFromResult(R);
+
+  {
+    AnalysisCache Writer(Dir.Path);
+    EXPECT_TRUE(Writer.store(99, E));
+    EXPECT_FALSE(Writer.store(99, E)); // Duplicate keys do not re-store.
+  }
+  // A fresh instance sharing the directory (a later run) loads from disk.
+  AnalysisCache Reader(Dir.Path);
+  std::optional<CacheEntry> Back = Reader.lookup(99);
+  ASSERT_TRUE(Back.has_value());
+  expectSameOutcome(resultFromEntry(*Back), R);
+  CacheStats S = Reader.stats();
+  EXPECT_EQ(S.Hits, 1);
+  EXPECT_EQ(S.DiskHits, 1);
+  // The disk load populated memory: the second lookup is a memory hit.
+  EXPECT_TRUE(Reader.lookup(99).has_value());
+  EXPECT_EQ(Reader.stats().DiskHits, 1);
+}
+
+TEST(CacheDisk, CorruptedEntryIsAMissAndTheRunRecovers) {
+  ScratchDir Dir("c4b_cache_test_corrupt");
+  AnalysisResult R = analyzeEntry("t13");
+  ASSERT_TRUE(R.Success);
+  {
+    AnalysisCache Writer(Dir.Path);
+    ASSERT_TRUE(Writer.store(7, entryFromResult(R)));
+  }
+  // Corrupt the single on-disk entry in place.
+  bool Damaged = false;
+  for (const auto &File : std::filesystem::directory_iterator(Dir.Path)) {
+    std::fstream F(File.path(), std::ios::in | std::ios::out);
+    F.seekp(10);
+    F.put('#');
+    Damaged = true;
+  }
+  ASSERT_TRUE(Damaged);
+
+  AnalysisCache Reader(Dir.Path);
+  EXPECT_FALSE(Reader.lookup(7).has_value());
+  CacheStats S = Reader.stats();
+  EXPECT_EQ(S.CorruptEntries, 1);
+  EXPECT_EQ(S.Misses, 1);
+  EXPECT_EQ(S.Hits, 0);
+}
+
+TEST(CacheDisk, InjectedLoadFaultDegradesToAMiss) {
+  ScratchDir Dir("c4b_cache_test_fault");
+  AnalysisResult R = analyzeEntry("t13");
+  ASSERT_TRUE(R.Success);
+  {
+    AnalysisCache Writer(Dir.Path);
+    ASSERT_TRUE(Writer.store(11, entryFromResult(R)));
+  }
+  AnalysisCache Reader(Dir.Path);
+  faultinject::arm(faultinject::Site::CacheLoad, 1,
+                   AnalysisErrorKind::InternalInvariant);
+  // The fault is contained inside the lookup: the caller sees a plain
+  // miss (and re-analyzes), never an exception.
+  EXPECT_FALSE(Reader.lookup(11).has_value());
+  faultinject::disarm();
+  EXPECT_EQ(Reader.stats().CorruptEntries, 1);
+  // The plan auto-disarmed; the entry itself is intact.
+  std::optional<CacheEntry> Back = Reader.lookup(11);
+  ASSERT_TRUE(Back.has_value());
+  expectSameOutcome(resultFromEntry(*Back), R);
+}
+
+//===----------------------------------------------------------------------===//
+// Trust line
+//===----------------------------------------------------------------------===//
+
+TEST(CacheTrust, CachedCertificatePassesTheValidator) {
+  const CorpusEntry *CE = findEntry("t08a");
+  ASSERT_NE(CE, nullptr);
+  IRProgram IR = lowerOrDie(CE->Source);
+  AnalysisResult R = analyzeProgram(IR, ResourceMetric::ticks(), {}, "f");
+  ASSERT_TRUE(R.Success);
+
+  // Round-trip through the cache, then rebuild the certificate from the
+  // served result: it must still pass the full validator.
+  CacheEntry E = entryFromResult(R);
+  std::optional<CacheEntry> Back = CacheEntry::deserialize(E.serialize(1), 1);
+  ASSERT_TRUE(Back.has_value());
+  AnalysisResult Served = resultFromEntry(*Back);
+  Certificate C =
+      Certificate::fromResult(Served, ResourceMetric::ticks(), {});
+  CheckReport Report = checkCertificate(IR, C);
+  EXPECT_TRUE(Report.Valid) << (Report.Violations.empty()
+                                    ? "no violations recorded"
+                                    : Report.Violations.front());
+
+  EXPECT_TRUE(verifyCacheEntry(IR, ResourceMetric::ticks(), {}, *Back));
+}
+
+TEST(CacheTrust, VerifyCachedCertsRejectsAPoisonedEntry) {
+  const char *Name = "t08a";
+  const CorpusEntry *CE = findEntry(Name);
+  ASSERT_NE(CE, nullptr);
+  IRProgram IR = lowerOrDie(CE->Source);
+  AnalysisResult Fresh = analyzeProgram(IR, ResourceMetric::ticks(), {}, "f");
+  ASSERT_TRUE(Fresh.Success);
+
+  // Poison the claimed bound and plant the entry under the correct key.
+  CacheEntry Poisoned = entryFromResult(Fresh);
+  Poisoned.Bounds.at("f").Const += Rational(1);
+  ASSERT_FALSE(verifyCacheEntry(IR, ResourceMetric::ticks(), {}, Poisoned));
+  std::uint64_t Key = moduleCacheKey(IR, ResourceMetric::ticks(), {}, "f").Hash;
+  auto Cache = std::make_shared<AnalysisCache>();
+  ASSERT_TRUE(Cache->store(Key, Poisoned));
+
+  std::vector<BatchJob> Jobs = corpusJobs({Name}, Cache);
+  Jobs[0].Pipe.VerifyCachedCerts = true;
+  BatchAnalyzer BA(1);
+  std::vector<BatchItem> Items = BA.run(Jobs);
+
+  // The hit was rejected and the job re-analyzed from scratch: the result
+  // is the fresh (correct) one, not the poisoned claim.
+  EXPECT_FALSE(Items[0].Result.FromCache);
+  expectSameOutcome(Items[0].Result, Fresh);
+  EXPECT_EQ(Cache->stats().VerifyRejects, 1);
+}

@@ -103,4 +103,19 @@ TEST(GoldenBound, CoversWholeCorpus) {
   EXPECT_EQ(std::size(GoldenBounds), corpus().size());
 }
 
+// The one persistently failing Table 3 row: the program has no linear
+// bound, and the verdict is the typed NoLinearBound (a deterministic
+// content property, exit code 16) — not an untyped generic failure.
+TEST(GoldenBound, PersistentFailureIsTypedNoLinearBound) {
+  const CorpusEntry *E = findEntry("speed_pldi09_fig4_5");
+  ASSERT_NE(E, nullptr);
+  IRProgram IR = test::lowerOrDie(E->Source);
+  AnalysisResult R =
+      analyzeProgram(IR, ResourceMetric::ticks(), {}, E->Function);
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::NoLinearBound);
+  EXPECT_NE(R.Error.find("no linear bound"), std::string::npos) << R.Error;
+  EXPECT_EQ(exitCodeFor(R.ErrorKind), 16);
+}
+
 } // namespace

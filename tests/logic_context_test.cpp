@@ -2,6 +2,8 @@
 
 #include "c4b/logic/Context.h"
 
+#include "c4b/lp/Solver.h"
+
 #include <gtest/gtest.h>
 
 using namespace c4b;
@@ -205,4 +207,163 @@ TEST(LogicContext, DropMentioningRoughInvariant) {
   LogicContext Inv = C.dropMentioning({"x"});
   EXPECT_TRUE(Inv.entails(fact({{"k", -1}}, 0)));
   EXPECT_FALSE(Inv.entails(fact({{"x", 1}, {"y", -1}}, 0)));
+}
+
+//===----------------------------------------------------------------------===//
+// Query-avoidance layer (tiers 1-2)
+//===----------------------------------------------------------------------===//
+
+TEST(QueryAvoidance, BoxRuleAnswersWithoutLp) {
+  clearQueryMemo();
+  LogicContext C;
+  C.assume(fact({{"x", 1}}, -5)); // x <= 5
+  C.assume(fact({{"y", 1}}, -3)); // y <= 3
+  AffineQ Obj;
+  Obj.add("x", Rational(1));
+  Obj.add("y", Rational(1));
+
+  long Pivots = lpThreadStats().Pivots;
+  QueryStats Before = queryThreadStats();
+  std::optional<Rational> Max = C.maxOf(Obj);
+  ASSERT_TRUE(Max.has_value());
+  EXPECT_EQ(*Max, Rational(8)); // The box corner: 5 + 3.
+  // The box rule (and the witness-point feasibility check it rests on)
+  // is pure arithmetic: no simplex pivot, no LP fallback.
+  EXPECT_EQ(lpThreadStats().Pivots, Pivots);
+  QueryStats After = queryThreadStats();
+  EXPECT_GT(After.Tier1Hits, Before.Tier1Hits);
+  EXPECT_EQ(After.LpFallbacks, Before.LpFallbacks);
+}
+
+TEST(QueryAvoidance, ClashingIntervalIsBottomWithoutLp) {
+  clearQueryMemo();
+  LogicContext C;
+  C.assume(fact({{"x", 1}}, -3)); // x <= 3
+  C.assume(fact({{"x", -1}}, 5)); // x >= 5
+  long Pivots = lpThreadStats().Pivots;
+  QueryStats Before = queryThreadStats();
+  EXPECT_TRUE(C.isBottom());
+  EXPECT_EQ(lpThreadStats().Pivots, Pivots);
+  QueryStats After = queryThreadStats();
+  EXPECT_EQ(After.Tier1Hits, Before.Tier1Hits + 1);
+  EXPECT_EQ(After.LpFallbacks, Before.LpFallbacks);
+}
+
+TEST(QueryAvoidance, RepeatedQueryHitsTheMemo) {
+  clearQueryMemo();
+  LogicContext C;
+  // The coupled fact defeats the box rule, so the query takes the exact
+  // path (projection) once and the memo on the repeat.
+  C.assume(fact({{"x", 1}, {"y", 1}}, -10)); // x + y <= 10
+  C.assume(fact({{"x", -1}}, 2));            // x >= 2
+  C.assume(fact({{"y", -1}}, 1));            // y >= 1
+  AffineQ Obj;
+  Obj.add("x", Rational(1));
+  Obj.add("y", Rational(1));
+
+  auto First = C.rangeOf(Obj);
+  QueryStats Mid = queryThreadStats();
+  auto Second = C.rangeOf(Obj);
+  QueryStats After = queryThreadStats();
+  ASSERT_TRUE(First.first.has_value());
+  EXPECT_EQ(*First.first, Rational(10));
+  ASSERT_TRUE(First.second.has_value());
+  EXPECT_EQ(*First.second, Rational(3));
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(After.Tier2Hits, Mid.Tier2Hits + 1);
+  EXPECT_EQ(After.LpFallbacks, Mid.LpFallbacks);
+}
+
+TEST(QueryAvoidance, MemoIsSharedAcrossContextsWithIdenticalContent) {
+  clearQueryMemo();
+  AffineQ Obj;
+  Obj.add("x", Rational(1));
+  Obj.add("y", Rational(1));
+  auto build = [] {
+    LogicContext C;
+    C.assume(fact({{"x", 1}, {"y", 1}}, -10));
+    C.assume(fact({{"x", -1}}, 2));
+    C.assume(fact({{"y", -1}}, 1));
+    return C;
+  };
+  LogicContext A = build();
+  auto FromA = A.rangeOf(Obj);
+  // A distinct context object with the same facts keys to the same
+  // content stamp: its first query is already a tier-2 hit.
+  LogicContext B = build();
+  QueryStats Mid = queryThreadStats();
+  auto FromB = B.rangeOf(Obj);
+  QueryStats After = queryThreadStats();
+  EXPECT_EQ(FromA, FromB);
+  EXPECT_EQ(After.Tier2Hits, Mid.Tier2Hits + 1);
+}
+
+TEST(QueryAvoidance, DisabledScopeFallsBackToLp) {
+  clearQueryMemo();
+  AffineQ Obj;
+  Obj.add("x", Rational(1));
+  LogicContext C;
+  C.assume(fact({{"x", 1}}, -5)); // x <= 5: tier 1 would answer this.
+  std::optional<Rational> On = C.maxOf(Obj);
+
+  QueryAvoidanceScope Off(false);
+  EXPECT_FALSE(queryAvoidanceEnabled());
+  QueryStats Mid = queryThreadStats();
+  std::optional<Rational> OffAns = C.maxOf(Obj);
+  QueryStats After = queryThreadStats();
+  EXPECT_EQ(On, OffAns); // Both tiers are exact by contract.
+  EXPECT_EQ(After.LpFallbacks, Mid.LpFallbacks + 1);
+  EXPECT_EQ(After.Tier1Hits, Mid.Tier1Hits);
+  EXPECT_EQ(After.Tier2Hits, Mid.Tier2Hits);
+}
+
+TEST(QueryAvoidance, ProjectionMatchesTheLpOnSmallSystems) {
+  // Differential check of the exact small-system projection against the
+  // LP on shapes that defeat the box rule: equality substitution, coupled
+  // inequalities, unbounded directions, and unmentioned objective vars.
+  struct Case {
+    std::vector<LinFact> Facts;
+    const char *ObjVarA;
+    int CoefA;
+    const char *ObjVarB; // nullptr for single-var objectives.
+    int CoefB;
+  };
+  const Case Cases[] = {
+      // x == y + 2, 1 <= y <= 7; obj x.
+      {{fact({{"x", 1}, {"y", -1}}, -2, true), fact({{"y", 1}}, -7),
+        fact({{"y", -1}}, 1)},
+       "x", 1, nullptr, 0},
+      // 2x + 3y <= 12, x >= 0, y >= 0; obj x - y.
+      {{fact({{"x", 2}, {"y", 3}}, -12), fact({{"x", -1}}, 0),
+        fact({{"y", -1}}, 0)},
+       "x", 1, "y", -1},
+      // x >= 0 only; obj x: unbounded above, 0 below.
+      {{fact({{"x", -1}}, 0)}, "x", 1, nullptr, 0},
+      // Facts about x only; obj z: unbounded both ways.
+      {{fact({{"x", 1}}, -4), fact({{"x", -1}}, 0)}, "z", 1, nullptr, 0},
+      // Chained couplings: x <= y, y <= z, z <= 3; obj x + z.
+      {{fact({{"x", 1}, {"y", -1}}, 0), fact({{"y", 1}, {"z", -1}}, 0),
+        fact({{"z", 1}}, -3)},
+       "x", 1, "z", 1},
+  };
+  for (const Case &TC : Cases) {
+    AffineQ Obj;
+    Obj.add(TC.ObjVarA, Rational(TC.CoefA));
+    if (TC.ObjVarB)
+      Obj.add(TC.ObjVarB, Rational(TC.CoefB));
+
+    clearQueryMemo();
+    LogicContext On;
+    for (const LinFact &F : TC.Facts)
+      On.assume(F);
+    auto Avoided = On.rangeOf(Obj);
+    auto AvoidedMax = On.maxOf(Obj);
+
+    QueryAvoidanceScope Off(false);
+    LogicContext Exact; // Fresh context: no cached feasibility verdict.
+    for (const LinFact &F : TC.Facts)
+      Exact.assume(F);
+    EXPECT_EQ(Exact.rangeOf(Obj), Avoided);
+    EXPECT_EQ(Exact.maxOf(Obj), AvoidedMax);
+  }
 }

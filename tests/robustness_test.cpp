@@ -421,9 +421,9 @@ TEST(Robustness, ExitCodesAreDistinctPerKind) {
         AnalysisErrorKind::MalformedIR, AnalysisErrorKind::LpBudgetExceeded,
         AnalysisErrorKind::DeadlineExceeded,
         AnalysisErrorKind::CoefficientOverflow,
-        AnalysisErrorKind::InternalInvariant})
+        AnalysisErrorKind::InternalInvariant, AnalysisErrorKind::NoLinearBound})
     Codes.insert(exitCodeFor(K));
-  EXPECT_EQ(Codes.size(), 7u);
+  EXPECT_EQ(Codes.size(), 8u);
   EXPECT_EQ(exitCodeFor(AnalysisErrorKind::None), 1) << "legacy failure code";
 }
 
