@@ -73,6 +73,9 @@ void emitStageTotals(FILE *F, const char *Key, const BatchStats &S) {
                "\"solve\": %ld},\n"
                "    \"ctx_queries\": {\"total\": %ld, \"tier1_hits\": %ld, "
                "\"tier2_hits\": %ld, \"lp_fallbacks\": %ld},\n"
+               "    \"summaries\": {\"applied\": %ld, \"reused\": %ld, "
+               "\"sccs_solved\": %ld, \"waves\": %ld, "
+               "\"max_wave_width\": %d},\n"
                "    \"cache\": {\"hits\": %d, \"stores\": %d}}",
                Key, S.WallSeconds, S.NumJobs, S.NumSucceeded, S.NumDegraded,
                S.NumFailed, S.NumDeadline, S.NumLpBudget,
@@ -81,7 +84,9 @@ void emitStageTotals(FILE *F, const char *Key, const BatchStats &S) {
                S.StageTotals.GeneratePivots, S.StageTotals.SolvePivots,
                S.StageTotals.GenQueries, S.StageTotals.GenTier1Hits,
                S.StageTotals.GenTier2Hits, S.StageTotals.GenLpFallbacks,
-               S.NumCacheHits, S.NumCacheStores);
+               S.StageTotals.SummariesApplied, S.StageTotals.SummariesReused,
+               S.StageTotals.SCCsSolved, S.StageTotals.Waves,
+               S.StageTotals.MaxWaveWidth, S.NumCacheHits, S.NumCacheStores);
 }
 
 /// Counts jobs whose results differ between two runs of the same job list;

@@ -25,6 +25,16 @@
 //                                                 are identical, just slower
 //     --cache-dir DIR                             cross-run result cache in
 //                                                 DIR (created if missing)
+//     --monolithic                                one whole-module constraint
+//                                                 system (the differential
+//                                                 oracle) instead of the
+//                                                 SCC-scheduled analysis
+//     --emit-summaries DIR                        keep per-SCC function
+//                                                 summaries in DIR (created
+//                                                 if missing)
+//     --use-summaries DIR                         reuse summaries from DIR;
+//                                                 unchanged SCCs skip their
+//                                                 generate+solve
 //
 // Exit codes are typed: 0 success, 1 analysis failed (no bound), 2 usage,
 // then one code per AnalysisError kind (see c4b/support/Error.h): 10 parse
@@ -43,6 +53,7 @@
 
 #include "c4b/support/Error.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,8 +72,20 @@ int usage() {
       "           [--lint] [--no-verify-ir] [--seed-intervals]\n"
       "           [--diag-json FILE]\n"
       "           [--timeout-ms N] [--max-pivots N] [--fallback-ranking]\n"
-      "           [--no-cache] [--cache-dir DIR]\n"
+      "           [--no-cache] [--cache-dir DIR] [--monolithic]\n"
+      "           [--emit-summaries DIR] [--use-summaries DIR]\n"
       "           (FILE.c4b | --name CORPUS_ENTRY | --list)\n"
+      "\n"
+      "interprocedural scheduling:\n"
+      "  --monolithic        emit one whole-module constraint system (the\n"
+      "                      differential oracle) instead of scheduling the\n"
+      "                      analysis over call-graph SCCs; bounds are\n"
+      "                      identical either way\n"
+      "  --emit-summaries DIR / --use-summaries DIR\n"
+      "                      attach a per-SCC summary store in DIR: solved\n"
+      "                      fragments are written there and unchanged SCCs\n"
+      "                      are served from it on later runs (an edit\n"
+      "                      re-analyzes only its SCC + transitive callers)\n"
       "\n"
       "caching:\n"
       "  --no-cache          disable the query-avoidance layer (syntactic\n"
@@ -109,6 +132,7 @@ int main(int Argc, char **Argv) {
   const char *CertOut = nullptr, *CertIn = nullptr;
   const char *InputFile = nullptr, *CorpusName = nullptr;
   const char *DiagJson = nullptr, *CacheDir = nullptr;
+  const char *EmitSummaries = nullptr, *UseSummaries = nullptr;
   bool NoCache = false;
 
   for (int I = 1; I < Argc; ++I) {
@@ -164,6 +188,14 @@ int main(int Argc, char **Argv) {
       NoCache = true;
     } else if (!std::strcmp(A, "--cache-dir")) {
       if (!needArg(CacheDir))
+        return usage();
+    } else if (!std::strcmp(A, "--monolithic")) {
+      Opts.SummaryScheduling = false;
+    } else if (!std::strcmp(A, "--emit-summaries")) {
+      if (!needArg(EmitSummaries))
+        return usage();
+    } else if (!std::strcmp(A, "--use-summaries")) {
+      if (!needArg(UseSummaries))
         return usage();
     } else if (!std::strcmp(A, "--help")) {
       usage();
@@ -225,6 +257,15 @@ int main(int Argc, char **Argv) {
   if (CacheDir && !NoCache)
     Cache = std::make_shared<AnalysisCache>(CacheDir);
 
+  // Summary store: both flags attach the same read-write store (solved
+  // fragments are stored, unchanged ones served); they exist separately so
+  // invocations read naturally.  Only meaningful on the scheduled path.
+  std::shared_ptr<SummaryStore> Summaries;
+  if ((EmitSummaries || UseSummaries) && Opts.SummaryScheduling &&
+      Opts.PolymorphicCalls)
+    Summaries = std::make_shared<SummaryStore>(
+        EmitSummaries ? EmitSummaries : UseSummaries);
+
   // The JSON report: the diagnostics array plus the caching counters of
   // the run (all zero until the analysis itself has run).
   auto writeDiagJson = [&](const DiagnosticEngine &Diags,
@@ -256,7 +297,29 @@ int main(int Argc, char **Argv) {
       Out << "      \"misses\": " << CS.Misses << ",\n";
       Out << "      \"stores\": " << CS.Stores << ",\n";
       Out << "      \"corrupt_entries\": " << CS.CorruptEntries << ",\n";
+      Out << "      \"stale_format\": " << CS.StaleFormat << ",\n";
       Out << "      \"verify_rejects\": " << CS.VerifyRejects << "\n";
+      Out << "    }";
+    }
+    Out << "\n  },\n";
+    Out << "  \"summaries\": {\n";
+    Out << "    \"scheduled\": " << (R && R->Scheduled ? "true" : "false")
+        << ",\n";
+    Out << "    \"applied\": " << (R ? R->NumSummariesApplied : 0) << ",\n";
+    Out << "    \"reused\": " << (R ? R->NumSummariesReused : 0) << ",\n";
+    Out << "    \"sccs_solved\": " << (R ? R->NumSCCsSolved : 0) << ",\n";
+    Out << "    \"waves\": " << (R ? R->NumWaves : 0) << ",\n";
+    Out << "    \"max_wave_width\": " << (R ? R->MaxWaveWidth : 0);
+    if (Summaries) {
+      SummaryStoreStats SS = Summaries->stats();
+      Out << ",\n    \"store\": {\n";
+      Out << "      \"lookups\": " << SS.Lookups << ",\n";
+      Out << "      \"hits\": " << SS.Hits << ",\n";
+      Out << "      \"disk_hits\": " << SS.DiskHits << ",\n";
+      Out << "      \"misses\": " << SS.Misses << ",\n";
+      Out << "      \"stores\": " << SS.Stores << ",\n";
+      Out << "      \"stale_format\": " << SS.StaleFormat << ",\n";
+      Out << "      \"corrupt_entries\": " << SS.CorruptEntries << "\n";
       Out << "    }";
     }
     Out << "\n  }\n}\n";
@@ -321,7 +384,20 @@ int main(int Argc, char **Argv) {
       }
     }
     if (!R.FromCache) {
-      R = analyzeProgram(*IR, *M, Opts);
+      if (Summaries) {
+        // Store-backed scheduled run: this is analyzeProgram's scheduled
+        // dispatch with the store attached (plus the same fallback ladder
+        // and wall-time stamp).
+        auto T0 = std::chrono::steady_clock::now();
+        R = analyzeProgramScheduled(*IR, *M, Opts, "", Summaries.get());
+        if (!R.Success && Opts.FallbackToRanking)
+          applyRankingFallback(R, *IR, *M);
+        R.AnalysisSeconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - T0)
+                                .count();
+      } else {
+        R = analyzeProgram(*IR, *M, Opts);
+      }
       if (CacheKey && cacheableResult(R))
         Cache->store(*CacheKey, entryFromResult(R));
     }
@@ -356,6 +432,12 @@ int main(int Argc, char **Argv) {
                "; ctx-queries=%ld tier1=%ld tier2=%ld lp-fallbacks=%ld%s\n",
                R.NumCtxQueries, R.NumCtxTier1Hits, R.NumCtxTier2Hits,
                R.NumCtxLpFallbacks, R.FromCache ? " (cached)" : "");
+  if (R.Scheduled)
+    std::fprintf(stderr,
+                 "; scheduled: waves=%d max-width=%d sccs-solved=%d "
+                 "summaries-applied=%d summaries-reused=%d\n",
+                 R.NumWaves, R.MaxWaveWidth, R.NumSCCsSolved,
+                 R.NumSummariesApplied, R.NumSummariesReused);
 
   if (RunBaseline)
     for (const IRFunction &F : IR->Functions) {

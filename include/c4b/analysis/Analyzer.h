@@ -27,6 +27,7 @@
 #include "c4b/sem/Metric.h"
 #include "c4b/support/Error.h"
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -80,6 +81,25 @@ struct AnalysisResult {
   // only when linting was requested.
   bool IRVerified = true;
   int NumLintWarnings = 0;
+
+  // Scheduled interprocedural analysis (see AnalysisOptions::
+  // SummaryScheduling and c4b/analysis/Summary.h).  Scheduled results
+  // concatenate per-SCC fragment solutions, so `Solution` is sliced per
+  // fragment when validated; SummaryKeys records the content key of every
+  // SCC in bottom-up order (the summaries this result consumed or
+  // produced), which the certificate checker re-derives and compares.
+  bool Scheduled = false;
+  std::vector<std::uint64_t> SummaryKeys;
+  /// Cross-SCC call sites served by splicing a summary instead of a clone
+  /// re-walk.
+  int NumSummariesApplied = 0;
+  /// SCC fragments served whole from a summary store (not re-analyzed).
+  int NumSummariesReused = 0;
+  /// SCC fragments generated and solved fresh in this run.
+  int NumSCCsSolved = 0;
+  /// Shape of the wave schedule (0/0 for non-scheduled results).
+  int NumWaves = 0;
+  int MaxWaveWidth = 0;
 
   const Bound *boundFor(const std::string &Fn) const {
     auto It = Bounds.find(Fn);

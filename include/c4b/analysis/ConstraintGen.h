@@ -88,7 +88,20 @@ struct AnalysisOptions {
   /// bit-for-bit.  Never serialized into certificates: a budget changes
   /// *whether* an answer is produced, not which answer.
   BudgetLimits Budget;
+  /// Schedule the analysis over call-graph SCCs bottom-up, consuming
+  /// reusable per-SCC summaries at cross-SCC call sites, instead of
+  /// emitting one monolithic per-module constraint system.  Effective only
+  /// with PolymorphicCalls (monomorphic specs couple every function into
+  /// one LP, which cannot be decomposed); the monolithic path is retained
+  /// behind this switch as the differential oracle.  The per-SCC systems
+  /// are block-restrictions of the monolithic one, so corpus bounds are
+  /// bit-identical (gated by the scheduled-vs-monolithic differential
+  /// test).
+  bool SummaryScheduling = true;
 };
+
+class SummaryProvider; // See c4b/analysis/Summary.h.
+struct SCCSummary;
 
 /// Sound linear invariants per loop head, keyed by the `Loop` statement
 /// they annotate.  Produced by the check stage's interval pre-pass
@@ -106,6 +119,12 @@ struct FuncSpec {
   Annotation Post;
   bool ReturnsValue = false;
 };
+
+/// The program-wide constant atom universe: every potential-relevant
+/// integer constant (plus 0), shared by every function spec of one
+/// program.  Exposed so summary content keys can fold the universe
+/// without re-running an analyzer.
+std::vector<Atom> programConstAtoms(const IRProgram &P);
 
 /// The stage-1 objective over a spec map: interval coefficients of every
 /// canonical precondition, weighted by the Section 5 penalty scheme.  When
@@ -144,6 +163,26 @@ public:
   /// solver.
   bool run();
 
+  /// Emits the constraints of one SCC only (spec allocation, then member
+  /// body walks) — the scheduled pipeline's per-fragment entry point.
+  /// Cross-SCC calls consult the summary provider when one is installed
+  /// and fall back to the clone re-walk otherwise.  Returns false when
+  /// the walk failed structurally.
+  bool analyzeSCC(int SccIdx);
+
+  /// Installs the source of callee-SCC summaries consumed at cross-SCC
+  /// call sites (scheduled mode).  Null (the default) means every
+  /// cross-SCC call re-instantiates the callee — the monolithic walk.
+  void setSummaryProvider(SummaryProvider *P) { Provider = P; }
+
+  /// The call graph the analyzer scheduled over (shared with callers so
+  /// the scheduled pipeline does not recompute SCCs).
+  const CallGraph &callGraph() const { return CG; }
+
+  /// The program-wide constant atom universe (identical for every SCC of
+  /// one program; summary content keys fold it).
+  const std::vector<Atom> &constAtoms() const { return ConstAtoms; }
+
   /// The canonical (non-cloned) spec of each function.
   const std::map<std::string, FuncSpec> &specs() const { return Specs; }
 
@@ -161,6 +200,13 @@ public:
   /// Statistics.
   int numWeakenPoints() const { return WeakenPoints; }
   int numCallInstantiations() const { return CallInstantiations; }
+  int numSummariesApplied() const { return SummariesApplied; }
+  /// Deepest specialization level the walk reached (clone instantiations
+  /// plus the recorded depth of applied summaries).  A summary built from
+  /// this walk consumes `1 + maxInstantiationDepth()` levels of its
+  /// consumer's MaxCallDepth budget — exactly what the monolithic clone
+  /// chain would have consumed.
+  int maxInstantiationDepth() const { return MaxInstDepth; }
 
 private:
   const IRProgram &Prog;
@@ -169,12 +215,19 @@ private:
   ConstraintSink &Sink;
   DiagnosticEngine *Diags;
   const LoopFactMap *LoopFacts;
+  SummaryProvider *Provider = nullptr;
   CallGraph CG;
   std::map<std::string, std::set<std::string>> ModGlobals;
   std::map<std::string, FuncSpec> Specs;
+  /// Per-SCC mode only: private copies of callee-SCC canonical blocks,
+  /// materialized on demand when a recursive cross-SCC callee must be
+  /// cloned without its canonical specs being part of this fragment.
+  std::map<int, std::map<std::string, FuncSpec>> PrivateBlocks;
   std::vector<Atom> ConstAtoms; ///< Program-wide constant atoms.
   int WeakenPoints = 0;
   int CallInstantiations = 0;
+  int SummariesApplied = 0;
+  int MaxInstDepth = 0;
   bool Failed = false;
 
   friend class FunctionWalker;
@@ -189,6 +242,15 @@ private:
                               const std::set<std::string> &CurrentSCC,
                               int Depth, FuncSpec &Storage,
                               const std::string &Caller, SourceLoc Loc);
+  /// Splices \p S (a relocatable callee-SCC fragment) into the stream:
+  /// re-allocates its variables, re-emits its constraints with ids
+  /// remapped, and returns \p Callee's spec mapped to the fresh ids.
+  FuncSpec applySummary(const SCCSummary &S, const std::string &Callee);
+  /// Canonical spec of \p Callee for in-SCC/back-call resolution: the
+  /// member map when the callee's SCC is part of this walk, else (per-SCC
+  /// mode) a private copy of its whole SCC block, materialized once per
+  /// fragment.
+  const FuncSpec *canonicalSpecFor(const std::string &Callee);
   void collectConstAtoms();
 };
 

@@ -1,0 +1,165 @@
+//===--- Summary.h - First-class per-SCC function summaries -----*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// First-class, reusable summaries of analyzed call-graph SCCs.  The
+/// scheduled pipeline processes SCCs bottom-up; each solved SCC becomes an
+/// SCCSummary — a *relocatable constraint fragment* (the exact stream the
+/// derivation walk emitted for the SCC, with 0-based variable ids) plus
+/// the member function specifications expressed in those ids.  A caller
+/// consumes a summary by splicing the fragment into its own constraint
+/// stream (fresh ids, remapped constraints), which reproduces, variable
+/// for variable, what the monolithic polymorphic re-walk of the callee
+/// would have produced.  The splice is therefore a replay, not an
+/// approximation: corpus bounds stay bit-identical to the monolithic path
+/// (gated by the scheduled-vs-monolithic differential test).
+///
+/// Summaries are content-addressed (sccSummaryKey folds the member IR,
+/// the option/metric configuration, and the keys of every callee SCC), so
+/// a SummaryStore doubles as the incremental-analysis cache: editing one
+/// function changes its SCC key and, through the dependency fold, the
+/// keys of its transitive callers — and nothing else.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_ANALYSIS_SUMMARY_H
+#define C4B_ANALYSIS_SUMMARY_H
+
+#include "c4b/analysis/ConstraintGen.h"
+#include "c4b/ir/IR.h"
+#include "c4b/lp/Solver.h"
+#include "c4b/sem/Metric.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c4b {
+
+/// One member function's derived potential annotation, with LP variable
+/// ids local to the owning fragment (0-based).
+struct FunctionSummary {
+  std::string Name;
+  FuncSpec Spec;
+};
+
+/// A solved call-graph SCC as a reusable artifact: the relocatable
+/// constraint fragment, the member specifications over its ids, and the
+/// solved values/bounds of the standalone solve.
+struct SCCSummary {
+  /// Content key (sccSummaryKey): folds members, configuration, and the
+  /// keys of every callee SCC, so invalidation is transitive by
+  /// construction.
+  std::uint64_t Key = 0;
+  /// Member function names in canonical (SCC vector) order.
+  std::vector<std::string> Members;
+  /// Per-member derived annotations, ids into VarNames.
+  std::vector<FunctionSummary> Funcs;
+  /// Variable names in allocation order; positions are the fragment-local
+  /// ids.  Splicing re-allocates them in this exact order.
+  std::vector<std::string> VarNames;
+  /// The fragment's constraints over 0-based ids.
+  std::vector<LinConstraint> Constraints;
+  /// Specialization levels a splice of this fragment consumes from the
+  /// consumer's MaxCallDepth budget: 1 (the callee itself) plus the
+  /// deepest instantiation its own walk performed.  Keeping this exact
+  /// makes the scheduled depth guard trip iff the monolithic clone chain
+  /// would have tripped.
+  int CallDepth = 1;
+  /// Statistics the fragment's walk accumulated; folded into a consumer's
+  /// counters on splice, as an inline re-walk would have.
+  int WeakenPoints = 0;
+  int CallInstantiations = 0;
+  /// Standalone solve of the fragment (values indexed like VarNames).
+  bool Solved = false;
+  std::vector<Rational> Values;
+  std::map<std::string, Bound> Bounds;
+
+  /// Member summary by name; null when \p Name is not a member.
+  const FunctionSummary *funcFor(const std::string &Name) const;
+
+  /// On-disk form: format-version header, build fingerprint, key echo,
+  /// then the payload, checksum-terminated (the tier-3 cache idiom).
+  std::string serialize() const;
+  /// Integrity-checked parse.  Returns nullopt for corrupt text (bad
+  /// checksum / malformed payload); when \p Stale is non-null it is set
+  /// when the text was written by a different format version or build —
+  /// a clean miss, not corruption.
+  static std::optional<SCCSummary> deserialize(const std::string &Text,
+                                               std::uint64_t Key,
+                                               bool *Stale = nullptr);
+};
+
+/// Where a derivation walk gets callee-SCC summaries from (installed on
+/// ProgramAnalyzer in scheduled mode).
+class SummaryProvider {
+public:
+  virtual ~SummaryProvider() = default;
+  /// The summary of \p Callee's SCC, or null to force the clone re-walk.
+  virtual const SCCSummary *summaryFor(const std::string &Callee) = 0;
+};
+
+/// Counters for the summary store.
+struct SummaryStoreStats {
+  long Lookups = 0;
+  long Hits = 0;
+  long DiskHits = 0;
+  long Misses = 0;
+  long Stores = 0;
+  /// Disk entries skipped cleanly: written by another format version or
+  /// build fingerprint.
+  long StaleFormat = 0;
+  /// Disk entries that failed the integrity check outright.
+  long CorruptEntries = 0;
+};
+
+/// Content-addressed store of SCC summaries: always in memory, optionally
+/// mirrored to a directory of `<key>.c4bsum` files (--emit-summaries /
+/// --use-summaries).  Thread-safe; lookups return pointers into the
+/// node-stable memory map, valid for the store's lifetime.
+class SummaryStore {
+public:
+  /// \p DiskDir empty means memory-only.  A directory that cannot be
+  /// created degrades to memory-only.
+  explicit SummaryStore(std::string DiskDir = "");
+
+  /// The summary with content key \p Key, or null (miss).
+  const SCCSummary *lookup(std::uint64_t Key);
+  /// Stores \p S under its own key (first writer wins) and returns the
+  /// stored instance.
+  const SCCSummary *store(SCCSummary S);
+
+  SummaryStoreStats stats() const;
+
+private:
+  std::string Dir;
+  mutable std::mutex Mu;
+  std::map<std::uint64_t, SCCSummary> Mem;
+  SummaryStoreStats Stats;
+
+  std::string entryPath(std::uint64_t Key) const;
+};
+
+/// Content key of SCC \p SccIdx: the configuration that pins down which
+/// constraints the walk emits (metric constants, weakening placement,
+/// polymorphism, objective staging, depth budget, interval seeding), the
+/// program-wide constant-atom universe, the canonical IR of every member,
+/// and the keys of every callee SCC (sorted), making invalidation
+/// transitive.  Options that only affect whether/how fast an answer is
+/// produced (budgets, query avoidance, ranking fallback) are excluded,
+/// mirroring the tier-3 module key.
+std::uint64_t sccSummaryKey(const IRProgram &P, const ResourceMetric &M,
+                            const AnalysisOptions &O, const CallGraph &CG,
+                            int SccIdx,
+                            const std::vector<std::uint64_t> &DepKeys);
+
+} // namespace c4b
+
+#endif // C4B_ANALYSIS_SUMMARY_H

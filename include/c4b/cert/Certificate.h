@@ -42,6 +42,14 @@ struct Certificate {
   /// budget kill.  Degraded results carry no satisfying assignment, so a
   /// degraded certificate certifies nothing and the validator rejects it.
   bool Degraded = false;
+  /// True when the analysis was SCC-scheduled: Values concatenates the
+  /// per-SCC fragment solutions in bottom-up SCC order and is validated
+  /// fragment by fragment (generateScheduledFragments).  SummaryKeys then
+  /// records each fragment's content key; the validator re-derives the
+  /// keys and compares, so a certificate also certifies *which* summaries
+  /// its analysis consumed.
+  bool Scheduled = false;
+  std::vector<std::uint64_t> SummaryKeys;
 
   /// Builds the certificate of a successful analysis.
   static Certificate fromResult(const AnalysisResult &R,

@@ -240,6 +240,15 @@ std::string printIR(const IRProgram &P);
 /// Call-graph SCCs in bottom-up (callee-first) topological order, computed
 /// with Tarjan's algorithm.  The analysis processes one SCC at a time and
 /// treats calls within an SCC as (mutually) recursive.
+///
+/// Beyond the member/SCC maps, the graph carries its condensation DAG in
+/// scheduling form: per-SCC cross-SCC dependency sets and the wave
+/// partition derived from them.  Wave k holds exactly the SCCs all of
+/// whose cross-SCC callees sit in waves < k, so the SCCs of one wave are
+/// mutually independent and can be analyzed concurrently once every
+/// earlier wave is done.  The scheduled interprocedural analysis walks
+/// waves in order; the summary cache uses the reverse edges to decide
+/// which SCCs a function edit transitively invalidates.
 struct CallGraph {
   /// SCCs in bottom-up order; entries are function names.
   std::vector<std::vector<std::string>> SCCs;
@@ -249,8 +258,23 @@ struct CallGraph {
   /// Index of the SCC containing each function.
   std::map<std::string, int> SCCOf;
 
+  /// Condensation edges: SCCDeps[I] holds the SCC indices this SCC calls
+  /// into (cross-SCC only; always < I by the bottom-up order).
+  std::vector<std::set<int>> SCCDeps;
+  /// Reverse condensation edges: the SCCs that call directly into SCC I.
+  std::vector<std::set<int>> SCCRevDeps;
+  /// Wave level of each SCC: 0 for leaves, 1 + max callee wave otherwise.
+  std::vector<int> WaveOf;
+  /// SCC indices grouped by wave; Waves[k] is ready once waves < k are
+  /// done.  Within a wave, indices are ascending (deterministic order).
+  std::vector<std::vector<int>> Waves;
+
   /// True when \p Caller and \p Callee belong to the same SCC.
   bool inSameSCC(const std::string &Caller, const std::string &Callee) const;
+
+  /// The SCC indices that transitively call into SCC \p I (excluding I
+  /// itself): the set an edit to a member of I invalidates.
+  std::set<int> transitiveCallers(int I) const;
 };
 
 CallGraph buildCallGraph(const IRProgram &P);

@@ -61,6 +61,17 @@ struct StageTimings {
   long GenTier2Hits = 0;
   long GenLpFallbacks = 0;
 
+  // Scheduled-analysis counters (zero on the monolithic path): summary
+  // splices at call sites, whole fragments served from the summary store,
+  // fragments solved fresh, and the shape of the wave schedule.  Summed
+  // across jobs like the other counters, except MaxWaveWidth which takes
+  // the maximum.
+  long SummariesApplied = 0;
+  long SummariesReused = 0;
+  long SCCsSolved = 0;
+  long Waves = 0;
+  int MaxWaveWidth = 0;
+
   double totalSeconds() const {
     return FrontendSeconds + CheckSeconds + GenerateSeconds + SolveSeconds;
   }
@@ -75,6 +86,12 @@ struct StageTimings {
     GenTier1Hits += O.GenTier1Hits;
     GenTier2Hits += O.GenTier2Hits;
     GenLpFallbacks += O.GenLpFallbacks;
+    SummariesApplied += O.SummariesApplied;
+    SummariesReused += O.SummariesReused;
+    SCCsSolved += O.SCCsSolved;
+    Waves += O.Waves;
+    MaxWaveWidth = MaxWaveWidth > O.MaxWaveWidth ? MaxWaveWidth
+                                                 : O.MaxWaveWidth;
     return *this;
   }
 };

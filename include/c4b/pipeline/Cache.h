@@ -31,6 +31,7 @@
 #include "c4b/analysis/Analyzer.h"
 #include "c4b/ir/IR.h"
 #include "c4b/sem/Metric.h"
+#include "c4b/support/Hash.h"
 
 #include <cstdint>
 #include <map>
@@ -40,11 +41,6 @@
 #include <string_view>
 
 namespace c4b {
-
-/// FNV-1a over \p S, continuing from \p Seed.  Stable across platforms
-/// and runs (the on-disk cache depends on that).
-std::uint64_t stableHash64(std::string_view S,
-                           std::uint64_t Seed = 1469598103934665603ull);
 
 /// The content address of one analysis: the module hash keys the cache;
 /// the per-function hashes let callers (and tests) pinpoint which
@@ -80,13 +76,27 @@ struct CacheEntry {
   int NumEliminated = 0;
   int NumWeakenPoints = 0;
   int NumCallInstantiations = 0;
+  // Scheduled-analysis provenance (see AnalysisResult): whether the run
+  // was SCC-scheduled, which summary keys it consumed/produced, and the
+  // reuse counters — replayed so a cached result stays bit-identical.
+  bool Scheduled = false;
+  std::vector<std::uint64_t> SummaryKeys;
+  int NumSummariesApplied = 0;
+  int NumSCCsSolved = 0;
+  int NumWaves = 0;
+  int MaxWaveWidth = 0;
 
-  /// Line-oriented text form with a trailing integrity checksum.
+  /// Line-oriented text form with a format-version header, the writing
+  /// build's fingerprint, and a trailing integrity checksum.
   std::string serialize(std::uint64_t Key) const;
   /// Parses and integrity-checks; nullopt on any mismatch (including a
   /// key that differs from \p Key — a renamed or cross-linked file).
+  /// \p Stale, when non-null, is set when the entry is intact but was
+  /// written under a different format version or build fingerprint — a
+  /// clean stale miss, not corruption.
   static std::optional<CacheEntry> deserialize(const std::string &Text,
-                                               std::uint64_t Key);
+                                               std::uint64_t Key,
+                                               bool *Stale = nullptr);
 };
 
 /// True when \p R is a deterministic outcome the cache may store.
@@ -115,6 +125,7 @@ struct CacheStats {
   long Misses = 0;
   long Stores = 0;
   long CorruptEntries = 0; ///< disk entries that failed integrity checks
+  long StaleFormat = 0;    ///< intact entries from a foreign format/build
   long VerifyRejects = 0;  ///< hits rejected by certificate re-validation
 };
 

@@ -34,6 +34,7 @@
 
 #include "c4b/analysis/Analyzer.h"
 #include "c4b/analysis/ConstraintGen.h"
+#include "c4b/analysis/Summary.h"
 #include "c4b/ast/AST.h"
 #include "c4b/ir/IR.h"
 #include "c4b/pipeline/Cache.h"
@@ -104,6 +105,18 @@ struct PipelineOptions {
   /// default: the on-disk checksum already catches corruption, and a hit
   /// can always be validated after the fact with checkCertificate.
   bool VerifyCachedCerts = false;
+  /// Cross-run summary store consumed and fed by the scheduled
+  /// interprocedural analysis (AnalysisOptions::SummaryScheduling).  When
+  /// set, solved SCC fragments are served from / stored into it at
+  /// summary granularity — an edited function invalidates only its SCC
+  /// and transitive callers instead of the whole module.  Shared across
+  /// jobs and batches, like Cache.
+  std::shared_ptr<SummaryStore> Summaries;
+  /// Worker threads for mutually independent SCCs of one wave in the
+  /// scheduled analysis.  1 (the default) is fully serial; ignored (kept
+  /// serial) when a budget is enabled, since budget counters are
+  /// thread-local.
+  int SCCThreads = 1;
 };
 
 /// Stage 2.5 artifact: a lowered module plus its check-stage verdict.
@@ -231,6 +244,58 @@ SolvedSystem solveSystem(const ConstraintSystem &CS,
 /// results are identical by construction (AnalysisSeconds excepted — the
 /// caller stamps wall time).
 AnalysisResult toAnalysisResult(const ConstraintSystem &CS, SolvedSystem S);
+
+//===----------------------------------------------------------------------===//
+// Scheduled interprocedural analysis (SCC waves + reusable summaries)
+//===----------------------------------------------------------------------===//
+
+/// Per-run counters of one scheduled analysis, plus the per-stage
+/// time/pivot spend the batch analyzer folds into StageTimings.  The
+/// seconds are CPU-side sums over fragments: with SCCThreads > 1 they can
+/// exceed wall time.
+struct ScheduledStats {
+  int SummariesApplied = 0; ///< Cross-SCC call sites served by a splice.
+  int SummariesReused = 0;  ///< Fragments served whole from the store.
+  int SCCsSolved = 0;       ///< Fragments generated + solved fresh.
+  int NumWaves = 0;
+  int MaxWaveWidth = 0;
+  double GenerateSeconds = 0;
+  double SolveSeconds = 0;
+  long GeneratePivots = 0;
+  long SolvePivots = 0;
+};
+
+/// Runs the analysis scheduled over call-graph SCC waves, bottom-up: each
+/// SCC becomes its own constraint fragment (cross-SCC calls splice callee
+/// summaries — see c4b/analysis/Summary.h), solved standalone; results are
+/// assembled in SCC order.  Requires `O.PolymorphicCalls` (monomorphic
+/// specs couple all functions into one LP); `analyzeProgram` dispatches
+/// here when `O.SummaryScheduling` is also set.  Corpus bounds are
+/// bit-identical to the monolithic path (differential-gated).
+///
+/// \p Store, when non-null, serves previously solved fragments by content
+/// key and receives fresh ones — the incremental path.  The fragment
+/// containing \p Focus is always solved fresh (its objective depends on
+/// the focus, its key must not).  \p SCCThreads > 1 solves the mutually
+/// independent SCCs of one wave concurrently (ignored under a budget).
+AnalysisResult analyzeProgramScheduled(const IRProgram &P,
+                                       const ResourceMetric &M,
+                                       const AnalysisOptions &O,
+                                       const std::string &Focus = "",
+                                       SummaryStore *Store = nullptr,
+                                       int SCCThreads = 1,
+                                       ScheduledStats *Stats = nullptr);
+
+/// Deterministically re-generates the per-SCC constraint fragments of a
+/// scheduled analysis, in bottom-up SCC order, without solving anything —
+/// the certificate checker's replay (a scheduled certificate's value
+/// vector is validated fragment by fragment).  \p Keys, when non-null,
+/// receives each fragment's content key (sccSummaryKey) so consumed
+/// summary references can be validated too.
+std::vector<ConstraintSystem>
+generateScheduledFragments(const IRProgram &P, const ResourceMetric &M,
+                           const AnalysisOptions &O,
+                           std::vector<std::uint64_t> *Keys = nullptr);
 
 } // namespace c4b
 

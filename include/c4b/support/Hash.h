@@ -1,0 +1,47 @@
+//===--- Hash.h - Stable content hashing ------------------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stable (cross-platform, cross-run) content hashing shared by the
+/// content-addressed layers: the tier-3 analysis cache keys modules, the
+/// summary store keys call-graph SCCs, and certificates reference consumed
+/// summary keys.  All of them depend on the same bytes hashing to the same
+/// value on every machine, so this is FNV-1a over explicit byte strings —
+/// never std::hash, whose value is implementation-defined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SUPPORT_HASH_H
+#define C4B_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace c4b {
+
+/// FNV-1a over \p S, continuing from \p Seed.  Stable across platforms
+/// and runs (the on-disk cache and summary stores depend on that).
+std::uint64_t stableHash64(std::string_view S,
+                           std::uint64_t Seed = 1469598103934665603ull);
+
+/// Folds \p S into \p H length-separated, so ("ab","c") and ("a","bc")
+/// hash differently.
+std::uint64_t foldString(std::uint64_t H, std::string_view S);
+
+/// Renders a hash as 16 lowercase hex digits (entry filenames, key lines
+/// inside serialized records).
+std::string hex16(std::uint64_t V);
+
+/// Fingerprint of this build of the library.  Folded into on-disk record
+/// headers so entries written by a different build parse as clean stale
+/// misses instead of being field-misread under a changed layout.
+std::uint64_t buildFingerprint();
+
+} // namespace c4b
+
+#endif // C4B_SUPPORT_HASH_H

@@ -11,6 +11,8 @@
 
 #include "c4b/analysis/ConstraintGen.h"
 
+#include "c4b/analysis/Summary.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -1194,13 +1196,19 @@ ProgramAnalyzer::ProgramAnalyzer(const IRProgram &P, const ResourceMetric &M,
   collectConstAtoms();
 }
 
-void ProgramAnalyzer::collectConstAtoms() {
+std::vector<Atom> c4b::programConstAtoms(const IRProgram &P) {
   ConstCollector C;
   C.Consts.insert(0);
-  for (const IRFunction &F : Prog.Functions)
+  for (const IRFunction &F : P.Functions)
     C.visitStmt(*F.Body);
+  std::vector<Atom> Atoms;
   for (std::int64_t V : C.Consts)
-    ConstAtoms.push_back(Atom::makeConst(V));
+    Atoms.push_back(Atom::makeConst(V));
+  return Atoms;
+}
+
+void ProgramAnalyzer::collectConstAtoms() {
+  ConstAtoms = programConstAtoms(Prog);
 }
 
 FuncSpec ProgramAnalyzer::makeSpec(const IRFunction &F) {
@@ -1235,6 +1243,69 @@ void ProgramAnalyzer::analyzeFunctionBody(const IRFunction &F,
   W.run();
 }
 
+const FuncSpec *ProgramAnalyzer::canonicalSpecFor(const std::string &Callee) {
+  if (auto It = Specs.find(Callee); It != Specs.end())
+    return &It->second;
+  // Per-SCC (scheduled) mode: a cloned recursive callee's back-calls land
+  // here when its SCC block is not part of this fragment.  The monolithic
+  // walk resolves them against the canonical block emitted for an earlier
+  // SCC; a self-contained fragment instead materializes one private copy
+  // of that whole block — the same constraints, so the same feasible
+  // projection onto the clone's spec — and shares it fragment-wide.
+  auto SccIt = CG.SCCOf.find(Callee);
+  if (SccIt == CG.SCCOf.end())
+    return nullptr;
+  int Idx = SccIt->second;
+  if (auto It = PrivateBlocks.find(Idx); It != PrivateBlocks.end())
+    return &It->second.at(Callee);
+  auto &Block = PrivateBlocks[Idx];
+  const std::vector<std::string> &SCC = CG.SCCs[static_cast<std::size_t>(Idx)];
+  std::set<std::string> Members(SCC.begin(), SCC.end());
+  // Specs first, then member walks — the canonical processing order.
+  for (const std::string &Name : SCC)
+    Block.emplace(Name, makeSpec(*Prog.findFunction(Name)));
+  for (const std::string &Name : SCC)
+    analyzeFunctionBody(*Prog.findFunction(Name), Block.at(Name), Members,
+                        /*Depth=*/0);
+  return &Block.at(Callee);
+}
+
+FuncSpec ProgramAnalyzer::applySummary(const SCCSummary &S,
+                                       const std::string &Callee) {
+  // Splice the relocatable fragment: fresh variables in recorded order,
+  // then every constraint with ids remapped.  For a non-recursive callee
+  // this re-emits, variable for variable, exactly the stream the clone
+  // re-walk would have produced — the splice is a replay, not an
+  // approximation.
+  std::vector<int> Map;
+  Map.reserve(S.VarNames.size());
+  for (const std::string &Name : S.VarNames)
+    Map.push_back(Sink.addVar(Name));
+  for (const LinConstraint &C : S.Constraints) {
+    std::vector<LinTerm> Terms = C.Terms;
+    for (LinTerm &T : Terms)
+      T.Var = Map[static_cast<std::size_t>(T.Var)];
+    Sink.addConstraint(std::move(Terms), C.R, C.Rhs);
+  }
+  // The spliced rows carry the fragment's weakening points and internal
+  // clone instantiations; fold them into this walk's statistics the same
+  // way an inline re-walk would have.  The splice itself stands in for one
+  // clone instantiation of the callee, so it counts as one too.
+  WeakenPoints += S.WeakenPoints;
+  CallInstantiations += 1 + S.CallInstantiations;
+
+  const FunctionSummary *FS = S.funcFor(Callee);
+  assert(FS && "provider returned a summary of the wrong SCC");
+  FuncSpec R = FS->Spec;
+  for (int &V : R.Pre.Vars)
+    if (V >= 0)
+      V = Map[static_cast<std::size_t>(V)];
+  for (int &V : R.Post.Vars)
+    if (V >= 0)
+      V = Map[static_cast<std::size_t>(V)];
+  return R;
+}
+
 const FuncSpec *
 ProgramAnalyzer::specForCall(const std::string &Callee,
                              const std::set<std::string> &CurrentSCC,
@@ -1249,9 +1320,25 @@ ProgramAnalyzer::specForCall(const std::string &Callee,
     return nullptr;
   }
   if (CurrentSCC.contains(Callee) || !Opts.PolymorphicCalls) {
-    auto It = Specs.find(Callee);
-    assert(It != Specs.end() && "bottom-up order guarantees callee specs");
-    return &It->second;
+    const FuncSpec *S = canonicalSpecFor(Callee);
+    assert(S && "bottom-up order guarantees callee specs");
+    return S;
+  }
+  // Scheduled mode: consume the callee SCC's summary when the provider has
+  // one and the splice fits the depth budget.  A summary consumes exactly
+  // the specialization levels its clone chain would have (CallDepth), so
+  // the guard trips iff the monolithic chain would have tripped — and the
+  // fall-through below then reproduces the monolithic failure site and
+  // note verbatim.
+  if (Provider && Opts.PolymorphicCalls) {
+    if (const SCCSummary *Sum = Provider->summaryFor(Callee)) {
+      if (Depth + Sum->CallDepth <= Opts.MaxCallDepth) {
+        Storage = applySummary(*Sum, Callee);
+        ++SummariesApplied;
+        MaxInstDepth = std::max(MaxInstDepth, Depth + Sum->CallDepth);
+        return &Storage;
+      }
+    }
   }
   if (Depth + 1 > Opts.MaxCallDepth) {
     Failed = true;
@@ -1264,6 +1351,7 @@ ProgramAnalyzer::specForCall(const std::string &Callee,
     return nullptr;
   }
   ++CallInstantiations;
+  MaxInstDepth = std::max(MaxInstDepth, Depth + 1);
   Storage = makeSpec(*Fn);
   // Re-walk the callee body against the fresh spec (resource polymorphism).
   // Calls the clone makes into the callee's own SCC resolve to the
@@ -1275,19 +1363,24 @@ ProgramAnalyzer::specForCall(const std::string &Callee,
   return &Storage;
 }
 
-bool ProgramAnalyzer::run() {
-  for (const std::vector<std::string> &SCC : CG.SCCs) {
-    std::set<std::string> Members(SCC.begin(), SCC.end());
-    for (const std::string &Name : SCC) {
-      const IRFunction *F = Prog.findFunction(Name);
-      assert(F && "call graph only contains defined functions");
-      Specs.emplace(Name, makeSpec(*F));
-    }
-    for (const std::string &Name : SCC) {
-      const IRFunction *F = Prog.findFunction(Name);
-      analyzeFunctionBody(*F, Specs.at(Name), Members, /*Depth=*/0);
-    }
+bool ProgramAnalyzer::analyzeSCC(int SccIdx) {
+  const std::vector<std::string> &SCC =
+      CG.SCCs[static_cast<std::size_t>(SccIdx)];
+  std::set<std::string> Members(SCC.begin(), SCC.end());
+  for (const std::string &Name : SCC) {
+    const IRFunction *F = Prog.findFunction(Name);
+    assert(F && "call graph only contains defined functions");
+    Specs.emplace(Name, makeSpec(*F));
   }
+  for (const std::string &Name : SCC)
+    analyzeFunctionBody(*Prog.findFunction(Name), Specs.at(Name), Members,
+                        /*Depth=*/0);
+  return !Failed;
+}
+
+bool ProgramAnalyzer::run() {
+  for (int I = 0, E = static_cast<int>(CG.SCCs.size()); I < E; ++I)
+    analyzeSCC(I);
   return !Failed;
 }
 

@@ -1,0 +1,430 @@
+//===--- Summary.cpp - First-class per-SCC function summaries --------------===//
+//
+// Serialization follows the tier-3 cache idiom: a version header, a build
+// fingerprint, a key echo, a line-oriented payload, and a trailing
+// checksum of everything before it.  The checksum is verified first, so
+// truncation and bit flips are "corrupt"; a good checksum with a foreign
+// version or fingerprint is "stale" — a clean miss, never a misparse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/analysis/Summary.h"
+
+#include "c4b/support/FaultInject.h"
+#include "c4b/support/Hash.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace c4b;
+
+const FunctionSummary *SCCSummary::funcFor(const std::string &Name) const {
+  for (const FunctionSummary &F : Funcs)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeAtoms(std::ostringstream &OS, const char *Tag,
+                const std::vector<Atom> &Atoms) {
+  OS << Tag << " " << Atoms.size() << "\n";
+  // One atom per line: "v <name>" / "c <value>".  Names are identifiers,
+  // but line-orientation keeps the format safe for any space-free token.
+  for (const Atom &A : Atoms) {
+    if (A.isVar())
+      OS << "v " << A.Name << "\n";
+    else
+      OS << "c " << A.Value << "\n";
+  }
+}
+
+bool readAtoms(std::istringstream &IS, const char *Tag,
+               std::vector<Atom> &Out) {
+  std::string Word;
+  std::size_t N = 0;
+  if (!(IS >> Word) || Word != Tag || !(IS >> N))
+    return false;
+  Out.reserve(N);
+  for (std::size_t I = 0; I < N; ++I) {
+    std::string Kind, Tok;
+    if (!(IS >> Kind >> Tok))
+      return false;
+    if (Kind == "v")
+      Out.push_back(Atom::makeVar(Tok));
+    else if (Kind == "c")
+      Out.push_back(Atom::makeConst(std::stoll(Tok)));
+    else
+      return false;
+  }
+  return true;
+}
+
+void writeVarIds(std::ostringstream &OS, const char *Tag,
+                 const std::vector<int> &Vars) {
+  OS << Tag << " " << Vars.size();
+  for (int V : Vars)
+    OS << " " << V;
+  OS << "\n";
+}
+
+bool readVarIds(std::istringstream &IS, const char *Tag,
+                std::vector<int> &Out, int NumVars) {
+  std::string Word;
+  std::size_t N = 0;
+  if (!(IS >> Word) || Word != Tag || !(IS >> N))
+    return false;
+  Out.resize(N);
+  for (std::size_t I = 0; I < N; ++I) {
+    if (!(IS >> Out[I]))
+      return false;
+    // Ids are fragment-local (or -1 for the literal zero); anything else
+    // would make the splice remap read out of bounds.
+    if (Out[I] < -1 || Out[I] >= NumVars)
+      return false;
+  }
+  return true;
+}
+
+Atom parseSummaryAtom(const std::string &S) {
+  if (!S.empty() && (S[0] == '-' || (S[0] >= '0' && S[0] <= '9')))
+    return Atom::makeConst(std::stoll(S));
+  return Atom::makeVar(S);
+}
+
+} // namespace
+
+std::string SCCSummary::serialize() const {
+  std::ostringstream OS;
+  OS << "c4b-scc-summary v1\n";
+  OS << "build " << hex16(buildFingerprint()) << "\n";
+  OS << "key " << hex16(Key) << "\n";
+  OS << "members " << Members.size() << "\n";
+  for (const std::string &M : Members)
+    OS << M << "\n";
+  OS << "depth " << CallDepth << " weaken " << WeakenPoints << " insts "
+     << CallInstantiations << "\n";
+  // Variable names may contain dots and arbitrary walker tags; one per
+  // line so the reader never has to guess at token boundaries.
+  OS << "vars " << VarNames.size() << "\n";
+  for (const std::string &N : VarNames)
+    OS << N << "\n";
+  OS << "constraints " << Constraints.size() << "\n";
+  for (const LinConstraint &C : Constraints) {
+    OS << C.Terms.size();
+    for (const LinTerm &T : C.Terms)
+      OS << " " << T.Var << " " << T.Coef.toString();
+    OS << " " << static_cast<int>(C.R) << " " << C.Rhs.toString() << "\n";
+  }
+  OS << "funcs " << Funcs.size() << "\n";
+  for (const FunctionSummary &F : Funcs) {
+    OS << F.Name << " returns " << (F.Spec.ReturnsValue ? 1 : 0) << "\n";
+    writeAtoms(OS, "preatoms", F.Spec.PreIS.atoms());
+    writeVarIds(OS, "prevars", F.Spec.Pre.Vars);
+    writeAtoms(OS, "postatoms", F.Spec.PostIS.atoms());
+    writeVarIds(OS, "postvars", F.Spec.Post.Vars);
+  }
+  OS << "solved " << (Solved ? 1 : 0) << "\n";
+  OS << "values " << Values.size() << "\n";
+  for (const Rational &V : Values)
+    OS << V.toString() << "\n";
+  OS << "bounds " << Bounds.size() << "\n";
+  for (const auto &[Fn, B] : Bounds) {
+    OS << Fn << " " << B.Const.toString() << " " << B.Terms.size();
+    for (const Bound::Term &T : B.Terms)
+      OS << " " << T.Coef.toString() << " " << T.Lo.toString() << " "
+         << T.Hi.toString();
+    OS << "\n";
+  }
+  std::string Payload = OS.str();
+  Payload += "checksum " + hex16(stableHash64(Payload)) + "\n";
+  return Payload;
+}
+
+std::optional<SCCSummary> SCCSummary::deserialize(const std::string &Text,
+                                                  std::uint64_t Key,
+                                                  bool *Stale) {
+  if (Stale)
+    *Stale = false;
+  // Integrity first: a bad checksum is corruption, full stop.
+  std::size_t Mark = Text.rfind("checksum ");
+  if (Mark == std::string::npos || Mark == 0 || Text[Mark - 1] != '\n')
+    return std::nullopt;
+  std::string Payload = Text.substr(0, Mark);
+  std::string Tail = Text.substr(Mark);
+  if (Tail != "checksum " + hex16(stableHash64(Payload)) + "\n")
+    return std::nullopt;
+
+  std::istringstream IS(Payload);
+  std::string Line, Word;
+  // Version and build fingerprint: mismatches are *stale*, not corrupt —
+  // the checksum already proved the bytes intact; they were just written
+  // by a different format or binary, so the reader must not guess at the
+  // field layout.
+  if (!std::getline(IS, Line))
+    return std::nullopt;
+  if (Line != "c4b-scc-summary v1") {
+    if (Stale)
+      *Stale = true;
+    return std::nullopt;
+  }
+  if (!(IS >> Word) || Word != "build" || !(IS >> Word))
+    return std::nullopt;
+  if (Word != hex16(buildFingerprint())) {
+    if (Stale)
+      *Stale = true;
+    return std::nullopt;
+  }
+  if (!(IS >> Word) || Word != "key" || !(IS >> Word) || Word != hex16(Key))
+    return std::nullopt; // Renamed or cross-linked file.
+
+  SCCSummary S;
+  S.Key = Key;
+  std::size_t NumMembers = 0;
+  if (!(IS >> Word) || Word != "members" || !(IS >> NumMembers))
+    return std::nullopt;
+  IS.get(); // Newline after the count.
+  for (std::size_t I = 0; I < NumMembers; ++I) {
+    if (!std::getline(IS, Line) || Line.empty())
+      return std::nullopt;
+    S.Members.push_back(Line);
+  }
+  if (!(IS >> Word) || Word != "depth" || !(IS >> S.CallDepth) ||
+      !(IS >> Word) || Word != "weaken" || !(IS >> S.WeakenPoints) ||
+      !(IS >> Word) || Word != "insts" || !(IS >> S.CallInstantiations))
+    return std::nullopt;
+  if (S.CallDepth < 1)
+    return std::nullopt;
+  std::size_t NumVars = 0;
+  if (!(IS >> Word) || Word != "vars" || !(IS >> NumVars))
+    return std::nullopt;
+  IS.get();
+  S.VarNames.reserve(NumVars);
+  for (std::size_t I = 0; I < NumVars; ++I) {
+    if (!std::getline(IS, Line))
+      return std::nullopt;
+    S.VarNames.push_back(Line);
+  }
+  std::size_t NumConstraints = 0;
+  if (!(IS >> Word) || Word != "constraints" || !(IS >> NumConstraints))
+    return std::nullopt;
+  S.Constraints.reserve(NumConstraints);
+  for (std::size_t I = 0; I < NumConstraints; ++I) {
+    std::size_t NumTerms = 0;
+    if (!(IS >> NumTerms))
+      return std::nullopt;
+    LinConstraint C;
+    C.Terms.reserve(NumTerms);
+    for (std::size_t T = 0; T < NumTerms; ++T) {
+      int Var = 0;
+      std::string Coef;
+      if (!(IS >> Var >> Coef) || Var < 0 ||
+          Var >= static_cast<int>(NumVars))
+        return std::nullopt;
+      C.Terms.push_back({Var, Rational::fromString(Coef)});
+    }
+    int R = 0;
+    std::string Rhs;
+    if (!(IS >> R >> Rhs) || R < 0 || R > static_cast<int>(Rel::Ge))
+      return std::nullopt;
+    C.R = static_cast<Rel>(R);
+    C.Rhs = Rational::fromString(Rhs);
+    S.Constraints.push_back(std::move(C));
+  }
+  std::size_t NumFuncs = 0;
+  if (!(IS >> Word) || Word != "funcs" || !(IS >> NumFuncs))
+    return std::nullopt;
+  for (std::size_t I = 0; I < NumFuncs; ++I) {
+    FunctionSummary F;
+    int Returns = 0;
+    if (!(IS >> F.Name >> Word) || Word != "returns" || !(IS >> Returns))
+      return std::nullopt;
+    F.Spec.ReturnsValue = Returns != 0;
+    std::vector<Atom> PreAtoms, PostAtoms;
+    if (!readAtoms(IS, "preatoms", PreAtoms) ||
+        !readVarIds(IS, "prevars", F.Spec.Pre.Vars,
+                    static_cast<int>(NumVars)) ||
+        !readAtoms(IS, "postatoms", PostAtoms) ||
+        !readVarIds(IS, "postvars", F.Spec.Post.Vars,
+                    static_cast<int>(NumVars)))
+      return std::nullopt;
+    F.Spec.PreIS = IndexSet::fromAtoms(PreAtoms);
+    F.Spec.PostIS = IndexSet::fromAtoms(PostAtoms);
+    // An annotation must cover its index universe exactly.
+    if (F.Spec.Pre.size() != F.Spec.PreIS.numIndices() ||
+        F.Spec.Post.size() != F.Spec.PostIS.numIndices())
+      return std::nullopt;
+    S.Funcs.push_back(std::move(F));
+  }
+  int Solved = 0;
+  if (!(IS >> Word) || Word != "solved" || !(IS >> Solved))
+    return std::nullopt;
+  S.Solved = Solved != 0;
+  std::size_t NumValues = 0;
+  if (!(IS >> Word) || Word != "values" || !(IS >> NumValues))
+    return std::nullopt;
+  S.Values.reserve(NumValues);
+  for (std::size_t I = 0; I < NumValues; ++I) {
+    if (!(IS >> Word))
+      return std::nullopt;
+    S.Values.push_back(Rational::fromString(Word));
+  }
+  std::size_t NumBounds = 0;
+  if (!(IS >> Word) || Word != "bounds" || !(IS >> NumBounds))
+    return std::nullopt;
+  for (std::size_t I = 0; I < NumBounds; ++I) {
+    std::string Fn, ConstStr;
+    std::size_t NumTerms = 0;
+    if (!(IS >> Fn >> ConstStr >> NumTerms))
+      return std::nullopt;
+    Bound B;
+    B.Const = Rational::fromString(ConstStr);
+    for (std::size_t T = 0; T < NumTerms; ++T) {
+      std::string Coef, Lo, Hi;
+      if (!(IS >> Coef >> Lo >> Hi))
+        return std::nullopt;
+      B.Terms.push_back({Rational::fromString(Coef), parseSummaryAtom(Lo),
+                         parseSummaryAtom(Hi)});
+    }
+    S.Bounds.emplace(Fn, std::move(B));
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// SummaryStore
+//===----------------------------------------------------------------------===//
+
+SummaryStore::SummaryStore(std::string DiskDir) : Dir(std::move(DiskDir)) {
+  if (!Dir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Dir, EC);
+    if (EC)
+      Dir.clear(); // Degrade to memory-only, like the tier-3 cache.
+  }
+}
+
+std::string SummaryStore::entryPath(std::uint64_t Key) const {
+  return Dir + "/" + hex16(Key) + ".c4bsum";
+}
+
+const SCCSummary *SummaryStore::lookup(std::uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.Lookups;
+  if (auto It = Mem.find(Key); It != Mem.end()) {
+    ++Stats.Hits;
+    return &It->second;
+  }
+  if (!Dir.empty()) {
+    bool Corrupt = false;
+    try {
+      faultinject::hit(faultinject::Site::CacheLoad);
+      std::ifstream In(entryPath(Key), std::ios::binary);
+      if (In) {
+        std::ostringstream Buf;
+        Buf << In.rdbuf();
+        bool Stale = false;
+        if (std::optional<SCCSummary> S =
+                SCCSummary::deserialize(Buf.str(), Key, &Stale)) {
+          ++Stats.Hits;
+          ++Stats.DiskHits;
+          return &Mem.emplace(Key, std::move(*S)).first->second;
+        }
+        if (Stale)
+          ++Stats.StaleFormat; // Foreign build/version: clean miss.
+        else
+          Corrupt = true;
+      }
+    } catch (const AbortError &) {
+      Corrupt = true; // Injected load fault: same contract as corruption.
+    }
+    if (Corrupt)
+      ++Stats.CorruptEntries;
+  }
+  ++Stats.Misses;
+  return nullptr;
+}
+
+const SCCSummary *SummaryStore::store(SCCSummary S) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::uint64_t Key = S.Key;
+  auto [It, Inserted] = Mem.emplace(Key, std::move(S));
+  if (!Inserted)
+    return &It->second; // Another wave worker of the same content raced us.
+  ++Stats.Stores;
+  if (Dir.empty())
+    return &It->second;
+  std::string Path = entryPath(Key);
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return &It->second; // Memory store stands; the disk is best-effort.
+    Out << It->second.serialize();
+    if (!Out.flush())
+      return &It->second;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    std::filesystem::remove(Tmp, EC);
+  return &It->second;
+}
+
+SummaryStoreStats SummaryStore::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Content keys
+//===----------------------------------------------------------------------===//
+
+std::uint64_t c4b::sccSummaryKey(const IRProgram &P, const ResourceMetric &M,
+                                 const AnalysisOptions &O, const CallGraph &CG,
+                                 int SccIdx,
+                                 const std::vector<std::uint64_t> &DepKeys) {
+  // Everything that pins down which constraints the member walks emit and
+  // which values solve them.  Result-irrelevant options (budgets, query
+  // avoidance, ranking fallback) are excluded, mirroring the tier-3
+  // module key; Focus is not folded because fragments are always solved
+  // with their own two-stage objective.
+  std::uint64_t H = stableHash64("c4b-summary-key v1");
+  H = foldString(H, M.Name);
+  for (const Rational *R : {&M.Mu, &M.Me, &M.Ml, &M.Mb, &M.Ma, &M.Mf, &M.Mr,
+                            &M.McTrue, &M.McFalse, &M.TickScale})
+    H = foldString(H, R->toString());
+  H = foldString(H, std::to_string(static_cast<int>(O.Weaken)));
+  H = foldString(H, O.PolymorphicCalls ? "1" : "0");
+  H = foldString(H, O.TwoStageObjective ? "1" : "0");
+  H = foldString(H, std::to_string(O.MaxCallDepth));
+  H = foldString(H, O.SeedIntervals ? "1" : "0");
+  // The constant-atom universe is program-wide: an edit anywhere that
+  // introduces a new guard constant reshapes every spec's index set, so
+  // it must reshape every key too.
+  std::string Universe;
+  for (const Atom &A : programConstAtoms(P))
+    Universe += A.toString() + ",";
+  H = foldString(H, Universe);
+  for (const std::string &Name : CG.SCCs[static_cast<std::size_t>(SccIdx)]) {
+    const IRFunction *F = P.findFunction(Name);
+    H = foldString(H, Name);
+    H = foldString(H, F ? printIR(*F) : "<undefined>");
+  }
+  // Callee-SCC keys, sorted for determinism: invalidation becomes
+  // transitive by construction (a changed callee key changes this key).
+  std::vector<std::uint64_t> Sorted = DepKeys;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (std::uint64_t K : Sorted)
+    H = foldString(H, hex16(K));
+  return H;
+}

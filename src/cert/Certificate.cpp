@@ -2,6 +2,9 @@
 
 #include "c4b/cert/Certificate.h"
 
+#include "c4b/support/Hash.h"
+
+#include <set>
 #include <sstream>
 
 using namespace c4b;
@@ -27,6 +30,12 @@ Certificate Certificate::fromResult(const AnalysisResult &R,
   C.Values = R.Solution;
   C.Bounds = R.Bounds;
   C.Degraded = R.Degraded;
+  C.Scheduled = R.Scheduled;
+  C.SummaryKeys = R.SummaryKeys;
+  // Keep the recorded options canonical: whether the walk was scheduled is
+  // what the result says, not what the caller asked for (e.g. scheduling
+  // requested but disabled by monomorphic specs).
+  C.Options.SummaryScheduling = R.Scheduled;
   return C;
 }
 
@@ -45,6 +54,15 @@ std::string Certificate::serialize() const {
   // form; only written when set, preserving the legacy layout otherwise.
   if (Degraded)
     OS << "degraded 1\n";
+  // Scheduled certificates record the per-SCC summary keys their analysis
+  // consumed/produced (validated fragment by fragment); only written when
+  // set, so monolithic certificates keep the legacy layout.
+  if (Scheduled) {
+    OS << "scheduled 1\n";
+    OS << "skeys " << SummaryKeys.size() << "\n";
+    for (std::uint64_t K : SummaryKeys)
+      OS << hex16(K) << "\n";
+  }
   OS << "values " << Values.size() << "\n";
   for (const Rational &V : Values)
     OS << V.toString() << "\n";
@@ -101,6 +119,31 @@ std::optional<Certificate> Certificate::deserialize(const std::string &Text) {
       return std::nullopt;
     C.Degraded = Degraded != 0;
   }
+  if (Word == "scheduled") { // Optional: absent in monolithic certificates.
+    int Scheduled = 0;
+    if (!(IS >> Scheduled) || !(IS >> Word))
+      return std::nullopt;
+    C.Scheduled = Scheduled != 0;
+    if (Word == "skeys") {
+      std::size_t NumKeys = 0;
+      if (!(IS >> NumKeys))
+        return std::nullopt;
+      C.SummaryKeys.reserve(NumKeys);
+      for (std::size_t I = 0; I < NumKeys; ++I) {
+        if (!(IS >> Word))
+          return std::nullopt;
+        try {
+          C.SummaryKeys.push_back(std::stoull(Word, nullptr, 16));
+        } catch (...) {
+          return std::nullopt;
+        }
+      }
+      if (!(IS >> Word))
+        return std::nullopt;
+    }
+  }
+  // The recorded options mirror the serialized provenance.
+  C.Options.SummaryScheduling = C.Scheduled;
   if (Word != "values" || !(IS >> NumValues))
     return std::nullopt;
   C.Values.reserve(NumValues);
@@ -147,6 +190,15 @@ CheckReport c4b::checkCertificate(const ConstraintSystem &CS,
   if (C.Degraded) {
     Report.Violations.push_back(
         "certificate is marked degraded: fallback bounds are not certified");
+    return Report;
+  }
+  // A scheduled certificate's value vector spans *several* per-SCC
+  // systems; one monolithic system cannot validate it.  The IRProgram
+  // overload slices it over regenerated fragments.
+  if (C.Scheduled) {
+    Report.Violations.push_back(
+        "scheduled certificate: validate against the per-SCC fragments "
+        "(checkCertificate(IRProgram, Certificate))");
     return Report;
   }
   // The metric and options pin down the derivation; a system generated
@@ -230,5 +282,70 @@ CheckReport c4b::checkCertificate(const IRProgram &P, const Certificate &C) {
     Report.Violations.push_back("unknown metric '" + C.MetricName + "'");
     return Report;
   }
-  return checkCertificate(generateConstraints(P, *M, C.Options), C);
+  if (!C.Scheduled)
+    return checkCertificate(generateConstraints(P, *M, C.Options), C);
+
+  // Scheduled certificate: regenerate the per-SCC fragments (the same
+  // deterministic walk the scheduled analysis ran, no LP), slice the value
+  // vector per fragment, and validate each slice as its own certificate.
+  // The recomputed content keys must equal the recorded ones, so the
+  // certificate also pins down which summaries the analysis consumed.
+  CheckReport Report;
+  if (C.Degraded) {
+    Report.Violations.push_back(
+        "certificate is marked degraded: fallback bounds are not certified");
+    return Report;
+  }
+  std::vector<std::uint64_t> Keys;
+  std::vector<ConstraintSystem> Frags =
+      generateScheduledFragments(P, *M, C.Options, &Keys);
+  if (Keys != C.SummaryKeys) {
+    Report.Violations.push_back(
+        "summary keys do not match: certificate records " +
+        std::to_string(C.SummaryKeys.size()) + " keys, replay derived " +
+        std::to_string(Keys.size()) +
+        (Keys.size() == C.SummaryKeys.size() ? " with differing values" : ""));
+    return Report;
+  }
+  std::size_t Total = 0;
+  for (const ConstraintSystem &CS : Frags) {
+    if (!CS.StructuralOk) {
+      Report.Violations.push_back("derivation replay failed structurally");
+      return Report;
+    }
+    Total += CS.VarNames.size();
+  }
+  if (Total != C.Values.size()) {
+    Report.Violations.push_back(
+        "certificate size mismatch: derivation allocated " +
+        std::to_string(Total) + " variables, certificate has " +
+        std::to_string(C.Values.size()));
+    return Report;
+  }
+  std::size_t Off = 0;
+  std::set<std::string> ClaimedFns;
+  for (const ConstraintSystem &CS : Frags) {
+    Certificate Sub;
+    Sub.MetricName = C.MetricName;
+    Sub.Options = C.Options;
+    Sub.Values.assign(
+        C.Values.begin() + static_cast<long>(Off),
+        C.Values.begin() + static_cast<long>(Off + CS.VarNames.size()));
+    Off += CS.VarNames.size();
+    for (const auto &[Fn, Spec] : CS.Specs)
+      if (auto It = C.Bounds.find(Fn); It != C.Bounds.end()) {
+        Sub.Bounds.emplace(It->first, It->second);
+        ClaimedFns.insert(Fn);
+      }
+    CheckReport Frag = checkCertificate(CS, Sub);
+    Report.ConstraintsChecked += Frag.ConstraintsChecked;
+    for (const std::string &V : Frag.Violations)
+      fail(Report, V);
+  }
+  // Claims that landed in no fragment name functions the program lacks.
+  for (const auto &[Fn, B] : C.Bounds)
+    if (!ClaimedFns.count(Fn))
+      fail(Report, "no such function: " + Fn);
+  Report.Valid = Report.Violations.empty();
+  return Report;
 }

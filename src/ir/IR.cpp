@@ -2,6 +2,7 @@
 
 #include "c4b/ir/IR.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace c4b;
@@ -314,6 +315,23 @@ bool CallGraph::inSameSCC(const std::string &Caller,
   return A != SCCOf.end() && B != SCCOf.end() && A->second == B->second;
 }
 
+std::set<int> CallGraph::transitiveCallers(int I) const {
+  // Reverse reachability over the condensation DAG.  Callers always have
+  // larger indices (bottom-up order), so a worklist terminates trivially.
+  std::set<int> Callers;
+  std::vector<int> Work(SCCRevDeps[static_cast<std::size_t>(I)].begin(),
+                        SCCRevDeps[static_cast<std::size_t>(I)].end());
+  while (!Work.empty()) {
+    int C = Work.back();
+    Work.pop_back();
+    if (!Callers.insert(C).second)
+      continue;
+    for (int Up : SCCRevDeps[static_cast<std::size_t>(C)])
+      Work.push_back(Up);
+  }
+  return Callers;
+}
+
 CallGraph c4b::buildCallGraph(const IRProgram &P) {
   CallGraph G;
   for (const IRFunction &F : P.Functions)
@@ -327,5 +345,34 @@ CallGraph c4b::buildCallGraph(const IRProgram &P) {
   for (std::size_t I = 0; I < G.SCCs.size(); ++I)
     for (const std::string &F : G.SCCs[I])
       G.SCCOf[F] = static_cast<int>(I);
+
+  // Condensation DAG + wave partition.  Dependencies of SCC I are all
+  // < I (bottom-up order), so one ascending pass settles every wave.
+  std::size_t N = G.SCCs.size();
+  G.SCCDeps.assign(N, {});
+  G.SCCRevDeps.assign(N, {});
+  G.WaveOf.assign(N, 0);
+  for (std::size_t I = 0; I < N; ++I) {
+    int Wave = 0;
+    for (const std::string &F : G.SCCs[I]) {
+      auto It = G.Callees.find(F);
+      if (It == G.Callees.end())
+        continue;
+      for (const std::string &Callee : It->second) {
+        auto SIt = G.SCCOf.find(Callee);
+        if (SIt == G.SCCOf.end() || SIt->second == static_cast<int>(I))
+          continue; // Undefined callee or in-SCC (recursive) edge.
+        int Dep = SIt->second;
+        G.SCCDeps[I].insert(Dep);
+        G.SCCRevDeps[static_cast<std::size_t>(Dep)].insert(
+            static_cast<int>(I));
+        Wave = std::max(Wave, G.WaveOf[static_cast<std::size_t>(Dep)] + 1);
+      }
+    }
+    G.WaveOf[I] = Wave;
+    if (static_cast<std::size_t>(Wave) >= G.Waves.size())
+      G.Waves.resize(static_cast<std::size_t>(Wave) + 1);
+    G.Waves[static_cast<std::size_t>(Wave)].push_back(static_cast<int>(I));
+  }
   return G;
 }

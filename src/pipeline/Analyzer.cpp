@@ -71,11 +71,15 @@ AnalysisResult c4b::analyzeProgram(const IRProgram &P, const ResourceMetric &M,
       }
     }
     if (Verified) {
-      ConstraintSystem CS = generateConstraints(P, M, O);
-      SolvedSystem S =
-          CS.StructuralOk ? solveSystem(CS, Focus) : SolvedSystem{};
       bool IRVerified = R.IRVerified;
-      R = toAnalysisResult(CS, std::move(S));
+      if (O.SummaryScheduling && O.PolymorphicCalls) {
+        R = analyzeProgramScheduled(P, M, O, Focus);
+      } else {
+        ConstraintSystem CS = generateConstraints(P, M, O);
+        SolvedSystem S =
+            CS.StructuralOk ? solveSystem(CS, Focus) : SolvedSystem{};
+        R = toAnalysisResult(CS, std::move(S));
+      }
       R.IRVerified = IRVerified;
     }
   } catch (const AbortError &E) {

@@ -124,28 +124,52 @@ BatchItem runJob(const BatchJob &Job) {
       }
     }
 
-    ConstraintSystem CS;
-    {
-      StageTimer T(Item.Timings.GenerateSeconds);
-      PivotMeter M(Item.Timings.GeneratePivots);
-      CS = generateConstraints(*IR, Job.Metric, Job.Options);
-    }
-    Item.Timings.GenQueries = CS.CtxQueries;
-    Item.Timings.GenTier1Hits = CS.CtxTier1Hits;
-    Item.Timings.GenTier2Hits = CS.CtxTier2Hits;
-    Item.Timings.GenLpFallbacks = CS.CtxLpFallbacks;
-
-    SolvedSystem S;
-    if (CS.StructuralOk) {
-      StageTimer T(Item.Timings.SolveSeconds);
-      PivotMeter M(Item.Timings.SolvePivots);
-      S = solveSystem(CS, Job.Focus);
-    }
-    // toAnalysisResult builds a fresh result; re-stamp the check-stage
-    // fields recorded above so they survive into the final item.
     bool IRVerified = Item.Result.IRVerified;
     int NumLintWarnings = Item.Result.NumLintWarnings;
-    Item.Result = toAnalysisResult(CS, std::move(S));
+    if (Job.Options.SummaryScheduling && Job.Options.PolymorphicCalls) {
+      // Scheduled path: per-SCC fragments, optionally served from /
+      // feeding the cross-run summary store.  The runner accumulates the
+      // per-stage time/pivot spend internally (fragments interleave
+      // generate and solve, so one StageTimer cannot separate them).
+      ScheduledStats SS;
+      Item.Result = analyzeProgramScheduled(
+          *IR, Job.Metric, Job.Options, Job.Focus, Job.Pipe.Summaries.get(),
+          Job.Pipe.SCCThreads, &SS);
+      Item.Timings.GenerateSeconds = SS.GenerateSeconds;
+      Item.Timings.SolveSeconds = SS.SolveSeconds;
+      Item.Timings.GeneratePivots = SS.GeneratePivots;
+      Item.Timings.SolvePivots = SS.SolvePivots;
+      Item.Timings.SummariesApplied = SS.SummariesApplied;
+      Item.Timings.SummariesReused = SS.SummariesReused;
+      Item.Timings.SCCsSolved = SS.SCCsSolved;
+      Item.Timings.Waves = SS.NumWaves;
+      Item.Timings.MaxWaveWidth = SS.MaxWaveWidth;
+      Item.Timings.GenQueries = Item.Result.NumCtxQueries;
+      Item.Timings.GenTier1Hits = Item.Result.NumCtxTier1Hits;
+      Item.Timings.GenTier2Hits = Item.Result.NumCtxTier2Hits;
+      Item.Timings.GenLpFallbacks = Item.Result.NumCtxLpFallbacks;
+    } else {
+      ConstraintSystem CS;
+      {
+        StageTimer T(Item.Timings.GenerateSeconds);
+        PivotMeter M(Item.Timings.GeneratePivots);
+        CS = generateConstraints(*IR, Job.Metric, Job.Options);
+      }
+      Item.Timings.GenQueries = CS.CtxQueries;
+      Item.Timings.GenTier1Hits = CS.CtxTier1Hits;
+      Item.Timings.GenTier2Hits = CS.CtxTier2Hits;
+      Item.Timings.GenLpFallbacks = CS.CtxLpFallbacks;
+
+      SolvedSystem S;
+      if (CS.StructuralOk) {
+        StageTimer T(Item.Timings.SolveSeconds);
+        PivotMeter M(Item.Timings.SolvePivots);
+        S = solveSystem(CS, Job.Focus);
+      }
+      Item.Result = toAnalysisResult(CS, std::move(S));
+    }
+    // The entry points above build a fresh result; re-stamp the
+    // check-stage fields recorded earlier so they survive into the item.
     Item.Result.IRVerified = IRVerified;
     Item.Result.NumLintWarnings = NumLintWarnings;
 

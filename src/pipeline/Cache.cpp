@@ -14,35 +14,9 @@
 
 using namespace c4b;
 
-std::uint64_t c4b::stableHash64(std::string_view S, std::uint64_t Seed) {
-  std::uint64_t H = Seed;
-  for (unsigned char C : S) {
-    H ^= C;
-    H *= 1099511628211ull;
-  }
-  return H;
-}
-
 //===----------------------------------------------------------------------===//
 // Keys
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-std::uint64_t foldString(std::uint64_t H, std::string_view S) {
-  // Length-separated so ("ab","c") and ("a","bc") hash differently.
-  H = stableHash64(std::to_string(S.size()) + ":", H);
-  return stableHash64(S, H);
-}
-
-std::string hex16(std::uint64_t V) {
-  char Buf[17];
-  std::snprintf(Buf, sizeof(Buf), "%016llx",
-                static_cast<unsigned long long>(V));
-  return Buf;
-}
-
-} // namespace
 
 ModuleKey c4b::moduleCacheKey(const IRProgram &P, const ResourceMetric &M,
                               const AnalysisOptions &O,
@@ -54,7 +28,10 @@ ModuleKey c4b::moduleCacheKey(const IRProgram &P, const ResourceMetric &M,
   // FallbackToRanking, and QueryAvoidance are excluded on purpose: they
   // affect whether/how fast an answer arrives, never its content, and
   // folding them in would make warm runs miss under harmless config drift.
-  std::uint64_t H = stableHash64("c4b-module-key v1");
+  // v2: folds SummaryScheduling — a scheduled result concatenates
+  // per-fragment solutions (different Solution layout and provenance), so
+  // the two modes must not alias.
+  std::uint64_t H = stableHash64("c4b-module-key v2");
   H = foldString(H, M.Name);
   for (const Rational *R : {&M.Mu, &M.Me, &M.Ml, &M.Mb, &M.Ma, &M.Mf, &M.Mr,
                             &M.McTrue, &M.McFalse, &M.TickScale})
@@ -64,6 +41,7 @@ ModuleKey c4b::moduleCacheKey(const IRProgram &P, const ResourceMetric &M,
   H = foldString(H, O.TwoStageObjective ? "1" : "0");
   H = foldString(H, std::to_string(O.MaxCallDepth));
   H = foldString(H, O.SeedIntervals ? "1" : "0");
+  H = foldString(H, O.SummaryScheduling && O.PolymorphicCalls ? "1" : "0");
   H = foldString(H, Focus);
   H = foldString(H, printIR(P));
 
@@ -102,6 +80,12 @@ CacheEntry c4b::entryFromResult(const AnalysisResult &R) {
   E.NumEliminated = R.NumEliminated;
   E.NumWeakenPoints = R.NumWeakenPoints;
   E.NumCallInstantiations = R.NumCallInstantiations;
+  E.Scheduled = R.Scheduled;
+  E.SummaryKeys = R.SummaryKeys;
+  E.NumSummariesApplied = R.NumSummariesApplied;
+  E.NumSCCsSolved = R.NumSCCsSolved;
+  E.NumWaves = R.NumWaves;
+  E.MaxWaveWidth = R.MaxWaveWidth;
   return E;
 }
 
@@ -117,6 +101,12 @@ AnalysisResult c4b::resultFromEntry(const CacheEntry &E) {
   R.NumEliminated = E.NumEliminated;
   R.NumWeakenPoints = E.NumWeakenPoints;
   R.NumCallInstantiations = E.NumCallInstantiations;
+  R.Scheduled = E.Scheduled;
+  R.SummaryKeys = E.SummaryKeys;
+  R.NumSummariesApplied = E.NumSummariesApplied;
+  R.NumSCCsSolved = E.NumSCCsSolved;
+  R.NumWaves = E.NumWaves;
+  R.MaxWaveWidth = E.MaxWaveWidth;
   R.FromCache = true;
   return R;
 }
@@ -127,7 +117,12 @@ AnalysisResult c4b::resultFromEntry(const CacheEntry &E) {
 
 std::string CacheEntry::serialize(std::uint64_t Key) const {
   std::ostringstream OS;
-  OS << "c4b-analysis-cache v1\n";
+  // v2: the build fingerprint line makes entries written by a different
+  // build of the library stale on sight (clean miss) instead of being
+  // field-misread under a changed layout; the scheduled block records
+  // summary-scheduling provenance.
+  OS << "c4b-analysis-cache v2\n";
+  OS << "build " << hex16(buildFingerprint()) << "\n";
   OS << "key " << hex16(Key) << "\n";
   OS << "ok " << (Ok ? 1 : 0) << "\n";
   OS << "kind " << static_cast<int>(Kind) << "\n";
@@ -135,6 +130,11 @@ std::string CacheEntry::serialize(std::uint64_t Key) const {
   OS << "error " << Error.size() << "\n" << Error << "\n";
   OS << "stats " << NumVars << " " << NumConstraints << " " << NumEliminated
      << " " << NumWeakenPoints << " " << NumCallInstantiations << "\n";
+  OS << "sched " << (Scheduled ? 1 : 0) << " " << NumSummariesApplied << " "
+     << NumSCCsSolved << " " << NumWaves << " " << MaxWaveWidth << "\n";
+  OS << "skeys " << SummaryKeys.size() << "\n";
+  for (std::uint64_t K : SummaryKeys)
+    OS << hex16(K) << "\n";
   OS << "values " << Values.size() << "\n";
   for (const Rational &V : Values)
     OS << V.toString() << "\n";
@@ -165,10 +165,12 @@ Atom parseCachedAtom(const std::string &S) {
 } // namespace
 
 std::optional<CacheEntry> CacheEntry::deserialize(const std::string &Text,
-                                                  std::uint64_t Key) {
+                                                  std::uint64_t Key,
+                                                  bool *Stale) {
   // Integrity first: the last line must be a checksum of everything before
   // it.  Anything else — truncation, bit flips, hand edits — is a corrupt
-  // entry, not a parse attempt.
+  // entry, not a parse attempt.  Only an *intact* record from a foreign
+  // format version or build is classified stale.
   std::size_t Mark = Text.rfind("checksum ");
   if (Mark == std::string::npos || Mark == 0 || Text[Mark - 1] != '\n')
     return std::nullopt;
@@ -179,8 +181,20 @@ std::optional<CacheEntry> CacheEntry::deserialize(const std::string &Text,
 
   std::istringstream IS(Payload);
   std::string Line, Word;
-  if (!std::getline(IS, Line) || Line != "c4b-analysis-cache v1")
+  if (!std::getline(IS, Line))
     return std::nullopt;
+  if (Line != "c4b-analysis-cache v2") {
+    if (Stale && Line.rfind("c4b-analysis-cache ", 0) == 0)
+      *Stale = true; // Intact entry from an older/newer format.
+    return std::nullopt;
+  }
+  if (!(IS >> Word) || Word != "build" || !(IS >> Word))
+    return std::nullopt;
+  if (Word != hex16(buildFingerprint())) {
+    if (Stale)
+      *Stale = true; // Written by a different build of the library.
+    return std::nullopt;
+  }
   if (!(IS >> Word) || Word != "key" || !(IS >> Word) || Word != hex16(Key))
     return std::nullopt; // Renamed or cross-linked file.
   CacheEntry E;
@@ -204,6 +218,25 @@ std::optional<CacheEntry> CacheEntry::deserialize(const std::string &Text,
       !(IS >> E.NumVars >> E.NumConstraints >> E.NumEliminated >>
         E.NumWeakenPoints >> E.NumCallInstantiations))
     return std::nullopt;
+  int Sched = 0;
+  if (!(IS >> Word) || Word != "sched" ||
+      !(IS >> Sched >> E.NumSummariesApplied >> E.NumSCCsSolved >>
+        E.NumWaves >> E.MaxWaveWidth))
+    return std::nullopt;
+  E.Scheduled = Sched != 0;
+  std::size_t NumSKeys = 0;
+  if (!(IS >> Word) || Word != "skeys" || !(IS >> NumSKeys))
+    return std::nullopt;
+  E.SummaryKeys.reserve(NumSKeys);
+  for (std::size_t I = 0; I < NumSKeys; ++I) {
+    if (!(IS >> Word))
+      return std::nullopt;
+    try {
+      E.SummaryKeys.push_back(std::stoull(Word, nullptr, 16));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
   std::size_t NumValues = 0, NumBounds = 0;
   if (!(IS >> Word) || Word != "values" || !(IS >> NumValues))
     return std::nullopt;
@@ -239,29 +272,25 @@ std::optional<CacheEntry> CacheEntry::deserialize(const std::string &Text,
 // Verification
 //===----------------------------------------------------------------------===//
 
-bool c4b::verifyCacheEntry(const IRProgram &P, const ResourceMetric &M,
-                           const AnalysisOptions &O, const CacheEntry &E) {
-  // Failure entries claim no bounds; re-running the derivation must agree
-  // that no certified bound exists, which is what serving them asserts.
-  // Re-validating that would be a full re-analysis, so only successes are
-  // checked here (the same trust line the certificate checker draws: it
-  // validates claims, and a failure claims nothing).
-  if (!E.Ok)
-    return true;
-  ConstraintSystem CS = generateConstraints(P, M, O);
-  if (!CS.StructuralOk)
+namespace {
+
+/// The validator's core check: \p Values is a nonnegative satisfying
+/// assignment of \p CS, and \p Claims are exactly the entry potentials it
+/// certifies.
+bool valuesCertify(const ConstraintSystem &CS,
+                   const std::vector<Rational> &Values,
+                   const std::map<std::string, Bound> &Claims) {
+  if (CS.numVars() != static_cast<int>(Values.size()))
     return false;
-  if (CS.numVars() != static_cast<int>(E.Values.size()))
-    return false;
-  for (const Rational &V : E.Values)
+  for (const Rational &V : Values)
     if (V.sign() < 0)
       return false;
   for (const LinConstraint &Row : CS.Constraints) {
     Rational Lhs(0);
     for (const LinTerm &T : Row.Terms) {
-      if (T.Var < 0 || T.Var >= static_cast<int>(E.Values.size()))
+      if (T.Var < 0 || T.Var >= static_cast<int>(Values.size()))
         return false;
-      Lhs += T.Coef * E.Values[static_cast<std::size_t>(T.Var)];
+      Lhs += T.Coef * Values[static_cast<std::size_t>(T.Var)];
     }
     bool RowOk = Row.R == Rel::Eq   ? Lhs == Row.Rhs
                  : Row.R == Rel::Le ? Lhs <= Row.Rhs
@@ -271,8 +300,8 @@ bool c4b::verifyCacheEntry(const IRProgram &P, const ResourceMetric &M,
   }
   // The stored bounds must be exactly the potentials the stored values
   // certify.
-  for (const auto &[Fn, Claimed] : E.Bounds) {
-    std::optional<Bound> B = CS.boundOf(Fn, E.Values);
+  for (const auto &[Fn, Claimed] : Claims) {
+    std::optional<Bound> B = CS.boundOf(Fn, Values);
     if (!B)
       return false;
     bool Same =
@@ -285,6 +314,61 @@ bool c4b::verifyCacheEntry(const IRProgram &P, const ResourceMetric &M,
       return false;
   }
   return true;
+}
+
+} // namespace
+
+bool c4b::verifyCacheEntry(const IRProgram &P, const ResourceMetric &M,
+                           const AnalysisOptions &O, const CacheEntry &E) {
+  // Failure entries claim no bounds; re-running the derivation must agree
+  // that no certified bound exists, which is what serving them asserts.
+  // Re-validating that would be a full re-analysis, so only successes are
+  // checked here (the same trust line the certificate checker draws: it
+  // validates claims, and a failure claims nothing).
+  if (!E.Ok)
+    return true;
+  const bool WantScheduled = O.SummaryScheduling && O.PolymorphicCalls;
+  if (E.Scheduled != WantScheduled)
+    return false; // Provenance does not match how it would be served.
+  if (!E.Scheduled) {
+    ConstraintSystem CS = generateConstraints(P, M, O);
+    return CS.StructuralOk && valuesCertify(CS, E.Values, E.Bounds);
+  }
+  // Scheduled entries concatenate per-fragment solutions: re-generate the
+  // fragments (no LP), slice the value vector per fragment, and validate
+  // each slice against its fragment's constraints and claimed bounds.  The
+  // recomputed content keys must match the stored ones too.
+  std::vector<std::uint64_t> Keys;
+  std::vector<ConstraintSystem> Frags = generateScheduledFragments(P, M, O, &Keys);
+  if (Keys != E.SummaryKeys)
+    return false;
+  std::size_t Total = 0;
+  for (const ConstraintSystem &CS : Frags) {
+    if (!CS.StructuralOk)
+      return false;
+    Total += CS.VarNames.size();
+  }
+  if (Total != E.Values.size())
+    return false;
+  std::size_t Claimed = 0, Off = 0;
+  for (const ConstraintSystem &CS : Frags) {
+    std::vector<Rational> Slice(
+        E.Values.begin() + static_cast<long>(Off),
+        E.Values.begin() + static_cast<long>(Off + CS.VarNames.size()));
+    Off += CS.VarNames.size();
+    std::map<std::string, Bound> Claims;
+    for (const auto &[Fn, Spec] : CS.Specs) {
+      auto It = E.Bounds.find(Fn);
+      if (It == E.Bounds.end())
+        return false; // A scheduled success bounds every function.
+      Claims.emplace(It->first, It->second);
+    }
+    Claimed += Claims.size();
+    if (!valuesCertify(CS, Slice, Claims))
+      return false;
+  }
+  // Every claimed bound must belong to some fragment (no phantom claims).
+  return Claimed == E.Bounds.size();
 }
 
 //===----------------------------------------------------------------------===//
@@ -315,6 +399,7 @@ std::optional<CacheEntry> AnalysisCache::lookup(std::uint64_t Key) {
   }
   if (!Dir.empty()) {
     bool Corrupt = false;
+    bool Stale = false;
     try {
       faultinject::hit(faultinject::Site::CacheLoad);
       std::ifstream In(entryPath(Key), std::ios::binary);
@@ -322,17 +407,22 @@ std::optional<CacheEntry> AnalysisCache::lookup(std::uint64_t Key) {
         std::ostringstream Buf;
         Buf << In.rdbuf();
         if (std::optional<CacheEntry> E =
-                CacheEntry::deserialize(Buf.str(), Key)) {
+                CacheEntry::deserialize(Buf.str(), Key, &Stale)) {
           Mem.emplace(Key, *E);
           ++Stats.Hits;
           ++Stats.DiskHits;
           return E;
         }
-        Corrupt = true; // Present but failed the integrity check.
+        // Present but unusable: an intact record from a foreign format
+        // version or build fingerprint is a clean stale miss; anything
+        // else failed the integrity check.
+        Corrupt = !Stale;
       }
     } catch (const AbortError &) {
       Corrupt = true; // Injected load fault: same contract as corruption.
     }
+    if (Stale)
+      ++Stats.StaleFormat;
     if (Corrupt)
       ++Stats.CorruptEntries;
   }

@@ -1,0 +1,431 @@
+//===--- Scheduled.cpp - SCC-scheduled interprocedural analysis ------------===//
+//
+// The scheduler behind AnalysisOptions::SummaryScheduling.  The call
+// graph's condensation is walked wave by wave (CallGraph::Waves): every
+// SCC of a wave has all of its callees in earlier waves, so its constraint
+// fragment can be generated and solved independently — serially by
+// default, concurrently with SCCThreads > 1.  Each solved fragment becomes
+// an SCCSummary (c4b/analysis/Summary.h) consumed by later fragments at
+// cross-SCC call sites.
+//
+// The monolithic polymorphic LP is block-diagonal across SCCs: a clone
+// re-walk of a callee emits exactly the callee SCC's canonical stream,
+// which is exactly what splicing its summary replays.  Per-fragment
+// solving therefore decomposes the monolithic solve; corpus bounds are
+// bit-identical (the scheduled-vs-monolithic differential test gates
+// this).  The one structural divergence — cloning a *recursive* cross-SCC
+// callee couples the clone to the canonical block in the monolithic walk,
+// but to a private per-fragment copy here — is sound (identical rule
+// instances) and does not occur on the Table 3 corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/pipeline/Pipeline.h"
+
+#include "c4b/check/Check.h"
+#include "c4b/lp/Solver.h"
+#include "c4b/support/Budget.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+using namespace c4b;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Materializes one fragment's constraint stream (RecordSink's twin; that
+/// one is file-local to Pipeline.cpp).
+class FragmentSink : public ConstraintSink {
+public:
+  explicit FragmentSink(ConstraintSystem &CS) : CS(CS) {}
+
+  int addVar(const std::string &Name) override {
+    CS.VarNames.push_back(Name);
+    return static_cast<int>(CS.VarNames.size()) - 1;
+  }
+
+  void addConstraint(std::vector<LinTerm> Terms, Rel R,
+                     Rational Rhs) override {
+    budgetOnConstraint();
+    CS.Constraints.push_back({std::move(Terms), R, std::move(Rhs)});
+  }
+
+private:
+  ConstraintSystem &CS;
+};
+
+/// Serves callee summaries from a name-indexed map of completed SCCs.
+class MapProvider : public SummaryProvider {
+public:
+  explicit MapProvider(const std::map<std::string, const SCCSummary *> &M)
+      : ByFunc(M) {}
+
+  const SCCSummary *summaryFor(const std::string &Callee) override {
+    auto It = ByFunc.find(Callee);
+    return It == ByFunc.end() ? nullptr : It->second;
+  }
+
+private:
+  const std::map<std::string, const SCCSummary *> &ByFunc;
+};
+
+/// Everything one SCC produced this run.
+struct Fragment {
+  ConstraintSystem CS;
+  SolvedSystem S;
+  /// The fragment's summary when one is available for consumers (stored,
+  /// locally held, or served from the store).
+  const SCCSummary *Sum = nullptr;
+  bool Reused = false;    ///< Served whole from the store; CS/S are empty.
+  bool Generated = false; ///< The walk ran (fresh fragment).
+  bool SolveRan = false;
+  int CallDepth = 1;
+  int SummariesApplied = 0;
+  double GenSeconds = 0, SolveSeconds = 0;
+  long GenPivots = 0, SolvePivots = 0;
+};
+
+/// Generates (and, on request, solves) the fragment of SCC \p I.  Mirrors
+/// generateConstraints stage for stage — per-fragment query-avoidance
+/// scope, cleared memo, budget stage tick, AbortError containment — so a
+/// single-SCC module's fragment is bit-identical to the monolithic system.
+void processFragment(const IRProgram &P, const ResourceMetric &M,
+                     const AnalysisOptions &O, int I,
+                     const LoopFactMap *LoopFacts,
+                     const std::map<std::string, const SCCSummary *> &ByFunc,
+                     const std::string &FragmentFocus, bool Solve,
+                     Fragment &F) {
+  ConstraintSystem &CS = F.CS;
+  CS.MetricName = M.Name;
+  CS.Options = O;
+  F.Generated = true;
+  QueryAvoidanceScope AvoidScope(O.QueryAvoidance);
+  clearQueryMemo();
+  QueryStats QBefore = queryThreadStats();
+  auto T0 = std::chrono::steady_clock::now();
+  long P0 = lpThreadStats().Pivots;
+  try {
+    budgetOnStage();
+    FragmentSink Sink(CS);
+    ProgramAnalyzer PA(P, M, O, Sink, &CS.Diags, LoopFacts);
+    MapProvider Prov(ByFunc);
+    PA.setSummaryProvider(&Prov);
+    CS.StructuralOk = PA.analyzeSCC(I);
+    CS.Specs = PA.specs();
+    CS.WeakenPoints = PA.numWeakenPoints();
+    CS.CallInstantiations = PA.numCallInstantiations();
+    F.SummariesApplied = PA.numSummariesApplied();
+    F.CallDepth = 1 + PA.maxInstantiationDepth();
+  } catch (const AbortError &E) {
+    CS.Err = E.error();
+    CS.StructuralOk = false;
+  }
+  const QueryStats &QAfter = queryThreadStats();
+  CS.CtxQueries = QAfter.Queries - QBefore.Queries;
+  CS.CtxTier1Hits = QAfter.Tier1Hits - QBefore.Tier1Hits;
+  CS.CtxTier2Hits = QAfter.Tier2Hits - QBefore.Tier2Hits;
+  CS.CtxLpFallbacks = QAfter.LpFallbacks - QBefore.LpFallbacks;
+  F.GenSeconds = secondsSince(T0);
+  F.GenPivots = lpThreadStats().Pivots - P0;
+
+  if (Solve && CS.StructuralOk && !CS.Err.isError()) {
+    T0 = std::chrono::steady_clock::now();
+    P0 = lpThreadStats().Pivots;
+    F.S = solveSystem(CS, FragmentFocus);
+    F.SolveRan = true;
+    F.SolveSeconds = secondsSince(T0);
+    F.SolvePivots = lpThreadStats().Pivots - P0;
+  }
+}
+
+/// Packages a generated fragment as a reusable summary.
+SCCSummary summarize(std::uint64_t Key, const CallGraph &CG, int I,
+                     const Fragment &F) {
+  SCCSummary Sum;
+  Sum.Key = Key;
+  Sum.Members = CG.SCCs[static_cast<std::size_t>(I)];
+  Sum.VarNames = F.CS.VarNames;
+  Sum.Constraints = F.CS.Constraints;
+  Sum.CallDepth = F.CallDepth;
+  Sum.WeakenPoints = F.CS.WeakenPoints;
+  Sum.CallInstantiations = F.CS.CallInstantiations;
+  for (const auto &[Name, Spec] : F.CS.Specs)
+    Sum.Funcs.push_back({Name, Spec});
+  Sum.Solved = F.S.ok();
+  Sum.Values = F.S.Values;
+  Sum.Bounds = F.S.Bounds;
+  return Sum;
+}
+
+} // namespace
+
+AnalysisResult c4b::analyzeProgramScheduled(const IRProgram &P,
+                                            const ResourceMetric &M,
+                                            const AnalysisOptions &O,
+                                            const std::string &Focus,
+                                            SummaryStore *Store,
+                                            int SCCThreads,
+                                            ScheduledStats *Stats) {
+  AnalysisResult R;
+  R.Scheduled = true;
+  ScheduledStats SS;
+
+  // Outermost governed entry point when called directly; analyzeProgram
+  // installs the scope earlier so the deadline covers verification too.
+  std::optional<BudgetScope> Scope;
+  if (O.Budget.enabled() && !Budget::current())
+    Scope.emplace(O.Budget);
+
+  CallGraph CG = buildCallGraph(P);
+  const int N = static_cast<int>(CG.SCCs.size());
+  SS.NumWaves = static_cast<int>(CG.Waves.size());
+  for (const std::vector<int> &W : CG.Waves)
+    SS.MaxWaveWidth = std::max(SS.MaxWaveWidth, static_cast<int>(W.size()));
+
+  // The interval pre-pass is computed once and shared: LoopFactMap keys
+  // are statement addresses of this very program, identical across
+  // fragments.
+  check::IntervalSeeds Seeds;
+  const LoopFactMap *LoopFacts = nullptr;
+  if (O.SeedIntervals) {
+    Seeds = check::computeIntervalSeeds(P);
+    LoopFacts = &Seeds.LoopHeadFacts;
+  }
+
+  // The fragment containing the focus function is solved under the
+  // focus-weighted objective, so its *values* are focus-specific: it is
+  // always solved fresh and never exchanged with the store, keeping
+  // summary keys pure content keys the certificate checker can re-derive.
+  int FocusSCC = -1;
+  if (!Focus.empty())
+    if (auto It = CG.SCCOf.find(Focus); It != CG.SCCOf.end())
+      FocusSCC = It->second;
+
+  std::vector<std::uint64_t> Keys(static_cast<std::size_t>(N), 0);
+  std::vector<Fragment> Frags(static_cast<std::size_t>(N));
+  // Summaries not routed through a store (focus fragment, store-less
+  // runs); slot I is written by exactly one worker, and vector elements
+  // never move (pre-sized), so pointers into it stay valid.
+  std::vector<std::optional<SCCSummary>> LocalSlots(
+      static_cast<std::size_t>(N));
+  std::map<std::string, const SCCSummary *> ByFunc;
+
+  // Budget counters are thread-local; a budgeted run stays serial so its
+  // kills are bit-reproducible.
+  const bool Parallel = SCCThreads > 1 && !O.Budget.enabled();
+
+  auto Process = [&](int I) {
+    Fragment &F = Frags[static_cast<std::size_t>(I)];
+    if (Store && I != FocusSCC)
+      if (const SCCSummary *Sum = Store->lookup(Keys[static_cast<std::size_t>(I)]);
+          Sum && Sum->Solved) {
+        F.Sum = Sum;
+        F.Reused = true;
+        return;
+      }
+    processFragment(P, M, O, I, LoopFacts, ByFunc,
+                    I == FocusSCC ? Focus : std::string(), /*Solve=*/true, F);
+    if (F.CS.StructuralOk && !F.CS.Err.isError() && F.S.ok()) {
+      SCCSummary Sum = summarize(Keys[static_cast<std::size_t>(I)], CG, I, F);
+      if (Store && I != FocusSCC) {
+        F.Sum = Store->store(std::move(Sum));
+      } else {
+        LocalSlots[static_cast<std::size_t>(I)].emplace(std::move(Sum));
+        F.Sum = &*LocalSlots[static_cast<std::size_t>(I)];
+      }
+    }
+  };
+
+  for (const std::vector<int> &Wave : CG.Waves) {
+    // Keys fold callee-SCC keys, all in earlier waves by construction.
+    for (int I : Wave) {
+      std::vector<std::uint64_t> DepKeys;
+      for (int D : CG.SCCDeps[static_cast<std::size_t>(I)])
+        DepKeys.push_back(Keys[static_cast<std::size_t>(D)]);
+      Keys[static_cast<std::size_t>(I)] = sccSummaryKey(P, M, O, CG, I, DepKeys);
+    }
+    if (Parallel && Wave.size() > 1) {
+      std::atomic<std::size_t> Next{0};
+      auto Worker = [&] {
+        for (;;) {
+          std::size_t W = Next.fetch_add(1, std::memory_order_relaxed);
+          if (W >= Wave.size())
+            return;
+          int I = Wave[W];
+          try {
+            Process(I);
+          } catch (const std::exception &E) {
+            Fragment &F = Frags[static_cast<std::size_t>(I)];
+            F.Generated = true;
+            F.CS.Err = {AnalysisErrorKind::InternalInvariant,
+                        std::string("uncaught exception: ") + E.what()};
+            F.CS.StructuralOk = false;
+          }
+        }
+      };
+      int Spawned = std::min(SCCThreads, static_cast<int>(Wave.size())) - 1;
+      std::vector<std::thread> Pool;
+      for (int T = 0; T < Spawned; ++T)
+        Pool.emplace_back(Worker);
+      Worker();
+      for (std::thread &T : Pool)
+        T.join();
+    } else {
+      for (int I : Wave)
+        Process(I);
+    }
+    // Publish this wave's summaries for the next waves' call sites.
+    for (int I : Wave)
+      if (Frags[static_cast<std::size_t>(I)].Sum)
+        for (const std::string &Name : CG.SCCs[static_cast<std::size_t>(I)])
+          ByFunc[Name] = Frags[static_cast<std::size_t>(I)].Sum;
+  }
+
+  // Counters and keys are stamped even on failure paths.
+  for (const Fragment &F : Frags) {
+    if (F.Reused)
+      ++SS.SummariesReused;
+    if (F.SolveRan)
+      ++SS.SCCsSolved;
+    SS.SummariesApplied += F.SummariesApplied;
+    SS.GenerateSeconds += F.GenSeconds;
+    SS.SolveSeconds += F.SolveSeconds;
+    SS.GeneratePivots += F.GenPivots;
+    SS.SolvePivots += F.SolvePivots;
+    R.NumCtxQueries += F.CS.CtxQueries;
+    R.NumCtxTier1Hits += F.CS.CtxTier1Hits;
+    R.NumCtxTier2Hits += F.CS.CtxTier2Hits;
+    R.NumCtxLpFallbacks += F.CS.CtxLpFallbacks;
+  }
+  R.SummaryKeys.assign(Keys.begin(), Keys.end());
+  R.NumSummariesApplied = SS.SummariesApplied;
+  R.NumSummariesReused = SS.SummariesReused;
+  R.NumSCCsSolved = SS.SCCsSolved;
+  R.NumWaves = SS.NumWaves;
+  R.MaxWaveWidth = SS.MaxWaveWidth;
+  if (Stats)
+    *Stats = SS;
+
+  // Failure scan in SCC order, mirroring toAnalysisResult's priority:
+  // typed walk abort, structural failure, typed solve abort, infeasible.
+  for (const Fragment &F : Frags)
+    if (F.Generated && F.CS.Err.isError()) {
+      R.ErrorKind = F.CS.Err.Kind;
+      R.Error = F.CS.Err.toString();
+      return R;
+    }
+  bool AnyStructural = false;
+  std::string StructuralNotes;
+  for (const Fragment &F : Frags)
+    if (F.Generated && !F.CS.StructuralOk) {
+      AnyStructural = true;
+      StructuralNotes += F.CS.Diags.toString();
+    }
+  if (AnyStructural) {
+    R.ErrorKind = AnalysisErrorKind::NoLinearBound;
+    R.Error = "analysis failed structurally:\n" + StructuralNotes;
+    return R;
+  }
+  for (const Fragment &F : Frags)
+    if (F.Generated && F.S.Err.isError()) {
+      R.ErrorKind = F.S.Err.Kind;
+      R.Error = F.S.Err.toString();
+      return R;
+    }
+  for (const Fragment &F : Frags)
+    if (F.Generated && !F.S.ok()) {
+      R.ErrorKind = AnalysisErrorKind::NoLinearBound;
+      R.Error = "no linear bound derivable (constraint system infeasible)";
+      return R;
+    }
+
+  // Success: assemble in SCC order.  Splices correspond one-to-one to the
+  // monolithic clone re-walks, so the summed variable/constraint/weaken
+  // counters equal the monolithic ones on a cold run; reused fragments
+  // contribute their recorded counters (NumEliminated excepted — presolve
+  // does not re-run for a reused fragment).
+  for (const Fragment &F : Frags) {
+    if (F.Reused) {
+      R.Solution.insert(R.Solution.end(), F.Sum->Values.begin(),
+                        F.Sum->Values.end());
+      for (const auto &[Fn, B] : F.Sum->Bounds)
+        R.Bounds.emplace(Fn, B);
+      R.NumVars += static_cast<int>(F.Sum->VarNames.size());
+      R.NumConstraints += static_cast<int>(F.Sum->Constraints.size());
+      R.NumWeakenPoints += F.Sum->WeakenPoints;
+      R.NumCallInstantiations += F.Sum->CallInstantiations;
+    } else {
+      R.Solution.insert(R.Solution.end(), F.S.Values.begin(),
+                        F.S.Values.end());
+      for (const auto &[Fn, B] : F.S.Bounds)
+        R.Bounds.emplace(Fn, B);
+      R.NumVars += F.CS.numVars();
+      R.NumConstraints += F.CS.numConstraints();
+      R.NumWeakenPoints += F.CS.WeakenPoints;
+      R.NumCallInstantiations += F.CS.CallInstantiations;
+      R.NumEliminated += F.S.NumEliminated;
+    }
+  }
+  R.Success = true;
+  return R;
+}
+
+std::vector<ConstraintSystem>
+c4b::generateScheduledFragments(const IRProgram &P, const ResourceMetric &M,
+                                const AnalysisOptions &O,
+                                std::vector<std::uint64_t> *Keys) {
+  std::optional<BudgetScope> Scope;
+  if (O.Budget.enabled() && !Budget::current())
+    Scope.emplace(O.Budget);
+
+  CallGraph CG = buildCallGraph(P);
+  const int N = static_cast<int>(CG.SCCs.size());
+
+  check::IntervalSeeds Seeds;
+  const LoopFactMap *LoopFacts = nullptr;
+  if (O.SeedIntervals) {
+    Seeds = check::computeIntervalSeeds(P);
+    LoopFacts = &Seeds.LoopHeadFacts;
+  }
+
+  std::vector<std::uint64_t> AllKeys(static_cast<std::size_t>(N), 0);
+  std::vector<std::optional<SCCSummary>> LocalSlots(
+      static_cast<std::size_t>(N));
+  std::map<std::string, const SCCSummary *> ByFunc;
+  std::vector<ConstraintSystem> Out;
+  Out.reserve(static_cast<std::size_t>(N));
+
+  // Summary application needs only a fragment's constraint stream and
+  // specs, never its solution, so the checker's replay skips every LP:
+  // fragments are generated in SCC order, each summarized unsolved and
+  // published for the fragments that consume it.  The streams are
+  // bit-identical to the analysis run's because summaries are replays of
+  // deterministic walks, whether generated here or served from a store
+  // there.
+  for (int I = 0; I < N; ++I) {
+    std::vector<std::uint64_t> DepKeys;
+    for (int D : CG.SCCDeps[static_cast<std::size_t>(I)])
+      DepKeys.push_back(AllKeys[static_cast<std::size_t>(D)]);
+    AllKeys[static_cast<std::size_t>(I)] = sccSummaryKey(P, M, O, CG, I, DepKeys);
+
+    Fragment F;
+    processFragment(P, M, O, I, LoopFacts, ByFunc, "", /*Solve=*/false, F);
+    if (F.CS.StructuralOk && !F.CS.Err.isError()) {
+      LocalSlots[static_cast<std::size_t>(I)].emplace(
+          summarize(AllKeys[static_cast<std::size_t>(I)], CG, I, F));
+      for (const std::string &Name : CG.SCCs[static_cast<std::size_t>(I)])
+        ByFunc[Name] = &*LocalSlots[static_cast<std::size_t>(I)];
+    }
+    Out.push_back(std::move(F.CS));
+  }
+  if (Keys)
+    *Keys = std::move(AllKeys);
+  return Out;
+}

@@ -1,0 +1,37 @@
+//===--- Hash.cpp - Stable content hashing ---------------------------------===//
+
+#include "c4b/support/Hash.h"
+
+#include <cstdio>
+
+using namespace c4b;
+
+std::uint64_t c4b::stableHash64(std::string_view S, std::uint64_t Seed) {
+  std::uint64_t H = Seed;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::uint64_t c4b::foldString(std::uint64_t H, std::string_view S) {
+  H = stableHash64(std::to_string(S.size()) + ":", H);
+  return stableHash64(S, H);
+}
+
+std::string c4b::hex16(std::uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+std::uint64_t c4b::buildFingerprint() {
+  // __DATE__/__TIME__ of this translation unit: any rebuild gets a fresh
+  // fingerprint, so a record written by an older binary can never be
+  // field-misread by a newer one — it reads as a stale miss and the
+  // content is simply recomputed.  The format-version string is folded in
+  // too, so a version bump alone also invalidates.
+  return stableHash64("c4b-build " __DATE__ " " __TIME__);
+}

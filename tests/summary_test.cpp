@@ -1,0 +1,470 @@
+//===--- summary_test.cpp - SCC-scheduled analysis and summaries -----------===//
+//
+// Covers the scheduled interprocedural pipeline and its first-class
+// summaries: the corpus-wide differential against the monolithic oracle
+// (bounds and counters bit-identical), wave-schedule metadata, summary
+// serialization round-trips, the disk store serving warm runs, incremental
+// invalidation (an edit re-analyzes only the dirty SCC and its transitive
+// callers), stale-vs-corrupt disk entry handling, scheduled certificate
+// round-trips with tamper rejection, and wave-parallel determinism.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/analysis/Summary.h"
+#include "c4b/cert/Certificate.h"
+#include "c4b/corpus/Corpus.h"
+#include "c4b/pipeline/Pipeline.h"
+#include "c4b/support/Hash.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace c4b;
+using namespace c4b::test;
+
+namespace {
+
+/// A diamond call graph: top -> {left, right} -> bottom.  Three waves,
+/// middle wave two SCCs wide, four cross-SCC call edges.
+const char *Diamond = "int bottom(int n) {\n"
+                      "  while (n > 0) { n = n - 1; tick(1); }\n"
+                      "  return n;\n"
+                      "}\n"
+                      "int left(int a) {\n"
+                      "  int r;\n"
+                      "  r = bottom(a);\n"
+                      "  tick(1);\n"
+                      "  return r;\n"
+                      "}\n"
+                      "int right(int b) {\n"
+                      "  int r;\n"
+                      "  r = bottom(b);\n"
+                      "  tick(2);\n"
+                      "  return r;\n"
+                      "}\n"
+                      "int top(int x, int y) {\n"
+                      "  int r;\n"
+                      "  r = left(x);\n"
+                      "  r = right(y);\n"
+                      "  return r;\n"
+                      "}\n";
+
+/// A three-deep chain in two versions differing only inside the middle
+/// function: incremental re-analysis must re-solve g's SCC and its caller
+/// f, and nothing below.
+const char *ChainV1 = "int h(int n) {\n"
+                      "  while (n > 0) { n = n - 1; tick(1); }\n"
+                      "  return n;\n"
+                      "}\n"
+                      "int g(int m) {\n"
+                      "  int r;\n"
+                      "  r = h(m);\n"
+                      "  tick(1);\n"
+                      "  return r;\n"
+                      "}\n"
+                      "int f(int x) {\n"
+                      "  int r;\n"
+                      "  r = g(x);\n"
+                      "  return r;\n"
+                      "}\n";
+const char *ChainV2 = "int h(int n) {\n"
+                      "  while (n > 0) { n = n - 1; tick(1); }\n"
+                      "  return n;\n"
+                      "}\n"
+                      "int g(int m) {\n"
+                      "  int r;\n"
+                      "  r = h(m);\n"
+                      "  tick(5);\n"
+                      "  return r;\n"
+                      "}\n"
+                      "int f(int x) {\n"
+                      "  int r;\n"
+                      "  r = g(x);\n"
+                      "  return r;\n"
+                      "}\n";
+
+/// Creates (and on destruction removes) a scratch summary directory under
+/// the test's working directory — never outside the build tree.
+struct ScratchDir {
+  explicit ScratchDir(const char *Name) : Path(Name) {
+    std::filesystem::remove_all(Path);
+  }
+  ~ScratchDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string Path;
+};
+
+std::string slurp(const std::filesystem::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Scheduled and monolithic runs must agree on everything observable: the
+/// outcome, the typed error, every bound, and the derivation-shape
+/// counters (the monolithic LP is block-diagonal across SCCs, so the
+/// scheduled fragments sum to exactly the monolithic system).
+void expectMatchesMonolith(const AnalysisResult &Sched,
+                           const AnalysisResult &Mono, const char *Name) {
+  EXPECT_EQ(Sched.Success, Mono.Success) << Name;
+  EXPECT_EQ(Sched.ErrorKind, Mono.ErrorKind) << Name;
+  EXPECT_EQ(Sched.Error, Mono.Error) << Name;
+  EXPECT_EQ(Sched.NumVars, Mono.NumVars) << Name;
+  EXPECT_EQ(Sched.NumConstraints, Mono.NumConstraints) << Name;
+  EXPECT_EQ(Sched.NumWeakenPoints, Mono.NumWeakenPoints) << Name;
+  EXPECT_EQ(Sched.NumCallInstantiations, Mono.NumCallInstantiations) << Name;
+  ASSERT_EQ(Sched.Bounds.size(), Mono.Bounds.size()) << Name;
+  for (const auto &[Fn, B] : Sched.Bounds) {
+    auto It = Mono.Bounds.find(Fn);
+    ASSERT_NE(It, Mono.Bounds.end()) << Name << "/" << Fn;
+    EXPECT_EQ(B.toString(), It->second.toString()) << Name << "/" << Fn;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential: scheduled vs monolithic oracle
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduledDifferential, WholeCorpusMatchesMonolith) {
+  AnalysisOptions Mono;
+  Mono.SummaryScheduling = false;
+  int Compared = 0;
+  for (const CorpusEntry &E : corpus()) {
+    LoweredModule L = frontend(E.Source, E.Name);
+    if (!L.ok())
+      continue;
+    AnalysisResult S = analyzeProgram(*L.IR, ResourceMetric::ticks(), {},
+                                      E.Function);
+    AnalysisResult M =
+        analyzeProgram(*L.IR, ResourceMetric::ticks(), Mono, E.Function);
+    EXPECT_TRUE(S.Scheduled) << E.Name;
+    EXPECT_FALSE(M.Scheduled) << E.Name;
+    expectMatchesMonolith(S, M, E.Name);
+    ++Compared;
+  }
+  EXPECT_GE(Compared, 50) << "corpus shrank under the differential";
+}
+
+TEST(ScheduledDifferential, InfeasibleProgramFailsBothWays) {
+  // The PLDI'09 Fig. 4.5 program has no linear bound; the scheduled path
+  // must report the same typed infeasibility, not a different failure.
+  const CorpusEntry *E = findEntry("speed_pldi09_fig4_5");
+  ASSERT_NE(E, nullptr);
+  IRProgram IR = lowerOrDie(E->Source);
+  AnalysisOptions Mono;
+  Mono.SummaryScheduling = false;
+  AnalysisResult S =
+      analyzeProgram(IR, ResourceMetric::ticks(), {}, E->Function);
+  AnalysisResult M =
+      analyzeProgram(IR, ResourceMetric::ticks(), Mono, E->Function);
+  EXPECT_FALSE(S.Success);
+  EXPECT_EQ(S.ErrorKind, AnalysisErrorKind::NoLinearBound);
+  expectMatchesMonolith(S, M, E->Name);
+}
+
+//===----------------------------------------------------------------------===//
+// Wave schedule
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduledWaves, DiamondHasThreeWavesWidthTwo) {
+  IRProgram IR = lowerOrDie(Diamond);
+  ScheduledStats SS;
+  AnalysisResult R = analyzeProgramScheduled(IR, ResourceMetric::ticks(), {},
+                                             "top", nullptr, 1, &SS);
+  ASSERT_TRUE(R.Success) << R.Error;
+  EXPECT_TRUE(R.Scheduled);
+  EXPECT_EQ(R.NumWaves, 3);
+  EXPECT_EQ(R.MaxWaveWidth, 2); // left and right share the middle wave.
+  EXPECT_EQ(SS.NumWaves, 3);
+  EXPECT_EQ(SS.MaxWaveWidth, 2);
+  // Four cross-SCC call edges, each served by a summary splice; all four
+  // single-function SCCs solved fresh (no store installed).
+  EXPECT_EQ(SS.SummariesApplied, 4);
+  EXPECT_EQ(SS.SCCsSolved, 4);
+  EXPECT_EQ(SS.SummariesReused, 0);
+  EXPECT_EQ(R.SummaryKeys.size(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+TEST(SummarySerialization, DiskEntriesRoundTripExactly) {
+  ScratchDir Dir("summary_test_roundtrip");
+  {
+    SummaryStore Store(Dir.Path);
+    IRProgram IR = lowerOrDie(Diamond);
+    AnalysisResult R = analyzeProgramScheduled(IR, ResourceMetric::ticks(),
+                                               {}, "", &Store);
+    ASSERT_TRUE(R.Success) << R.Error;
+  }
+  int Checked = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir.Path)) {
+    ASSERT_EQ(Entry.path().extension(), ".c4bsum");
+    std::uint64_t Key =
+        std::stoull(Entry.path().stem().string(), nullptr, 16);
+    std::string Text = slurp(Entry.path());
+    bool Stale = true;
+    std::optional<SCCSummary> S = SCCSummary::deserialize(Text, Key, &Stale);
+    ASSERT_TRUE(S.has_value()) << Entry.path();
+    EXPECT_FALSE(Stale);
+    EXPECT_EQ(S->Key, Key);
+    EXPECT_TRUE(S->Solved);
+    // Re-serialization is byte-identical: the text form is canonical.
+    EXPECT_EQ(S->serialize(), Text) << Entry.path();
+    ++Checked;
+  }
+  EXPECT_EQ(Checked, 4) << "one .c4bsum file per SCC";
+}
+
+TEST(SummarySerialization, StaleAndCorruptAreDistinguished) {
+  IRProgram IR = lowerOrDie(ChainV1);
+  ScratchDir Dir("summary_test_stale");
+  SummaryStore Store(Dir.Path);
+  AnalysisResult R =
+      analyzeProgramScheduled(IR, ResourceMetric::ticks(), {}, "", &Store);
+  ASSERT_TRUE(R.Success) << R.Error;
+  ASSERT_EQ(R.SummaryKeys.size(), 3u);
+
+  auto It = std::filesystem::directory_iterator(Dir.Path);
+  ASSERT_NE(It, std::filesystem::directory_iterator());
+  std::uint64_t Key = std::stoull(It->path().stem().string(), nullptr, 16);
+  std::string Text = slurp(It->path());
+
+  // A flipped payload byte without a checksum fix is corruption.
+  std::string Flipped = Text;
+  Flipped[Text.find("members") + 1] ^= 1;
+  bool Stale = true;
+  EXPECT_FALSE(SCCSummary::deserialize(Flipped, Key, &Stale).has_value());
+  EXPECT_FALSE(Stale) << "bad checksum must read as corrupt, not stale";
+
+  // A foreign build fingerprint with a *recomputed* checksum is a clean
+  // stale miss: the bytes are intact, they were just written by another
+  // binary whose field layout we must not guess at.
+  auto Restamp = [](std::string Payload) {
+    std::size_t Mark = Payload.rfind("checksum ");
+    Payload.resize(Mark);
+    return Payload + "checksum " + hex16(stableHash64(Payload)) + "\n";
+  };
+  std::string Foreign = Text;
+  std::size_t BuildAt = Foreign.find("build ") + 6;
+  Foreign[BuildAt] = Foreign[BuildAt] == '0' ? '1' : '0';
+  Stale = false;
+  EXPECT_FALSE(SCCSummary::deserialize(Restamp(Foreign), Key, &Stale));
+  EXPECT_TRUE(Stale);
+
+  // Same for a foreign format version.
+  std::string Versioned = Text;
+  std::size_t V = Versioned.find("v1\n");
+  Versioned.replace(V, 2, "v9");
+  Stale = false;
+  EXPECT_FALSE(SCCSummary::deserialize(Restamp(Versioned), Key, &Stale));
+  EXPECT_TRUE(Stale);
+}
+
+TEST(SummaryStoreDisk, ForeignBuildEntriesMissCleanlyAndAreRewritten) {
+  IRProgram IR = lowerOrDie(ChainV1);
+  ScratchDir Dir("summary_test_foreign");
+  {
+    SummaryStore Store(Dir.Path);
+    ASSERT_TRUE(analyzeProgramScheduled(IR, ResourceMetric::ticks(), {}, "",
+                                        &Store)
+                    .Success);
+  }
+  // Rewrite every entry as if a different binary had produced it: foreign
+  // fingerprint, valid checksum.
+  int Rewritten = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir.Path)) {
+    std::string Text = slurp(Entry.path());
+    std::size_t BuildAt = Text.find("build ") + 6;
+    Text[BuildAt] = Text[BuildAt] == '0' ? '1' : '0';
+    std::size_t Mark = Text.rfind("checksum ");
+    Text.resize(Mark);
+    Text += "checksum " + hex16(stableHash64(Text)) + "\n";
+    std::ofstream(Entry.path(), std::ios::binary | std::ios::trunc) << Text;
+    ++Rewritten;
+  }
+  ASSERT_EQ(Rewritten, 3);
+
+  SummaryStore Fresh(Dir.Path);
+  ScheduledStats SS;
+  AnalysisResult R = analyzeProgramScheduled(IR, ResourceMetric::ticks(), {},
+                                             "", &Fresh, 1, &SS);
+  ASSERT_TRUE(R.Success) << R.Error;
+  SummaryStoreStats St = Fresh.stats();
+  EXPECT_EQ(St.StaleFormat, 3) << "foreign entries must miss as stale";
+  EXPECT_EQ(St.CorruptEntries, 0) << "...never as corrupt";
+  EXPECT_EQ(SS.SummariesReused, 0);
+  EXPECT_EQ(SS.SCCsSolved, 3) << "every fragment re-solved after the miss";
+  EXPECT_EQ(St.Stores, 3) << "and the entries rewritten for this build";
+}
+
+//===----------------------------------------------------------------------===//
+// Warm runs and incremental invalidation
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryStoreDisk, WarmRunSolvesNothingAndMatchesCold) {
+  ScratchDir Dir("summary_test_warm");
+  IRProgram IR = lowerOrDie(Diamond);
+  AnalysisResult Cold;
+  {
+    SummaryStore Store(Dir.Path);
+    ScheduledStats SS;
+    Cold = analyzeProgramScheduled(IR, ResourceMetric::ticks(), {}, "",
+                                   &Store, 1, &SS);
+    ASSERT_TRUE(Cold.Success) << Cold.Error;
+    EXPECT_EQ(SS.SCCsSolved, 4);
+  }
+  // A brand-new store over the same directory: everything served from
+  // disk, nothing solved, same bounds.
+  SummaryStore Fresh(Dir.Path);
+  ScheduledStats SS;
+  AnalysisResult Warm = analyzeProgramScheduled(IR, ResourceMetric::ticks(),
+                                                {}, "", &Fresh, 1, &SS);
+  ASSERT_TRUE(Warm.Success) << Warm.Error;
+  EXPECT_EQ(SS.SCCsSolved, 0);
+  EXPECT_EQ(SS.SummariesReused, 4);
+  EXPECT_EQ(Fresh.stats().DiskHits, 4);
+  EXPECT_EQ(Warm.NumSummariesReused, 4);
+  ASSERT_EQ(Warm.Bounds.size(), Cold.Bounds.size());
+  for (const auto &[Fn, B] : Cold.Bounds)
+    EXPECT_EQ(B.toString(), Warm.Bounds.at(Fn).toString()) << Fn;
+  EXPECT_EQ(Warm.SummaryKeys, Cold.SummaryKeys);
+}
+
+TEST(SummaryStoreIncremental, EditReanalyzesOnlyDirtySCCs) {
+  SummaryStore Store; // Memory-only: one store across both versions.
+  IRProgram V1 = lowerOrDie(ChainV1);
+  IRProgram V2 = lowerOrDie(ChainV2);
+
+  ScheduledStats Cold;
+  AnalysisResult R1 = analyzeProgramScheduled(V1, ResourceMetric::ticks(), {},
+                                              "", &Store, 1, &Cold);
+  ASSERT_TRUE(R1.Success) << R1.Error;
+  EXPECT_EQ(Cold.SCCsSolved, 3);
+
+  // Editing g invalidates g's SCC and (through the dependency fold in the
+  // content key) its caller f — h's summary survives and is reused.  The
+  // acceptance bar: strictly fewer fragments re-solved than cold.
+  ScheduledStats Incr;
+  AnalysisResult R2 = analyzeProgramScheduled(V2, ResourceMetric::ticks(), {},
+                                              "", &Store, 1, &Incr);
+  ASSERT_TRUE(R2.Success) << R2.Error;
+  EXPECT_LT(Incr.SCCsSolved, Cold.SCCsSolved);
+  EXPECT_EQ(Incr.SCCsSolved, 2) << "g and f re-solved";
+  EXPECT_EQ(Incr.SummariesReused, 1) << "h served from the store";
+  EXPECT_EQ(R2.NumSummariesReused, 1);
+
+  // And the incremental result is the result: identical to a cold
+  // monolithic analysis of V2.
+  AnalysisOptions Mono;
+  Mono.SummaryScheduling = false;
+  AnalysisResult Oracle = analyzeProgram(V2, ResourceMetric::ticks(), Mono);
+  ASSERT_TRUE(Oracle.Success) << Oracle.Error;
+  for (const auto &[Fn, B] : Oracle.Bounds)
+    EXPECT_EQ(B.toString(), R2.Bounds.at(Fn).toString()) << Fn;
+}
+
+TEST(SummaryStoreIncremental, FocusFragmentIsNeverServedStale) {
+  // The focus SCC is always solved fresh (its fragment runs the focused
+  // two-stage objective), so a warm run still solves exactly one SCC.
+  SummaryStore Store;
+  IRProgram IR = lowerOrDie(ChainV1);
+  ScheduledStats Cold, Warm;
+  ASSERT_TRUE(analyzeProgramScheduled(IR, ResourceMetric::ticks(), {}, "f",
+                                      &Store, 1, &Cold)
+                  .Success);
+  AnalysisResult R = analyzeProgramScheduled(IR, ResourceMetric::ticks(), {},
+                                             "f", &Store, 1, &Warm);
+  ASSERT_TRUE(R.Success) << R.Error;
+  EXPECT_EQ(Warm.SCCsSolved, 1) << "only the focus fragment";
+  EXPECT_EQ(Warm.SummariesReused, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduled certificates
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduledCert, RoundTripsAndValidates) {
+  IRProgram IR = lowerOrDie(Diamond);
+  AnalysisResult R =
+      analyzeProgramScheduled(IR, ResourceMetric::ticks(), {}, "top");
+  ASSERT_TRUE(R.Success) << R.Error;
+
+  Certificate C = Certificate::fromResult(R, ResourceMetric::ticks(), {});
+  EXPECT_TRUE(C.Scheduled);
+  EXPECT_EQ(C.SummaryKeys, R.SummaryKeys);
+
+  std::string Text = C.serialize();
+  std::optional<Certificate> Back = Certificate::deserialize(Text);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(Back->Scheduled);
+  EXPECT_EQ(Back->SummaryKeys, C.SummaryKeys);
+  EXPECT_EQ(Back->serialize(), Text);
+
+  CheckReport Rep = checkCertificate(IR, *Back);
+  EXPECT_TRUE(Rep.Valid) << (Rep.Violations.empty() ? ""
+                                                    : Rep.Violations.front());
+  EXPECT_GT(Rep.ConstraintsChecked, 0);
+}
+
+TEST(ScheduledCert, TamperedValuesAndKeysAreRejected) {
+  IRProgram IR = lowerOrDie(Diamond);
+  AnalysisResult R =
+      analyzeProgramScheduled(IR, ResourceMetric::ticks(), {}, "top");
+  ASSERT_TRUE(R.Success) << R.Error;
+  Certificate C = Certificate::fromResult(R, ResourceMetric::ticks(), {});
+
+  Certificate BadValue = C;
+  ASSERT_FALSE(BadValue.Values.empty());
+  BadValue.Values[0] = BadValue.Values[0] + Rational(1);
+  EXPECT_FALSE(checkCertificate(IR, BadValue).Valid);
+
+  // A certificate also certifies *which* summaries its analysis consumed:
+  // a tampered key list must fail key re-derivation.
+  Certificate BadKey = C;
+  ASSERT_FALSE(BadKey.SummaryKeys.empty());
+  BadKey.SummaryKeys[0] ^= 1;
+  CheckReport Rep = checkCertificate(IR, BadKey);
+  EXPECT_FALSE(Rep.Valid);
+  ASSERT_FALSE(Rep.Violations.empty());
+  EXPECT_NE(Rep.Violations.front().find("summary keys"), std::string::npos);
+
+  Certificate Truncated = C;
+  Truncated.Values.pop_back();
+  EXPECT_FALSE(checkCertificate(IR, Truncated).Valid);
+}
+
+//===----------------------------------------------------------------------===//
+// Wave parallelism
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduledParallel, WaveWorkersAreBitIdenticalToSerial) {
+  for (const char *Name : {"md5_update", "sha_update"}) {
+    const CorpusEntry *E = findEntry(Name);
+    ASSERT_NE(E, nullptr) << Name;
+    IRProgram IR = lowerOrDie(E->Source);
+    AnalysisResult Serial = analyzeProgramScheduled(
+        IR, ResourceMetric::ticks(), {}, E->Function, nullptr, 1);
+    AnalysisResult Par = analyzeProgramScheduled(
+        IR, ResourceMetric::ticks(), {}, E->Function, nullptr, 4);
+    ASSERT_TRUE(Serial.Success) << Serial.Error;
+    EXPECT_EQ(Par.Success, Serial.Success) << Name;
+    EXPECT_EQ(Par.Solution, Serial.Solution) << Name;
+    EXPECT_EQ(Par.SummaryKeys, Serial.SummaryKeys) << Name;
+    EXPECT_EQ(Par.NumVars, Serial.NumVars) << Name;
+    EXPECT_EQ(Par.NumConstraints, Serial.NumConstraints) << Name;
+    ASSERT_EQ(Par.Bounds.size(), Serial.Bounds.size()) << Name;
+    for (const auto &[Fn, B] : Serial.Bounds)
+      EXPECT_EQ(B.toString(), Par.Bounds.at(Fn).toString()) << Name << "/"
+                                                            << Fn;
+  }
+}
