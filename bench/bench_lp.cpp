@@ -144,6 +144,63 @@ int main(int argc, char **argv) {
     ScheduledApplied += SS.SummariesApplied;
   }
 
+  // Third pass: the cost-slicing gate.  The Table 3 corpus has no
+  // cost-dead code (slicing is bit-identical there by construction, which
+  // the differential test covers), so the strict-reduction acceptance runs
+  // on a fixture with genuinely sliceable content: a PureZero helper
+  // called on the hot path (collapsed to an identity potential transfer)
+  // and cost-dead stores after the last tick (skipped outright).  The
+  // sliced generate stage must emit strictly fewer constraints while
+  // certifying the same bounds.
+  static const char *SliceFixture =
+      "int buf[4];\n"
+      "int scratch(int x) {\n"
+      "  x = x + 1;\n"
+      "  buf[0] = x;\n"
+      "  return x;\n"
+      "}\n"
+      "int work(int n) {\n"
+      "  int r;\n"
+      "  r = 0;\n"
+      "  while (n > 0) {\n"
+      "    n = n - 1;\n"
+      "    r = scratch(r);\n"
+      "    tick(1);\n"
+      "  }\n"
+      "  buf[1] = r;\n"
+      "  buf[2] = r;\n"
+      "  return r;\n"
+      "}\n";
+  long SlicedConstraints = 0, UnslicedConstraints = 0;
+  long FixtureCallsCollapsed = 0, FixtureStmtsSliced = 0;
+  bool SliceBoundsMatch = false, SliceGateOk = false;
+  {
+    LoweredModule L = frontend(SliceFixture, "slice_fixture");
+    if (L.ok()) {
+      AnalysisOptions On; // CostSlicing defaults on.
+      AnalysisOptions Off;
+      Off.CostSlicing = false;
+      ConstraintSystem CSOn =
+          generateConstraints(*L.IR, ResourceMetric::ticks(), On);
+      ConstraintSystem CSOff =
+          generateConstraints(*L.IR, ResourceMetric::ticks(), Off);
+      SlicedConstraints = CSOn.numConstraints();
+      UnslicedConstraints = CSOff.numConstraints();
+      FixtureCallsCollapsed = CSOn.CallsCollapsed;
+      FixtureStmtsSliced = CSOn.StmtsSliced;
+      SolvedSystem SOn = solveSystem(CSOn, "work");
+      SolvedSystem SOff = solveSystem(CSOff, "work");
+      SliceBoundsMatch =
+          SOn.ok() && SOff.ok() &&
+          SOn.Bounds.count("work") && SOff.Bounds.count("work") &&
+          SOn.Bounds.at("work").toString() ==
+              SOff.Bounds.at("work").toString();
+      SliceGateOk = SliceBoundsMatch && FixtureCallsCollapsed > 0 &&
+                    FixtureStmtsSliced > 0 &&
+                    SlicedConstraints < UnslicedConstraints;
+    }
+  }
+
   double WarmRate =
       TotalSolves > 0 ? static_cast<double>(TotalWarm) / TotalSolves : 0.0;
 
@@ -185,19 +242,29 @@ int main(int argc, char **argv) {
                  ScheduledApplied);
     std::fprintf(F, "  \"scheduled_pivot_threshold\": %ld,\n",
                  argc > 1 ? -1 : MaxScheduledPivots);
-    std::fprintf(F, "  \"scheduled_pivot_threshold_ok\": %s\n",
+    std::fprintf(F, "  \"scheduled_pivot_threshold_ok\": %s,\n",
                  argc > 1 || ScheduledPivots <= MaxScheduledPivots ? "true"
                                                                    : "false");
+    std::fprintf(F,
+                 "  \"slice_fixture\": {\"constraints_sliced\": %ld, "
+                 "\"constraints_unsliced\": %ld,\n"
+                 "    \"calls_collapsed\": %ld, \"stmts_sliced\": %ld, "
+                 "\"bounds_match\": %s, \"gate_ok\": %s}\n",
+                 SlicedConstraints, UnslicedConstraints,
+                 FixtureCallsCollapsed, FixtureStmtsSliced,
+                 SliceBoundsMatch ? "true" : "false",
+                 SliceGateOk ? "true" : "false");
     std::fprintf(F, "}\n");
     std::fclose(F);
   }
 
   std::printf("lp bench: %zu programs, %.3fs solve, %ld pivots "
               "(+%ld generate-stage), %ld solves (%.0f%% warm); "
-              "scheduled path: %ld pivots, %ld waves, %ld splices\n",
+              "scheduled path: %ld pivots, %ld waves, %ld splices; "
+              "slice fixture: %ld -> %ld constraints\n",
               Rows.size(), TotalSeconds, TotalPivots, TotalGenPivots,
               TotalSolves, WarmRate * 100.0, ScheduledPivots, ScheduledWaves,
-              ScheduledApplied);
+              ScheduledApplied, UnslicedConstraints, SlicedConstraints);
 
   if (TwoStageCold > 0) {
     std::fprintf(stderr, "FAIL: %d two-stage solve(s) did not warm-start\n",
@@ -224,6 +291,19 @@ int main(int argc, char **argv) {
                  "FAIL: scheduled-path pivot total %ld exceeds threshold "
                  "%ld (SCC decomposition regression)\n",
                  ScheduledPivots, MaxScheduledPivots);
+    return 1;
+  }
+  // The slicing gate runs even in fixture mode: its program is inline, so
+  // its expectations do not depend on which corpus subset was requested.
+  if (!SliceGateOk) {
+    std::fprintf(stderr,
+                 "FAIL: cost-slicing gate: sliced generate emitted %ld "
+                 "constraint(s) vs %ld unsliced (collapsed=%ld sliced=%ld "
+                 "bounds_match=%d); expected a strict reduction with "
+                 "identical bounds\n",
+                 SlicedConstraints, UnslicedConstraints,
+                 FixtureCallsCollapsed, FixtureStmtsSliced,
+                 SliceBoundsMatch ? 1 : 0);
     return 1;
   }
   return 0;

@@ -76,6 +76,8 @@ void emitStageTotals(FILE *F, const char *Key, const BatchStats &S) {
                "    \"summaries\": {\"applied\": %ld, \"reused\": %ld, "
                "\"sccs_solved\": %ld, \"waves\": %ld, "
                "\"max_wave_width\": %d},\n"
+               "    \"slicing\": {\"stmts_sliced\": %ld, "
+               "\"calls_collapsed\": %ld, \"constraints_avoided\": %ld},\n"
                "    \"cache\": {\"hits\": %d, \"stores\": %d}}",
                Key, S.WallSeconds, S.NumJobs, S.NumSucceeded, S.NumDegraded,
                S.NumFailed, S.NumDeadline, S.NumLpBudget,
@@ -86,7 +88,10 @@ void emitStageTotals(FILE *F, const char *Key, const BatchStats &S) {
                S.StageTotals.GenTier2Hits, S.StageTotals.GenLpFallbacks,
                S.StageTotals.SummariesApplied, S.StageTotals.SummariesReused,
                S.StageTotals.SCCsSolved, S.StageTotals.Waves,
-               S.StageTotals.MaxWaveWidth, S.NumCacheHits, S.NumCacheStores);
+               S.StageTotals.MaxWaveWidth, S.StageTotals.GenStmtsSliced,
+               S.StageTotals.GenCallsCollapsed,
+               S.StageTotals.GenConstraintsAvoided, S.NumCacheHits,
+               S.NumCacheStores);
 }
 
 /// Counts jobs whose results differ between two runs of the same job list;

@@ -12,6 +12,12 @@
 //     --dump-ir                                   print the normalized IR
 //     --name NAME                                 analyze a corpus program
 //     --lint                                      run the dataflow lints
+//     --lint-cost                                 cost-relevance lints only
+//                                                 (no analysis, no solve)
+//     --no-cost-slicing                           disable cost-relevance
+//                                                 slicing (bounds and
+//                                                 certificate values are
+//                                                 identical either way)
 //     --no-verify-ir                              skip the IR verifier
 //     --seed-intervals                            interval facts seed the LP
 //     --diag-json FILE                            diagnostics + cache counters
@@ -48,6 +54,7 @@
 #include "c4b/baseline/Ranking.h"
 #include "c4b/cert/Certificate.h"
 #include "c4b/check/Check.h"
+#include "c4b/check/CostRelevance.h"
 #include "c4b/corpus/Corpus.h"
 #include "c4b/pipeline/Pipeline.h"
 
@@ -69,7 +76,8 @@ int usage() {
       stderr,
       "usage: c4b [--metric M] [--weaken W] [--monomorphic] [--baseline]\n"
       "           [--cert FILE | --check FILE] [--dump-ir]\n"
-      "           [--lint] [--no-verify-ir] [--seed-intervals]\n"
+      "           [--lint] [--lint-cost] [--no-cost-slicing]\n"
+      "           [--no-verify-ir] [--seed-intervals]\n"
       "           [--diag-json FILE]\n"
       "           [--timeout-ms N] [--max-pivots N] [--fallback-ranking]\n"
       "           [--no-cache] [--cache-dir DIR] [--monolithic]\n"
@@ -86,6 +94,14 @@ int usage() {
       "                      fragments are written there and unchanged SCCs\n"
       "                      are served from it on later runs (an edit\n"
       "                      re-analyzes only its SCC + transitive callers)\n"
+      "\n"
+      "cost-relevance slicing:\n"
+      "  --no-cost-slicing   keep every statement in the derivation walk\n"
+      "                      instead of skipping cost-dead code; bounds and\n"
+      "                      certificate values are identical either way\n"
+      "  --lint-cost         run only the cost-relevance lints (cost-dead\n"
+      "                      functions, unreachable or zero ticks) and exit\n"
+      "                      without analyzing\n"
       "\n"
       "caching:\n"
       "  --no-cache          disable the query-avoidance layer (syntactic\n"
@@ -128,7 +144,7 @@ int main(int Argc, char **Argv) {
   bool RunBaseline = false, DumpIR = false;
   // The CLI is a front-end tool, not the batch hot path: verify by
   // default in every build type, opt out with --no-verify-ir.
-  bool VerifyIR = true, Lint = false;
+  bool VerifyIR = true, Lint = false, LintCost = false;
   const char *CertOut = nullptr, *CertIn = nullptr;
   const char *InputFile = nullptr, *CorpusName = nullptr;
   const char *DiagJson = nullptr, *CacheDir = nullptr;
@@ -168,6 +184,10 @@ int main(int Argc, char **Argv) {
       DumpIR = true;
     } else if (!std::strcmp(A, "--lint")) {
       Lint = true;
+    } else if (!std::strcmp(A, "--lint-cost")) {
+      LintCost = true;
+    } else if (!std::strcmp(A, "--no-cost-slicing")) {
+      Opts.CostSlicing = false;
     } else if (!std::strcmp(A, "--no-verify-ir")) {
       VerifyIR = false;
     } else if (!std::strcmp(A, "--seed-intervals")) {
@@ -302,6 +322,15 @@ int main(int Argc, char **Argv) {
       Out << "    }";
     }
     Out << "\n  },\n";
+    Out << "  \"slicing\": {\n";
+    Out << "    \"enabled\": " << (R && R->Sliced ? "true" : "false")
+        << ",\n";
+    Out << "    \"stmts_sliced\": " << (R ? R->NumStmtsSliced : 0) << ",\n";
+    Out << "    \"calls_collapsed\": " << (R ? R->NumCallsCollapsed : 0)
+        << ",\n";
+    Out << "    \"constraints_avoided\": "
+        << (R ? R->NumConstraintsAvoided : 0) << "\n";
+    Out << "  },\n";
     Out << "  \"summaries\": {\n";
     Out << "    \"scheduled\": " << (R && R->Scheduled ? "true" : "false")
         << ",\n";
@@ -354,6 +383,24 @@ int main(int Argc, char **Argv) {
   if (!CheckRep.Verified) {
     std::fprintf(stderr, "IR verification failed; refusing to analyze\n");
     return exitCodeFor(AnalysisErrorKind::MalformedIR);
+  }
+
+  // Lint-only mode: run the interval pre-pass and the cost-relevance
+  // analysis, report its lints on stdout (deterministic order — the CI
+  // golden-diagnostics job diffs this), and exit without analyzing.
+  if (LintCost) {
+    check::IntervalSeeds Seeds = check::computeIntervalSeeds(*IR);
+    check::CostRelevance CR = check::computeCostRelevance(
+        *IR, *M, Seeds.Converged ? &Seeds : nullptr);
+    DiagnosticEngine CostDiags;
+    check::runCostLints(*IR, *M, CR, Seeds.Converged ? &Seeds : nullptr,
+                        CostDiags);
+    std::printf("%s", CostDiags.toString().c_str());
+    std::printf("; lint-cost: %d warning(s), %zu function(s) analyzed\n",
+                CostDiags.warningCount(), CR.Effects.size());
+    Diags.take(std::move(CostDiags));
+    writeDiagJson(Diags, nullptr);
+    return 0;
   }
 
   if (CertIn) {
@@ -438,6 +485,12 @@ int main(int Argc, char **Argv) {
                  "summaries-applied=%d summaries-reused=%d\n",
                  R.NumWaves, R.MaxWaveWidth, R.NumSCCsSolved,
                  R.NumSummariesApplied, R.NumSummariesReused);
+  if (R.Sliced)
+    std::fprintf(stderr,
+                 "; slicing: stmts-sliced=%ld calls-collapsed=%ld "
+                 "constraints-avoided=%ld\n",
+                 R.NumStmtsSliced, R.NumCallsCollapsed,
+                 R.NumConstraintsAvoided);
 
   if (RunBaseline)
     for (const IRFunction &F : IR->Functions) {

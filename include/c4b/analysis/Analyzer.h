@@ -88,6 +88,17 @@ struct AnalysisResult {
   // fragment when validated; SummaryKeys records the content key of every
   // SCC in bottom-up order (the summaries this result consumed or
   // produced), which the certificate checker re-derives and compares.
+  // Cost-relevance slicing (see c4b/check/CostRelevance.h).  Sliced
+  // records the *effective* mode: false when the option was off or the
+  // relevance pass was budget-aborted (the fail-safe downgrade).
+  // SliceDigests carry the per-function slice digests certificates embed;
+  // the checker re-derives them and rejects disagreements.
+  bool Sliced = false;
+  std::map<std::string, std::uint64_t> SliceDigests;
+  long NumStmtsSliced = 0;
+  long NumCallsCollapsed = 0;
+  long NumConstraintsAvoided = 0;
+
   bool Scheduled = false;
   std::vector<std::uint64_t> SummaryKeys;
   /// Cross-SCC call sites served by splicing a summary instead of a clone

@@ -33,6 +33,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,17 @@ struct AnalysisOptions {
   /// bit-for-bit.  Never serialized into certificates: a budget changes
   /// *whether* an answer is produced, not which answer.
   BudgetLimits Budget;
+  /// Slice cost-dead code out of the derivation: skip emission for
+  /// statements the interprocedural cost-relevance pass proved both
+  /// cost-dead and emission-silent, and collapse calls to PureZero
+  /// callees into identity potential transfers (no spec instantiation,
+  /// no summary splice).  The slice criterion is conservative enough
+  /// that skipped statements would have emitted nothing anyway, so
+  /// bounds and certificates are bit-identical with the switch off
+  /// except where calls collapse (gated by the whole-corpus
+  /// differential test).  Serialized into certificates and cache keys —
+  /// the checker re-derives the slice and rejects disagreements.
+  bool CostSlicing = true;
   /// Schedule the analysis over call-graph SCCs bottom-up, consuming
   /// reusable per-SCC summaries at cross-SCC call sites, instead of
   /// emitting one monolithic per-module constraint system.  Effective only
@@ -108,6 +120,18 @@ struct SCCSummary;
 /// (c4b/check/Intervals.h); kept as a plain map here so the analysis layer
 /// does not depend on the check subsystem.
 using LoopFactMap = std::map<const IRStmt *, std::vector<LinFact>>;
+
+/// Cost-relevance facts consumed by the derivation walk: the maximal
+/// sliceable subtree roots (skipped wholesale) and the names of functions
+/// whose cost effect is PureZero (call sites collapse to identity
+/// potential transfers when the metric's call costs are zero).  Produced
+/// by the check stage's cost-relevance pass (c4b/check/CostRelevance.h);
+/// kept as plain containers here, like LoopFactMap, so the analysis layer
+/// does not depend on the check subsystem.
+struct CostSliceInfo {
+  std::set<const IRStmt *> Sliceable;
+  std::set<std::string> PureZeroFns;
+};
 
 /// A function specification (Gamma_f; Q_f, Gamma'_f; Q'_f): potential over
 /// the formals (pre) and over the return value (post), plus the program's
@@ -153,10 +177,13 @@ public:
   /// report per-function reasons instead of one opaque string.
   /// \p LoopFacts, when non-null and `O.SeedIntervals` is set, supplies
   /// loop-head invariants conjoined into the logical context at each loop.
+  /// \p Slice, when non-null and `O.CostSlicing` is set, supplies the
+  /// cost-relevance facts the walk slices against.
   ProgramAnalyzer(const IRProgram &P, const ResourceMetric &M,
                   const AnalysisOptions &O, ConstraintSink &Sink,
                   DiagnosticEngine *Diags = nullptr,
-                  const LoopFactMap *LoopFacts = nullptr);
+                  const LoopFactMap *LoopFacts = nullptr,
+                  const CostSliceInfo *Slice = nullptr);
 
   /// Emits all constraints.  Returns false on structural failure (e.g.
   /// call-depth blowout); LP infeasibility is discovered later by the
@@ -215,6 +242,7 @@ private:
   ConstraintSink &Sink;
   DiagnosticEngine *Diags;
   const LoopFactMap *LoopFacts;
+  const CostSliceInfo *Slice;
   SummaryProvider *Provider = nullptr;
   CallGraph CG;
   std::map<std::string, std::set<std::string>> ModGlobals;

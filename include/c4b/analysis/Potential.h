@@ -49,7 +49,9 @@ public:
   static constexpr int ConstIdx = 0;
 
   /// Interval endpoints of index \p I (I >= 1).
-  const std::pair<Atom, Atom> &pair(int I) const { return Pairs[I - 1]; }
+  const std::pair<Atom, Atom> &pair(int I) const {
+    return Pairs[static_cast<std::size_t>(I - 1)];
+  }
 
   /// Id of the interval index (A,B); -1 when A==B or either atom is
   /// outside the universe.

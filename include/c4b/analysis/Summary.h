@@ -149,16 +149,21 @@ private:
 
 /// Content key of SCC \p SccIdx: the configuration that pins down which
 /// constraints the walk emits (metric constants, weakening placement,
-/// polymorphism, objective staging, depth budget, interval seeding), the
-/// program-wide constant-atom universe, the canonical IR of every member,
-/// and the keys of every callee SCC (sorted), making invalidation
-/// transitive.  Options that only affect whether/how fast an answer is
-/// produced (budgets, query avoidance, ranking fallback) are excluded,
-/// mirroring the tier-3 module key.
+/// polymorphism, objective staging, depth budget, interval seeding,
+/// cost slicing), the program-wide constant-atom universe, the canonical
+/// IR of every member, and the keys of every callee SCC (sorted), making
+/// invalidation transitive.  Options that only affect whether/how fast an
+/// answer is produced (budgets, query avoidance, ranking fallback) are
+/// excluded, mirroring the tier-3 module key.  \p SliceKey folds the
+/// cost-relevance facts the member walks consume (sliceKeyFor; 0 when
+/// slicing is off) so a relevance change reshapes the key even when the
+/// member IR is unchanged (e.g. a callee's effect moved through an
+/// interface IR edit elsewhere).
 std::uint64_t sccSummaryKey(const IRProgram &P, const ResourceMetric &M,
                             const AnalysisOptions &O, const CallGraph &CG,
                             int SccIdx,
-                            const std::vector<std::uint64_t> &DepKeys);
+                            const std::vector<std::uint64_t> &DepKeys,
+                            std::uint64_t SliceKey = 0);
 
 } // namespace c4b
 

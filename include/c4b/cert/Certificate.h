@@ -50,6 +50,14 @@ struct Certificate {
   /// its analysis consumed.
   bool Scheduled = false;
   std::vector<std::uint64_t> SummaryKeys;
+  /// True when the analysis ran with cost-relevance slicing effective
+  /// (AnalysisOptions::CostSlicing and the relevance pass converged).
+  /// SliceDigests then records the per-function slice digest
+  /// (c4b/check/CostRelevance.h); the validator re-derives the relevance
+  /// analysis independently and rejects any disagreement, so a
+  /// certificate also certifies *what* its analysis sliced.
+  bool Sliced = false;
+  std::map<std::string, std::uint64_t> SliceDigests;
 
   /// Builds the certificate of a successful analysis.
   static Certificate fromResult(const AnalysisResult &R,

@@ -1,0 +1,138 @@
+//===--- CostRelevance.h - Interprocedural cost-relevance -------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bottom-up interprocedural cost-relevance analysis over the call-graph
+/// SCC order.  Per function it computes a *cost effect* — PureZero (every
+/// execution costs exactly 0 under the metric), MayTick (some reachable
+/// construct may cost), or Unknown (an undefined callee, or the analysis
+/// was budget-aborted) — by joining the local effects of every SCC member
+/// with the effects of external callees (the closed form of the SCC
+/// fixpoint: strong connectivity makes every member's effect the joint
+/// one).  Per statement it computes a *cost-relevance* verdict via backward
+/// cost-reachability (does any cost-bearing operation execute at or after
+/// this point?), refined by the interval pre-pass (statements it proved
+/// unreachable — zero-trip loop bodies, statically-false guards — cannot
+/// bear cost).
+///
+/// Two consumers:
+///
+///  * The derivation walk slices statements that are both cost-dead and
+///    *emission-silent* — subtrees the walker would traverse without
+///    emitting a constraint, allocating a variable, placing a weaken
+///    point, or mutating the logical context / potential annotation
+///    (Skip, Block, and Store when `Mu + Me = 0`).  Skipping them is
+///    bit-identical by construction on every program, so the whole-corpus
+///    sliced-vs-unsliced differential is a guarantee, not a hope.  Call
+///    sites whose callee effect is PureZero (and `Mf = Mr = 0`) collapse
+///    to an identity potential transfer — no spec instantiation, no
+///    callee fragment splice — which is where the real constraint savings
+///    come from; soundness is the all-zero annotation of the callee's
+///    homogeneous fragment.
+///
+///  * The certificate checker re-derives relevance independently and
+///    compares per-function slice digests: an over-aggressive slice must
+///    be *caught*, not trusted (Site::CostSlice fault-injects exactly
+///    that tampering).
+///
+/// The pass is fail-safe under budgets: a deadline abort degrades every
+/// effect to Unknown, clears the slice, and reports Converged = false; the
+/// pipeline then runs (and certifies) the unsliced derivation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_CHECK_COSTRELEVANCE_H
+#define C4B_CHECK_COSTRELEVANCE_H
+
+#include "c4b/check/Intervals.h"
+#include "c4b/ir/IR.h"
+#include "c4b/sem/Metric.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace c4b {
+
+class DiagnosticEngine;
+
+namespace check {
+
+/// The cost-effect lattice, ordered PureZero < MayTick < Unknown; the SCC
+/// fold joins towards Unknown.
+enum class CostEffect {
+  PureZero, ///< Every execution costs exactly 0 under the metric.
+  MayTick,  ///< Some reachable construct may cost (or release) resource.
+  Unknown,  ///< Undefined callee or budget-aborted analysis: assume cost.
+};
+
+const char *costEffectName(CostEffect E);
+
+/// Join towards Unknown.
+inline CostEffect joinEffect(CostEffect A, CostEffect B) {
+  return static_cast<int>(A) >= static_cast<int>(B) ? A : B;
+}
+
+/// Results of the cost-relevance pass over a whole program.
+struct CostRelevance {
+  /// Per-function cost effect (the joint effect of the function's SCC).
+  std::map<std::string, CostEffect> Effects;
+
+  /// Maximal sliceable subtree roots: cost-dead *and* emission-silent.
+  /// The derivation walk skips these whole subtrees.
+  std::set<const IRStmt *> Sliceable;
+
+  /// Per-statement cost-deadness (maximal cost-dead subtree roots, not
+  /// restricted to silent ones); feeds the lints.
+  std::set<const IRStmt *> CostDead;
+
+  /// Per-function slice digest: folds the function's effect and the
+  /// pre-order indices of its sliced subtree roots.  Certificates embed
+  /// these so the checker's independent re-derivation can disagree
+  /// loudly.
+  std::map<std::string, std::uint64_t> Digests;
+
+  /// False when a budget deadline aborted the pass; Effects are then all
+  /// Unknown and the slice is empty (fail-safe: the pipeline disables
+  /// slicing for the run and records that in the certificate).
+  bool Converged = true;
+
+  /// Effect of \p Fn; Unknown when the function is not in the map
+  /// (undefined callee).
+  CostEffect effectOf(const std::string &Fn) const {
+    auto It = Effects.find(Fn);
+    return It == Effects.end() ? CostEffect::Unknown : It->second;
+  }
+};
+
+/// Runs the cost-relevance analysis over every function of \p P under
+/// metric \p M.  \p Seeds, when non-null and converged, refines
+/// cost-deadness (interval-proven-unreachable statements cannot bear
+/// cost); it never affects the function *effects*, which stay
+/// conservative so call-site emission cannot depend on interval facts.
+CostRelevance computeCostRelevance(const IRProgram &P, const ResourceMetric &M,
+                                   const IntervalSeeds *Seeds = nullptr);
+
+/// Emits the cost lints derived from the same facts: `cost-dead function`
+/// (effect PureZero), `tick unreachable from entry` (a tick the interval
+/// pre-pass proved unreachable), and `statically-zero tick amount`.
+void runCostLints(const IRProgram &P, const ResourceMetric &M,
+                  const CostRelevance &CR, const IntervalSeeds *Seeds,
+                  DiagnosticEngine &Diags);
+
+/// Content key of SCC \p SccIdx's slice configuration: folds each member's
+/// effect and slice digest plus the effect of every callee, so SCCSummary
+/// keys that fold it stay transitively invalidated when a callee's cost
+/// effect changes.
+std::uint64_t sliceKeyFor(const CostRelevance &CR, const CallGraph &CG,
+                          int SccIdx);
+
+} // namespace check
+} // namespace c4b
+
+#endif // C4B_CHECK_COSTRELEVANCE_H

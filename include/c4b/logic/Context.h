@@ -46,6 +46,11 @@ struct QueryStats {
   long Tier1Hits = 0;  ///< answered syntactically (no LP, no memo)
   long Tier2Hits = 0;  ///< answered from the memoized-query cache
   long LpFallbacks = 0; ///< fell through to an exact LP solve
+  // Cost-slicing counters, accumulated by the derivation walk on the same
+  // snapshot-and-subtract discipline as the query buckets above.
+  long StmtsSliced = 0;       ///< statements skipped as cost-dead
+  long CallsCollapsed = 0;    ///< PureZero call sites collapsed to identity
+  long ConstraintsAvoided = 0; ///< estimated constraint rows not emitted
 };
 
 /// The calling thread's running query counters.

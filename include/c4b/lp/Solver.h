@@ -69,8 +69,10 @@ public:
 
   int numVars() const { return static_cast<int>(Free.size()); }
   int numConstraints() const { return static_cast<int>(Rows.size()); }
-  bool isFree(int Var) const { return Free[Var]; }
-  const std::string &varName(int Var) const { return Names[Var]; }
+  bool isFree(int Var) const { return Free[static_cast<std::size_t>(Var)]; }
+  const std::string &varName(int Var) const {
+    return Names[static_cast<std::size_t>(Var)];
+  }
   const std::vector<LinConstraint> &constraints() const { return Rows; }
 
 private:

@@ -61,6 +61,13 @@ struct StageTimings {
   long GenTier2Hits = 0;
   long GenLpFallbacks = 0;
 
+  // Cost-slicing counters of the generate stage (see QueryStats): cost-
+  // dead statements the walk skipped, PureZero call sites collapsed to
+  // identity transfers, and the estimated constraint rows not emitted.
+  long GenStmtsSliced = 0;
+  long GenCallsCollapsed = 0;
+  long GenConstraintsAvoided = 0;
+
   // Scheduled-analysis counters (zero on the monolithic path): summary
   // splices at call sites, whole fragments served from the summary store,
   // fragments solved fresh, and the shape of the wave schedule.  Summed
@@ -86,6 +93,9 @@ struct StageTimings {
     GenTier1Hits += O.GenTier1Hits;
     GenTier2Hits += O.GenTier2Hits;
     GenLpFallbacks += O.GenLpFallbacks;
+    GenStmtsSliced += O.GenStmtsSliced;
+    GenCallsCollapsed += O.GenCallsCollapsed;
+    GenConstraintsAvoided += O.GenConstraintsAvoided;
     SummariesApplied += O.SummariesApplied;
     SummariesReused += O.SummariesReused;
     SCCsSolved += O.SCCsSolved;

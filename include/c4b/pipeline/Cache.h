@@ -76,6 +76,14 @@ struct CacheEntry {
   int NumEliminated = 0;
   int NumWeakenPoints = 0;
   int NumCallInstantiations = 0;
+  // Cost-slicing provenance (see AnalysisResult): the effective mode, the
+  // per-function slice digests the certificate embeds, and the slicing
+  // counters — replayed so a cached result stays bit-identical.
+  bool Sliced = false;
+  std::map<std::string, std::uint64_t> SliceDigests;
+  long NumStmtsSliced = 0;
+  long NumCallsCollapsed = 0;
+  long NumConstraintsAvoided = 0;
   // Scheduled-analysis provenance (see AnalysisResult): whether the run
   // was SCC-scheduled, which summary keys it consumed/produced, and the
   // reuse counters — replayed so a cached result stays bit-identical.

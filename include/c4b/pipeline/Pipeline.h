@@ -177,6 +177,15 @@ struct ConstraintSystem {
   long CtxTier2Hits = 0;
   long CtxLpFallbacks = 0;
 
+  // Cost-slicing record of the walk.  Options.CostSlicing reflects the
+  // *effective* mode (a budget-aborted relevance pass downgrades it);
+  // SliceDigests are the per-function digests the certificate embeds so
+  // the checker's independent re-derivation can disagree loudly.
+  std::map<std::string, std::uint64_t> SliceDigests;
+  long StmtsSliced = 0;
+  long CallsCollapsed = 0;
+  long ConstraintsAvoided = 0;
+
   int numVars() const { return static_cast<int>(VarNames.size()); }
   int numConstraints() const { return static_cast<int>(Constraints.size()); }
 

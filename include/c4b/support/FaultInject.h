@@ -38,6 +38,7 @@ enum class Site {
   Pivot,        ///< one simplex pivot.
   BigIntAlloc,  ///< one BigInt magnitude allocation (multiplication).
   CacheLoad,    ///< one on-disk analysis-cache entry load.
+  CostSlice,    ///< cost-relevance slice construction (over-slice tamper).
 };
 
 /// Arms a one-shot fault: the \p TriggerAt-th hit (1-based) of \p S on

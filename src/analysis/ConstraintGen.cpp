@@ -191,9 +191,9 @@ private:
 
   Annotation freshFreeAnnotation(const char *Tag) {
     Annotation A;
-    A.Vars.resize(IS.numIndices());
+    A.Vars.resize(static_cast<std::size_t>(IS.numIndices()));
     for (int I = 0; I < IS.numIndices(); ++I)
-      A.Vars[I] = newVar(Tag);
+      A.Vars[static_cast<std::size_t>(I)] = newVar(Tag);
     return A;
   }
 
@@ -736,6 +736,35 @@ private:
   }
 
   void handleCall(const IRStmt &S) {
+    // PureZero collapse: a callee whose whole SCC provably costs 0 (and a
+    // metric with free call/return steps) needs no spec instantiation and
+    // no summary splice — the all-zero annotation satisfies its
+    // homogeneous fragment, under which the call rule degenerates to an
+    // identity transfer that frames persistable potential and drops the
+    // rest.  The emitted system is a restriction of the unsliced one, so
+    // bounds can never become unsoundly tighter.
+    if (PA.Slice && PA.Metric.Mf.isZero() && PA.Metric.Mr.isZero() &&
+        PA.Slice->PureZeroFns.count(S.Callee) > 0) {
+      QueryStats &QS = queryThreadStats();
+      ++QS.CallsCollapsed;
+      // Documented estimate of the per-index pre/post rows plus the two
+      // constant-index rows the full instantiation would have emitted.
+      QS.ConstraintsAvoided += 2 * IS.numIndices();
+      auto Persistable = [&](const Atom &A) {
+        if (A.isConst())
+          return true;
+        if (A.Name == S.ResultVar)
+          return false;
+        return F.isLocalScalar(A.Name); // Globals are killed across calls.
+      };
+      for (int I = 1; I < IS.numIndices(); ++I) {
+        const auto &P = IS.pair(I);
+        if (!Persistable(P.first) || !Persistable(P.second))
+          Q.Vars[static_cast<std::size_t>(I)] = -1;
+      }
+      Ctx.applyCall(S.ResultVar, PA.ModGlobals[S.Callee]);
+      return;
+    }
     maybeWeaken(WeakenPlacement::Normal, "weaken.call");
     FuncSpec Storage;
     const FuncSpec *Callee =
@@ -950,6 +979,13 @@ private:
     // checker because Gamma is recomputed identically there.
     if (Ctx.isBottom())
       return;
+    // Cost-dead slice: subtrees the relevance pass proved both cost-dead
+    // and emission-silent are skipped wholesale.  Deterministic for the
+    // checker, which re-derives the same slice from the same options.
+    if (PA.Slice && PA.Slice->Sliceable.count(&S) > 0) {
+      queryThreadStats().StmtsSliced += countStmtNodes(S);
+      return;
+    }
     switch (S.Kind) {
     case IRStmtKind::Skip:
       return;
@@ -1083,6 +1119,14 @@ private:
       collectCalleesOf(*C, Out);
   }
 
+  /// Subtree size, for the statements-sliced counter.
+  static long countStmtNodes(const IRStmt &S) {
+    long N = 1;
+    for (const auto &C : S.Children)
+      N += countStmtNodes(*C);
+    return N;
+  }
+
 public:
   void buildIndexSet() {
     // Only variables whose values can influence control flow, call
@@ -1188,9 +1232,11 @@ void FunctionWalker::run() {
 ProgramAnalyzer::ProgramAnalyzer(const IRProgram &P, const ResourceMetric &M,
                                  const AnalysisOptions &O, ConstraintSink &Sink,
                                  DiagnosticEngine *Diags,
-                                 const LoopFactMap *LoopFacts)
+                                 const LoopFactMap *LoopFacts,
+                                 const CostSliceInfo *Slice)
     : Prog(P), Metric(M), Opts(O), Sink(Sink), Diags(Diags),
-      LoopFacts(O.SeedIntervals ? LoopFacts : nullptr) {
+      LoopFacts(O.SeedIntervals ? LoopFacts : nullptr),
+      Slice(O.CostSlicing ? Slice : nullptr) {
   CG = buildCallGraph(P);
   ModGlobals = computeModifiedGlobals(P, CG);
   collectConstAtoms();

@@ -392,13 +392,14 @@ SummaryStoreStats SummaryStore::stats() const {
 std::uint64_t c4b::sccSummaryKey(const IRProgram &P, const ResourceMetric &M,
                                  const AnalysisOptions &O, const CallGraph &CG,
                                  int SccIdx,
-                                 const std::vector<std::uint64_t> &DepKeys) {
+                                 const std::vector<std::uint64_t> &DepKeys,
+                                 std::uint64_t SliceKey) {
   // Everything that pins down which constraints the member walks emit and
   // which values solve them.  Result-irrelevant options (budgets, query
   // avoidance, ranking fallback) are excluded, mirroring the tier-3
   // module key; Focus is not folded because fragments are always solved
   // with their own two-stage objective.
-  std::uint64_t H = stableHash64("c4b-summary-key v1");
+  std::uint64_t H = stableHash64("c4b-summary-key v2");
   H = foldString(H, M.Name);
   for (const Rational *R : {&M.Mu, &M.Me, &M.Ml, &M.Mb, &M.Ma, &M.Mf, &M.Mr,
                             &M.McTrue, &M.McFalse, &M.TickScale})
@@ -408,6 +409,11 @@ std::uint64_t c4b::sccSummaryKey(const IRProgram &P, const ResourceMetric &M,
   H = foldString(H, O.TwoStageObjective ? "1" : "0");
   H = foldString(H, std::to_string(O.MaxCallDepth));
   H = foldString(H, O.SeedIntervals ? "1" : "0");
+  // Cost slicing shapes the emitted stream (collapsed call sites, skipped
+  // subtrees); the slice key folds the relevance facts the member walks
+  // consume so summaries never cross slicing configurations.
+  H = foldString(H, O.CostSlicing ? "1" : "0");
+  H = foldString(H, hex16(SliceKey));
   // The constant-atom universe is program-wide: an edit anywhere that
   // introduces a new guard constant reshapes every spec's index set, so
   // it must reshape every key too.

@@ -32,10 +32,14 @@ Certificate Certificate::fromResult(const AnalysisResult &R,
   C.Degraded = R.Degraded;
   C.Scheduled = R.Scheduled;
   C.SummaryKeys = R.SummaryKeys;
+  C.Sliced = R.Sliced;
+  C.SliceDigests = R.SliceDigests;
   // Keep the recorded options canonical: whether the walk was scheduled is
   // what the result says, not what the caller asked for (e.g. scheduling
-  // requested but disabled by monomorphic specs).
+  // requested but disabled by monomorphic specs); likewise slicing records
+  // the effective mode (requested but budget-downgraded reads false).
   C.Options.SummaryScheduling = R.Scheduled;
+  C.Options.CostSlicing = R.Sliced;
   return C;
 }
 
@@ -62,6 +66,15 @@ std::string Certificate::serialize() const {
     OS << "skeys " << SummaryKeys.size() << "\n";
     for (std::uint64_t K : SummaryKeys)
       OS << hex16(K) << "\n";
+  }
+  // Sliced certificates record the per-function slice digests; the
+  // validator re-derives the relevance analysis and compares.  Only
+  // written when set, so unsliced certificates keep the legacy layout.
+  if (Sliced) {
+    OS << "sliced 1\n";
+    OS << "sdigests " << SliceDigests.size() << "\n";
+    for (const auto &[Fn, D] : SliceDigests)
+      OS << Fn << " " << hex16(D) << "\n";
   }
   OS << "values " << Values.size() << "\n";
   for (const Rational &V : Values)
@@ -142,8 +155,32 @@ std::optional<Certificate> Certificate::deserialize(const std::string &Text) {
         return std::nullopt;
     }
   }
+  if (Word == "sliced") { // Optional: absent in unsliced certificates.
+    int Sliced = 0;
+    if (!(IS >> Sliced) || !(IS >> Word))
+      return std::nullopt;
+    C.Sliced = Sliced != 0;
+    if (Word == "sdigests") {
+      std::size_t NumDigests = 0;
+      if (!(IS >> NumDigests))
+        return std::nullopt;
+      for (std::size_t I = 0; I < NumDigests; ++I) {
+        std::string Fn;
+        if (!(IS >> Fn >> Word))
+          return std::nullopt;
+        try {
+          C.SliceDigests[Fn] = std::stoull(Word, nullptr, 16);
+        } catch (...) {
+          return std::nullopt;
+        }
+      }
+      if (!(IS >> Word))
+        return std::nullopt;
+    }
+  }
   // The recorded options mirror the serialized provenance.
   C.Options.SummaryScheduling = C.Scheduled;
+  C.Options.CostSlicing = C.Sliced;
   if (Word != "values" || !(IS >> NumValues))
     return std::nullopt;
   C.Values.reserve(NumValues);
@@ -207,10 +244,21 @@ CheckReport c4b::checkCertificate(const ConstraintSystem &CS,
   if (CS.MetricName != C.MetricName ||
       CS.Options.Weaken != C.Options.Weaken ||
       CS.Options.PolymorphicCalls != C.Options.PolymorphicCalls ||
-      CS.Options.SeedIntervals != C.Options.SeedIntervals) {
+      CS.Options.SeedIntervals != C.Options.SeedIntervals ||
+      CS.Options.CostSlicing != C.Options.CostSlicing) {
     Report.Violations.push_back(
         "constraint system was generated under different metric/options "
         "than the certificate");
+    return Report;
+  }
+  // The system's slice digests were re-derived by an independent run of
+  // the relevance analysis; a certificate whose recorded digests disagree
+  // sliced differently (over-aggressively, or from stale facts) and its
+  // replay would not be the derivation it claims.
+  if (CS.SliceDigests != C.SliceDigests) {
+    Report.Violations.push_back(
+        "slice digests do not match: certificate's recorded cost-relevance "
+        "disagrees with the independently re-derived analysis");
     return Report;
   }
   if (!CS.StructuralOk) {
@@ -323,11 +371,12 @@ CheckReport c4b::checkCertificate(const IRProgram &P, const Certificate &C) {
     return Report;
   }
   std::size_t Off = 0;
-  std::set<std::string> ClaimedFns;
+  std::set<std::string> ClaimedFns, CoveredDigests;
   for (const ConstraintSystem &CS : Frags) {
     Certificate Sub;
     Sub.MetricName = C.MetricName;
     Sub.Options = C.Options;
+    Sub.Sliced = C.Sliced;
     Sub.Values.assign(
         C.Values.begin() + static_cast<long>(Off),
         C.Values.begin() + static_cast<long>(Off + CS.VarNames.size()));
@@ -337,6 +386,14 @@ CheckReport c4b::checkCertificate(const IRProgram &P, const Certificate &C) {
         Sub.Bounds.emplace(It->first, It->second);
         ClaimedFns.insert(Fn);
       }
+    // The fragment carries re-derived digests for its own members only;
+    // restrict the certificate's map the same way so the per-fragment
+    // comparison is exact (a digest the certificate lacks still trips it).
+    for (const auto &[Fn, D] : CS.SliceDigests) {
+      if (auto It = C.SliceDigests.find(Fn); It != C.SliceDigests.end())
+        Sub.SliceDigests.emplace(It->first, It->second);
+      CoveredDigests.insert(Fn);
+    }
     CheckReport Frag = checkCertificate(CS, Sub);
     Report.ConstraintsChecked += Frag.ConstraintsChecked;
     for (const std::string &V : Frag.Violations)
@@ -346,6 +403,10 @@ CheckReport c4b::checkCertificate(const IRProgram &P, const Certificate &C) {
   for (const auto &[Fn, B] : C.Bounds)
     if (!ClaimedFns.count(Fn))
       fail(Report, "no such function: " + Fn);
+  // Digests for functions no fragment re-derived are phantom claims.
+  for (const auto &[Fn, D] : C.SliceDigests)
+    if (!CoveredDigests.count(Fn))
+      fail(Report, "slice digest for unknown function: " + Fn);
   Report.Valid = Report.Violations.empty();
   return Report;
 }

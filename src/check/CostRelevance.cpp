@@ -1,0 +1,351 @@
+//===--- CostRelevance.cpp - Interprocedural cost-relevance ---------------===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Two phases over the call-graph condensation:
+//
+//  1. Effects, bottom-up per SCC.  Within an SCC every member reaches
+//     every other, so the SCC fixpoint has a closed form: the joint
+//     effect is the join of each member's local effect (ignoring
+//     same-SCC calls) with the effects of all external callees.
+//     Effects deliberately ignore the interval refinement — collapse of
+//     a call site must never hinge on a value-range fact the checker
+//     would have to re-derive from a different starting context.
+//
+//  2. Slice, per function, once all effects are known.  A backward
+//     cost-reachability fold computes, per statement, whether any
+//     cost-bearing operation may execute at or after it (loops feed
+//     their body's heat back into the body; interval-proven-unreachable
+//     statements are cold).  Cost-dead subtrees that are additionally
+//     emission-silent — Skip/Block/Store-with-zero-cost, the statements
+//     the derivation walk traverses without emitting, allocating, or
+//     mutating anything — become the slice.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/check/CostRelevance.h"
+
+#include "c4b/support/Budget.h"
+#include "c4b/support/Diagnostics.h"
+#include "c4b/support/Error.h"
+#include "c4b/support/FaultInject.h"
+#include "c4b/support/Hash.h"
+
+#include <vector>
+
+namespace c4b {
+namespace check {
+
+const char *costEffectName(CostEffect E) {
+  switch (E) {
+  case CostEffect::PureZero:
+    return "pure-zero";
+  case CostEffect::MayTick:
+    return "may-tick";
+  case CostEffect::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One relevance computation over a whole program.
+class RelevancePass {
+public:
+  RelevancePass(const IRProgram &P, const ResourceMetric &M,
+                const IntervalSeeds *Seeds, CostRelevance &CR)
+      : P(P), M(M), Seeds(Seeds), CR(CR) {}
+
+  void run() {
+    CallGraph CG = buildCallGraph(P);
+    for (const std::vector<std::string> &Scc : CG.SCCs) {
+      // Deliberately not budgetOnFixpointPass: that checkpoint carries a
+      // fault-injection site whose one-shot plans belong to the dataflow
+      // engine's containment tests; consuming them here would change
+      // which pass a robustness test aborts.
+      if (Budget *B = Budget::current())
+        B->checkDeadline();
+      std::set<std::string> Members(Scc.begin(), Scc.end());
+      CostEffect Joint = CostEffect::PureZero;
+      for (const std::string &Name : Scc) {
+        const IRFunction *Fn = P.findFunction(Name);
+        if (!Fn) {
+          Joint = CostEffect::Unknown;
+          continue;
+        }
+        Joint = joinEffect(Joint, localEffect(*Fn->Body, Members));
+      }
+      for (const std::string &Name : Scc)
+        CR.Effects[Name] = Joint;
+    }
+    for (const IRFunction &Fn : P.Functions)
+      mark(*Fn.Body, /*LiveAfter=*/false, /*ParentDead=*/false);
+    // Negative soundness hook: an armed CostSlice plan tampers the slice
+    // *after* the honest computation and *before* the digests, so both
+    // the emitted system and the recorded digests reflect the over-slice
+    // — exactly the artifact the certificate checker must reject when it
+    // re-derives the honest slice.
+    try {
+      faultinject::hit(faultinject::Site::CostSlice);
+    } catch (const AbortError &) {
+      overSlice();
+    }
+    for (const IRFunction &Fn : P.Functions)
+      CR.Digests[Fn.Name] = digestFor(Fn);
+  }
+
+private:
+  const IRProgram &P;
+  const ResourceMetric &M;
+  const IntervalSeeds *Seeds;
+  CostRelevance &CR;
+  /// Memoized per-subtree heat; statement pointers are unique across the
+  /// program, so one map serves every function.
+  std::map<const IRStmt *, bool> HotMemo;
+
+  bool unreachable(const IRStmt &S) const {
+    return Seeds && Seeds->UnreachableStmts.count(&S) > 0;
+  }
+
+  /// The statement's own charge in the derivation walk, mirroring the
+  /// per-kind pay() calls of FunctionWalker::walk.
+  bool localCharge(const IRStmt &S) const {
+    switch (S.Kind) {
+    case IRStmtKind::Skip:
+    case IRStmtKind::Block:
+    case IRStmtKind::Return:
+      return false;
+    case IRStmtKind::Tick:
+      return !(M.TickScale * S.TickAmount).isZero();
+    case IRStmtKind::Assert:
+      return !M.Ma.isZero();
+    case IRStmtKind::Store:
+      return !(M.Mu + M.Me).isZero();
+    case IRStmtKind::Assign:
+      return !S.CostFree && !(M.Mu + M.Me).isZero();
+    case IRStmtKind::If:
+      return !M.Me.isZero() || !M.McTrue.isZero() || !M.McFalse.isZero();
+    case IRStmtKind::Loop:
+      return !M.Ml.isZero();
+    case IRStmtKind::Break:
+      return !M.Mb.isZero();
+    case IRStmtKind::Call:
+      return !M.Mf.isZero() || !M.Mr.isZero();
+    }
+    return true;
+  }
+
+  /// Local effect of a subtree, folding external callee effects and
+  /// treating same-SCC calls as free (the joint join covers them).
+  /// Conservative: no unreachable refinement.
+  CostEffect localEffect(const IRStmt &S,
+                         const std::set<std::string> &SccMembers) const {
+    CostEffect E = localCharge(S) ? CostEffect::MayTick : CostEffect::PureZero;
+    if (S.Kind == IRStmtKind::Call && SccMembers.count(S.Callee) == 0)
+      E = joinEffect(E, CR.effectOf(S.Callee));
+    for (const auto &C : S.Children)
+      E = joinEffect(E, localEffect(*C, SccMembers));
+    return E;
+  }
+
+  /// May executing \p S (the subtree itself, not its continuation) bear
+  /// cost?  Refined: interval-proven-unreachable subtrees never execute.
+  bool hot(const IRStmt &S) {
+    auto It = HotMemo.find(&S);
+    if (It != HotMemo.end())
+      return It->second;
+    bool H = false;
+    if (!unreachable(S)) {
+      if (S.Kind == IRStmtKind::Call)
+        H = localCharge(S) || CR.effectOf(S.Callee) != CostEffect::PureZero;
+      else
+        H = localCharge(S);
+      if (!H)
+        for (const auto &C : S.Children)
+          if (hot(*C)) {
+            H = true;
+            break;
+          }
+    }
+    HotMemo[&S] = H;
+    return H;
+  }
+
+  /// Emission-silent: the derivation walk traverses the subtree without
+  /// emitting a constraint, allocating a variable, placing a weaken
+  /// point, or touching the logical context or potential annotation.
+  /// Skipping such a subtree is bit-identical by construction.
+  bool silent(const IRStmt &S) const {
+    switch (S.Kind) {
+    case IRStmtKind::Skip:
+      return true;
+    case IRStmtKind::Store:
+      return (M.Mu + M.Me).isZero();
+    case IRStmtKind::Block:
+      for (const auto &C : S.Children)
+        if (!silent(*C))
+          return false;
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Backward cost-reachability: \p LiveAfter is true when a cost-bearing
+  /// operation may execute after \p S's continuation resumes.  Records
+  /// maximal cost-dead roots and the sliceable (cost-dead and silent)
+  /// subset.
+  void mark(const IRStmt &S, bool LiveAfter, bool ParentDead) {
+    bool Dead = ParentDead || (!LiveAfter && !hot(S));
+    if (Dead && !ParentDead)
+      CR.CostDead.insert(&S);
+    if (Dead && silent(S)) {
+      CR.Sliceable.insert(&S);
+      return;
+    }
+    switch (S.Kind) {
+    case IRStmtKind::Block: {
+      std::size_t N = S.Children.size();
+      std::vector<char> After(N, 0);
+      bool LA = !Dead && LiveAfter;
+      for (std::size_t I = N; I-- > 0;) {
+        After[I] = static_cast<char>(LA);
+        LA = LA || (!Dead && hot(*S.Children[I]));
+      }
+      for (std::size_t I = 0; I < N; ++I)
+        mark(*S.Children[I], After[I] != 0, Dead);
+      return;
+    }
+    case IRStmtKind::If:
+      mark(*S.Children[0], !Dead && LiveAfter, Dead);
+      mark(*S.Children[1], !Dead && LiveAfter, Dead);
+      return;
+    case IRStmtKind::Loop: {
+      // The back edge may re-execute the body (and pays Ml), so anything
+      // inside a hot loop is cost-live.
+      bool Inner =
+          !Dead && (LiveAfter || hot(*S.Children[0]) || !M.Ml.isZero());
+      mark(*S.Children[0], Inner, Dead);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  /// Over-slice tampering for Site::CostSlice: force the first genuinely
+  /// cost-relevant tick into the slice.
+  void overSlice() {
+    for (const IRFunction &Fn : P.Functions)
+      if (const IRStmt *Victim = firstHotTick(*Fn.Body)) {
+        CR.Sliceable.insert(Victim);
+        return;
+      }
+  }
+
+  const IRStmt *firstHotTick(const IRStmt &S) const {
+    if (S.Kind == IRStmtKind::Tick &&
+        !(M.TickScale * S.TickAmount).isZero() && CR.Sliceable.count(&S) == 0)
+      return &S;
+    for (const auto &C : S.Children)
+      if (const IRStmt *T = firstHotTick(*C))
+        return T;
+    return nullptr;
+  }
+
+  /// Folds the function's effect and the pre-order indices of its sliced
+  /// subtree roots.
+  std::uint64_t digestFor(const IRFunction &Fn) const {
+    std::uint64_t H = stableHash64("c4b-slice-digest v1");
+    H = foldString(H, costEffectName(CR.effectOf(Fn.Name)));
+    int Idx = 0;
+    foldSliced(*Fn.Body, Idx, H);
+    return H;
+  }
+
+  void foldSliced(const IRStmt &S, int &Idx, std::uint64_t &H) const {
+    if (CR.Sliceable.count(&S) > 0)
+      H = foldString(H, std::to_string(Idx));
+    ++Idx;
+    for (const auto &C : S.Children)
+      foldSliced(*C, Idx, H);
+  }
+};
+
+} // namespace
+
+CostRelevance computeCostRelevance(const IRProgram &P, const ResourceMetric &M,
+                                   const IntervalSeeds *Seeds) {
+  CostRelevance CR;
+  try {
+    RelevancePass(P, M, Seeds, CR).run();
+  } catch (const AbortError &) {
+    // Budget abort: degrade every effect to Unknown and drop the slice.
+    // The pipeline records the downgrade in the effective options (and
+    // thus the certificate), so the checker regenerates the unsliced
+    // system this run actually emitted.
+    CR = CostRelevance{};
+    for (const IRFunction &Fn : P.Functions)
+      CR.Effects[Fn.Name] = CostEffect::Unknown;
+    CR.Converged = false;
+  }
+  return CR;
+}
+
+void runCostLints(const IRProgram &P, const ResourceMetric &M,
+                  const CostRelevance &CR, const IntervalSeeds *Seeds,
+                  DiagnosticEngine &Diags) {
+  for (const IRFunction &Fn : P.Functions) {
+    if (CR.effectOf(Fn.Name) == CostEffect::PureZero)
+      Diags.warning(Fn.Loc, "in '" + Fn.Name +
+                                "': cost-dead function (no reachable "
+                                "cost-bearing operation under metric '" +
+                                M.Name + "')");
+    // Tick lints, in statement order.
+    std::vector<const IRStmt *> Stack;
+    Stack.push_back(Fn.Body.get());
+    while (!Stack.empty()) {
+      const IRStmt *S = Stack.back();
+      Stack.pop_back();
+      for (auto It = S->Children.rbegin(); It != S->Children.rend(); ++It)
+        Stack.push_back(It->get());
+      if (S->Kind != IRStmtKind::Tick)
+        continue;
+      if (S->TickAmount.isZero())
+        Diags.warning(S->Loc, "in '" + Fn.Name +
+                                  "': statically-zero tick amount (costs "
+                                  "nothing under any metric)");
+      else if (Seeds && Seeds->UnreachableStmts.count(S) > 0)
+        Diags.warning(S->Loc, "in '" + Fn.Name +
+                                  "': tick unreachable from entry (interval "
+                                  "analysis proves it never executes)");
+    }
+  }
+}
+
+std::uint64_t sliceKeyFor(const CostRelevance &CR, const CallGraph &CG,
+                          int SccIdx) {
+  std::uint64_t H = stableHash64("c4b-slice-key v1");
+  for (const std::string &Name : CG.SCCs[static_cast<std::size_t>(SccIdx)]) {
+    H = foldString(H, Name);
+    H = foldString(H, costEffectName(CR.effectOf(Name)));
+    auto DigIt = CR.Digests.find(Name);
+    H = foldString(H, DigIt == CR.Digests.end() ? std::string("-")
+                                                : hex16(DigIt->second));
+    auto CalleeIt = CG.Callees.find(Name);
+    if (CalleeIt == CG.Callees.end())
+      continue;
+    for (const std::string &Callee : CalleeIt->second) {
+      H = foldString(H, Callee);
+      H = foldString(H, costEffectName(CR.effectOf(Callee)));
+    }
+  }
+  return H;
+}
+
+} // namespace check
+} // namespace c4b

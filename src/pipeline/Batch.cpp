@@ -148,6 +148,9 @@ BatchItem runJob(const BatchJob &Job) {
       Item.Timings.GenTier1Hits = Item.Result.NumCtxTier1Hits;
       Item.Timings.GenTier2Hits = Item.Result.NumCtxTier2Hits;
       Item.Timings.GenLpFallbacks = Item.Result.NumCtxLpFallbacks;
+      Item.Timings.GenStmtsSliced = Item.Result.NumStmtsSliced;
+      Item.Timings.GenCallsCollapsed = Item.Result.NumCallsCollapsed;
+      Item.Timings.GenConstraintsAvoided = Item.Result.NumConstraintsAvoided;
     } else {
       ConstraintSystem CS;
       {
@@ -159,6 +162,9 @@ BatchItem runJob(const BatchJob &Job) {
       Item.Timings.GenTier1Hits = CS.CtxTier1Hits;
       Item.Timings.GenTier2Hits = CS.CtxTier2Hits;
       Item.Timings.GenLpFallbacks = CS.CtxLpFallbacks;
+      Item.Timings.GenStmtsSliced = CS.StmtsSliced;
+      Item.Timings.GenCallsCollapsed = CS.CallsCollapsed;
+      Item.Timings.GenConstraintsAvoided = CS.ConstraintsAvoided;
 
       SolvedSystem S;
       if (CS.StructuralOk) {

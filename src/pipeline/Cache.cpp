@@ -31,7 +31,10 @@ ModuleKey c4b::moduleCacheKey(const IRProgram &P, const ResourceMetric &M,
   // v2: folds SummaryScheduling — a scheduled result concatenates
   // per-fragment solutions (different Solution layout and provenance), so
   // the two modes must not alias.
-  std::uint64_t H = stableHash64("c4b-module-key v2");
+  // v3: folds CostSlicing — sliced and unsliced streams are bit-identical
+  // on bounds by construction, but their certificates differ (sliced flag,
+  // digests), so the two modes must not alias either.
+  std::uint64_t H = stableHash64("c4b-module-key v3");
   H = foldString(H, M.Name);
   for (const Rational *R : {&M.Mu, &M.Me, &M.Ml, &M.Mb, &M.Ma, &M.Mf, &M.Mr,
                             &M.McTrue, &M.McFalse, &M.TickScale})
@@ -42,6 +45,7 @@ ModuleKey c4b::moduleCacheKey(const IRProgram &P, const ResourceMetric &M,
   H = foldString(H, std::to_string(O.MaxCallDepth));
   H = foldString(H, O.SeedIntervals ? "1" : "0");
   H = foldString(H, O.SummaryScheduling && O.PolymorphicCalls ? "1" : "0");
+  H = foldString(H, O.CostSlicing ? "1" : "0");
   H = foldString(H, Focus);
   H = foldString(H, printIR(P));
 
@@ -80,6 +84,11 @@ CacheEntry c4b::entryFromResult(const AnalysisResult &R) {
   E.NumEliminated = R.NumEliminated;
   E.NumWeakenPoints = R.NumWeakenPoints;
   E.NumCallInstantiations = R.NumCallInstantiations;
+  E.Sliced = R.Sliced;
+  E.SliceDigests = R.SliceDigests;
+  E.NumStmtsSliced = R.NumStmtsSliced;
+  E.NumCallsCollapsed = R.NumCallsCollapsed;
+  E.NumConstraintsAvoided = R.NumConstraintsAvoided;
   E.Scheduled = R.Scheduled;
   E.SummaryKeys = R.SummaryKeys;
   E.NumSummariesApplied = R.NumSummariesApplied;
@@ -101,6 +110,11 @@ AnalysisResult c4b::resultFromEntry(const CacheEntry &E) {
   R.NumEliminated = E.NumEliminated;
   R.NumWeakenPoints = E.NumWeakenPoints;
   R.NumCallInstantiations = E.NumCallInstantiations;
+  R.Sliced = E.Sliced;
+  R.SliceDigests = E.SliceDigests;
+  R.NumStmtsSliced = E.NumStmtsSliced;
+  R.NumCallsCollapsed = E.NumCallsCollapsed;
+  R.NumConstraintsAvoided = E.NumConstraintsAvoided;
   R.Scheduled = E.Scheduled;
   R.SummaryKeys = E.SummaryKeys;
   R.NumSummariesApplied = E.NumSummariesApplied;
@@ -121,7 +135,9 @@ std::string CacheEntry::serialize(std::uint64_t Key) const {
   // build of the library stale on sight (clean miss) instead of being
   // field-misread under a changed layout; the scheduled block records
   // summary-scheduling provenance.
-  OS << "c4b-analysis-cache v2\n";
+  // v3: the slice block records cost-slicing provenance (effective mode,
+  // counters, per-function slice digests).
+  OS << "c4b-analysis-cache v3\n";
   OS << "build " << hex16(buildFingerprint()) << "\n";
   OS << "key " << hex16(Key) << "\n";
   OS << "ok " << (Ok ? 1 : 0) << "\n";
@@ -132,6 +148,11 @@ std::string CacheEntry::serialize(std::uint64_t Key) const {
      << " " << NumWeakenPoints << " " << NumCallInstantiations << "\n";
   OS << "sched " << (Scheduled ? 1 : 0) << " " << NumSummariesApplied << " "
      << NumSCCsSolved << " " << NumWaves << " " << MaxWaveWidth << "\n";
+  OS << "slice " << (Sliced ? 1 : 0) << " " << NumStmtsSliced << " "
+     << NumCallsCollapsed << " " << NumConstraintsAvoided << "\n";
+  OS << "sdigests " << SliceDigests.size() << "\n";
+  for (const auto &[Fn, D] : SliceDigests)
+    OS << Fn << " " << hex16(D) << "\n";
   OS << "skeys " << SummaryKeys.size() << "\n";
   for (std::uint64_t K : SummaryKeys)
     OS << hex16(K) << "\n";
@@ -183,7 +204,7 @@ std::optional<CacheEntry> CacheEntry::deserialize(const std::string &Text,
   std::string Line, Word;
   if (!std::getline(IS, Line))
     return std::nullopt;
-  if (Line != "c4b-analysis-cache v2") {
+  if (Line != "c4b-analysis-cache v3") {
     if (Stale && Line.rfind("c4b-analysis-cache ", 0) == 0)
       *Stale = true; // Intact entry from an older/newer format.
     return std::nullopt;
@@ -224,6 +245,25 @@ std::optional<CacheEntry> CacheEntry::deserialize(const std::string &Text,
         E.NumWaves >> E.MaxWaveWidth))
     return std::nullopt;
   E.Scheduled = Sched != 0;
+  int Sliced = 0;
+  if (!(IS >> Word) || Word != "slice" ||
+      !(IS >> Sliced >> E.NumStmtsSliced >> E.NumCallsCollapsed >>
+        E.NumConstraintsAvoided))
+    return std::nullopt;
+  E.Sliced = Sliced != 0;
+  std::size_t NumSDigests = 0;
+  if (!(IS >> Word) || Word != "sdigests" || !(IS >> NumSDigests))
+    return std::nullopt;
+  for (std::size_t I = 0; I < NumSDigests; ++I) {
+    std::string Fn;
+    if (!(IS >> Fn >> Word))
+      return std::nullopt;
+    try {
+      E.SliceDigests[Fn] = std::stoull(Word, nullptr, 16);
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
   std::size_t NumSKeys = 0;
   if (!(IS >> Word) || Word != "skeys" || !(IS >> NumSKeys))
     return std::nullopt;

@@ -4,6 +4,7 @@
 
 #include "c4b/ast/Parser.h"
 #include "c4b/check/Check.h"
+#include "c4b/check/CostRelevance.h"
 #include "c4b/lp/Presolve.h"
 #include "c4b/support/Budget.h"
 #include "c4b/support/FaultInject.h"
@@ -117,15 +118,38 @@ ConstraintSystem c4b::generateConstraints(const IRProgram &P,
   try {
     budgetOnStage();
     RecordSink Sink(CS);
-    // The interval pre-pass is only consulted when seeding is requested;
-    // otherwise the walk below is bit-identical to the unseeded pipeline.
+    // The interval pre-pass is consulted when seeding is requested and to
+    // refine the cost-relevance slice; otherwise the walk below is
+    // bit-identical to the unseeded pipeline.
     check::IntervalSeeds Seeds;
     const LoopFactMap *LoopFacts = nullptr;
-    if (O.SeedIntervals) {
+    if (O.SeedIntervals || O.CostSlicing) {
       Seeds = check::computeIntervalSeeds(P);
-      LoopFacts = &Seeds.LoopHeadFacts;
+      if (O.SeedIntervals)
+        LoopFacts = &Seeds.LoopHeadFacts;
     }
-    ProgramAnalyzer PA(P, M, O, Sink, &CS.Diags, LoopFacts);
+    // Cost-relevance slice.  A budget-aborted pass degrades to the
+    // unsliced walk, and the downgrade is recorded in the effective
+    // options (and thus the certificate) so the checker regenerates
+    // exactly the system this run emitted.
+    CostSliceInfo SI;
+    const CostSliceInfo *SlicePtr = nullptr;
+    if (O.CostSlicing) {
+      check::CostRelevance CR = check::computeCostRelevance(
+          P, M, Seeds.Converged ? &Seeds : nullptr);
+      if (CR.Converged) {
+        SI.Sliceable = std::move(CR.Sliceable);
+        for (const auto &[Fn, E] : CR.Effects)
+          if (E == check::CostEffect::PureZero)
+            SI.PureZeroFns.insert(Fn);
+        CS.SliceDigests = std::move(CR.Digests);
+        SlicePtr = &SI;
+      } else {
+        CS.Options.CostSlicing = false;
+      }
+    }
+    ProgramAnalyzer PA(P, M, CS.Options, Sink, &CS.Diags, LoopFacts,
+                       SlicePtr);
     CS.StructuralOk = PA.run();
     CS.Specs = PA.specs();
     CS.WeakenPoints = PA.numWeakenPoints();
@@ -141,6 +165,10 @@ ConstraintSystem c4b::generateConstraints(const IRProgram &P,
   CS.CtxTier1Hits = QAfter.Tier1Hits - QBefore.Tier1Hits;
   CS.CtxTier2Hits = QAfter.Tier2Hits - QBefore.Tier2Hits;
   CS.CtxLpFallbacks = QAfter.LpFallbacks - QBefore.LpFallbacks;
+  CS.StmtsSliced = QAfter.StmtsSliced - QBefore.StmtsSliced;
+  CS.CallsCollapsed = QAfter.CallsCollapsed - QBefore.CallsCollapsed;
+  CS.ConstraintsAvoided =
+      QAfter.ConstraintsAvoided - QBefore.ConstraintsAvoided;
   return CS;
 }
 
@@ -174,6 +202,7 @@ std::string ConstraintSystem::serialize() const {
   OS << "weaken " << static_cast<int>(Options.Weaken) << "\n";
   OS << "polymorphic " << (Options.PolymorphicCalls ? 1 : 0) << "\n";
   OS << "seeded " << (Options.SeedIntervals ? 1 : 0) << "\n";
+  OS << "sliced " << (Options.CostSlicing ? 1 : 0) << "\n";
   OS << "vars " << VarNames.size() << "\n";
   for (const std::string &Name : VarNames)
     OS << Name << "\n";
@@ -267,6 +296,11 @@ AnalysisResult c4b::toAnalysisResult(const ConstraintSystem &CS,
   R.NumCtxTier1Hits = CS.CtxTier1Hits;
   R.NumCtxTier2Hits = CS.CtxTier2Hits;
   R.NumCtxLpFallbacks = CS.CtxLpFallbacks;
+  R.Sliced = CS.Options.CostSlicing;
+  R.SliceDigests = CS.SliceDigests;
+  R.NumStmtsSliced = CS.StmtsSliced;
+  R.NumCallsCollapsed = CS.CallsCollapsed;
+  R.NumConstraintsAvoided = CS.ConstraintsAvoided;
   if (CS.Err.isError()) {
     R.ErrorKind = CS.Err.Kind;
     R.Error = CS.Err.toString();

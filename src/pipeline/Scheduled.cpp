@@ -23,6 +23,7 @@
 #include "c4b/pipeline/Pipeline.h"
 
 #include "c4b/check/Check.h"
+#include "c4b/check/CostRelevance.h"
 #include "c4b/lp/Solver.h"
 #include "c4b/support/Budget.h"
 
@@ -98,7 +99,7 @@ struct Fragment {
 /// single-SCC module's fragment is bit-identical to the monolithic system.
 void processFragment(const IRProgram &P, const ResourceMetric &M,
                      const AnalysisOptions &O, int I,
-                     const LoopFactMap *LoopFacts,
+                     const LoopFactMap *LoopFacts, const CostSliceInfo *Slice,
                      const std::map<std::string, const SCCSummary *> &ByFunc,
                      const std::string &FragmentFocus, bool Solve,
                      Fragment &F) {
@@ -114,7 +115,7 @@ void processFragment(const IRProgram &P, const ResourceMetric &M,
   try {
     budgetOnStage();
     FragmentSink Sink(CS);
-    ProgramAnalyzer PA(P, M, O, Sink, &CS.Diags, LoopFacts);
+    ProgramAnalyzer PA(P, M, O, Sink, &CS.Diags, LoopFacts, Slice);
     MapProvider Prov(ByFunc);
     PA.setSummaryProvider(&Prov);
     CS.StructuralOk = PA.analyzeSCC(I);
@@ -132,6 +133,9 @@ void processFragment(const IRProgram &P, const ResourceMetric &M,
   CS.CtxTier1Hits = QAfter.Tier1Hits - QBefore.Tier1Hits;
   CS.CtxTier2Hits = QAfter.Tier2Hits - QBefore.Tier2Hits;
   CS.CtxLpFallbacks = QAfter.LpFallbacks - QBefore.LpFallbacks;
+  CS.StmtsSliced = QAfter.StmtsSliced - QBefore.StmtsSliced;
+  CS.CallsCollapsed = QAfter.CallsCollapsed - QBefore.CallsCollapsed;
+  CS.ConstraintsAvoided = QAfter.ConstraintsAvoided - QBefore.ConstraintsAvoided;
   F.GenSeconds = secondsSince(T0);
   F.GenPivots = lpThreadStats().Pivots - P0;
 
@@ -194,10 +198,34 @@ AnalysisResult c4b::analyzeProgramScheduled(const IRProgram &P,
   // fragments.
   check::IntervalSeeds Seeds;
   const LoopFactMap *LoopFacts = nullptr;
-  if (O.SeedIntervals) {
+  if (O.SeedIntervals || O.CostSlicing) {
     Seeds = check::computeIntervalSeeds(P);
-    LoopFacts = &Seeds.LoopHeadFacts;
+    if (O.SeedIntervals)
+      LoopFacts = &Seeds.LoopHeadFacts;
   }
+
+  // Cost-relevance facts are likewise program-wide and shared across
+  // fragments.  A budget-aborted relevance pass downgrades the *effective*
+  // options (EffO) before any summary key is computed, so keys, streams,
+  // and the certificate all agree on the mode that actually ran.
+  AnalysisOptions EffO = O;
+  check::CostRelevance CR;
+  CostSliceInfo SI;
+  const CostSliceInfo *SlicePtr = nullptr;
+  if (O.CostSlicing) {
+    CR = check::computeCostRelevance(P, M, Seeds.Converged ? &Seeds : nullptr);
+    if (CR.Converged) {
+      SI.Sliceable = CR.Sliceable;
+      for (const auto &[Fn, E] : CR.Effects)
+        if (E == check::CostEffect::PureZero)
+          SI.PureZeroFns.insert(Fn);
+      R.SliceDigests = CR.Digests;
+      SlicePtr = &SI;
+    } else {
+      EffO.CostSlicing = false;
+    }
+  }
+  R.Sliced = EffO.CostSlicing;
 
   // The fragment containing the focus function is solved under the
   // focus-weighted objective, so its *values* are focus-specific: it is
@@ -230,7 +258,7 @@ AnalysisResult c4b::analyzeProgramScheduled(const IRProgram &P,
         F.Reused = true;
         return;
       }
-    processFragment(P, M, O, I, LoopFacts, ByFunc,
+    processFragment(P, M, EffO, I, LoopFacts, SlicePtr, ByFunc,
                     I == FocusSCC ? Focus : std::string(), /*Solve=*/true, F);
     if (F.CS.StructuralOk && !F.CS.Err.isError() && F.S.ok()) {
       SCCSummary Sum = summarize(Keys[static_cast<std::size_t>(I)], CG, I, F);
@@ -249,7 +277,9 @@ AnalysisResult c4b::analyzeProgramScheduled(const IRProgram &P,
       std::vector<std::uint64_t> DepKeys;
       for (int D : CG.SCCDeps[static_cast<std::size_t>(I)])
         DepKeys.push_back(Keys[static_cast<std::size_t>(D)]);
-      Keys[static_cast<std::size_t>(I)] = sccSummaryKey(P, M, O, CG, I, DepKeys);
+      Keys[static_cast<std::size_t>(I)] = sccSummaryKey(
+          P, M, EffO, CG, I, DepKeys,
+          SlicePtr ? check::sliceKeyFor(CR, CG, I) : 0);
     }
     if (Parallel && Wave.size() > 1) {
       std::atomic<std::size_t> Next{0};
@@ -303,6 +333,9 @@ AnalysisResult c4b::analyzeProgramScheduled(const IRProgram &P,
     R.NumCtxTier1Hits += F.CS.CtxTier1Hits;
     R.NumCtxTier2Hits += F.CS.CtxTier2Hits;
     R.NumCtxLpFallbacks += F.CS.CtxLpFallbacks;
+    R.NumStmtsSliced += F.CS.StmtsSliced;
+    R.NumCallsCollapsed += F.CS.CallsCollapsed;
+    R.NumConstraintsAvoided += F.CS.ConstraintsAvoided;
   }
   R.SummaryKeys.assign(Keys.begin(), Keys.end());
   R.NumSummariesApplied = SS.SummariesApplied;
@@ -390,9 +423,31 @@ c4b::generateScheduledFragments(const IRProgram &P, const ResourceMetric &M,
 
   check::IntervalSeeds Seeds;
   const LoopFactMap *LoopFacts = nullptr;
-  if (O.SeedIntervals) {
+  if (O.SeedIntervals || O.CostSlicing) {
     Seeds = check::computeIntervalSeeds(P);
-    LoopFacts = &Seeds.LoopHeadFacts;
+    if (O.SeedIntervals)
+      LoopFacts = &Seeds.LoopHeadFacts;
+  }
+
+  // Same effective-options discipline as analyzeProgramScheduled; the
+  // caller (certificate checker) passes the certificate's recorded
+  // effective options, so a downgrade mismatch surfaces as an options
+  // mismatch there, not as stream divergence here.
+  AnalysisOptions EffO = O;
+  check::CostRelevance CR;
+  CostSliceInfo SI;
+  const CostSliceInfo *SlicePtr = nullptr;
+  if (O.CostSlicing) {
+    CR = check::computeCostRelevance(P, M, Seeds.Converged ? &Seeds : nullptr);
+    if (CR.Converged) {
+      SI.Sliceable = CR.Sliceable;
+      for (const auto &[Fn, E] : CR.Effects)
+        if (E == check::CostEffect::PureZero)
+          SI.PureZeroFns.insert(Fn);
+      SlicePtr = &SI;
+    } else {
+      EffO.CostSlicing = false;
+    }
   }
 
   std::vector<std::uint64_t> AllKeys(static_cast<std::size_t>(N), 0);
@@ -413,10 +468,19 @@ c4b::generateScheduledFragments(const IRProgram &P, const ResourceMetric &M,
     std::vector<std::uint64_t> DepKeys;
     for (int D : CG.SCCDeps[static_cast<std::size_t>(I)])
       DepKeys.push_back(AllKeys[static_cast<std::size_t>(D)]);
-    AllKeys[static_cast<std::size_t>(I)] = sccSummaryKey(P, M, O, CG, I, DepKeys);
+    AllKeys[static_cast<std::size_t>(I)] = sccSummaryKey(
+        P, M, EffO, CG, I, DepKeys,
+        SlicePtr ? check::sliceKeyFor(CR, CG, I) : 0);
 
     Fragment F;
-    processFragment(P, M, O, I, LoopFacts, ByFunc, "", /*Solve=*/false, F);
+    processFragment(P, M, EffO, I, LoopFacts, SlicePtr, ByFunc, "",
+                    /*Solve=*/false, F);
+    // Per-fragment slice digests: only the fragment's own members, so the
+    // checker can compare fragment-by-fragment and union the rest.
+    if (SlicePtr)
+      for (const std::string &Name : CG.SCCs[static_cast<std::size_t>(I)])
+        if (auto It = CR.Digests.find(Name); It != CR.Digests.end())
+          F.CS.SliceDigests.emplace(It->first, It->second);
     if (F.CS.StructuralOk && !F.CS.Err.isError()) {
       LocalSlots[static_cast<std::size_t>(I)].emplace(
           summarize(AllKeys[static_cast<std::size_t>(I)], CG, I, F));

@@ -1,0 +1,365 @@
+//===--- cost_relevance_test.cpp - Cost-relevance analysis tests -----------===//
+//
+// Covers the interprocedural cost-relevance analysis end to end:
+//
+//   * the cost-effect lattice and its SCC fixpoints (mutual recursion,
+//     one tick poisoning a whole cycle, statically-zero ticks);
+//   * PureZero call-site collapse: fewer constraints, identical bounds,
+//     valid certificates in both modes;
+//   * interval-refined slicing of statements inside zero-trip loops;
+//   * budget-abort conservatism: a killed relevance pass reports Unknown
+//     everywhere and slices nothing (the fail-safe downgrade);
+//   * the whole-corpus differential: slicing on vs off is bit-identical
+//     in bounds and certificate values, monolithic and scheduled;
+//   * the Site::CostSlice robustness hook: an injected over-aggressive
+//     slice produces a certificate the checker rejects.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/cert/Certificate.h"
+#include "c4b/check/CostRelevance.h"
+#include "c4b/check/Intervals.h"
+#include "c4b/corpus/Corpus.h"
+#include "c4b/pipeline/Pipeline.h"
+#include "c4b/support/Budget.h"
+#include "c4b/support/FaultInject.h"
+
+#include "TestUtil.h"
+
+using namespace c4b;
+using namespace c4b::test;
+
+namespace {
+
+/// Disarms any leftover fault plan so one failing test cannot poison the
+/// next (plans are one-shot, but a test may EXPECT before its fault fires).
+class FaultGuard {
+public:
+  ~FaultGuard() { faultinject::disarm(); }
+};
+
+check::CostRelevance relevanceOf(const IRProgram &P,
+                                 bool WithSeeds = true) {
+  check::IntervalSeeds Seeds;
+  if (WithSeeds)
+    Seeds = check::computeIntervalSeeds(P);
+  return check::computeCostRelevance(
+      P, ResourceMetric::ticks(),
+      WithSeeds && Seeds.Converged ? &Seeds : nullptr);
+}
+
+/// The slice fixture: scratch is PureZero (its call site collapses to an
+/// identity transfer) and the trailing stores are cost-dead and silent
+/// (sliced outright).
+const char *SliceFixture = R"(
+int buf[4];
+int scratch(int x) {
+  x = x + 1;
+  buf[0] = x;
+  return x;
+}
+int work(int n) {
+  int r;
+  r = 0;
+  while (n > 0) {
+    n = n - 1;
+    r = scratch(r);
+    tick(1);
+  }
+  buf[1] = r;
+  buf[2] = r;
+  return r;
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lattice
+//===----------------------------------------------------------------------===//
+
+TEST(CostLattice, JoinIsMaxOfSeverity) {
+  using check::CostEffect;
+  using check::joinEffect;
+  EXPECT_EQ(joinEffect(CostEffect::PureZero, CostEffect::PureZero),
+            CostEffect::PureZero);
+  EXPECT_EQ(joinEffect(CostEffect::PureZero, CostEffect::MayTick),
+            CostEffect::MayTick);
+  EXPECT_EQ(joinEffect(CostEffect::MayTick, CostEffect::Unknown),
+            CostEffect::Unknown);
+  EXPECT_EQ(joinEffect(CostEffect::Unknown, CostEffect::PureZero),
+            CostEffect::Unknown);
+}
+
+TEST(CostLattice, EffectOfUnknownFunctionIsUnknown) {
+  check::CostRelevance CR;
+  EXPECT_EQ(CR.effectOf("nope"), check::CostEffect::Unknown);
+}
+
+TEST(CostLattice, TickFreeFunctionIsPureZero) {
+  IRProgram P = lowerOrDie("int id(int n) { return n; }\n"
+                           "void f(int n) { while (n > 0) { n = n - 1; "
+                           "tick(1); } }\n");
+  check::CostRelevance CR = relevanceOf(P);
+  EXPECT_TRUE(CR.Converged);
+  EXPECT_EQ(CR.effectOf("id"), check::CostEffect::PureZero);
+  EXPECT_EQ(CR.effectOf("f"), check::CostEffect::MayTick);
+}
+
+TEST(CostLattice, StaticallyZeroTickIsPureZero) {
+  IRProgram P = lowerOrDie("void f(int n) { tick(0); }\n");
+  check::CostRelevance CR = relevanceOf(P);
+  EXPECT_EQ(CR.effectOf("f"), check::CostEffect::PureZero);
+}
+
+TEST(CostLattice, CalleeEffectFoldsIntoCaller) {
+  IRProgram P = lowerOrDie(
+      "void leaf(int n) { tick(1); }\n"
+      "void mid(int n) { leaf(n); }\n"
+      "void top(int n) { mid(n); }\n"
+      "void pure_top(int n) { n = n + 1; }\n");
+  check::CostRelevance CR = relevanceOf(P);
+  EXPECT_EQ(CR.effectOf("leaf"), check::CostEffect::MayTick);
+  EXPECT_EQ(CR.effectOf("mid"), check::CostEffect::MayTick);
+  EXPECT_EQ(CR.effectOf("top"), check::CostEffect::MayTick);
+  EXPECT_EQ(CR.effectOf("pure_top"), check::CostEffect::PureZero);
+}
+
+TEST(CostLattice, MutualRecursionWithoutTicksIsPureZero) {
+  IRProgram P = lowerOrDie(
+      "void odd(int n) { if (n > 0) { even(n - 1); } }\n"
+      "void even(int n) { if (n > 0) { odd(n - 1); } }\n");
+  check::CostRelevance CR = relevanceOf(P);
+  EXPECT_EQ(CR.effectOf("even"), check::CostEffect::PureZero);
+  EXPECT_EQ(CR.effectOf("odd"), check::CostEffect::PureZero);
+}
+
+TEST(CostLattice, OneTickPoisonsTheWholeSCC) {
+  IRProgram P = lowerOrDie(
+      "void odd(int n) { if (n > 0) { tick(1); even(n - 1); } }\n"
+      "void even(int n) { if (n > 0) { odd(n - 1); } }\n");
+  check::CostRelevance CR = relevanceOf(P);
+  EXPECT_EQ(CR.effectOf("even"), check::CostEffect::MayTick);
+  EXPECT_EQ(CR.effectOf("odd"), check::CostEffect::MayTick);
+}
+
+TEST(CostLattice, SliceKeyIsDeterministicAndContentSensitive) {
+  IRProgram P1 = lowerOrDie(SliceFixture);
+  IRProgram P2 = lowerOrDie(SliceFixture);
+  check::CostRelevance CR1 = relevanceOf(P1);
+  check::CostRelevance CR2 = relevanceOf(P2);
+  CallGraph CG1 = buildCallGraph(P1);
+  CallGraph CG2 = buildCallGraph(P2);
+  ASSERT_EQ(CG1.SCCs.size(), CG2.SCCs.size());
+  for (int I = 0; I < static_cast<int>(CG1.SCCs.size()); ++I)
+    EXPECT_EQ(check::sliceKeyFor(CR1, CG1, I),
+              check::sliceKeyFor(CR2, CG2, I));
+
+  // Turning the helper cost-bearing flips its effect and therefore the
+  // key of every SCC that folds it.
+  std::string Ticky(SliceFixture);
+  Ticky.replace(Ticky.find("x = x + 1;"), 10, "tick(1);  ");
+  IRProgram P3 = lowerOrDie(Ticky);
+  check::CostRelevance CR3 = relevanceOf(P3);
+  CallGraph CG3 = buildCallGraph(P3);
+  ASSERT_EQ(CG3.SCCs.size(), CG1.SCCs.size());
+  bool AnyDiffers = false;
+  for (int I = 0; I < static_cast<int>(CG1.SCCs.size()); ++I)
+    if (check::sliceKeyFor(CR3, CG3, I) != check::sliceKeyFor(CR1, CG1, I))
+      AnyDiffers = true;
+  EXPECT_TRUE(AnyDiffers);
+}
+
+//===----------------------------------------------------------------------===//
+// PureZero collapse
+//===----------------------------------------------------------------------===//
+
+TEST(CostSlicing, PureZeroCollapseShrinksTheSystemKeepsTheBound) {
+  IRProgram P = lowerOrDie(SliceFixture);
+  AnalysisOptions On; // CostSlicing defaults on.
+  AnalysisOptions Off;
+  Off.CostSlicing = false;
+
+  ConstraintSystem CSOn = generateConstraints(P, ResourceMetric::ticks(), On);
+  ConstraintSystem CSOff =
+      generateConstraints(P, ResourceMetric::ticks(), Off);
+  ASSERT_TRUE(CSOn.StructuralOk);
+  ASSERT_TRUE(CSOff.StructuralOk);
+  EXPECT_GE(CSOn.CallsCollapsed, 1);
+  EXPECT_GE(CSOn.StmtsSliced, 2); // The two trailing stores.
+  EXPECT_GT(CSOn.ConstraintsAvoided, 0);
+  EXPECT_LT(CSOn.numConstraints(), CSOff.numConstraints());
+  EXPECT_EQ(CSOff.CallsCollapsed, 0);
+  EXPECT_EQ(CSOff.StmtsSliced, 0);
+
+  AnalysisResult ROn = analyzeProgram(P, ResourceMetric::ticks(), On, "work");
+  AnalysisResult ROff =
+      analyzeProgram(P, ResourceMetric::ticks(), Off, "work");
+  ASSERT_TRUE(ROn.Success) << ROn.Error;
+  ASSERT_TRUE(ROff.Success) << ROff.Error;
+  EXPECT_TRUE(ROn.Sliced);
+  EXPECT_FALSE(ROff.Sliced);
+  EXPECT_EQ(ROn.Bounds.at("work").toString(),
+            ROff.Bounds.at("work").toString());
+
+  // Both modes certify: each certificate validates against its own mode's
+  // replay (the sliced one carries digests the checker re-derives).
+  Certificate COn = Certificate::fromResult(ROn, ResourceMetric::ticks(), On);
+  Certificate COff =
+      Certificate::fromResult(ROff, ResourceMetric::ticks(), Off);
+  EXPECT_TRUE(checkCertificate(P, COn).Valid);
+  EXPECT_TRUE(checkCertificate(P, COff).Valid);
+  EXPECT_FALSE(COff.Sliced);
+  EXPECT_TRUE(COn.Sliced);
+  EXPECT_FALSE(COn.SliceDigests.empty());
+
+  // The sliced certificate round-trips through its text form.
+  auto Round = Certificate::deserialize(COn.serialize());
+  ASSERT_TRUE(Round.has_value());
+  EXPECT_TRUE(Round->Sliced);
+  EXPECT_EQ(Round->SliceDigests, COn.SliceDigests);
+  EXPECT_TRUE(checkCertificate(P, *Round).Valid);
+}
+
+//===----------------------------------------------------------------------===//
+// Interval-refined slicing
+//===----------------------------------------------------------------------===//
+
+TEST(CostSlicing, ZeroTripLoopBodyIsSlicedOnlyWithSeeds) {
+  // The interval pre-pass proves the loop never runs; without it the body
+  // tick keeps the loop hot and nothing in it may be sliced.
+  IRProgram P = lowerOrDie("int buf[4];\n"
+                           "void f(int n) {\n"
+                           "  n = 0;\n"
+                           "  while (n > 0) { buf[0] = 1; tick(1); }\n"
+                           "  buf[1] = 2;\n"
+                           "}\n");
+  check::CostRelevance Refined = relevanceOf(P, /*WithSeeds=*/true);
+  check::CostRelevance Plain = relevanceOf(P, /*WithSeeds=*/false);
+  // Effects stay conservative either way: refinement never changes them.
+  EXPECT_EQ(Refined.effectOf("f"), check::CostEffect::MayTick);
+  EXPECT_EQ(Plain.effectOf("f"), check::CostEffect::MayTick);
+  // Refined: both stores are sliceable (in-loop one via unreachability,
+  // trailing one via cost-deadness).  Plain: only the trailing store.
+  EXPECT_GE(Refined.Sliceable.size(), 2u);
+  EXPECT_EQ(Plain.Sliceable.size(), 1u);
+  // Bit-identity still holds with the refinement active.
+  AnalysisOptions On;
+  On.SeedIntervals = true;
+  AnalysisOptions Off = On;
+  Off.CostSlicing = false;
+  AnalysisResult ROn = analyzeProgram(P, ResourceMetric::ticks(), On, "f");
+  AnalysisResult ROff = analyzeProgram(P, ResourceMetric::ticks(), Off, "f");
+  ASSERT_TRUE(ROn.Success) << ROn.Error;
+  ASSERT_TRUE(ROff.Success) << ROff.Error;
+  EXPECT_EQ(ROn.Solution, ROff.Solution);
+  EXPECT_EQ(ROn.Bounds.at("f").toString(), ROff.Bounds.at("f").toString());
+}
+
+//===----------------------------------------------------------------------===//
+// Budget conservatism
+//===----------------------------------------------------------------------===//
+
+TEST(CostSlicing, BudgetAbortedRelevanceIsUnknownAndSlicesNothing) {
+  IRProgram P = lowerOrDie(SliceFixture);
+  BudgetLimits L;
+  L.DeadlineSeconds = 1e-12; // Expired before the first SCC.
+  BudgetScope Scope(L);
+  check::CostRelevance CR = check::computeCostRelevance(
+      P, ResourceMetric::ticks(), nullptr);
+  EXPECT_FALSE(CR.Converged);
+  EXPECT_TRUE(CR.Sliceable.empty());
+  for (const IRFunction &F : P.Functions)
+    EXPECT_EQ(CR.effectOf(F.Name), check::CostEffect::Unknown)
+        << F.Name << " must be Unknown after a budget abort";
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-corpus differential
+//===----------------------------------------------------------------------===//
+
+TEST(CostSlicing, CorpusIsBitIdenticalSlicedVsUnsliced) {
+  int Checked = 0;
+  for (const CorpusEntry &E : corpus()) {
+    DiagnosticEngine D;
+    auto Ast = parseString(E.Source, D);
+    ASSERT_TRUE(Ast.has_value()) << E.Name;
+    auto IR = lowerProgram(*Ast, D);
+    ASSERT_TRUE(IR.has_value()) << E.Name;
+    for (bool Scheduled : {false, true}) {
+      AnalysisOptions On;
+      On.SummaryScheduling = Scheduled;
+      AnalysisOptions Off = On;
+      Off.CostSlicing = false;
+      AnalysisResult ROn =
+          analyzeProgram(*IR, ResourceMetric::ticks(), On, E.Function);
+      AnalysisResult ROff =
+          analyzeProgram(*IR, ResourceMetric::ticks(), Off, E.Function);
+      ASSERT_EQ(ROn.Success, ROff.Success) << E.Name;
+      if (!ROn.Success)
+        continue;
+      // Bit-identical: the full certificate value vector, every bound,
+      // and the structural counters.
+      EXPECT_EQ(ROn.Solution, ROff.Solution) << E.Name;
+      EXPECT_EQ(ROn.NumVars, ROff.NumVars) << E.Name;
+      ASSERT_EQ(ROn.Bounds.size(), ROff.Bounds.size()) << E.Name;
+      for (const auto &[Fn, B] : ROn.Bounds)
+        EXPECT_EQ(B.toString(), ROff.Bounds.at(Fn).toString())
+            << E.Name << "/" << Fn;
+      // Both certify under their own recorded mode.
+      Certificate COn =
+          Certificate::fromResult(ROn, ResourceMetric::ticks(), On);
+      Certificate COff =
+          Certificate::fromResult(ROff, ResourceMetric::ticks(), Off);
+      EXPECT_TRUE(checkCertificate(*IR, COn).Valid) << E.Name;
+      EXPECT_TRUE(checkCertificate(*IR, COff).Valid) << E.Name;
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Robustness: injected over-slice must be rejected by the checker
+//===----------------------------------------------------------------------===//
+
+TEST(CostSlicing, InjectedOverSliceIsRejectedMonolithic) {
+  FaultGuard G;
+  IRProgram P = lowerOrDie(SliceFixture);
+  AnalysisOptions O;
+  O.SummaryScheduling = false;
+  faultinject::arm(faultinject::Site::CostSlice, 1,
+                   AnalysisErrorKind::InternalInvariant);
+  AnalysisResult R = analyzeProgram(P, ResourceMetric::ticks(), O, "work");
+  EXPECT_FALSE(faultinject::armed()) << "plan must fire during the analysis";
+  ASSERT_TRUE(R.Success) << R.Error;
+  // The tampered slice dropped a hot tick: the "bound" is too tight, and
+  // the certificate must not survive an honest replay.
+  Certificate C = Certificate::fromResult(R, ResourceMetric::ticks(), O);
+  CheckReport Rep = checkCertificate(P, C);
+  EXPECT_FALSE(Rep.Valid);
+}
+
+TEST(CostSlicing, InjectedOverSliceIsRejectedScheduled) {
+  FaultGuard G;
+  IRProgram P = lowerOrDie(SliceFixture);
+  AnalysisOptions O; // Scheduled by default.
+  faultinject::arm(faultinject::Site::CostSlice, 1,
+                   AnalysisErrorKind::InternalInvariant);
+  AnalysisResult R = analyzeProgram(P, ResourceMetric::ticks(), O, "work");
+  EXPECT_FALSE(faultinject::armed()) << "plan must fire during the analysis";
+  ASSERT_TRUE(R.Success) << R.Error;
+  Certificate C = Certificate::fromResult(R, ResourceMetric::ticks(), O);
+  CheckReport Rep = checkCertificate(P, C);
+  EXPECT_FALSE(Rep.Valid);
+}
+
+TEST(CostSlicing, TamperedDigestIsRejected) {
+  IRProgram P = lowerOrDie(SliceFixture);
+  AnalysisResult R = analyzeProgram(P, ResourceMetric::ticks(), {}, "work");
+  ASSERT_TRUE(R.Success) << R.Error;
+  Certificate C = Certificate::fromResult(R, ResourceMetric::ticks(), {});
+  ASSERT_FALSE(C.SliceDigests.empty());
+  C.SliceDigests.begin()->second ^= 1;
+  EXPECT_FALSE(checkCertificate(P, C).Valid);
+}
