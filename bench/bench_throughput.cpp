@@ -17,11 +17,15 @@
 #include "c4b/corpus/Corpus.h"
 #include "c4b/pipeline/Batch.h"
 #include "c4b/sem/Interp.h"
+#include "c4b/service/Client.h"
+#include "c4b/service/Server.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <thread>
+#include <unistd.h>
 
 using namespace c4b;
 
@@ -116,6 +120,113 @@ int countMismatches(const std::vector<BatchJob> &Jobs,
     }
   }
   return Mismatches;
+}
+
+//===----------------------------------------------------------------------===//
+// Service warm/incremental experiment: an in-process c4bd daemon keeps the
+// cache and summary store resident across requests; a resubmitted module
+// replays from cache and an edited one re-solves only the dirty SCC and
+// its transitive callers.
+//===----------------------------------------------------------------------===//
+
+struct ServiceIncrementalRow {
+  int Functions = 0;
+  int EditedIndex = 0;
+  double ColdSeconds = 0, WarmSeconds = 0, EditSeconds = 0;
+  double ColdSolved = 0, EditSolved = 0, EditReused = 0;
+  bool WarmFromCache = false;
+  /// Counters and untouched bounds exactly as invalidation theory
+  /// predicts: edit solves EditedIndex+1 SCCs, reuses the rest, and every
+  /// function below the edit keeps its bit-identical bound.
+  bool IncrementalExact = false;
+  bool Ok = false;
+};
+
+/// A K-deep call chain, callee-first: g{K-1} is the loop leaf, g{i} calls
+/// g{i+1}.  The middle function's tick weight is the edit knob.
+std::string chainModule(int K, int EditTicks) {
+  std::string S = "int g" + std::to_string(K - 1) +
+                  "(int n) {\n"
+                  "  while (n > 0) { n = n - 1; tick(1); }\n"
+                  "  return n;\n}\n";
+  for (int I = K - 2; I >= 0; --I) {
+    int T = I == K / 2 ? EditTicks : 1;
+    S += "int g" + std::to_string(I) + "(int m) {\n  int r;\n  r = g" +
+         std::to_string(I + 1) + "(m);\n  tick(" + std::to_string(T) +
+         ");\n  return r;\n}\n";
+  }
+  return S;
+}
+
+ServiceIncrementalRow runServiceWarmIncremental() {
+  using namespace c4b::service;
+  ServiceIncrementalRow Row;
+  const int K = 12;
+  Row.Functions = K;
+  Row.EditedIndex = K / 2;
+
+  ServerOptions Opts;
+  Opts.SocketPath =
+      "/tmp/c4b_bench_" + std::to_string(::getpid()) + ".sock";
+  BoundsServer Server(Opts);
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "SERVICE BENCH: start failed: %s\n", Err.c_str());
+    return Row;
+  }
+
+  Client C(Opts.SocketPath);
+  auto Timed = [&](const std::string &Src, double &Seconds) {
+    Request R;
+    R.Cmd = "analyze";
+    R.Name = "chain";
+    R.Source = Src;
+    auto T0 = std::chrono::steady_clock::now();
+    CallResult Out = C.call(R);
+    Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            T0)
+                  .count();
+    return Out;
+  };
+
+  std::string V1 = chainModule(K, 1);
+  CallResult Cold = Timed(V1, Row.ColdSeconds);
+  CallResult Warm = Timed(V1, Row.WarmSeconds);
+  CallResult Edit = Timed(chainModule(K, 5), Row.EditSeconds);
+  if (!Cold.ok() || !Warm.ok() || !Edit.ok()) {
+    std::fprintf(stderr, "SERVICE BENCH: a request failed (%d/%d/%d)\n",
+                 Cold.exitCode(), Warm.exitCode(), Edit.exitCode());
+    return Row;
+  }
+
+  Row.ColdSolved = Cold.Resp->Counters["sccs_solved"];
+  Row.WarmFromCache = Warm.Resp->FromCache;
+  Row.EditSolved = Edit.Resp->Counters["sccs_solved"];
+  Row.EditReused = Edit.Resp->Counters["summaries_reused"];
+
+  // The edit dirties g{K/2}; its transitive callers are g0..g{K/2-1}, so
+  // exactly K/2+1 SCCs re-solve and the K/2-1 below the edit are reused.
+  bool BoundsStable = true;
+  for (int I = Row.EditedIndex + 1; I < K; ++I) {
+    std::string Fn = "g" + std::to_string(I);
+    if (Cold.Resp->Bounds[Fn] != Edit.Resp->Bounds[Fn])
+      BoundsStable = false;
+  }
+  Row.IncrementalExact = Row.ColdSolved == K && Row.WarmFromCache &&
+                         Row.EditSolved == Row.EditedIndex + 1 &&
+                         Row.EditReused == K - Row.EditedIndex - 1 &&
+                         BoundsStable;
+  Row.Ok = true;
+  if (!Row.IncrementalExact)
+    std::fprintf(stderr,
+                 "SERVICE BENCH: incremental counters off the prediction "
+                 "(cold %.0f, edit %.0f solved / %.0f reused, bounds %s)\n",
+                 Row.ColdSolved, Row.EditSolved, Row.EditReused,
+                 BoundsStable ? "stable" : "CHANGED");
+
+  Server.requestShutdown();
+  Server.wait();
+  return Row;
 }
 
 /// Runs the corpus through a 1-worker and an N-worker BatchAnalyzer,
@@ -219,6 +330,9 @@ int runThroughputExperiment() {
     if (!Item.Result.Success && Item.Result.Error.empty())
       ++Untyped;
 
+  // The daemon experiment: cold submit, warm resubmit, one-function edit.
+  ServiceIncrementalRow Svc = runServiceWarmIncremental();
+
   FILE *F = std::fopen("BENCH_throughput.json", "w");
   if (F) {
     std::fprintf(F, "{\n");
@@ -241,6 +355,20 @@ int runThroughputExperiment() {
     std::fprintf(F, ",\n");
     std::fprintf(F, "  \"budgeted_all_outcomes_typed\": %s,\n",
                  Untyped == 0 ? "true" : "false");
+    std::fprintf(F,
+                 "  \"service_warm_incremental\": {\"ok\": %s, "
+                 "\"functions\": %d, \"edited_function_index\": %d,\n"
+                 "    \"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
+                 "\"edit_seconds\": %.6f,\n"
+                 "    \"cold_sccs_solved\": %.0f, \"warm_from_cache\": %s,\n"
+                 "    \"edit_sccs_solved\": %.0f, "
+                 "\"edit_summaries_reused\": %.0f,\n"
+                 "    \"incremental_exact\": %s},\n",
+                 Svc.Ok ? "true" : "false", Svc.Functions, Svc.EditedIndex,
+                 Svc.ColdSeconds, Svc.WarmSeconds, Svc.EditSeconds,
+                 Svc.ColdSolved, Svc.WarmFromCache ? "true" : "false",
+                 Svc.EditSolved, Svc.EditReused,
+                 Svc.IncrementalExact ? "true" : "false");
     // A speedup measured on one hardware thread is scheduling noise, not
     // a parallelism result; null keeps downstream plots honest.
     std::fprintf(F, "  \"speedup_valid\": %s,\n",
@@ -287,7 +415,14 @@ int runThroughputExperiment() {
               BudgetStats.NumSucceeded, BudgetStats.NumDegraded,
               BudgetStats.NumFailed, BudgetStats.NumLpBudget,
               BudgetStats.NumDeadline, Untyped);
-  return Mismatches + Untyped;
+  std::printf("service warm/incremental (%d-fn chain, edit at %d): cold "
+              "%.3fs (%.0f solved), warm %.3fs (cache %s), edit %.3fs "
+              "(%.0f solved, %.0f reused) -> %s\n",
+              Svc.Functions, Svc.EditedIndex, Svc.ColdSeconds, Svc.ColdSolved,
+              Svc.WarmSeconds, Svc.WarmFromCache ? "hit" : "MISS",
+              Svc.EditSeconds, Svc.EditSolved, Svc.EditReused,
+              Svc.IncrementalExact ? "exact" : "OFF-PREDICTION");
+  return Mismatches + Untyped + (Svc.Ok && Svc.IncrementalExact ? 0 : 1);
 }
 
 //===----------------------------------------------------------------------===//

@@ -45,7 +45,14 @@
 // Exit codes are typed: 0 success, 1 analysis failed (no bound), 2 usage,
 // then one code per AnalysisError kind (see c4b/support/Error.h): 10 parse
 // error, 11 malformed IR, 12 LP budget exceeded, 13 deadline exceeded,
-// 14 coefficient overflow, 15 internal invariant.
+// 14 coefficient overflow, 15 internal invariant, 16 no linear bound,
+// 17 interrupted.
+//
+// SIGINT/SIGTERM cancel cooperatively: the handler sets the global
+// cancellation flag, the next budget checkpoint aborts the analysis with
+// Interrupted, and the tool still emits its (partial) --diag-json report
+// before exiting with code 17 — no torn output, no default-signal death
+// mid-write.
 //
 //===----------------------------------------------------------------------===//
 
@@ -58,9 +65,11 @@
 #include "c4b/corpus/Corpus.h"
 #include "c4b/pipeline/Pipeline.h"
 
+#include "c4b/support/Budget.h"
 #include "c4b/support/Error.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -120,8 +129,15 @@ int usage() {
       "\n"
       "exit codes: 0 ok, 1 no bound, 2 usage, 10 parse error,\n"
       "  11 malformed IR, 12 LP budget exceeded, 13 deadline exceeded,\n"
-      "  14 coefficient overflow, 15 internal invariant\n");
+      "  14 coefficient overflow, 15 internal invariant,\n"
+      "  16 no linear bound, 17 interrupted (SIGINT/SIGTERM)\n");
   return 2;
+}
+
+extern "C" void onCancelSignal(int) {
+  // Async-signal-safe by contract (one relaxed atomic store); the
+  // analysis notices at its next budget checkpoint.
+  requestCancellation();
 }
 
 std::string readFile(const char *Path, bool &Ok) {
@@ -139,6 +155,9 @@ std::string readFile(const char *Path, bool &Ok) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  std::signal(SIGINT, onCancelSignal);
+  std::signal(SIGTERM, onCancelSignal);
+
   std::string MetricName = "ticks";
   AnalysisOptions Opts;
   bool RunBaseline = false, DumpIR = false;
@@ -450,8 +469,11 @@ int main(int Argc, char **Argv) {
     }
   } catch (const AbortError &E) {
     // Belt and braces: the library converts aborts at stage boundaries,
-    // but nothing typed must ever escape the tool as a crash.
+    // but nothing typed must ever escape the tool as a crash.  A signal
+    // cancellation lands here too (Interrupted): report, emit the partial
+    // JSON so far, and exit with the distinct code.
     std::fprintf(stderr, "analysis aborted: %s\n", E.what());
+    writeDiagJson(Diags, nullptr);
     return exitCodeFor(E.error().Kind);
   }
   // Re-write the JSON report now that the run's caching counters exist.

@@ -1,0 +1,144 @@
+//===--- c4b_client_cli.cpp - Command-line client for c4bd -----------------===//
+//
+// Talks to a running c4bd daemon:
+//
+//   c4b-client --socket PATH analyze FILE.c4b [--name NAME] [--focus FN]
+//   c4b-client --socket PATH query NAME [FN]
+//   c4b-client --socket PATH stats
+//   c4b-client --socket PATH drain
+//   c4b-client --socket PATH shutdown
+//     --timeout-ms N   per-frame transport timeout (default 10000)
+//
+// Chaos-soak knobs on analyze (honored only by a daemon started with
+// --test-commands): --inject SITE arms a one-shot fault for this request,
+// --hang-ms N wedges the worker before the analysis (watchdog bait).
+//
+// Exit codes mirror the daemon's typed outcomes: 0 ok; analysis failures
+// use the per-kind codes of the batch CLI (10-17); service-level codes
+// stay below 10 — 2 bad request/usage, 3 unknown module/function,
+// 4 overloaded, 5 draining, 6 connect failed, 7 transport timeout,
+// 8 protocol error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/service/Client.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace c4b::service;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: c4b-client --socket PATH [--timeout-ms N] CMD ...\n"
+      "  analyze FILE.c4b [--name NAME] [--focus FN]   submit a module\n"
+      "  query NAME [FN]      bounds of an analyzed module (or one fn)\n"
+      "  stats                daemon/cache/recovery counters\n"
+      "  drain                stop admitting new connections\n"
+      "  shutdown             drain, then exit the daemon\n"
+      "exit codes: 0 ok; 10-17 typed analysis failures; 2 bad request,\n"
+      "  3 unknown entity, 4 overloaded, 5 draining, 6 connect failed,\n"
+      "  7 timeout, 8 protocol error\n");
+  return 2;
+}
+
+int report(const CallResult &Out) {
+  if (!Out.Resp) {
+    std::fprintf(stderr, "c4b-client: %s\n", Out.TransportError.c_str());
+    return Out.TransportExit;
+  }
+  const Response &R = *Out.Resp;
+  if (!R.Ok) {
+    std::fprintf(stderr, "c4b-client: %s: %s\n", R.ErrKind.c_str(),
+                 R.Error.c_str());
+    return R.ExitCode;
+  }
+  if (R.Degraded)
+    std::fprintf(stderr, "c4b-client: degraded (%s): bounds below are "
+                         "uncertified ranking expressions\n",
+                 R.ErrKind.c_str());
+  for (const auto &KV : R.Bounds)
+    std::printf("%-24s %s%s\n", (KV.first + ":").c_str(), KV.second.c_str(),
+                R.Degraded ? " [degraded]" : "");
+  for (const auto &KV : R.Counters)
+    std::printf("; %s=%.0f\n", KV.first.c_str(), KV.second);
+  if (R.FromCache)
+    std::printf("; from_cache=1\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Socket;
+  int TimeoutMs = 10000;
+  int I = 1;
+  for (; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--socket")) {
+      if (I + 1 >= Argc)
+        return usage();
+      Socket = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--timeout-ms")) {
+      if (I + 1 >= Argc)
+        return usage();
+      TimeoutMs = std::atoi(Argv[++I]);
+    } else if (!std::strcmp(Argv[I], "--help")) {
+      usage();
+      return 0;
+    } else {
+      break;
+    }
+  }
+  if (Socket.empty() || I >= Argc)
+    return usage();
+
+  std::string Cmd = Argv[I++];
+  Request Req;
+  if (Cmd == "analyze") {
+    if (I >= Argc)
+      return usage();
+    const char *File = Argv[I++];
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "c4b-client: cannot read '%s'\n", File);
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Req.Cmd = "analyze";
+    Req.Source = SS.str();
+    Req.Name = File;
+    for (; I < Argc; ++I) {
+      if (!std::strcmp(Argv[I], "--name") && I + 1 < Argc)
+        Req.Name = Argv[++I];
+      else if (!std::strcmp(Argv[I], "--focus") && I + 1 < Argc)
+        Req.Focus = Argv[++I];
+      else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc)
+        Req.InjectSite = Argv[++I];
+      else if (!std::strcmp(Argv[I], "--hang-ms") && I + 1 < Argc)
+        Req.HangMs = std::atoi(Argv[++I]);
+      else
+        return usage();
+    }
+  } else if (Cmd == "query") {
+    if (I >= Argc)
+      return usage();
+    Req.Cmd = "query";
+    Req.Name = Argv[I++];
+    if (I < Argc)
+      Req.Function = Argv[I++];
+  } else if (Cmd == "stats" || Cmd == "drain" || Cmd == "shutdown") {
+    Req.Cmd = Cmd;
+  } else {
+    return usage();
+  }
+
+  Client C(Socket, TimeoutMs);
+  return report(C.call(Req));
+}

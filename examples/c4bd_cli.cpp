@@ -1,0 +1,169 @@
+//===--- c4bd_cli.cpp - The analysis daemon entry point --------------------===//
+//
+// Runs the c4b analysis as a long-lived service on a unix socket:
+//
+//   c4bd --socket PATH [options]
+//     --workers N           worker threads (default 2)
+//     --max-queue N         admission-queue bound (default 8); past it
+//                           connections get a typed Overloaded rejection
+//     --deadline-ms N       per-request analysis deadline (default 30000)
+//     --max-pivots N        per-request simplex pivot budget
+//     --max-constraints N   per-request constraint budget
+//     --idle-ms N           idle-connection reap timeout (default 5000)
+//     --io-ms N             per-frame read/write timeout (default 5000)
+//     --watchdog-ms N       wedged-request backstop; fails the request's
+//                           connection, never the process (default off)
+//     --degrade-depth N     queue depth at which analyze requests run with
+//                           the ranking fallback armed (default off)
+//     --cache-dir DIR       resident tier-3 result cache (durable writes)
+//     --summary-dir DIR     resident per-SCC summary store; an edited
+//                           module re-solves only dirty SCCs + callers
+//     --monolithic          disable SCC scheduling (diff oracle)
+//     --test-commands       honor the test-only request fields
+//                           (inject_site / hang_ms) — chaos soak only
+//
+// SIGINT/SIGTERM drain then exit: no new connections are admitted, queued
+// and in-flight requests run to completion (all stores are write-through
+// durable, so nothing needs a final flush), then the process exits 0.
+// On startup the cache/summary directories are scanned: entries failing
+// their integrity checksum are quarantined (*.quarantine), torn temp
+// files reaped, and the counts reported on stderr and via `stats`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/service/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace c4b::service;
+
+namespace {
+
+BoundsServer *ActiveServer = nullptr;
+
+extern "C" void onExitSignal(int) {
+  // Async-signal-safe: atomic stores plus a self-pipe write.
+  if (ActiveServer)
+    ActiveServer->requestShutdown();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: c4bd --socket PATH [--workers N] [--max-queue N]\n"
+      "            [--deadline-ms N] [--max-pivots N] [--max-constraints N]\n"
+      "            [--idle-ms N] [--io-ms N] [--watchdog-ms N]\n"
+      "            [--degrade-depth N] [--cache-dir DIR] [--summary-dir DIR]\n"
+      "            [--monolithic] [--test-commands]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto arg = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    const char *V;
+    if (!std::strcmp(A, "--socket")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.SocketPath = V;
+    } else if (!std::strcmp(A, "--workers")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.NumWorkers = std::atoi(V);
+    } else if (!std::strcmp(A, "--max-queue")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.MaxQueue = std::atoi(V);
+    } else if (!std::strcmp(A, "--deadline-ms")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.RequestDeadlineSeconds = std::atof(V) / 1000.0;
+    } else if (!std::strcmp(A, "--max-pivots")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.MaxPivots = std::atol(V);
+    } else if (!std::strcmp(A, "--max-constraints")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.MaxConstraints = std::atol(V);
+    } else if (!std::strcmp(A, "--idle-ms")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.IdleTimeoutMs = std::atoi(V);
+    } else if (!std::strcmp(A, "--io-ms")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.ReadTimeoutMs = Opts.WriteTimeoutMs = std::atoi(V);
+    } else if (!std::strcmp(A, "--watchdog-ms")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.WatchdogSeconds = std::atof(V) / 1000.0;
+    } else if (!std::strcmp(A, "--degrade-depth")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.DegradeQueueDepth = std::atoi(V);
+    } else if (!std::strcmp(A, "--cache-dir")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.CacheDir = V;
+    } else if (!std::strcmp(A, "--summary-dir")) {
+      if (!(V = arg()))
+        return usage();
+      Opts.SummaryDir = V;
+    } else if (!std::strcmp(A, "--monolithic")) {
+      Opts.Scheduling = false;
+    } else if (!std::strcmp(A, "--test-commands")) {
+      Opts.EnableTestCommands = true;
+    } else if (!std::strcmp(A, "--help")) {
+      usage();
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+  if (Opts.SocketPath.empty())
+    return usage();
+
+  BoundsServer Server(std::move(Opts));
+  ActiveServer = &Server;
+  std::signal(SIGINT, onExitSignal);
+  std::signal(SIGTERM, onExitSignal);
+  std::signal(SIGPIPE, SIG_IGN); // Sends already use MSG_NOSIGNAL; belt
+                                 // and braces for any stray write.
+
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "c4bd: %s\n", Err.c_str());
+    return 1;
+  }
+  const RecoveryReport &R = Server.recovery();
+  std::fprintf(stderr,
+               "c4bd: listening on %s (workers=%d queue=%d)\n"
+               "c4bd: recovery: cache ok=%ld quarantined=%ld stale=%ld; "
+               "summaries ok=%ld quarantined=%ld stale=%ld; tmp reaped=%ld\n",
+               Server.options().SocketPath.c_str(),
+               Server.options().NumWorkers, Server.options().MaxQueue,
+               R.CacheEntriesOk, R.CacheQuarantined, R.CacheStale,
+               R.SummaryEntriesOk, R.SummaryQuarantined, R.SummaryStale,
+               R.TmpReaped);
+
+  Server.wait();
+  ActiveServer = nullptr;
+  ServerStats S = Server.stats();
+  std::fprintf(stderr,
+               "c4bd: drained and exiting (requests=%ld ok=%ld failed=%ld "
+               "degraded=%ld overloaded=%ld watchdog=%ld)\n",
+               S.Requests, S.AnalyzeOk + S.AnalyzeDegraded + S.QueryOk,
+               S.AnalyzeFailed, S.AnalyzeDegraded, S.Overloaded,
+               S.WatchdogKills);
+  return 0;
+}

@@ -118,6 +118,8 @@ struct SummaryStoreStats {
   long StaleFormat = 0;
   /// Disk entries that failed the integrity check outright.
   long CorruptEntries = 0;
+  /// Durable disk writes that failed (memory store stands).
+  long FlushFailures = 0;
 };
 
 /// Content-addressed store of SCC summaries: always in memory, optionally

@@ -135,6 +135,8 @@ struct CacheStats {
   long CorruptEntries = 0; ///< disk entries that failed integrity checks
   long StaleFormat = 0;    ///< intact entries from a foreign format/build
   long VerifyRejects = 0;  ///< hits rejected by certificate re-validation
+  long FlushFailures = 0;  ///< durable disk writes that failed (memory
+                           ///< store stands; durability only)
 };
 
 /// A thread-safe content-addressed store of analysis outcomes, optionally

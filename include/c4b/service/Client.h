@@ -1,0 +1,70 @@
+//===--- Client.h - Blocking c4bd client ------------------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client for the c4bd daemon: connect to the unix
+/// socket, exchange length-prefixed JSON frames, surface transport
+/// failures as typed outcomes (the same exitcode:: values c4b-client maps
+/// to process exit codes).  One Client holds one connection; call() can
+/// be issued repeatedly on it (the protocol is persistent until the
+/// server reaps the connection as idle).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SERVICE_CLIENT_H
+#define C4B_SERVICE_CLIENT_H
+
+#include "c4b/service/Protocol.h"
+
+#include <optional>
+#include <string>
+
+namespace c4b {
+namespace service {
+
+/// Outcome of one call: either a decoded Response, or a transport-level
+/// failure (socket/timeout/framing) with the exit code to report.
+struct CallResult {
+  std::optional<Response> Resp;
+  /// When !Resp: exitcode::{ConnectFailed,Timeout,ProtocolError} and a
+  /// one-line reason.
+  int TransportExit = 0;
+  std::string TransportError;
+
+  bool ok() const { return Resp && Resp->Ok; }
+  /// The process exit code this outcome maps to (0 on success).
+  int exitCode() const { return Resp ? Resp->ExitCode : TransportExit; }
+};
+
+class Client {
+public:
+  /// \p TimeoutMs governs connect and each frame read/write (total time
+  /// per frame, not per byte); <= 0 waits indefinitely.
+  explicit Client(std::string SocketPath, int TimeoutMs = 10000);
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects (idempotent).  False with \p Err set on failure.
+  bool connect(std::string *Err = nullptr);
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends \p R and reads one response.  Connects lazily when needed.
+  CallResult call(const Request &R);
+
+private:
+  std::string Path;
+  int TimeoutMs;
+  int Fd = -1;
+};
+
+} // namespace service
+} // namespace c4b
+
+#endif // C4B_SERVICE_CLIENT_H

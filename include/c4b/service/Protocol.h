@@ -1,0 +1,204 @@
+//===--- Protocol.h - c4bd wire protocol ------------------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the c4bd analysis daemon: length-prefixed JSON
+/// frames over a unix-domain stream socket.
+///
+/// Framing: every message is a 4-byte big-endian payload length followed
+/// by exactly that many bytes of UTF-8 JSON.  Frames above MaxFrameBytes
+/// are rejected before any allocation — a garbage prefix cannot make the
+/// server reserve gigabytes.  All reads and writes are governed by
+/// poll(2) timeouts so a slow or dead peer costs a bounded amount of one
+/// worker's time, never a wedged thread.
+///
+/// The JSON dialect is the minimal one the daemon needs (null, bool,
+/// number, string, array, object; no \uXXXX escapes beyond pass-through).
+/// JsonValue is both the parser's output and the writer's input; encoding
+/// is deterministic (object keys keep insertion order) so differential
+/// tests can compare frames byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SERVICE_PROTOCOL_H
+#define C4B_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace c4b {
+namespace service {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON value
+//===----------------------------------------------------------------------===//
+
+/// A tagged JSON value.  Numbers are doubles (every counter the protocol
+/// carries fits in the 53-bit mantissa); object member order is
+/// preserved, making dump() deterministic.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  static JsonValue boolean(bool B);
+  static JsonValue number(double N);
+  static JsonValue str(std::string S);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return K; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+
+  /// Scalar reads with defaults; a kind mismatch yields the default (the
+  /// server treats a mistyped field like a missing one).
+  bool asBool(bool Def = false) const;
+  double asNumber(double Def = 0) const;
+  const std::string &asString(const std::string &Def) const;
+
+  /// Object member by key; null when absent or not an object.
+  const JsonValue *get(const std::string &Key) const;
+  /// Sets (or replaces) an object member; turns a Null value into {}.
+  JsonValue &set(const std::string &Key, JsonValue V);
+  /// Appends to an array; turns a Null value into [].
+  JsonValue &push(JsonValue V);
+
+  const std::vector<JsonValue> &items() const { return Arr; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Obj;
+  }
+
+  /// Deterministic single-line encoding.
+  std::string dump() const;
+
+  /// Strict parse of one JSON document (trailing garbage is an error).
+  /// On failure returns nullopt and, when \p Err is non-null, a one-line
+  /// reason with a byte offset.
+  static std::optional<JsonValue> parse(const std::string &Text,
+                                        std::string *Err = nullptr);
+
+private:
+  Kind K;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+/// Upper bound on one frame's payload (16 MiB) — admission control at the
+/// protocol layer.
+constexpr std::uint32_t MaxFrameBytes = 16u << 20;
+
+/// Outcome of one framed read/write.
+enum class IoStatus {
+  Ok,
+  Timeout,  ///< The poll deadline passed mid-frame (slow peer).
+  Closed,   ///< Orderly EOF (or EPIPE on write) — the peer went away.
+  TooLarge, ///< Length prefix exceeds MaxFrameBytes; the stream is junk.
+  Error,    ///< Any other socket error.
+};
+
+/// Human-readable IoStatus, for diagnostics.
+const char *ioStatusName(IoStatus S);
+
+/// Reads one length-prefixed frame into \p Out.  \p TimeoutMs bounds the
+/// *total* wall time of the read (not per-byte), so a byte-at-a-time
+/// trickler cannot hold a worker forever; <= 0 means wait indefinitely.
+IoStatus readFrame(int Fd, std::string &Out, int TimeoutMs);
+
+/// Writes one frame (prefix + payload) under the same total-time bound.
+/// Uses MSG_NOSIGNAL: a dead peer is a Closed return, never SIGPIPE.
+IoStatus writeFrame(int Fd, const std::string &Payload, int TimeoutMs);
+
+//===----------------------------------------------------------------------===//
+// Exit codes
+//===----------------------------------------------------------------------===//
+
+/// Service-level outcome codes, carried in Response::ExitCode and mapped
+/// to process exit codes by c4b-client.  Analysis failures use the
+/// per-kind codes of exitCodeFor (10-17); these cover everything the
+/// service layer itself can reject, plus client-side transport failures.
+/// They deliberately stay below 10 so the two ranges cannot collide.
+namespace exitcode {
+constexpr int BadRequest = 2;    ///< unparseable or malformed request
+constexpr int UnknownEntity = 3; ///< query for an unknown module/function
+constexpr int Overloaded = 4;    ///< admission queue full
+constexpr int Draining = 5;      ///< server draining; no new connections
+constexpr int ConnectFailed = 6; ///< client: socket connect failed
+constexpr int Timeout = 7;       ///< client: request or response timed out
+constexpr int ProtocolError = 8; ///< client: framing/JSON error, early EOF
+} // namespace exitcode
+
+//===----------------------------------------------------------------------===//
+// Requests and responses
+//===----------------------------------------------------------------------===//
+
+/// One client request.  Cmd selects the operation; the rest are
+/// command-specific (unused fields are simply not encoded).
+struct Request {
+  /// "analyze" | "query" | "stats" | "drain" | "shutdown".
+  std::string Cmd;
+  /// analyze: module name (cache/result label) and source text.
+  std::string Name;
+  std::string Source;
+  /// analyze: optional focus function for the LP objective.
+  std::string Focus;
+  /// query: module name (Name) + function whose bound to fetch.
+  std::string Function;
+  /// analyze (tests only): arm a one-shot thread-local fault at this
+  /// site for the dispatched job — "pivot", "constraint", ... (see
+  /// faultinject::siteByName).  Ignored unless the server was started
+  /// with EnableTestCommands.
+  std::string InjectSite;
+  long InjectAfter = 1;
+  /// analyze (tests only): milliseconds to wedge the worker before
+  /// dispatch — the watchdog test's lever.  Same gate as InjectSite.
+  long HangMs = 0;
+
+  std::string encode() const;
+  static std::optional<Request> decode(const std::string &Payload,
+                                       std::string *Err = nullptr);
+};
+
+/// One server response.  Ok=false carries a typed reason: ErrKind is
+/// either an AnalysisErrorKind name ("LpBudgetExceeded", ...) for
+/// per-request analysis failures or a service-level rejection
+/// ("Overloaded", "Draining", "BadRequest", "UnknownFunction").
+struct Response {
+  bool Ok = false;
+  std::string Error;
+  std::string ErrKind;
+  /// The exit code a CLI should map this outcome to (0 on success).
+  int ExitCode = 0;
+  /// analyze/query: certified bound per function (degraded: uncertified
+  /// ranking-function expressions, flagged below).
+  std::map<std::string, std::string> Bounds;
+  bool Degraded = false;
+  bool FromCache = false;
+  /// Numeric payload: per-request counters for analyze (sccs_solved,
+  /// summaries_reused, ...), the full stats dump for stats.
+  std::map<std::string, double> Counters;
+
+  std::string encode() const;
+  static std::optional<Response> decode(const std::string &Payload,
+                                        std::string *Err = nullptr);
+};
+
+} // namespace service
+} // namespace c4b
+
+#endif // C4B_SERVICE_PROTOCOL_H

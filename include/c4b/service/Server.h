@@ -1,0 +1,220 @@
+//===--- Server.h - The c4bd analysis daemon --------------------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analysis as a service: a long-lived unix-socket daemon that keeps the
+/// tier-3 AnalysisCache and the SummaryStore resident, so a re-submitted
+/// module replays from cache and an *edited* module re-solves only the
+/// dirty SCCs and their transitive callers (summary keys fold callee
+/// keys, so invalidation is transitive by construction — the daemon adds
+/// no invalidation logic of its own).
+///
+/// Failure domains, from the outside in:
+///
+///  - The *process* never dies for a request's sake.  Admission control
+///    bounds the connection queue (typed Overloaded rejection), frames
+///    are size-capped, reads/writes are poll-timed (slow clients are
+///    dropped, idle ones reaped), and a watchdog fails requests that
+///    outlive their deadline by shutting down the *connection* — never
+///    the worker's thread, which the cooperative budget will reclaim.
+///  - The *request* is the unit of analysis failure.  Each dispatch runs
+///    through BatchAnalyzer(1) — the exact serial pipeline with per-job
+///    BudgetScope and exception containment — so bounds are bit-identical
+///    to the one-shot CLI and a budget kill or injected fault becomes a
+///    typed response, not a dead connection.
+///  - Under load (admitted depth at/past DegradeQueueDepth) analyze
+///    requests run with FallbackToRanking: budget kills degrade to
+///    uncertified ranking bounds instead of hard failures.
+///  - On startup the daemon scans its cache/summary directories and
+///    quarantines entries that fail their integrity checksum (renamed to
+///    `*.quarantine`), distinguishing them from clean stale-format
+///    entries; leftover temp files from a crashed writer are reaped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SERVICE_SERVER_H
+#define C4B_SERVICE_SERVER_H
+
+#include "c4b/analysis/Analyzer.h"
+#include "c4b/analysis/Summary.h"
+#include "c4b/pipeline/Cache.h"
+#include "c4b/service/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace c4b {
+namespace service {
+
+/// Daemon configuration.  The defaults are test-friendly; c4bd overrides
+/// them from flags.
+struct ServerOptions {
+  /// Unix-socket path (required; sun_path caps it at ~107 bytes).
+  std::string SocketPath;
+  /// Worker threads serving admitted connections.
+  int NumWorkers = 2;
+  /// Admitted-but-unserved connection cap; past it, accepts are answered
+  /// with a typed Overloaded response and closed.
+  int MaxQueue = 8;
+  /// Total-time bounds for one request frame read / response write.
+  int ReadTimeoutMs = 5000;
+  int WriteTimeoutMs = 5000;
+  /// A connection with no request for this long is reaped.
+  int IdleTimeoutMs = 5000;
+  /// Per-request cooperative budget (0 disables a limit).
+  double RequestDeadlineSeconds = 30.0;
+  long MaxPivots = 0;
+  long MaxConstraints = 0;
+  /// Admitted queue depth at which analyze requests run with the
+  /// ranking-function fallback armed (0 = never degrade).
+  int DegradeQueueDepth = 0;
+  /// A dispatched request older than this is failed by shutting down its
+  /// connection (0 disables the watchdog).  Set well above the request
+  /// deadline: the cooperative budget is the first line, this the
+  /// backstop for wedged workers.
+  double WatchdogSeconds = 0;
+  /// Resident tier-3 cache / summary-store directories (empty =
+  /// memory-only; both stores are write-through durable).
+  std::string CacheDir;
+  std::string SummaryDir;
+  /// Scheduled interprocedural analysis for analyze requests (the
+  /// incremental path; off falls back to the monolithic pipeline).
+  bool Scheduling = true;
+  /// Honor the test-only request fields (inject_site, hang_ms).  Off in
+  /// production: the fields are then ignored.
+  bool EnableTestCommands = false;
+};
+
+/// What the startup crash-recovery scan found.
+struct RecoveryReport {
+  long CacheEntriesOk = 0;
+  long CacheQuarantined = 0; ///< failed checksum; renamed *.quarantine
+  long CacheStale = 0;       ///< foreign format/build; left for lookup to skip
+  long SummaryEntriesOk = 0;
+  long SummaryQuarantined = 0;
+  long SummaryStale = 0;
+  long TmpReaped = 0; ///< torn temp files from a crashed writer, unlinked
+};
+
+/// Daemon counters (monotonic; snapshot via BoundsServer::stats).
+struct ServerStats {
+  long Accepted = 0;
+  long Overloaded = 0;       ///< connections rejected by admission control
+  long DrainRejected = 0;    ///< connections rejected while draining
+  long Requests = 0;
+  long BadRequests = 0;
+  long AnalyzeOk = 0;
+  long AnalyzeFailed = 0;
+  long AnalyzeDegraded = 0;
+  long QueryOk = 0;
+  long QueryMiss = 0;
+  long SlowClientDrops = 0;  ///< read/write timeouts → connection dropped
+  long IdleReaped = 0;
+  long WatchdogKills = 0;
+  long InjectedFaults = 0;   ///< service-site faults absorbed (accept/read/
+                             ///< dispatch); analysis-site faults count as
+                             ///< AnalyzeFailed instead
+};
+
+/// The daemon.  start() binds and spawns the acceptor, workers, and
+/// watchdog; wait() blocks until a shutdown (command or requestShutdown)
+/// has drained in-flight work and joined every thread.
+class BoundsServer {
+public:
+  explicit BoundsServer(ServerOptions O);
+  ~BoundsServer();
+
+  BoundsServer(const BoundsServer &) = delete;
+  BoundsServer &operator=(const BoundsServer &) = delete;
+
+  /// Binds the socket (unlinking a stale one), runs the crash-recovery
+  /// scan, and spawns the service threads.  False (with \p Err set) on
+  /// socket errors.
+  bool start(std::string *Err = nullptr);
+
+  /// Blocks until the daemon has shut down and all threads are joined.
+  void wait();
+
+  /// Stops admitting new connections; queued and in-flight requests run
+  /// to completion.  Async-signal-safe (atomic store + self-pipe write).
+  void requestDrain();
+
+  /// Drain, then exit the service loops (wait() returns).  Also
+  /// async-signal-safe — this is the SIGTERM/SIGINT path.
+  void requestShutdown();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+  bool draining() const { return Draining.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+  const RecoveryReport &recovery() const { return Recovery; }
+  const ServerOptions &options() const { return Opts; }
+
+  /// The resident stores (tests and the warm-incremental bench inspect
+  /// their counters directly).
+  std::shared_ptr<AnalysisCache> cache() const { return Cache; }
+  std::shared_ptr<SummaryStore> summaries() const { return Summaries; }
+
+private:
+  struct WorkerState {
+    std::atomic<int> ConnFd{-1};
+    /// Seconds-since-steady-epoch when the active request was admitted
+    /// to dispatch; 0 when idle.  Read by the watchdog.
+    std::atomic<double> BusySince{0};
+  };
+
+  void acceptorLoop();
+  void workerLoop(int Index);
+  void watchdogLoop();
+  void serveConnection(int Fd, WorkerState &St);
+  Response handleRequest(const Request &R, bool Degrade);
+  Response handleAnalyze(const Request &R, bool Degrade);
+  Response handleQuery(const Request &R);
+  Response handleStats();
+  void runRecoveryScan();
+  void wakeAcceptor();
+
+  ServerOptions Opts;
+  std::shared_ptr<AnalysisCache> Cache;
+  std::shared_ptr<SummaryStore> Summaries;
+  RecoveryReport Recovery;
+
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1};
+
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> ShuttingDown{false};
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<int> Pending; ///< admitted connection fds
+
+  std::thread Acceptor;
+  std::vector<std::thread> Workers;
+  std::thread Watchdog;
+  std::vector<std::unique_ptr<WorkerState>> WorkerStates;
+
+  mutable std::mutex StatsMu;
+  ServerStats Stats;
+
+  mutable std::mutex ResultsMu;
+  /// Last analysis per module name, served by the query command.
+  std::map<std::string, AnalysisResult> LastResults;
+};
+
+} // namespace service
+} // namespace c4b
+
+#endif // C4B_SERVICE_SERVER_H

@@ -156,6 +156,25 @@ private:
 // neither is active.  Implementations live in Budget.cpp so the hot
 // callers only pay a function call plus two thread-local reads.
 
+//===----------------------------------------------------------------------===//
+// Cooperative global cancellation
+//===----------------------------------------------------------------------===//
+//
+// A process-wide "stop now" flag polled by the same checkpoints that
+// enforce budgets: when set, the next checkpoint on any thread throws
+// AbortError(Interrupted), which the stage boundaries convert into a
+// typed failure exactly like a budget kill.  requestCancellation is one
+// relaxed atomic store, so a SIGINT/SIGTERM handler may call it directly
+// (async-signal-safe); the CLI and the c4bd drain path do.
+
+/// Requests cooperative cancellation of every governed loop in the
+/// process.  Async-signal-safe.
+void requestCancellation();
+/// Clears the flag (start of a fresh run; tests).
+void clearCancellation();
+/// True while cancellation is requested.
+bool cancellationRequested();
+
 /// Simplex pivot loop (Solver.cpp).
 void budgetOnPivot();
 /// Constraint materialization (the pipeline's recording sink).

@@ -1,0 +1,43 @@
+//===--- DurableFile.h - fsync'd temp+rename file writes --------*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One durable-write primitive shared by every disk-backed store (the
+/// tier-3 analysis cache, the summary store).  The write discipline is:
+///
+///   1. write the whole record to a same-directory temp file,
+///   2. fsync the temp file (the bytes are on the platter, not just in
+///      the page cache),
+///   3. rename it over the final name (atomic on POSIX: readers see the
+///      old entry or the whole new one, never a prefix),
+///   4. fsync the directory (the rename itself survives a power cut).
+///
+/// Any failure — including the injected Site::CacheFlush fault — is
+/// contained to a `false` return with the temp file removed: the caller's
+/// in-memory store stands, the disk just missed this record.  Durability
+/// failures never become analysis failures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_SUPPORT_DURABLEFILE_H
+#define C4B_SUPPORT_DURABLEFILE_H
+
+#include <string>
+
+namespace c4b {
+
+/// Durably writes \p Contents to \p Path via \p Tmp (a caller-chosen
+/// unique name in the same directory).  Returns true when the record is
+/// fully durable; false on any failure (temp removed best-effort).
+/// Never throws: the Site::CacheFlush fault and every I/O error are
+/// absorbed into the false return.
+bool writeFileDurable(const std::string &Path, const std::string &Tmp,
+                      const std::string &Contents);
+
+} // namespace c4b
+
+#endif // C4B_SUPPORT_DURABLEFILE_H

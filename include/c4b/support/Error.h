@@ -41,6 +41,8 @@ enum class AnalysisErrorKind {
   NoLinearBound,       ///< The analysis completed but no linear bound
                        ///< exists (derivation failed structurally or the
                        ///< constraint system is infeasible).
+  Interrupted,         ///< The job was cancelled cooperatively (SIGINT/
+                       ///< SIGTERM, service drain) at a budget checkpoint.
 };
 
 /// Stable short name, e.g. "LpBudgetExceeded".

@@ -25,6 +25,8 @@
 
 #include "c4b/support/Error.h"
 
+#include <atomic>
+
 namespace c4b {
 namespace faultinject {
 
@@ -39,7 +41,20 @@ enum class Site {
   BigIntAlloc,  ///< one BigInt magnitude allocation (multiplication).
   CacheLoad,    ///< one on-disk analysis-cache entry load.
   CostSlice,    ///< cost-relevance slice construction (over-slice tamper).
+  // Service-side sites (the c4bd daemon).  These run on the daemon's
+  // acceptor and worker threads, so the chaos soak arms them through the
+  // process-wide plan (armGlobal) instead of the thread-local one.
+  Accept,       ///< one accepted connection (acceptor thread).
+  RequestRead,  ///< one request-frame read (worker thread).
+  Dispatch,     ///< one request dispatch, before the analysis runs.
+  CacheFlush,   ///< one durable cache/summary flush (fsync + rename).
 };
+
+/// Stable short name of a site ("accept", "pivot", ...); the service
+/// protocol and the chaos soak script select sites by it.
+const char *siteName(Site S);
+/// Inverse of siteName; false when \p Name matches no site.
+bool siteByName(const char *Name, Site &Out);
 
 /// Arms a one-shot fault: the \p TriggerAt-th hit (1-based) of \p S on
 /// this thread throws AbortError(\p Kind).  Re-arming replaces the plan.
@@ -51,15 +66,25 @@ void disarm();
 /// True while a plan is armed on this thread (it auto-disarms on firing).
 bool armed();
 
+/// Process-wide variant of arm(): the \p TriggerAt-th hit of \p S on *any*
+/// thread throws.  This is how the chaos soak reaches the daemon's
+/// acceptor/worker threads, which it cannot arm thread-locally.  One plan
+/// at a time; re-arming replaces it, and it auto-disarms on firing.
+void armGlobal(Site S, long TriggerAt, AnalysisErrorKind Kind);
+
+/// Cancels the process-wide plan.
+void disarmGlobal();
+
 namespace detail {
 extern thread_local bool Armed;
+extern std::atomic<bool> GlobalArmed;
 void hitSlow(Site S);
 } // namespace detail
 
 /// Checkpoint call, placed next to the budget checkpoints.  No-op unless
-/// a plan is armed on this thread.
+/// a plan is armed on this thread or process-wide.
 inline void hit(Site S) {
-  if (detail::Armed)
+  if (detail::Armed || detail::GlobalArmed.load(std::memory_order_relaxed))
     detail::hitSlow(S);
 }
 

@@ -1,0 +1,242 @@
+#!/usr/bin/env bash
+#
+# Chaos soak for the c4bd daemon.  Fires N concurrent clients at a live
+# daemon with a random mix of analyzes, queries, stats, injected analysis
+# faults, wedged requests, and mid-request client kills, then gates on:
+#
+#   1. the daemon process never crashes (alive throughout, and a SIGTERM
+#      at the end drains and exits 0 — under ASan/UBSan that also means
+#      no leaks or UB on any exercised path);
+#   2. every successful analyze during the storm, and a final re-analyze
+#      of every module afterwards, reports bounds bit-identical to the
+#      one-shot `c4b` CLI;
+#   3. injected faults surface as their typed per-request exit codes,
+#      never as anything fatal.
+#
+# usage: chaos_soak.sh [BUILD_DIR] [CLIENTS] [ITERS]
+
+set -u
+
+BUILD=${1:-build}
+CLIENTS=${2:-4}
+ITERS=${3:-12}
+C4BD="$BUILD/examples/c4bd"
+CLIENT="$BUILD/examples/c4b-client"
+C4B="$BUILD/examples/c4b"
+
+for bin in "$C4BD" "$CLIENT" "$C4B"; do
+  if [ ! -x "$bin" ]; then
+    echo "chaos_soak: missing binary $bin (build the examples first)" >&2
+    exit 2
+  fi
+done
+
+WORK=$(mktemp -d /tmp/c4b_chaos.XXXXXX)
+SOCK="$WORK/c4bd.sock"
+DAEMON_PID=
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ]; then
+    kill -9 "$DAEMON_PID" 2>/dev/null
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "chaos_soak: FAIL: $*" >&2
+  echo "--- c4bd.log ---" >&2
+  cat "$WORK/c4bd.log" >&2 || true
+  exit 1
+}
+
+# --- test modules ------------------------------------------------------
+
+cat > "$WORK/chain.c4b" <<'EOF'
+int h(int n) {
+  while (n > 0) { n = n - 1; tick(1); }
+  return n;
+}
+int g(int m) {
+  int r;
+  r = h(m);
+  tick(1);
+  return r;
+}
+int f(int x) {
+  int r;
+  r = g(x);
+  return r;
+}
+EOF
+
+cat > "$WORK/loop.c4b" <<'EOF'
+int count(int n) {
+  while (n > 0) { n = n - 1; tick(1); }
+  return n;
+}
+EOF
+
+cat > "$WORK/two.c4b" <<'EOF'
+int inner(int n) {
+  while (n > 0) { n = n - 1; tick(2); }
+  return n;
+}
+int outer(int x) {
+  int r;
+  r = inner(x);
+  tick(3);
+  return r;
+}
+EOF
+
+MODULES="chain loop two"
+
+# Function/bound lines only, whitespace-normalized, so the one-shot CLI
+# and the daemon client compare exactly.
+bounds_of() { grep -v '^;' | tr -s ' ' | sed 's/ *$//' | sort; }
+
+for m in $MODULES; do
+  raw=$("$C4B" "$WORK/$m.c4b" 2>/dev/null) ||
+    fail "one-shot CLI failed on $m"
+  printf '%s\n' "$raw" | bounds_of > "$WORK/$m.oracle"
+done
+
+# --- daemon ------------------------------------------------------------
+
+"$C4BD" --socket "$SOCK" --workers 3 --max-queue 6 --watchdog-ms 3000 \
+        --cache-dir "$WORK/cache" --summary-dir "$WORK/sums" \
+        --test-commands > "$WORK/c4bd.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "daemon did not come up"
+
+# --- the storm ---------------------------------------------------------
+
+pick_module() { # pick_module N -> module name
+  case $(( $1 % 3 )) in
+    0) echo chain ;;
+    1) echo loop ;;
+    *) echo two ;;
+  esac
+}
+
+soak_client() { # soak_client SEED
+  local seed=$1 i m rc raw out
+  for i in $(seq "$ITERS"); do
+    m=$(pick_module $(( seed + i )))
+    case $(( (seed * 7 + i * 3) % 8 )) in
+      0|1|2)
+        # Plain analyze: success must match the oracle; a typed Overloaded
+        # (4) under the storm is legitimate back-pressure.
+        raw=$("$CLIENT" --socket "$SOCK" analyze "$WORK/$m.c4b" --name "$m" \
+                2>/dev/null)
+        rc=$?
+        if [ "$rc" = 0 ]; then
+          out=$(printf '%s\n' "$raw" | bounds_of)
+          if [ "$out" != "$(cat "$WORK/$m.oracle")" ]; then
+            echo "analyze $m bounds diverged from one-shot CLI" \
+              >> "$WORK/fail.$seed"
+          fi
+        elif [ "$rc" != 4 ]; then
+          echo "analyze $m: unexpected exit $rc" >> "$WORK/fail.$seed"
+        fi
+        ;;
+      3)
+        # Injected pivot fault: typed LpBudgetExceeded (12), or typed
+        # Overloaded (4) if admission rejected us first.  The module must
+        # be fresh source — a warm cache hit would answer without running
+        # the analysis the fault is armed in.
+        cat > "$WORK/inj_${seed}_${i}.c4b" <<EOF
+int w(int n) {
+  while (n > 0) { n = n - 1; tick($(( seed * 100 + i ))); }
+  return n;
+}
+EOF
+        "$CLIENT" --socket "$SOCK" analyze "$WORK/inj_${seed}_${i}.c4b" \
+          --name "inj-$seed-$i" --inject pivot >/dev/null 2>&1
+        rc=$?
+        if [ "$rc" != 12 ] && [ "$rc" != 4 ]; then
+          echo "inject pivot: expected exit 12 (or 4), got $rc" \
+            >> "$WORK/fail.$seed"
+        fi
+        ;;
+      4)
+        # Client killed mid-request: the daemon must shrug it off.
+        "$CLIENT" --socket "$SOCK" analyze "$WORK/$m.c4b" --name "$m" \
+          --hang-ms 1000 >/dev/null 2>&1 &
+        local cpid=$!
+        sleep 0.1
+        kill -9 "$cpid" 2>/dev/null
+        wait "$cpid" 2>/dev/null
+        ;;
+      5)
+        "$CLIENT" --socket "$SOCK" stats >/dev/null 2>&1
+        rc=$?
+        if [ "$rc" != 0 ] && [ "$rc" != 4 ]; then
+          echo "stats: unexpected exit $rc" >> "$WORK/fail.$seed"
+        fi
+        ;;
+      *)
+        # Query: ok (0), unknown-yet (3), or overloaded (4).
+        "$CLIENT" --socket "$SOCK" query "$m" >/dev/null 2>&1
+        rc=$?
+        if [ "$rc" != 0 ] && [ "$rc" != 3 ] && [ "$rc" != 4 ]; then
+          echo "query $m: unexpected exit $rc" >> "$WORK/fail.$seed"
+        fi
+        ;;
+    esac
+    kill -0 "$DAEMON_PID" 2>/dev/null ||
+      { echo "daemon died mid-soak" >> "$WORK/fail.$seed"; return; }
+  done
+}
+
+SOAK_PIDS=
+for c in $(seq "$CLIENTS"); do
+  soak_client "$c" &
+  SOAK_PIDS="$SOAK_PIDS $!"
+done
+wait $SOAK_PIDS
+
+if cat "$WORK"/fail.* 2>/dev/null | grep .; then
+  fail "client assertions failed (above)"
+fi
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon not alive after the storm"
+
+# --- differential + graceful drain ------------------------------------
+
+# The storm is over: every module must analyze to the exact one-shot
+# bounds (give in-flight wedged requests a moment to clear first).
+sleep 1.5
+for m in $MODULES; do
+  raw=$("$CLIENT" --socket "$SOCK" analyze "$WORK/$m.c4b" --name "$m" \
+          2>/dev/null) || fail "post-soak analyze of $m failed"
+  out=$(printf '%s\n' "$raw" | bounds_of)
+  if [ "$out" != "$(cat "$WORK/$m.oracle")" ]; then
+    diff <(echo "$out") "$WORK/$m.oracle" >&2 || true
+    fail "post-soak bounds of $m diverge from the one-shot CLI"
+  fi
+done
+
+"$CLIENT" --socket "$SOCK" stats | sed 's/^/chaos_soak: stats: /'
+
+kill -TERM "$DAEMON_PID"
+DRAIN_RC=
+for _ in $(seq 100); do
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    wait "$DAEMON_PID"
+    DRAIN_RC=$?
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$DRAIN_RC" ] || fail "daemon did not exit within 10s of SIGTERM"
+[ "$DRAIN_RC" = 0 ] || fail "daemon exited $DRAIN_RC after SIGTERM drain"
+DAEMON_PID=
+
+echo "chaos_soak: PASS ($CLIENTS clients x $ITERS iterations, zero crashes," \
+     "bounds identical to one-shot CLI)"

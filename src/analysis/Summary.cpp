@@ -10,6 +10,7 @@
 
 #include "c4b/analysis/Summary.h"
 
+#include "c4b/support/DurableFile.h"
 #include "c4b/support/FaultInject.h"
 #include "c4b/support/Hash.h"
 
@@ -363,20 +364,12 @@ const SCCSummary *SummaryStore::store(SCCSummary S) {
   ++Stats.Stores;
   if (Dir.empty())
     return &It->second;
+  // Durable temp + fsync + rename (DurableFile.h); a failed flush only
+  // loses the disk mirror — the memory store stands.
   std::string Path = entryPath(Key);
   std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out)
-      return &It->second; // Memory store stands; the disk is best-effort.
-    Out << It->second.serialize();
-    if (!Out.flush())
-      return &It->second;
-  }
-  std::error_code EC;
-  std::filesystem::rename(Tmp, Path, EC);
-  if (EC)
-    std::filesystem::remove(Tmp, EC);
+  if (!writeFileDurable(Path, Tmp, It->second.serialize()))
+    ++Stats.FlushFailures;
   return &It->second;
 }
 

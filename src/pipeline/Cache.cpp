@@ -3,6 +3,7 @@
 #include "c4b/pipeline/Cache.h"
 
 #include "c4b/pipeline/Pipeline.h"
+#include "c4b/support/DurableFile.h"
 #include "c4b/support/FaultInject.h"
 
 #include <cstdio>
@@ -477,23 +478,15 @@ bool AnalysisCache::store(std::uint64_t Key, const CacheEntry &E) {
   ++Stats.Stores;
   if (Dir.empty())
     return true;
-  // Temp file + rename so a concurrent reader (or a killed run) never sees
-  // a half-written entry; the pid keeps sibling processes sharing one
-  // directory off each other's temp files.
+  // Durable temp + fsync + rename (DurableFile.h) so a concurrent reader,
+  // a killed run, or a power cut never sees a half-written entry; the pid
+  // keeps sibling processes sharing one directory off each other's temp
+  // files.  A failed flush (disk full, injected Site::CacheFlush fault)
+  // only loses durability: the memory store stands.
   std::string Path = entryPath(Key);
   std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out)
-      return true; // Memory store stands; the disk is best-effort.
-    Out << E.serialize(Key);
-    if (!Out.flush())
-      return true;
-  }
-  std::error_code EC;
-  std::filesystem::rename(Tmp, Path, EC);
-  if (EC)
-    std::filesystem::remove(Tmp, EC);
+  if (!writeFileDurable(Path, Tmp, E.serialize(Key)))
+    ++Stats.FlushFailures;
   return true;
 }
 

@@ -1,0 +1,106 @@
+//===--- Client.cpp - Blocking c4bd client --------------------------------===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace c4b {
+namespace service {
+
+Client::Client(std::string SocketPath, int TimeoutMs)
+    : Path(std::move(SocketPath)), TimeoutMs(TimeoutMs) {}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connect(std::string *Err) {
+  if (Fd >= 0)
+    return true;
+  if (Path.empty() || Path.size() >= 100) {
+    if (Err)
+      *Err = "socket path empty or too long";
+    return false;
+  }
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof(Addr)) < 0) {
+    if (Err)
+      *Err = std::string("connect ") + Path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+CallResult Client::call(const Request &R) {
+  CallResult Out;
+  std::string Err;
+  if (!connect(&Err)) {
+    Out.TransportExit = exitcode::ConnectFailed;
+    Out.TransportError = Err;
+    return Out;
+  }
+
+  IoStatus S = writeFrame(Fd, R.encode(), TimeoutMs);
+  if (S != IoStatus::Ok && S != IoStatus::Closed) {
+    close();
+    Out.TransportExit = S == IoStatus::Timeout ? exitcode::Timeout
+                                               : exitcode::ProtocolError;
+    Out.TransportError =
+        std::string("request write failed: ") + ioStatusName(S);
+    return Out;
+  }
+  // On Closed, fall through to the read: a server that rejects a
+  // connection (Overloaded, Draining) writes its typed response and
+  // closes immediately, which can race our request write — the response
+  // frame is still sitting in the receive buffer.
+
+  std::string Payload;
+  S = readFrame(Fd, Payload, TimeoutMs);
+  if (S != IoStatus::Ok) {
+    close();
+    Out.TransportExit = S == IoStatus::Timeout ? exitcode::Timeout
+                                               : exitcode::ProtocolError;
+    Out.TransportError =
+        std::string("response read failed: ") + ioStatusName(S);
+    return Out;
+  }
+
+  std::string DecodeErr;
+  auto Resp = Response::decode(Payload, &DecodeErr);
+  if (!Resp) {
+    close();
+    Out.TransportExit = exitcode::ProtocolError;
+    Out.TransportError = "bad response frame: " + DecodeErr;
+    return Out;
+  }
+  Out.Resp = std::move(*Resp);
+  return Out;
+}
+
+} // namespace service
+} // namespace c4b

@@ -1,0 +1,707 @@
+//===--- Protocol.cpp - c4bd wire protocol --------------------------------===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/service/Protocol.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace c4b {
+namespace service {
+
+//===----------------------------------------------------------------------===//
+// JsonValue
+//===----------------------------------------------------------------------===//
+
+JsonValue JsonValue::boolean(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+JsonValue JsonValue::number(double N) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Num = N;
+  return V;
+}
+
+JsonValue JsonValue::str(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue V;
+  V.K = Kind::Array;
+  return V;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue V;
+  V.K = Kind::Object;
+  return V;
+}
+
+bool JsonValue::asBool(bool Def) const { return K == Kind::Bool ? B : Def; }
+
+double JsonValue::asNumber(double Def) const {
+  return K == Kind::Number ? Num : Def;
+}
+
+const std::string &JsonValue::asString(const std::string &Def) const {
+  return K == Kind::String ? Str : Def;
+}
+
+const JsonValue *JsonValue::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &M : Obj)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+JsonValue &JsonValue::set(const std::string &Key, JsonValue V) {
+  if (K == Kind::Null)
+    K = Kind::Object;
+  for (auto &M : Obj)
+    if (M.first == Key) {
+      M.second = std::move(V);
+      return *this;
+    }
+  Obj.emplace_back(Key, std::move(V));
+  return *this;
+}
+
+JsonValue &JsonValue::push(JsonValue V) {
+  if (K == Kind::Null)
+    K = Kind::Array;
+  Arr.push_back(std::move(V));
+  return *this;
+}
+
+namespace {
+
+void escapeInto(const std::string &S, std::string &Out) {
+  Out.push_back('"');
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+void numberInto(double N, std::string &Out) {
+  if (std::isfinite(N) && N == std::floor(N) && std::fabs(N) < 9e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(N));
+    Out += Buf;
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", N);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string JsonValue::dump() const {
+  std::string Out;
+  switch (K) {
+  case Kind::Null:
+    Out = "null";
+    break;
+  case Kind::Bool:
+    Out = B ? "true" : "false";
+    break;
+  case Kind::Number:
+    numberInto(Num, Out);
+    break;
+  case Kind::String:
+    escapeInto(Str, Out);
+    break;
+  case Kind::Array: {
+    Out.push_back('[');
+    bool First = true;
+    for (const JsonValue &V : Arr) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      Out += V.dump();
+    }
+    Out.push_back(']');
+    break;
+  }
+  case Kind::Object: {
+    Out.push_back('{');
+    bool First = true;
+    for (const auto &M : Obj) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      escapeInto(M.first, Out);
+      Out.push_back(':');
+      Out += M.second.dump();
+    }
+    Out.push_back('}');
+    break;
+  }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Recursive-descent parser over one text buffer.  Depth is capped so
+/// hostile nesting cannot blow the worker's stack.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Err)
+      : Text(Text), Err(Err) {}
+
+  std::optional<JsonValue> run() {
+    skipWs();
+    JsonValue V;
+    if (!value(V, 0))
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing bytes after document");
+    return V;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  const std::string &Text;
+  std::string *Err;
+  std::size_t Pos = 0;
+
+  std::optional<JsonValue> fail(const char *Why) {
+    if (Err)
+      *Err = std::string(Why) + " at byte " + std::to_string(Pos);
+    return std::nullopt;
+  }
+  bool failB(const char *Why) {
+    fail(Why);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    std::size_t N = std::strlen(Lit);
+    if (Text.compare(Pos, N, Lit) != 0)
+      return failB("bad literal");
+    Pos += N;
+    return true;
+  }
+
+  bool string(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return failB("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (++Pos >= Text.size())
+          return failB("dangling escape");
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+          Out.push_back('"');
+          break;
+        case '\\':
+          Out.push_back('\\');
+          break;
+        case '/':
+          Out.push_back('/');
+          break;
+        case 'n':
+          Out.push_back('\n');
+          break;
+        case 'r':
+          Out.push_back('\r');
+          break;
+        case 't':
+          Out.push_back('\t');
+          break;
+        case 'b':
+          Out.push_back('\b');
+          break;
+        case 'f':
+          Out.push_back('\f');
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return failB("short \\u escape");
+          unsigned V = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos + static_cast<std::size_t>(I)];
+            V <<= 4;
+            if (H >= '0' && H <= '9')
+              V |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              V |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              V |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return failB("bad \\u escape");
+          }
+          Pos += 4;
+          // The protocol only emits \u00XX for control bytes; decode the
+          // BMP point as UTF-8 for completeness.
+          if (V < 0x80) {
+            Out.push_back(static_cast<char>(V));
+          } else if (V < 0x800) {
+            Out.push_back(static_cast<char>(0xC0 | (V >> 6)));
+            Out.push_back(static_cast<char>(0x80 | (V & 0x3F)));
+          } else {
+            Out.push_back(static_cast<char>(0xE0 | (V >> 12)));
+            Out.push_back(static_cast<char>(0x80 | ((V >> 6) & 0x3F)));
+            Out.push_back(static_cast<char>(0x80 | (V & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return failB("unknown escape");
+        }
+        continue;
+      }
+      Out.push_back(C);
+      ++Pos;
+    }
+    return failB("unterminated string");
+  }
+
+  bool number(double &Out) {
+    std::size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
+            Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return failB("expected number");
+    std::string Tok = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    Out = std::strtod(Tok.c_str(), &End);
+    if (End != Tok.c_str() + Tok.size())
+      return failB("malformed number");
+    return true;
+  }
+
+  bool value(JsonValue &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return failB("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return failB("unexpected end of input");
+    char C = Text[Pos];
+    if (C == 'n') {
+      if (!literal("null"))
+        return false;
+      Out = JsonValue();
+      return true;
+    }
+    if (C == 't') {
+      if (!literal("true"))
+        return false;
+      Out = JsonValue::boolean(true);
+      return true;
+    }
+    if (C == 'f') {
+      if (!literal("false"))
+        return false;
+      Out = JsonValue::boolean(false);
+      return true;
+    }
+    if (C == '"') {
+      std::string S;
+      if (!string(S))
+        return false;
+      Out = JsonValue::str(std::move(S));
+      return true;
+    }
+    if (C == '[') {
+      ++Pos;
+      Out = JsonValue::array();
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        JsonValue Elem;
+        if (!value(Elem, Depth + 1))
+          return false;
+        Out.push(std::move(Elem));
+        skipWs();
+        if (Pos >= Text.size())
+          return failB("unterminated array");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return failB("expected , or ]");
+      }
+    }
+    if (C == '{') {
+      ++Pos;
+      Out = JsonValue::object();
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!string(Key))
+          return false;
+        skipWs();
+        if (Pos >= Text.size() || Text[Pos] != ':')
+          return failB("expected :");
+        ++Pos;
+        JsonValue Member;
+        if (!value(Member, Depth + 1))
+          return false;
+        Out.set(Key, std::move(Member));
+        skipWs();
+        if (Pos >= Text.size())
+          return failB("unterminated object");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return failB("expected , or }");
+      }
+    }
+    double N = 0;
+    if (!number(N))
+      return false;
+    Out = JsonValue::number(N);
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<JsonValue> JsonValue::parse(const std::string &Text,
+                                          std::string *Err) {
+  return Parser(Text, Err).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+const char *ioStatusName(IoStatus S) {
+  switch (S) {
+  case IoStatus::Ok:
+    return "ok";
+  case IoStatus::Timeout:
+    return "timeout";
+  case IoStatus::Closed:
+    return "closed";
+  case IoStatus::TooLarge:
+    return "frame-too-large";
+  case IoStatus::Error:
+    return "io-error";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left of a total-time budget; -1 for "infinite", 0 when
+/// exhausted.
+int remainingMs(Clock::time_point Deadline, bool Infinite) {
+  if (Infinite)
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Deadline - Clock::now())
+                  .count();
+  return Left <= 0 ? 0 : static_cast<int>(Left);
+}
+
+IoStatus readExact(int Fd, char *Buf, std::size_t N,
+                   Clock::time_point Deadline, bool Infinite) {
+  std::size_t Got = 0;
+  while (Got < N) {
+    int Left = remainingMs(Deadline, Infinite);
+    if (Left == 0)
+      return IoStatus::Timeout;
+    struct pollfd P = {Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, Left);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoStatus::Error;
+    }
+    if (R == 0)
+      return IoStatus::Timeout;
+    ssize_t K = ::recv(Fd, Buf + Got, N - Got, 0);
+    if (K == 0)
+      return IoStatus::Closed;
+    if (K < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return IoStatus::Error;
+    }
+    Got += static_cast<std::size_t>(K);
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus writeExact(int Fd, const char *Buf, std::size_t N,
+                    Clock::time_point Deadline, bool Infinite) {
+  std::size_t Put = 0;
+  while (Put < N) {
+    int Left = remainingMs(Deadline, Infinite);
+    if (Left == 0)
+      return IoStatus::Timeout;
+    struct pollfd P = {Fd, POLLOUT, 0};
+    int R = ::poll(&P, 1, Left);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoStatus::Error;
+    }
+    if (R == 0)
+      return IoStatus::Timeout;
+    ssize_t K = ::send(Fd, Buf + Put, N - Put, MSG_NOSIGNAL);
+    if (K < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        return IoStatus::Closed;
+      return IoStatus::Error;
+    }
+    Put += static_cast<std::size_t>(K);
+  }
+  return IoStatus::Ok;
+}
+
+} // namespace
+
+IoStatus readFrame(int Fd, std::string &Out, int TimeoutMs) {
+  bool Infinite = TimeoutMs <= 0;
+  auto Deadline = Clock::now() + std::chrono::milliseconds(
+                                     Infinite ? 0 : TimeoutMs);
+  unsigned char Hdr[4];
+  IoStatus S =
+      readExact(Fd, reinterpret_cast<char *>(Hdr), 4, Deadline, Infinite);
+  if (S != IoStatus::Ok)
+    return S;
+  std::uint32_t Len = (static_cast<std::uint32_t>(Hdr[0]) << 24) |
+                      (static_cast<std::uint32_t>(Hdr[1]) << 16) |
+                      (static_cast<std::uint32_t>(Hdr[2]) << 8) |
+                      static_cast<std::uint32_t>(Hdr[3]);
+  if (Len > MaxFrameBytes)
+    return IoStatus::TooLarge;
+  Out.resize(Len);
+  if (Len == 0)
+    return IoStatus::Ok;
+  return readExact(Fd, &Out[0], Len, Deadline, Infinite);
+}
+
+IoStatus writeFrame(int Fd, const std::string &Payload, int TimeoutMs) {
+  if (Payload.size() > MaxFrameBytes)
+    return IoStatus::TooLarge;
+  bool Infinite = TimeoutMs <= 0;
+  auto Deadline = Clock::now() + std::chrono::milliseconds(
+                                     Infinite ? 0 : TimeoutMs);
+  std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
+  unsigned char Hdr[4] = {static_cast<unsigned char>(Len >> 24),
+                          static_cast<unsigned char>(Len >> 16),
+                          static_cast<unsigned char>(Len >> 8),
+                          static_cast<unsigned char>(Len)};
+  IoStatus S = writeExact(Fd, reinterpret_cast<const char *>(Hdr), 4,
+                          Deadline, Infinite);
+  if (S != IoStatus::Ok)
+    return S;
+  return writeExact(Fd, Payload.data(), Payload.size(), Deadline, Infinite);
+}
+
+//===----------------------------------------------------------------------===//
+// Requests and responses
+//===----------------------------------------------------------------------===//
+
+std::string Request::encode() const {
+  JsonValue O = JsonValue::object();
+  O.set("cmd", JsonValue::str(Cmd));
+  if (!Name.empty())
+    O.set("name", JsonValue::str(Name));
+  if (!Source.empty())
+    O.set("source", JsonValue::str(Source));
+  if (!Focus.empty())
+    O.set("focus", JsonValue::str(Focus));
+  if (!Function.empty())
+    O.set("function", JsonValue::str(Function));
+  if (!InjectSite.empty()) {
+    O.set("inject_site", JsonValue::str(InjectSite));
+    O.set("inject_after", JsonValue::number(static_cast<double>(InjectAfter)));
+  }
+  if (HangMs > 0)
+    O.set("hang_ms", JsonValue::number(static_cast<double>(HangMs)));
+  return O.dump();
+}
+
+std::optional<Request> Request::decode(const std::string &Payload,
+                                       std::string *Err) {
+  auto V = JsonValue::parse(Payload, Err);
+  if (!V)
+    return std::nullopt;
+  if (!V->isObject()) {
+    if (Err)
+      *Err = "request is not an object";
+    return std::nullopt;
+  }
+  static const std::string Empty;
+  Request R;
+  if (const JsonValue *F = V->get("cmd"))
+    R.Cmd = F->asString(Empty);
+  if (R.Cmd.empty()) {
+    if (Err)
+      *Err = "missing cmd";
+    return std::nullopt;
+  }
+  if (const JsonValue *F = V->get("name"))
+    R.Name = F->asString(Empty);
+  if (const JsonValue *F = V->get("source"))
+    R.Source = F->asString(Empty);
+  if (const JsonValue *F = V->get("focus"))
+    R.Focus = F->asString(Empty);
+  if (const JsonValue *F = V->get("function"))
+    R.Function = F->asString(Empty);
+  if (const JsonValue *F = V->get("inject_site"))
+    R.InjectSite = F->asString(Empty);
+  if (const JsonValue *F = V->get("inject_after"))
+    R.InjectAfter = static_cast<long>(F->asNumber(1));
+  if (const JsonValue *F = V->get("hang_ms"))
+    R.HangMs = static_cast<long>(F->asNumber(0));
+  return R;
+}
+
+std::string Response::encode() const {
+  JsonValue O = JsonValue::object();
+  O.set("ok", JsonValue::boolean(Ok));
+  if (!Error.empty())
+    O.set("error", JsonValue::str(Error));
+  if (!ErrKind.empty())
+    O.set("kind", JsonValue::str(ErrKind));
+  O.set("exit_code", JsonValue::number(ExitCode));
+  if (!Bounds.empty()) {
+    JsonValue B = JsonValue::object();
+    for (const auto &KV : Bounds)
+      B.set(KV.first, JsonValue::str(KV.second));
+    O.set("bounds", std::move(B));
+  }
+  if (Degraded)
+    O.set("degraded", JsonValue::boolean(true));
+  if (FromCache)
+    O.set("from_cache", JsonValue::boolean(true));
+  if (!Counters.empty()) {
+    JsonValue C = JsonValue::object();
+    for (const auto &KV : Counters)
+      C.set(KV.first, JsonValue::number(KV.second));
+    O.set("counters", std::move(C));
+  }
+  return O.dump();
+}
+
+std::optional<Response> Response::decode(const std::string &Payload,
+                                         std::string *Err) {
+  auto V = JsonValue::parse(Payload, Err);
+  if (!V)
+    return std::nullopt;
+  if (!V->isObject()) {
+    if (Err)
+      *Err = "response is not an object";
+    return std::nullopt;
+  }
+  static const std::string Empty;
+  Response R;
+  if (const JsonValue *F = V->get("ok"))
+    R.Ok = F->asBool(false);
+  if (const JsonValue *F = V->get("error"))
+    R.Error = F->asString(Empty);
+  if (const JsonValue *F = V->get("kind"))
+    R.ErrKind = F->asString(Empty);
+  if (const JsonValue *F = V->get("exit_code"))
+    R.ExitCode = static_cast<int>(F->asNumber(0));
+  if (const JsonValue *F = V->get("degraded"))
+    R.Degraded = F->asBool(false);
+  if (const JsonValue *F = V->get("from_cache"))
+    R.FromCache = F->asBool(false);
+  if (const JsonValue *B = V->get("bounds"); B && B->isObject())
+    for (const auto &M : B->members())
+      R.Bounds[M.first] = M.second.asString(Empty);
+  if (const JsonValue *C = V->get("counters"); C && C->isObject())
+    for (const auto &M : C->members())
+      R.Counters[M.first] = M.second.asNumber(0);
+  return R;
+}
+
+} // namespace service
+} // namespace c4b

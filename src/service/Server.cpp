@@ -1,0 +1,712 @@
+//===--- Server.cpp - The c4bd analysis daemon ----------------------------===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/service/Server.h"
+
+#include "c4b/pipeline/Batch.h"
+#include "c4b/support/FaultInject.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace c4b {
+namespace service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double nowSeconds() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Waits for readability; false on timeout.  \p Stop aborts the wait in
+/// <=100ms slices so a draining daemon does not sit out a long idle
+/// window.
+bool pollIn(int Fd, int TimeoutMs, const std::atomic<bool> &Stop) {
+  auto Deadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
+  while (true) {
+    if (Stop.load(std::memory_order_acquire))
+      return false;
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Deadline - Clock::now())
+                    .count();
+    if (Left <= 0)
+      return false;
+    int Slice = Left > 100 ? 100 : static_cast<int>(Left);
+    struct pollfd P = {Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, Slice);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (R > 0)
+      return true;
+  }
+}
+
+/// The error kind an injected fault at \p S surfaces as when the request
+/// does not pick one: the kind that site's governed loop raises for real.
+AnalysisErrorKind defaultKindFor(faultinject::Site S) {
+  using faultinject::Site;
+  switch (S) {
+  case Site::Parse:
+    return AnalysisErrorKind::ParseError;
+  case Site::Verify:
+    return AnalysisErrorKind::MalformedIR;
+  case Site::Constraint:
+  case Site::Pivot:
+    return AnalysisErrorKind::LpBudgetExceeded;
+  case Site::FixpointPass:
+    return AnalysisErrorKind::DeadlineExceeded;
+  case Site::BigIntAlloc:
+    return AnalysisErrorKind::CoefficientOverflow;
+  case Site::CacheLoad:
+  case Site::CostSlice:
+  case Site::Accept:
+  case Site::RequestRead:
+  case Site::Dispatch:
+  case Site::CacheFlush:
+    return AnalysisErrorKind::InternalInvariant;
+  }
+  return AnalysisErrorKind::InternalInvariant;
+}
+
+Response errorResponse(std::string Kind, std::string Msg, int ExitCode) {
+  Response R;
+  R.Ok = false;
+  R.ErrKind = std::move(Kind);
+  R.Error = std::move(Msg);
+  R.ExitCode = ExitCode;
+  return R;
+}
+
+/// One entry of a recovery scan: parses the 16-hex-digit content key out
+/// of a `<key>.<suffix>` filename; false for foreign files.
+bool parseKeyFromName(const std::string &Name, const std::string &Suffix,
+                      std::uint64_t &Key) {
+  if (Name.size() != 16 + Suffix.size() ||
+      Name.compare(16, std::string::npos, Suffix) != 0)
+    return false;
+  Key = 0;
+  for (int I = 0; I < 16; ++I) {
+    char C = Name[static_cast<std::size_t>(I)];
+    Key <<= 4;
+    if (C >= '0' && C <= '9')
+      Key |= static_cast<std::uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Key |= static_cast<std::uint64_t>(C - 'a' + 10);
+    else
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+BoundsServer::BoundsServer(ServerOptions O) : Opts(std::move(O)) {
+  Cache = std::make_shared<AnalysisCache>(Opts.CacheDir);
+  Summaries = std::make_shared<SummaryStore>(Opts.SummaryDir);
+}
+
+BoundsServer::~BoundsServer() {
+  requestShutdown();
+  wait();
+}
+
+bool BoundsServer::start(std::string *Err) {
+  if (Running.load(std::memory_order_acquire))
+    return true;
+  if (Opts.SocketPath.empty() || Opts.SocketPath.size() >= 100) {
+    if (Err)
+      *Err = "socket path empty or too long for sun_path";
+    return false;
+  }
+
+  runRecoveryScan();
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(Opts.SocketPath.c_str());
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  if (::bind(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) < 0 ||
+      ::listen(ListenFd, 64) < 0) {
+    if (Err)
+      *Err = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (::pipe(WakePipe) < 0) {
+    if (Err)
+      *Err = std::string("pipe: ") + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+
+  Running.store(true, std::memory_order_release);
+  Draining.store(false, std::memory_order_release);
+  ShuttingDown.store(false, std::memory_order_release);
+
+  if (Opts.NumWorkers < 1)
+    Opts.NumWorkers = 1;
+  WorkerStates.clear();
+  for (int I = 0; I < Opts.NumWorkers; ++I)
+    WorkerStates.push_back(std::make_unique<WorkerState>());
+  Acceptor = std::thread([this] { acceptorLoop(); });
+  for (int I = 0; I < Opts.NumWorkers; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+  if (Opts.WatchdogSeconds > 0)
+    Watchdog = std::thread([this] { watchdogLoop(); });
+  return true;
+}
+
+void BoundsServer::wait() {
+  if (Acceptor.joinable())
+    Acceptor.join();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Workers.clear();
+  if (Watchdog.joinable())
+    Watchdog.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+  }
+  for (int &Fd : WakePipe)
+    if (Fd >= 0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+  // Any still-queued connections are orphans of a shutdown race: close
+  // them so clients see EOF instead of a hang.
+  std::lock_guard<std::mutex> L(QueueMu);
+  for (int Fd : Pending)
+    ::close(Fd);
+  Pending.clear();
+  Running.store(false, std::memory_order_release);
+}
+
+void BoundsServer::wakeAcceptor() {
+  if (WakePipe[1] >= 0) {
+    char C = 'w';
+    // Best effort; the acceptor also polls on a short slice.
+    (void)!::write(WakePipe[1], &C, 1);
+  }
+}
+
+void BoundsServer::requestDrain() {
+  Draining.store(true, std::memory_order_release);
+  wakeAcceptor();
+}
+
+void BoundsServer::requestShutdown() {
+  Draining.store(true, std::memory_order_release);
+  ShuttingDown.store(true, std::memory_order_release);
+  wakeAcceptor();
+}
+
+ServerStats BoundsServer::stats() const {
+  std::lock_guard<std::mutex> L(StatsMu);
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Crash recovery
+//===----------------------------------------------------------------------===//
+
+void BoundsServer::runRecoveryScan() {
+  auto ScanDir = [this](const std::string &Dir, const std::string &Suffix,
+                        bool IsCache, long &Ok, long &Quarantined,
+                        long &Stale) {
+    if (Dir.empty())
+      return;
+    DIR *D = ::opendir(Dir.c_str());
+    if (!D)
+      return; // No directory yet: first run, nothing to recover.
+    while (struct dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name == "." || Name == "..")
+        continue;
+      std::string Path = Dir + "/" + Name;
+      if (Name.find(".tmp.") != std::string::npos) {
+        // A writer died between open and rename; the real entry (if any)
+        // is intact, the temp is garbage.
+        if (::unlink(Path.c_str()) == 0)
+          ++Recovery.TmpReaped;
+        continue;
+      }
+      std::uint64_t Key = 0;
+      if (!parseKeyFromName(Name, Suffix, Key))
+        continue;
+      std::ifstream In(Path, std::ios::binary);
+      std::string Text((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+      bool IsStale = false;
+      bool Intact;
+      if (IsCache)
+        Intact = CacheEntry::deserialize(Text, Key, &IsStale).has_value();
+      else
+        Intact = SCCSummary::deserialize(Text, Key, &IsStale).has_value();
+      if (Intact) {
+        ++Ok;
+      } else if (IsStale) {
+        ++Stale; // Clean miss at lookup time; leave it for inspection.
+      } else {
+        ++Quarantined;
+        std::string Q = Path + ".quarantine";
+        if (::rename(Path.c_str(), Q.c_str()) != 0)
+          ::unlink(Path.c_str()); // Unrenameable garbage: drop it.
+      }
+    }
+    ::closedir(D);
+  };
+  ScanDir(Opts.CacheDir, ".c4bcache", true, Recovery.CacheEntriesOk,
+          Recovery.CacheQuarantined, Recovery.CacheStale);
+  ScanDir(Opts.SummaryDir, ".c4bsum", false, Recovery.SummaryEntriesOk,
+          Recovery.SummaryQuarantined, Recovery.SummaryStale);
+}
+
+//===----------------------------------------------------------------------===//
+// Acceptor
+//===----------------------------------------------------------------------===//
+
+void BoundsServer::acceptorLoop() {
+  while (!ShuttingDown.load(std::memory_order_acquire)) {
+    struct pollfd Ps[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    int R = ::poll(Ps, 2, 100);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Ps[1].revents & POLLIN) {
+      char Buf[16];
+      (void)!::read(WakePipe[0], Buf, sizeof(Buf));
+    }
+    if (!(Ps[0].revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+
+    try {
+      faultinject::hit(faultinject::Site::Accept);
+    } catch (const AbortError &) {
+      // The injected accept fault models a transient acceptor error:
+      // this connection is lost, the daemon is not.
+      ::close(Fd);
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.InjectedFaults;
+      continue;
+    }
+
+    if (Draining.load(std::memory_order_acquire)) {
+      Response Rej = errorResponse("Draining", "server is draining",
+                                   exitcode::Draining);
+      (void)writeFrame(Fd, Rej.encode(), Opts.WriteTimeoutMs);
+      ::close(Fd);
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.DrainRejected;
+      continue;
+    }
+
+    bool Admitted = false;
+    {
+      std::lock_guard<std::mutex> L(QueueMu);
+      if (static_cast<int>(Pending.size()) < Opts.MaxQueue) {
+        Pending.push_back(Fd);
+        Admitted = true;
+      }
+    }
+    if (Admitted) {
+      QueueCv.notify_one();
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.Accepted;
+    } else {
+      Response Rej = errorResponse(
+          "Overloaded", "admission queue full; retry later",
+          exitcode::Overloaded);
+      (void)writeFrame(Fd, Rej.encode(), Opts.WriteTimeoutMs);
+      ::close(Fd);
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.Overloaded;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Workers
+//===----------------------------------------------------------------------===//
+
+void BoundsServer::workerLoop(int Index) {
+  WorkerState &St = *WorkerStates[static_cast<std::size_t>(Index)];
+  while (true) {
+    int Fd = -1;
+    {
+      std::unique_lock<std::mutex> L(QueueMu);
+      // wait_for, not wait: requestShutdown is called from signal
+      // handlers and cannot notify a condition variable, so workers poll
+      // the flag on a short period instead.
+      QueueCv.wait_for(L, std::chrono::milliseconds(100), [this] {
+        return !Pending.empty() ||
+               ShuttingDown.load(std::memory_order_acquire);
+      });
+      if (!Pending.empty()) {
+        Fd = Pending.front();
+        Pending.pop_front();
+      } else if (ShuttingDown.load(std::memory_order_acquire)) {
+        return;
+      }
+    }
+    if (Fd >= 0)
+      serveConnection(Fd, St);
+  }
+}
+
+void BoundsServer::serveConnection(int Fd, WorkerState &St) {
+  St.ConnFd.store(Fd, std::memory_order_release);
+  while (true) {
+    if (!pollIn(Fd, Opts.IdleTimeoutMs, ShuttingDown)) {
+      if (!ShuttingDown.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> L(StatsMu);
+        ++Stats.IdleReaped;
+      }
+      break;
+    }
+
+    std::string Payload;
+    IoStatus S = readFrame(Fd, Payload, Opts.ReadTimeoutMs);
+    if (S == IoStatus::Closed)
+      break; // Orderly EOF.
+    if (S == IoStatus::Timeout) {
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.SlowClientDrops;
+      break;
+    }
+    if (S == IoStatus::TooLarge) {
+      Response Rej = errorResponse("BadRequest", "frame exceeds size cap",
+                                   exitcode::BadRequest);
+      (void)writeFrame(Fd, Rej.encode(), Opts.WriteTimeoutMs);
+      {
+        std::lock_guard<std::mutex> L(StatsMu);
+        ++Stats.BadRequests;
+      }
+      break; // The stream is desynchronized; nothing more to read.
+    }
+    if (S != IoStatus::Ok)
+      break;
+
+    try {
+      faultinject::hit(faultinject::Site::RequestRead);
+    } catch (const AbortError &) {
+      // A read-path fault loses this connection, nothing else.
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.InjectedFaults;
+      break;
+    }
+
+    std::string ParseErr;
+    auto Req = Request::decode(Payload, &ParseErr);
+    Response Resp;
+    bool CloseAfter = false;
+    if (!Req) {
+      Resp = errorResponse("BadRequest", "bad request: " + ParseErr,
+                           exitcode::BadRequest);
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.BadRequests;
+    } else {
+      {
+        std::lock_guard<std::mutex> L(StatsMu);
+        ++Stats.Requests;
+      }
+      int Depth;
+      {
+        std::lock_guard<std::mutex> L(QueueMu);
+        Depth = static_cast<int>(Pending.size());
+      }
+      bool Degrade =
+          Opts.DegradeQueueDepth > 0 && Depth >= Opts.DegradeQueueDepth;
+      St.BusySince.store(nowSeconds(), std::memory_order_release);
+      Resp = handleRequest(*Req, Degrade);
+      St.BusySince.store(0, std::memory_order_release);
+      CloseAfter = Req->Cmd == "shutdown";
+    }
+
+    IoStatus W = writeFrame(Fd, Resp.encode(), Opts.WriteTimeoutMs);
+    if (W == IoStatus::Timeout) {
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.SlowClientDrops;
+      break;
+    }
+    if (W != IoStatus::Ok)
+      break;
+    if (CloseAfter || ShuttingDown.load(std::memory_order_acquire))
+      break;
+  }
+  ::close(Fd);
+  St.ConnFd.store(-1, std::memory_order_release);
+  St.BusySince.store(0, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// Request dispatch
+//===----------------------------------------------------------------------===//
+
+Response BoundsServer::handleRequest(const Request &R, bool Degrade) {
+  try {
+    faultinject::hit(faultinject::Site::Dispatch);
+  } catch (const AbortError &E) {
+    {
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.InjectedFaults;
+    }
+    return errorResponse(errorKindName(E.error().Kind), E.error().Message,
+                         exitCodeFor(E.error().Kind));
+  }
+
+  if (R.Cmd == "analyze")
+    return handleAnalyze(R, Degrade);
+  if (R.Cmd == "query")
+    return handleQuery(R);
+  if (R.Cmd == "stats")
+    return handleStats();
+  if (R.Cmd == "drain") {
+    requestDrain();
+    Response Resp;
+    Resp.Ok = true;
+    Resp.Counters["draining"] = 1;
+    return Resp;
+  }
+  if (R.Cmd == "shutdown") {
+    requestShutdown();
+    Response Resp;
+    Resp.Ok = true;
+    Resp.Counters["shutting_down"] = 1;
+    return Resp;
+  }
+  return errorResponse("BadRequest", "unknown cmd: " + R.Cmd,
+                       exitcode::BadRequest);
+}
+
+Response BoundsServer::handleAnalyze(const Request &R, bool Degrade) {
+  if (Opts.EnableTestCommands) {
+    if (R.HangMs > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(R.HangMs));
+    if (!R.InjectSite.empty()) {
+      faultinject::Site Site;
+      if (!faultinject::siteByName(R.InjectSite.c_str(), Site))
+        return errorResponse("BadRequest",
+                             "unknown inject site: " + R.InjectSite,
+                             exitcode::BadRequest);
+      faultinject::arm(Site, R.InjectAfter, defaultKindFor(Site));
+    }
+  }
+
+  BatchJob J;
+  J.Name = R.Name.empty() ? "module" : R.Name;
+  J.Source = R.Source;
+  J.Focus = R.Focus;
+  J.Metric = ResourceMetric::ticks();
+  J.Options.SummaryScheduling = Opts.Scheduling;
+  J.Options.FallbackToRanking = Degrade;
+  J.Options.Budget.DeadlineSeconds = Opts.RequestDeadlineSeconds;
+  J.Options.Budget.MaxPivots = Opts.MaxPivots;
+  J.Options.Budget.MaxConstraints = Opts.MaxConstraints;
+  J.Pipe.Cache = Cache;
+  J.Pipe.Summaries = Summaries;
+
+  // BatchAnalyzer(1) runs the job on this thread (so a thread-locally
+  // armed fault reaches it) with full per-job containment: any abort
+  // becomes a typed result, never an escaped exception.
+  std::vector<BatchItem> Items = BatchAnalyzer(1).run({J});
+  faultinject::disarm(); // In case an armed test fault did not fire.
+  const AnalysisResult &A = Items.front().Result;
+
+  Response Resp;
+  if (A.Success && !A.Degraded) {
+    Resp.Ok = true;
+    for (const auto &KV : A.Bounds)
+      Resp.Bounds[KV.first] = KV.second.toString();
+  } else if (A.Success && A.Degraded) {
+    Resp.Ok = true;
+    Resp.Degraded = true;
+    Resp.ErrKind = errorKindName(A.ErrorKind);
+    Resp.Error = A.Error;
+    for (const auto &KV : A.DegradedBounds)
+      Resp.Bounds[KV.first] = KV.second;
+  } else {
+    Resp.Ok = false;
+    Resp.ErrKind = errorKindName(A.ErrorKind);
+    Resp.Error = A.Error;
+    Resp.ExitCode = exitCodeFor(A.ErrorKind);
+  }
+  Resp.FromCache = A.FromCache;
+  Resp.Counters["sccs_solved"] = A.NumSCCsSolved;
+  Resp.Counters["summaries_reused"] = A.NumSummariesReused;
+  Resp.Counters["summaries_applied"] = A.NumSummariesApplied;
+  Resp.Counters["num_constraints"] = A.NumConstraints;
+  Resp.Counters["num_vars"] = A.NumVars;
+
+  {
+    std::lock_guard<std::mutex> L(ResultsMu);
+    LastResults[J.Name] = A;
+  }
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    if (!A.Success)
+      ++Stats.AnalyzeFailed;
+    else if (A.Degraded)
+      ++Stats.AnalyzeDegraded;
+    else
+      ++Stats.AnalyzeOk;
+  }
+  return Resp;
+}
+
+Response BoundsServer::handleQuery(const Request &R) {
+  std::string Name = R.Name.empty() ? "module" : R.Name;
+  std::lock_guard<std::mutex> L(ResultsMu);
+  auto It = LastResults.find(Name);
+  if (It == LastResults.end()) {
+    std::lock_guard<std::mutex> SL(StatsMu);
+    ++Stats.QueryMiss;
+    return errorResponse("UnknownEntity", "no analysis for module: " + Name,
+                         exitcode::UnknownEntity);
+  }
+  const AnalysisResult &A = It->second;
+  Response Resp;
+  if (R.Function.empty()) {
+    // Whole-module query: every known bound.
+    Resp.Ok = true;
+    for (const auto &KV : A.Bounds)
+      Resp.Bounds[KV.first] = KV.second.toString();
+    for (const auto &KV : A.DegradedBounds)
+      Resp.Bounds[KV.first] = KV.second;
+    Resp.Degraded = A.Degraded;
+  } else if (const Bound *B = A.boundFor(R.Function)) {
+    Resp.Ok = true;
+    Resp.Bounds[R.Function] = B->toString();
+  } else if (A.Degraded && A.DegradedBounds.count(R.Function)) {
+    Resp.Ok = true;
+    Resp.Degraded = true;
+    Resp.Bounds[R.Function] = A.DegradedBounds.at(R.Function);
+  } else {
+    std::lock_guard<std::mutex> SL(StatsMu);
+    ++Stats.QueryMiss;
+    return errorResponse("UnknownEntity",
+                         "no bound for function: " + R.Function,
+                         exitcode::UnknownEntity);
+  }
+  std::lock_guard<std::mutex> SL(StatsMu);
+  ++Stats.QueryOk;
+  return Resp;
+}
+
+Response BoundsServer::handleStats() {
+  Response Resp;
+  Resp.Ok = true;
+  auto &C = Resp.Counters;
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    C["accepted"] = Stats.Accepted;
+    C["overloaded"] = Stats.Overloaded;
+    C["drain_rejected"] = Stats.DrainRejected;
+    C["requests"] = Stats.Requests;
+    C["bad_requests"] = Stats.BadRequests;
+    C["analyze_ok"] = Stats.AnalyzeOk;
+    C["analyze_failed"] = Stats.AnalyzeFailed;
+    C["analyze_degraded"] = Stats.AnalyzeDegraded;
+    C["query_ok"] = Stats.QueryOk;
+    C["query_miss"] = Stats.QueryMiss;
+    C["slow_client_drops"] = Stats.SlowClientDrops;
+    C["idle_reaped"] = Stats.IdleReaped;
+    C["watchdog_kills"] = Stats.WatchdogKills;
+    C["injected_faults"] = Stats.InjectedFaults;
+  }
+  CacheStats CS = Cache->stats();
+  C["cache_lookups"] = CS.Lookups;
+  C["cache_hits"] = CS.Hits;
+  C["cache_disk_hits"] = CS.DiskHits;
+  C["cache_misses"] = CS.Misses;
+  C["cache_stores"] = CS.Stores;
+  C["cache_corrupt"] = CS.CorruptEntries;
+  C["cache_stale"] = CS.StaleFormat;
+  C["cache_flush_failures"] = CS.FlushFailures;
+  SummaryStoreStats SS = Summaries->stats();
+  C["summary_lookups"] = SS.Lookups;
+  C["summary_hits"] = SS.Hits;
+  C["summary_misses"] = SS.Misses;
+  C["summary_stores"] = SS.Stores;
+  C["summary_corrupt"] = SS.CorruptEntries;
+  C["summary_stale"] = SS.StaleFormat;
+  C["summary_flush_failures"] = SS.FlushFailures;
+  C["recovered_cache_ok"] = Recovery.CacheEntriesOk;
+  C["recovered_cache_quarantined"] = Recovery.CacheQuarantined;
+  C["recovered_cache_stale"] = Recovery.CacheStale;
+  C["recovered_summary_ok"] = Recovery.SummaryEntriesOk;
+  C["recovered_summary_quarantined"] = Recovery.SummaryQuarantined;
+  C["recovered_summary_stale"] = Recovery.SummaryStale;
+  C["recovered_tmp_reaped"] = Recovery.TmpReaped;
+  C["draining"] = Draining.load(std::memory_order_acquire) ? 1 : 0;
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog
+//===----------------------------------------------------------------------===//
+
+void BoundsServer::watchdogLoop() {
+  while (!ShuttingDown.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    double Now = nowSeconds();
+    for (auto &StPtr : WorkerStates) {
+      WorkerState &St = *StPtr;
+      double Since = St.BusySince.load(std::memory_order_acquire);
+      if (Since <= 0 || Now - Since < Opts.WatchdogSeconds)
+        continue;
+      // Fail the request, never the process: shutting down the
+      // connection releases the client immediately; the worker's own
+      // cooperative budget reclaims the thread.
+      int Fd = St.ConnFd.load(std::memory_order_acquire);
+      if (Fd >= 0)
+        ::shutdown(Fd, SHUT_RDWR);
+      St.BusySince.store(0, std::memory_order_release);
+      std::lock_guard<std::mutex> L(StatsMu);
+      ++Stats.WatchdogKills;
+    }
+  }
+}
+
+} // namespace service
+} // namespace c4b

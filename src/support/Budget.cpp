@@ -4,13 +4,37 @@
 
 #include "c4b/support/FaultInject.h"
 
+#include <atomic>
+
 using namespace c4b;
 
 namespace {
 
 thread_local Budget *TlsBudget = nullptr;
 
+std::atomic<bool> CancelFlag{false};
+
+/// Throws at the first checkpoint after requestCancellation().  Checked
+/// before the per-thread budget so an interrupt wins over a budget kill.
+inline void checkCancel() {
+  if (CancelFlag.load(std::memory_order_relaxed))
+    throw AbortError(AnalysisErrorKind::Interrupted,
+                     "cancellation requested (signal or drain)");
+}
+
 } // namespace
+
+void c4b::requestCancellation() {
+  CancelFlag.store(true, std::memory_order_relaxed);
+}
+
+void c4b::clearCancellation() {
+  CancelFlag.store(false, std::memory_order_relaxed);
+}
+
+bool c4b::cancellationRequested() {
+  return CancelFlag.load(std::memory_order_relaxed);
+}
 
 Budget *Budget::current() { return TlsBudget; }
 
@@ -72,18 +96,21 @@ void Budget::checkCoefficient(std::size_t Limbs) {
 
 void c4b::budgetOnPivot() {
   faultinject::hit(faultinject::Site::Pivot);
+  checkCancel();
   if (Budget *B = TlsBudget)
     B->countPivot();
 }
 
 void c4b::budgetOnConstraint() {
   faultinject::hit(faultinject::Site::Constraint);
+  checkCancel();
   if (Budget *B = TlsBudget)
     B->countConstraint();
 }
 
 void c4b::budgetOnFixpointPass() {
   faultinject::hit(faultinject::Site::FixpointPass);
+  checkCancel();
   if (Budget *B = TlsBudget)
     B->checkDeadline();
 }
@@ -95,6 +122,7 @@ void c4b::budgetOnCoefficient(std::size_t Limbs) {
 }
 
 void c4b::budgetOnStage() {
+  checkCancel();
   if (Budget *B = TlsBudget)
     B->checkDeadline();
 }

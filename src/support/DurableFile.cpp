@@ -1,0 +1,77 @@
+//===--- DurableFile.cpp - fsync'd temp+rename file writes -----------------===//
+
+#include "c4b/support/DurableFile.h"
+
+#include "c4b/support/FaultInject.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace c4b;
+
+namespace {
+
+/// fsyncs the directory containing \p Path so the rename of a new entry
+/// into it is itself durable.  Best-effort: some filesystems reject
+/// directory fsync; the entry's own fsync already happened.
+void fsyncParentDir(const std::string &Path) {
+  std::size_t Slash = Path.rfind('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
+} // namespace
+
+bool c4b::writeFileDurable(const std::string &Path, const std::string &Tmp,
+                           const std::string &Contents) {
+  try {
+    faultinject::hit(faultinject::Site::CacheFlush);
+  } catch (const AbortError &) {
+    // Injected flush fault: behave exactly like a full disk — the record
+    // does not reach the platter, the caller's memory copy stands.
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return false;
+  const char *P = Contents.data();
+  std::size_t Left = Contents.size();
+  while (Left > 0) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return false;
+    }
+    P += N;
+    Left -= static_cast<std::size_t>(N);
+  }
+  // fsync BEFORE the rename: without it a crash can leave the final name
+  // pointing at a zero-length or partial file (the classic torn write the
+  // recovery scan exists to quarantine).
+  if (::fsync(Fd) != 0) {
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::close(Fd) != 0) {
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  fsyncParentDir(Path);
+  return true;
+}

@@ -22,6 +22,8 @@ const char *c4b::errorKindName(AnalysisErrorKind K) {
     return "InternalInvariant";
   case AnalysisErrorKind::NoLinearBound:
     return "NoLinearBound";
+  case AnalysisErrorKind::Interrupted:
+    return "Interrupted";
   }
   return "None";
 }
@@ -44,6 +46,8 @@ int c4b::exitCodeFor(AnalysisErrorKind K) {
     return 15;
   case AnalysisErrorKind::NoLinearBound:
     return 16;
+  case AnalysisErrorKind::Interrupted:
+    return 17;
   }
   return 1;
 }

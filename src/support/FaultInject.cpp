@@ -2,6 +2,9 @@
 
 #include "c4b/support/FaultInject.h"
 
+#include <cstring>
+#include <mutex>
+
 using namespace c4b;
 using namespace c4b::faultinject;
 
@@ -16,9 +19,58 @@ struct Plan {
 
 thread_local Plan TlsPlan;
 
+// The process-wide plan (service chaos soak).  Guarded by a mutex: it is
+// consulted only when the GlobalArmed flag is set, so the disarmed hot
+// path never touches it.
+std::mutex GlobalMu;
+Plan GlobalPlan;
+
 } // namespace
 
 thread_local bool detail::Armed = false;
+std::atomic<bool> detail::GlobalArmed{false};
+
+const char *faultinject::siteName(Site S) {
+  switch (S) {
+  case Site::Parse:
+    return "parse";
+  case Site::Verify:
+    return "verify";
+  case Site::Constraint:
+    return "constraint";
+  case Site::FixpointPass:
+    return "fixpoint";
+  case Site::Pivot:
+    return "pivot";
+  case Site::BigIntAlloc:
+    return "bigint";
+  case Site::CacheLoad:
+    return "cache-load";
+  case Site::CostSlice:
+    return "cost-slice";
+  case Site::Accept:
+    return "accept";
+  case Site::RequestRead:
+    return "read";
+  case Site::Dispatch:
+    return "dispatch";
+  case Site::CacheFlush:
+    return "cache-flush";
+  }
+  return "unknown";
+}
+
+bool faultinject::siteByName(const char *Name, Site &Out) {
+  for (Site S : {Site::Parse, Site::Verify, Site::Constraint,
+                 Site::FixpointPass, Site::Pivot, Site::BigIntAlloc,
+                 Site::CacheLoad, Site::CostSlice, Site::Accept,
+                 Site::RequestRead, Site::Dispatch, Site::CacheFlush})
+    if (!std::strcmp(Name, siteName(S))) {
+      Out = S;
+      return true;
+    }
+  return false;
+}
 
 void faultinject::arm(Site S, long TriggerAt, AnalysisErrorKind Kind) {
   TlsPlan = Plan{S, TriggerAt, Kind, 0};
@@ -32,14 +84,42 @@ void faultinject::disarm() {
 
 bool faultinject::armed() { return detail::Armed; }
 
+void faultinject::armGlobal(Site S, long TriggerAt, AnalysisErrorKind Kind) {
+  std::lock_guard<std::mutex> Lock(GlobalMu);
+  GlobalPlan = Plan{S, TriggerAt, Kind, 0};
+  detail::GlobalArmed.store(true, std::memory_order_relaxed);
+}
+
+void faultinject::disarmGlobal() {
+  std::lock_guard<std::mutex> Lock(GlobalMu);
+  detail::GlobalArmed.store(false, std::memory_order_relaxed);
+  GlobalPlan = Plan{};
+}
+
 void detail::hitSlow(Site S) {
-  if (TlsPlan.S != S)
+  if (Armed && TlsPlan.S == S) {
+    if (++TlsPlan.Hits >= TlsPlan.TriggerAt) {
+      // One-shot: disarm before throwing so containment/retry paths run
+      // clean.
+      AnalysisErrorKind Kind = TlsPlan.Kind;
+      long N = TlsPlan.Hits;
+      disarm();
+      throw AbortError(Kind,
+                       "injected fault at site hit " + std::to_string(N));
+    }
     return;
-  if (++TlsPlan.Hits < TlsPlan.TriggerAt)
-    return;
-  // One-shot: disarm before throwing so containment/retry paths run clean.
-  AnalysisErrorKind Kind = TlsPlan.Kind;
-  long N = TlsPlan.Hits;
-  disarm();
-  throw AbortError(Kind, "injected fault at site hit " + std::to_string(N));
+  }
+  if (GlobalArmed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> Lock(GlobalMu);
+    if (!GlobalArmed.load(std::memory_order_relaxed) || GlobalPlan.S != S)
+      return;
+    if (++GlobalPlan.Hits < GlobalPlan.TriggerAt)
+      return;
+    AnalysisErrorKind Kind = GlobalPlan.Kind;
+    long N = GlobalPlan.Hits;
+    GlobalArmed.store(false, std::memory_order_relaxed);
+    GlobalPlan = Plan{};
+    throw AbortError(Kind, "injected fault (global) at site hit " +
+                               std::to_string(N));
+  }
 }

@@ -121,9 +121,10 @@ TEST(LpDifferential, RandomizedMaximizeMatchesDenseOracle) {
     LPResult B = lpref::denseMaximize(L.P, L.Obj);
     ASSERT_EQ(static_cast<int>(A.Status), static_cast<int>(B.Status))
         << "case " << Case << ": " << describe(L);
-    if (A.Status == LPStatus::Optimal)
+    if (A.Status == LPStatus::Optimal) {
       ASSERT_TRUE(A.Objective == B.Objective)
           << "case " << Case << ": " << describe(L);
+    }
   }
 }
 
@@ -157,11 +158,12 @@ TEST(LpDifferential, WarmPinnedReoptimizationMatchesColdObjective) {
     LPResult C2 = SimplexSolver().minimize(Cold, Obj2);
     ASSERT_EQ(static_cast<int>(S2.Status), static_cast<int>(C2.Status))
         << "case " << Case << ": " << describe(L);
-    if (S2.Status == LPStatus::Optimal)
+    if (S2.Status == LPStatus::Optimal) {
       ASSERT_TRUE(S2.Objective == C2.Objective)
           << "case " << Case << ": warm " << S2.Objective.toString()
           << " cold " << C2.Objective.toString() << "\n"
           << describe(L);
+    }
   }
 }
 

@@ -20,6 +20,7 @@
 #include "c4b/support/Budget.h"
 #include "c4b/support/FaultInject.h"
 
+#include <filesystem>
 #include <set>
 #include <string>
 
@@ -421,9 +422,10 @@ TEST(Robustness, ExitCodesAreDistinctPerKind) {
         AnalysisErrorKind::MalformedIR, AnalysisErrorKind::LpBudgetExceeded,
         AnalysisErrorKind::DeadlineExceeded,
         AnalysisErrorKind::CoefficientOverflow,
-        AnalysisErrorKind::InternalInvariant, AnalysisErrorKind::NoLinearBound})
+        AnalysisErrorKind::InternalInvariant, AnalysisErrorKind::NoLinearBound,
+        AnalysisErrorKind::Interrupted})
     Codes.insert(exitCodeFor(K));
-  EXPECT_EQ(Codes.size(), 8u);
+  EXPECT_EQ(Codes.size(), 9u);
   EXPECT_EQ(exitCodeFor(AnalysisErrorKind::None), 1) << "legacy failure code";
 }
 
@@ -437,4 +439,183 @@ TEST(Robustness, UntypedFrontendFailuresAreNowTyped) {
       analyzeSource("void f() { g(); }", ResourceMetric::ticks());
   EXPECT_FALSE(Lower.Success);
   EXPECT_EQ(Lower.ErrorKind, AnalysisErrorKind::MalformedIR);
+}
+
+//===----------------------------------------------------------------------===//
+// Signal cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, RequestedCancellationIsTypedInterrupted) {
+  // The SIGINT/SIGTERM path of the CLIs: the handler calls
+  // requestCancellation() and the next budget checkpoint aborts with
+  // Interrupted — even with no budget installed.
+  struct ClearGuard {
+    ~ClearGuard() { clearCancellation(); }
+  } G;
+  requestCancellation();
+  AnalysisResult R = analyzeSource(sourceOf("t08a"), ResourceMetric::ticks());
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.ErrorKind, AnalysisErrorKind::Interrupted);
+  EXPECT_EQ(exitCodeFor(R.ErrorKind), 17);
+
+  // Clearing the flag restores a healthy pipeline.
+  clearCancellation();
+  AnalysisResult R2 = analyzeSource(sourceOf("t08a"), ResourceMetric::ticks());
+  EXPECT_TRUE(R2.Success) << R2.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-site fault sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<BatchJob> sweepJobs(std::shared_ptr<AnalysisCache> Cache) {
+  std::vector<BatchJob> Jobs;
+  for (const char *Name : {"t08a", "t27", "fig6_binary_counter"}) {
+    const CorpusEntry *E = findEntry(Name);
+    EXPECT_NE(E, nullptr) << Name;
+    BatchJob J;
+    J.Name = Name;
+    J.Source = E->Source;
+    J.Focus = E->Function;
+    // The interval pre-pass runs the dataflow engines, so Site::FixpointPass
+    // has something to hit; the verifier likewise for Site::Verify.
+    J.Options.SeedIntervals = true;
+    J.Pipe.VerifyIR = true;
+    J.Pipe.Cache = std::move(Cache);
+    Jobs.push_back(J);
+  }
+  return Jobs;
+}
+
+std::map<std::string, std::string> flatBounds(const AnalysisResult &R) {
+  std::map<std::string, std::string> Out;
+  for (const auto &[Fn, B] : R.Bounds)
+    Out[Fn] = B.toString();
+  return Out;
+}
+
+} // namespace
+
+TEST(Robustness, FaultSweepEverySiteIsContainedPerJob) {
+  // Satellite contract: every Site:: value, armed once and driven through
+  // a batch, yields at most one typed per-job outcome and leaves the rest
+  // of the batch bit-identical to a clean run.  Sites whose containment is
+  // absorption (cache-load, cache-flush) or tampering (cost-slice) succeed
+  // with their effect visible in counters; daemon-thread sites never fire
+  // in a batch run and must perturb nothing.
+  FaultGuard G;
+  namespace fs = std::filesystem;
+  using faultinject::Site;
+
+  // Clean-run oracle.
+  std::vector<BatchItem> Clean = BatchAnalyzer(1).run(sweepJobs(nullptr));
+  ASSERT_EQ(Clean.size(), 3u);
+  std::vector<std::map<std::string, std::string>> Oracle;
+  for (const BatchItem &I : Clean) {
+    ASSERT_TRUE(I.Result.Success) << I.Name << ": " << I.Result.Error;
+    Oracle.push_back(flatBounds(I.Result));
+  }
+
+  // A primed disk cache for the Site::CacheLoad round (a fresh instance on
+  // the same directory forces disk loads).
+  const std::string CacheDir = "fault_sweep_cache";
+  fs::remove_all(CacheDir);
+  BatchAnalyzer(1).run(sweepJobs(std::make_shared<AnalysisCache>(CacheDir)));
+
+  struct Case {
+    Site S;
+    AnalysisErrorKind Kind; ///< armed (and for fail-sites, expected) kind
+    enum { FailsJob, MayFailJob, Succeeds, NeverFires } Outcome;
+  };
+  const Case Cases[] = {
+      {Site::Parse, AnalysisErrorKind::ParseError, Case::FailsJob},
+      {Site::Verify, AnalysisErrorKind::MalformedIR, Case::FailsJob},
+      {Site::Constraint, AnalysisErrorKind::LpBudgetExceeded, Case::FailsJob},
+      {Site::FixpointPass, AnalysisErrorKind::DeadlineExceeded,
+       Case::FailsJob},
+      {Site::Pivot, AnalysisErrorKind::LpBudgetExceeded, Case::FailsJob},
+      // Small corpus coefficients may never leave the int64 fast path, so
+      // the BigInt site is allowed (not required) to fire.
+      {Site::BigIntAlloc, AnalysisErrorKind::CoefficientOverflow,
+       Case::MayFailJob},
+      // Contained as a corrupt-counted miss: the job re-analyzes and
+      // succeeds.
+      {Site::CacheLoad, AnalysisErrorKind::InternalInvariant, Case::Succeeds},
+      // A tamper, not a failure: the job succeeds with an over-sliced
+      // bound the certificate checker would reject (cost_relevance_test
+      // covers that rejection).
+      {Site::CostSlice, AnalysisErrorKind::InternalInvariant, Case::Succeeds},
+      // Daemon-thread sites: a batch run never reaches them.
+      {Site::Accept, AnalysisErrorKind::InternalInvariant, Case::NeverFires},
+      {Site::RequestRead, AnalysisErrorKind::InternalInvariant,
+       Case::NeverFires},
+      {Site::Dispatch, AnalysisErrorKind::InternalInvariant, Case::NeverFires},
+      // Absorbed: durability is lost, correctness is not.
+      {Site::CacheFlush, AnalysisErrorKind::InternalInvariant, Case::Succeeds},
+  };
+
+  for (const Case &C : Cases) {
+    SCOPED_TRACE(faultinject::siteName(C.S));
+
+    // Per-case cache wiring: CacheLoad reads the primed directory through
+    // a fresh instance; CacheFlush writes a fresh directory; everything
+    // else runs uncached so the armed site is actually exercised.
+    std::shared_ptr<AnalysisCache> Cache;
+    std::string FlushDir;
+    if (C.S == Site::CacheLoad) {
+      Cache = std::make_shared<AnalysisCache>(CacheDir);
+    } else if (C.S == Site::CacheFlush) {
+      FlushDir = "fault_sweep_flush";
+      fs::remove_all(FlushDir);
+      Cache = std::make_shared<AnalysisCache>(FlushDir);
+    }
+
+    faultinject::arm(C.S, 1, C.Kind);
+    std::vector<BatchItem> Items = BatchAnalyzer(1).run(sweepJobs(Cache));
+    faultinject::disarm();
+    ASSERT_EQ(Items.size(), 3u);
+
+    int Failed = 0;
+    for (std::size_t I = 0; I < Items.size(); ++I) {
+      const AnalysisResult &R = Items[I].Result;
+      if (!R.Success) {
+        ++Failed;
+        EXPECT_EQ(R.ErrorKind, C.Kind) << Items[I].Name;
+        EXPECT_FALSE(R.Error.empty()) << Items[I].Name;
+        continue;
+      }
+      // Jobs the fault did not kill are bit-identical to the clean run —
+      // except the over-slice tamper, whose whole point is a silently
+      // different bound on the job it hit.
+      if (!(C.S == Site::CostSlice && I == 0)) {
+        EXPECT_EQ(flatBounds(R), Oracle[I]) << Items[I].Name;
+      }
+    }
+
+    switch (C.Outcome) {
+    case Case::FailsJob:
+      EXPECT_EQ(Failed, 1);
+      EXPECT_FALSE(Items[0].Result.Success)
+          << "the armed one-shot must hit the first job";
+      break;
+    case Case::MayFailJob:
+      EXPECT_LE(Failed, 1);
+      break;
+    case Case::Succeeds:
+    case Case::NeverFires:
+      EXPECT_EQ(Failed, 0);
+      break;
+    }
+    if (C.S == Site::CacheLoad) {
+      EXPECT_GE(Cache->stats().CorruptEntries, 1);
+    }
+    if (C.S == Site::CacheFlush) {
+      EXPECT_GE(Cache->stats().FlushFailures, 1);
+    }
+    if (!FlushDir.empty())
+      fs::remove_all(FlushDir);
+  }
+  fs::remove_all(CacheDir);
 }

@@ -1,0 +1,829 @@
+//===--- service_test.cpp - The c4bd daemon and its failure domains --------===//
+//
+// Covers the analysis-as-a-service layer end to end, all in-process: the
+// JSON/framing protocol round-trips, analyze/query/stats/drain/shutdown
+// over a real unix socket, warm resubmission served from the resident
+// cache, incremental re-analysis of an edited module (only the dirty SCC
+// and its transitive callers re-solve), admission control with typed
+// Overloaded rejection, the watchdog failing wedged requests without
+// killing the process, service-site fault containment (accept / read /
+// dispatch / cache-flush), crash recovery quarantining torn disk entries,
+// and a concurrent chaos soak asserting zero crashes and bit-identical
+// bounds against the one-shot pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "c4b/pipeline/Batch.h"
+#include "c4b/service/Client.h"
+#include "c4b/service/Protocol.h"
+#include "c4b/service/Server.h"
+#include "c4b/support/FaultInject.h"
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace c4b;
+using namespace c4b::service;
+using c4b::test::TestRng;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique short socket path per test (sun_path is ~107 bytes, so scratch
+/// sockets live under /tmp, not the build tree).
+std::string socketPath() {
+  static std::atomic<int> Counter{0};
+  return "/tmp/c4bs_" + std::to_string(::getpid()) + "_" +
+         std::to_string(Counter.fetch_add(1)) + ".sock";
+}
+
+/// Scratch directory under the test's working directory, removed on
+/// destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string &Name) : Path(Name) {
+    fs::remove_all(Path);
+  }
+  ~ScratchDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string Path;
+};
+
+/// Disarms any thread-local or process-wide fault plan on scope exit.
+struct FaultGuard {
+  ~FaultGuard() {
+    faultinject::disarm();
+    faultinject::disarmGlobal();
+  }
+};
+
+const char *ChainV1 = "int h(int n) {\n"
+                      "  while (n > 0) { n = n - 1; tick(1); }\n"
+                      "  return n;\n"
+                      "}\n"
+                      "int g(int m) {\n"
+                      "  int r;\n"
+                      "  r = h(m);\n"
+                      "  tick(1);\n"
+                      "  return r;\n"
+                      "}\n"
+                      "int f(int x) {\n"
+                      "  int r;\n"
+                      "  r = g(x);\n"
+                      "  return r;\n"
+                      "}\n";
+const char *ChainV2 = "int h(int n) {\n"
+                      "  while (n > 0) { n = n - 1; tick(1); }\n"
+                      "  return n;\n"
+                      "}\n"
+                      "int g(int m) {\n"
+                      "  int r;\n"
+                      "  r = h(m);\n"
+                      "  tick(5);\n"
+                      "  return r;\n"
+                      "}\n"
+                      "int f(int x) {\n"
+                      "  int r;\n"
+                      "  r = g(x);\n"
+                      "  return r;\n"
+                      "}\n";
+const char *Loop = "int count(int n) {\n"
+                   "  while (n > 0) { n = n - 1; tick(1); }\n"
+                   "  return n;\n"
+                   "}\n";
+const char *TwoFns = "int inner(int n) {\n"
+                     "  while (n > 0) { n = n - 1; tick(2); }\n"
+                     "  return n;\n"
+                     "}\n"
+                     "int outer(int x) {\n"
+                     "  int r;\n"
+                     "  r = inner(x);\n"
+                     "  tick(3);\n"
+                     "  return r;\n"
+                     "}\n";
+
+/// The one-shot pipeline's bounds for \p Src, exactly as the daemon runs
+/// it (same options, same containment) — the differential oracle.
+std::map<std::string, std::string> directBounds(const std::string &Src) {
+  BatchJob J;
+  J.Name = "direct";
+  J.Source = Src;
+  std::vector<BatchItem> Items = BatchAnalyzer(1).run({J});
+  std::map<std::string, std::string> Out;
+  EXPECT_TRUE(Items.front().Result.Success) << Items.front().Result.Error;
+  for (const auto &[Fn, B] : Items.front().Result.Bounds)
+    Out[Fn] = B.toString();
+  return Out;
+}
+
+Request analyzeReq(const std::string &Name, const std::string &Src,
+                   const std::string &Focus = "") {
+  Request R;
+  R.Cmd = "analyze";
+  R.Name = Name;
+  R.Source = Src;
+  R.Focus = Focus;
+  return R;
+}
+
+/// A server on a fresh socket with test-friendly timeouts; shut down and
+/// joined on destruction.
+struct TestServer {
+  explicit TestServer(ServerOptions O = {}) {
+    if (O.SocketPath.empty())
+      O.SocketPath = socketPath();
+    Opts = O;
+    Srv = std::make_unique<BoundsServer>(O);
+    std::string Err;
+    Started = Srv->start(&Err);
+    EXPECT_TRUE(Started) << Err;
+  }
+  ~TestServer() {
+    Srv->requestShutdown();
+    Srv->wait();
+  }
+  Client client(int TimeoutMs = 10000) {
+    return Client(Opts.SocketPath, TimeoutMs);
+  }
+  ServerOptions Opts;
+  std::unique_ptr<BoundsServer> Srv;
+  bool Started = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Protocol: JSON and framing
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocol, JsonRoundTripsScalarsAndNesting) {
+  JsonValue O = JsonValue::object();
+  O.set("s", JsonValue::str("a \"quoted\"\n\tstring"));
+  O.set("n", JsonValue::number(42));
+  O.set("frac", JsonValue::number(2.5));
+  O.set("b", JsonValue::boolean(true));
+  JsonValue Arr = JsonValue::array();
+  Arr.push(JsonValue::number(1)).push(JsonValue::str("two"));
+  O.set("arr", std::move(Arr));
+  JsonValue Inner = JsonValue::object();
+  Inner.set("k", JsonValue::boolean(false));
+  O.set("obj", std::move(Inner));
+
+  std::string Err;
+  auto P = JsonValue::parse(O.dump(), &Err);
+  ASSERT_TRUE(P.has_value()) << Err;
+  EXPECT_EQ(P->get("s")->asString(""), "a \"quoted\"\n\tstring");
+  EXPECT_EQ(P->get("n")->asNumber(0), 42);
+  EXPECT_EQ(P->get("frac")->asNumber(0), 2.5);
+  EXPECT_TRUE(P->get("b")->asBool(false));
+  EXPECT_EQ(P->get("arr")->items().size(), 2u);
+  EXPECT_FALSE(P->get("obj")->get("k")->asBool(true));
+  // Deterministic encoding: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(P->dump(), O.dump());
+}
+
+TEST(ServiceProtocol, JsonRejectsGarbage) {
+  std::string Err;
+  EXPECT_FALSE(JsonValue::parse("{", &Err).has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1} trailing", &Err).has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated", &Err).has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}", &Err).has_value());
+  // Hostile nesting is depth-capped, not a stack overflow.
+  std::string Deep(1000, '[');
+  EXPECT_FALSE(JsonValue::parse(Deep, &Err).has_value());
+  EXPECT_NE(Err.find("deep"), std::string::npos);
+}
+
+TEST(ServiceProtocol, RequestAndResponseRoundTrip) {
+  Request R;
+  R.Cmd = "analyze";
+  R.Name = "mod";
+  R.Source = "int f() { tick(1); return 0; }";
+  R.Focus = "f";
+  R.InjectSite = "pivot";
+  R.InjectAfter = 3;
+  auto R2 = Request::decode(R.encode());
+  ASSERT_TRUE(R2.has_value());
+  EXPECT_EQ(R2->Cmd, R.Cmd);
+  EXPECT_EQ(R2->Name, R.Name);
+  EXPECT_EQ(R2->Source, R.Source);
+  EXPECT_EQ(R2->Focus, R.Focus);
+  EXPECT_EQ(R2->InjectSite, "pivot");
+  EXPECT_EQ(R2->InjectAfter, 3);
+
+  Response S;
+  S.Ok = false;
+  S.Error = "pivot budget exhausted";
+  S.ErrKind = "LpBudgetExceeded";
+  S.ExitCode = 12;
+  S.Degraded = true;
+  S.Bounds["f"] = "3*|[0, n]|";
+  S.Counters["sccs_solved"] = 2;
+  auto S2 = Response::decode(S.encode());
+  ASSERT_TRUE(S2.has_value());
+  EXPECT_EQ(S2->Ok, false);
+  EXPECT_EQ(S2->Error, S.Error);
+  EXPECT_EQ(S2->ErrKind, S.ErrKind);
+  EXPECT_EQ(S2->ExitCode, 12);
+  EXPECT_TRUE(S2->Degraded);
+  EXPECT_EQ(S2->Bounds.at("f"), "3*|[0, n]|");
+  EXPECT_EQ(S2->Counters.at("sccs_solved"), 2);
+
+  EXPECT_FALSE(Request::decode("{\"no_cmd\":1}").has_value());
+  EXPECT_FALSE(Request::decode("[1,2]").has_value());
+}
+
+TEST(ServiceProtocol, FramingRoundTripsOverSocketpair) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  std::string Payload = "{\"cmd\":\"stats\"}";
+  ASSERT_EQ(writeFrame(Fds[0], Payload, 1000), IoStatus::Ok);
+  std::string Got;
+  ASSERT_EQ(readFrame(Fds[1], Got, 1000), IoStatus::Ok);
+  EXPECT_EQ(Got, Payload);
+
+  // Timeout: no bytes pending.
+  EXPECT_EQ(readFrame(Fds[1], Got, 50), IoStatus::Timeout);
+
+  // Oversize length prefix is rejected before any allocation.
+  unsigned char Huge[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(Fds[0], Huge, 4, 0), 4);
+  EXPECT_EQ(readFrame(Fds[1], Got, 1000), IoStatus::TooLarge);
+
+  // Orderly EOF.
+  ::close(Fds[0]);
+  EXPECT_EQ(readFrame(Fds[1], Got, 1000), IoStatus::Closed);
+  ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon round trips
+//===----------------------------------------------------------------------===//
+
+TEST(Service, AnalyzeQueryStatsRoundTrip) {
+  TestServer S;
+  Client C = S.client();
+
+  CallResult A = C.call(analyzeReq("chain", ChainV1));
+  ASSERT_TRUE(A.ok()) << A.TransportError << A.exitCode();
+  EXPECT_FALSE(A.Resp->FromCache);
+  EXPECT_EQ(A.Resp->Bounds.size(), 3u);
+  EXPECT_EQ(A.Resp->Counters.at("sccs_solved"), 3);
+
+  // Warm resubmission: bit-identical bounds served from the resident
+  // tier-3 cache without re-solving anything.
+  CallResult W = C.call(analyzeReq("chain", ChainV1));
+  ASSERT_TRUE(W.ok());
+  EXPECT_TRUE(W.Resp->FromCache);
+  EXPECT_EQ(W.Resp->Bounds, A.Resp->Bounds);
+
+  // Query one function, then the whole module.
+  Request Q;
+  Q.Cmd = "query";
+  Q.Name = "chain";
+  Q.Function = "g";
+  CallResult QR = C.call(Q);
+  ASSERT_TRUE(QR.ok());
+  EXPECT_EQ(QR.Resp->Bounds.at("g"), A.Resp->Bounds.at("g"));
+  Q.Function.clear();
+  QR = C.call(Q);
+  ASSERT_TRUE(QR.ok());
+  EXPECT_EQ(QR.Resp->Bounds, A.Resp->Bounds);
+
+  // Unknown module/function are typed, not errors of the connection.
+  Q.Name = "nope";
+  QR = C.call(Q);
+  ASSERT_TRUE(QR.Resp.has_value());
+  EXPECT_FALSE(QR.ok());
+  EXPECT_EQ(QR.Resp->ErrKind, "UnknownEntity");
+  EXPECT_EQ(QR.Resp->ExitCode, exitcode::UnknownEntity);
+
+  Request St;
+  St.Cmd = "stats";
+  CallResult StR = C.call(St);
+  ASSERT_TRUE(StR.ok());
+  EXPECT_EQ(StR.Resp->Counters.at("analyze_ok"), 2);
+  EXPECT_EQ(StR.Resp->Counters.at("query_ok"), 2);
+  EXPECT_EQ(StR.Resp->Counters.at("query_miss"), 1);
+  EXPECT_EQ(StR.Resp->Counters.at("cache_hits"), 1);
+}
+
+TEST(Service, BoundsAreBitIdenticalToOneShotPipeline) {
+  std::map<std::string, std::string> Direct = directBounds(ChainV1);
+  TestServer S;
+  Client C = S.client();
+  CallResult A = C.call(analyzeReq("m", ChainV1));
+  ASSERT_TRUE(A.ok());
+  EXPECT_EQ(A.Resp->Bounds, Direct);
+}
+
+TEST(Service, IncrementalEditResolvesOnlyDirtySCCs) {
+  ScratchDir Sums("service_incr_sums");
+  ServerOptions O;
+  O.SummaryDir = Sums.Path;
+  TestServer S(O);
+  Client C = S.client();
+
+  // Cold: all three SCCs (h, g, f) solve fresh.
+  CallResult V1 = C.call(analyzeReq("chain", ChainV1));
+  ASSERT_TRUE(V1.ok());
+  EXPECT_EQ(V1.Resp->Counters.at("sccs_solved"), 3);
+  EXPECT_EQ(V1.Resp->Counters.at("summaries_reused"), 0);
+
+  // Edit g: h's summary is reused; only g and its transitive caller f
+  // re-solve.  The daemon adds no invalidation logic — the content keys
+  // carry it.
+  CallResult V2 = C.call(analyzeReq("chain", ChainV2));
+  ASSERT_TRUE(V2.ok());
+  EXPECT_FALSE(V2.Resp->FromCache);
+  EXPECT_EQ(V2.Resp->Counters.at("summaries_reused"), 1);
+  EXPECT_EQ(V2.Resp->Counters.at("sccs_solved"), 2);
+  EXPECT_EQ(V2.Resp->Bounds.at("h"), V1.Resp->Bounds.at("h"));
+  EXPECT_NE(V2.Resp->Bounds.at("g"), V1.Resp->Bounds.at("g"));
+
+  // And the edited module's bounds match the one-shot pipeline exactly.
+  EXPECT_EQ(V2.Resp->Bounds, directBounds(ChainV2));
+}
+
+TEST(Service, MalformedFramesAreTypedAndSurvivable) {
+  TestServer S;
+  // Raw connection: drive the wire format by hand.
+  Client C = S.client();
+  std::string Err;
+  ASSERT_TRUE(C.connect(&Err)) << Err;
+
+  // A frame that is not JSON: typed BadRequest, connection stays up.
+  Request Probe;
+  Probe.Cmd = "stats";
+  CallResult R1 = C.call(Probe);
+  ASSERT_TRUE(R1.ok());
+
+  int Fd = -1;
+  {
+    // Hand-rolled client for the malformed frames.
+    struct sockaddr_un Addr;
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(Fd, 0);
+    memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    strncpy(Addr.sun_path, S.Opts.SocketPath.c_str(),
+            sizeof(Addr.sun_path) - 1);
+    ASSERT_EQ(::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                        sizeof(Addr)),
+              0);
+  }
+  ASSERT_EQ(writeFrame(Fd, "this is not json", 1000), IoStatus::Ok);
+  std::string Payload;
+  ASSERT_EQ(readFrame(Fd, Payload, 5000), IoStatus::Ok);
+  auto Resp = Response::decode(Payload);
+  ASSERT_TRUE(Resp.has_value());
+  EXPECT_FALSE(Resp->Ok);
+  EXPECT_EQ(Resp->ErrKind, "BadRequest");
+  EXPECT_EQ(Resp->ExitCode, exitcode::BadRequest);
+
+  // Same connection still serves valid requests after the bad frame.
+  ASSERT_EQ(writeFrame(Fd, Probe.encode(), 1000), IoStatus::Ok);
+  ASSERT_EQ(readFrame(Fd, Payload, 5000), IoStatus::Ok);
+  Resp = Response::decode(Payload);
+  ASSERT_TRUE(Resp.has_value());
+  EXPECT_TRUE(Resp->Ok);
+
+  // An oversize length prefix gets a typed rejection before the close.
+  unsigned char Huge[4] = {0x7f, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(Fd, Huge, 4, 0), 4);
+  ASSERT_EQ(readFrame(Fd, Payload, 5000), IoStatus::Ok);
+  Resp = Response::decode(Payload);
+  ASSERT_TRUE(Resp.has_value());
+  EXPECT_EQ(Resp->ErrKind, "BadRequest");
+  ::close(Fd);
+
+  // The daemon survived it all.
+  CallResult R2 = S.client().call(Probe);
+  ASSERT_TRUE(R2.ok());
+  EXPECT_GE(R2.Resp->Counters.at("bad_requests"), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control, degradation, drain
+//===----------------------------------------------------------------------===//
+
+TEST(Service, OverloadedRejectionIsTyped) {
+  ServerOptions O;
+  O.NumWorkers = 1;
+  O.MaxQueue = 1;
+  O.EnableTestCommands = true;
+  TestServer S(O);
+
+  // Occupy the only worker.
+  Request Hang = analyzeReq("loop", Loop);
+  Hang.HangMs = 1200;
+  std::thread Busy([&] {
+    Client C = S.client();
+    CallResult R = C.call(Hang);
+    EXPECT_TRUE(R.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Fill the admission queue with an idle connection...
+  Client Queued = S.client();
+  std::string Err;
+  ASSERT_TRUE(Queued.connect(&Err)) << Err;
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // ...so the next connection is rejected with a typed Overloaded.
+  Client Rejected = S.client();
+  Request St;
+  St.Cmd = "stats";
+  CallResult R = Rejected.call(St);
+  ASSERT_TRUE(R.Resp.has_value()) << R.TransportError;
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Resp->ErrKind, "Overloaded");
+  EXPECT_EQ(R.Resp->ExitCode, exitcode::Overloaded);
+
+  Busy.join();
+  // Once the worker frees up, the queued connection is served.
+  CallResult Q = Queued.call(St);
+  ASSERT_TRUE(Q.ok()) << Q.TransportError;
+  EXPECT_GE(Q.Resp->Counters.at("overloaded"), 1);
+}
+
+TEST(Service, DegradedModeServesUncertifiedBoundsUnderLoad) {
+  ServerOptions O;
+  O.NumWorkers = 1;
+  O.MaxQueue = 4;
+  O.DegradeQueueDepth = 1; // Any queued connection triggers degradation.
+  O.MaxPivots = 1;         // Every exact solve dies on the pivot budget...
+  O.EnableTestCommands = true;
+  TestServer S(O);
+
+  // Pin the worker, then park two connections behind it: when the first
+  // parked connection's request dispatches, the second still sits in the
+  // queue, so the dispatcher samples depth >= 1.
+  Request Hang = analyzeReq("warm", Loop);
+  Hang.HangMs = 900;
+  std::thread Busy([&] {
+    Client C = S.client();
+    (void)C.call(Hang); // Only pins the worker; its own outcome is moot.
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  Client Queued = S.client();
+  Client Filler = S.client();
+  std::string Err;
+  ASSERT_TRUE(Queued.connect(&Err)) << Err;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(Filler.connect(&Err)) << Err;
+
+  Busy.join();
+  // ...so this request, dispatched at depth 1, degrades to a ranking
+  // bound instead of failing hard.
+  CallResult R = Queued.call(analyzeReq("m", TwoFns));
+  ASSERT_TRUE(R.Resp.has_value()) << R.TransportError;
+  ASSERT_TRUE(R.Resp->Ok) << R.Resp->Error;
+  EXPECT_TRUE(R.Resp->Degraded);
+  EXPECT_EQ(R.Resp->ErrKind, "LpBudgetExceeded");
+  EXPECT_FALSE(R.Resp->Bounds.empty());
+}
+
+TEST(Service, DrainStopsAdmissionAndShutdownExits) {
+  TestServer S;
+  Client C = S.client();
+  Request Drain;
+  Drain.Cmd = "drain";
+  CallResult R = C.call(Drain);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(S.Srv->draining());
+
+  // New connections are rejected with a typed Draining response.
+  Client Late = S.client();
+  Request St;
+  St.Cmd = "stats";
+  CallResult L = Late.call(St);
+  ASSERT_TRUE(L.Resp.has_value()) << L.TransportError;
+  EXPECT_EQ(L.Resp->ErrKind, "Draining");
+  EXPECT_EQ(L.Resp->ExitCode, exitcode::Draining);
+
+  // The established connection still works (in-flight domain).
+  CallResult StR = C.call(St);
+  ASSERT_TRUE(StR.ok());
+  EXPECT_EQ(StR.Resp->Counters.at("draining"), 1);
+  EXPECT_GE(StR.Resp->Counters.at("drain_rejected"), 1);
+
+  // Shutdown over the protocol: acked, then the server exits cleanly.
+  Request Down;
+  Down.Cmd = "shutdown";
+  CallResult D = C.call(Down);
+  ASSERT_TRUE(D.ok());
+  S.Srv->wait();
+  EXPECT_FALSE(S.Srv->running());
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog
+//===----------------------------------------------------------------------===//
+
+TEST(Service, WatchdogFailsWedgedRequestNotProcess) {
+  ServerOptions O;
+  O.NumWorkers = 1;
+  O.WatchdogSeconds = 0.15;
+  O.EnableTestCommands = true;
+  TestServer S(O);
+
+  Request Wedge = analyzeReq("loop", Loop);
+  Wedge.HangMs = 900;
+  Client C = S.client();
+  CallResult R = C.call(Wedge);
+  // The watchdog shut the connection down mid-request: the client sees a
+  // transport failure, never a hang.
+  EXPECT_FALSE(R.Resp.has_value());
+  EXPECT_TRUE(R.TransportExit == exitcode::ProtocolError ||
+              R.TransportExit == exitcode::Timeout)
+      << R.TransportExit;
+
+  // The worker itself is reclaimed once the wedge clears; the daemon
+  // keeps serving.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  Request St;
+  St.Cmd = "stats";
+  CallResult StR = S.client().call(St);
+  ASSERT_TRUE(StR.ok()) << StR.TransportError;
+  EXPECT_GE(StR.Resp->Counters.at("watchdog_kills"), 1);
+  CallResult A = S.client().call(analyzeReq("loop", Loop));
+  EXPECT_TRUE(A.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Service-site fault containment
+//===----------------------------------------------------------------------===//
+
+TEST(Service, InjectedAcceptFaultLosesOneConnectionOnly) {
+  FaultGuard G;
+  TestServer S;
+  faultinject::armGlobal(faultinject::Site::Accept, 1,
+                         AnalysisErrorKind::InternalInvariant);
+  Request St;
+  St.Cmd = "stats";
+  CallResult Dropped = S.client().call(St);
+  EXPECT_FALSE(Dropped.ok()); // Connection was closed by the fault.
+  CallResult Fine = S.client().call(St);
+  ASSERT_TRUE(Fine.ok()) << Fine.TransportError;
+  EXPECT_EQ(Fine.Resp->Counters.at("injected_faults"), 1);
+}
+
+TEST(Service, InjectedReadFaultDropsConnectionOnly) {
+  FaultGuard G;
+  TestServer S;
+  faultinject::armGlobal(faultinject::Site::RequestRead, 1,
+                         AnalysisErrorKind::InternalInvariant);
+  Request St;
+  St.Cmd = "stats";
+  CallResult Dropped = S.client().call(St);
+  EXPECT_FALSE(Dropped.ok());
+  CallResult Fine = S.client().call(St);
+  ASSERT_TRUE(Fine.ok()) << Fine.TransportError;
+  EXPECT_EQ(Fine.Resp->Counters.at("injected_faults"), 1);
+}
+
+TEST(Service, InjectedDispatchFaultIsTypedResponse) {
+  FaultGuard G;
+  TestServer S;
+  Client C = S.client();
+  faultinject::armGlobal(faultinject::Site::Dispatch, 1,
+                         AnalysisErrorKind::InternalInvariant);
+  CallResult R = C.call(analyzeReq("m", Loop));
+  ASSERT_TRUE(R.Resp.has_value()) << R.TransportError;
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Resp->ErrKind, "InternalInvariant");
+  EXPECT_EQ(R.Resp->ExitCode, exitCodeFor(AnalysisErrorKind::InternalInvariant));
+  // Same connection, next request is clean.
+  CallResult A = C.call(analyzeReq("m", Loop));
+  EXPECT_TRUE(A.ok());
+}
+
+TEST(Service, InjectedFlushFaultCostsDurabilityNotCorrectness) {
+  FaultGuard G;
+  ScratchDir Cache("service_flush_cache");
+  ScratchDir Sums("service_flush_sums");
+  ServerOptions O;
+  O.CacheDir = Cache.Path;
+  O.SummaryDir = Sums.Path;
+  TestServer S(O);
+  Client C = S.client();
+  faultinject::armGlobal(faultinject::Site::CacheFlush, 1,
+                         AnalysisErrorKind::InternalInvariant);
+  CallResult R = C.call(analyzeReq("m", ChainV1));
+  ASSERT_TRUE(R.ok()) << "a flush fault must never fail the analysis";
+  EXPECT_EQ(R.Resp->Bounds, directBounds(ChainV1));
+  Request St;
+  St.Cmd = "stats";
+  CallResult StR = C.call(St);
+  ASSERT_TRUE(StR.ok());
+  EXPECT_EQ(StR.Resp->Counters.at("summary_flush_failures") +
+                StR.Resp->Counters.at("cache_flush_failures"),
+            1);
+  // The memory store still serves the warm resubmission.
+  CallResult W = C.call(analyzeReq("m", ChainV1));
+  ASSERT_TRUE(W.ok());
+  EXPECT_TRUE(W.Resp->FromCache);
+}
+
+TEST(Service, PerRequestInjectIsTypedAndContained) {
+  ServerOptions O;
+  O.EnableTestCommands = true;
+  TestServer S(O);
+  Client C = S.client();
+  Request R = analyzeReq("m", Loop);
+  R.InjectSite = "pivot";
+  CallResult F = C.call(R);
+  ASSERT_TRUE(F.Resp.has_value()) << F.TransportError;
+  EXPECT_FALSE(F.ok());
+  EXPECT_EQ(F.Resp->ErrKind, "LpBudgetExceeded");
+  EXPECT_EQ(F.Resp->ExitCode, 12);
+  // Failures are never cached; the retry succeeds with real bounds.
+  CallResult A = C.call(analyzeReq("m", Loop));
+  ASSERT_TRUE(A.ok());
+  EXPECT_FALSE(A.Resp->FromCache);
+  EXPECT_EQ(A.Resp->Bounds, directBounds(Loop));
+}
+
+//===----------------------------------------------------------------------===//
+// Crash recovery
+//===----------------------------------------------------------------------===//
+
+TEST(Service, RecoveryQuarantinesTornEntriesAndReanalyzesCleanly) {
+  ScratchDir Cache("service_recov_cache");
+  ScratchDir Sums("service_recov_sums");
+  std::map<std::string, std::string> FirstBounds;
+
+  {
+    ServerOptions O;
+    O.CacheDir = Cache.Path;
+    O.SummaryDir = Sums.Path;
+    TestServer S(O);
+    CallResult A = S.client().call(analyzeReq("chain", ChainV1));
+    ASSERT_TRUE(A.ok());
+    FirstBounds = A.Resp->Bounds;
+  } // Clean shutdown; entries are durably on disk.
+
+  // Tear the world apart: truncate the cache entry mid-file, truncate one
+  // summary, drop a garbage file with a well-formed name, and leave a
+  // torn temp file behind, as a crashed writer would.
+  int CacheTruncated = 0, SumTruncated = 0;
+  for (const auto &E : fs::directory_iterator(Cache.Path))
+    if (E.path().extension() == ".c4bcache" && !CacheTruncated) {
+      fs::resize_file(E.path(), fs::file_size(E.path()) / 2);
+      ++CacheTruncated;
+    }
+  for (const auto &E : fs::directory_iterator(Sums.Path))
+    if (E.path().extension() == ".c4bsum" && !SumTruncated) {
+      fs::resize_file(E.path(), fs::file_size(E.path()) / 2);
+      ++SumTruncated;
+    }
+  ASSERT_EQ(CacheTruncated, 1);
+  ASSERT_EQ(SumTruncated, 1);
+  std::ofstream(Cache.Path + "/00000000deadbeef.c4bcache") << "garbage\n";
+  std::ofstream(Cache.Path + "/1234567890abcdef.c4bcache.tmp.999") << "torn";
+
+  {
+    ServerOptions O;
+    O.CacheDir = Cache.Path;
+    O.SummaryDir = Sums.Path;
+    TestServer S(O);
+    const RecoveryReport &R = S.Srv->recovery();
+    EXPECT_EQ(R.CacheQuarantined, 2); // truncated + garbage
+    EXPECT_EQ(R.SummaryQuarantined, 1);
+    EXPECT_EQ(R.TmpReaped, 1);
+
+    // Quarantined files are renamed, not deleted: evidence survives.
+    int Quarantined = 0;
+    for (const auto &E : fs::directory_iterator(Cache.Path))
+      if (E.path().extension() == ".quarantine")
+        ++Quarantined;
+    EXPECT_EQ(Quarantined, 2);
+
+    // Re-analysis is clean: cache misses, the intact summaries are
+    // reused, the torn one re-solves, and the bounds are exactly the
+    // pre-crash ones — never a wrong answer.
+    CallResult A = S.client().call(analyzeReq("chain", ChainV1));
+    ASSERT_TRUE(A.ok());
+    EXPECT_FALSE(A.Resp->FromCache);
+    EXPECT_EQ(A.Resp->Bounds, FirstBounds);
+    EXPECT_EQ(A.Resp->Counters.at("summaries_reused"), 2);
+    EXPECT_EQ(A.Resp->Counters.at("sccs_solved"), 1);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos soak
+//===----------------------------------------------------------------------===//
+
+TEST(Service, ChaosSoakSurvivesAndStaysBitIdentical) {
+  // Oracle bounds first, before any fault is armed.
+  const std::vector<std::pair<std::string, const char *>> Modules = {
+      {"chain", ChainV1}, {"loop", Loop}, {"two", TwoFns}};
+  std::map<std::string, std::map<std::string, std::string>> Oracle;
+  for (const auto &[Name, Src] : Modules)
+    Oracle[Name] = directBounds(Src);
+
+  FaultGuard G;
+  ServerOptions O;
+  O.NumWorkers = 3;
+  O.MaxQueue = 4;
+  O.EnableTestCommands = true;
+  TestServer S(O);
+
+  std::atomic<long> OkCalls{0}, TypedFailures{0}, TransportDrops{0};
+  auto ClientThread = [&](int Tid) {
+    TestRng Rng(static_cast<std::uint64_t>(Tid) * 7919 + 17);
+    for (int It = 0; It < 8; ++It) {
+      int Op = static_cast<int>(Rng.next() % 6);
+      const auto &[Name, Src] =
+          Modules[static_cast<std::size_t>(Rng.next() % Modules.size())];
+      if (Op == 0 || Op == 1) {
+        // Plain analyze: when it succeeds it must match the oracle.
+        CallResult R = S.client(15000).call(analyzeReq(Name, Src));
+        if (R.ok()) {
+          OkCalls.fetch_add(1);
+          EXPECT_EQ(R.Resp->Bounds, Oracle[Name]) << Name;
+        } else if (R.Resp) {
+          TypedFailures.fetch_add(1);
+        } else {
+          TransportDrops.fetch_add(1);
+        }
+      } else if (Op == 2) {
+        // Analyze with an injected analysis fault: typed, never fatal.
+        Request R = analyzeReq(Name, Src);
+        R.InjectSite = "pivot";
+        CallResult F = S.client(15000).call(R);
+        if (F.Resp && !F.Resp->Ok)
+          TypedFailures.fetch_add(1);
+      } else if (Op == 3) {
+        // Client killed mid-request: half a header, then gone.
+        int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (Fd >= 0) {
+          struct sockaddr_un Addr;
+          memset(&Addr, 0, sizeof(Addr));
+          Addr.sun_family = AF_UNIX;
+          strncpy(Addr.sun_path, S.Opts.SocketPath.c_str(),
+                  sizeof(Addr.sun_path) - 1);
+          if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                        sizeof(Addr)) == 0) {
+            unsigned char Half[2] = {0, 0};
+            (void)!::send(Fd, Half, 2, MSG_NOSIGNAL);
+          }
+          ::close(Fd);
+        }
+      } else if (Op == 4) {
+        Request St;
+        St.Cmd = "stats";
+        (void)S.client(15000).call(St);
+      } else {
+        // Garbage frame on a raw connection.
+        Client C = S.client(15000);
+        std::string Err;
+        if (C.connect(&Err)) {
+          Request Bad;
+          Bad.Cmd = "analyze";
+          Bad.Source = "int broken(";
+          CallResult R = C.call(Bad);
+          if (R.Resp && !R.Resp->Ok)
+            TypedFailures.fetch_add(1);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back(ClientThread, T);
+  // Meanwhile, fire service-site faults into the storm.
+  for (faultinject::Site Site :
+       {faultinject::Site::Accept, faultinject::Site::RequestRead,
+        faultinject::Site::Dispatch}) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    faultinject::armGlobal(Site, 1, AnalysisErrorKind::InternalInvariant);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  faultinject::disarmGlobal();
+
+  EXPECT_GT(OkCalls.load(), 0);
+
+  // The daemon survived; every module still analyzes to the exact
+  // one-shot bounds on a clean connection.
+  ASSERT_TRUE(S.Srv->running());
+  for (const auto &[Name, Src] : Modules) {
+    CallResult R = S.client(15000).call(analyzeReq(Name, Src));
+    ASSERT_TRUE(R.ok()) << Name << ": " << R.TransportError;
+    EXPECT_EQ(R.Resp->Bounds, Oracle[Name]) << Name;
+  }
+}
