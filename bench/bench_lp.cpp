@@ -51,6 +51,25 @@ constexpr long MaxGeneratePivots = 480;
 /// the monolithic basis shared).
 constexpr long MaxScheduledPivots = 4520;
 
+/// Corpus-wide basis refactorization budget for the revised simplex core.
+/// Refactorizations are the expensive fallback of the eta-file/border
+/// update scheme: each one rebuilds the LU from scratch, so their count
+/// measures how well the incremental updates absorb pivots and added
+/// rows.  The committed core refactors 10 times over the corpus (the
+/// eta-limit-128 / fill-factor-8 policy); the threshold doubles that —
+/// the count is small enough that proportional headroom would gate on
+/// noise-level corpus growth.  Real growth means updates got longer or
+/// denser: the policy or the border scheme regressed.
+constexpr long MaxTotalRefactors = 20;
+
+/// Hard cap on the longest eta+border file any corpus solve accumulates.
+/// The refactor policy promises the update file never grows past the eta
+/// limit (a pivot that lands on the limit triggers an immediate rebuild),
+/// so the observed maximum must stay at or below SimplexInstance's
+/// default.  This is a contract check, not a tuned budget: exceeding it
+/// means wantsRefactor() stopped firing.
+constexpr long MaxEtaFileLen = 128;
+
 struct Row {
   std::string Name;
   bool Ok = false;
@@ -59,6 +78,8 @@ struct Row {
   long Pivots = 0;
   long Solves = 0;
   long WarmStarts = 0;
+  long Refactors = 0;
+  long MaxEtaLen = 0;
   int TableauRows = 0;
   int TableauCols = 0;
   double Density = 0;
@@ -68,9 +89,13 @@ struct Row {
 
 int main(int argc, char **argv) {
   // Optional fixture mode for CI smoke runs: pass program names to bench
-  // only those rows (the JSON and the pivot gate then cover the fixture).
+  // only those rows.  A fixture run writes BENCH_lp_fixture.json and arms
+  // no corpus thresholds; the committed BENCH_lp.json only ever comes
+  // from a full-corpus run with every gate live (a fixture run used to
+  // overwrite it with -1 thresholds, silently disarming the record).
+  const bool Fixture = argc > 1;
   std::vector<const CorpusEntry *> Entries;
-  if (argc > 1) {
+  if (Fixture) {
     for (int I = 1; I < argc; ++I) {
       const CorpusEntry *E = findEntry(argv[I]);
       if (!E) {
@@ -86,6 +111,7 @@ int main(int argc, char **argv) {
 
   std::vector<Row> Rows;
   long TotalPivots = 0, TotalGenPivots = 0, TotalSolves = 0, TotalWarm = 0;
+  long TotalRefactors = 0, CorpusMaxEtaLen = 0;
   int TwoStageCold = 0;
   double TotalSeconds = 0;
 
@@ -112,6 +138,8 @@ int main(int argc, char **argv) {
     R.Pivots = Stats.Pivots - Before.Pivots;
     R.Solves = Stats.Solves - Before.Solves;
     R.WarmStarts = Stats.WarmStarts - Before.WarmStarts;
+    R.Refactors = S.LpRefactors;
+    R.MaxEtaLen = S.LpMaxEtaLen;
     R.TableauRows = S.LpRows;
     R.TableauCols = S.LpCols;
     R.Density = S.LpDensity;
@@ -124,6 +152,9 @@ int main(int argc, char **argv) {
     TotalSolves += R.Solves;
     TotalWarm += R.WarmStarts;
     TotalSeconds += R.SolveSeconds;
+    TotalRefactors += R.Refactors;
+    if (R.MaxEtaLen > CorpusMaxEtaLen)
+      CorpusMaxEtaLen = R.MaxEtaLen;
     Rows.push_back(std::move(R));
   }
 
@@ -204,21 +235,24 @@ int main(int argc, char **argv) {
   double WarmRate =
       TotalSolves > 0 ? static_cast<double>(TotalWarm) / TotalSolves : 0.0;
 
-  FILE *F = std::fopen("BENCH_lp.json", "w");
+  FILE *F =
+      std::fopen(Fixture ? "BENCH_lp_fixture.json" : "BENCH_lp.json", "w");
   if (F) {
-    std::fprintf(F, "{\n  \"programs\": [\n");
+    std::fprintf(F, "{\n  \"mode\": \"%s\",\n  \"programs\": [\n",
+                 Fixture ? "fixture" : "full_corpus");
     for (std::size_t I = 0; I < Rows.size(); ++I) {
       const Row &R = Rows[I];
       std::fprintf(F,
                    "    {\"name\": \"%s\", \"ok\": %s, \"solve_seconds\": "
                    "%.6f, \"pivots\": %ld, \"generate_pivots\": %ld,\n"
                    "     \"lp_solves\": %ld, \"warm_starts\": %ld, "
-                   "\"tableau_rows\": %d, \"tableau_cols\": %d, "
+                   "\"refactors\": %ld, \"max_eta_len\": %ld,\n"
+                   "     \"tableau_rows\": %d, \"tableau_cols\": %d, "
                    "\"density\": %.4f}%s\n",
                    R.Name.c_str(), R.Ok ? "true" : "false", R.SolveSeconds,
                    R.Pivots, R.GeneratePivots, R.Solves, R.WarmStarts,
-                   R.TableauRows, R.TableauCols, R.Density,
-                   I + 1 < Rows.size() ? "," : "");
+                   R.Refactors, R.MaxEtaLen, R.TableauRows, R.TableauCols,
+                   R.Density, I + 1 < Rows.size() ? "," : "");
     }
     std::fprintf(F, "  ],\n");
     std::fprintf(F, "  \"total_solve_seconds\": %.6f,\n", TotalSeconds);
@@ -227,24 +261,37 @@ int main(int argc, char **argv) {
     std::fprintf(F, "  \"total_warm_starts\": %ld,\n", TotalWarm);
     std::fprintf(F, "  \"warm_start_rate\": %.4f,\n", WarmRate);
     std::fprintf(F, "  \"total_generate_pivots\": %ld,\n", TotalGenPivots);
+    std::fprintf(F, "  \"total_refactors\": %ld,\n", TotalRefactors);
+    std::fprintf(F, "  \"max_eta_len\": %ld,\n", CorpusMaxEtaLen);
     std::fprintf(F, "  \"pivot_threshold\": %ld,\n",
-                 argc > 1 ? -1 : MaxTotalPivots);
+                 Fixture ? -1 : MaxTotalPivots);
     std::fprintf(F, "  \"pivot_threshold_ok\": %s,\n",
-                 argc > 1 || TotalPivots <= MaxTotalPivots ? "true" : "false");
+                 Fixture || TotalPivots <= MaxTotalPivots ? "true" : "false");
     std::fprintf(F, "  \"generate_pivot_threshold\": %ld,\n",
-                 argc > 1 ? -1 : MaxGeneratePivots);
+                 Fixture ? -1 : MaxGeneratePivots);
     std::fprintf(F, "  \"generate_pivot_threshold_ok\": %s,\n",
-                 argc > 1 || TotalGenPivots <= MaxGeneratePivots ? "true"
-                                                                 : "false");
+                 Fixture || TotalGenPivots <= MaxGeneratePivots ? "true"
+                                                               : "false");
+    std::fprintf(F, "  \"refactor_threshold\": %ld,\n",
+                 Fixture ? -1 : MaxTotalRefactors);
+    std::fprintf(F, "  \"refactor_threshold_ok\": %s,\n",
+                 Fixture || TotalRefactors <= MaxTotalRefactors ? "true"
+                                                               : "false");
+    // The eta-length cap is a policy contract, so it is armed even on
+    // fixture subsets: a fixture solve overflowing the update file is as
+    // much of a bug as a corpus solve doing it.
+    std::fprintf(F, "  \"eta_len_threshold\": %ld,\n", MaxEtaFileLen);
+    std::fprintf(F, "  \"eta_len_threshold_ok\": %s,\n",
+                 CorpusMaxEtaLen <= MaxEtaFileLen ? "true" : "false");
     std::fprintf(F, "  \"scheduled_pivots\": %ld,\n", ScheduledPivots);
     std::fprintf(F, "  \"scheduled_waves\": %ld,\n", ScheduledWaves);
     std::fprintf(F, "  \"scheduled_summaries_applied\": %ld,\n",
                  ScheduledApplied);
     std::fprintf(F, "  \"scheduled_pivot_threshold\": %ld,\n",
-                 argc > 1 ? -1 : MaxScheduledPivots);
+                 Fixture ? -1 : MaxScheduledPivots);
     std::fprintf(F, "  \"scheduled_pivot_threshold_ok\": %s,\n",
-                 argc > 1 || ScheduledPivots <= MaxScheduledPivots ? "true"
-                                                                   : "false");
+                 Fixture || ScheduledPivots <= MaxScheduledPivots ? "true"
+                                                                  : "false");
     std::fprintf(F,
                  "  \"slice_fixture\": {\"constraints_sliced\": %ld, "
                  "\"constraints_unsliced\": %ld,\n"
@@ -259,34 +306,51 @@ int main(int argc, char **argv) {
   }
 
   std::printf("lp bench: %zu programs, %.3fs solve, %ld pivots "
-              "(+%ld generate-stage), %ld solves (%.0f%% warm); "
+              "(+%ld generate-stage), %ld solves (%.0f%% warm), "
+              "%ld refactors (max eta %ld); "
               "scheduled path: %ld pivots, %ld waves, %ld splices; "
               "slice fixture: %ld -> %ld constraints\n",
               Rows.size(), TotalSeconds, TotalPivots, TotalGenPivots,
-              TotalSolves, WarmRate * 100.0, ScheduledPivots, ScheduledWaves,
-              ScheduledApplied, UnslicedConstraints, SlicedConstraints);
+              TotalSolves, WarmRate * 100.0, TotalRefactors, CorpusMaxEtaLen,
+              ScheduledPivots, ScheduledWaves, ScheduledApplied,
+              UnslicedConstraints, SlicedConstraints);
 
   if (TwoStageCold > 0) {
     std::fprintf(stderr, "FAIL: %d two-stage solve(s) did not warm-start\n",
                  TwoStageCold);
     return 1;
   }
-  // The pivot gate only applies to full-corpus runs; a fixture subset has
-  // its own (much smaller) pivot total.
-  if (argc == 1 && TotalPivots > MaxTotalPivots) {
+  // The corpus budgets only apply to full-corpus runs; a fixture subset
+  // has its own (much smaller) totals.
+  if (!Fixture && TotalPivots > MaxTotalPivots) {
     std::fprintf(stderr,
                  "FAIL: corpus pivot total %ld exceeds threshold %ld\n",
                  TotalPivots, MaxTotalPivots);
     return 1;
   }
-  if (argc == 1 && TotalGenPivots > MaxGeneratePivots) {
+  if (!Fixture && TotalGenPivots > MaxGeneratePivots) {
     std::fprintf(stderr,
                  "FAIL: generate-stage pivot total %ld exceeds threshold "
                  "%ld (query-avoidance regression)\n",
                  TotalGenPivots, MaxGeneratePivots);
     return 1;
   }
-  if (argc == 1 && ScheduledPivots > MaxScheduledPivots) {
+  if (!Fixture && TotalRefactors > MaxTotalRefactors) {
+    std::fprintf(stderr,
+                 "FAIL: corpus refactorization total %ld exceeds threshold "
+                 "%ld (eta/border update regression)\n",
+                 TotalRefactors, MaxTotalRefactors);
+    return 1;
+  }
+  // The eta-length contract holds for any subset (see above).
+  if (CorpusMaxEtaLen > MaxEtaFileLen) {
+    std::fprintf(stderr,
+                 "FAIL: longest eta+border file %ld exceeds the refactor "
+                 "policy cap %ld (wantsRefactor() not firing)\n",
+                 CorpusMaxEtaLen, MaxEtaFileLen);
+    return 1;
+  }
+  if (!Fixture && ScheduledPivots > MaxScheduledPivots) {
     std::fprintf(stderr,
                  "FAIL: scheduled-path pivot total %ld exceeds threshold "
                  "%ld (SCC decomposition regression)\n",

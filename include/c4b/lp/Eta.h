@@ -1,0 +1,84 @@
+//===--- Eta.h - Product-form eta file for the revised simplex --*- C++ -*-===//
+//
+// Part of the c4b project (PLDI'15 "Compositional Certified Resource
+// Bounds" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The product-form-of-the-inverse eta file layered on top of the basis LU
+/// factors (Basis.h).  A simplex pivot that brings column `a_q` into basis
+/// position `r` turns the basis `B` into `B' = B * E` with
+///
+///     E = I + (d - e_r) e_r^T,      d = B^-1 a_q,
+///
+/// i.e. `E` is the identity with column `r` replaced by `d`.  `d` is the
+/// FTRAN'd entering column the ratio test already computed, so recording a
+/// pivot costs only the copy of `d`'s nonzeros — no factor is touched.
+/// Solves then peel etas around the LU core:
+///
+///     FTRAN:  B'^-1 v = E_k^-1 ... E_1^-1 (LU)^-1 v   (etas in push order)
+///     BTRAN:  B'^-T v = (LU)^-T E_1^-T ... E_k^-T v   (etas in reverse)
+///
+/// with the closed forms  E^-1 v: z_r = v_r / d_r, z_i = v_i - d_i z_r  and
+/// E^-T y: y'_r = (y_r - sum_{i != r} d_i y_i) / d_r, y'_i = y_i.  All
+/// arithmetic is exact `Rational`; an eta transform neither rounds nor
+/// reorders anything, so solves through the file equal solves against a
+/// fresh factorization bit for bit — which is why the refactorization
+/// schedule can never change a pivot choice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4B_LP_ETA_H
+#define C4B_LP_ETA_H
+
+#include "c4b/support/Rational.h"
+
+#include <utility>
+#include <vector>
+
+namespace c4b {
+
+/// One pivot's eta transform: basis position `R` was replaced along the
+/// FTRAN'd entering column `d`, stored as the pivot element `DR = d[R]`
+/// plus the off-pivot nonzeros `DOff`.
+struct Eta {
+  int R = -1;
+  Rational DR;
+  std::vector<std::pair<int, Rational>> DOff;
+
+  std::size_t nonzeros() const { return DOff.size() + 1; }
+};
+
+/// The eta transforms accumulated since the last (re)factorization, in
+/// pivot order, with the solve routines that apply them.
+class EtaFile {
+public:
+  /// Records the pivot (position `R`, dense FTRAN'd column `D` of size m).
+  /// `D[R]` must be nonzero.  Zero entries of `D` are dropped.
+  void push(int R, const std::vector<Rational> &D);
+
+  /// V := E_k^-1 ... E_1^-1 V (the FTRAN tail), in push order.
+  void applyFtran(std::vector<Rational> &V) const;
+
+  /// V := E_1^-T ... E_k^-T V (the BTRAN head), in reverse push order.
+  void applyBtran(std::vector<Rational> &V) const;
+
+  void clear() {
+    Etas.clear();
+    Nnz = 0;
+  }
+  int size() const { return static_cast<int>(Etas.size()); }
+  bool empty() const { return Etas.empty(); }
+  /// Total stored nonzeros across the file (the fill the refactorization
+  /// policy bounds).
+  long nonzeros() const { return Nnz; }
+
+private:
+  std::vector<Eta> Etas;
+  long Nnz = 0;
+};
+
+} // namespace c4b
+
+#endif // C4B_LP_ETA_H

@@ -81,10 +81,15 @@ public:
   /// Lifetime simplex work, across any cold rebuilds of the live instance.
   long totalPivots() const;
   long warmStarts() const;
-  /// Shape of the live reduced tableau (zeros before the first solve).
+  /// Shape of the live reduced system (zeros before the first solve).
   int tableauRows() const;
   int tableauCols() const;
   double tableauDensity() const;
+  /// Basis refactorizations of the revised core (eta-budget trips plus
+  /// staleness rebuilds), across any cold rebuilds of the live instance.
+  long totalRefactors() const;
+  /// Peak eta-file length any instance reached (bounded by the eta limit).
+  int maxEtaLen() const;
 
 private:
   int NumVars = 0;
@@ -120,6 +125,8 @@ private:
   std::size_t SubstAtBuild = 0;
   long RetiredPivots = 0;     ///< pivots of discarded instances
   long RetiredWarmStarts = 0; ///< warm starts of discarded instances
+  long RetiredRefactors = 0;  ///< refactorizations of discarded instances
+  int RetiredMaxEtaLen = 0;   ///< peak eta length of discarded instances
 
   AffineExpr flatten(const std::vector<LinTerm> &Terms,
                      const Rational &Const) const;

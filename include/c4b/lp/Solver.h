@@ -12,26 +12,37 @@
 /// anti-cycling fallback.  Exactness matters here because an LP solution
 /// *is* the proof certificate; there is no tolerance to hide behind.
 ///
-/// The constraint rows the Figure-4 derivation emits are extremely sparse
-/// (a handful of potential-annotation variables per row), so the core is a
-/// *sparse* tableau: rows are sorted index/coefficient pairs, per-column
-/// occurrence lists confine every pivot to the rows with a nonzero in the
-/// entering column, and reduced costs are updated incrementally from the
-/// pivot row's nonzeros alone.  `SimplexInstance` keeps the tableau and
-/// basis alive across calls so a follow-up solve (a new objective, or a
+/// The core is the *revised* simplex method: the constraint matrix is
+/// stored once, immutable, and only the basis is represented — as a
+/// sparse LU factorization (Basis.h) topped by a product-form eta file
+/// (Eta.h).  Reduced costs are initialized by one BTRAN pricing pass
+/// (`y^T = c_B^T B^-1`, then `c_j - y . a_j` against the original
+/// columns) and maintained incrementally: each pivot recovers its tableau
+/// row with one sparse BTRAN of a unit vector and folds it into the
+/// reduced-cost vector, exactly as the dense tableau does.  The ratio
+/// test runs on one FTRAN (`d = B^-1 a_q`); a pivot appends one eta
+/// instead of rewriting a tableau, and the factorization is rebuilt only
+/// when the eta file outgrows its length or fill budget.  `SimplexInstance` keeps the basis
+/// alive across calls so a follow-up solve (a new objective, or a
 /// constraint the current vertex already satisfies) restarts from the
 /// current basis instead of re-running phase 1 — the warm start that makes
 /// the paper's two-stage lexicographic optimization cheap.
 ///
 /// Pivot rules and tie-breaks are shared bit-for-bit with the retained
-/// dense oracle (ReferenceSolver.h); the differential tests enforce that
-/// both produce identical statuses, objectives, and solution vectors.
+/// dense tableau oracle (ReferenceSolver.h): every priced or ratio-tested
+/// quantity is computed exactly, so Dantzig/Bland elections and leaving-
+/// row tie-breaks see identical rationals in both implementations, and the
+/// differential tests enforce identical statuses, objectives, solution
+/// vectors, and pivot counts.  Refactorization timing provably cannot
+/// perturb this: solves through fresh factors and through the eta file are
+/// the same exact linear maps.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef C4B_LP_SOLVER_H
 #define C4B_LP_SOLVER_H
 
+#include "c4b/lp/Basis.h"
 #include "c4b/support/Rational.h"
 
 #include <string>
@@ -106,24 +117,27 @@ struct LPStats {
   long Solves = 0;      ///< minimize/feasibility solves completed
   long Pivots = 0;      ///< simplex pivots across all solves
   long WarmStarts = 0;  ///< solves that restarted from a live basis
+  long Refactors = 0;   ///< basis refactorizations beyond each first build
 };
 
 /// The calling thread's running counters.  Stages snapshot-and-subtract to
 /// attribute pivots; nothing ever resets them.
 LPStats &lpThreadStats();
 
-/// A live sparse simplex over one constraint system.  The tableau and the
-/// current basis persist across calls:
+/// A live revised simplex over one constraint system.  The column store,
+/// basis, and basis factors persist across calls:
 ///
 ///   * `ensureFeasible` runs phase 1 once; a following `minimize` reuses
 ///     the feasible basis and only pays phase 2.
 ///   * A second `minimize` with a different objective re-prices and
 ///     re-optimizes from the current optimal basis (no phase 1 at all).
-///   * `addConstraint` splices a row into the live tableau.  When the
-///     current vertex satisfies the new row the basis stays feasible and
-///     the next solve is warm; otherwise one artificial variable is added
-///     and the next solve re-runs a (short, warm) phase 1 from the
-///     current basis.
+///   * `addConstraint` appends a row to the immutable column store and
+///     borders the basis with the new row's slack or artificial; the
+///     factorization is marked stale and lazily rebuilt on the next
+///     solve.  When the current vertex satisfies the new row the basis
+///     stays feasible and the next solve is warm; otherwise one
+///     artificial variable is added and the next solve re-runs a (short,
+///     warm) phase 1 from the current basis.
 ///   * `addVar` appends a fresh non-negative variable (a zero column).
 ///
 /// This is what makes the two-stage lexicographic objective cheap: stage 2
@@ -151,35 +165,58 @@ public:
   int numVars() const { return NumOrig; }
   long pivots() const { return PivotCount; }
   long warmStarts() const { return WarmStartCount; }
-  int numRows() const { return static_cast<int>(Rows.size()); }
+  int numRows() const { return NumRows; }
   int numCols() const { return NumCols; }
-  /// Fraction of tableau entries currently nonzero (1.0 for an empty
-  /// tableau, to keep the benchmark arithmetic simple).
+  /// Fraction of constraint-matrix entries nonzero (1.0 for an empty
+  /// system, to keep the benchmark arithmetic simple).  The matrix is
+  /// immutable under the revised method, so unlike the old tableau
+  /// density this does not drift as pivots fill rows in.
   double density() const;
 
+  /// Caps the eta-file length before the basis is refactored (clamped to
+  /// >= 1).  A policy knob only: refactorization timing never changes any
+  /// pivot, so tests force tiny limits to exercise refactor boundaries.
+  void setEtaLimit(int Limit) { Factors.setEtaLimit(Limit); }
+  int etaLimit() const { return Factors.etaLimit(); }
+  /// Basis refactorizations performed beyond the first build of each
+  /// factorization lifetime (eta-budget trips plus staleness rebuilds
+  /// after addConstraint).
+  long refactors() const { return RefactorCount; }
+  /// Peak eta-file length ever reached (bounded by the eta limit).
+  int maxEtaLen() const { return MaxEtaLenEver; }
+
 private:
-  /// A tableau row: (column, coefficient) pairs sorted by column, zeros
-  /// never stored.
+  /// A sparse column of the constraint matrix: (row, coefficient) pairs
+  /// sorted by row, zeros never stored.  Immutable once installed —
+  /// pivots touch only the basis factors.
+  using SparseCol = std::vector<std::pair<int, Rational>>;
+  /// A sparse row under construction: (column, coefficient) pairs sorted
+  /// by column.
   using SparseRow = std::vector<std::pair<int, Rational>>;
 
   int NumOrig = 0; ///< Original problem variables (grows with addVar).
   int NumCols = 0;
+  int NumRows = 0;
   std::vector<int> PosCol, NegCol;
-  std::vector<SparseRow> Rows;
-  std::vector<Rational> Rhss;
-  std::vector<int> Basis;
+  /// The constraint matrix, column-wise.
+  std::vector<SparseCol> Cols;
+  /// The same matrix row-wise (sorted by column), for the sparse
+  /// pivot-row scatter that updates reduced costs.  Also immutable.
+  std::vector<SparseRow> RowsA;
+  /// Original (sign-normalized) right-hand sides, by row.
+  std::vector<Rational> Rhs0;
+  /// Current basic values, by basis position (position == row).
+  std::vector<Rational> XB;
+  std::vector<int> Basis;      ///< Basic column per position.
+  std::vector<int> BasisPosOf; ///< Column -> basis position, or -1.
   /// Per-column artificial flag: O(1) instead of scanning a list.
   std::vector<unsigned char> IsArt;
   std::vector<int> ArtificialCols;
-  /// Column occurrence lists: ColRows[c] holds the rows that *may* have a
-  /// nonzero in column c.  Entries go stale when a coefficient cancels;
-  /// scans verify against the row and compact in place.
-  std::vector<std::vector<int>> ColRows;
-  /// Epoch marks for deduplicating occurrence-list scans.
-  std::vector<int> RowMark;
-  int MarkEpoch = 0;
-  /// Scratch row for sparse axpy (buffers swap, so capacity is reused).
-  SparseRow Scratch;
+  /// LU factors of the current basis plus the eta file of pivots since.
+  BasisFactors Factors;
+  /// True when the factors do not describe the current basis (initially,
+  /// and after addConstraint borders the basis); the next solve rebuilds.
+  bool FactorStale = true;
 
   bool Phase1Done = false;
   bool Feasible = true;
@@ -188,12 +225,30 @@ private:
   bool Unbounded = false;
   long PivotCount = 0;
   long WarmStartCount = 0;
+  long LuBuilds = 0;
+  long RefactorCount = 0;
+  int MaxEtaLenEver = 0;
 
-  const Rational *rowCoef(int Row, int Col) const;
+  /// Scratch for the reduced-cost update scatter (sized to NumCols on
+  /// demand; values are always restored to zero after use).
+  std::vector<Rational> AlphaScratch;
+  std::vector<int> TouchedCols;
+  std::vector<unsigned char> TouchedMark;
+
   void appendRow(SparseRow Row, Rational Rhs, Rel R);
-  void axpyRow(int Row, const Rational &F, const SparseRow &PivotRow);
-  void pivot(int Row, int Col);
+  void factorNow();
+  void refreshFactors();
+  /// Installs the pivot (leaving position, entering column) given the
+  /// FTRAN'd entering column D and the ratio-test step Theta.
+  void applyPivot(int Leave, int Enter, const std::vector<Rational> &D,
+                  const Rational &Theta);
+  /// CBar -= F * (row Leave of the post-pivot tableau), computed as one
+  /// sparse BTRAN of a unit vector plus a row-wise scatter against the
+  /// immutable matrix.
+  void updateReducedCosts(std::vector<Rational> &CBar, const Rational &F,
+                          int Leave);
   Rational optimize(const std::vector<Rational> &Cost);
+  Rational objectiveValue(const std::vector<Rational> &Cost) const;
   std::vector<Rational> extract() const;
   SparseRow buildRow(const std::vector<LinTerm> &Terms) const;
 };

@@ -164,7 +164,13 @@ public:
   /// serial entry points produce for the same job.
   std::vector<BatchItem> run(const std::vector<BatchJob> &Jobs);
 
+  /// The configured worker count (the constructor's request, with <= 0
+  /// already resolved to the hardware concurrency).
   int numThreads() const { return NumThreads; }
+  /// The worker count a run actually uses: numThreads() clamped to the
+  /// hardware concurrency.  Oversubscribed requests keep their configured
+  /// numThreads() but never spawn more workers than cores.
+  int effectiveThreads() const;
   const BatchStats &stats() const { return Stats; }
 
 private:

@@ -233,11 +233,16 @@ struct SolvedSystem {
   /// Solves that restarted from a live basis (the stage-2 lexicographic
   /// re-optimization warm-starts from the stage-1 optimum).
   long LpWarmStarts = 0;
-  /// Shape of the presolved tableau the simplex actually ran on.
+  /// Shape of the presolved system the simplex actually ran on.
   int LpRows = 0;
   int LpCols = 0;
-  /// Fraction of tableau entries nonzero after presolve.
+  /// Fraction of constraint-matrix entries nonzero after presolve.
   double LpDensity = 0.0;
+  /// Basis refactorizations of the revised simplex core (eta-budget
+  /// trips plus staleness rebuilds after warm addConstraint).
+  long LpRefactors = 0;
+  /// Peak eta-file length reached (bounded by the refactor policy).
+  int LpMaxEtaLen = 0;
 
   bool ok() const { return Status == LPStatus::Optimal && !Err.isError(); }
 };

@@ -1,0 +1,113 @@
+//===--- Synthetic.cpp - Synthetic large-corpus generator ------------------===//
+
+#include "c4b/corpus/Synthetic.h"
+
+using namespace c4b;
+
+namespace {
+
+/// Minimal deterministic LCG (Knuth's MMIX multiplier).  Not
+/// std::mt19937: the standard engines promise identical streams, but the
+/// distributions on top do not, and benchmark corpora must be
+/// byte-identical across standard libraries.
+class Lcg {
+public:
+  explicit Lcg(std::uint64_t Seed) : S(Seed) {}
+  std::uint64_t next() {
+    S = S * 6364136223846793005ULL + 1442695040888963407ULL;
+    return S >> 16;
+  }
+  /// Uniform-ish in [0, N).
+  int pick(int N) { return static_cast<int>(next() % static_cast<std::uint64_t>(N)); }
+
+private:
+  std::uint64_t S;
+};
+
+/// Emits one loop drawn from the pattern pool over parameters `a, b, c`.
+/// Every pattern is linearly boundable by the paper's system (countdowns,
+/// amortized transfer a-la t07, nested drains a-la t13), so the whole
+/// corpus certifies and a failed synthetic job always means a real bug.
+/// The pool is weighted, and the amortized patterns are only offered to
+/// chain-head functions (\p AllowAmortized): an amortized summary's
+/// potential indices splice into every transitive caller's LP, so a t07
+/// transfer deep in a chain multiplies the pivot cost of everything above
+/// it.  Heads are consumed only by the module entry (plus the occasional
+/// cross-chain call), which keeps modules chunky but bounded — like real
+/// corpora, where most loops are plain countdowns.
+void emitLoop(std::string &Out, Lcg &Rng, int Fuel, bool AllowAmortized) {
+  int P = Rng.pick(12);
+  if (!AllowAmortized && P >= 10)
+    P = Rng.pick(10);
+  if (P < 5) { // Plain countdown.
+    Out += "  while (a > 0) { a--; tick(1); }\n";
+  } else if (P < 8) { // Race of two counters (t10 idiom).
+    Out += "  while (a > b) { a--; tick(1); }\n";
+  } else if (P < 10) { // Chunked countdown (t08 idiom), step from the stream.
+    Out += "  while (c > " + std::to_string(1 + Rng.pick(3)) + ") { c = c - " +
+           std::to_string(2 + Rng.pick(Fuel)) + "; tick(1); }\n";
+  } else if (P < 11) { // Amortized transfer into a later drain (t07 idiom).
+    Out += "  while (a > 0) { a--; b = b + 2; tick(1); }\n"
+           "  while (b > 0) { b--; tick(1); }\n";
+  } else { // Nested drain: inner loop amortizes against b (t13 idiom).
+    Out += "  while (a > 0) {\n"
+           "    a--;\n"
+           "    if (*) b++;\n"
+           "    else {\n"
+           "      while (b > 0) { b--; tick(1); }\n"
+           "    }\n"
+           "    tick(1);\n"
+           "  }\n";
+  }
+}
+
+std::string funcName(int Module, int Func) {
+  return "m" + std::to_string(Module) + "_f" + std::to_string(Func);
+}
+
+} // namespace
+
+std::vector<SyntheticModule>
+c4b::generateSyntheticCorpus(const SyntheticSpec &Spec) {
+  std::vector<SyntheticModule> Out;
+  Out.reserve(static_cast<std::size_t>(Spec.NumModules < 0 ? 0 : Spec.NumModules));
+  const int Funcs = Spec.FunctionsPerModule < 1 ? 1 : Spec.FunctionsPerModule;
+  const int Chain = Spec.ChainDepth < 1 ? 1 : Spec.ChainDepth;
+  const int Loops = Spec.LoopFanout < 1 ? 1 : Spec.LoopFanout;
+
+  for (int M = 0; M < Spec.NumModules; ++M) {
+    // Per-module stream: module contents are independent of NumModules,
+    // so growing the corpus only appends modules.
+    Lcg Rng(Spec.Seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(M + 1)));
+    SyntheticModule Mod;
+    Mod.Name = "synth_m" + std::to_string(M);
+
+    std::string Src;
+    // Callee-first bodies: function i calls i-1 inside its chain stratum,
+    // plus one cross-chain call to an arbitrary earlier function for DAG
+    // width (the SCC scheduler then sees both depth and fan-in).
+    for (int F = 0; F < Funcs; ++F) {
+      bool ChainHead = F % Chain == Chain - 1 || F == Funcs - 1;
+      Src += "void " + funcName(M, F) + "(int a, int b, int c) {\n";
+      for (int L = 0; L < Loops; ++L)
+        emitLoop(Src, Rng, 4, ChainHead);
+      if (F % Chain != 0)
+        Src += "  " + funcName(M, F - 1) + "(a, b, c);\n";
+      if (F > 1 && Rng.pick(3) == 0)
+        Src += "  " + funcName(M, Rng.pick(F - 1)) + "(b, c, a);\n";
+      Src += "}\n";
+    }
+    // Entry point fans out to every chain head's top so the whole module
+    // is reachable from one function.
+    Mod.EntryFunc = "m" + std::to_string(M) + "_main";
+    Src += "void " + Mod.EntryFunc + "(int a, int b, int c) {\n";
+    for (int F = Funcs - 1; F >= 0; --F)
+      if (F % Chain == Chain - 1 || F == Funcs - 1)
+        Src += "  " + funcName(M, F) + "(a, b, c);\n";
+    Src += "  tick(1);\n}\n";
+
+    Mod.Source = std::move(Src);
+    Out.push_back(std::move(Mod));
+  }
+  return Out;
+}

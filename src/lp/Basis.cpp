@@ -1,0 +1,310 @@
+//===--- Basis.cpp - Sparse LU basis factors ------------------------------===//
+//
+// Right-looking exact Gaussian elimination with a Markowitz-style fill
+// heuristic, and the FTRAN/BTRAN solves against the resulting factors.
+// Over exact rationals any nonzero pivot is numerically safe, so the
+// elimination order is purely a fill decision: the solves below return the
+// exact solutions of Bx = v and B^T y = c for every ordering, which is
+// what lets the simplex on top promise bit-identical pivot trajectories
+// regardless of when (or how often) the basis is refactored.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/lp/Basis.h"
+
+#include "c4b/support/Error.h"
+
+#include <algorithm>
+
+using namespace c4b;
+
+namespace {
+
+/// R -= Mult * PR, sparsely merged over sorted position/value rows.  Exact
+/// cancellations drop the entry; fill-in and cancellation are reported
+/// into the active-column counts driving the Markowitz scores, and each
+/// fill position is recorded in the column's candidate-row list so the
+/// elimination loop only ever visits rows that can carry a pivot.
+void mergeEliminate(std::vector<std::pair<int, Rational>> &R, int RowIdx,
+                    const std::vector<std::pair<int, Rational>> &PR,
+                    const Rational &Mult, std::vector<long> &ColCnt,
+                    std::vector<std::vector<int>> &ColRows,
+                    std::vector<std::pair<int, Rational>> &Scratch) {
+  Scratch.clear();
+  std::size_t A = 0, B = 0;
+  while (A < R.size() || B < PR.size()) {
+    if (B == PR.size() || (A < R.size() && R[A].first < PR[B].first)) {
+      Scratch.push_back(std::move(R[A++]));
+    } else if (A == R.size() || PR[B].first < R[A].first) {
+      // Fill-in: PR carries a position R lacked.  Mult and the entry are
+      // both nonzero, so over exact rationals the product never vanishes.
+      Rational NV = Mult * PR[B].second;
+      NV = -NV;
+      ++ColCnt[static_cast<std::size_t>(PR[B].first)];
+      ColRows[static_cast<std::size_t>(PR[B].first)].push_back(RowIdx);
+      Scratch.emplace_back(PR[B].first, std::move(NV));
+      ++B;
+    } else {
+      Rational NV = std::move(R[A].second);
+      NV -= Mult * PR[B].second;
+      if (NV.isZero())
+        --ColCnt[static_cast<std::size_t>(R[A].first)];
+      else
+        Scratch.emplace_back(R[A].first, std::move(NV));
+      ++A;
+      ++B;
+    }
+  }
+  R.swap(Scratch);
+}
+
+} // namespace
+
+void BasisFactors::factor(const std::vector<SparseCol> &Cols,
+                          const std::vector<int> &Basis) {
+  const int M = static_cast<int>(Basis.size());
+  NumRows = M;
+  Steps.clear();
+  Steps.reserve(static_cast<std::size_t>(M));
+  Borders.clear();
+  LuNnz = 0;
+  BorderNnz = 0;
+  File.clear();
+
+  // Scatter the basis columns into working rows over *positions*: column k
+  // of B is the A-column basic in position k.
+  std::vector<std::vector<std::pair<int, Rational>>> W(
+      static_cast<std::size_t>(M));
+  std::vector<long> ColCnt(static_cast<std::size_t>(M), 0);
+  for (int K = 0; K < M; ++K) {
+    const SparseCol &C = Cols[static_cast<std::size_t>(Basis[K])];
+    ColCnt[static_cast<std::size_t>(K)] = static_cast<long>(C.size());
+    for (const auto &[Row, V] : C) {
+      C4B_CHECK_INVARIANT(Row >= 0 && Row < M && "basis column out of range");
+      W[static_cast<std::size_t>(Row)].emplace_back(K, V);
+    }
+  }
+  for (auto &R : W)
+    std::sort(R.begin(), R.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+
+  // Candidate rows per position (lazily cleaned: cancellation can leave
+  // stale entries, checked against the row on use) and a lazy min-heap of
+  // (row size, row) for pivot-row selection.  Every size change pushes a
+  // fresh heap entry; stale ones are skipped on pop.  Together these make
+  // the factorization cost proportional to the work actually done — the
+  // analysis' bases are near-identity, and scanning all M rows per step
+  // dominated everything else at the old O(M^2).
+  std::vector<std::vector<int>> ColRows(static_cast<std::size_t>(M));
+  for (int I = 0; I < M; ++I)
+    for (const auto &[J, V] : W[static_cast<std::size_t>(I)]) {
+      (void)V;
+      ColRows[static_cast<std::size_t>(J)].push_back(I);
+    }
+  // Min-heap via std::greater over (size, row): the pop order is exactly
+  // the old linear scan's "sparsest row, ties to the smallest index".
+  std::vector<std::pair<std::size_t, int>> Heap;
+  Heap.reserve(static_cast<std::size_t>(M));
+  for (int I = 0; I < M; ++I)
+    Heap.emplace_back(W[static_cast<std::size_t>(I)].size(), I);
+  std::make_heap(Heap.begin(), Heap.end(), std::greater<>());
+  auto HeapPush = [&Heap](std::size_t Size, int Row) {
+    Heap.emplace_back(Size, Row);
+    std::push_heap(Heap.begin(), Heap.end(), std::greater<>());
+  };
+
+  std::vector<unsigned char> RowDone(static_cast<std::size_t>(M), 0);
+  std::vector<std::pair<int, Rational>> Scratch;
+  for (int StepNo = 0; StepNo < M; ++StepNo) {
+    // Markowitz-style pivot: eliminate the sparsest remaining row, on its
+    // entry in the sparsest remaining column (ties to the smallest index).
+    // A fill decision only — exactness makes every nonzero pivot safe.
+    int P = -1;
+    while (!Heap.empty()) {
+      auto [Size, Row] = Heap.front();
+      std::pop_heap(Heap.begin(), Heap.end(), std::greater<>());
+      Heap.pop_back();
+      if (RowDone[static_cast<std::size_t>(Row)] ||
+          W[static_cast<std::size_t>(Row)].size() != Size)
+        continue; // Stale entry: row finished or resized since the push.
+      P = Row;
+      break;
+    }
+    C4B_CHECK_INVARIANT(P >= 0 && !W[static_cast<std::size_t>(P)].empty() &&
+                        "singular basis in LU factorization");
+    std::vector<std::pair<int, Rational>> &PR = W[static_cast<std::size_t>(P)];
+    int CPos = -1;
+    for (const auto &[J, V] : PR) {
+      (void)V;
+      if (CPos < 0 || ColCnt[static_cast<std::size_t>(J)] <
+                          ColCnt[static_cast<std::size_t>(CPos)])
+        CPos = J;
+    }
+
+    Step S;
+    S.PRow = P;
+    S.PPos = CPos;
+    RowDone[static_cast<std::size_t>(P)] = 1;
+    for (auto &Entry : PR) {
+      --ColCnt[static_cast<std::size_t>(Entry.first)];
+      if (Entry.first == CPos)
+        S.Diag = std::move(Entry.second);
+      else
+        S.URow.emplace_back(Entry.first, std::move(Entry.second));
+    }
+
+    // Eliminate the pivot position from the rows carrying it.  A row can
+    // appear more than once in the candidate list; the first visit erases
+    // its pivot-position entry, so duplicates fail the lookup and skip.
+    for (int I : ColRows[static_cast<std::size_t>(CPos)]) {
+      if (I == P || RowDone[static_cast<std::size_t>(I)])
+        continue;
+      std::vector<std::pair<int, Rational>> &RI = W[static_cast<std::size_t>(I)];
+      auto It = std::lower_bound(
+          RI.begin(), RI.end(), CPos,
+          [](const auto &E, int C) { return E.first < C; });
+      if (It == RI.end() || It->first != CPos)
+        continue; // Stale candidate: the entry cancelled earlier.
+      Rational Mult = It->second / S.Diag;
+      mergeEliminate(RI, I, S.URow, Mult, ColCnt, ColRows, Scratch);
+      // The pivot-position entry itself cancels by construction; URow no
+      // longer carries it, so drop it directly.
+      auto Del = std::lower_bound(
+          RI.begin(), RI.end(), CPos,
+          [](const auto &E, int C) { return E.first < C; });
+      if (Del != RI.end() && Del->first == CPos)
+        RI.erase(Del);
+      S.Mults.emplace_back(I, std::move(Mult));
+      HeapPush(RI.size(), I);
+    }
+    ColRows[static_cast<std::size_t>(CPos)].clear();
+    LuNnz += 1 + static_cast<long>(S.URow.size()) +
+             static_cast<long>(S.Mults.size());
+    PR.clear();
+    PR.shrink_to_fit();
+    Steps.push_back(std::move(S));
+  }
+}
+
+void BasisFactors::ftran(std::vector<Rational> &X) const {
+  C4B_CHECK_INVARIANT(static_cast<int>(X.size()) == NumRows &&
+                      "FTRAN vector size mismatch");
+  // Border rows first, newest outermost: x_border -= t . x over the
+  // earlier components (which no border modifies).
+  for (auto It = Borders.rbegin(); It != Borders.rend(); ++It) {
+    Rational &XB = X[static_cast<std::size_t>(It->Row)];
+    for (const auto &[I, T] : It->T) {
+      const Rational &XI = X[static_cast<std::size_t>(I)];
+      if (!XI.isZero())
+        XB -= T * XI;
+    }
+  }
+  // L-solve: replay the elimination on the right-hand side.
+  for (const Step &S : Steps) {
+    const Rational &T = X[static_cast<std::size_t>(S.PRow)];
+    if (T.isZero())
+      continue;
+    for (const auto &[I, M] : S.Mults)
+      X[static_cast<std::size_t>(I)] -= M * T;
+  }
+  // U back-substitution, landing in basis-position space.  Border rows
+  // sit on the extended diagonal: position == row, value / Diag.
+  std::vector<Rational> Sol(X.size());
+  for (auto It = Steps.rbegin(); It != Steps.rend(); ++It) {
+    Rational V = std::move(X[static_cast<std::size_t>(It->PRow)]);
+    for (const auto &[J, U] : It->URow) {
+      const Rational &SJ = Sol[static_cast<std::size_t>(J)];
+      if (!SJ.isZero())
+        V -= U * SJ;
+    }
+    if (!V.isZero())
+      V /= It->Diag;
+    Sol[static_cast<std::size_t>(It->PPos)] = std::move(V);
+  }
+  for (const Border &B : Borders) {
+    Rational V = std::move(X[static_cast<std::size_t>(B.Row)]);
+    if (!V.isZero())
+      V /= B.Diag;
+    Sol[static_cast<std::size_t>(B.Row)] = std::move(V);
+  }
+  X = std::move(Sol);
+  File.applyFtran(X);
+}
+
+void BasisFactors::btran(std::vector<Rational> &Y) const {
+  C4B_CHECK_INVARIANT(static_cast<int>(Y.size()) == NumRows &&
+                      "BTRAN vector size mismatch");
+  File.applyBtran(Y);
+  // The extended diagonal resolves border components directly.
+  for (const Border &B : Borders) {
+    Rational &YB = Y[static_cast<std::size_t>(B.Row)];
+    if (!YB.isZero())
+      YB /= B.Diag;
+  }
+  // U^T forward solve: basis-position space to row space.  Y doubles as
+  // the accumulator of not-yet-resolved equations.
+  std::vector<Rational> W(Y.size());
+  for (const Step &S : Steps) {
+    Rational WK = std::move(Y[static_cast<std::size_t>(S.PPos)]);
+    if (!WK.isZero()) {
+      WK /= S.Diag;
+      for (const auto &[J, U] : S.URow)
+        Y[static_cast<std::size_t>(J)] -= U * WK;
+    }
+    W[static_cast<std::size_t>(S.PRow)] = std::move(WK);
+  }
+  // L^T solve: transposed elimination steps in reverse order.
+  for (auto It = Steps.rbegin(); It != Steps.rend(); ++It) {
+    Rational &T = W[static_cast<std::size_t>(It->PRow)];
+    for (const auto &[I, M] : It->Mults) {
+      const Rational &WI = W[static_cast<std::size_t>(I)];
+      if (!WI.isZero())
+        T -= M * WI;
+    }
+  }
+  // Border rows last, oldest first: y -= y_border * t spreads each border
+  // component back over the earlier rows.
+  for (const Border &B : Borders) {
+    W[static_cast<std::size_t>(B.Row)] = std::move(Y[static_cast<std::size_t>(B.Row)]);
+    const Rational &YB = W[static_cast<std::size_t>(B.Row)];
+    if (YB.isZero())
+      continue;
+    for (const auto &[I, T] : B.T)
+      W[static_cast<std::size_t>(I)] -= T * YB;
+  }
+  Y = std::move(W);
+}
+
+void BasisFactors::border(std::vector<Rational> RowPos, Rational Diag) {
+  C4B_CHECK_INVARIANT(valid() &&
+                      static_cast<int>(RowPos.size()) == NumRows &&
+                      "border row size mismatch");
+  C4B_CHECK_INVARIANT(!Diag.isZero() && "border with singular diagonal");
+  // t = B^-T r: express the new row over the current basis once, so every
+  // later solve pays a sparse dot instead of a refactorization.
+  btran(RowPos);
+  Border B;
+  B.Row = NumRows;
+  B.Diag = std::move(Diag);
+  for (int I = 0; I < NumRows; ++I)
+    if (!RowPos[static_cast<std::size_t>(I)].isZero())
+      B.T.emplace_back(I, std::move(RowPos[static_cast<std::size_t>(I)]));
+  BorderNnz += 1 + static_cast<long>(B.T.size());
+  Borders.push_back(std::move(B));
+  ++NumRows;
+}
+
+void BasisFactors::pushEta(int R, const std::vector<Rational> &D) {
+  File.push(R, D);
+}
+
+bool BasisFactors::wantsRefactor() const {
+  if (File.size() + static_cast<int>(Borders.size()) >= EtaLimit)
+    return true;
+  // Fill trigger: the product-form updates dwarf the factors they wrap,
+  // so each solve pays more in eta and border traversal than a fresh
+  // factorization would cost.
+  return File.nonzeros() + BorderNnz > FillFactor * (LuNnz + NumRows);
+}
+
+void BasisFactors::setEtaLimit(int Limit) { EtaLimit = Limit < 1 ? 1 : Limit; }

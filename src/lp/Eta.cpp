@@ -1,0 +1,50 @@
+//===--- Eta.cpp - Product-form eta file ----------------------------------===//
+
+#include "c4b/lp/Eta.h"
+
+#include "c4b/support/Error.h"
+
+using namespace c4b;
+
+void EtaFile::push(int R, const std::vector<Rational> &D) {
+  C4B_CHECK_INVARIANT(R >= 0 && R < static_cast<int>(D.size()) &&
+                      !D[static_cast<std::size_t>(R)].isZero() &&
+                      "eta pivot element must be nonzero");
+  Eta E;
+  E.R = R;
+  E.DR = D[static_cast<std::size_t>(R)];
+  for (int I = 0; I < static_cast<int>(D.size()); ++I) {
+    if (I == R || D[static_cast<std::size_t>(I)].isZero())
+      continue;
+    E.DOff.emplace_back(I, D[static_cast<std::size_t>(I)]);
+  }
+  Nnz += static_cast<long>(E.nonzeros());
+  Etas.push_back(std::move(E));
+}
+
+void EtaFile::applyFtran(std::vector<Rational> &V) const {
+  // E^-1 v: z_r = v_r / d_r, then z_i = v_i - d_i * z_r for i != r.
+  for (const Eta &E : Etas) {
+    Rational &VR = V[static_cast<std::size_t>(E.R)];
+    if (VR.isZero())
+      continue; // E^-1 fixes vectors with v_r = 0.
+    VR /= E.DR;
+    for (const auto &[I, DI] : E.DOff)
+      V[static_cast<std::size_t>(I)] -= DI * VR;
+  }
+}
+
+void EtaFile::applyBtran(std::vector<Rational> &V) const {
+  // E^-T y: y'_r = (y_r - sum_{i != r} d_i y_i) / d_r, rest unchanged.
+  for (auto It = Etas.rbegin(); It != Etas.rend(); ++It) {
+    const Eta &E = *It;
+    Rational Acc = V[static_cast<std::size_t>(E.R)];
+    for (const auto &[I, DI] : E.DOff) {
+      const Rational &YI = V[static_cast<std::size_t>(I)];
+      if (!YI.isZero())
+        Acc -= DI * YI;
+    }
+    Acc /= E.DR;
+    V[static_cast<std::size_t>(E.R)] = std::move(Acc);
+  }
+}

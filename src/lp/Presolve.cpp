@@ -267,6 +267,9 @@ LPResult PresolvedSolver::solveReduced(const std::vector<LinTerm> &Objective) {
     if (Live) {
       RetiredPivots += Live->pivots();
       RetiredWarmStarts += Live->warmStarts();
+      RetiredRefactors += Live->refactors();
+      if (Live->maxEtaLen() > RetiredMaxEtaLen)
+        RetiredMaxEtaLen = Live->maxEtaLen();
       Live.reset();
     }
     Compact.clear();
@@ -415,4 +418,15 @@ int PresolvedSolver::tableauCols() const {
 
 double PresolvedSolver::tableauDensity() const {
   return Live ? Live->density() : 0.0;
+}
+
+long PresolvedSolver::totalRefactors() const {
+  return RetiredRefactors + (Live ? Live->refactors() : 0);
+}
+
+int PresolvedSolver::maxEtaLen() const {
+  int Max = RetiredMaxEtaLen;
+  if (Live && Live->maxEtaLen() > Max)
+    Max = Live->maxEtaLen();
+  return Max;
 }

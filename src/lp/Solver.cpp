@@ -1,13 +1,21 @@
 //===--- Solver.cpp - Exact-rational linear programming ------------------===//
 //
-// Sparse two-phase primal simplex.  The pivot rules (Dantzig pricing,
-// Bland fallback after a degenerate streak, lowest-index and lowest-basis
-// tie-breaks) are shared with the dense oracle in ReferenceSolver.cpp, and
-// the initial tableau uses the same column numbering (structural columns,
-// then slack/surplus in row order, then artificials in row order); every
-// rule is a strict total order over candidates, so the chosen pivot is
-// independent of the order sparse scans visit them and the two
-// implementations stay bit-identical.
+// Revised two-phase primal simplex.  The constraint matrix is stored once,
+// column-wise and immutable; only the basis is represented, as sparse LU
+// factors (Basis.cpp) plus a product-form eta file (Eta.cpp).  Pricing is
+// one BTRAN and a reduced-cost sweep over the original columns, the ratio
+// test one FTRAN — each pivot appends one eta instead of rewriting rows.
+//
+// The pivot rules (Dantzig pricing, Bland fallback after a degenerate
+// streak, lowest-index and lowest-basis tie-breaks) are shared with the
+// dense tableau oracle in ReferenceSolver.cpp, and the column numbering
+// (structural columns, then slack/surplus in row order, then artificials
+// in row order) matches it too.  Every priced or ratio-tested quantity —
+// reduced costs y.a_j, tableau entries d_i, basic values x_B — is the
+// exact rational the oracle's tableau holds, and every rule is a strict
+// total order over candidates, so the two implementations elect identical
+// pivots and stay bit-identical; refactorization timing only swaps one
+// exact representation of B^-1 for another and cannot perturb anything.
 //
 //===----------------------------------------------------------------------===//
 
@@ -70,10 +78,12 @@ SimplexInstance::SimplexInstance(const LPProblem &P) {
       NegCol[V] = NumCols++;
   }
   IsArt.assign(NumCols, 0);
+  Cols.resize(NumCols);
 
   // One row per constraint, RHS oriented non-negative (preferring the Le
   // orientation for zero RHS so the slack can start basic; most rows the
   // analysis emits are `... >= 0`).
+  std::vector<SparseRow> StructRows;
   std::vector<Rel> Rels;
   for (const LinConstraint &C : P.constraints()) {
     SparseRow Row = buildRow(C.Terms);
@@ -85,42 +95,60 @@ SimplexInstance::SimplexInstance(const LPProblem &P) {
       Rhs = -Rhs;
       R = R == Rel::Le ? Rel::Ge : R == Rel::Ge ? Rel::Le : Rel::Eq;
     }
-    Rows.push_back(std::move(Row));
-    Rhss.push_back(std::move(Rhs));
+    StructRows.push_back(std::move(Row));
+    Rhs0.push_back(std::move(Rhs));
     Rels.push_back(R);
   }
+  NumRows = static_cast<int>(StructRows.size());
 
   // Slack and surplus columns first, then artificials, both in row order —
   // the same numbering the dense oracle produces, so index-based
-  // tie-breaks agree.  Within a row the new entries keep the sparse row
-  // sorted because every later column id is larger.
-  Basis.assign(Rows.size(), -1);
-  for (std::size_t I = 0; I < Rows.size(); ++I) {
-    if (Rels[I] == Rel::Eq)
+  // tie-breaks agree.
+  const int StructCols = NumCols;
+  Basis.assign(static_cast<std::size_t>(NumRows), -1);
+  for (int I = 0; I < NumRows; ++I) {
+    if (Rels[static_cast<std::size_t>(I)] == Rel::Eq)
       continue;
     int Col = NumCols++;
     IsArt.push_back(0);
-    Rows[I].emplace_back(Col, Rels[I] == Rel::Le ? Rational(1) : Rational(-1));
-    if (Rels[I] == Rel::Le)
-      Basis[I] = Col;
+    Cols.emplace_back();
+    Cols[static_cast<std::size_t>(Col)].emplace_back(
+        I, Rels[static_cast<std::size_t>(I)] == Rel::Le ? Rational(1)
+                                                        : Rational(-1));
+    if (Rels[static_cast<std::size_t>(I)] == Rel::Le)
+      Basis[static_cast<std::size_t>(I)] = Col;
   }
-  for (std::size_t I = 0; I < Rows.size(); ++I) {
-    if (Basis[I] >= 0)
+  for (int I = 0; I < NumRows; ++I) {
+    if (Basis[static_cast<std::size_t>(I)] >= 0)
       continue;
     int Col = NumCols++;
     IsArt.push_back(1);
+    Cols.emplace_back();
+    Cols[static_cast<std::size_t>(Col)].emplace_back(I, Rational(1));
     ArtificialCols.push_back(Col);
-    Rows[I].emplace_back(Col, Rational(1));
-    Basis[I] = Col;
+    Basis[static_cast<std::size_t>(I)] = Col;
   }
 
-  ColRows.resize(NumCols);
-  for (std::size_t I = 0; I < Rows.size(); ++I)
-    for (const auto &[Col, Coef] : Rows[I]) {
-      (void)Coef;
-      ColRows[Col].push_back(static_cast<int>(I));
-    }
-  RowMark.assign(Rows.size(), 0);
+  // Scatter the structural rows into the column store (rows are visited
+  // in ascending order, so each column's row list lands sorted), then
+  // mirror the slack/surplus/artificial unit entries into the row store —
+  // their column ids exceed every structural id and run ascending, so
+  // each row stays sorted by column.
+  for (int I = 0; I < NumRows; ++I)
+    for (const auto &[Col, Coef] : StructRows[static_cast<std::size_t>(I)])
+      Cols[static_cast<std::size_t>(Col)].emplace_back(I, Coef);
+  for (int Col = StructCols; Col < NumCols; ++Col)
+    for (const auto &[RI, V] : Cols[static_cast<std::size_t>(Col)])
+      StructRows[static_cast<std::size_t>(RI)].emplace_back(Col, V);
+  RowsA = std::move(StructRows);
+
+  BasisPosOf.assign(NumCols, -1);
+  for (int I = 0; I < NumRows; ++I)
+    BasisPosOf[static_cast<std::size_t>(Basis[static_cast<std::size_t>(I)])] =
+        I;
+  // The initial basis (slacks and artificials, all +1) is the identity;
+  // x_B is simply the normalized right-hand side.
+  XB = Rhs0;
 }
 
 /// Accumulates `Terms` into a sparse structural-column row (free variables
@@ -153,49 +181,24 @@ SimplexInstance::buildRow(const std::vector<LinTerm> &Terms) const {
   return Out;
 }
 
-/// Installs one row into the *live* tableau.  When a feasible basis is
-/// installed, the row is first reduced against it (each basic column is a
-/// unit column, and no basic column appears in another basis row, so one
-/// pass suffices); if the current vertex satisfies the new row the basis
-/// stays primal feasible and the next solve is warm.  Otherwise the row
-/// gets an artificial and the next solve re-runs a (short, warm) phase 1.
+/// Installs one row into the *live* instance.  The stored matrix is never
+/// pivoted, so appending only borders the basis: with a feasible basis
+/// installed, the new row's slack activity is `rhs - a . x*` at the
+/// current vertex, which decides orientation and whether the basis stays
+/// primal feasible (slack basic, next solve warm) or the row needs an
+/// artificial and a (short, warm) phase 1.  The factorization is marked
+/// stale and lazily rebuilt on the next solve.
 void SimplexInstance::appendRow(SparseRow Row, Rational Rhs, Rel R) {
-  int NewRow = static_cast<int>(Rows.size());
+  int NewRow = NumRows;
 
   if (HasBasis) {
-    std::vector<int> BasisRowOf(NumCols, -1);
-    for (std::size_t I = 0; I < Rows.size(); ++I)
-      BasisRowOf[Basis[I]] = static_cast<int>(I);
-    // Collect eliminations up front: reducing by one basis row can never
-    // introduce another basic column (unit columns vanish off-row).
-    std::vector<std::pair<int, Rational>> Elims;
-    for (const auto &[Col, Coef] : Row)
-      if (BasisRowOf[Col] >= 0)
-        Elims.emplace_back(BasisRowOf[Col], Coef);
-    for (const auto &[BR, Coef] : Elims) {
-      const SparseRow &PR = Rows[BR];
-      Scratch.clear();
-      std::size_t A = 0, B = 0;
-      while (A < Row.size() || B < PR.size()) {
-        if (B == PR.size() || (A < Row.size() && Row[A].first < PR[B].first)) {
-          Scratch.push_back(std::move(Row[A++]));
-        } else if (A == Row.size() || PR[B].first < Row[A].first) {
-          Rational NV = Coef * PR[B].second;
-          NV = -NV;
-          if (!NV.isZero())
-            Scratch.emplace_back(PR[B].first, std::move(NV));
-          ++B;
-        } else {
-          Rational NV = std::move(Row[A].second);
-          NV -= Coef * PR[B].second;
-          if (!NV.isZero())
-            Scratch.emplace_back(Row[A].first, std::move(NV));
-          ++A;
-          ++B;
-        }
-      }
-      Row.swap(Scratch);
-      Rhs -= Coef * Rhss[BR];
+    // Reduced right-hand side b' = rhs - a . x*: nonbasic columns sit at
+    // zero, basic column c contributes x_B[pos(c)].  This equals the rhs
+    // the old tableau obtained by eliminating basic columns from the row.
+    for (const auto &[Col, Coef] : Row) {
+      int Pos = BasisPosOf[static_cast<std::size_t>(Col)];
+      if (Pos >= 0)
+        Rhs -= Coef * XB[static_cast<std::size_t>(Pos)];
     }
   }
 
@@ -207,20 +210,24 @@ void SimplexInstance::appendRow(SparseRow Row, Rational Rhs, Rel R) {
   }
 
   int BasicCol = -1;
+  int Slack = -1, Art = -1;
   if (R != Rel::Eq) {
-    int Slack = NumCols++;
+    Slack = NumCols++;
     IsArt.push_back(0);
-    ColRows.emplace_back();
-    Row.emplace_back(Slack, R == Rel::Le ? Rational(1) : Rational(-1));
+    Cols.emplace_back();
+    BasisPosOf.push_back(-1);
+    Cols[static_cast<std::size_t>(Slack)].emplace_back(
+        NewRow, R == Rel::Le ? Rational(1) : Rational(-1));
     if (R == Rel::Le)
       BasicCol = Slack;
   }
   if (BasicCol < 0) {
-    int Art = NumCols++;
+    Art = NumCols++;
     IsArt.push_back(1);
-    ColRows.emplace_back();
+    Cols.emplace_back();
+    BasisPosOf.push_back(-1);
     ArtificialCols.push_back(Art);
-    Row.emplace_back(Art, Rational(1));
+    Cols[static_cast<std::size_t>(Art)].emplace_back(NewRow, Rational(1));
     BasicCol = Art;
     // A fresh artificial at a nonzero value needs phase 1 again; basic at
     // zero it costs nothing and the basis stays feasible.
@@ -228,14 +235,46 @@ void SimplexInstance::appendRow(SparseRow Row, Rational Rhs, Rel R) {
       Phase1Done = false;
   }
 
-  for (const auto &[Col, Coef] : Row) {
-    (void)Coef;
-    ColRows[Col].push_back(NewRow);
+  // Border a live factorization instead of discarding it: one BTRAN
+  // expresses the new row over the current basis, and every later solve
+  // pays a sparse border dot instead of a refactorization.  The new basic
+  // column (Le slack or artificial) carries +1 in the new row — the
+  // bordered diagonal.  Without current factors the row just rides along
+  // until the next lazy build.
+  if (HasBasis && !FactorStale && Factors.valid() &&
+      Factors.numRows() == NumRows) {
+    std::vector<Rational> RowPos(static_cast<std::size_t>(NumRows),
+                                 Rational(0));
+    for (const auto &[Col, Coef] : Row) {
+      int Pos = BasisPosOf[static_cast<std::size_t>(Col)];
+      if (Pos >= 0)
+        RowPos[static_cast<std::size_t>(Pos)] = Coef;
+    }
+    Factors.border(std::move(RowPos), Rational(1));
+  } else {
+    FactorStale = true;
   }
-  Rows.push_back(std::move(Row));
-  Rhss.push_back(std::move(Rhs));
+
+  // Scatter the structural entries (NewRow exceeds every stored row
+  // index, so each column's row list stays sorted), then mirror the full
+  // row — unit entries appended in ascending column order — into the row
+  // store.
+  for (const auto &[Col, Coef] : Row)
+    Cols[static_cast<std::size_t>(Col)].emplace_back(NewRow, Coef);
+  if (Slack >= 0)
+    Row.emplace_back(Slack, R == Rel::Le ? Rational(1) : Rational(-1));
+  if (Art >= 0)
+    Row.emplace_back(Art, Rational(1));
+  RowsA.push_back(std::move(Row));
+
+  // Note the original-coordinate rhs: the bordered basis column for the
+  // new basic (slack or artificial) is a unit vector, so the new basic
+  // value is exactly the reduced rhs while all old basic values persist.
+  Rhs0.push_back(Rhs);
+  XB.push_back(std::move(Rhs));
   Basis.push_back(BasicCol);
-  RowMark.push_back(0);
+  BasisPosOf[static_cast<std::size_t>(BasicCol)] = NewRow;
+  ++NumRows;
 }
 
 void SimplexInstance::addConstraint(const std::vector<LinTerm> &Terms, Rel R,
@@ -250,102 +289,135 @@ int SimplexInstance::addVar() {
   PosCol.push_back(NumCols++);
   NegCol.push_back(-1);
   IsArt.push_back(0);
-  ColRows.emplace_back();
+  Cols.emplace_back();
+  BasisPosOf.push_back(-1);
   return NumOrig++;
 }
 
-const Rational *SimplexInstance::rowCoef(int Row, int Col) const {
-  const SparseRow &R = Rows[Row];
-  auto It = std::lower_bound(R.begin(), R.end(), Col,
-                             [](const auto &E, int C) { return E.first < C; });
-  if (It == R.end() || It->first != Col)
-    return nullptr;
-  return &It->second;
+void SimplexInstance::factorNow() {
+  Factors.factor(Cols, Basis);
+  FactorStale = false;
+  if (++LuBuilds > 1) {
+    ++RefactorCount;
+    ++lpThreadStats().Refactors;
+  }
 }
 
-/// Rows[Row] -= F * PivotRow, merged sparsely; fill-in registers in the
-/// occurrence lists.
-void SimplexInstance::axpyRow(int Row, const Rational &F,
-                              const SparseRow &PivotRow) {
-  SparseRow &R = Rows[Row];
-  Scratch.clear();
-  std::size_t A = 0, B = 0;
-  while (A < R.size() || B < PivotRow.size()) {
-    if (B == PivotRow.size() ||
-        (A < R.size() && R[A].first < PivotRow[B].first)) {
-      Scratch.push_back(std::move(R[A++]));
-    } else if (A == R.size() || PivotRow[B].first < R[A].first) {
-      Rational NV = F * PivotRow[B].second;
-      NV = -NV;
-      if (!NV.isZero()) {
-        ColRows[PivotRow[B].first].push_back(Row);
-        Scratch.emplace_back(PivotRow[B].first, std::move(NV));
-      }
-      ++B;
-    } else {
-      Rational NV = std::move(R[A].second);
-      NV -= F * PivotRow[B].second;
-      if (!NV.isZero())
-        Scratch.emplace_back(R[A].first, std::move(NV));
-      ++A;
-      ++B;
+void SimplexInstance::refreshFactors() {
+  if (FactorStale)
+    factorNow();
+}
+
+/// Installs the elected pivot: x_B steps by Theta along the FTRAN'd
+/// entering column, the basis maps swap leave for enter, and the pivot is
+/// recorded as one eta (refactoring immediately if that trips the
+/// eta-file budget — a representation change only, never a pivot change).
+void SimplexInstance::applyPivot(int Leave, int Enter,
+                                 const std::vector<Rational> &D,
+                                 const Rational &Theta) {
+  if (!Theta.isZero()) {
+    for (int I = 0; I < NumRows; ++I) {
+      if (I == Leave || D[static_cast<std::size_t>(I)].isZero())
+        continue;
+      XB[static_cast<std::size_t>(I)] -=
+          Theta * D[static_cast<std::size_t>(I)];
     }
   }
-  R.swap(Scratch);
-}
-
-void SimplexInstance::pivot(int Row, int Col) {
-  const Rational *PP = rowCoef(Row, Col);
-  C4B_CHECK_INVARIANT(PP && !PP->isZero() && "pivot on zero element");
-  Rational P = *PP;
-  SparseRow &PR = Rows[Row];
-  for (auto &[C, V] : PR)
-    V /= P;
-  Rhss[Row] /= P;
-
-  // Eliminate the entering column from every other row that carries it;
-  // the occurrence list names the candidates, stale or duplicated entries
-  // are skipped via the epoch mark.
-  ++MarkEpoch;
-  RowMark[Row] = MarkEpoch;
-  std::vector<int> Candidates;
-  Candidates.swap(ColRows[Col]);
-  for (int RI : Candidates) {
-    if (RowMark[RI] == MarkEpoch)
-      continue;
-    RowMark[RI] = MarkEpoch;
-    const Rational *V = rowCoef(RI, Col);
-    if (!V)
-      continue; // Stale entry: the coefficient cancelled earlier.
-    Rational F = *V;
-    axpyRow(RI, F, PR);
-    Rhss[RI] -= F * Rhss[Row];
-  }
-  // After elimination only the pivot row holds the column.
-  ColRows[Col].assign(1, Row);
-  Basis[Row] = Col;
+  XB[static_cast<std::size_t>(Leave)] = Theta;
+  BasisPosOf[static_cast<std::size_t>(Basis[static_cast<std::size_t>(Leave)])] =
+      -1;
+  Basis[static_cast<std::size_t>(Leave)] = Enter;
+  BasisPosOf[static_cast<std::size_t>(Enter)] = Leave;
+  Factors.pushEta(Leave, D);
+  if (Factors.numEtas() > MaxEtaLenEver)
+    MaxEtaLenEver = Factors.numEtas();
+  if (Factors.wantsRefactor())
+    factorNow();
   ++PivotCount;
   ++lpThreadStats().Pivots;
 }
 
+Rational
+SimplexInstance::objectiveValue(const std::vector<Rational> &Cost) const {
+  Rational Obj(0);
+  for (int I = 0; I < NumRows; ++I) {
+    const Rational &CB = Cost[static_cast<std::size_t>(
+        Basis[static_cast<std::size_t>(I)])];
+    if (CB.isZero() || XB[static_cast<std::size_t>(I)].isZero())
+      continue;
+    Obj += CB * XB[static_cast<std::size_t>(I)];
+  }
+  return Obj;
+}
+
+/// CBar -= F * alpha with alpha = row `Leave` of the current tableau,
+/// recovered as rho = B^-T e_Leave (one sparse BTRAN) scattered through
+/// the immutable row store: alpha_j = sum_i rho_i A_ij.  Exact rationals,
+/// so the maintained reduced costs equal a fresh pricing bit for bit.
+void SimplexInstance::updateReducedCosts(std::vector<Rational> &CBar,
+                                         const Rational &F, int Leave) {
+  std::vector<Rational> Rho(static_cast<std::size_t>(NumRows), Rational(0));
+  Rho[static_cast<std::size_t>(Leave)] = Rational(1);
+  Factors.btran(Rho);
+  AlphaScratch.resize(static_cast<std::size_t>(NumCols));
+  TouchedMark.resize(static_cast<std::size_t>(NumCols), 0);
+  for (int I = 0; I < NumRows; ++I) {
+    const Rational &R = Rho[static_cast<std::size_t>(I)];
+    if (R.isZero())
+      continue;
+    for (const auto &[J, V] : RowsA[static_cast<std::size_t>(I)]) {
+      if (!TouchedMark[static_cast<std::size_t>(J)]) {
+        TouchedMark[static_cast<std::size_t>(J)] = 1;
+        TouchedCols.push_back(J);
+      }
+      AlphaScratch[static_cast<std::size_t>(J)] += R * V;
+    }
+  }
+  for (int J : TouchedCols) {
+    Rational &A = AlphaScratch[static_cast<std::size_t>(J)];
+    if (!A.isZero())
+      CBar[static_cast<std::size_t>(J)] -= F * A;
+    A = Rational(0);
+    TouchedMark[static_cast<std::size_t>(J)] = 0;
+  }
+  TouchedCols.clear();
+}
+
 /// Minimizes Cost over the current basic feasible solution.  Dantzig
 /// pricing with a switch to Bland's rule after a degenerate streak; both
-/// choices are strict total orders, so scan order never matters.
+/// choices are strict total orders over exactly computed reduced costs,
+/// so they elect the same pivots the dense tableau would.
 Rational SimplexInstance::optimize(const std::vector<Rational> &Cost) {
   Unbounded = false;
-  // Reduced costs: CBar = Cost - Cost_B * B^-1 A.  The correction term of
-  // each basis row touches only that row's nonzeros.
+  refreshFactors();
+  // Reduced costs CBar = Cost - c_B^T B^-1 A, initialized by one BTRAN
+  // pricing pass and then maintained incrementally from each pivot row
+  // (updateReducedCosts) — the revised-form analogue of the tableau's
+  // incremental update, over the same exact rationals.
   std::vector<Rational> CBar = Cost;
-  CBar.resize(NumCols, Rational(0));
-  Rational Obj(0);
-  for (std::size_t I = 0; I < Rows.size(); ++I) {
-    const Rational &CB = Cost[Basis[I]];
-    if (CB.isZero())
-      continue;
-    for (const auto &[J, V] : Rows[I])
-      CBar[J] -= CB * V;
-    Obj += CB * Rhss[I];
+  {
+    std::vector<Rational> Y(static_cast<std::size_t>(NumRows), Rational(0));
+    bool AnyBasicCost = false;
+    for (int I = 0; I < NumRows; ++I) {
+      const Rational &CB = Cost[static_cast<std::size_t>(
+          Basis[static_cast<std::size_t>(I)])];
+      if (!CB.isZero()) {
+        Y[static_cast<std::size_t>(I)] = CB;
+        AnyBasicCost = true;
+      }
+    }
+    if (AnyBasicCost) {
+      Factors.btran(Y);
+      for (int I = 0; I < NumRows; ++I) {
+        const Rational &YR = Y[static_cast<std::size_t>(I)];
+        if (YR.isZero())
+          continue;
+        for (const auto &[J, V] : RowsA[static_cast<std::size_t>(I)])
+          CBar[static_cast<std::size_t>(J)] -= YR * V;
+      }
+    }
   }
+  std::vector<Rational> D;
   long Trace = 0;
   int DegenerateStreak = 0;
   const int BlandThreshold = 40;
@@ -354,67 +426,67 @@ Rational SimplexInstance::optimize(const std::vector<Rational> &Cost) {
     // (and its deadline) and is the simplex fault-injection site.
     budgetOnPivot();
     if (lpTraceEnabled() && ++Trace % 1024 == 0)
-      std::fprintf(stderr, "[lp] rows=%zu cols=%d pivots=%ld\n", Rows.size(),
-                   NumCols, Trace);
+      std::fprintf(stderr, "[lp] rows=%d cols=%d etas=%d pivots=%ld\n",
+                   NumRows, NumCols, Factors.numEtas(), Trace);
     bool Bland = DegenerateStreak >= BlandThreshold;
+
     int Enter = -1;
     for (int J = 0; J < NumCols; ++J) {
-      if (ForbidArtificialEntry && IsArt[J])
+      if (ForbidArtificialEntry && IsArt[static_cast<std::size_t>(J)])
         continue;
-      if (CBar[J].sign() >= 0)
+      if (CBar[static_cast<std::size_t>(J)].sign() >= 0)
         continue;
       if (Bland) {
         Enter = J; // Smallest index.
         break;
       }
-      if (Enter < 0 || CBar[J] < CBar[Enter])
+      if (Enter < 0 || CBar[static_cast<std::size_t>(J)] <
+                           CBar[static_cast<std::size_t>(Enter)])
         Enter = J; // Most negative reduced cost.
     }
     if (Enter < 0)
-      return Obj;
+      return objectiveValue(Cost);
 
-    // Ratio test over the rows that actually carry the entering column.
-    // The (ratio, basis-index) order is strict and total, so the winner is
+    // Ratio test over the FTRAN'd entering column d = B^-1 a_enter —
+    // exactly the tableau column the dense oracle scans.  The
+    // (ratio, basis-index) order is strict and total, so the winner is
     // the row the dense full scan would pick.
+    D.assign(static_cast<std::size_t>(NumRows), Rational(0));
+    for (const auto &[RI, V] : Cols[static_cast<std::size_t>(Enter)])
+      D[static_cast<std::size_t>(RI)] = V;
+    Factors.ftran(D);
+
     int Leave = -1;
     Rational BestRatio(0);
-    ++MarkEpoch;
-    std::vector<int> &Occ = ColRows[Enter];
-    std::size_t Keep = 0;
-    for (std::size_t K = 0; K < Occ.size(); ++K) {
-      int RI = Occ[K];
-      if (RowMark[RI] == MarkEpoch)
+    for (int RI = 0; RI < NumRows; ++RI) {
+      const Rational &DV = D[static_cast<std::size_t>(RI)];
+      if (DV.sign() <= 0)
         continue;
-      RowMark[RI] = MarkEpoch;
-      const Rational *V = rowCoef(RI, Enter);
-      if (!V)
-        continue; // Stale; drop while compacting.
-      Occ[Keep++] = RI;
-      if (V->sign() <= 0)
-        continue;
-      Rational Ratio = Rhss[RI] / *V;
+      Rational Ratio = XB[static_cast<std::size_t>(RI)] / DV;
       if (Leave < 0 || Ratio < BestRatio ||
-          (Ratio == BestRatio && Basis[RI] < Basis[Leave])) {
+          (Ratio == BestRatio && Basis[static_cast<std::size_t>(RI)] <
+                                     Basis[static_cast<std::size_t>(Leave)])) {
         Leave = RI;
-        BestRatio = Ratio;
+        BestRatio = std::move(Ratio);
       }
     }
-    Occ.resize(Keep);
     if (Leave < 0) {
       Unbounded = true;
-      return Obj;
+      return objectiveValue(Cost);
     }
     if (BestRatio.isZero())
       ++DegenerateStreak;
     else
       DegenerateStreak = 0;
-    Rational F = CBar[Enter];
-    pivot(Leave, Enter);
-    // Update reduced costs and the objective incrementally from the
-    // normalized pivot row's nonzeros.
-    for (const auto &[J, V] : Rows[Leave])
-      CBar[J] -= F * V;
-    Obj += F * Rhss[Leave];
+    // Fold the pivot into the maintained reduced costs: with F the
+    // entering column's pre-pivot reduced cost, CBar -= F * (post-pivot
+    // row Leave), which zeroes CBar[Enter] exactly (that row has a 1 in
+    // the entering column) and re-prices everything else.  The BTRAN in
+    // updateReducedCosts must see the post-pivot factors, so applyPivot
+    // (eta push, possible refactorization) goes first.
+    Rational F = CBar[static_cast<std::size_t>(Enter)];
+    applyPivot(Leave, Enter, D, BestRatio);
+    updateReducedCosts(CBar, F, Leave);
   }
 }
 
@@ -426,33 +498,47 @@ bool SimplexInstance::ensureFeasible() {
     // Minimize the sum of artificials.  Artificials already driven out (or
     // basic at zero) contribute nothing, so re-running after a warm
     // addConstraint only pays for the new violation.
-    std::vector<Rational> Cost(NumCols, Rational(0));
+    std::vector<Rational> Cost(static_cast<std::size_t>(NumCols), Rational(0));
     for (int A : ArtificialCols)
-      Cost[A] = Rational(1);
+      Cost[static_cast<std::size_t>(A)] = Rational(1);
     Rational Opt = optimize(Cost);
     if (!Opt.isZero()) {
       Feasible = false;
       return false;
     }
-    // Drive remaining artificials out of the basis.  The sparse row is
-    // sorted by column, so the first non-artificial nonzero matches the
-    // dense left-to-right scan.
-    for (std::size_t I = 0; I < Rows.size(); ++I) {
-      if (!IsArt[Basis[I]])
+    // Drive remaining artificials out of the basis.  The tableau row of a
+    // basic artificial is rho^T A with rho = B^-T e_pos; scanning columns
+    // in ascending order for the first non-artificial nonzero matches the
+    // dense left-to-right scan over the same exact entries.
+    std::vector<Rational> Rho, D;
+    for (int I = 0; I < NumRows; ++I) {
+      if (!IsArt[static_cast<std::size_t>(Basis[static_cast<std::size_t>(I)])])
         continue;
+      Rho.assign(static_cast<std::size_t>(NumRows), Rational(0));
+      Rho[static_cast<std::size_t>(I)] = Rational(1);
+      Factors.btran(Rho);
       int Col = -1;
-      for (const auto &[J, V] : Rows[I]) {
-        (void)V;
-        if (!IsArt[J]) {
-          Col = J;
-          break;
+      for (int J = 0; J < NumCols && Col < 0; ++J) {
+        if (IsArt[static_cast<std::size_t>(J)])
+          continue;
+        Rational Alpha(0);
+        for (const auto &[RI, V] : Cols[static_cast<std::size_t>(J)]) {
+          const Rational &RhoR = Rho[static_cast<std::size_t>(RI)];
+          if (!RhoR.isZero())
+            Alpha += RhoR * V;
         }
+        if (!Alpha.isZero())
+          Col = J;
       }
-      if (Col >= 0) {
-        pivot(static_cast<int>(I), Col);
-      } else {
-        // Redundant row: the artificial stays basic at value 0; harmless.
-      }
+      if (Col < 0)
+        continue; // Redundant row: the artificial stays basic at 0.
+      D.assign(static_cast<std::size_t>(NumRows), Rational(0));
+      for (const auto &[RI, V] : Cols[static_cast<std::size_t>(Col)])
+        D[static_cast<std::size_t>(RI)] = V;
+      Factors.ftran(D);
+      Rational Theta =
+          XB[static_cast<std::size_t>(I)] / D[static_cast<std::size_t>(I)];
+      applyPivot(I, Col, D, Theta);
     }
   }
   Feasible = true;
@@ -461,14 +547,16 @@ bool SimplexInstance::ensureFeasible() {
 }
 
 std::vector<Rational> SimplexInstance::extract() const {
-  std::vector<Rational> ColVal(NumCols, Rational(0));
-  for (std::size_t I = 0; I < Rows.size(); ++I)
-    ColVal[Basis[I]] = Rhss[I];
-  std::vector<Rational> R(NumOrig, Rational(0));
+  std::vector<Rational> ColVal(static_cast<std::size_t>(NumCols), Rational(0));
+  for (int I = 0; I < NumRows; ++I)
+    ColVal[static_cast<std::size_t>(Basis[static_cast<std::size_t>(I)])] =
+        XB[static_cast<std::size_t>(I)];
+  std::vector<Rational> R(static_cast<std::size_t>(NumOrig), Rational(0));
   for (int V = 0; V < NumOrig; ++V) {
-    R[V] = ColVal[PosCol[V]];
+    R[static_cast<std::size_t>(V)] = ColVal[static_cast<std::size_t>(PosCol[V])];
     if (NegCol[V] >= 0)
-      R[V] -= ColVal[NegCol[V]];
+      R[static_cast<std::size_t>(V)] -=
+          ColVal[static_cast<std::size_t>(NegCol[V])];
   }
   return R;
 }
@@ -479,7 +567,7 @@ LPResult SimplexInstance::minimize(const std::vector<LinTerm> &Objective) {
   LPResult R;
   long Pivots0 = PivotCount;
   // Warm when a basis survives from earlier work on this instance (a
-  // previous solve, or ensureFeasible): no fresh tableau, no full phase 1.
+  // previous solve, or ensureFeasible): no fresh phase 1 from scratch.
   if (HasBasis) {
     ++WarmStartCount;
     ++Stats.WarmStarts;
@@ -490,11 +578,11 @@ LPResult SimplexInstance::minimize(const std::vector<LinTerm> &Objective) {
     R.Pivots = PivotCount - Pivots0;
     return R;
   }
-  std::vector<Rational> Cost(NumCols, Rational(0));
+  std::vector<Rational> Cost(static_cast<std::size_t>(NumCols), Rational(0));
   for (const LinTerm &T : Objective) {
-    Cost[PosCol[T.Var]] += T.Coef;
+    Cost[static_cast<std::size_t>(PosCol[T.Var])] += T.Coef;
     if (NegCol[T.Var] >= 0)
-      Cost[NegCol[T.Var]] -= T.Coef;
+      Cost[static_cast<std::size_t>(NegCol[T.Var])] -= T.Coef;
   }
   ForbidArtificialEntry = true;
   Rational Opt = optimize(Cost);
@@ -509,13 +597,13 @@ LPResult SimplexInstance::minimize(const std::vector<LinTerm> &Objective) {
 }
 
 double SimplexInstance::density() const {
-  if (Rows.empty() || NumCols == 0)
+  if (NumRows == 0 || NumCols == 0)
     return 1.0;
   std::size_t Nonzeros = 0;
-  for (const SparseRow &R : Rows)
-    Nonzeros += R.size();
+  for (const SparseCol &C : Cols)
+    Nonzeros += C.size();
   return static_cast<double>(Nonzeros) /
-         (static_cast<double>(Rows.size()) * NumCols);
+         (static_cast<double>(NumRows) * NumCols);
 }
 
 //===----------------------------------------------------------------------===//

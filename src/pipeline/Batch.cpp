@@ -6,6 +6,7 @@
 #include "c4b/lp/Solver.h"
 #include "c4b/support/Budget.h"
 #include "c4b/support/FaultInject.h"
+#include "c4b/support/WorkSteal.h"
 
 #include <atomic>
 #include <chrono>
@@ -224,38 +225,26 @@ BatchAnalyzer::BatchAnalyzer(int NumThreads, bool RetryFailedOnce)
   }
 }
 
+int BatchAnalyzer::effectiveThreads() const {
+  return WorkStealingPool::effectiveThreads(NumThreads);
+}
+
 std::vector<BatchItem> BatchAnalyzer::run(const std::vector<BatchJob> &Jobs) {
   auto T0 = std::chrono::steady_clock::now();
   std::vector<BatchItem> Items(Jobs.size());
 
-  // Dynamic scheduling over an atomic cursor: jobs vary wildly in cost
-  // (constraint counts span orders of magnitude across the corpus), so
-  // static striping would leave workers idle.  Each worker writes only its
-  // claimed slots of the pre-sized result vector.
-  std::atomic<std::size_t> Next{0};
+  // Work-stealing schedule: jobs vary wildly in cost (constraint counts
+  // span orders of magnitude across the corpus), so a worker that drains
+  // its seeded block steals from loaded neighbors instead of idling.
+  // Each body writes only its own slot of the pre-sized result vector.
   std::atomic<int> Retried{0};
-  auto Worker = [&] {
-    for (;;) {
-      std::size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Jobs.size())
-        return;
+  WorkStealingPool::parallelFor(NumThreads, Jobs.size(), [&](std::size_t I) {
+    Items[I] = runJob(Jobs[I]);
+    if (RetryFailedOnce && !Items[I].Result.Success) {
+      Retried.fetch_add(1, std::memory_order_relaxed);
       Items[I] = runJob(Jobs[I]);
-      if (RetryFailedOnce && !Items[I].Result.Success) {
-        Retried.fetch_add(1, std::memory_order_relaxed);
-        Items[I] = runJob(Jobs[I]);
-      }
     }
-  };
-
-  int Spawned = NumThreads - 1;
-  if (Spawned > static_cast<int>(Jobs.size()) - 1)
-    Spawned = static_cast<int>(Jobs.size()) - 1;
-  std::vector<std::thread> Pool;
-  for (int T = 0; T < Spawned; ++T)
-    Pool.emplace_back(Worker);
-  Worker(); // The calling thread participates.
-  for (std::thread &T : Pool)
-    T.join();
+  });
 
   Stats = BatchStats{};
   Stats.NumJobs = static_cast<int>(Items.size());

@@ -282,6 +282,8 @@ SolvedSystem c4b::solveSystem(const ConstraintSystem &CS,
     S.LpRows = LP.tableauRows();
     S.LpCols = LP.tableauCols();
     S.LpDensity = LP.tableauDensity();
+    S.LpRefactors = LP.totalRefactors();
+    S.LpMaxEtaLen = LP.maxEtaLen();
   } catch (const AbortError &E) {
     S = SolvedSystem{};
     S.Err = E.error();

@@ -26,6 +26,7 @@
 #include "c4b/check/CostRelevance.h"
 #include "c4b/lp/Solver.h"
 #include "c4b/support/Budget.h"
+#include "c4b/support/WorkSteal.h"
 
 #include <atomic>
 #include <chrono>
@@ -282,31 +283,23 @@ AnalysisResult c4b::analyzeProgramScheduled(const IRProgram &P,
           SlicePtr ? check::sliceKeyFor(CR, CG, I) : 0);
     }
     if (Parallel && Wave.size() > 1) {
-      std::atomic<std::size_t> Next{0};
-      auto Worker = [&] {
-        for (;;) {
-          std::size_t W = Next.fetch_add(1, std::memory_order_relaxed);
-          if (W >= Wave.size())
-            return;
-          int I = Wave[W];
-          try {
-            Process(I);
-          } catch (const std::exception &E) {
-            Fragment &F = Frags[static_cast<std::size_t>(I)];
-            F.Generated = true;
-            F.CS.Err = {AnalysisErrorKind::InternalInvariant,
-                        std::string("uncaught exception: ") + E.what()};
-            F.CS.StructuralOk = false;
-          }
+      // Work-stealing over the wave, sized to actual cores: fragments in
+      // one wave differ wildly in cost (one SCC's constraint system can
+      // dwarf the rest), so idle workers steal instead of waiting out a
+      // static split, and oversubscribed SCCThreads requests never spawn
+      // more workers than the host can run.
+      WorkStealingPool::parallelFor(SCCThreads, Wave.size(), [&](std::size_t W) {
+        int I = Wave[W];
+        try {
+          Process(I);
+        } catch (const std::exception &E) {
+          Fragment &F = Frags[static_cast<std::size_t>(I)];
+          F.Generated = true;
+          F.CS.Err = {AnalysisErrorKind::InternalInvariant,
+                      std::string("uncaught exception: ") + E.what()};
+          F.CS.StructuralOk = false;
         }
-      };
-      int Spawned = std::min(SCCThreads, static_cast<int>(Wave.size())) - 1;
-      std::vector<std::thread> Pool;
-      for (int T = 0; T < Spawned; ++T)
-        Pool.emplace_back(Worker);
-      Worker();
-      for (std::thread &T : Pool)
-        T.join();
+      });
     } else {
       for (int I : Wave)
         Process(I);

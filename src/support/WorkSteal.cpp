@@ -1,0 +1,122 @@
+//===--- WorkSteal.cpp - Work-stealing parallel-for ------------------------===//
+
+#include "c4b/support/WorkSteal.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace c4b;
+
+int WorkStealingPool::effectiveThreads(int Requested) {
+  unsigned HW = std::thread::hardware_concurrency();
+  int Cores = HW > 0 ? static_cast<int>(HW) : 1;
+  if (Requested <= 0)
+    return Cores;
+  return Requested < Cores ? Requested : Cores;
+}
+
+namespace {
+
+/// One worker's deque.  A plain mutex per deque is plenty here: items are
+/// whole analysis jobs or SCC fragments (milliseconds to seconds of exact
+/// rational arithmetic), so lock traffic is noise next to the work.
+struct WorkerQueue {
+  std::mutex M;
+  std::deque<std::size_t> Q;
+};
+
+} // namespace
+
+void WorkStealingPool::parallelFor(
+    int Threads, std::size_t N,
+    const std::function<void(std::size_t)> &Body) {
+  int T = effectiveThreads(Threads);
+  if (static_cast<std::size_t>(T) > N)
+    T = static_cast<int>(N);
+  if (T <= 1) {
+    for (std::size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  // Seed contiguous blocks: worker w starts on [w*N/T, (w+1)*N/T).  Blocks
+  // preserve whatever locality the caller's index order has, and give
+  // every worker immediate local work before any stealing begins.
+  std::vector<WorkerQueue> Queues(static_cast<std::size_t>(T));
+  for (int W = 0; W < T; ++W) {
+    std::size_t Lo = N * static_cast<std::size_t>(W) / static_cast<std::size_t>(T);
+    std::size_t Hi =
+        N * static_cast<std::size_t>(W + 1) / static_cast<std::size_t>(T);
+    for (std::size_t I = Lo; I < Hi; ++I)
+      Queues[static_cast<std::size_t>(W)].Q.push_back(I);
+  }
+
+  // Pending counts items not yet *finished* (as opposed to not yet
+  // claimed): a worker finding every deque empty may still be racing
+  // bodies in flight, and those bodies' queues were only empty, not done.
+  std::atomic<std::size_t> Pending{N};
+
+  auto Run = [&](int Self) {
+    WorkerQueue &Own = Queues[static_cast<std::size_t>(Self)];
+    std::vector<std::size_t> Stolen;
+    for (;;) {
+      std::size_t Item = 0;
+      bool Got = false;
+      {
+        std::lock_guard<std::mutex> L(Own.M);
+        if (!Own.Q.empty()) {
+          // Pop the back: the front is what victims steal, so owner and
+          // thieves meet at opposite ends and blocks drain in order.
+          Item = Own.Q.back();
+          Own.Q.pop_back();
+          Got = true;
+        }
+      }
+      if (!Got) {
+        // Steal half of the first non-empty victim's deque, from the
+        // front.  Collect outside the victim's lock before touching our
+        // own to keep the two locks strictly sequential (no deadlock).
+        for (int K = 1; K < T && !Got; ++K) {
+          WorkerQueue &V =
+              Queues[static_cast<std::size_t>((Self + K) % T)];
+          std::lock_guard<std::mutex> L(V.M);
+          std::size_t Avail = V.Q.size();
+          if (Avail == 0)
+            continue;
+          std::size_t Take = (Avail + 1) / 2;
+          Item = V.Q.front();
+          V.Q.pop_front();
+          Got = true;
+          Stolen.assign(V.Q.begin(),
+                        V.Q.begin() + static_cast<std::ptrdiff_t>(Take - 1));
+          V.Q.erase(V.Q.begin(),
+                    V.Q.begin() + static_cast<std::ptrdiff_t>(Take - 1));
+        }
+        if (Got && !Stolen.empty()) {
+          std::lock_guard<std::mutex> L(Own.M);
+          Own.Q.insert(Own.Q.end(), Stolen.begin(), Stolen.end());
+          Stolen.clear();
+        }
+      }
+      if (!Got) {
+        if (Pending.load(std::memory_order_acquire) == 0)
+          return;
+        std::this_thread::yield();
+        continue;
+      }
+      Body(Item);
+      Pending.fetch_sub(1, std::memory_order_release);
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(static_cast<std::size_t>(T - 1));
+  for (int W = 1; W < T; ++W)
+    Pool.emplace_back(Run, W);
+  Run(0);
+  for (std::thread &Th : Pool)
+    Th.join();
+}

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "c4b/corpus/Corpus.h"
+#include "c4b/lp/Basis.h"
 #include "c4b/lp/Presolve.h"
 #include "c4b/lp/ReferenceSolver.h"
 #include "c4b/lp/Solver.h"
@@ -167,6 +168,93 @@ TEST(LpDifferential, WarmPinnedReoptimizationMatchesColdObjective) {
   }
 }
 
+/// Forcing the eta file to overflow every two pivots exercises the
+/// refactorization machinery mid-solve — every solve with more than a
+/// couple of pivots crosses at least one LU rebuild boundary, and the
+/// factor-from-scratch path must reproduce the incremental trajectory
+/// exactly.  The basis representation (fresh LU vs LU+etas+borders) is
+/// invisible to the pivot rules, so the dense oracle still matches bit
+/// for bit.
+TEST(LpDifferential, ForcedRefactorizationMatchesDenseOracle) {
+  std::mt19937 Rng(0xc4b0005);
+  long TotalRefactors = 0;
+  for (int Case = 0; Case < 200; ++Case) {
+    RandomLP L = makeRandom(Rng);
+    SimplexInstance Tiny(L.P);
+    Tiny.setEtaLimit(2);
+    LPResult A = Tiny.minimize(L.Obj);
+    LPResult B = lpref::denseMinimize(L.P, L.Obj);
+    TotalRefactors += Tiny.refactors();
+    // The refactor policy contract: the eta file never outgrows the limit.
+    EXPECT_LE(Tiny.maxEtaLen(), Tiny.etaLimit()) << "case " << Case;
+    ASSERT_EQ(static_cast<int>(A.Status), static_cast<int>(B.Status))
+        << "case " << Case << ": " << describe(L);
+    if (A.Status != LPStatus::Optimal)
+      continue;
+    ASSERT_TRUE(A.Objective == B.Objective)
+        << "case " << Case << ": sparse " << A.Objective.toString()
+        << " dense " << B.Objective.toString() << "\n"
+        << describe(L);
+    ASSERT_EQ(A.Values.size(), B.Values.size());
+    for (std::size_t V = 0; V < A.Values.size(); ++V)
+      ASSERT_TRUE(A.Values[V] == B.Values[V])
+          << "case " << Case << " x" << V << "\n"
+          << describe(L);
+  }
+  // The whole point of the limit-2 configuration: the family must
+  // actually cross rebuild boundaries, not just tolerate the setting.
+  EXPECT_GT(TotalRefactors, 0);
+}
+
+/// Warm starts across refactorization boundaries: with the eta limit at 1
+/// the instance rebuilds its LU after essentially every pivot AND after
+/// the bordered appendRow of the stage-1 pin, so the stage-2 warm start
+/// resumes from a freshly refactored basis rather than an eta/border
+/// trail.  The warm trajectory must still land on the cold objective.
+TEST(LpDifferential, WarmStartAcrossRefactorMatchesColdObjective) {
+  std::mt19937 Rng(0xc4b0006);
+  long TotalRefactors = 0;
+  int Warmed = 0;
+  for (int Case = 0; Case < 150; ++Case) {
+    RandomLP L = makeRandom(Rng);
+    std::vector<LinTerm> Obj2;
+    int NumVars = L.P.numVars();
+    for (int T = 0; T < std::min(3, NumVars); ++T) {
+      int Num = std::uniform_int_distribution<int>(-2, 2)(Rng);
+      Obj2.push_back(
+          {std::uniform_int_distribution<int>(0, NumVars - 1)(Rng),
+           Rational(Num)});
+    }
+
+    SimplexInstance Warm(L.P);
+    Warm.setEtaLimit(1);
+    LPResult S1 = Warm.minimize(L.Obj);
+    if (S1.Status != LPStatus::Optimal)
+      continue;
+    Warm.addConstraint(L.Obj, Rel::Le, S1.Objective);
+    LPResult S2 = Warm.minimize(Obj2);
+    EXPECT_TRUE(S2.WarmStarted) << "case " << Case;
+    Warmed += S2.WarmStarted ? 1 : 0;
+    TotalRefactors += Warm.refactors();
+    EXPECT_LE(Warm.maxEtaLen(), Warm.etaLimit()) << "case " << Case;
+
+    LPProblem Cold = L.P;
+    std::vector<LinTerm> Pin = L.Obj;
+    Cold.addConstraint(Pin, Rel::Le, S1.Objective);
+    LPResult C2 = SimplexSolver().minimize(Cold, Obj2);
+    ASSERT_EQ(static_cast<int>(S2.Status), static_cast<int>(C2.Status))
+        << "case " << Case << ": " << describe(L);
+    if (S2.Status == LPStatus::Optimal) {
+      ASSERT_TRUE(S2.Objective == C2.Objective)
+          << "case " << Case << ": warm " << S2.Objective.toString()
+          << " cold " << C2.Objective.toString() << "\n"
+          << describe(L);
+    }
+  }
+  EXPECT_GT(TotalRefactors, 0);
+  EXPECT_GT(Warmed, 0);
+}
+
 /// The stage-1 optimum pin is satisfied with equality at the stage-1
 /// vertex, so adding it must keep the basis feasible: the stage-2 solve
 /// reports a warm start and pays no second phase 1.
@@ -237,6 +325,21 @@ TEST(LpGoldenPivots, CorpusTwoStageSolvesWarmStart) {
     SolvedSystem S = solveCorpusEntry(Name);
     ASSERT_TRUE(S.ok()) << Name;
     EXPECT_GE(S.LpWarmStarts, 1) << Name;
+  }
+}
+
+/// Refactorization exercise on real corpus solves: t27's 171-pivot solve
+/// crosses the default eta limit at least once, and no corpus solve may
+/// let its update file outgrow the policy cap.  Runs t27 (pivot-heaviest
+/// small program) and sha_update (largest LP in the corpus) — together
+/// they pin the refactor machinery to the production configuration, not
+/// just the forced tiny-limit settings above.
+TEST(LpGoldenPivots, CorpusSolvesRefactorWithinPolicy) {
+  for (const char *Name : {"t27", "sha_update"}) {
+    SolvedSystem S = solveCorpusEntry(Name);
+    ASSERT_TRUE(S.ok()) << Name;
+    EXPECT_GE(S.LpRefactors, 1) << Name;
+    EXPECT_LE(S.LpMaxEtaLen, BasisFactors::DefaultEtaLimit) << Name;
   }
 }
 

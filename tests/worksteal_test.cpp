@@ -1,0 +1,102 @@
+//===--- worksteal_test.cpp - Work-stealing pool contracts ----------------===//
+//
+// The WorkStealingPool underpins both BatchAnalyzer and the scheduled
+// analysis' SCC waves, so its contracts are pinned here directly: every
+// index runs exactly once regardless of thread count, oversubscription,
+// or skew in per-item cost; effectiveThreads() clamps to the hardware;
+// and the serial path (0 or 1 threads, or a single item) runs inline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "c4b/support/WorkSteal.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace c4b;
+
+namespace {
+
+TEST(WorkSteal, EveryIndexRunsExactlyOnce) {
+  for (int Threads : {1, 2, 3, 4, 8}) {
+    const std::size_t N = 1000;
+    std::vector<std::atomic<int>> Hits(N);
+    WorkStealingPool::parallelFor(Threads, N, [&](std::size_t I) {
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t I = 0; I < N; ++I)
+      ASSERT_EQ(Hits[I].load(), 1) << "threads " << Threads << " index " << I;
+  }
+}
+
+TEST(WorkSteal, EmptyAndSingleItemRanges) {
+  int Calls = 0;
+  WorkStealingPool::parallelFor(4, 0, [&](std::size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  // A single item runs inline on the calling thread (the pool clamps its
+  // worker count to the item count), so a non-atomic counter is safe.
+  std::thread::id Where;
+  WorkStealingPool::parallelFor(4, 1, [&](std::size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++Calls;
+    Where = std::this_thread::get_id();
+  });
+  EXPECT_EQ(Calls, 1);
+  EXPECT_EQ(Where, std::this_thread::get_id());
+}
+
+/// Skewed workloads are the reason the pool steals: one early item is
+/// made far more expensive than the rest, and the run must still cover
+/// everything exactly once (a static block partition would serialize the
+/// expensive block behind its owner; stealing redistributes it).
+TEST(WorkSteal, SkewedWorkloadStillCoversEverything) {
+  const std::size_t N = 64;
+  std::vector<std::atomic<int>> Hits(N);
+  WorkStealingPool::parallelFor(4, N, [&](std::size_t I) {
+    if (I == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t I = 0; I < N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(WorkSteal, NestedParallelForDoesNotDeadlock) {
+  // The scheduled analysis can run SCC waves inside batch jobs; the pool
+  // must tolerate nesting (the inner call sees its own workers).
+  std::atomic<int> Total{0};
+  WorkStealingPool::parallelFor(2, 4, [&](std::size_t) {
+    WorkStealingPool::parallelFor(2, 8,
+                                  [&](std::size_t) { Total.fetch_add(1); });
+  });
+  EXPECT_EQ(Total.load(), 32);
+}
+
+TEST(WorkSteal, EffectiveThreadsClampsToHardware) {
+  unsigned HW = std::thread::hardware_concurrency();
+  int Cores = static_cast<int>(HW ? HW : 1);
+  // <= 0 requests the hardware concurrency outright.
+  EXPECT_EQ(WorkStealingPool::effectiveThreads(0), Cores);
+  EXPECT_EQ(WorkStealingPool::effectiveThreads(-3), Cores);
+  // Modest requests pass through, oversubscription clamps.
+  EXPECT_EQ(WorkStealingPool::effectiveThreads(1), 1);
+  EXPECT_EQ(WorkStealingPool::effectiveThreads(Cores), Cores);
+  EXPECT_EQ(WorkStealingPool::effectiveThreads(Cores + 100), Cores);
+}
+
+TEST(WorkSteal, LargeIndexSpaceMatchesSerialSum) {
+  // Sum of indices computed in parallel equals the closed form; any
+  // dropped or duplicated item shifts the total.
+  const std::size_t N = 10000;
+  std::atomic<long long> Sum{0};
+  WorkStealingPool::parallelFor(4, N, [&](std::size_t I) {
+    Sum.fetch_add(static_cast<long long>(I), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Sum.load(), static_cast<long long>(N) * (N - 1) / 2);
+}
+
+} // namespace
